@@ -1,0 +1,81 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+
+namespace panacea {
+namespace bench {
+
+PanaceaConfig
+defaultPanaceaConfig()
+{
+    PanaceaConfig cfg;
+    cfg.dwosPerPea = 4;
+    cfg.swosPerPea = 8;
+    cfg.enableDtp = true;
+    return cfg;
+}
+
+DesignResults
+runAllDesigns(const ModelBuild &build, const PanaceaConfig &panacea_cfg)
+{
+    DesignResults out;
+    std::vector<GemmWorkload> panacea_wl = build.panaceaWorkloads();
+    std::vector<GemmWorkload> sibia_wl = build.sibiaWorkloads();
+    const std::string &name = build.spec.name;
+
+    SystolicSimulator sa_ws(SystolicDataflow::WeightStationary);
+    SystolicSimulator sa_os(SystolicDataflow::OutputStationary);
+    SimdSimulator simd;
+    SibiaSimulator sibia;
+    PanaceaSimulator panacea(panacea_cfg);
+
+    out.saWs = sa_ws.runAll(panacea_wl, name);
+    out.saOs = sa_os.runAll(panacea_wl, name);
+    out.simd = simd.runAll(panacea_wl, name);
+    out.sibia = sibia.runAll(sibia_wl, name);
+    out.panacea = panacea.runAll(panacea_wl, name);
+    return out;
+}
+
+DesignResults
+runAllDesigns(const ModelBuild &build)
+{
+    return runAllDesigns(build, defaultPanaceaConfig());
+}
+
+void
+addComparisonRows(Table &table, const DesignResults &results)
+{
+    const PerfResult *all[] = {&results.saWs, &results.saOs,
+                               &results.simd, &results.sibia,
+                               &results.panacea};
+    const double panacea_eff = results.panacea.topsPerWatt();
+    for (const PerfResult *r : all) {
+        table.newRow()
+            .cell(r->accelerator)
+            .cell(r->tops(), 3)
+            .cell(r->topsPerWatt(), 3)
+            .ratioCell(panacea_eff / r->topsPerWatt());
+    }
+}
+
+std::size_t
+seqOverrideFromEnv()
+{
+    const char *env = std::getenv("PANACEA_BENCH_SEQ");
+    if (!env)
+        return 0;
+    long v = std::strtol(env, nullptr, 10);
+    return v > 0 ? static_cast<std::size_t>(v) : 0;
+}
+
+ModelBuildOptions
+benchBuildOptions()
+{
+    ModelBuildOptions opt;
+    opt.seqLen = seqOverrideFromEnv();
+    return opt;
+}
+
+} // namespace bench
+} // namespace panacea

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared bench-harness helpers: run every normalized design on a built
+ * model, print comparison rows, and provide the standard configurations
+ * of paper §IV.
+ */
+
+#ifndef PANACEA_BENCH_BENCH_COMMON_H
+#define PANACEA_BENCH_BENCH_COMMON_H
+
+#include <string>
+#include <vector>
+
+#include "arch/panacea_sim.h"
+#include "baselines/sibia.h"
+#include "baselines/simd.h"
+#include "baselines/systolic.h"
+#include "models/model_workloads.h"
+#include "util/table.h"
+
+namespace panacea {
+namespace bench {
+
+/** Results of all five designs on one workload set. */
+struct DesignResults
+{
+    PerfResult saWs;
+    PerfResult saOs;
+    PerfResult simd;
+    PerfResult sibia;
+    PerfResult panacea;
+};
+
+/** The paper's default Panacea configuration (4 DWOs, 8 SWOs, DTP). */
+PanaceaConfig defaultPanaceaConfig();
+
+/** Run all five designs on a built model. */
+DesignResults runAllDesigns(const ModelBuild &build,
+                            const PanaceaConfig &panacea_cfg);
+
+/** Run all five designs with the default Panacea configuration. */
+DesignResults runAllDesigns(const ModelBuild &build);
+
+/**
+ * Append one row per design to a comparison table:
+ * name | TOPS | TOPS/W | rel. energy-eff vs Panacea.
+ */
+void addComparisonRows(Table &table, const DesignResults &results);
+
+/** @return seq length override from PANACEA_BENCH_SEQ (0 = default). */
+std::size_t seqOverrideFromEnv();
+
+/** Standard build options for benches (applies the env override). */
+ModelBuildOptions benchBuildOptions();
+
+} // namespace bench
+} // namespace panacea
+
+#endif // PANACEA_BENCH_BENCH_COMMON_H

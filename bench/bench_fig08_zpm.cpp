@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Reproduces paper Fig. 8: sparsity-aware zero-point manipulation on an
+ * OPT-2.7B-class FC-layer activation.
+ *
+ * The paper's example: zp = 161 puts only ~68% of values in the skip
+ * range (frequent slice 1010); ZPM moves zp to the bucket centre and
+ * raises the in-range share to ~98%, cutting AQS-GEMM operations by
+ * ~33% on that layer.
+ */
+
+#include <iostream>
+
+#include "core/aqs_gemm.h"
+#include "models/model_zoo.h"
+#include "models/synth_data.h"
+#include "quant/calibration.h"
+#include "quant/quantizer.h"
+#include "quant/zpm.h"
+#include "slicing/slice_tensor.h"
+#include "slicing/sparsity.h"
+#include "util/histogram.h"
+#include "util/table.h"
+
+using namespace panacea;
+
+namespace {
+
+/** Measure skip-range mass, slice and vector sparsity for a given zp. */
+struct ZpmPoint
+{
+    std::int32_t zp;
+    std::int32_t r;
+    double skipRangeMass;
+    double sliceSparsity;
+    double vectorSparsity;
+    std::uint64_t aqsMults;
+};
+
+ZpmPoint
+measure(const MatrixF &act, const QuantParams &params, std::int32_t r,
+        const MatrixI32 &w_codes)
+{
+    ZpmPoint pt;
+    pt.zp = params.zeroPoint;
+    pt.r = r;
+
+    MatrixI32 codes = quantize(act, params);
+    Histogram hist(0, 255);
+    for (auto c : codes.data())
+        hist.add(c);
+    pt.skipRangeMass = hist.massIn(static_cast<std::int64_t>(r) << 4,
+                                   ((static_cast<std::int64_t>(r) + 1)
+                                    << 4) - 1);
+
+    AqsConfig cfg;
+    ActivationOperand x_op =
+        prepareActivations(codes, 1, static_cast<std::int32_t>(r) << 4,
+                           cfg);
+    SparsityReport rep =
+        analyzeActivationHo(x_op.sliced.hoPlane().data, 4,
+                            static_cast<Slice>(r));
+    pt.sliceSparsity = rep.sliceLevel;
+    pt.vectorSparsity = rep.vectorLevel;
+
+    WeightOperand w_op = prepareWeights(w_codes, 1, cfg);
+    AqsStats stats;
+    (void)aqsGemm(w_op, x_op, cfg, &stats);
+    pt.aqsMults = stats.totalMults();
+    return pt;
+}
+
+} // namespace
+
+int
+main()
+{
+    Rng rng(88);
+    // The paper's Fig. 8 example: an OPT-2.7B FC-layer activation whose
+    // calibrated zero point lands at 161, one code above its HO-bucket
+    // edge (bucket [160,176), centre 168), with a tight core (std ~3.5
+    // codes) and rare outliers setting the range. Synthesized directly
+    // in those terms: core N(0, 3.5) with tails spanning [-161, +94]
+    // on a unit scale.
+    const std::size_t k = 512;
+    const std::size_t n = 128;
+    MatrixF act(k, n);
+    for (auto &v : act.data()) {
+        v = rng.bernoulli(0.02)
+                ? static_cast<float>(rng.uniformReal(-161.0, 94.0))
+                : static_cast<float>(rng.gaussian(0.0, 3.5));
+    }
+    // Pin the exact calibration endpoints so zp = 161 as in the paper.
+    act.data()[0] = -161.0f;
+    act.data()[1] = 94.0f;
+
+    MatrixF w = genWeights(rng, 128, k);
+    QuantParams wp = chooseSymmetricParams(w.data(), 7);
+    MatrixI32 w_codes = quantize(w, wp);
+
+    Calibrator cal(QuantScheme::Asymmetric, 8);
+    cal.observe(act);
+    QuantParams raw = cal.finalize();
+
+    ZpmResult zpm = manipulateZeroPoint(raw.zeroPoint, 8, 4);
+    QuantParams manipulated = refitScaleForZeroPoint(raw, zpm.zeroPoint);
+
+    printBanner(std::cout,
+                "Fig. 8: zero-point manipulation (l = 4, OPT-2.7B "
+                "FC-class activation)");
+    ZpmPoint before =
+        measure(act, raw, frequentSliceOf(raw.zeroPoint, 4), w_codes);
+    ZpmPoint after = measure(act, manipulated, zpm.frequentSlice,
+                             w_codes);
+
+    Table t({"", "zp", "r (freq. HO slice)", "mass in skip range",
+             "HO slice sparsity", "HO vector sparsity", "AQS mults"});
+    t.newRow()
+        .cell("without ZPM")
+        .cell(static_cast<std::int64_t>(before.zp))
+        .cell(static_cast<std::int64_t>(before.r))
+        .percentCell(before.skipRangeMass)
+        .percentCell(before.sliceSparsity)
+        .percentCell(before.vectorSparsity)
+        .cell(static_cast<std::int64_t>(before.aqsMults));
+    t.newRow()
+        .cell("with ZPM")
+        .cell(static_cast<std::int64_t>(after.zp))
+        .cell(static_cast<std::int64_t>(after.r))
+        .percentCell(after.skipRangeMass)
+        .percentCell(after.sliceSparsity)
+        .percentCell(after.vectorSparsity)
+        .cell(static_cast<std::int64_t>(after.aqsMults));
+    t.print(std::cout);
+
+    double op_cut = 1.0 - static_cast<double>(after.aqsMults) /
+                              static_cast<double>(before.aqsMults);
+    std::cout << "\nZPM operation reduction on this layer: "
+              << op_cut * 100.0
+              << "%  (paper reports ~33% for the OPT-2.7B FC layer; "
+                 "slice sparsity 68% -> 98% in its example)\n";
+
+    printBanner(std::cout,
+                "ZPM sweep across distribution centres (zp depends on "
+                "where the mode sits inside its HO bucket)");
+    Table sweep({"raw zp", "zp'", "mass before", "mass after",
+                 "slice sparsity before", "slice sparsity after"});
+    for (double shift : {-0.45, -0.3, -0.15, 0.0, 0.15, 0.3, 0.45}) {
+        Rng srng(123);
+        MatrixF a = genActivations(srng, k, n,
+                                   ActDistKind::LayerNormGauss, 1.0,
+                                   0.02);
+        // Shift the real-valued mode so the raw zp lands at a different
+        // phase within its bucket.
+        for (auto &v : a.data())
+            v += static_cast<float>(shift);
+        Calibrator c(QuantScheme::Asymmetric, 8);
+        c.observe(a);
+        QuantParams p = c.finalize();
+        ZpmResult z = manipulateZeroPoint(p.zeroPoint, 8, 4);
+        QuantParams m = refitScaleForZeroPoint(p, z.zeroPoint);
+        ZpmPoint b = measure(a, p, frequentSliceOf(p.zeroPoint, 4),
+                             w_codes);
+        ZpmPoint f = measure(a, m, z.frequentSlice, w_codes);
+        sweep.newRow()
+            .cell(static_cast<std::int64_t>(p.zeroPoint))
+            .cell(static_cast<std::int64_t>(z.zeroPoint))
+            .percentCell(b.skipRangeMass)
+            .percentCell(f.skipRangeMass)
+            .percentCell(b.sliceSparsity)
+            .percentCell(f.sliceSparsity);
+    }
+    sweep.print(std::cout);
+    std::cout << "\nShape check: ZPM never reduces the in-range mass and "
+                 "recovers the worst (bucket-edge) phases.\n";
+
+    printBanner(std::cout,
+                "Extension ablation: Eq.(7) centring vs histogram-aware "
+                "phase on a skewed (post-GELU-like) layer");
+    {
+        // One-sided distribution: mode at the zero point, mass piled
+        // just above it (the GELU shape Eq. (7) handles worst).
+        Rng grng(777);
+        MatrixF skewed(k, n);
+        for (auto &v : skewed.data()) {
+            double g = grng.gaussian(0.0, 3.5);
+            v = static_cast<float>(g > 0 ? g * 2.0 : g * 0.1);
+        }
+        skewed.data()[0] = -40.0f;
+        skewed.data()[1] = 120.0f;
+
+        Calibrator c(QuantScheme::Asymmetric, 8);
+        c.observe(skewed);
+        QuantParams p = c.finalize();
+        Histogram hist(0, 255);
+        MatrixI32 codes = quantize(skewed, p);
+        for (auto cc : codes.data())
+            hist.add(cc);
+
+        ZpmResult eq7 = manipulateZeroPoint(p.zeroPoint, 8, 4);
+        ZpmResult aware =
+            manipulateZeroPointHistAware(hist, p.zeroPoint, 8, 4);
+
+        Table abl({"variant", "zp'", "r", "slice sparsity",
+                   "vector sparsity"});
+        for (const auto &[name, res] :
+             {std::pair<const char *, ZpmResult>{"Eq.(7) centring", eq7},
+              {"histogram-aware", aware}}) {
+            QuantParams q = refitScaleForZeroPoint(p, res.zeroPoint);
+            ZpmPoint pt = measure(skewed, q, res.frequentSlice, w_codes);
+            abl.newRow()
+                .cell(name)
+                .cell(static_cast<std::int64_t>(res.zeroPoint))
+                .cell(static_cast<std::int64_t>(res.frequentSlice))
+                .percentCell(pt.sliceSparsity)
+                .percentCell(pt.vectorSparsity);
+        }
+        abl.print(std::cout);
+        std::cout << "\n(extension beyond the paper: the calibration "
+                     "histogram, already recorded for DBS, picks the "
+                     "bucket phase - free sparsity on skewed layers)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Reproduces paper Fig. 9/10: distribution-based bit-slicing.
+ *
+ * Three activation widths are classified into DBS types via the
+ * quantized histogram's std against the z-score of the target mass;
+ * each type's slicing rule (l = 4/5/6) expands the skip range. The
+ * bench reports sparsity without/with DBS, the fidelity cost of the
+ * discarded LSBs, and the S-ACC shift amounts implementing each rule.
+ */
+
+#include <iostream>
+
+#include "core/aqs_gemm.h"
+#include "models/accuracy_proxy.h"
+#include "models/synth_data.h"
+#include "quant/calibration.h"
+#include "quant/dbs.h"
+#include "quant/quantizer.h"
+#include "slicing/sparsity.h"
+#include "util/histogram.h"
+#include "util/table.h"
+
+using namespace panacea;
+
+namespace {
+
+struct DbsRow
+{
+    double spread;
+    DbsDecision decision;
+    double sparsityL4;
+    double sparsityDbs;
+    double nmseL4;
+    double nmseDbs;
+};
+
+DbsRow
+evaluate(double spread, double outliers)
+{
+    Rng rng(static_cast<std::uint64_t>(spread * 1000) + 3);
+    const std::size_t k = 512;
+    const std::size_t n = 128;
+    MatrixF act = genActivations(rng, k, n, ActDistKind::LayerNormGauss,
+                                 spread, outliers);
+    Calibrator cal(QuantScheme::Asymmetric, 8);
+    cal.observe(act);
+    QuantParams raw = cal.finalize();
+
+    Histogram hist(0, 255);
+    MatrixI32 raw_codes = quantize(act, raw);
+    for (auto c : raw_codes.data())
+        hist.add(c);
+
+    DbsConfig cfg;
+    DbsRow row;
+    row.spread = spread;
+    row.decision = classifyDistribution(hist, raw.zeroPoint, cfg);
+
+    // Baseline: ZPM at l = 4 only.
+    ZpmResult zpm4 = manipulateZeroPoint(raw.zeroPoint, 8, 4);
+    QuantParams p4 = refitScaleForZeroPoint(raw, zpm4.zeroPoint);
+    MatrixI32 c4 = quantize(act, p4);
+    AqsConfig gemm_cfg;
+    ActivationOperand op4 = prepareActivations(
+        c4, 1, p4.zeroPoint, gemm_cfg);
+    row.sparsityL4 = analyzeActivationHo(op4.sliced.hoPlane().data, 4,
+                                         op4.r).sliceLevel;
+    row.nmseL4 = quantizationNmse(act, p4);
+
+    // DBS: type-based ZPM + the chosen slicing rule.
+    QuantParams pd =
+        refitScaleForZeroPoint(raw, row.decision.zpm.zeroPoint);
+    const int l = row.decision.loBits;
+    MatrixI32 cd = l > 4 ? quantizeCoarse(act, pd, l - 4)
+                         : quantize(act, pd);
+    ActivationOperand opd =
+        l > 4 ? prepareActivationsDbs(
+                    cd, l,
+                    static_cast<Slice>(row.decision.zpm.frequentSlice),
+                    gemm_cfg)
+              : prepareActivations(cd, 1, pd.zeroPoint, gemm_cfg);
+    row.sparsityDbs = analyzeActivationHo(opd.sliced.hoPlane().data, 4,
+                                          opd.r).sliceLevel;
+    row.nmseDbs = l > 4 ? quantizationNmseDbs(act, pd, l)
+                        : quantizationNmse(act, pd);
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Fig. 9: DBS classification and type-based ZPM");
+    Table t({"distribution", "std*z", "type", "l", "zp''", "r''",
+             "HO slice sparsity l=4", "HO slice sparsity DBS",
+             "NMSE l=4", "NMSE DBS"});
+
+    struct Case
+    {
+        const char *name;
+        double spread;
+        double outliers;
+    };
+    const Case cases[] = {
+        {"narrow (type-1 class)", 0.12, 0.0},
+        {"medium (type-2 class)", 0.35, 0.01},
+        {"wide (type-3 class)", 0.9, 0.03},
+    };
+    for (const Case &c : cases) {
+        DbsRow row = evaluate(c.spread, c.outliers);
+        t.newRow()
+            .cell(c.name)
+            .cell(row.decision.stdTimesZ, 1)
+            .cell(toString(row.decision.type))
+            .cell(static_cast<std::int64_t>(row.decision.loBits))
+            .cell(static_cast<std::int64_t>(row.decision.zpm.zeroPoint))
+            .cell(static_cast<std::int64_t>(
+                row.decision.zpm.frequentSlice))
+            .percentCell(row.sparsityL4)
+            .percentCell(row.sparsityDbs)
+            .cell(row.nmseL4, 6)
+            .cell(row.nmseDbs, 6);
+    }
+    t.print(std::cout);
+
+    printBanner(std::cout,
+                "Fig. 10: slicing rules and S-ACC shifts per type");
+    Table rules({"type", "l", "HO bits kept", "LO bits kept",
+                 "LSBs discarded", "S-ACC shift HO", "S-ACC shift LO",
+                 "skip range (codes)"});
+    for (DbsType type : {DbsType::Type1, DbsType::Type2, DbsType::Type3}) {
+        int l = loBitsFor(type);
+        rules.newRow()
+            .cell(toString(type))
+            .cell(static_cast<std::int64_t>(l))
+            .cell(static_cast<std::int64_t>(8 - l))
+            .cell(std::int64_t{4})
+            .cell(static_cast<std::int64_t>(l - 4))
+            .cell(static_cast<std::int64_t>(l))
+            .cell(static_cast<std::int64_t>(l - 4))
+            .cell(static_cast<std::int64_t>(1 << l));
+    }
+    rules.print(std::cout);
+
+    std::cout << "\nShape check: wider distributions are pushed to wider "
+                 "LO slices, expanding the skip range (the paper "
+                 "reports +20% average slice sparsity, >50% on some "
+                 "layers, at ~0.6%p accuracy cost on DeiT-base).\n";
+    return 0;
+}

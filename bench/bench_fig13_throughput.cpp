@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Reproduces paper Fig. 13: Panacea throughput across HO vector
+ * sparsities for different design options, against SA-WS, SA-OS and
+ * SIMD.
+ *
+ * (a) 4 DWOs + 8 SWOs per PEA, (b) 8 DWOs + 4 SWOs; each with DTP
+ * on/off, for a small and a large weight/activation size. Throughput is
+ * normalized to SIMD (dense) so the crossovers are directly visible.
+ */
+
+#include <iostream>
+
+#include "arch/panacea_sim.h"
+#include "baselines/simd.h"
+#include "baselines/systolic.h"
+#include "util/csv.h"
+#include "util/random.h"
+#include "util/table.h"
+
+using namespace panacea;
+
+namespace {
+
+void
+sweepFor(std::size_t m, std::size_t k, std::size_t n, int dwos, int swos,
+         CsvWriter &csv)
+{
+    printBanner(std::cout,
+                "Fig. 13 sweep: " + std::to_string(dwos) + " DWOs + " +
+                    std::to_string(swos) + " SWOs, W " +
+                    std::to_string(m) + "x" + std::to_string(k) +
+                    ", x " + std::to_string(k) + "x" +
+                    std::to_string(n));
+
+    SystolicSimulator sa_ws(SystolicDataflow::WeightStationary);
+    SystolicSimulator sa_os(SystolicDataflow::OutputStationary);
+    SimdSimulator simd;
+
+    PanaceaConfig base;
+    base.dwosPerPea = dwos;
+    base.swosPerPea = swos;
+
+    Table t({"rho(w=x)", "SA-WS", "SA-OS", "SIMD", "Panacea",
+             "Panacea+DTP", "DTP gain"});
+
+    for (double rho : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8,
+                       0.9, 0.95}) {
+        Rng rng(static_cast<std::uint64_t>(rho * 1000) + m);
+        GemmWorkload wl = GemmWorkload::synthetic(
+            "sweep", m, k, n, rho, rho, 4, rng);
+
+        double simd_tops = simd.run(wl).tops();
+        PanaceaConfig no_dtp = base;
+        no_dtp.enableDtp = false;
+        PanaceaConfig dtp = base;
+        dtp.enableDtp = true;
+
+        double p0 = PanaceaSimulator(no_dtp).run(wl).tops();
+        double p1 = PanaceaSimulator(dtp).run(wl).tops();
+
+        const double ws = sa_ws.run(wl).tops() / simd_tops;
+        const double os = sa_os.run(wl).tops() / simd_tops;
+        t.newRow()
+            .cell(rho, 2)
+            .cell(ws, 3)
+            .cell(os, 3)
+            .cell(1.0, 3)
+            .cell(p0 / simd_tops, 3)
+            .cell(p1 / simd_tops, 3)
+            .ratioCell(p1 / p0);
+        csv.writeRow({std::to_string(m), std::to_string(dwos),
+                      std::to_string(swos), std::to_string(rho),
+                      std::to_string(ws), std::to_string(os),
+                      std::to_string(p0 / simd_tops),
+                      std::to_string(p1 / simd_tops)});
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    // Machine-readable series alongside the console tables.
+    CsvWriter csv("fig13_throughput.csv",
+                  {"size", "dwos", "swos", "rho", "sa_ws_rel",
+                   "sa_os_rel", "panacea_rel", "panacea_dtp_rel"});
+
+    // (a) the paper's shipping configuration.
+    sweepFor(512, 512, 256, 4, 8, csv);    // small tensors
+    sweepFor(2048, 2048, 256, 4, 8, csv);  // large tensors
+    // (b) the DWO-heavy alternative.
+    sweepFor(512, 512, 256, 8, 4, csv);
+    sweepFor(2048, 2048, 256, 8, 4, csv);
+    std::cout << "\nseries written to fig13_throughput.csv\n";
+
+    std::cout
+        << "\nShape checks (paper Fig. 13): at low sparsity Panacea "
+           "(4D8S) trails SIMD (dynamic products bottleneck on 4 DWOs); "
+           "at high sparsity it reaches ~3x SIMD-class speedups; 8D4S "
+           "narrows the dense gap but saturates earlier (SWO-bound) "
+           "until DTP reroutes second-tile static work; larger tensors "
+           "benefit more because compression cuts the memory-bound "
+           "phases.\n";
+    return 0;
+}

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Reproduces paper Fig. 15 and the §III-B traffic claims.
+ *
+ * (a) energy breakdown of the five designs on GPT-2 (WikiText-2-class
+ *     workload);
+ * (b) throughput of the designs with the ZPM/DBS/DTP ablation ladder;
+ * (c) relative area cost of the proposed methods;
+ * plus the EMA/SRAM reduction vs Sibia of §III-B (DeiT-base & GPT-2).
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "models/model_zoo.h"
+#include "sim/area_model.h"
+#include "util/table.h"
+
+using namespace panacea;
+using namespace panacea::bench;
+
+namespace {
+
+ModelBuild
+buildVariant(const ModelSpec &spec, bool zpm, bool dbs)
+{
+    ModelBuildOptions opt = benchBuildOptions();
+    opt.enableZpm = zpm;
+    opt.enableDbs = dbs;
+    return buildModel(spec, opt);
+}
+
+} // namespace
+
+int
+main()
+{
+    ModelSpec gpt = gpt2();
+    ModelBuild full = buildVariant(gpt, true, true);
+    DesignResults results = runAllDesigns(full);
+
+    printBanner(std::cout, "Fig. 15(a): energy breakdown on GPT-2 (mJ)");
+    {
+        Table t({"design", "compute", "PPU", "SRAM", "DRAM", "control",
+                 "total"});
+        for (const PerfResult *r :
+             {&results.saWs, &results.saOs, &results.simd,
+              &results.sibia, &results.panacea}) {
+            t.newRow()
+                .cell(r->accelerator)
+                .cell(r->energy.computePJ * 1e-9, 3)
+                .cell(r->energy.ppuPJ * 1e-9, 3)
+                .cell(r->energy.sramPJ * 1e-9, 3)
+                .cell(r->energy.dramPJ * 1e-9, 3)
+                .cell(r->energy.controlPJ * 1e-9, 3)
+                .cell(r->totalMj(), 3);
+        }
+        t.print(std::cout);
+    }
+
+    printBanner(std::cout,
+                "Fig. 15(b): ZPM / DBS / DTP ablation ladder on GPT-2");
+    {
+        struct Step
+        {
+            const char *name;
+            bool zpm;
+            bool dbs;
+            bool dtp;
+        };
+        const Step steps[] = {
+            {"AQS-GEMM only", false, false, false},
+            {"+ZPM", true, false, false},
+            {"+ZPM+DBS", true, true, false},
+            {"+ZPM+DBS+DTP", true, true, true},
+        };
+        Table t({"config", "TOPS", "TOPS/W", "energy vs prev",
+                 "thr vs prev"});
+        double prev_e = 0.0;
+        double prev_t = 0.0;
+        for (const Step &s : steps) {
+            ModelBuild b = buildVariant(gpt, s.zpm, s.dbs);
+            PanaceaConfig cfg = defaultPanaceaConfig();
+            cfg.enableDtp = s.dtp;
+            PerfResult r = PanaceaSimulator(cfg).runAll(
+                b.panaceaWorkloads(), gpt.name);
+            double e = r.totalMj();
+            double tput = r.tops();
+            auto signed_pct = [](double frac) {
+                int pct = static_cast<int>(frac * 100.0);
+                return (pct >= 0 ? "+" : "") + std::to_string(pct) + "%";
+            };
+            t.newRow()
+                .cell(s.name)
+                .cell(tput, 3)
+                .cell(r.topsPerWatt(), 3)
+                .cell(prev_e > 0.0 ? signed_pct(e / prev_e - 1.0)
+                                   : std::string("-"))
+                .cell(prev_t > 0.0 ? signed_pct(tput / prev_t - 1.0)
+                                   : std::string("-"));
+            prev_e = e;
+            prev_t = tput;
+        }
+        t.print(std::cout);
+        std::cout << "(paper: ZPM -10% energy/+17% thr; DBS -11%/+12%; "
+                     "DTP -8.9%/+7.6% on GPT-2)\n";
+    }
+
+    printBanner(std::cout,
+                "S III-B: external/on-chip traffic vs Sibia");
+    {
+        Table t({"model", "EMA reduction vs Sibia",
+                 "SRAM reduction vs Sibia"});
+        for (const ModelSpec &spec : {deitBase(), gpt2()}) {
+            ModelBuild b = buildVariant(spec, true, true);
+            DesignResults r = runAllDesigns(b);
+            double ema_p = static_cast<double>(
+                r.panacea.counters.dramReadBytes +
+                r.panacea.counters.dramWriteBytes);
+            double ema_s = static_cast<double>(
+                r.sibia.counters.dramReadBytes +
+                r.sibia.counters.dramWriteBytes);
+            double sram_p = static_cast<double>(
+                r.panacea.counters.sramReadBytes +
+                r.panacea.counters.sramWriteBytes);
+            double sram_s = static_cast<double>(
+                r.sibia.counters.sramReadBytes +
+                r.sibia.counters.sramWriteBytes);
+            t.newRow()
+                .cell(spec.name)
+                .percentCell(1.0 - ema_p / ema_s)
+                .percentCell(1.0 - sram_p / sram_s);
+        }
+        t.print(std::cout);
+        std::cout << "(paper: EMA -60.5% DeiT / -46.8% GPT-2; SRAM "
+                     "-29.2% / -27.4%)\n";
+    }
+
+    printBanner(std::cout, "Fig. 15(c): relative area cost");
+    {
+        // Baseline bit-slice core (Sibia-class): MACs + SRAM + buffers.
+        AreaInputs sibia_in;
+        sibia_in.multipliers = 3072;
+        sibia_in.adders = 3072;
+        sibia_in.shifters = 16 * 2;
+        sibia_in.sramBytes = 192 * 1024;
+        sibia_in.bufferBytes = 20 * 1024;
+        sibia_in.decoders = 16;
+        sibia_in.schedulers = 16;
+
+        AreaInputs zpm_in = sibia_in;  // ZPM: calibration-only, no area
+
+        AreaInputs dbs_in = zpm_in;
+        dbs_in.shifters += 16 * 2;     // wider S-ACC shift range
+
+        AreaInputs dtp_in = dbs_in;
+        dtp_in.bufferBytes += 16 * 1024;  // doubled WBUF + psum buffers
+        dtp_in.adders += 16 * 8;          // second CS per PEA
+
+        double base = estimateAreaMm2(sibia_in);
+        Table t({"config", "area (mm^2, model)", "relative"});
+        t.newRow().cell("baseline (Sibia-class)").cell(base, 3).ratioCell(
+            1.0);
+        t.newRow()
+            .cell("+ZPM")
+            .cell(estimateAreaMm2(zpm_in), 3)
+            .ratioCell(estimateAreaMm2(zpm_in) / base);
+        t.newRow()
+            .cell("+ZPM+DBS")
+            .cell(estimateAreaMm2(dbs_in), 3)
+            .ratioCell(estimateAreaMm2(dbs_in) / base);
+        t.newRow()
+            .cell("+ZPM+DBS+DTP")
+            .cell(estimateAreaMm2(dtp_in), 3)
+            .ratioCell(estimateAreaMm2(dtp_in) / base);
+        t.print(std::cout);
+        std::cout << "(paper: ZPM free, DBS small shifting-unit "
+                     "overhead, DTP pays buffers/on-chip memory)\n";
+    }
+
+    printBanner(std::cout, "Overall comparison on GPT-2");
+    {
+        Table t({"design", "TOPS", "TOPS/W", "Panacea eff. advantage"});
+        addComparisonRows(t, results);
+        t.print(std::cout);
+        std::cout << "(paper Fig. 16: 3.82x / 3.07x / 3.81x / 2.03x vs "
+                     "SA-WS / SA-OS / SIMD / Sibia on GPT-2)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces paper Fig. 17: energy efficiency and perplexity on the
+ * LLM benchmarks (OPT-350M / 1.3B / 2.7B, Llama-3.2-1B / 3B,
+ * WikiText-2-class workloads).
+ *
+ * Perplexity is the fidelity proxy of DESIGN.md §2 anchored at each
+ * model's FP16 perplexity. Sensitivity-critical Llama down-projection
+ * inputs use three bit-slices (12-bit) on both bit-slice designs, as in
+ * the paper.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "models/accuracy_proxy.h"
+#include "models/model_zoo.h"
+#include "util/table.h"
+
+using namespace panacea;
+using namespace panacea::bench;
+
+int
+main()
+{
+    for (const ModelSpec &spec : {opt350m(), opt1_3b(), opt2_7b(),
+                                  llama32_1b(), llama32_3b()}) {
+        ModelBuild build = buildModel(spec, benchBuildOptions());
+        DesignResults r = runAllDesigns(build);
+
+        printBanner(std::cout,
+                    "Fig. 17: " + spec.name + "  (FP16 PPL anchor " +
+                        std::to_string(spec.fp16Ppl) + ")");
+
+        const double w_nmse = build.meanWeightNmse();
+        const double ppl_sym = proxyPerplexity(
+            spec.fp16Ppl, build.meanNmseSym() + w_nmse);
+        const double ppl_asym = proxyPerplexity(
+            spec.fp16Ppl, build.meanNmseAsym() + w_nmse);
+        const double panacea_eff = r.panacea.topsPerWatt();
+
+        Table t({"design", "TOPS", "TOPS/W", "Panacea eff. advantage",
+                 "PPL (proxy)"});
+        struct Row
+        {
+            const PerfResult *res;
+            double ppl;
+        };
+        const Row rows[] = {
+            {&r.saWs, ppl_sym},   {&r.saOs, ppl_sym},
+            {&r.simd, ppl_sym},   {&r.sibia, ppl_sym},
+            {&r.panacea, ppl_asym},
+        };
+        for (const Row &row : rows) {
+            t.newRow()
+                .cell(row.res->accelerator)
+                .cell(row.res->tops(), 3)
+                .cell(row.res->topsPerWatt(), 3)
+                .ratioCell(panacea_eff / row.res->topsPerWatt())
+                .cell(row.ppl, 2);
+        }
+        t.print(std::cout);
+    }
+
+    std::cout
+        << "\nShape checks (paper Fig. 17 / §I): Panacea vs Sibia "
+           "energy-efficiency advantage grows with OPT size (1.57x / "
+           "1.97x / 1.96x for 350M / 1.3B / 2.7B in the paper; "
+           "headline: 1.97x and 1.88x throughput on OPT-2.7B, 3.26x / "
+           "2.41x vs SIMD); Llama-3.2 keeps the lead under mixed "
+           "precision (1.47x vs Sibia on 3B); Panacea's PPL tracks "
+           "FP16 thanks to asymmetric activations.\n";
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Reproduces paper Fig. 19: low-bit weight quantization on OPT-2.7B.
+ *
+ * 7-bit (n=1) vs 4-bit (n=0, OPTQ-class) weights on Sibia and Panacea:
+ * energy breakdown, latency and the perplexity proxy. With 4-bit
+ * weights there is no weight HO slice, WMEM holds two tiles at once and
+ * DTP engages, which is where Panacea's advantage peaks (the paper: 56%
+ * of Sibia's energy, 1.9x / 3.3x lower latency at 7 / 4 bits).
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "models/accuracy_proxy.h"
+#include "models/model_zoo.h"
+#include "util/table.h"
+
+using namespace panacea;
+using namespace panacea::bench;
+
+int
+main()
+{
+    ModelSpec opt = opt2_7b();
+
+    Table energy({"weights", "design", "compute (mJ)", "SRAM (mJ)",
+                  "DRAM (mJ)", "total (mJ)", "latency (ms)",
+                  "PPL (proxy)", "DTP enabled on"});
+
+    for (int weight_bits : {7, 4}) {
+        ModelBuildOptions bopt = benchBuildOptions();
+        bopt.weightBitsOverride = weight_bits;
+        ModelBuild build = buildModel(opt, bopt);
+
+        SibiaSimulator sibia;
+        PanaceaSimulator panacea(defaultPanaceaConfig());
+        PerfResult r_sibia = sibia.runAll(build.sibiaWorkloads(),
+                                          opt.name);
+        PerfResult r_pana = panacea.runAll(build.panaceaWorkloads(),
+                                           opt.name);
+
+        // How many layers get DTP at this weight width.
+        std::size_t dtp_layers = 0;
+        for (const GemmWorkload &wl : build.panaceaWorkloads())
+            dtp_layers += panacea.planTraffic(wl).dtpEnabled ? 1 : 0;
+
+        double ppl = proxyPerplexity(
+            opt.fp16Ppl,
+            build.meanNmseAsym() + build.meanWeightNmse());
+
+        for (const PerfResult *r : {&r_sibia, &r_pana}) {
+            energy.newRow()
+                .cell(std::to_string(weight_bits) + "-bit")
+                .cell(r->accelerator)
+                .cell(r->energy.computePJ * 1e-9, 2)
+                .cell(r->energy.sramPJ * 1e-9, 2)
+                .cell(r->energy.dramPJ * 1e-9, 2)
+                .cell(r->totalMj(), 2)
+                .cell(r->seconds() * 1e3, 3)
+                .cell(ppl, 2)
+                .cell(r == &r_pana
+                          ? std::to_string(dtp_layers) + "/" +
+                                std::to_string(
+                                    build.panaceaWorkloads().size()) +
+                                " layers"
+                          : std::string("-"));
+        }
+    }
+
+    printBanner(std::cout,
+                "Fig. 19: 7-bit vs 4-bit weights on OPT-2.7B "
+                "(Sibia vs Panacea)");
+    energy.print(std::cout);
+
+    std::cout
+        << "\nShape checks (paper Fig. 19): 4-bit weights halve the "
+           "weight footprint, WMEM fits two tiles and DTP engages on "
+           "more layers; Panacea's energy falls toward ~56% of Sibia's "
+           "and its latency advantage grows from ~1.9x to ~3.3x; OPTQ "
+           "keeps the PPL acceptable at 4 bits.\n";
+    return 0;
+}

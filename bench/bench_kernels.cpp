@@ -1,0 +1,134 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the functional engines: dense
+ * integer GEMM, the legacy (Sibia-style) bit-slice GEMM and the
+ * AQS-GEMM at several sparsity points, plus the preparation stages
+ * (SBR slicing, RLE encoding). Host-CPU timings - these measure the
+ * simulator's own kernels, not modeled hardware.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/aqs_gemm.h"
+#include "core/legacy_gemm.h"
+#include "quant/gemm_quant.h"
+#include "slicing/rle.h"
+#include "slicing/slice_tensor.h"
+#include "util/random.h"
+
+using namespace panacea;
+
+namespace {
+
+MatrixI32
+weightCodes(Rng &rng, std::size_t m, std::size_t k, double near_zero)
+{
+    MatrixI32 w(m, k);
+    for (auto &v : w.data())
+        v = rng.bernoulli(near_zero)
+                ? static_cast<std::int32_t>(rng.uniformInt(-8, 7))
+                : static_cast<std::int32_t>(rng.uniformInt(-64, 63));
+    return w;
+}
+
+MatrixI32
+actCodes(Rng &rng, std::size_t k, std::size_t n, std::int32_t zp,
+         double clustered)
+{
+    MatrixI32 x(k, n);
+    for (auto &v : x.data())
+        v = rng.bernoulli(clustered)
+                ? static_cast<std::int32_t>(std::clamp<std::int64_t>(
+                      zp + rng.uniformInt(-7, 7), 0, 255))
+                : static_cast<std::int32_t>(rng.uniformInt(0, 255));
+    return x;
+}
+
+void
+BM_DenseIntGemm(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    MatrixI32 w = weightCodes(rng, dim, dim, 0.5);
+    MatrixI32 x = actCodes(rng, dim, 64, 136, 0.5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(intGemm(w, x));
+    state.SetItemsProcessed(state.iterations() * dim * dim * 64);
+}
+
+void
+BM_AqsGemm(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const double sparsity = static_cast<double>(state.range(1)) / 100.0;
+    Rng rng(2);
+    const std::int32_t zp = 136;
+    MatrixI32 w = weightCodes(rng, dim, dim, sparsity);
+    MatrixI32 x = actCodes(rng, dim, 64, zp, sparsity);
+
+    AqsConfig cfg;
+    WeightOperand w_op = prepareWeights(w, 1, cfg);
+    ActivationOperand x_op = prepareActivations(x, 1, zp, cfg);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(aqsGemm(w_op, x_op, cfg));
+    state.SetItemsProcessed(state.iterations() * dim * dim * 64);
+}
+
+void
+BM_LegacyBitsliceGemm(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    Rng rng(3);
+    MatrixI32 w = weightCodes(rng, dim, dim, 0.8);
+    MatrixI32 x = weightCodes(rng, dim, 64, 0.8);
+    SlicedMatrix ws = sbrSliceMatrix(w, 1);
+    SlicedMatrix xs = sbrSliceMatrix(x, 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            legacyBitsliceGemm(ws, xs, 4, SibiaSkipSide::Auto));
+    state.SetItemsProcessed(state.iterations() * dim * dim * 64);
+}
+
+void
+BM_SbrSlicing(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    Rng rng(4);
+    MatrixI32 w = weightCodes(rng, dim, dim, 0.5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sbrSliceMatrix(w, 1));
+    state.SetItemsProcessed(state.iterations() * dim * dim);
+}
+
+void
+BM_RleEncode(benchmark::State &state)
+{
+    const auto vectors = static_cast<std::size_t>(state.range(0));
+    Rng rng(5);
+    std::vector<Slice> data(vectors * 4);
+    for (std::size_t i = 0; i < vectors; ++i) {
+        bool fill = rng.bernoulli(0.8);
+        for (int j = 0; j < 4; ++j)
+            data[i * 4 + j] =
+                fill ? 10 : static_cast<Slice>(rng.uniformInt(0, 15));
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            RleStream::encode(data, vectors, 4, 10, 4));
+    state.SetItemsProcessed(state.iterations() * vectors);
+}
+
+} // namespace
+
+BENCHMARK(BM_DenseIntGemm)->Arg(128)->Arg(256);
+BENCHMARK(BM_AqsGemm)
+    ->Args({128, 0})
+    ->Args({128, 60})
+    ->Args({128, 95})
+    ->Args({256, 60})
+    ->Args({256, 95});
+BENCHMARK(BM_LegacyBitsliceGemm)->Arg(128)->Arg(256);
+BENCHMARK(BM_SbrSlicing)->Arg(256)->Arg(1024);
+BENCHMARK(BM_RleEncode)->Arg(1024)->Arg(65536);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Design-space exploration scenario: the study behind paper Fig. 13's
+ * conclusion that 4 DWOs + 8 SWOs with DTP is the right shipping
+ * configuration. Sweeps the DWO/SWO split (at a constant 12 operators
+ * per PEA = 3072 multipliers) and the DTP switch over a GPT-2 workload,
+ * and reports throughput, efficiency and operator utilization.
+ *
+ * Usage: ./build/examples/design_space
+ */
+
+#include <iostream>
+
+#include "arch/panacea_sim.h"
+#include "models/model_workloads.h"
+#include "models/model_zoo.h"
+#include "util/table.h"
+
+using namespace panacea;
+
+int
+main()
+{
+    ModelSpec gpt = gpt2();
+    std::cout << "Design-space exploration on " << gpt.name
+              << " (constant 12 operators/PEA = 3072 multipliers)\n";
+    ModelBuildOptions opt;
+    ModelBuild build = buildModel(gpt, opt);
+    std::vector<GemmWorkload> layers = build.panaceaWorkloads();
+
+    printBanner(std::cout, "DWO/SWO split x DTP sweep");
+    Table t({"DWOs", "SWOs", "DTP", "TOPS", "TOPS/W", "cycles (M)",
+             "mult util", "vs best"});
+
+    struct Point
+    {
+        int dwos;
+        int swos;
+        bool dtp;
+        PerfResult result;
+    };
+    std::vector<Point> points;
+    double best_tops = 0.0;
+    for (int dwos : {2, 4, 6, 8, 10}) {
+        for (bool dtp : {false, true}) {
+            PanaceaConfig cfg;
+            cfg.dwosPerPea = dwos;
+            cfg.swosPerPea = 12 - dwos;
+            cfg.enableDtp = dtp;
+            PanaceaSimulator sim(cfg);
+            Point p{dwos, 12 - dwos, dtp,
+                    sim.runAll(layers, gpt.name)};
+            best_tops = std::max(best_tops, p.result.tops());
+            points.push_back(std::move(p));
+        }
+    }
+    for (const Point &p : points) {
+        t.newRow()
+            .cell(static_cast<std::int64_t>(p.dwos))
+            .cell(static_cast<std::int64_t>(p.swos))
+            .cell(p.dtp ? "on" : "off")
+            .cell(p.result.tops(), 3)
+            .cell(p.result.topsPerWatt(), 3)
+            .cell(static_cast<double>(p.result.counters.cycles) / 1e6,
+                  1)
+            .percentCell(p.result.opUtilization())
+            .percentCell(p.result.tops() / best_tops);
+    }
+    t.print(std::cout);
+
+    printBanner(std::cout, "Why: per-layer sparsity profile");
+    Table prof({"layer", "rho_w", "rho_x",
+                "dyn share of dense work"});
+    for (const LayerBuild &lb : build.layers) {
+        // Structural classification: with two weight slices, 3 of 4
+        // products are dynamic; weight/activation sparsity then thins
+        // the dynamic queue while the static one stays dense.
+        double dyn_share =
+            1.0 - 1.0 / (static_cast<double>(lb.panacea.wLevels) *
+                         lb.panacea.xLevels);
+        prof.newRow()
+            .cell(lb.spec.name)
+            .percentCell(lb.panacea.rhoW())
+            .percentCell(lb.panacea.rhoX())
+            .percentCell(dyn_share);
+    }
+    prof.print(std::cout);
+
+    std::cout
+        << "\nReading: high activation sparsity drains the dynamic "
+           "queue, so few DWOs suffice and SWOs become the bottleneck - "
+           "which DTP relieves by routing the second tile's static "
+           "products onto idle DWOs. That is the paper's rationale for "
+           "shipping 4 DWOs + 8 SWOs + DTP.\n";
+    return 0;
+}

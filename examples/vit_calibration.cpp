@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Vision-transformer calibration scenario: walk a DeiT-base block
+ * through the PTQ calibration of paper Fig. 6 and inspect what each
+ * stage (asymmetric quantization, ZPM, DBS) does to every layer's
+ * zero point, slicing rule and bit-slice sparsity.
+ *
+ * Usage: ./build/examples/vit_calibration
+ */
+
+#include <iostream>
+
+#include "models/accuracy_proxy.h"
+#include "models/model_workloads.h"
+#include "models/model_zoo.h"
+#include "util/table.h"
+
+using namespace panacea;
+
+namespace {
+
+ModelBuild
+buildStage(const ModelSpec &spec, bool zpm, bool dbs)
+{
+    ModelBuildOptions opt;
+    opt.enableZpm = zpm;
+    opt.enableDbs = dbs;
+    return buildModel(spec, opt);
+}
+
+} // namespace
+
+int
+main()
+{
+    ModelSpec deit = deitBase();
+    std::cout << "PTQ calibration walk-through for " << deit.name
+              << " (" << deit.layers.size()
+              << " unique layers x " << deit.layers[0].repeat
+              << " blocks, " << deit.seqLen << " tokens)\n";
+
+    ModelBuild raw = buildStage(deit, false, false);
+    ModelBuild with_zpm = buildStage(deit, true, false);
+    ModelBuild with_dbs = buildStage(deit, true, true);
+
+    printBanner(std::cout, "Stage 1: asymmetric calibration (Eq. (2))");
+    {
+        Table t({"layer", "distribution", "raw zp", "r = HO(zp)",
+                 "HO slice sparsity", "HO vector sparsity"});
+        for (const LayerBuild &lb : raw.layers) {
+            t.newRow()
+                .cell(lb.spec.name)
+                .cell(toString(lb.spec.dist))
+                .cell(static_cast<std::int64_t>(lb.rawZeroPoint))
+                .cell(static_cast<std::int64_t>(lb.rawZeroPoint >> 4))
+                .percentCell(lb.actHoPanacea.sliceLevel)
+                .percentCell(lb.actHoPanacea.vectorLevel);
+        }
+        t.print(std::cout);
+    }
+
+    printBanner(std::cout, "Stage 2: + zero-point manipulation (Eq. (7))");
+    {
+        Table t({"layer", "zp raw -> zp'", "slice sparsity",
+                 "vector sparsity"});
+        for (std::size_t i = 0; i < with_zpm.layers.size(); ++i) {
+            const LayerBuild &lb = with_zpm.layers[i];
+            t.newRow()
+                .cell(lb.spec.name)
+                .cell(std::to_string(lb.rawZeroPoint) + " -> " +
+                      std::to_string(lb.dbs.zpm.zeroPoint))
+                .percentCell(lb.actHoPanacea.sliceLevel)
+                .percentCell(lb.actHoPanacea.vectorLevel);
+        }
+        t.print(std::cout);
+    }
+
+    printBanner(std::cout,
+                "Stage 3: + distribution-based slicing (Fig. 9/10)");
+    {
+        Table t({"layer", "std*z", "type", "l", "zp''", "r''",
+                 "slice sparsity", "vector sparsity", "NMSE"});
+        for (const LayerBuild &lb : with_dbs.layers) {
+            t.newRow()
+                .cell(lb.spec.name)
+                .cell(lb.dbs.stdTimesZ, 1)
+                .cell(toString(lb.dbs.type))
+                .cell(static_cast<std::int64_t>(lb.dbs.loBits))
+                .cell(static_cast<std::int64_t>(lb.dbs.zpm.zeroPoint))
+                .cell(static_cast<std::int64_t>(
+                    lb.dbs.zpm.frequentSlice))
+                .percentCell(lb.actHoPanacea.sliceLevel)
+                .percentCell(lb.actHoPanacea.vectorLevel)
+                .cell(lb.actNmseAsym, 6);
+        }
+        t.print(std::cout);
+    }
+
+    double loss_raw = proxyAccuracyLossPct(raw.meanNmseAsym());
+    double loss_dbs = proxyAccuracyLossPct(with_dbs.meanNmseAsym());
+    std::cout << "\nAccuracy-loss proxy: " << loss_raw
+              << "%p before DBS, " << loss_dbs
+              << "%p after (the paper accepts ~0.6%p on DeiT-base for "
+                 "+20%p average slice sparsity).\n";
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Compensator unit (CS, paper Fig. 11): computes the Eq. (6)
+ * compensation term by reusing the weight slices already loaded for the
+ * uncompressed bit-slice products. Each CS holds v running column sums
+ * (one per output row of the PEA's band) and finishes the output block
+ * with one small outer product against the all-r vector.
+ */
+
+#ifndef PANACEA_ARCH_COMPENSATOR_H
+#define PANACEA_ARCH_COMPENSATOR_H
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "slicing/slice_types.h"
+#include "util/logging.h"
+
+namespace panacea {
+
+/**
+ * Functional model of one compensator for a v-row PEA band.
+ */
+class Compensator
+{
+  public:
+    /** @param v band height  @param x_ho_shift HO plane shift (2^l). */
+    Compensator(int v, int x_ho_shift)
+        : v_(v), xHoShift_(x_ho_shift), wsum_(v, 0)
+    {}
+
+    /**
+     * Absorb one loaded weight slice column (v slices of one level at
+     * reduction index k that is *uncompressed* on the activation side).
+     * Mirrors the CS's small S-ACCs accumulating (W_HO + W_LO)[:, k].
+     */
+    void
+    absorbColumn(std::span<const Slice> column, int w_shift)
+    {
+        panic_if(column.size() != static_cast<std::size_t>(v_),
+                 "CS column height mismatch");
+        for (int i = 0; i < v_; ++i)
+            wsum_[i] += static_cast<std::int64_t>(column[i]) << w_shift;
+        adds_ += v_;
+    }
+
+    /**
+     * Finish one output block: comp_i = b'_i - (r << shift) * wsum_i,
+     * broadcast across the v output columns by the caller.
+     *
+     * @param b_prime offline-folded r * W * 1 row terms for this band
+     * @param r       the frequent activation HO slice
+     */
+    std::vector<std::int64_t>
+    finish(std::span<const std::int64_t> b_prime, Slice r)
+    {
+        panic_if(b_prime.size() != static_cast<std::size_t>(v_),
+                 "CS b' height mismatch");
+        std::vector<std::int64_t> comp(v_);
+        const std::int64_t r_scaled = static_cast<std::int64_t>(r)
+                                      << xHoShift_;
+        for (int i = 0; i < v_; ++i)
+            comp[i] = b_prime[i] - r_scaled * wsum_[i];
+        mults_ += static_cast<std::uint64_t>(v_) * v_;
+        return comp;
+    }
+
+    /** Clear the running sums for the next output block. */
+    void
+    reset()
+    {
+        std::fill(wsum_.begin(), wsum_.end(), 0);
+    }
+
+    /** @return accumulations performed (energy proxy). */
+    std::uint64_t adds() const { return adds_; }
+    /** @return multiplications performed (energy proxy). */
+    std::uint64_t mults() const { return mults_; }
+
+  private:
+    int v_;
+    int xHoShift_;
+    std::vector<std::int64_t> wsum_;
+    std::uint64_t adds_ = 0;
+    std::uint64_t mults_ = 0;
+};
+
+} // namespace panacea
+
+#endif // PANACEA_ARCH_COMPENSATOR_H

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Static configuration of the Panacea accelerator (paper §III-D,
+ * Fig. 11/12). Defaults follow the paper: P=16 PEAs, 4 DWOs + 8 SWOs per
+ * PEA (16 4bx4b multipliers each, 3072 total), v=4, TM=64, TK=32, TN=64,
+ * 192 KB of on-chip SRAM and a 256-bit/cycle DRAM channel.
+ */
+
+#ifndef PANACEA_ARCH_CONFIG_H
+#define PANACEA_ARCH_CONFIG_H
+
+#include <cstdint>
+
+#include "core/aqs_gemm.h"
+#include "util/logging.h"
+
+namespace panacea {
+
+/** Panacea hardware configuration. */
+struct PanaceaConfig
+{
+    int numPeas = 16;          ///< P
+    int dwosPerPea = 4;        ///< dynamic workload operators per PEA
+    int swosPerPea = 8;        ///< static workload operators per PEA
+    int v = 4;                 ///< slice-vector length
+    int tileM = 64;            ///< TM = P * v
+    int tileK = 32;            ///< TK
+    int tileN = 64;            ///< TN
+    bool enableDtp = true;     ///< double-tile processing
+    int rleIndexBits = 4;
+
+    std::uint64_t wmemBytes = 160 * 1024;  ///< weight memory
+    std::uint64_t amemBytes = 16 * 1024;   ///< activation memory
+    std::uint64_t omemBytes = 16 * 1024;   ///< output memory
+    std::uint64_t dramBytesPerCycle = 32;  ///< 256-bit channel
+    double clockGhz = 0.5;
+
+    ActSkipMode actSkip = ActSkipMode::RValued;
+    bool useEq6 = true;        ///< Eq. (6) compensation (vs Eq. (5))
+
+    /** @return multipliers per OPC (v x v). */
+    int opcMultipliers() const { return v * v; }
+
+    /** @return total 4b x 4b multipliers in the design. */
+    int
+    totalMultipliers() const
+    {
+        return numPeas * (dwosPerPea + swosPerPea) * opcMultipliers();
+    }
+
+    /** @return total on-chip SRAM in bytes. */
+    std::uint64_t
+    totalSramBytes() const
+    {
+        return wmemBytes + amemBytes + omemBytes;
+    }
+
+    /** Validate structural invariants; panics on violation. */
+    void
+    validate() const
+    {
+        panic_if(numPeas <= 0 || dwosPerPea < 0 || swosPerPea <= 0,
+                 "invalid operator configuration");
+        panic_if(tileM != numPeas * v,
+                 "TM (", tileM, ") must equal P*v (", numPeas * v, ")");
+        panic_if(tileK % v != 0 || tileN % v != 0,
+                 "TK and TN must be multiples of v");
+        panic_if(dramBytesPerCycle == 0, "zero DRAM bandwidth");
+    }
+};
+
+} // namespace panacea
+
+#endif // PANACEA_ARCH_CONFIG_H

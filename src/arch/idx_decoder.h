@@ -1,0 +1,74 @@
+/**
+ * @file
+ * RLE index decoder (IDXD, paper Fig. 11): recovers the absolute vector
+ * indices of uncompressed slice-vectors from the RLE skip indices so the
+ * workload scheduler can match weight and activation vectors with equal
+ * reduction index k.
+ */
+
+#ifndef PANACEA_ARCH_IDX_DECODER_H
+#define PANACEA_ARCH_IDX_DECODER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "slicing/rle.h"
+
+namespace panacea {
+
+/**
+ * Hardware-faithful index recovery: accumulates skip counts exactly as
+ * the IDXD's adder chain does.
+ */
+class IndexDecoder
+{
+  public:
+    /**
+     * Decode a stream's skip indices into absolute vector indices.
+     * Mirrors RleStream bookkeeping but derives positions only from the
+     * skip fields (what the hardware actually stores).
+     */
+    static std::vector<std::uint32_t>
+    decodeIndices(const RleStream &stream)
+    {
+        std::vector<std::uint32_t> indices;
+        indices.reserve(stream.storedCount());
+        std::uint32_t cursor = 0;
+        for (const RleEntry &entry : stream.entries()) {
+            cursor += entry.skip;
+            indices.push_back(cursor);
+            ++cursor;
+        }
+        return indices;
+    }
+
+    /**
+     * Intersect two decoded index lists (weight and activation streams):
+     * the scheduler issues one HO x HO outer product per shared k.
+     * Both lists are strictly increasing.
+     */
+    static std::vector<std::uint32_t>
+    matchIndices(const std::vector<std::uint32_t> &a,
+                 const std::vector<std::uint32_t> &b)
+    {
+        std::vector<std::uint32_t> matched;
+        std::size_t i = 0;
+        std::size_t j = 0;
+        while (i < a.size() && j < b.size()) {
+            if (a[i] == b[j]) {
+                matched.push_back(a[i]);
+                ++i;
+                ++j;
+            } else if (a[i] < b[j]) {
+                ++i;
+            } else {
+                ++j;
+            }
+        }
+        return matched;
+    }
+};
+
+} // namespace panacea
+
+#endif // PANACEA_ARCH_IDX_DECODER_H

@@ -1,0 +1,125 @@
+#include "arch/memory_manager.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace panacea {
+
+std::uint64_t
+MemoryManager::weightBits(const GemmWorkload &wl,
+                          std::size_t row_group_begin,
+                          std::size_t row_group_end) const
+{
+    const std::uint64_t v = static_cast<std::uint64_t>(cfg_.v);
+    const std::uint64_t slice_bits = v * 4;
+    const std::uint64_t idx_bits =
+        static_cast<std::uint64_t>(cfg_.rleIndexBits);
+    const std::uint64_t groups = row_group_end - row_group_begin;
+    const std::uint64_t k = wl.k;
+
+    std::uint64_t bits = 0;
+    if (wl.weightHoSkippable) {
+        std::uint64_t stored = 0;
+        for (std::size_t g = row_group_begin; g < row_group_end; ++g)
+            for (std::size_t kk = 0; kk < k; ++kk)
+                stored += wl.wMask(g, kk) ? 0 : 1;
+        bits += stored * (slice_bits + idx_bits);
+        // Dense LO planes below the HO plane.
+        bits += groups * k * slice_bits *
+                static_cast<std::uint64_t>(wl.wLevels - 1);
+    } else {
+        // Single dense (LO) plane, no HO compression.
+        bits += groups * k * slice_bits *
+                static_cast<std::uint64_t>(wl.wLevels);
+    }
+    return bits;
+}
+
+std::uint64_t
+MemoryManager::activationBits(const GemmWorkload &wl) const
+{
+    const std::uint64_t v = static_cast<std::uint64_t>(cfg_.v);
+    const std::uint64_t slice_bits = v * 4;
+    const std::uint64_t idx_bits =
+        static_cast<std::uint64_t>(cfg_.rleIndexBits);
+
+    std::uint64_t stored = 0;
+    for (auto cell : wl.xMask.data())
+        stored += cell ? 0 : 1;
+
+    std::uint64_t bits = stored * (slice_bits + idx_bits);
+    bits += wl.k * wl.n * 4 * static_cast<std::uint64_t>(wl.xLevels - 1);
+    return bits;
+}
+
+TrafficPlan
+MemoryManager::plan(const GemmWorkload &wl) const
+{
+    cfg_.validate();
+    panic_if(wl.m % cfg_.v != 0 || wl.n % cfg_.v != 0,
+             "workload M/N must be divisible by v");
+
+    TrafficPlan tp;
+    const std::uint64_t m_tiles =
+        (wl.m + cfg_.tileM - 1) / static_cast<std::uint64_t>(cfg_.tileM);
+    tp.nTiles =
+        (wl.n + cfg_.tileN - 1) / static_cast<std::uint64_t>(cfg_.tileN);
+
+    const std::size_t groups_per_tile =
+        static_cast<std::size_t>(cfg_.tileM / cfg_.v);
+    const std::size_t total_groups = wl.m / static_cast<std::size_t>(cfg_.v);
+
+    // --- DTP enable: the 2TM x K weight slices must fit WMEM at once ---
+    std::uint64_t two_tile_bits = 0;
+    if (m_tiles >= 2) {
+        two_tile_bits = weightBits(
+            wl, 0, std::min(total_groups, 2 * groups_per_tile));
+    }
+    tp.dtpEnabled = cfg_.enableDtp && m_tiles >= 2 &&
+                    two_tile_bits / 8 <= cfg_.wmemBytes;
+    tp.mSupers = tp.dtpEnabled ? (m_tiles + 1) / 2 : m_tiles;
+
+    // --- Whole-operand compressed footprints ---
+    tp.wBytesCompressed = (weightBits(wl, 0, total_groups) + 7) / 8;
+    tp.xBytesCompressed = (activationBits(wl) + 7) / 8;
+    tp.outBytes = wl.m * wl.n;  // requantized 8-bit outputs
+
+    // --- Weight residency: one m-super's full-K slices in WMEM ---
+    std::uint64_t super_bits_max = 0;
+    for (std::uint64_t s = 0; s < tp.mSupers; ++s) {
+        std::size_t tiles_in_super = tp.dtpEnabled ? 2 : 1;
+        std::size_t g0 = static_cast<std::size_t>(s) * tiles_in_super *
+                         groups_per_tile;
+        std::size_t g1 = std::min(total_groups,
+                                  g0 + tiles_in_super * groups_per_tile);
+        super_bits_max = std::max(super_bits_max, weightBits(wl, g0, g1));
+    }
+    tp.weightsResident = super_bits_max / 8 <= cfg_.wmemBytes;
+
+    // Weights are read from DRAM once per m-super when resident;
+    // otherwise each n-tile pass must re-stream the super's slices.
+    std::uint64_t w_dram = tp.wBytesCompressed;
+    if (!tp.weightsResident)
+        w_dram *= tp.nTiles;
+
+    // --- Activation residency ---
+    tp.actsResident = tp.xBytesCompressed <= cfg_.amemBytes;
+    std::uint64_t x_dram = tp.xBytesCompressed;
+    if (!tp.actsResident)
+        x_dram *= tp.mSupers;
+
+    tp.dramReadBytes = w_dram + x_dram;
+    tp.dramWriteBytes = tp.outBytes;
+
+    // --- On-chip traffic ---
+    // WMEM: written at fill, read once per n-tile per m-super pass.
+    // AMEM: written at fill, read once per m-super pass.
+    // OMEM: written once and drained to DRAM.
+    tp.sramWriteBytes = w_dram + x_dram + tp.outBytes;
+    tp.sramReadBytes = tp.wBytesCompressed * tp.nTiles +
+                       tp.xBytesCompressed * tp.mSupers + tp.outBytes;
+    return tp;
+}
+
+} // namespace panacea

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Memory manager (paper Fig. 11): plans operand residency in WMEM/AMEM/
+ * OMEM, derives the external (DRAM) and on-chip (SRAM) traffic of the
+ * tiled output-stationary dataflow of Fig. 12, and evaluates the DTP
+ * enable condition ("WMEM can store the slices of the 2TM x K weight
+ * tile at once").
+ */
+
+#ifndef PANACEA_ARCH_MEMORY_MANAGER_H
+#define PANACEA_ARCH_MEMORY_MANAGER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/config.h"
+#include "arch/workload.h"
+
+namespace panacea {
+
+/** Traffic plan for one workload on Panacea. */
+struct TrafficPlan
+{
+    bool dtpEnabled = false;
+    bool weightsResident = false; ///< TM x K tile fits WMEM
+    bool actsResident = false;    ///< whole activation fits AMEM
+    std::uint64_t mSupers = 0;    ///< outer-loop weight passes
+    std::uint64_t nTiles = 0;
+    std::uint64_t dramReadBytes = 0;
+    std::uint64_t dramWriteBytes = 0;
+    std::uint64_t sramReadBytes = 0;
+    std::uint64_t sramWriteBytes = 0;
+    std::uint64_t wBytesCompressed = 0; ///< whole compressed weight
+    std::uint64_t xBytesCompressed = 0; ///< whole compressed activation
+    std::uint64_t outBytes = 0;
+};
+
+/**
+ * Plans traffic for the Panacea dataflow.
+ */
+class MemoryManager
+{
+  public:
+    explicit MemoryManager(const PanaceaConfig &cfg) : cfg_(cfg) {}
+
+    /** Compute the full traffic plan for a workload. */
+    TrafficPlan plan(const GemmWorkload &wl) const;
+
+    /**
+     * Compressed bits of the weight rows [row_group_begin,
+     * row_group_end) across all K: stored HO vectors (4v + index bits
+     * each) plus dense LO planes.
+     */
+    std::uint64_t weightBits(const GemmWorkload &wl,
+                             std::size_t row_group_begin,
+                             std::size_t row_group_end) const;
+
+    /** Compressed bits of the whole activation operand. */
+    std::uint64_t activationBits(const GemmWorkload &wl) const;
+
+  private:
+    PanaceaConfig cfg_;
+};
+
+} // namespace panacea
+
+#endif // PANACEA_ARCH_MEMORY_MANAGER_H

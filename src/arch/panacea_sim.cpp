@@ -1,0 +1,148 @@
+#include "arch/panacea_sim.h"
+
+#include <algorithm>
+
+#include "arch/pea.h"
+#include "arch/ppu.h"
+#include "arch/scheduler.h"
+#include "sim/dram.h"
+#include "util/logging.h"
+
+namespace panacea {
+
+PanaceaSimulator::PanaceaSimulator(PanaceaConfig cfg, EnergyModel energy)
+    : cfg_(cfg), energy_(energy)
+{
+    cfg_.validate();
+}
+
+std::string
+PanaceaSimulator::name() const
+{
+    std::string n = "Panacea(" + std::to_string(cfg_.dwosPerPea) + "D" +
+                    std::to_string(cfg_.swosPerPea) + "S";
+    if (cfg_.enableDtp)
+        n += "+DTP";
+    n += ")";
+    return n;
+}
+
+TrafficPlan
+PanaceaSimulator::planTraffic(const GemmWorkload &wl) const
+{
+    return MemoryManager(cfg_).plan(wl);
+}
+
+PerfResult
+PanaceaSimulator::run(const GemmWorkload &wl) const
+{
+    panic_if(wl.m % cfg_.v != 0 || wl.n % cfg_.v != 0,
+             "workload M/N must be divisible by v");
+
+    MemoryManager mem(cfg_);
+    TrafficPlan plan = mem.plan(wl);
+    XccTable xcc = XccTable::build(wl, cfg_.tileN, cfg_.v);
+    PeaScheduler scheduler(cfg_.dwosPerPea, cfg_.swosPerPea);
+
+    const std::size_t groups_per_tile =
+        static_cast<std::size_t>(cfg_.tileM / cfg_.v);
+    const std::size_t total_groups =
+        wl.m / static_cast<std::size_t>(cfg_.v);
+    const std::size_t m_tiles =
+        (total_groups + groups_per_tile - 1) / groups_per_tile;
+    const bool compensate = cfg_.actSkip == ActSkipMode::RValued;
+
+    std::uint64_t compute_cycles = 0;
+    PeaWork total_work;
+
+    const std::size_t tile_stride = plan.dtpEnabled ? 2 : 1;
+    for (std::size_t t0 = 0; t0 < m_tiles; t0 += tile_stride) {
+        const bool has_second = plan.dtpEnabled && t0 + 1 < m_tiles;
+        for (std::size_t nt = 0; nt < xcc.tiles(); ++nt) {
+            std::uint64_t tile_cycles = 0;
+            for (int p = 0; p < cfg_.numPeas; ++p) {
+                PeaTileWork sched_work;
+                std::size_t g_a = t0 * groups_per_tile +
+                                  static_cast<std::size_t>(p);
+                if (g_a < total_groups) {
+                    PeaWork a = countPeaWork(wl, xcc, g_a, nt, cfg_.v,
+                                             compensate);
+                    sched_work.dynOps = a.dynExec;
+                    sched_work.statOps = a.statExec;
+                    total_work += a;
+                }
+                if (has_second) {
+                    std::size_t g_b = (t0 + 1) * groups_per_tile +
+                                      static_cast<std::size_t>(p);
+                    if (g_b < total_groups) {
+                        PeaWork b = countPeaWork(wl, xcc, g_b, nt, cfg_.v,
+                                                 compensate);
+                        sched_work.dynOps += b.dynExec;
+                        sched_work.statOps2 = b.statExec;
+                        total_work += b;
+                    }
+                }
+                tile_cycles = std::max(
+                    tile_cycles,
+                    scheduler.makespan(sched_work, plan.dtpEnabled));
+            }
+            compute_cycles += tile_cycles;
+        }
+    }
+
+    // --- Assemble counters ---
+    OpCounters c;
+    const std::uint64_t vv = static_cast<std::uint64_t>(cfg_.v) *
+                             static_cast<std::uint64_t>(cfg_.v);
+    const std::uint64_t executed = total_work.dynExec + total_work.statExec;
+    c.mults4b = executed * vv + total_work.compMults;
+    c.adds = executed * vv +
+             (cfg_.useEq6 ? total_work.compAddsEq6 : total_work.compAddsEq5);
+    c.shifts = executed;  // one S-ACC shift per outer product result
+    c.ppuOps = ppuOpsFor(static_cast<std::uint64_t>(wl.m) * wl.n);
+    c.sramReadBytes = plan.sramReadBytes;
+    c.sramWriteBytes = plan.sramWriteBytes;
+    c.dramReadBytes = plan.dramReadBytes;
+    c.dramWriteBytes = plan.dramWriteBytes;
+    if (!cfg_.useEq6) {
+        // Eq. (5) compensation re-loads the weight slices of compressed
+        // columns: count the extra external traffic.
+        c.dramReadBytes += total_work.compAddsEq5 / 2;  // nibbles -> bytes
+    }
+    c.usefulMacs = static_cast<std::uint64_t>(wl.m) * wl.k * wl.n;
+
+    DramModel dram(cfg_.dramBytesPerCycle);
+    const std::uint64_t dram_cycles =
+        dram.cyclesFor(c.dramReadBytes + c.dramWriteBytes);
+    // Double-buffered DMA overlaps with compute; a small prologue covers
+    // the first tile's fill.
+    c.cycles = std::max(compute_cycles, dram_cycles) + 256;
+
+    c.scale(wl.repeat);
+
+    PerfResult result;
+    result.accelerator = name();
+    result.workload = wl.name;
+    result.counters = c;
+    result.energy = energy_.compute(c);
+    result.clockGhz = cfg_.clockGhz;
+    result.multipliers = cfg_.totalMultipliers();
+    return result;
+}
+
+PerfResult
+PanaceaSimulator::runAll(std::span<const GemmWorkload> layers,
+                         const std::string &workload_name) const
+{
+    panic_if(layers.empty(), "runAll on empty layer list");
+    PerfResult total;
+    total.accelerator = name();
+    total.workload = workload_name;
+    total.clockGhz = cfg_.clockGhz;
+    total.multipliers = cfg_.totalMultipliers();
+    for (const GemmWorkload &wl : layers)
+        total += run(wl);
+    return total;
+}
+
+} // namespace panacea

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The Panacea accelerator cycle simulator (paper §III-D, Fig. 11-12):
+ * output-stationary tiled dataflow over 16 PEAs with DWO/SWO operator
+ * banks, compensators, S-ACCs, a PPU and double-tile processing, with a
+ * bandwidth-limited DRAM channel and WMEM/AMEM/OMEM partitions.
+ *
+ * The simulator consumes compression masks only (see workload.h);
+ * functional correctness of the skipped arithmetic is established by the
+ * exactness-tested core engines.
+ */
+
+#ifndef PANACEA_ARCH_PANACEA_SIM_H
+#define PANACEA_ARCH_PANACEA_SIM_H
+
+#include <span>
+#include <string>
+
+#include "arch/config.h"
+#include "arch/memory_manager.h"
+#include "arch/workload.h"
+#include "sim/energy_model.h"
+#include "sim/perf_stats.h"
+
+namespace panacea {
+
+/**
+ * Cycle-level performance simulator for Panacea.
+ */
+class PanaceaSimulator
+{
+  public:
+    /** @param cfg hardware configuration  @param energy energy model. */
+    explicit PanaceaSimulator(PanaceaConfig cfg = PanaceaConfig{},
+                              EnergyModel energy = EnergyModel{});
+
+    /** Simulate one GEMM workload. */
+    PerfResult run(const GemmWorkload &wl) const;
+
+    /** Simulate a sequence of layers and merge the results. */
+    PerfResult runAll(std::span<const GemmWorkload> layers,
+                      const std::string &workload_name) const;
+
+    /** @return the hardware configuration. */
+    const PanaceaConfig &config() const { return cfg_; }
+
+    /** @return the traffic plan the memory manager would produce. */
+    TrafficPlan planTraffic(const GemmWorkload &wl) const;
+
+    /** @return design name used in reports. */
+    std::string name() const;
+
+  private:
+    PanaceaConfig cfg_;
+    EnergyModel energy_;
+};
+
+} // namespace panacea
+
+#endif // PANACEA_ARCH_PANACEA_SIM_H

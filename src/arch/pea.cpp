@@ -1,0 +1,85 @@
+#include "arch/pea.h"
+
+#include "util/logging.h"
+
+namespace panacea {
+
+XccTable
+XccTable::build(const GemmWorkload &wl, int tile_n, int v)
+{
+    panic_if(tile_n % v != 0, "tile N must be a multiple of v");
+    const std::size_t n_groups = wl.n / static_cast<std::size_t>(v);
+    const std::size_t groups_per_tile =
+        static_cast<std::size_t>(tile_n / v);
+    const std::size_t tiles =
+        (n_groups + groups_per_tile - 1) / groups_per_tile;
+
+    XccTable table;
+    table.counts_ = Matrix<std::uint32_t>(wl.k, tiles);
+    table.groups_.resize(tiles);
+    for (std::size_t t = 0; t < tiles; ++t) {
+        std::size_t g0 = t * groups_per_tile;
+        std::size_t g1 = std::min(n_groups, g0 + groups_per_tile);
+        table.groups_[t] = static_cast<std::uint32_t>(g1 - g0);
+    }
+    for (std::size_t k = 0; k < wl.k; ++k) {
+        for (std::size_t t = 0; t < tiles; ++t) {
+            std::size_t g0 = t * groups_per_tile;
+            std::size_t g1 = std::min(n_groups, g0 + groups_per_tile);
+            std::uint32_t c = 0;
+            for (std::size_t g = g0; g < g1; ++g)
+                c += wl.xMask(k, g);
+            table.counts_(k, t) = c;
+        }
+    }
+    return table;
+}
+
+PeaWork
+countPeaWork(const GemmWorkload &wl, const XccTable &xcc,
+             std::size_t row_group, std::size_t n_tile, int v,
+             bool compensate)
+{
+    PeaWork work;
+    const std::uint64_t g = xcc.groups(n_tile);
+    const bool w_skippable = wl.weightHoSkippable;
+    const std::uint64_t w_lo =
+        static_cast<std::uint64_t>(wl.wLevels) - (w_skippable ? 1 : 0);
+    const std::uint64_t x_lo = static_cast<std::uint64_t>(wl.xLevels) - 1;
+    const std::uint64_t vv = static_cast<std::uint64_t>(v);
+    const std::uint64_t w_levels = static_cast<std::uint64_t>(wl.wLevels);
+
+    for (std::size_t k = 0; k < wl.k; ++k) {
+        const bool wc = w_skippable && wl.wMask(row_group, k) != 0;
+        const std::uint64_t xs = xcc.skippable(k, n_tile);
+
+        if (w_skippable) {
+            if (!wc) {
+                // HO x HO at uncompressed activation groups; HO x LO
+                // everywhere.
+                work.dynExec += (g - xs) + g * x_lo;
+                work.dynSkipped += xs;
+            } else {
+                work.dynSkipped += g + g * x_lo;
+            }
+        }
+        // LO x HO products, skippable on the activation side only.
+        work.dynExec += w_lo * (g - xs);
+        work.dynSkipped += w_lo * xs;
+        // LO x LO products: dense static work.
+        work.statExec += w_lo * x_lo * g;
+
+        if (compensate) {
+            work.compAddsEq6 += (g - xs) * vv * w_levels;
+            work.compAddsEq5 += xs * vv * w_levels;
+        }
+    }
+    if (compensate) {
+        // One v x v compensation outer product per output block at the
+        // end of the K reduction.
+        work.compMults += g * vv * vv;
+    }
+    return work;
+}
+
+} // namespace panacea

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Per-PEA workload counting: translates compression masks into executed/
+ * skipped outer-product counts for one PEA band over one output tile.
+ *
+ * Work classification is structural (paper §III-D): any product touching
+ * an HO slice plane is dynamic (DWO work, skippable at run time); the
+ * all-LO products are static (SWO work, always dense). With 4-bit
+ * weights (n = 0) the single weight slice is a dense LO slice, so all
+ * its products with x_HO are dynamic and with x_LO static.
+ */
+
+#ifndef PANACEA_ARCH_PEA_H
+#define PANACEA_ARCH_PEA_H
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/workload.h"
+#include "util/matrix.h"
+
+namespace panacea {
+
+/**
+ * Per-(k, n-tile) counts of skippable activation vectors, precomputed so
+ * PEA counting is O(K) per tile instead of O(K * TN/v).
+ */
+class XccTable
+{
+  public:
+    /** Build from a workload for the given tile width. */
+    static XccTable build(const GemmWorkload &wl, int tile_n, int v);
+
+    /** @return compressed activation vectors at (k, tile). */
+    std::uint32_t
+    skippable(std::size_t k, std::size_t n_tile) const
+    {
+        return counts_(k, n_tile);
+    }
+
+    /** @return number of v-column groups in a tile (last may be short). */
+    std::uint32_t groups(std::size_t n_tile) const
+    {
+        return groups_[n_tile];
+    }
+
+    /** @return number of n tiles. */
+    std::size_t tiles() const { return groups_.size(); }
+
+  private:
+    Matrix<std::uint32_t> counts_;
+    std::vector<std::uint32_t> groups_;
+};
+
+/** Outer-product counts of one PEA band over one (full-K) output tile. */
+struct PeaWork
+{
+    std::uint64_t dynExec = 0;   ///< executed dynamic outer products
+    std::uint64_t statExec = 0;  ///< executed static outer products
+    std::uint64_t dynSkipped = 0;
+    std::uint64_t compAddsEq6 = 0; ///< CS adds, Eq. (6) (uncompressed k)
+    std::uint64_t compAddsEq5 = 0; ///< CS adds, Eq. (5) (compressed k)
+    std::uint64_t compMults = 0;   ///< CS outer-product multiplies
+
+    PeaWork &
+    operator+=(const PeaWork &o)
+    {
+        dynExec += o.dynExec;
+        statExec += o.statExec;
+        dynSkipped += o.dynSkipped;
+        compAddsEq6 += o.compAddsEq6;
+        compAddsEq5 += o.compAddsEq5;
+        compMults += o.compMults;
+        return *this;
+    }
+};
+
+/**
+ * Count one PEA band's work for output tile column nt over the full K
+ * reduction.
+ *
+ * @param wl         the workload
+ * @param xcc        precomputed activation compression counts
+ * @param row_group  the PEA's global v-row band index
+ * @param n_tile     output tile column
+ * @param v          slice-vector length
+ * @param compensate whether r-valued skipping (and thus the CS) is active
+ */
+PeaWork countPeaWork(const GemmWorkload &wl, const XccTable &xcc,
+                     std::size_t row_group, std::size_t n_tile, int v,
+                     bool compensate);
+
+} // namespace panacea
+
+#endif // PANACEA_ARCH_PEA_H

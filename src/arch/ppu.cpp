@@ -1,0 +1,126 @@
+#include "arch/ppu.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace panacea {
+
+const char *
+toString(Nonlinearity f)
+{
+    switch (f) {
+      case Nonlinearity::None: return "none";
+      case Nonlinearity::Relu: return "relu";
+      case Nonlinearity::Gelu: return "gelu";
+    }
+    return "?";
+}
+
+float
+geluExact(float x)
+{
+    constexpr float k = 0.7978845608f;  // sqrt(2/pi)
+    return 0.5f * x *
+           (1.0f + std::tanh(k * (x + 0.044715f * x * x * x)));
+}
+
+namespace {
+
+/** PWL breakpoint table: 32 uniform segments over [-4, 4]. */
+struct PwlTable
+{
+    static constexpr int segments = 32;
+    static constexpr float lo = -4.0f;
+    static constexpr float hi = 4.0f;
+    std::array<float, segments + 1> y;
+
+    PwlTable()
+    {
+        for (int i = 0; i <= segments; ++i) {
+            float x = lo + (hi - lo) * static_cast<float>(i) / segments;
+            y[static_cast<std::size_t>(i)] = geluExact(x);
+        }
+    }
+};
+
+const PwlTable pwlTable;
+
+} // namespace
+
+float
+pwlGelu(float x)
+{
+    if (x <= PwlTable::lo)
+        return 0.0f;
+    if (x >= PwlTable::hi)
+        return x;
+    float t = (x - PwlTable::lo) / (PwlTable::hi - PwlTable::lo) *
+              PwlTable::segments;
+    int seg = std::min(static_cast<int>(t), PwlTable::segments - 1);
+    float frac = t - static_cast<float>(seg);
+    float y0 = pwlTable.y[static_cast<std::size_t>(seg)];
+    float y1 = pwlTable.y[static_cast<std::size_t>(seg) + 1];
+    return y0 + (y1 - y0) * frac;
+}
+
+MatrixF
+applyNonlinearityPwl(const MatrixF &input, Nonlinearity f)
+{
+    MatrixF out(input.rows(), input.cols());
+    auto src = input.data();
+    auto dst = out.data();
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        switch (f) {
+          case Nonlinearity::None: dst[i] = src[i]; break;
+          case Nonlinearity::Relu: dst[i] = std::max(0.0f, src[i]); break;
+          case Nonlinearity::Gelu: dst[i] = pwlGelu(src[i]); break;
+        }
+    }
+    return out;
+}
+
+MatrixF
+applyNonlinearityExact(const MatrixF &input, Nonlinearity f)
+{
+    MatrixF out(input.rows(), input.cols());
+    auto src = input.data();
+    auto dst = out.data();
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        switch (f) {
+          case Nonlinearity::None: dst[i] = src[i]; break;
+          case Nonlinearity::Relu: dst[i] = std::max(0.0f, src[i]); break;
+          case Nonlinearity::Gelu: dst[i] = geluExact(src[i]); break;
+        }
+    }
+    return out;
+}
+
+MatrixI32
+requantize(const MatrixI64 &acc, double acc_scale, const QuantParams &out)
+{
+    MatrixI32 codes(acc.rows(), acc.cols());
+    const double rescale = acc_scale / out.scale;
+    for (std::size_t r = 0; r < acc.rows(); ++r) {
+        for (std::size_t c = 0; c < acc.cols(); ++c) {
+            std::int64_t code = static_cast<std::int64_t>(std::llround(
+                static_cast<double>(acc(r, c)) * rescale)) + out.zeroPoint;
+            codes(r, c) = static_cast<std::int32_t>(
+                std::clamp<std::int64_t>(code, out.codeMin(),
+                                         out.codeMax()));
+        }
+    }
+    return codes;
+}
+
+std::uint64_t
+ppuOpsFor(std::uint64_t elements)
+{
+    // Per element: final add (bit-slice + CS outputs), one PWL segment
+    // evaluation, one requantization multiply-round, slicing/RLE amortized.
+    return 3 * elements;
+}
+
+} // namespace panacea

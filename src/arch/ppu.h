@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Post-Processing Unit (PPU, paper Fig. 11): adds the bit-slice and
+ * compensator outputs, applies a piecewise-linear non-linearity,
+ * re-quantizes, re-slices, compresses HO slices and RLE-encodes the
+ * result for the next layer.
+ *
+ * The functional pieces here (PWL GELU/ReLU and integer requantization)
+ * are shared between the hardware-fidelity tests and the model pipeline;
+ * the cost model feeds the cycle simulator's energy counters.
+ */
+
+#ifndef PANACEA_ARCH_PPU_H
+#define PANACEA_ARCH_PPU_H
+
+#include <cstdint>
+
+#include "quant/quant_params.h"
+#include "util/matrix.h"
+
+namespace panacea {
+
+/** Non-linearities the PPU supports. */
+enum class Nonlinearity { None, Relu, Gelu };
+
+/** @return printable name. */
+const char *toString(Nonlinearity f);
+
+/** Exact GELU (tanh approximation, the common DNN form). */
+float geluExact(float x);
+
+/**
+ * Piecewise-linear GELU over 32 segments in [-4, 4] (identity above,
+ * zero below), as the PPU's low-cost approximation. Max absolute error
+ * below 8e-3 in the active range.
+ */
+float pwlGelu(float x);
+
+/** Apply a non-linearity element-wise (PWL hardware form). */
+MatrixF applyNonlinearityPwl(const MatrixF &input, Nonlinearity f);
+
+/** Apply the exact non-linearity element-wise (reference). */
+MatrixF applyNonlinearityExact(const MatrixF &input, Nonlinearity f);
+
+/**
+ * Integer requantization: map an accumulator on grid acc_scale to codes
+ * of the next layer's quantizer: clip(round(acc * acc_scale / s') + zp).
+ */
+MatrixI32 requantize(const MatrixI64 &acc, double acc_scale,
+                     const QuantParams &out);
+
+/** PPU operation count for one output tile (energy proxy). */
+std::uint64_t ppuOpsFor(std::uint64_t elements);
+
+} // namespace panacea
+
+#endif // PANACEA_ARCH_PPU_H

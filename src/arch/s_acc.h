@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shift-and-accumulate unit (S-ACC, paper Fig. 11): combines the partial
+ * sums of the four bit-slice GEMMs by shifting each outer-product result
+ * according to its slice levels (and the layer's DBS type) before
+ * accumulation. DBS is "simply implemented by properly shifting the
+ * outputs of AQS-GEMM" - this unit is that shifter.
+ */
+
+#ifndef PANACEA_ARCH_S_ACC_H
+#define PANACEA_ARCH_S_ACC_H
+
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace panacea {
+
+/**
+ * A single shift-and-accumulate register.
+ */
+class ShiftAccumulator
+{
+  public:
+    /** Accumulate a raw 4b x 4b outer-product partial sum. */
+    void
+    accumulate(std::int64_t partial, int shift)
+    {
+        panic_if(shift < 0 || shift > 16, "S-ACC shift ", shift,
+                 " out of range");
+        value_ += partial << shift;
+        ++shiftsPerformed_;
+    }
+
+    /** @return the accumulated value. */
+    std::int64_t value() const { return value_; }
+
+    /** @return number of shift operations performed (energy proxy). */
+    std::uint64_t shiftsPerformed() const { return shiftsPerformed_; }
+
+    /** Clear the accumulator for the next output tile. */
+    void
+    reset()
+    {
+        value_ = 0;
+        shiftsPerformed_ = 0;
+    }
+
+  private:
+    std::int64_t value_ = 0;
+    std::uint64_t shiftsPerformed_ = 0;
+};
+
+/**
+ * @return the S-ACC shift amount for a product of a weight slice at
+ * shift w_shift and an activation slice at shift x_shift (the DBS type
+ * is already baked into the activation plane shifts).
+ */
+constexpr int
+sAccShift(int w_shift, int x_shift)
+{
+    return w_shift + x_shift;
+}
+
+} // namespace panacea
+
+#endif // PANACEA_ARCH_S_ACC_H

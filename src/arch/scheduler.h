@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The per-PEA workload scheduler (paper Fig. 11): allocates outer
+ * products of uncompressed slice-vector pairs onto the dynamic (DWO) and
+ * static (SWO) operator banks and determines the tile makespan.
+ *
+ * Scheduling constraints:
+ *  - dynamic outer products (any product touching an HO slice) run only
+ *    on DWOs;
+ *  - static outer products (W_LO x x_LO) of the primary tile run on
+ *    SWOs;
+ *  - under DTP, the second tile's static products may run on either bank
+ *    (the paper: "outer products of W_LO x_LO for the second weight
+ *    sub-tile can be allocated to DWOs").
+ *
+ * The closed-form makespan equals the greedy list-scheduling result up
+ * to integer rounding; both are implemented and cross-checked in tests.
+ */
+
+#ifndef PANACEA_ARCH_SCHEDULER_H
+#define PANACEA_ARCH_SCHEDULER_H
+
+#include <cstdint>
+
+namespace panacea {
+
+/** Outer-product workload of one PEA for one tile (or tile pair). */
+struct PeaTileWork
+{
+    std::uint64_t dynOps = 0;    ///< DWO-only outer products
+    std::uint64_t statOps = 0;   ///< primary tile's static products
+    std::uint64_t statOps2 = 0;  ///< DTP second tile's static products
+};
+
+/**
+ * Workload scheduler for one PEA.
+ */
+class PeaScheduler
+{
+  public:
+    /** @param dwos number of DWOs  @param swos number of SWOs. */
+    PeaScheduler(int dwos, int swos);
+
+    /**
+     * Closed-form makespan (cycles) of a tile's work.
+     * Without DTP, statOps2 must be zero.
+     */
+    std::uint64_t makespan(const PeaTileWork &work, bool dtp) const;
+
+    /**
+     * Discrete greedy list-scheduling simulation, cycle by cycle.
+     * Used to validate the closed form; O(cycles).
+     */
+    std::uint64_t simulateGreedy(const PeaTileWork &work, bool dtp) const;
+
+  private:
+    int dwos_;
+    int swos_;
+};
+
+} // namespace panacea
+
+#endif // PANACEA_ARCH_SCHEDULER_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Functional tiled executor: computes the AQS-GEMM by walking the exact
+ * output-stationary tile traversal of the cycle simulator (paper
+ * Fig. 12) - m-supers (with DTP pairing), n-tiles, PEA row bands, the
+ * K reduction, and the hardware Compensator units for the Eq. (6) term.
+ *
+ * Its result must equal the reference engine (aqsGemm) bit-for-bit:
+ * this is the "dataflow conservation" invariant (DESIGN.md §5.6) - every
+ * scheduled outer product is executed exactly once and accumulation
+ * order never changes the integer result.
+ */
+
+#ifndef PANACEA_ARCH_TILED_EXECUTOR_H
+#define PANACEA_ARCH_TILED_EXECUTOR_H
+
+#include "arch/config.h"
+#include "core/aqs_gemm.h"
+#include "util/matrix.h"
+
+namespace panacea {
+
+/** Per-run statistics of the tiled traversal. */
+struct TiledExecutionStats
+{
+    std::uint64_t tilesVisited = 0;
+    std::uint64_t bandsProcessed = 0;
+    std::uint64_t outerProducts = 0;     ///< executed (matches AqsStats)
+    std::uint64_t compensations = 0;     ///< CS finish operations
+    bool dtpUsed = false;
+};
+
+/**
+ * Execute the AQS-GEMM through the Panacea tile traversal.
+ *
+ * @param w    prepared weight operand (SBR planes + masks)
+ * @param x    prepared activation operand (planes + masks + r)
+ * @param cfg  hardware configuration (tiling + DTP)
+ * @return the bit-exact integer accumulator W * x.
+ */
+MatrixI64 executeTiled(const WeightOperand &w, const ActivationOperand &x,
+                       const PanaceaConfig &cfg,
+                       TiledExecutionStats *stats = nullptr);
+
+} // namespace panacea
+
+#endif // PANACEA_ARCH_TILED_EXECUTOR_H

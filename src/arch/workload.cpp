@@ -1,0 +1,78 @@
+#include "arch/workload.h"
+
+#include "slicing/sparsity.h"
+#include "util/logging.h"
+
+namespace panacea {
+
+double
+GemmWorkload::rhoW() const
+{
+    if (!weightHoSkippable)
+        return 0.0;
+    return maskDensityOfOnes(wMask);
+}
+
+double
+GemmWorkload::rhoX() const
+{
+    return maskDensityOfOnes(xMask);
+}
+
+std::uint64_t
+GemmWorkload::usefulMacs() const
+{
+    return static_cast<std::uint64_t>(m) * k * n * repeat;
+}
+
+GemmWorkload
+GemmWorkload::fromOperands(std::string name, const WeightOperand &w,
+                           const ActivationOperand &x, int v,
+                           std::uint64_t repeat)
+{
+    GemmWorkload wl;
+    wl.name = std::move(name);
+    wl.m = w.sliced.rows();
+    wl.k = w.sliced.cols();
+    wl.n = x.sliced.cols();
+    panic_if(x.sliced.rows() != wl.k, "operand shape mismatch");
+    wl.wLevels = static_cast<int>(w.sliced.levels());
+    wl.xLevels = static_cast<int>(x.sliced.levels());
+    wl.weightBits = w.sliced.sourceBits;
+    wl.actBits = x.sliced.sourceBits;
+    // With a single 4-bit weight slice (n=0) the paper treats the slice
+    // as a dense LO slice: there is no weight HO plane to skip.
+    wl.weightHoSkippable = wl.wLevels >= 2;
+    wl.wMask = w.hoMask;
+    wl.xMask = x.hoMask;
+    wl.repeat = repeat;
+    (void)v;
+    return wl;
+}
+
+GemmWorkload
+GemmWorkload::synthetic(std::string name, std::size_t m, std::size_t k,
+                        std::size_t n, double rho_w, double rho_x, int v,
+                        Rng &rng, std::uint64_t repeat)
+{
+    panic_if(m % v != 0 || n % v != 0, "synthetic workload M/N must be "
+             "divisible by v");
+    panic_if(rho_w < 0.0 || rho_w > 1.0 || rho_x < 0.0 || rho_x > 1.0,
+             "sparsities must lie in [0,1]");
+
+    GemmWorkload wl;
+    wl.name = std::move(name);
+    wl.m = m;
+    wl.k = k;
+    wl.n = n;
+    wl.repeat = repeat;
+    wl.wMask = MatrixU8(m / v, k);
+    for (auto &cell : wl.wMask.data())
+        cell = rng.bernoulli(rho_w) ? 1 : 0;
+    wl.xMask = MatrixU8(k, n / v);
+    for (auto &cell : wl.xMask.data())
+        cell = rng.bernoulli(rho_x) ? 1 : 0;
+    return wl;
+}
+
+} // namespace panacea

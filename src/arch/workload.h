@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The GEMM workload descriptor consumed by the cycle simulators.
+ *
+ * The cycle layer never touches slice values: all scheduling and traffic
+ * decisions depend only on the compression masks (which HO vectors are
+ * elided) and the operand geometry. Functional correctness is the
+ * province of the exactness-tested core engines; the descriptors here
+ * are produced from the very same prepared operands.
+ */
+
+#ifndef PANACEA_ARCH_WORKLOAD_H
+#define PANACEA_ARCH_WORKLOAD_H
+
+#include <cstdint>
+#include <string>
+
+#include "core/aqs_gemm.h"
+#include "util/matrix.h"
+#include "util/random.h"
+
+namespace panacea {
+
+/** One GEMM's worth of work for an accelerator simulator. */
+struct GemmWorkload
+{
+    std::string name;       ///< layer label (for reports)
+    std::size_t m = 0;      ///< output rows
+    std::size_t k = 0;      ///< reduction depth
+    std::size_t n = 0;      ///< output columns
+    int wLevels = 2;        ///< weight slice planes (n+1)
+    int xLevels = 2;        ///< activation slice planes (k+1)
+    int weightBits = 7;     ///< source weight code width
+    int actBits = 8;        ///< source activation code width
+    bool weightHoSkippable = true; ///< false when n=0 (single LO slice)
+    MatrixU8 wMask;         ///< (M/v) x K compressed weight HO vectors
+    MatrixU8 xMask;         ///< K x (N/v) compressed activation HO vectors
+    std::uint64_t repeat = 1; ///< identical layer multiplicity
+
+    /** @return measured weight HO vector sparsity. */
+    double rhoW() const;
+    /** @return measured activation HO vector sparsity. */
+    double rhoX() const;
+    /** @return dense-equivalent MAC count (m*k*n*repeat). */
+    std::uint64_t usefulMacs() const;
+
+    /**
+     * Build from prepared AQS-GEMM operands (the exactness-tested path).
+     */
+    static GemmWorkload fromOperands(std::string name,
+                                     const WeightOperand &w,
+                                     const ActivationOperand &x, int v,
+                                     std::uint64_t repeat = 1);
+
+    /**
+     * Synthesize a workload with iid Bernoulli compression masks of the
+     * given vector sparsities (for the Fig. 13 design sweeps).
+     */
+    static GemmWorkload synthetic(std::string name, std::size_t m,
+                                  std::size_t k, std::size_t n,
+                                  double rho_w, double rho_x, int v,
+                                  Rng &rng, std::uint64_t repeat = 1);
+};
+
+} // namespace panacea
+
+#endif // PANACEA_ARCH_WORKLOAD_H

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Common interface of all accelerator performance models. Every design
+ * is normalized to the paper's comparison point (§IV): 3072 4b x 4b
+ * multiplier equivalents (one 8b x 8b multiplier counts as four), 192 KB
+ * of on-chip SRAM and a 256-bit/cycle DRAM channel.
+ */
+
+#ifndef PANACEA_BASELINES_ACCELERATOR_H
+#define PANACEA_BASELINES_ACCELERATOR_H
+
+#include <span>
+#include <string>
+
+#include "arch/workload.h"
+#include "sim/perf_stats.h"
+
+namespace panacea {
+
+/** Shared resource normalization of the paper's evaluation. */
+struct ResourceBudget
+{
+    int multipliers4b = 3072;
+    std::uint64_t sramBytes = 192 * 1024;
+    std::uint64_t dramBytesPerCycle = 32;
+    double clockGhz = 0.5;
+};
+
+/**
+ * Abstract accelerator performance model.
+ */
+class Accelerator
+{
+  public:
+    virtual ~Accelerator() = default;
+
+    /** @return the design's display name. */
+    virtual std::string name() const = 0;
+
+    /** Simulate one GEMM workload. */
+    virtual PerfResult run(const GemmWorkload &wl) const = 0;
+
+    /** Simulate a sequence of layers and merge the results. */
+    PerfResult
+    runAll(std::span<const GemmWorkload> layers,
+           const std::string &workload_name) const
+    {
+        PerfResult total;
+        total.accelerator = name();
+        total.workload = workload_name;
+        bool first = true;
+        for (const GemmWorkload &wl : layers) {
+            PerfResult r = run(wl);
+            if (first) {
+                total.clockGhz = r.clockGhz;
+                first = false;
+            }
+            total += r;
+        }
+        return total;
+    }
+};
+
+} // namespace panacea
+
+#endif // PANACEA_BASELINES_ACCELERATOR_H

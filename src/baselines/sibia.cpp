@@ -1,0 +1,142 @@
+#include "baselines/sibia.h"
+
+#include <algorithm>
+
+#include "arch/pea.h"
+#include "sim/dram.h"
+#include "util/logging.h"
+
+namespace panacea {
+
+namespace {
+
+std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+SibiaSimulator::SibiaSimulator(SibiaConfig cfg, EnergyModel energy)
+    : cfg_(cfg), energy_(energy)
+{
+    fatal_if(cfg.numPeas <= 0 || cfg.opcsPerPea <= 0,
+             "invalid Sibia configuration");
+    fatal_if(cfg.tileM != cfg.numPeas * cfg.v,
+             "Sibia TM must equal P*v");
+}
+
+PerfResult
+SibiaSimulator::run(const GemmWorkload &wl) const
+{
+    panic_if(wl.m % cfg_.v != 0 || wl.n % cfg_.v != 0,
+             "workload M/N must be divisible by v");
+
+    const std::uint64_t m = wl.m;
+    const std::uint64_t k = wl.k;
+    const std::uint64_t n = wl.n;
+    const std::uint64_t w_levels = static_cast<std::uint64_t>(wl.wLevels);
+    const std::uint64_t x_levels = static_cast<std::uint64_t>(wl.xLevels);
+
+    // Pick the sparser operand side; Sibia exploits only one (Table I:
+    // 32K(2 - max(rho_x, rho_w))).
+    const double rho_w = wl.rhoW();
+    const double rho_x = wl.rhoX();
+    const bool skip_weight = rho_w >= rho_x;
+
+    XccTable xcc = XccTable::build(wl, cfg_.tileN, cfg_.v);
+    const std::size_t groups_per_tile =
+        static_cast<std::size_t>(cfg_.tileM / cfg_.v);
+    const std::size_t total_groups =
+        wl.m / static_cast<std::size_t>(cfg_.v);
+    const std::size_t m_tiles =
+        (total_groups + groups_per_tile - 1) / groups_per_tile;
+
+    std::uint64_t compute_cycles = 0;
+    std::uint64_t executed_total = 0;
+    const std::uint64_t opcs = static_cast<std::uint64_t>(cfg_.opcsPerPea);
+
+    for (std::size_t t = 0; t < m_tiles; ++t) {
+        for (std::size_t nt = 0; nt < xcc.tiles(); ++nt) {
+            std::uint64_t tile_cycles = 0;
+            for (int p = 0; p < cfg_.numPeas; ++p) {
+                std::size_t g = t * groups_per_tile +
+                                static_cast<std::size_t>(p);
+                if (g >= total_groups)
+                    continue;
+                std::uint64_t exec = 0;
+                const std::uint64_t cols = xcc.groups(nt);
+                for (std::size_t kk = 0; kk < wl.k; ++kk) {
+                    std::uint64_t dense = cols * w_levels * x_levels;
+                    std::uint64_t skipped = 0;
+                    if (skip_weight) {
+                        if (wl.weightHoSkippable &&
+                            wl.wMask(g, kk) != 0) {
+                            skipped = cols * x_levels;
+                        }
+                    } else {
+                        skipped = static_cast<std::uint64_t>(
+                                      xcc.skippable(kk, nt)) * w_levels;
+                    }
+                    exec += dense - skipped;
+                }
+                executed_total += exec;
+                tile_cycles = std::max(tile_cycles, ceilDiv(exec, opcs));
+            }
+            compute_cycles += tile_cycles;
+        }
+    }
+
+    // --- Traffic: uncompressed DRAM format (packed source bit-width),
+    // dense slice storage on chip. ---
+    const std::uint64_t w_dram_bytes =
+        m * k * static_cast<std::uint64_t>(wl.weightBits) / 8 + 1;
+    const std::uint64_t x_dram_bytes =
+        k * n * static_cast<std::uint64_t>(wl.actBits) / 8 + 1;
+    const std::uint64_t w_sram_bytes = m * k * w_levels / 2;
+    const std::uint64_t x_sram_bytes = k * n * x_levels / 2;
+    const std::uint64_t out_bytes = m * n;
+
+    // Weight m-tile row (TM x K slices) resident in WMEM when it fits;
+    // otherwise weights re-stream each n-tile pass.
+    const std::uint64_t n_tiles = xcc.tiles();
+    const std::uint64_t w_tile_sram =
+        std::min<std::uint64_t>(m, cfg_.tileM) * k * w_levels / 2;
+    const std::uint64_t w_passes =
+        w_tile_sram <= cfg_.wmemBytes ? 1 : n_tiles;
+    const std::uint64_t x_passes =
+        x_sram_bytes <= cfg_.amemBytes ? 1 : m_tiles;
+
+    OpCounters c;
+    c.dramReadBytes = w_dram_bytes * w_passes + x_dram_bytes * x_passes;
+    c.dramWriteBytes = out_bytes;
+    c.sramWriteBytes = c.dramReadBytes + out_bytes;
+    c.sramReadBytes = w_sram_bytes * n_tiles + x_sram_bytes * m_tiles +
+                      out_bytes;
+
+    const std::uint64_t vv = static_cast<std::uint64_t>(cfg_.v) *
+                             static_cast<std::uint64_t>(cfg_.v);
+    c.mults4b = executed_total * vv;
+    c.adds = executed_total * vv;
+    c.shifts = executed_total;
+    c.ppuOps = 2 * m * n;
+    c.usefulMacs = m * k * n;
+
+    DramModel dram(cfg_.dramBytesPerCycle);
+    c.cycles = std::max(compute_cycles,
+                        dram.cyclesFor(c.dramReadBytes +
+                                       c.dramWriteBytes)) + 256;
+    c.scale(wl.repeat);
+
+    PerfResult result;
+    result.accelerator = name();
+    result.workload = wl.name;
+    result.counters = c;
+    result.energy = energy_.compute(c);
+    result.clockGhz = cfg_.clockGhz;
+    result.multipliers = cfg_.numPeas * cfg_.opcsPerPea * 16;
+    return result;
+}
+
+} // namespace panacea

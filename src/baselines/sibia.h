@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Sibia baseline (paper [53], HPCA'23): the previous-generation signed
+ * bit-slice accelerator. Symmetric quantization on both operands, SBR
+ * slicing, zero-HO-vector skipping on ONE operand side (whichever has
+ * the larger vector sparsity), uncompressed DRAM format, 12 uniform
+ * operators per PEA, no compensation and no DTP.
+ */
+
+#ifndef PANACEA_BASELINES_SIBIA_H
+#define PANACEA_BASELINES_SIBIA_H
+
+#include "baselines/accelerator.h"
+
+namespace panacea {
+
+/** Sibia hardware configuration. */
+struct SibiaConfig
+{
+    int numPeas = 16;
+    int opcsPerPea = 12;   ///< uniform operator banks (192 OPCs total)
+    int v = 4;
+    int tileM = 64;
+    int tileN = 64;
+    std::uint64_t wmemBytes = 160 * 1024;
+    std::uint64_t amemBytes = 16 * 1024;
+    std::uint64_t omemBytes = 16 * 1024;
+    std::uint64_t dramBytesPerCycle = 32;
+    double clockGhz = 0.5;
+};
+
+/**
+ * Cycle-level performance model of Sibia.
+ */
+class SibiaSimulator : public Accelerator
+{
+  public:
+    explicit SibiaSimulator(SibiaConfig cfg = SibiaConfig{},
+                            EnergyModel energy = EnergyModel{});
+
+    std::string name() const override { return "Sibia"; }
+    PerfResult run(const GemmWorkload &wl) const override;
+
+  private:
+    SibiaConfig cfg_;
+    EnergyModel energy_;
+};
+
+} // namespace panacea
+
+#endif // PANACEA_BASELINES_SIBIA_H

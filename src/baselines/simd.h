@@ -1,0 +1,37 @@
+/**
+ * @file
+ * SIMD baseline (paper §IV [59]): a dense 8-bit vector engine with
+ * per-vector scaled quantization, 768 8b MAC lanes (3072 4b x 4b
+ * equivalents) and a tiled dataflow with the same SRAM/DRAM budget as
+ * Panacea but uncompressed operands and no sparsity support.
+ */
+
+#ifndef PANACEA_BASELINES_SIMD_H
+#define PANACEA_BASELINES_SIMD_H
+
+#include "baselines/accelerator.h"
+
+namespace panacea {
+
+/**
+ * Dense SIMD vector-engine model.
+ */
+class SimdSimulator : public Accelerator
+{
+  public:
+    explicit SimdSimulator(ResourceBudget budget = ResourceBudget{},
+                           EnergyModel energy = EnergyModel{},
+                           int tile_m = 64);
+
+    std::string name() const override { return "SIMD"; }
+    PerfResult run(const GemmWorkload &wl) const override;
+
+  private:
+    ResourceBudget budget_;
+    EnergyModel energy_;
+    int tileM_;
+};
+
+} // namespace panacea
+
+#endif // PANACEA_BASELINES_SIMD_H

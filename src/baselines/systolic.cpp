@@ -1,0 +1,136 @@
+#include "baselines/systolic.h"
+
+#include <algorithm>
+
+#include "sim/dram.h"
+#include "util/logging.h"
+
+namespace panacea {
+
+namespace {
+
+std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+SystolicSimulator::SystolicSimulator(SystolicDataflow dataflow,
+                                     ResourceBudget budget, int rows,
+                                     int cols, EnergyModel energy)
+    : dataflow_(dataflow), budget_(budget), rows_(rows), cols_(cols),
+      energy_(energy)
+{
+    fatal_if(rows <= 0 || cols <= 0, "invalid systolic array shape");
+    fatal_if(rows * cols * 4 != budget.multipliers4b,
+             "systolic array ", rows, "x", cols,
+             " violates the multiplier budget of ", budget.multipliers4b);
+}
+
+std::string
+SystolicSimulator::name() const
+{
+    return dataflow_ == SystolicDataflow::WeightStationary ? "SA-WS"
+                                                           : "SA-OS";
+}
+
+PerfResult
+SystolicSimulator::run(const GemmWorkload &wl) const
+{
+    const std::uint64_t m = wl.m;
+    const std::uint64_t k = wl.k;
+    const std::uint64_t n = wl.n;
+    const std::uint64_t fill =
+        static_cast<std::uint64_t>(rows_) + static_cast<std::uint64_t>(cols_);
+
+    // Dense designs run 8-bit operands regardless of the bit-slice
+    // workload's native widths (paper §IV).
+    const std::uint64_t w_bytes = m * k;
+    const std::uint64_t x_bytes = k * n;
+    const std::uint64_t out_bytes = m * n;
+    const std::uint64_t half_sram = budget_.sramBytes / 2;
+
+    OpCounters c;
+    std::uint64_t compute_cycles = 0;
+
+    if (dataflow_ == SystolicDataflow::WeightStationary) {
+        // Array holds a rows x cols (M x K) weight block; activations
+        // stream through for all N columns. The N loop is chunked so a
+        // rows x n_chunk psum buffer always fits on chip; weights
+        // re-stream once per chunk when N exceeds one chunk.
+        const std::uint64_t m_blocks = ceilDiv(m, rows_);
+        const std::uint64_t k_blocks = ceilDiv(k, cols_);
+        const std::uint64_t n_chunk =
+            std::max<std::uint64_t>(1,
+                                    half_sram / (static_cast<std::uint64_t>(
+                                                     rows_) * 4));
+        const std::uint64_t n_chunks = ceilDiv(n, n_chunk);
+        compute_cycles = m_blocks * k_blocks * (n + n_chunks * fill);
+
+        const std::uint64_t w_passes =
+            w_bytes <= half_sram ? 1 : n_chunks;
+        c.dramReadBytes = w_bytes * w_passes;
+        // Activations re-streamed once per M block row unless the whole
+        // matrix is SRAM-resident.
+        const std::uint64_t x_passes =
+            x_bytes <= half_sram ? 1 : m_blocks;
+        c.dramReadBytes += x_bytes * x_passes;
+        c.sramWriteBytes = w_bytes * w_passes + x_bytes * x_passes;
+        c.sramReadBytes = w_bytes * n_chunks + x_bytes * m_blocks;
+
+        // Partial sums traverse the on-chip buffer across K blocks.
+        if (k_blocks > 1) {
+            const std::uint64_t psum_bytes =
+                out_bytes * 4 * (k_blocks - 1);
+            c.sramWriteBytes += psum_bytes;
+            c.sramReadBytes += psum_bytes;
+        }
+    } else {
+        // Output stationary: array accumulates a rows x cols (M x N)
+        // output block over the full K reduction.
+        const std::uint64_t m_blocks = ceilDiv(m, rows_);
+        const std::uint64_t n_blocks = ceilDiv(n, cols_);
+        compute_cycles = m_blocks * n_blocks * (k + fill);
+
+        // A row-block of weights (rows x K) can stay in SRAM and be
+        // reused across the N blocks; otherwise weights re-stream.
+        const std::uint64_t w_row_block = static_cast<std::uint64_t>(rows_) * k;
+        const std::uint64_t w_passes =
+            (w_bytes <= half_sram || w_row_block <= half_sram) ? 1
+                                                               : n_blocks;
+        const std::uint64_t x_passes =
+            x_bytes <= half_sram ? 1 : m_blocks;
+        c.dramReadBytes = w_bytes * w_passes + x_bytes * x_passes;
+        c.sramWriteBytes = c.dramReadBytes;
+        c.sramReadBytes = w_bytes * n_blocks + x_bytes * m_blocks;
+    }
+
+    c.dramWriteBytes += out_bytes;
+    c.sramWriteBytes += out_bytes;
+    c.sramReadBytes += out_bytes;
+
+    // Dense MAC work: every 8b x 8b MAC costs four 4b x 4b multiplies.
+    c.mults4b = 4 * m * k * n;
+    c.adds = m * k * n;
+    c.ppuOps = 2 * m * n;  // requantization, no PWL/compression stages
+    c.usefulMacs = m * k * n;
+
+    DramModel dram(budget_.dramBytesPerCycle);
+    c.cycles = std::max(compute_cycles,
+                        dram.cyclesFor(c.dramReadBytes +
+                                       c.dramWriteBytes)) + fill;
+    c.scale(wl.repeat);
+
+    PerfResult result;
+    result.accelerator = name();
+    result.workload = wl.name;
+    result.counters = c;
+    result.energy = energy_.compute(c);
+    result.clockGhz = budget_.clockGhz;
+    result.multipliers = budget_.multipliers4b;
+    return result;
+}
+
+} // namespace panacea

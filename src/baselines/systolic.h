@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Systolic-array baselines (paper §IV: SA-WS and SA-OS [57][58]):
+ * a 32 x 24 array of 768 8b x 8b MACs (3072 4b x 4b equivalents)
+ * computing dense 8-bit GEMMs, in weight-stationary or output-stationary
+ * dataflow. Fill/drain overheads and partial-sum spill traffic follow
+ * the textbook models.
+ */
+
+#ifndef PANACEA_BASELINES_SYSTOLIC_H
+#define PANACEA_BASELINES_SYSTOLIC_H
+
+#include "baselines/accelerator.h"
+
+namespace panacea {
+
+/** Dataflow of the systolic baseline. */
+enum class SystolicDataflow { WeightStationary, OutputStationary };
+
+/**
+ * Dense 8-bit systolic-array model.
+ */
+class SystolicSimulator : public Accelerator
+{
+  public:
+    /**
+     * @param dataflow WS or OS
+     * @param budget   shared resource normalization
+     * @param rows     array rows (default 32)
+     * @param cols     array cols (default 24; rows*cols 8b MACs must
+     *                 equal budget.multipliers4b / 4)
+     */
+    SystolicSimulator(SystolicDataflow dataflow,
+                      ResourceBudget budget = ResourceBudget{},
+                      int rows = 32, int cols = 24,
+                      EnergyModel energy = EnergyModel{});
+
+    std::string name() const override;
+    PerfResult run(const GemmWorkload &wl) const override;
+
+  private:
+    SystolicDataflow dataflow_;
+    ResourceBudget budget_;
+    int rows_;
+    int cols_;
+    EnergyModel energy_;
+};
+
+} // namespace panacea
+
+#endif // PANACEA_BASELINES_SYSTOLIC_H

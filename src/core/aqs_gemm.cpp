@@ -1,0 +1,277 @@
+#include "core/aqs_gemm.h"
+
+#include <algorithm>
+
+#include "slicing/sparsity.h"
+#include "util/logging.h"
+
+namespace panacea {
+
+const char *
+toString(ActSkipMode mode)
+{
+    switch (mode) {
+      case ActSkipMode::RValued:  return "r-valued";
+      case ActSkipMode::ZeroOnly: return "zero-only";
+      case ActSkipMode::None:     return "none";
+    }
+    return "?";
+}
+
+double
+AqsStats::macReduction() const
+{
+    if (denseOuterProducts == 0)
+        return 0.0;
+    double dense_macs =
+        static_cast<double>(denseOuterProducts) * 16.0;
+    double done = static_cast<double>(totalMults());
+    return 1.0 - done / dense_macs;
+}
+
+AqsStats &
+AqsStats::operator+=(const AqsStats &other)
+{
+    denseOuterProducts += other.denseOuterProducts;
+    executedOuterProducts += other.executedOuterProducts;
+    skippedOuterProducts += other.skippedOuterProducts;
+    mults += other.mults;
+    adds += other.adds;
+    compMults += other.compMults;
+    compAdds += other.compAdds;
+    compExtraEmaNibbles += other.compExtraEmaNibbles;
+    wNibbles += other.wNibbles;
+    xNibbles += other.xNibbles;
+    wIndexBits += other.wIndexBits;
+    xIndexBits += other.xIndexBits;
+    denseNibbles += other.denseNibbles;
+    return *this;
+}
+
+WeightOperand
+prepareWeights(const MatrixI32 &codes, int n, const AqsConfig &cfg)
+{
+    WeightOperand op;
+    op.sliced = sbrSliceMatrix(codes, n);
+    op.totalCodes = op.sliced.reconstruct();
+    panic_if(!(op.totalCodes == codes), "SBR slicing is not lossless");
+
+    const Matrix<Slice> &ho = op.sliced.hoPlane().data;
+    if (cfg.skipWeightVectors) {
+        op.hoMask = weightVectorMask(ho, cfg.v);
+    } else {
+        op.hoMask = MatrixU8(codes.rows() / cfg.v, codes.cols(), 0);
+    }
+    op.streams = encodeWeightPlane(ho, cfg.v, cfg.rleIndexBits);
+    return op;
+}
+
+namespace {
+
+/** Build mask + RLE streams for an activation HO plane. */
+void
+finishActivationOperand(ActivationOperand &op, const AqsConfig &cfg)
+{
+    const Matrix<Slice> &ho = op.sliced.hoPlane().data;
+    Slice skip_value = 0;
+    switch (cfg.actSkip) {
+      case ActSkipMode::RValued:
+        skip_value = op.r;
+        break;
+      case ActSkipMode::ZeroOnly:
+        skip_value = 0;
+        break;
+      case ActSkipMode::None:
+        op.hoMask = MatrixU8(ho.rows(), ho.cols() / cfg.v, 0);
+        op.streams = encodeActivationPlane(ho, cfg.v, /*r=*/-1,
+                                           cfg.rleIndexBits);
+        return;
+    }
+    op.hoMask = activationVectorMask(ho, cfg.v, skip_value);
+    op.streams = encodeActivationPlane(ho, cfg.v, skip_value,
+                                       cfg.rleIndexBits);
+}
+
+} // namespace
+
+ActivationOperand
+prepareActivations(const MatrixI32 &codes, int k, std::int32_t zp,
+                   const AqsConfig &cfg)
+{
+    ActivationOperand op;
+    op.sliced = activationSliceMatrix(codes, k);
+    op.r = static_cast<Slice>((zp >> (4 * k)) & 0xF);
+    finishActivationOperand(op, cfg);
+    return op;
+}
+
+ActivationOperand
+prepareActivationsDbs(const MatrixI32 &codes, int lo_bits, Slice r,
+                      const AqsConfig &cfg)
+{
+    ActivationOperand op;
+    op.sliced = dbsSliceMatrix(codes, lo_bits);
+    op.r = r;
+    finishActivationOperand(op, cfg);
+    return op;
+}
+
+MatrixI64
+aqsGemm(const WeightOperand &w, const ActivationOperand &x,
+        const AqsConfig &cfg, AqsStats *stats)
+{
+    const std::size_t m = w.sliced.rows();
+    const std::size_t kk = w.sliced.cols();
+    const std::size_t n = x.sliced.cols();
+    panic_if(x.sliced.rows() != kk, "AQS-GEMM shape mismatch: W ", m, "x",
+             kk, " * x ", x.sliced.rows(), "x", n);
+    const int v = cfg.v;
+    panic_if(m % v != 0 || n % v != 0,
+             "AQS-GEMM needs M and N divisible by v=", v);
+
+    const std::size_t m_groups = m / v;
+    const std::size_t n_groups = n / v;
+    const std::size_t w_levels = w.sliced.levels();
+    const std::size_t x_levels = x.sliced.levels();
+    const int w_ho = static_cast<int>(w_levels) - 1;
+    const int x_ho = static_cast<int>(x_levels) - 1;
+    const int x_ho_shift = x.sliced.hoPlane().shift;
+    const bool r_skip = cfg.actSkip == ActSkipMode::RValued;
+
+    AqsStats local;
+    local.denseOuterProducts =
+        m_groups * n_groups * kk * w_levels * x_levels;
+
+    MatrixI64 acc(m, n);
+
+    // Offline term b' = r * 2^shift * (row sums of the total weight
+    // codes): folded into the bias, zero runtime cost (Eq. (6)).
+    std::vector<std::int64_t> b_prime;
+    if (r_skip) {
+        b_prime.assign(m, 0);
+        for (std::size_t row = 0; row < m; ++row) {
+            std::int64_t sum = 0;
+            for (std::size_t k = 0; k < kk; ++k)
+                sum += w.totalCodes(row, k);
+            b_prime[row] = sum * (static_cast<std::int64_t>(x.r)
+                                  << x_ho_shift);
+        }
+    }
+
+    std::vector<std::int64_t> wsum(v);
+    for (std::size_t mg = 0; mg < m_groups; ++mg) {
+        for (std::size_t ng = 0; ng < n_groups; ++ng) {
+            bool any_x_compressed = false;
+            std::fill(wsum.begin(), wsum.end(), 0);
+
+            for (std::size_t k = 0; k < kk; ++k) {
+                const bool w_comp = w.hoMask(mg, k) != 0;
+                const bool x_comp = x.hoMask(k, ng) != 0;
+                any_x_compressed = any_x_compressed || x_comp;
+
+                if (r_skip) {
+                    if (!x_comp) {
+                        // Eq. (6): accumulate total weight columns for
+                        // uncompressed activation vectors; the CS reuses
+                        // slices loaded for the bit-slice products.
+                        for (int i = 0; i < v; ++i)
+                            wsum[i] += w.totalCodes(mg * v + i, k);
+                        if (cfg.useEq6)
+                            local.compAdds += static_cast<std::uint64_t>(v) *
+                                              w_levels;
+                    } else if (!cfg.useEq6) {
+                        // Eq. (5): compressed columns must be re-loaded
+                        // and summed explicitly.
+                        local.compAdds += static_cast<std::uint64_t>(v) *
+                                          w_levels;
+                        local.compExtraEmaNibbles +=
+                            static_cast<std::uint64_t>(v) * w_levels;
+                    }
+                }
+
+                for (std::size_t wl = 0; wl < w_levels; ++wl) {
+                    const bool w_is_ho = static_cast<int>(wl) == w_ho;
+                    if (w_is_ho && w_comp) {
+                        local.skippedOuterProducts += x_levels;
+                        continue;
+                    }
+                    const SlicePlane &wp = w.sliced.planes[wl];
+                    for (std::size_t xl = 0; xl < x_levels; ++xl) {
+                        const bool x_is_ho = static_cast<int>(xl) == x_ho;
+                        if (x_is_ho && x_comp &&
+                            cfg.actSkip != ActSkipMode::None) {
+                            ++local.skippedOuterProducts;
+                            continue;
+                        }
+                        const SlicePlane &xp = x.sliced.planes[xl];
+                        const int shift = wp.shift + xp.shift;
+                        ++local.executedOuterProducts;
+                        for (int i = 0; i < v; ++i) {
+                            const std::int64_t ws =
+                                wp.data(mg * v + i, k);
+                            for (int j = 0; j < v; ++j) {
+                                const std::int64_t xs =
+                                    xp.data(k, ng * v + j);
+                                acc(mg * v + i, ng * v + j) +=
+                                    (ws * xs) << shift;
+                            }
+                        }
+                    }
+                }
+            }
+
+            if (r_skip) {
+                // Compensation outer product (Eq. (6)): 16 multiplies
+                // per 4x4 output block:
+                //   comp = b' - r * 2^shift * wsum, broadcast over j.
+                // When nothing was compressed the term is identically
+                // zero (b' = r*sum over all K); hardware performs it
+                // unconditionally, matching Table I's constant 16 Mul.
+                (void)any_x_compressed;
+                const std::int64_t r_scaled =
+                    static_cast<std::int64_t>(x.r) << x_ho_shift;
+                local.compMults +=
+                    static_cast<std::uint64_t>(v) * static_cast<std::uint64_t>(v);
+                for (int i = 0; i < v; ++i) {
+                    const std::int64_t comp =
+                        b_prime[mg * v + i] - r_scaled * wsum[i];
+                    for (int j = 0; j < v; ++j)
+                        acc(mg * v + i, ng * v + j) += comp;
+                }
+            }
+        }
+    }
+
+    // Multiply/add counts follow directly from executed outer products.
+    local.mults = local.executedOuterProducts *
+                  static_cast<std::uint64_t>(v) * static_cast<std::uint64_t>(v);
+    local.adds = local.mults;
+
+    // Traffic accounting: dense LO planes + RLE-compressed HO planes.
+    const std::uint64_t w_lo_nibbles =
+        static_cast<std::uint64_t>(m) * kk * (w_levels - 1);
+    const std::uint64_t x_lo_nibbles =
+        static_cast<std::uint64_t>(kk) * n * (x_levels - 1);
+    std::uint64_t w_ho_nibbles = 0;
+    for (const RleStream &s : w.streams) {
+        w_ho_nibbles += s.storedCount() * static_cast<std::uint64_t>(v);
+        local.wIndexBits += s.storedCount() *
+                            static_cast<std::uint64_t>(s.indexBits());
+    }
+    std::uint64_t x_ho_nibbles = 0;
+    for (const RleStream &s : x.streams) {
+        x_ho_nibbles += s.storedCount() * static_cast<std::uint64_t>(v);
+        local.xIndexBits += s.storedCount() *
+                            static_cast<std::uint64_t>(s.indexBits());
+    }
+    local.wNibbles = w_lo_nibbles + w_ho_nibbles;
+    local.xNibbles = x_lo_nibbles + x_ho_nibbles;
+    local.denseNibbles = static_cast<std::uint64_t>(m) * kk * w_levels +
+                         static_cast<std::uint64_t>(kk) * n * x_levels;
+
+    if (stats)
+        *stats += local;
+    return acc;
+}
+
+} // namespace panacea

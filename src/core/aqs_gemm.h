@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The Asymmetrically-Quantized bit-Slice GEMM (AQS-GEMM), the paper's
+ * primary contribution (§III-B, Fig. 7, Eq. (4)-(6)).
+ *
+ * Weights are SBR-sliced symmetric codes; activations are straightforward
+ * or DBS-sliced asymmetric codes. HO slice-vectors are compressed
+ * (all-zero weight vectors, all-r activation vectors with r = HO(zp'))
+ * and their outer products skipped. Exactness is restored by the
+ * compensation term of Eq. (6):
+ *
+ *   (W_HO + W_LO) x_HO
+ *     = (W_HO + W_LO) xU_HO - r (W_HO + W_LO) JU + b',
+ *   b' = r (W_HO + W_LO) 1_{KxN}   (folded into the bias offline)
+ *
+ * which touches only weight columns already loaded for the uncompressed
+ * work, eliminating the extra memory accesses of the naive Eq. (5) form.
+ *
+ * The engine is functional (it produces the bit-exact integer GEMM
+ * result) and fully counted: every multiply, add and nibble of traffic
+ * is tallied so Table I and the energy model can be validated against it.
+ */
+
+#ifndef PANACEA_CORE_AQS_GEMM_H
+#define PANACEA_CORE_AQS_GEMM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "slicing/rle.h"
+#include "slicing/slice_tensor.h"
+#include "util/matrix.h"
+
+namespace panacea {
+
+/** Which activation HO vectors the engine may skip. */
+enum class ActSkipMode
+{
+    RValued,   ///< skip all-r vectors with compensation (AQS-GEMM)
+    ZeroOnly,  ///< skip only all-zero vectors (previous bit-slice GEMMs)
+    None,      ///< dense activation processing
+};
+
+/** @return printable name of a skip mode. */
+const char *toString(ActSkipMode mode);
+
+/** Static configuration of an AQS-GEMM instance. */
+struct AqsConfig
+{
+    int v = 4;               ///< slice-vector length
+    int rleIndexBits = 4;    ///< RLE skip-index width
+    ActSkipMode actSkip = ActSkipMode::RValued;
+    bool useEq6 = true;      ///< weight-reusing compensation (Eq. (6))
+    bool skipWeightVectors = true; ///< compress all-zero weight HO vectors
+};
+
+/** Prepared (sliced + compressed) weight operand. */
+struct WeightOperand
+{
+    SlicedMatrix sliced;            ///< SBR planes, low to high
+    MatrixI32 totalCodes;           ///< reconstructed codes (for CS reuse)
+    MatrixU8 hoMask;                ///< (M/v) x K, 1 = compressed vector
+    std::vector<RleStream> streams; ///< HO plane RLE, one per row band
+};
+
+/** Prepared (sliced + compressed) activation operand. */
+struct ActivationOperand
+{
+    SlicedMatrix sliced;            ///< unsigned planes, low to high
+    Slice r = 0;                    ///< frequent HO slice (skip value)
+    MatrixU8 hoMask;                ///< K x (N/v), 1 = compressed vector
+    std::vector<RleStream> streams; ///< HO plane RLE, one per column band
+};
+
+/** Execution statistics of one AQS-GEMM call. */
+struct AqsStats
+{
+    std::uint64_t denseOuterProducts = 0; ///< dense bit-slice OP count
+    std::uint64_t executedOuterProducts = 0;
+    std::uint64_t skippedOuterProducts = 0;
+    std::uint64_t mults = 0;        ///< executed 4b x 4b multiplies
+    std::uint64_t adds = 0;         ///< executed accumulator adds
+    std::uint64_t compMults = 0;    ///< compensation outer-product mults
+    std::uint64_t compAdds = 0;     ///< compensation accumulations
+    std::uint64_t compExtraEmaNibbles = 0; ///< Eq. (5) reload traffic
+    std::uint64_t wNibbles = 0;     ///< weight slice traffic (compressed)
+    std::uint64_t xNibbles = 0;     ///< activation slice traffic
+    std::uint64_t wIndexBits = 0;   ///< weight RLE index traffic
+    std::uint64_t xIndexBits = 0;   ///< activation RLE index traffic
+    std::uint64_t denseNibbles = 0; ///< uncompressed traffic baseline
+
+    /** Fraction of dense bit-slice MACs eliminated. */
+    double macReduction() const;
+
+    /** Total multiplies including compensation. */
+    std::uint64_t totalMults() const { return mults + compMults; }
+    /** Total adds including compensation. */
+    std::uint64_t totalAdds() const { return adds + compAdds; }
+    /** Total slice traffic in nibbles, including index overhead. */
+    std::uint64_t
+    totalTrafficNibbles() const
+    {
+        return wNibbles + xNibbles + (wIndexBits + xIndexBits + 3) / 4 +
+               compExtraEmaNibbles;
+    }
+
+    /** Accumulate another stats record into this one. */
+    AqsStats &operator+=(const AqsStats &other);
+};
+
+/**
+ * Prepare a weight operand: SBR-slice the codes, build the HO
+ * compression mask and RLE streams.
+ *
+ * @param codes symmetric weight codes, (3n+4)-bit
+ * @param n     number of LO slices
+ * @param cfg   engine configuration
+ */
+WeightOperand prepareWeights(const MatrixI32 &codes, int n,
+                             const AqsConfig &cfg);
+
+/**
+ * Prepare an activation operand with straightforward slicing.
+ *
+ * @param codes unsigned activation codes, (4k+4)-bit
+ * @param k     number of LO slices
+ * @param zp    the (possibly ZPM-manipulated) zero point; the skip value
+ *              is its HO slice r = zp >> 4k under RValued skipping
+ */
+ActivationOperand prepareActivations(const MatrixI32 &codes, int k,
+                                     std::int32_t zp, const AqsConfig &cfg);
+
+/**
+ * Prepare an 8-bit activation operand with the DBS slicing rule.
+ *
+ * @param lo_bits the DBS LO width l in {4,5,6}
+ * @param r       the frequent HO slice r'' from the type-based ZPM
+ */
+ActivationOperand prepareActivationsDbs(const MatrixI32 &codes, int lo_bits,
+                                        Slice r, const AqsConfig &cfg);
+
+/**
+ * Execute the AQS-GEMM: returns the bit-exact integer accumulator
+ * W_codes * x_codes (for DBS, over the LSB-masked effective activation
+ * codes). Statistics are accumulated into *stats when non-null.
+ */
+MatrixI64 aqsGemm(const WeightOperand &w, const ActivationOperand &x,
+                  const AqsConfig &cfg, AqsStats *stats = nullptr);
+
+} // namespace panacea
+
+#endif // PANACEA_CORE_AQS_GEMM_H

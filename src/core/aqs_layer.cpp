@@ -1,0 +1,144 @@
+#include "core/aqs_layer.h"
+
+#include <cmath>
+
+#include "quant/quantizer.h"
+#include "quant/zpm.h"
+#include "slicing/sbr.h"
+#include "slicing/straightforward.h"
+#include "util/histogram.h"
+#include "util/logging.h"
+
+namespace panacea {
+
+AqsLinearLayer
+AqsLinearLayer::calibrate(const MatrixF &w, std::span<const float> bias,
+                          std::span<const MatrixF> calib_acts,
+                          const AqsPipelineOptions &opts)
+{
+    fatal_if(calib_acts.empty(), "calibration requires at least one batch");
+
+    AqsLinearLayer layer;
+    layer.opts_ = opts;
+    layer.n_ = sbrLoSliceCount(opts.weightBits);
+    layer.k_ = activationLoSliceCount(opts.actBits);
+
+    // --- Weight quantization (symmetric, Eq. (1)) ---
+    layer.wParams_ = chooseSymmetricParams(w.data(), opts.weightBits);
+    MatrixI32 w_codes = quantize(w, layer.wParams_);
+    layer.weightOp_ = prepareWeights(w_codes, layer.n_, opts.gemm);
+
+    // --- Activation range calibration (asymmetric, Eq. (2)) ---
+    Calibrator calib(QuantScheme::Asymmetric, opts.actBits,
+                     opts.calibPolicy, opts.calibTailPct);
+    for (const MatrixF &batch : calib_acts)
+        calib.observe(batch);
+    layer.xParams_ = calib.finalize();
+
+    // --- ZPM / DBS (paper §III-C) ---
+    const int base_lo_bits = 4 * layer.k_;
+    if (opts.enableDbs && opts.actBits == 8) {
+        // Record the quantized histogram with the raw parameters, then
+        // classify and apply the type-based ZPM.
+        Histogram hist(0, layer.xParams_.codeMax());
+        for (const MatrixF &batch : calib_acts) {
+            MatrixI32 codes = quantize(batch, layer.xParams_);
+            for (auto c : codes.data())
+                hist.add(c);
+        }
+        DbsConfig dbs_cfg;
+        dbs_cfg.targetMass = opts.dbsTargetMass;
+        dbs_cfg.bits = opts.actBits;
+        dbs_cfg.enableZpm = opts.enableZpm;
+        dbs_cfg.histAwareZpm = opts.histAwareZpm;
+        layer.dbs_ = classifyDistribution(hist, layer.xParams_.zeroPoint,
+                                          dbs_cfg);
+        layer.xParams_ = refitScaleForZeroPoint(
+            layer.xParams_, layer.dbs_.zpm.zeroPoint);
+    } else if (opts.enableZpm) {
+        layer.dbs_.type = DbsType::Type1;
+        layer.dbs_.loBits = base_lo_bits;
+        if (opts.histAwareZpm) {
+            Histogram hist(0, layer.xParams_.codeMax());
+            for (const MatrixF &batch : calib_acts) {
+                MatrixI32 codes = quantize(batch, layer.xParams_);
+                for (auto c : codes.data())
+                    hist.add(c);
+            }
+            layer.dbs_.zpm = manipulateZeroPointHistAware(
+                hist, layer.xParams_.zeroPoint, opts.actBits,
+                base_lo_bits);
+        } else {
+            layer.dbs_.zpm = manipulateZeroPoint(
+                layer.xParams_.zeroPoint, opts.actBits, base_lo_bits);
+        }
+        layer.xParams_ = refitScaleForZeroPoint(
+            layer.xParams_, layer.dbs_.zpm.zeroPoint);
+    } else {
+        layer.dbs_.type = DbsType::Type1;
+        layer.dbs_.loBits = base_lo_bits;
+        layer.dbs_.zpm.zeroPoint = layer.xParams_.zeroPoint;
+        layer.dbs_.zpm.frequentSlice =
+            frequentSliceOf(layer.xParams_.zeroPoint, base_lo_bits);
+    }
+
+    // --- Bias folding (Eq. (3)) on the accumulator grid sW * s'x ---
+    std::vector<std::int64_t> bias_int;
+    if (!bias.empty()) {
+        fatal_if(bias.size() != w.rows(), "bias length ", bias.size(),
+                 " != M ", w.rows());
+        bias_int.resize(bias.size());
+        double s = layer.wParams_.scale * layer.xParams_.scale;
+        for (std::size_t i = 0; i < bias.size(); ++i)
+            bias_int[i] = static_cast<std::int64_t>(
+                std::llround(bias[i] / s));
+    }
+    layer.foldedBias_ = foldZeroPointBias(w_codes,
+                                          layer.xParams_.zeroPoint,
+                                          bias_int);
+    return layer;
+}
+
+MatrixI32
+AqsLinearLayer::quantizeInput(const MatrixF &x) const
+{
+    if (opts_.actBits == 8 && dbs_.loBits > 4) {
+        // Wide-distribution DBS: the (l-4) LO LSBs are not
+        // representable; round onto the coarse grid instead of
+        // truncating, halving the slicing loss.
+        return quantizeCoarse(x, xParams_, dbs_.loBits - 4);
+    }
+    return quantize(x, xParams_);
+}
+
+ActivationOperand
+AqsLinearLayer::prepareInput(const MatrixI32 &x_codes) const
+{
+    if (opts_.actBits == 8 && dbs_.loBits != 4) {
+        return prepareActivationsDbs(x_codes, dbs_.loBits,
+                                     static_cast<Slice>(
+                                         dbs_.zpm.frequentSlice),
+                                     opts_.gemm);
+    }
+    return prepareActivations(x_codes, k_, xParams_.zeroPoint, opts_.gemm);
+}
+
+MatrixI64
+AqsLinearLayer::forwardCodes(const MatrixI32 &x_codes,
+                             AqsStats *stats) const
+{
+    ActivationOperand x_op = prepareInput(x_codes);
+    MatrixI64 acc = aqsGemm(weightOp_, x_op, opts_.gemm, stats);
+    addRowBias(acc, foldedBias_);
+    return acc;
+}
+
+MatrixF
+AqsLinearLayer::forward(const MatrixF &x, AqsStats *stats) const
+{
+    MatrixI32 codes = quantizeInput(x);
+    MatrixI64 acc = forwardCodes(codes, stats);
+    return dequantizeAccumulator(acc, wParams_.scale, xParams_.scale);
+}
+
+} // namespace panacea

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Layer-level public API: the full Panacea PTQ pipeline of paper Fig. 6
+ * for one linear layer. calibrate() runs the PTQ calibration (weight
+ * quantization, activation range estimation, ZPM, DBS classification and
+ * bias folding); forward() runs the AQS-GEMM inference path.
+ *
+ * This is the API a downstream user adopts:
+ *
+ *   auto layer = AqsLinearLayer::calibrate(w, bias, calib_batches, opts);
+ *   MatrixF y = layer.forward(x, &stats);
+ */
+
+#ifndef PANACEA_CORE_AQS_LAYER_H
+#define PANACEA_CORE_AQS_LAYER_H
+
+#include <span>
+#include <vector>
+
+#include "core/aqs_gemm.h"
+#include "quant/calibration.h"
+#include "quant/dbs.h"
+#include "quant/gemm_quant.h"
+#include "quant/quant_params.h"
+
+namespace panacea {
+
+/** End-to-end pipeline options (calibration + GEMM engine). */
+struct AqsPipelineOptions
+{
+    int weightBits = 7;   ///< (3n+4)-bit symmetric weights
+    int actBits = 8;      ///< (4k+4)-bit asymmetric activations
+    bool enableZpm = true;
+    bool enableDbs = true;
+    /** Extension: histogram-aware zero-point phase (see zpm.h). */
+    bool histAwareZpm = false;
+    double dbsTargetMass = 0.90;
+    CalibrationPolicy calibPolicy = CalibrationPolicy::MinMax;
+    double calibTailPct = 0.1;   ///< percentile-policy tail mass
+    AqsConfig gemm;              ///< engine configuration
+};
+
+/**
+ * One calibrated linear layer running on the AQS-GEMM engine.
+ */
+class AqsLinearLayer
+{
+  public:
+    /**
+     * Run the PTQ calibration of Fig. 6.
+     *
+     * @param w           float weight matrix (M x K)
+     * @param bias        float bias (length M, may be empty)
+     * @param calib_acts  calibration activation batches (each K x N)
+     * @param opts        pipeline options
+     */
+    static AqsLinearLayer calibrate(const MatrixF &w,
+                                    std::span<const float> bias,
+                                    std::span<const MatrixF> calib_acts,
+                                    const AqsPipelineOptions &opts);
+
+    /** Quantize, slice and multiply one activation; returns float. */
+    MatrixF forward(const MatrixF &x, AqsStats *stats = nullptr) const;
+
+    /**
+     * Run on pre-quantized activation codes; returns the integer
+     * accumulator including the folded bias (Eq. (3)).
+     */
+    MatrixI64 forwardCodes(const MatrixI32 &x_codes,
+                           AqsStats *stats = nullptr) const;
+
+    /** Quantize a float activation with this layer's parameters. */
+    MatrixI32 quantizeInput(const MatrixF &x) const;
+
+    /** Prepare (slice + compress) quantized input codes. */
+    ActivationOperand prepareInput(const MatrixI32 &x_codes) const;
+
+    /** @return weight quantization parameters. */
+    const QuantParams &weightParams() const { return wParams_; }
+    /** @return activation quantization parameters (post ZPM/DBS). */
+    const QuantParams &activationParams() const { return xParams_; }
+    /** @return the DBS decision taken at calibration. */
+    const DbsDecision &dbsDecision() const { return dbs_; }
+    /** @return the prepared weight operand. */
+    const WeightOperand &weights() const { return weightOp_; }
+    /** @return number of weight LO slices n. */
+    int weightLoSlices() const { return n_; }
+    /** @return number of activation LO slices k. */
+    int actLoSlices() const { return k_; }
+    /** @return the engine configuration. */
+    const AqsConfig &config() const { return opts_.gemm; }
+    /** @return pipeline options used at calibration. */
+    const AqsPipelineOptions &options() const { return opts_; }
+
+  private:
+    AqsPipelineOptions opts_;
+    QuantParams wParams_;
+    QuantParams xParams_;
+    DbsDecision dbs_;
+    int n_ = 1;   ///< weight LO slices
+    int k_ = 1;   ///< activation LO slices
+    WeightOperand weightOp_;
+    std::vector<std::int64_t> foldedBias_;
+};
+
+} // namespace panacea
+
+#endif // PANACEA_CORE_AQS_LAYER_H

@@ -1,0 +1,128 @@
+#include "core/legacy_gemm.h"
+
+#include "slicing/sparsity.h"
+#include "util/logging.h"
+
+namespace panacea {
+
+double
+LegacyStats::macReduction() const
+{
+    if (denseOuterProducts == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(mults) /
+                     (static_cast<double>(denseOuterProducts) * 16.0);
+}
+
+LegacyStats &
+LegacyStats::operator+=(const LegacyStats &other)
+{
+    denseOuterProducts += other.denseOuterProducts;
+    executedOuterProducts += other.executedOuterProducts;
+    skippedOuterProducts += other.skippedOuterProducts;
+    mults += other.mults;
+    adds += other.adds;
+    emaNibbles += other.emaNibbles;
+    // Sparsities of merged records: keep the weighted blend by dense OPs
+    // so model-level aggregation stays meaningful.
+    double w_total = static_cast<double>(denseOuterProducts);
+    if (w_total > 0.0) {
+        double w_old = w_total - static_cast<double>(
+            other.denseOuterProducts);
+        rhoW = (rhoW * w_old + other.rhoW *
+                static_cast<double>(other.denseOuterProducts)) / w_total;
+        rhoX = (rhoX * w_old + other.rhoX *
+                static_cast<double>(other.denseOuterProducts)) / w_total;
+    }
+    return *this;
+}
+
+MatrixI64
+legacyBitsliceGemm(const SlicedMatrix &w, const SlicedMatrix &x, int v,
+                   SibiaSkipSide side, LegacyStats *stats)
+{
+    const std::size_t m = w.rows();
+    const std::size_t kk = w.cols();
+    const std::size_t n = x.cols();
+    panic_if(x.rows() != kk, "legacy GEMM shape mismatch");
+    panic_if(m % v != 0 || n % v != 0,
+             "legacy GEMM needs M and N divisible by v=", v);
+
+    const MatrixU8 w_mask = weightVectorMask(w.hoPlane().data, v);
+    const MatrixU8 x_mask = activationVectorMask(x.hoPlane().data, v, 0);
+
+    LegacyStats local;
+    local.rhoW = maskDensityOfOnes(w_mask);
+    local.rhoX = maskDensityOfOnes(x_mask);
+
+    bool skip_weight;
+    switch (side) {
+      case SibiaSkipSide::Weight:     skip_weight = true; break;
+      case SibiaSkipSide::Activation: skip_weight = false; break;
+      case SibiaSkipSide::Auto:
+      default:
+        skip_weight = local.rhoW >= local.rhoX;
+        break;
+    }
+    local.skippedWeightSide = skip_weight;
+
+    const std::size_t w_levels = w.levels();
+    const std::size_t x_levels = x.levels();
+    const int w_ho = static_cast<int>(w_levels) - 1;
+    const int x_ho = static_cast<int>(x_levels) - 1;
+    local.denseOuterProducts =
+        (m / v) * (n / v) * kk * w_levels * x_levels;
+
+    MatrixI64 acc(m, n);
+    for (std::size_t mg = 0; mg < m / v; ++mg) {
+        for (std::size_t ng = 0; ng < n / v; ++ng) {
+            for (std::size_t k = 0; k < kk; ++k) {
+                const bool w_comp = skip_weight && w_mask(mg, k) != 0;
+                const bool x_comp = !skip_weight && x_mask(k, ng) != 0;
+
+                for (std::size_t wl = 0; wl < w_levels; ++wl) {
+                    // Skipping is legal whenever the *skipped operand's*
+                    // HO slice participates: the product is then zero.
+                    if (w_comp && static_cast<int>(wl) == w_ho) {
+                        local.skippedOuterProducts += x_levels;
+                        continue;
+                    }
+                    const SlicePlane &wp = w.planes[wl];
+                    for (std::size_t xl = 0; xl < x_levels; ++xl) {
+                        if (x_comp && static_cast<int>(xl) == x_ho) {
+                            ++local.skippedOuterProducts;
+                            continue;
+                        }
+                        const SlicePlane &xp = x.planes[xl];
+                        const int shift = wp.shift + xp.shift;
+                        ++local.executedOuterProducts;
+                        for (int i = 0; i < v; ++i) {
+                            const std::int64_t ws = wp.data(mg * v + i, k);
+                            for (int j = 0; j < v; ++j) {
+                                const std::int64_t xs =
+                                    xp.data(k, ng * v + j);
+                                acc(mg * v + i, ng * v + j) +=
+                                    (ws * xs) << shift;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    local.mults = local.executedOuterProducts *
+                  static_cast<std::uint64_t>(v) *
+                  static_cast<std::uint64_t>(v);
+    local.adds = local.mults;
+    // Sibia ships uncompressed operands from DRAM: bits/4 nibbles each.
+    local.emaNibbles =
+        (static_cast<std::uint64_t>(m) * kk * w.sourceBits +
+         static_cast<std::uint64_t>(kk) * n * x.sourceBits) / 4;
+
+    if (stats)
+        *stats += local;
+    return acc;
+}
+
+} // namespace panacea

@@ -1,0 +1,74 @@
+#include "core/workload_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace panacea {
+
+namespace {
+
+void
+checkRho(double rho_w, double rho_x)
+{
+    panic_if(rho_w < 0.0 || rho_w > 1.0, "rho_w ", rho_w, " out of [0,1]");
+    panic_if(rho_x < 0.0 || rho_x > 1.0, "rho_x ", rho_x, " out of [0,1]");
+}
+
+} // namespace
+
+WorkloadCounts
+sibiaWorkload(std::uint64_t k, double rho_w, double rho_x)
+{
+    checkRho(rho_w, rho_x);
+    WorkloadCounts wl;
+    double kd = static_cast<double>(k);
+    double rho = std::max(rho_w, rho_x);
+    wl.mults = 32.0 * kd * (2.0 - rho);
+    wl.adds = 32.0 * kd * (2.0 - rho);
+    wl.emaNibbles = 14.0 * kd;
+    return wl;
+}
+
+WorkloadCounts
+panaceaBitsliceWorkload(std::uint64_t k, double rho_w, double rho_x)
+{
+    checkRho(rho_w, rho_x);
+    WorkloadCounts wl;
+    double kd = static_cast<double>(k);
+    wl.mults = 16.0 * kd * (2.0 - rho_x) * (2.0 - rho_w);
+    wl.adds = wl.mults;
+    wl.emaNibbles = 4.0 * kd * (4.0 - rho_w - rho_x);
+    return wl;
+}
+
+WorkloadCounts
+compensationWorkload(std::uint64_t k, double rho_x, bool eq6)
+{
+    panic_if(rho_x < 0.0 || rho_x > 1.0, "rho_x ", rho_x, " out of [0,1]");
+    WorkloadCounts wl;
+    double kd = static_cast<double>(k);
+    wl.mults = 16.0;
+    if (eq6) {
+        wl.adds = 8.0 * kd * (1.0 - rho_x);
+        wl.emaNibbles = 0.0;
+    } else {
+        wl.adds = 8.0 * kd * rho_x;
+        wl.emaNibbles = 8.0 * kd * rho_x;
+    }
+    return wl;
+}
+
+WorkloadCounts
+panaceaTotalWorkload(std::uint64_t k, double rho_w, double rho_x, bool eq6)
+{
+    WorkloadCounts bs = panaceaBitsliceWorkload(k, rho_w, rho_x);
+    WorkloadCounts cs = compensationWorkload(k, rho_x, eq6);
+    WorkloadCounts total;
+    total.mults = bs.mults + cs.mults;
+    total.adds = bs.adds + cs.adds;
+    total.emaNibbles = bs.emaNibbles + cs.emaNibbles;
+    return total;
+}
+
+} // namespace panacea

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Closed-form hardware workload model of paper Table I.
+ *
+ * For the canonical example (W in Z^{4xK}, x in Z^{Kx4}, two bit-slices
+ * per operand) the table gives the number of 4b x 4b multiplications,
+ * 8b additions and 4-bit external memory accesses as functions of the HO
+ * vector sparsities rho_w and rho_x. These forms are validated against
+ * the counted functional engines in tests and in bench_table1_workloads.
+ */
+
+#ifndef PANACEA_CORE_WORKLOAD_MODEL_H
+#define PANACEA_CORE_WORKLOAD_MODEL_H
+
+#include <cstdint>
+
+namespace panacea {
+
+/** Workload counts of Table I, in exact (double) arithmetic. */
+struct WorkloadCounts
+{
+    double mults = 0.0;       ///< 4b x 4b multiplications
+    double adds = 0.0;        ///< 8b additions
+    double emaNibbles = 0.0;  ///< 4-bit external memory accesses
+};
+
+/**
+ * Sibia's bit-slice GEMM workload: skips the HO products of whichever
+ * operand has the larger vector sparsity.
+ *
+ * Mul = Add = 32K(2 - max(rho_x, rho_w));  EMA = 14K (7-bit operands,
+ * uncompressed DRAM format).
+ */
+WorkloadCounts sibiaWorkload(std::uint64_t k, double rho_w, double rho_x);
+
+/**
+ * Panacea's AQS-GEMM bit-slice workload (without compensation):
+ * Mul = Add = 16K(2 - rho_x)(2 - rho_w); EMA = 4K(4 - rho_w - rho_x).
+ */
+WorkloadCounts panaceaBitsliceWorkload(std::uint64_t k, double rho_w,
+                                       double rho_x);
+
+/**
+ * The compensation term's workload.
+ *
+ * @param eq6 true: the weight-reusing form of Eq. (6)
+ *            (Mul 16, Add 8K(1-rho_x), EMA 0); false: the naive Eq. (5)
+ *            form (Mul 16, Add 8K rho_x, EMA 8K rho_x).
+ */
+WorkloadCounts compensationWorkload(std::uint64_t k, double rho_x,
+                                    bool eq6);
+
+/** Sum of the bit-slice and compensation workloads for Panacea. */
+WorkloadCounts panaceaTotalWorkload(std::uint64_t k, double rho_w,
+                                    double rho_x, bool eq6);
+
+} // namespace panacea
+
+#endif // PANACEA_CORE_WORKLOAD_MODEL_H

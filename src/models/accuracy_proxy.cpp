@@ -1,0 +1,89 @@
+#include "models/accuracy_proxy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/dbs.h"
+#include "quant/quantizer.h"
+#include "util/logging.h"
+
+namespace panacea {
+
+namespace {
+
+double
+nmseOfCodes(const MatrixF &x, const MatrixI32 &codes,
+            const QuantParams &params)
+{
+    double power = 0.0;
+    double noise = 0.0;
+    auto xs = x.data();
+    auto cs = codes.data();
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        double v = xs[i];
+        double err = v - dequantizeValue(cs[i], params);
+        power += v * v;
+        noise += err * err;
+    }
+    if (power == 0.0)
+        return 0.0;
+    return noise / power;
+}
+
+} // namespace
+
+double
+quantizationNmse(const MatrixF &x, const QuantParams &params)
+{
+    MatrixI32 codes = quantize(x, params);
+    return nmseOfCodes(x, codes, params);
+}
+
+double
+quantizationNmseDbs(const MatrixF &x, const QuantParams &params,
+                    int lo_bits)
+{
+    panic_if(params.bits != 8, "DBS NMSE is defined on 8-bit codes");
+    // Matches the inference path: round onto the coarse grid, whose
+    // codes already have their (l-4) LSBs clear.
+    MatrixI32 codes = quantizeCoarse(x, params, lo_bits - 4);
+    for (auto &c : codes.data())
+        panic_if(c != dbsEffectiveCode(c, lo_bits),
+                 "coarse code not on the DBS grid");
+    return nmseOfCodes(x, codes, params);
+}
+
+double
+quantizationNmsePerRow(const MatrixF &w, int bits)
+{
+    double power = 0.0;
+    double noise = 0.0;
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+        auto row = w.row(r);
+        QuantParams p = chooseSymmetricParams(row, bits);
+        for (float v : row) {
+            double err = v - dequantizeValue(quantizeValue(v, p), p);
+            power += static_cast<double>(v) * v;
+            noise += err * err;
+        }
+    }
+    if (power == 0.0)
+        return 0.0;
+    return noise / power;
+}
+
+double
+proxyPerplexity(double fp_ppl, double mean_nmse, double alpha)
+{
+    panic_if(mean_nmse < 0.0, "negative NMSE");
+    return fp_ppl * std::exp(alpha * mean_nmse);
+}
+
+double
+proxyAccuracyLossPct(double mean_nmse, double beta)
+{
+    panic_if(mean_nmse < 0.0, "negative NMSE");
+    return beta * std::sqrt(mean_nmse);
+}
+
+} // namespace panacea

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Quantization-fidelity proxy for accuracy and perplexity (substitution
+ * for full dataset evaluation; DESIGN.md §2).
+ *
+ * The paper's algorithm-level claims are *orderings* (asymmetric beats
+ * symmetric activations; AQS-GEMM is exact, so its PPL equals its
+ * quantizer's). We measure the per-layer normalized quantization MSE of
+ * each scheme on the synthetic tensors and map its mean through a
+ * monotone proxy anchored at the model's FP16 perplexity / FP32
+ * accuracy. Absolute values are indicative; orderings and gaps are the
+ * reproduced quantities.
+ */
+
+#ifndef PANACEA_MODELS_ACCURACY_PROXY_H
+#define PANACEA_MODELS_ACCURACY_PROXY_H
+
+#include "quant/quant_params.h"
+#include "util/matrix.h"
+
+namespace panacea {
+
+/**
+ * Normalized quantization MSE: E[(x - dq(q(x)))^2] / E[x^2] for the
+ * given quantizer.
+ */
+double quantizationNmse(const MatrixF &x, const QuantParams &params);
+
+/**
+ * As above, but with the DBS LSB truncation applied to the codes
+ * (models the 0.6%p-class loss of wide-distribution slicing).
+ */
+double quantizationNmseDbs(const MatrixF &x, const QuantParams &params,
+                           int lo_bits);
+
+/**
+ * Weight NMSE under per-output-channel (row-wise) symmetric scales, the
+ * grain OPTQ-class weight quantizers operate at. Row scales fold into
+ * the per-row output dequantization, so this is hardware-free.
+ */
+double quantizationNmsePerRow(const MatrixF &w, int bits);
+
+/**
+ * Perplexity proxy: fp_ppl * exp(alpha * mean_nmse), a monotone map
+ * that reduces to the FP16 anchor at zero error.
+ */
+double proxyPerplexity(double fp_ppl, double mean_nmse,
+                       double alpha = 5.0);
+
+/**
+ * Accuracy-loss proxy in percentage points: beta * sqrt(mean_nmse),
+ * clipped to the anchor accuracy.
+ */
+double proxyAccuracyLossPct(double mean_nmse, double beta = 18.0);
+
+/**
+ * Error-reduction factor modeling OPTQ's second-order weight
+ * compensation for sub-7-bit weights (paper Fig. 19 context): OPTQ
+ * recovers most of the naive rounding loss.
+ */
+inline constexpr double optqErrorFactor = 0.25;
+
+} // namespace panacea
+
+#endif // PANACEA_MODELS_ACCURACY_PROXY_H

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Benchmark layer and model descriptors.
+ *
+ * Substitution note (DESIGN.md §2): instead of HuggingFace checkpoints,
+ * each benchmark is described by its exact GEMM shapes plus a
+ * distribution class per layer input. The synthetic generator reproduces
+ * the distribution families that drive bit-slice sparsity (LayerNorm
+ * Gaussians with outlier channels, post-GELU/ReLU one-sided tails, ...).
+ */
+
+#ifndef PANACEA_MODELS_LAYER_H
+#define PANACEA_MODELS_LAYER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/ppu.h"
+
+namespace panacea {
+
+/** Distribution family of a layer's input activation. */
+enum class ActDistKind
+{
+    LayerNormGauss,  ///< LayerNorm output: near-Gaussian, mild skew
+    PostGelu,        ///< GELU output: one-sided with heavy positive tail
+    PostRelu,        ///< ReLU output: exact zeros + positive half
+    PostAttention,   ///< attention-block output: centred, moderate
+    LongTail,        ///< outlier-channel Laplace mixture (LLM LN outputs)
+    ImageNorm,       ///< normalized image input (first conv)
+};
+
+/** @return printable name of a distribution family. */
+const char *toString(ActDistKind kind);
+
+/** One (unique) GEMM layer of a benchmark model. */
+struct LayerSpec
+{
+    std::string name;        ///< e.g. "ATTN.QKV"
+    std::size_t m = 0;       ///< weight rows (output features)
+    std::size_t kDim = 0;    ///< weight cols (input features)
+    std::size_t nOverride = 0; ///< fixed N (convs); 0 = model seq length
+    ActDistKind dist = ActDistKind::LayerNormGauss;
+    double spread = 1.0;     ///< distribution width multiplier
+    double outlierRate = 0.0; ///< fraction of outlier channels
+    std::uint64_t repeat = 1; ///< identical blocks in the model
+    int weightBits = 7;      ///< (3n+4); 4 and 10 used by some layers
+    int actBits = 8;         ///< (4k+4); 12 for sensitivity-critical
+    /**
+     * Fraction of weight rows with outlier magnitudes. Zero for most
+     * models; the Llama-3.2 family's weight outliers are what makes it
+     * "challenging to quantize without PPL loss" (paper §IV).
+     */
+    double weightOutlierRate = 0.0;
+};
+
+/** A full benchmark model: layer list + evaluation metadata. */
+struct ModelSpec
+{
+    std::string name;
+    std::vector<LayerSpec> layers;
+    std::size_t seqLen = 256;  ///< default N (tokens / batch-spatial)
+    bool isLlm = false;        ///< perplexity (true) vs accuracy metric
+    double fp16Ppl = 0.0;      ///< FP16 perplexity anchor (LLMs)
+    double fp32AccPct = 0.0;   ///< FP32 accuracy anchor (classifiers)
+
+    /** @return total dense-equivalent MACs at the given sequence len. */
+    std::uint64_t totalMacs(std::size_t seq_len) const;
+};
+
+} // namespace panacea
+
+#endif // PANACEA_MODELS_LAYER_H

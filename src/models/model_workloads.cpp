@@ -1,0 +1,266 @@
+#include "models/model_workloads.h"
+
+#include <algorithm>
+
+#include "models/accuracy_proxy.h"
+#include "models/synth_data.h"
+#include "quant/calibration.h"
+#include "quant/quantizer.h"
+#include "quant/zpm.h"
+#include "slicing/sbr.h"
+#include "slicing/slice_tensor.h"
+#include "slicing/straightforward.h"
+#include "util/logging.h"
+
+namespace panacea {
+
+namespace {
+
+/** Round n up to a multiple of v (evaluation tensors must group). */
+std::size_t
+roundUpTo(std::size_t n, int v)
+{
+    std::size_t rem = n % static_cast<std::size_t>(v);
+    return rem == 0 ? n : n + (static_cast<std::size_t>(v) - rem);
+}
+
+} // namespace
+
+LayerBuild
+buildLayer(const LayerSpec &spec, std::size_t n,
+           const ModelBuildOptions &opt, Rng &rng)
+{
+    LayerBuild lb;
+    lb.spec = spec;
+    lb.n = roundUpTo(n, opt.v);
+
+    const int weight_bits =
+        opt.weightBitsOverride ? opt.weightBitsOverride : spec.weightBits;
+    const int weight_n = sbrLoSliceCount(weight_bits);
+    const int act_k = activationLoSliceCount(spec.actBits);
+
+    AqsConfig gemm_cfg;
+    gemm_cfg.v = opt.v;
+    gemm_cfg.rleIndexBits = opt.rleIndexBits;
+    gemm_cfg.actSkip = opt.actSkip;
+
+    // --- Weights: symmetric quantization + SBR + compression ---
+    MatrixF w = genWeights(rng, spec.m, spec.kDim,
+                           spec.weightOutlierRate);
+    QuantParams w_params = chooseSymmetricParams(w.data(), weight_bits);
+    MatrixI32 w_codes = quantize(w, w_params);
+    WeightOperand w_op = prepareWeights(w_codes, weight_n, gemm_cfg);
+
+    if (weight_bits < 7 || spec.weightOutlierRate > 0.0) {
+        // OPTQ-class weight-only quantization operates channel-wise and
+        // compensates rounding with second-order updates (paper applies
+        // OPTQ for n = 0 and for the outlier-heavy Llama family).
+        lb.weightNmse =
+            quantizationNmsePerRow(w, weight_bits) * optqErrorFactor;
+    } else {
+        lb.weightNmse = quantizationNmse(w, w_params);
+    }
+    if (w_op.sliced.levels() >= 2) {
+        lb.weightHo = analyzeWeightHo(w_op.sliced.hoPlane().data, opt.v);
+    }
+
+    // --- Activations: calibration batches + evaluation tensor ---
+    MatrixF calib_a = genLayerActivations(rng, spec, opt.calibTokens);
+    MatrixF calib_b = genLayerActivations(rng, spec, opt.calibTokens);
+    MatrixF eval = genLayerActivations(rng, spec, lb.n);
+
+    // Asymmetric path (Panacea).
+    QuantParams x_params;
+    if (opt.symmetricActs) {
+        // Fig. 18(a): symmetric operation on Panacea = zero point pinned
+        // to mid-range within the unsigned 8-bit space.
+        Calibrator sym_cal(QuantScheme::Symmetric, spec.actBits);
+        sym_cal.observe(calib_a);
+        sym_cal.observe(calib_b);
+        QuantParams sym = sym_cal.finalize();
+        x_params.scheme = QuantScheme::Asymmetric;
+        x_params.bits = spec.actBits;
+        x_params.scale = sym.scale;
+        x_params.zeroPoint = 1 << (spec.actBits - 1);
+    } else {
+        Calibrator cal(QuantScheme::Asymmetric, spec.actBits);
+        cal.observe(calib_a);
+        cal.observe(calib_b);
+        x_params = cal.finalize();
+    }
+    lb.rawZeroPoint = x_params.zeroPoint;
+
+    // ZPM / DBS on the calibration histograms (paper Fig. 6 flow).
+    const int base_lo_bits = 4 * act_k;
+    if (opt.enableDbs && spec.actBits == 8) {
+        Histogram hist(0, x_params.codeMax());
+        for (const MatrixF *batch : {&calib_a, &calib_b}) {
+            MatrixI32 codes = quantize(*batch, x_params);
+            for (auto c : codes.data())
+                hist.add(c);
+        }
+        DbsConfig dbs_cfg;
+        dbs_cfg.targetMass = opt.dbsTargetMass;
+        dbs_cfg.bits = spec.actBits;
+        dbs_cfg.enableZpm = opt.enableZpm;
+        dbs_cfg.histAwareZpm = opt.histAwareZpm;
+        lb.dbs = classifyDistribution(hist, x_params.zeroPoint, dbs_cfg);
+        x_params = refitScaleForZeroPoint(x_params, lb.dbs.zpm.zeroPoint);
+    } else if (opt.enableZpm) {
+        lb.dbs.type = DbsType::Type1;
+        lb.dbs.loBits = base_lo_bits;
+        if (opt.histAwareZpm && spec.actBits == 8) {
+            Histogram hist(0, x_params.codeMax());
+            for (const MatrixF *batch : {&calib_a, &calib_b}) {
+                MatrixI32 codes = quantize(*batch, x_params);
+                for (auto c : codes.data())
+                    hist.add(c);
+            }
+            lb.dbs.zpm = manipulateZeroPointHistAware(
+                hist, x_params.zeroPoint, spec.actBits, base_lo_bits);
+        } else {
+            lb.dbs.zpm = manipulateZeroPoint(x_params.zeroPoint,
+                                             spec.actBits, base_lo_bits);
+        }
+        x_params = refitScaleForZeroPoint(x_params, lb.dbs.zpm.zeroPoint);
+    } else {
+        lb.dbs.type = DbsType::Type1;
+        lb.dbs.loBits = base_lo_bits;
+        lb.dbs.zpm.zeroPoint = x_params.zeroPoint;
+        lb.dbs.zpm.frequentSlice =
+            frequentSliceOf(x_params.zeroPoint, base_lo_bits);
+    }
+
+    MatrixI32 x_codes =
+        (spec.actBits == 8 && lb.dbs.loBits > 4)
+            ? quantizeCoarse(eval, x_params, lb.dbs.loBits - 4)
+            : quantize(eval, x_params);
+    ActivationOperand x_op;
+    if (spec.actBits == 8 && lb.dbs.loBits != 4) {
+        x_op = prepareActivationsDbs(
+            x_codes, lb.dbs.loBits,
+            static_cast<Slice>(lb.dbs.zpm.frequentSlice), gemm_cfg);
+    } else {
+        x_op = prepareActivations(x_codes, act_k, x_params.zeroPoint,
+                                  gemm_cfg);
+    }
+
+    lb.actNmseAsym =
+        (spec.actBits == 8 && lb.dbs.loBits != 4)
+            ? quantizationNmseDbs(eval, x_params, lb.dbs.loBits)
+            : quantizationNmse(eval, x_params);
+    lb.actHoPanacea =
+        analyzeActivationHo(x_op.sliced.hoPlane().data, opt.v, x_op.r);
+    lb.actHoAsymZeroSkip =
+        analyzeActivationHo(x_op.sliced.hoPlane().data, opt.v, 0);
+
+    lb.panacea = GemmWorkload::fromOperands(
+        spec.name, w_op, x_op, opt.v, spec.repeat);
+    lb.panacea.weightBits = weight_bits;
+    lb.panacea.actBits = spec.actBits;
+
+    // --- Sibia path: symmetric (3k+4)-bit activations, SBR slicing,
+    // zero-vector skipping. ---
+    const int sibia_act_bits = 3 * act_k + 4;
+    Calibrator sib_cal(QuantScheme::Symmetric, sibia_act_bits);
+    sib_cal.observe(calib_a);
+    sib_cal.observe(calib_b);
+    QuantParams sib_params = sib_cal.finalize();
+    MatrixI32 sib_codes = quantize(eval, sib_params);
+    SlicedMatrix sib_sliced = sbrSliceMatrix(sib_codes, act_k);
+    lb.actNmseSym = quantizationNmse(eval, sib_params);
+    lb.actHoSibia =
+        analyzeActivationHo(sib_sliced.hoPlane().data, opt.v, 0);
+
+    lb.sibia.name = spec.name;
+    lb.sibia.m = spec.m;
+    lb.sibia.k = spec.kDim;
+    lb.sibia.n = lb.n;
+    lb.sibia.wLevels = static_cast<int>(w_op.sliced.levels());
+    lb.sibia.xLevels = act_k + 1;
+    lb.sibia.weightBits = weight_bits;
+    lb.sibia.actBits = sibia_act_bits;
+    lb.sibia.weightHoSkippable = w_op.sliced.levels() >= 2;
+    lb.sibia.wMask = w_op.hoMask;
+    lb.sibia.xMask =
+        activationVectorMask(sib_sliced.hoPlane().data, opt.v, 0);
+    lb.sibia.repeat = spec.repeat;
+    return lb;
+}
+
+ModelBuild
+buildModel(const ModelSpec &spec, const ModelBuildOptions &options)
+{
+    ModelBuild build;
+    build.spec = spec;
+    build.options = options;
+    Rng rng(options.seed ^ std::hash<std::string>{}(spec.name));
+
+    for (const LayerSpec &layer : spec.layers) {
+        std::size_t n =
+            layer.nOverride ? layer.nOverride
+                            : (options.seqLen ? options.seqLen
+                                              : spec.seqLen);
+        Rng layer_rng = rng.fork();
+        build.layers.push_back(buildLayer(layer, n, options, layer_rng));
+    }
+    return build;
+}
+
+std::vector<GemmWorkload>
+ModelBuild::panaceaWorkloads() const
+{
+    std::vector<GemmWorkload> out;
+    out.reserve(layers.size());
+    for (const LayerBuild &lb : layers)
+        out.push_back(lb.panacea);
+    return out;
+}
+
+std::vector<GemmWorkload>
+ModelBuild::sibiaWorkloads() const
+{
+    std::vector<GemmWorkload> out;
+    out.reserve(layers.size());
+    for (const LayerBuild &lb : layers)
+        out.push_back(lb.sibia);
+    return out;
+}
+
+namespace {
+
+double
+macWeightedMean(const std::vector<LayerBuild> &layers,
+                double LayerBuild::*field)
+{
+    double weighted = 0.0;
+    double total = 0.0;
+    for (const LayerBuild &lb : layers) {
+        double macs = static_cast<double>(lb.panacea.usefulMacs());
+        weighted += lb.*field * macs;
+        total += macs;
+    }
+    return total > 0.0 ? weighted / total : 0.0;
+}
+
+} // namespace
+
+double
+ModelBuild::meanNmseAsym() const
+{
+    return macWeightedMean(layers, &LayerBuild::actNmseAsym);
+}
+
+double
+ModelBuild::meanNmseSym() const
+{
+    return macWeightedMean(layers, &LayerBuild::actNmseSym);
+}
+
+double
+ModelBuild::meanWeightNmse() const
+{
+    return macWeightedMean(layers, &LayerBuild::weightNmse);
+}
+
+} // namespace panacea

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The bridge from benchmark models to accelerator workloads: for every
+ * (unique) layer of a model it generates synthetic tensors, runs the
+ * Panacea PTQ calibration (asymmetric + ZPM + DBS) and the Sibia-style
+ * symmetric calibration, slices/compresses both, and emits the
+ * compression-mask workloads for the cycle simulators together with
+ * sparsity and quantization-fidelity measurements.
+ */
+
+#ifndef PANACEA_MODELS_MODEL_WORKLOADS_H
+#define PANACEA_MODELS_MODEL_WORKLOADS_H
+
+#include <vector>
+
+#include "arch/workload.h"
+#include "models/layer.h"
+#include "quant/dbs.h"
+#include "slicing/sparsity.h"
+
+namespace panacea {
+
+/** Options controlling workload construction. */
+struct ModelBuildOptions
+{
+    std::size_t seqLen = 0;        ///< 0 = model default
+    bool enableZpm = true;
+    bool enableDbs = true;
+    /** Extension: histogram-aware zero-point phase (see zpm.h). */
+    bool histAwareZpm = false;
+    ActSkipMode actSkip = ActSkipMode::RValued;
+    int weightBitsOverride = 0;    ///< e.g. 4 for the Fig. 19 study
+    bool symmetricActs = false;    ///< Panacea-sym mode (Fig. 18(a))
+    std::uint64_t seed = 0x5eed;
+    std::size_t calibTokens = 64;  ///< tokens per calibration batch
+    double dbsTargetMass = 0.90;
+    int rleIndexBits = 4;
+    int v = 4;
+};
+
+/** Everything derived from one unique model layer. */
+struct LayerBuild
+{
+    LayerSpec spec;
+    std::size_t n = 0;           ///< evaluation N actually used
+    GemmWorkload panacea;        ///< Panacea-format workload
+    GemmWorkload sibia;          ///< Sibia-format workload
+    DbsDecision dbs;             ///< calibration decision (Panacea)
+    std::int32_t rawZeroPoint = 0; ///< zero point before ZPM
+    SparsityReport weightHo;     ///< shared weight HO sparsity
+    SparsityReport actHoPanacea; ///< r-valued HO sparsity (post ZPM/DBS)
+    SparsityReport actHoSibia;   ///< zero-valued HO sparsity (symmetric)
+    /**
+     * Zero-valued HO sparsity of the *asymmetric* codes: what a
+     * previous bit-slice GEMM could skip on this quantization
+     * (paper Fig. 14(a), "previous bit-slice GEMMs" series).
+     */
+    SparsityReport actHoAsymZeroSkip;
+    double actNmseAsym = 0.0;    ///< Panacea activation fidelity
+    double actNmseSym = 0.0;     ///< symmetric activation fidelity
+    double weightNmse = 0.0;     ///< weight fidelity (OPTQ-adjusted)
+};
+
+/** A fully built model. */
+struct ModelBuild
+{
+    ModelSpec spec;
+    ModelBuildOptions options;
+    std::vector<LayerBuild> layers;
+
+    /** @return workloads for Panacea-format accelerators. */
+    std::vector<GemmWorkload> panaceaWorkloads() const;
+    /** @return workloads for the Sibia baseline. */
+    std::vector<GemmWorkload> sibiaWorkloads() const;
+
+    /** MAC-weighted mean activation NMSE (asymmetric path). */
+    double meanNmseAsym() const;
+    /** MAC-weighted mean activation NMSE (symmetric path). */
+    double meanNmseSym() const;
+    /** MAC-weighted mean weight NMSE. */
+    double meanWeightNmse() const;
+};
+
+/** Build all unique layers of a model. */
+ModelBuild buildModel(const ModelSpec &spec,
+                      const ModelBuildOptions &options);
+
+/** Build a single layer (exposed for tests and focused benches). */
+LayerBuild buildLayer(const LayerSpec &spec, std::size_t n,
+                      const ModelBuildOptions &options, Rng &rng);
+
+} // namespace panacea
+
+#endif // PANACEA_MODELS_MODEL_WORKLOADS_H

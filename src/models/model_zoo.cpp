@@ -1,0 +1,230 @@
+#include "models/model_zoo.h"
+
+namespace panacea {
+
+const char *
+toString(ActDistKind kind)
+{
+    switch (kind) {
+      case ActDistKind::LayerNormGauss: return "layernorm-gauss";
+      case ActDistKind::PostGelu:       return "post-gelu";
+      case ActDistKind::PostRelu:       return "post-relu";
+      case ActDistKind::PostAttention:  return "post-attention";
+      case ActDistKind::LongTail:       return "long-tail";
+      case ActDistKind::ImageNorm:      return "image-norm";
+    }
+    return "?";
+}
+
+std::uint64_t
+ModelSpec::totalMacs(std::size_t seq_len) const
+{
+    std::uint64_t macs = 0;
+    for (const LayerSpec &l : layers) {
+        std::size_t n = l.nOverride ? l.nOverride : seq_len;
+        macs += static_cast<std::uint64_t>(l.m) * l.kDim * n * l.repeat;
+    }
+    return macs;
+}
+
+namespace {
+
+/** Standard pre-LN transformer block: QKV, attention out, FC1, FC2. */
+std::vector<LayerSpec>
+transformerBlock(std::size_t hidden, std::size_t ffn, std::size_t qkv_m,
+                 std::uint64_t blocks, double ln_outlier_rate,
+                 ActDistKind ffn_act, int mlp_weight_bits)
+{
+    // Outlier channels appear on every transformer tensor class; they
+    // stretch the calibrated range and keep the distribution core
+    // inside a few HO buckets (the effect AQS-GEMM exploits).
+    std::vector<LayerSpec> layers;
+    layers.push_back({"ATTN.QKV", qkv_m, hidden, 0,
+                      ActDistKind::LayerNormGauss, 1.0, ln_outlier_rate,
+                      blocks, 7, 8});
+    layers.push_back({"ATTN.PROJ", hidden, hidden, 0,
+                      ActDistKind::PostAttention, 1.0, 0.02, blocks, 7,
+                      8});
+    layers.push_back({"MLP.FC1", ffn, hidden, 0, ActDistKind::LongTail,
+                      1.4, ln_outlier_rate, blocks, mlp_weight_bits, 8});
+    layers.push_back({"MLP.FC2", hidden, ffn, 0, ffn_act, 1.0, 0.02,
+                      blocks, mlp_weight_bits, 8});
+    return layers;
+}
+
+} // namespace
+
+ModelSpec
+deitBase()
+{
+    ModelSpec m;
+    m.name = "DeiT-base";
+    m.layers = transformerBlock(768, 3072, 2304, 12, 0.01,
+                                ActDistKind::PostGelu, 7);
+    m.seqLen = 200;  // 196 patches + cls, padded to a multiple of v
+    m.isLlm = false;
+    m.fp32AccPct = 81.8;
+    return m;
+}
+
+ModelSpec
+bertBase()
+{
+    ModelSpec m;
+    m.name = "BERT-base";
+    m.layers = transformerBlock(768, 3072, 2304, 12, 0.02,
+                                ActDistKind::PostGelu, 7);
+    m.seqLen = 128;  // GLUE sentences use fewer tokens (paper §IV)
+    m.isLlm = false;
+    m.fp32AccPct = 84.5;  // MNLI matched accuracy
+    return m;
+}
+
+ModelSpec
+gpt2()
+{
+    ModelSpec m;
+    m.name = "GPT-2";
+    // The paper's footnote: MLP layers of GPT-2 use 10-bit symmetric
+    // weights (three SBR slices) to avoid accuracy loss.
+    m.layers = transformerBlock(768, 3072, 2304, 12, 0.03,
+                                ActDistKind::PostGelu, 10);
+    m.seqLen = 1024;  // WikiText-2-class context
+    m.isLlm = true;
+    m.fp16Ppl = 29.41;  // WikiText-2 anchor
+    return m;
+}
+
+ModelSpec
+resnet18()
+{
+    ModelSpec m;
+    m.name = "ResNet-18";
+    m.seqLen = 0;  // all layers carry explicit spatial N
+    m.isLlm = false;
+    m.fp32AccPct = 69.8;
+    // im2col GEMMs; N padded up to a multiple of v where needed.
+    m.layers = {
+        {"CONV1", 64, 148, 12544, ActDistKind::ImageNorm, 1.0, 0.0, 1, 7,
+         8},
+        {"CONV2.X", 64, 576, 3136, ActDistKind::PostRelu, 1.0, 0.01, 4, 7,
+         8},
+        {"CONV3.DS", 128, 64, 784, ActDistKind::PostRelu, 1.0, 0.01, 1, 7,
+         8},
+        {"CONV3.1", 128, 576, 784, ActDistKind::PostRelu, 1.0, 0.01, 1, 7,
+         8},
+        {"CONV3.X", 128, 1152, 784, ActDistKind::PostRelu, 1.0, 0.01, 3, 7,
+         8},
+        {"CONV4.DS", 256, 128, 196, ActDistKind::PostRelu, 1.0, 0.01, 1, 7,
+         8},
+        {"CONV4.1", 256, 1152, 196, ActDistKind::PostRelu, 1.0, 0.01, 1, 7,
+         8},
+        {"CONV4.X", 256, 2304, 196, ActDistKind::PostRelu, 1.0, 0.01, 3, 7,
+         8},
+        {"CONV5.DS", 512, 256, 52, ActDistKind::PostRelu, 1.0, 0.01, 1, 7,
+         8},
+        {"CONV5.1", 512, 2304, 52, ActDistKind::PostRelu, 1.0, 0.01, 1, 7,
+         8},
+        {"CONV5.X", 512, 4608, 52, ActDistKind::PostRelu, 1.0, 0.01, 3, 7,
+         8},
+        {"FC", 1000, 512, 4, ActDistKind::PostRelu, 1.0, 0.01, 1, 7, 8},
+    };
+    return m;
+}
+
+namespace {
+
+ModelSpec
+optModel(const char *name, std::size_t hidden, std::size_t ffn,
+         std::uint64_t blocks, double ppl)
+{
+    ModelSpec m;
+    m.name = name;
+    // OPT uses ReLU FFNs; LayerNorm outputs carry pronounced outlier
+    // channels (the OPT family is famous for them).
+    m.layers = transformerBlock(hidden, ffn, 3 * hidden, blocks, 0.03,
+                                ActDistKind::PostRelu, 7);
+    m.seqLen = 1024;  // WikiText-2-class context
+    m.isLlm = true;
+    m.fp16Ppl = ppl;
+    return m;
+}
+
+} // namespace
+
+ModelSpec
+opt350m()
+{
+    return optModel("OPT-350M", 1024, 4096, 24, 22.00);
+}
+
+ModelSpec
+opt1_3b()
+{
+    return optModel("OPT-1.3B", 2048, 8192, 24, 14.62);
+}
+
+ModelSpec
+opt2_7b()
+{
+    return optModel("OPT-2.7B", 2560, 10240, 32, 12.47);
+}
+
+namespace {
+
+ModelSpec
+llamaModel(const char *name, std::size_t hidden, std::size_t kv_dim,
+           std::size_t ffn, std::uint64_t blocks, double ppl)
+{
+    ModelSpec m;
+    m.name = name;
+    // Grouped-query attention: QKV rows = hidden + 2 * kv_dim. Gated
+    // SiLU MLP: gate/up (hidden -> ffn) and a sensitivity-critical down
+    // projection (ffn -> hidden) whose inputs get three bit-slices
+    // (12-bit) per the paper.
+    m.layers = {
+        {"ATTN.QKV", hidden + 2 * kv_dim, hidden, 0,
+         ActDistKind::LongTail, 1.5, 0.04, blocks, 7, 8},
+        {"ATTN.PROJ", hidden, hidden, 0, ActDistKind::PostAttention, 1.0,
+         0.0, blocks, 7, 8},
+        {"MLP.GATE", ffn, hidden, 0, ActDistKind::LongTail, 1.5, 0.04,
+         blocks, 7, 8},
+        {"MLP.UP", ffn, hidden, 0, ActDistKind::LongTail, 1.5, 0.04,
+         blocks, 7, 8},
+        {"MLP.DOWN", hidden, ffn, 0, ActDistKind::PostGelu, 1.3, 0.02,
+         blocks, 7, 12},
+    };
+    // Llama weights carry large outliers (paper: "more challenging to
+    // quantize weights without PPL loss due to structural differences
+    // and large outliers"), which OPTQ + channel-wise grouping tames.
+    for (LayerSpec &l : m.layers)
+        l.weightOutlierRate = 0.02;
+    m.seqLen = 1024;  // WikiText-2-class context
+    m.isLlm = true;
+    m.fp16Ppl = ppl;
+    return m;
+}
+
+} // namespace
+
+ModelSpec
+llama32_1b()
+{
+    return llamaModel("Llama-3.2-1B", 2048, 512, 8192, 16, 9.75);
+}
+
+ModelSpec
+llama32_3b()
+{
+    return llamaModel("Llama-3.2-3B", 3072, 1024, 8192, 28, 7.81);
+}
+
+std::vector<ModelSpec>
+allModels()
+{
+    return {deitBase(), bertBase(),   gpt2(),       resnet18(),
+            opt350m(),  opt1_3b(),    opt2_7b(),    llama32_1b(),
+            llama32_3b()};
+}
+
+} // namespace panacea

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The benchmark model zoo: GEMM-shape descriptions of every model the
+ * paper evaluates (DeiT-base, BERT-base, GPT-2, ResNet-18, OPT-350M/
+ * 1.3B/2.7B, Llama-3.2-1B/3B), with per-layer distribution classes.
+ *
+ * Shapes follow the public architectures; distribution assignments
+ * follow the paper's observations (e.g. MLP.FC2 inputs are post-GELU
+ * and near-zero heavy; LLM LayerNorm outputs carry outlier channels;
+ * OPT uses ReLU FFNs; Llama MLPs are gated with a sensitivity-critical
+ * down projection).
+ */
+
+#ifndef PANACEA_MODELS_MODEL_ZOO_H
+#define PANACEA_MODELS_MODEL_ZOO_H
+
+#include <vector>
+
+#include "models/layer.h"
+
+namespace panacea {
+
+/** @return DeiT-base (ImageNet-1k): 12 blocks, hidden 768, 200 tokens. */
+ModelSpec deitBase();
+
+/** @return BERT-base (GLUE): 12 blocks, hidden 768, 128 tokens. */
+ModelSpec bertBase();
+
+/** @return GPT-2 124M (WikiText-2): 12 blocks; 10-bit MLP weights. */
+ModelSpec gpt2();
+
+/** @return ResNet-18 (ImageNet-1k) as im2col GEMMs. */
+ModelSpec resnet18();
+
+/** @return OPT-350M (WikiText-2). */
+ModelSpec opt350m();
+/** @return OPT-1.3B (WikiText-2). */
+ModelSpec opt1_3b();
+/** @return OPT-2.7B (WikiText-2). */
+ModelSpec opt2_7b();
+
+/** @return Llama-3.2-1B (WikiText-2); 12-bit down-projection inputs. */
+ModelSpec llama32_1b();
+/** @return Llama-3.2-3B (WikiText-2). */
+ModelSpec llama32_3b();
+
+/** @return every model above (for sweep benches). */
+std::vector<ModelSpec> allModels();
+
+} // namespace panacea
+
+#endif // PANACEA_MODELS_MODEL_ZOO_H

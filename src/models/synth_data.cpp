@@ -1,0 +1,95 @@
+#include "models/synth_data.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "arch/ppu.h"
+#include "util/logging.h"
+
+namespace panacea {
+
+MatrixF
+genWeights(Rng &rng, std::size_t m, std::size_t k, double outlier_rate)
+{
+    MatrixF w(m, k);
+    // Trained DNN weights are leptokurtic (Laplace-like): most values
+    // hug zero while the per-tensor maximum is a rare outlier. That
+    // shape is what gives bit-slice accelerators their high HO-slice
+    // sparsity (>90% slice-level in the paper's dense models). Per-row
+    // scale variation models output-channel heterogeneity; a small
+    // fraction of rows may carry outlier magnitudes (Llama).
+    const double base = 1.0 / std::sqrt(static_cast<double>(k));
+    for (std::size_t r = 0; r < m; ++r) {
+        double row_scale =
+            base * std::abs(rng.gaussian(1.0, 0.15));
+        if (outlier_rate > 0.0 && rng.bernoulli(outlier_rate))
+            row_scale *= 8.0;
+        const double laplace_b = row_scale / std::sqrt(2.0);
+        for (std::size_t c = 0; c < k; ++c)
+            w(r, c) = static_cast<float>(rng.laplace(0.0, laplace_b));
+    }
+    return w;
+}
+
+MatrixF
+genActivations(Rng &rng, std::size_t k, std::size_t n, ActDistKind kind,
+               double spread, double outlier_rate)
+{
+    MatrixF x(k, n);
+
+    // Per-channel parameters, shared across tokens: the channel
+    // structure is what creates LLM outlier dimensions and stable
+    // zero points.
+    std::vector<double> mu(k);
+    std::vector<double> sigma(k);
+    for (std::size_t c = 0; c < k; ++c) {
+        mu[c] = rng.gaussian(0.0, 0.3 * spread);
+        sigma[c] = std::abs(rng.gaussian(1.0, 0.2)) * spread;
+        if (outlier_rate > 0.0 && rng.bernoulli(outlier_rate)) {
+            mu[c] *= 4.0;
+            sigma[c] *= 8.0;
+        }
+    }
+
+    for (std::size_t c = 0; c < k; ++c) {
+        for (std::size_t t = 0; t < n; ++t) {
+            double value = 0.0;
+            switch (kind) {
+              case ActDistKind::LayerNormGauss:
+                value = rng.gaussian(mu[c] * 0.3, sigma[c]);
+                break;
+              case ActDistKind::PostGelu:
+                value = geluExact(static_cast<float>(
+                    rng.gaussian(mu[c] * 0.2, sigma[c])));
+                break;
+              case ActDistKind::PostRelu:
+                value = std::max(0.0, rng.gaussian(mu[c] * 0.2,
+                                                   sigma[c]));
+                break;
+              case ActDistKind::PostAttention:
+                // Attention outputs are convex combinations of value
+                // rows: tightly concentrated around the channel mean.
+                value = rng.gaussian(mu[c] * 0.1, 0.35 * sigma[c]);
+                break;
+              case ActDistKind::LongTail:
+                value = rng.laplace(mu[c], 0.7 * sigma[c]);
+                break;
+              case ActDistKind::ImageNorm:
+                value = rng.gaussian(0.0, 1.0);
+                break;
+            }
+            x(c, t) = static_cast<float>(value);
+        }
+    }
+    return x;
+}
+
+MatrixF
+genLayerActivations(Rng &rng, const LayerSpec &layer, std::size_t n)
+{
+    return genActivations(rng, layer.kDim, n, layer.dist, layer.spread,
+                          layer.outlierRate);
+}
+
+} // namespace panacea

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Synthetic tensor generation (substitution for HuggingFace model
+ * tensors; DESIGN.md §2). Weights are near-zero Gaussians with
+ * per-channel scale variation (optionally with outlier rows, as in
+ * Llama); activations are drawn per distribution family with
+ * channel-wise structure so that quantization, zero points and
+ * bit-slice sparsity behave like the real layers.
+ */
+
+#ifndef PANACEA_MODELS_SYNTH_DATA_H
+#define PANACEA_MODELS_SYNTH_DATA_H
+
+#include "models/layer.h"
+#include "util/matrix.h"
+#include "util/random.h"
+
+namespace panacea {
+
+/**
+ * Generate a weight matrix of shape m x k.
+ *
+ * @param outlier_rate fraction of rows with ~8x larger magnitude
+ */
+MatrixF genWeights(Rng &rng, std::size_t m, std::size_t k,
+                   double outlier_rate = 0.0);
+
+/**
+ * Generate an activation matrix of shape k x n for one distribution
+ * family. Rows are channels (shared statistics), columns are tokens.
+ */
+MatrixF genActivations(Rng &rng, std::size_t k, std::size_t n,
+                       ActDistKind kind, double spread = 1.0,
+                       double outlier_rate = 0.0);
+
+/** Generate the activation described by a LayerSpec. */
+MatrixF genLayerActivations(Rng &rng, const LayerSpec &layer,
+                            std::size_t n);
+
+} // namespace panacea
+
+#endif // PANACEA_MODELS_SYNTH_DATA_H

@@ -1,0 +1,71 @@
+#include "quant/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/quantizer.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace panacea {
+
+Calibrator::Calibrator(QuantScheme scheme, int bits,
+                       CalibrationPolicy policy, double tail_pct)
+    : scheme_(scheme), bits_(bits), policy_(policy), tailPct_(tail_pct)
+{
+    fatal_if(bits < 2 || bits > 16, "calibrator bit-width ", bits,
+             " out of supported range [2,16]");
+    fatal_if(tail_pct < 0.0 || tail_pct >= 50.0,
+             "percentile tail ", tail_pct, " out of [0,50)");
+    if (policy_ == CalibrationPolicy::Percentile)
+        reservoir_.reserve(reservoirCap);
+}
+
+void
+Calibrator::observe(std::span<const float> values)
+{
+    for (float v : values) {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    count_ += values.size();
+
+    if (policy_ == CalibrationPolicy::Percentile) {
+        // Uniform reservoir sampling keeps percentile estimates unbiased
+        // without retaining the whole calibration stream.
+        for (float v : values) {
+            ++seen_;
+            if (reservoir_.size() < reservoirCap) {
+                reservoir_.push_back(v);
+            } else {
+                std::size_t j = static_cast<std::size_t>(
+                    (seen_ * 2654435761u) % seen_);
+                if (j < reservoirCap)
+                    reservoir_[j] = v;
+            }
+        }
+    }
+}
+
+QuantParams
+Calibrator::finalize() const
+{
+    fatal_if(count_ == 0, "calibrator finalized without observations");
+
+    float lo = min_;
+    float hi = max_;
+    if (policy_ == CalibrationPolicy::Percentile && !reservoir_.empty()) {
+        lo = static_cast<float>(percentile(reservoir_, tailPct_));
+        hi = static_cast<float>(percentile(reservoir_, 100.0 - tailPct_));
+        if (hi < lo)
+            std::swap(lo, hi);
+    }
+
+    if (scheme_ == QuantScheme::Symmetric) {
+        float abs_max = std::max(std::abs(lo), std::abs(hi));
+        return chooseSymmetricParamsFromAbsMax(abs_max, bits_);
+    }
+    return chooseAsymmetricParamsFromRange(lo, hi, bits_);
+}
+
+} // namespace panacea

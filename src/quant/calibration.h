@@ -1,0 +1,75 @@
+/**
+ * @file
+ * PTQ calibration (paper §II-A): feed a small calibration set through a
+ * layer, record the activation range, and derive the layer's scale and
+ * zero point. Supports min/max and percentile clipping.
+ */
+
+#ifndef PANACEA_QUANT_CALIBRATION_H
+#define PANACEA_QUANT_CALIBRATION_H
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "quant/quant_params.h"
+#include "util/matrix.h"
+
+namespace panacea {
+
+/** Range-selection policy for calibration. */
+enum class CalibrationPolicy
+{
+    MinMax,        ///< use the observed min/max exactly
+    Percentile,    ///< clip to [q, 100-q] percentiles to reject outliers
+};
+
+/**
+ * Accumulates activation observations across calibration batches and
+ * produces QuantParams on finalize().
+ */
+class Calibrator
+{
+  public:
+    /**
+     * @param scheme   symmetric (weights) or asymmetric (activations)
+     * @param bits     code bit-width
+     * @param policy   range-selection policy
+     * @param tail_pct percentile tail mass (only for Percentile policy),
+     *                 e.g. 0.1 clips to the [0.1, 99.9] percentiles
+     */
+    Calibrator(QuantScheme scheme, int bits,
+               CalibrationPolicy policy = CalibrationPolicy::MinMax,
+               double tail_pct = 0.1);
+
+    /** Record one calibration batch. */
+    void observe(std::span<const float> values);
+
+    /** Record a whole matrix. */
+    void observe(const MatrixF &tensor) { observe(tensor.data()); }
+
+    /** @return quantization parameters for everything observed so far. */
+    QuantParams finalize() const;
+
+    /** @return number of values observed. */
+    std::size_t observedCount() const { return count_; }
+
+  private:
+    QuantScheme scheme_;
+    int bits_;
+    CalibrationPolicy policy_;
+    double tailPct_;
+
+    float min_ = std::numeric_limits<float>::infinity();
+    float max_ = -std::numeric_limits<float>::infinity();
+    std::size_t count_ = 0;
+
+    /** Reservoir of samples for percentile estimation. */
+    std::vector<float> reservoir_;
+    static constexpr std::size_t reservoirCap = 1 << 18;
+    std::size_t seen_ = 0;
+};
+
+} // namespace panacea
+
+#endif // PANACEA_QUANT_CALIBRATION_H

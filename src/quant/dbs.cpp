@@ -1,0 +1,129 @@
+#include "quant/dbs.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace panacea {
+
+const char *
+toString(DbsType type)
+{
+    switch (type) {
+      case DbsType::Type1: return "type-1";
+      case DbsType::Type2: return "type-2";
+      case DbsType::Type3: return "type-3";
+    }
+    return "?";
+}
+
+int
+loBitsFor(DbsType type)
+{
+    switch (type) {
+      case DbsType::Type1: return 4;
+      case DbsType::Type2: return 5;
+      case DbsType::Type3: return 6;
+    }
+    panic("unreachable DBS type");
+}
+
+namespace {
+
+/**
+ * Acklam's inverse normal CDF approximation; relative error < 1.15e-9
+ * over the open interval (0, 1).
+ */
+double
+probit(double p)
+{
+    panic_if(p <= 0.0 || p >= 1.0, "probit argument ", p, " out of (0,1)");
+
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+
+    constexpr double p_low = 0.02425;
+    constexpr double p_high = 1.0 - p_low;
+
+    if (p < p_low) {
+        double q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+                c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p <= p_high) {
+        double q = p - 0.5;
+        double r = q * q;
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+                a[5]) * q /
+               (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+                1.0);
+    }
+    double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+} // namespace
+
+double
+zScoreForMass(double mass)
+{
+    fatal_if(mass <= 0.0 || mass >= 1.0,
+             "DBS target mass ", mass, " out of (0,1)");
+    return probit(0.5 + mass / 2.0);
+}
+
+DbsDecision
+classifyDistribution(const Histogram &quantized, std::int32_t zp,
+                     const DbsConfig &cfg)
+{
+    DbsDecision decision;
+    double z = zScoreForMass(cfg.targetMass);
+    decision.stdTimesZ = quantized.stddev() * z;
+
+    // Half-widths of the skip range for l = 4/5/6 are 8/16/32 codes: the
+    // skip range spans one HO bucket of 2^l codes centred (post-ZPM) on
+    // the zero point.
+    if (decision.stdTimesZ <= 8.0)
+        decision.type = DbsType::Type1;
+    else if (decision.stdTimesZ <= 16.0)
+        decision.type = DbsType::Type2;
+    else
+        decision.type = DbsType::Type3;
+
+    decision.loBits = loBitsFor(decision.type);
+
+    if (cfg.enableZpm) {
+        decision.zpm =
+            cfg.histAwareZpm
+                ? manipulateZeroPointHistAware(quantized, zp, cfg.bits,
+                                               decision.loBits)
+                : manipulateZeroPoint(zp, cfg.bits, decision.loBits);
+    } else {
+        decision.zpm.zeroPoint = zp;
+        decision.zpm.frequentSlice = frequentSliceOf(zp, decision.loBits);
+    }
+    return decision;
+}
+
+std::int32_t
+dbsEffectiveCode(std::int32_t code, int lo_bits)
+{
+    panic_if(lo_bits < 4 || lo_bits > 6, "DBS lo_bits ", lo_bits,
+             " outside {4,5,6}");
+    std::int32_t mask = ~((1 << (lo_bits - 4)) - 1);
+    return code & mask;
+}
+
+} // namespace panacea

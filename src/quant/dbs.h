@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Distribution-Based bit-Slicing (DBS, paper §III-C Fig. 9/10).
+ *
+ * During PTQ calibration the quantized-activation histogram of each layer
+ * is reduced to its standard deviation; comparing std * z (where z is the
+ * z-score of the target skip-range mass) against the half-width of the
+ * slice skip range classifies the layer:
+ *
+ *   type-1: std*z <=  8  -> l = 4 (base slicing, skip range 16 codes)
+ *   type-2: std*z <= 16  -> l = 5 (skip range doubled to 32 codes)
+ *   type-3: otherwise    -> l = 6 (skip range 64 codes)
+ *
+ * At inference, hardware keeps 4-bit slices by zero-padding the short HO
+ * slice and discarding the (l-4) LSBs of the long LO slice; the S-ACC
+ * shifts outputs by the per-type amounts. Calibration finishes with a
+ * type-based ZPM computing zp'' and r'' for the chosen l.
+ */
+
+#ifndef PANACEA_QUANT_DBS_H
+#define PANACEA_QUANT_DBS_H
+
+#include <cstdint>
+
+#include "quant/quant_params.h"
+#include "quant/zpm.h"
+#include "util/histogram.h"
+
+namespace panacea {
+
+/** The three DBS distribution classes. */
+enum class DbsType : int { Type1 = 1, Type2 = 2, Type3 = 3 };
+
+/** @return printable name ("type-1" ...). */
+const char *toString(DbsType type);
+
+/** @return the LO-slice width l for a type (4, 5 or 6). */
+int loBitsFor(DbsType type);
+
+/** DBS calibration settings. */
+struct DbsConfig
+{
+    /**
+     * Target fraction of the distribution the skip range should capture;
+     * its two-sided z-score is compared against the range half-width.
+     */
+    double targetMass = 0.90;
+    int bits = 8;              ///< activation code bit-width
+    bool enableZpm = true;     ///< run the type-based ZPM afterwards
+    /**
+     * Extension: choose the zero point's bucket phase from the recorded
+     * histogram instead of blind Eq. (7) centring (helps skewed
+     * distributions; see zpm.h).
+     */
+    bool histAwareZpm = false;
+};
+
+/** Outcome of DBS calibration for one layer. */
+struct DbsDecision
+{
+    DbsType type = DbsType::Type1;
+    int loBits = 4;            ///< l
+    ZpmResult zpm;             ///< zp'' and frequent slice r''
+    double stdTimesZ = 0.0;    ///< the classification statistic
+};
+
+/**
+ * Two-sided z-score: the z with P(|Z| <= z) = mass for a standard normal.
+ * Implemented with Acklam's rational approximation of the probit function
+ * (the "z-score table" of the paper, in closed form).
+ */
+double zScoreForMass(double mass);
+
+/**
+ * Classify a layer's quantized-activation histogram and derive the
+ * slicing rule plus the type-based ZPM.
+ *
+ * @param quantized histogram of the layer's quantized activation codes
+ * @param zp        the layer's calibrated zero point
+ * @param cfg       DBS settings
+ */
+DbsDecision classifyDistribution(const Histogram &quantized,
+                                 std::int32_t zp, const DbsConfig &cfg);
+
+/**
+ * The LSB mask DBS inference applies to activation codes: with LO width
+ * l, the (l-4) discarded LSBs make the effective code
+ * x & ~((1 << (l-4)) - 1).
+ */
+std::int32_t dbsEffectiveCode(std::int32_t code, int lo_bits);
+
+} // namespace panacea
+
+#endif // PANACEA_QUANT_DBS_H

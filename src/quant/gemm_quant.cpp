@@ -1,0 +1,130 @@
+#include "quant/gemm_quant.h"
+
+#include <cmath>
+
+#include "quant/quantizer.h"
+#include "util/logging.h"
+
+namespace panacea {
+
+MatrixF
+floatGemm(const MatrixF &w, const MatrixF &x, std::span<const float> bias)
+{
+    panic_if(w.cols() != x.rows(), "GEMM shape mismatch: ", w.rows(), "x",
+             w.cols(), " * ", x.rows(), "x", x.cols());
+    panic_if(!bias.empty() && bias.size() != w.rows(),
+             "bias length ", bias.size(), " != M ", w.rows());
+
+    MatrixF out(w.rows(), x.cols());
+    for (std::size_t m = 0; m < w.rows(); ++m) {
+        for (std::size_t n = 0; n < x.cols(); ++n) {
+            double acc = bias.empty() ? 0.0 : bias[m];
+            for (std::size_t k = 0; k < w.cols(); ++k)
+                acc += static_cast<double>(w(m, k)) *
+                       static_cast<double>(x(k, n));
+            out(m, n) = static_cast<float>(acc);
+        }
+    }
+    return out;
+}
+
+MatrixI64
+intGemm(const MatrixI32 &w, const MatrixI32 &x)
+{
+    panic_if(w.cols() != x.rows(), "int GEMM shape mismatch: ", w.rows(),
+             "x", w.cols(), " * ", x.rows(), "x", x.cols());
+
+    MatrixI64 out(w.rows(), x.cols());
+    for (std::size_t m = 0; m < w.rows(); ++m) {
+        for (std::size_t k = 0; k < w.cols(); ++k) {
+            std::int64_t wmk = w(m, k);
+            if (wmk == 0)
+                continue;
+            for (std::size_t n = 0; n < x.cols(); ++n)
+                out(m, n) += wmk * x(k, n);
+        }
+    }
+    return out;
+}
+
+std::vector<std::int64_t>
+foldZeroPointBias(const MatrixI32 &w, std::int32_t zp_x,
+                  std::span<const std::int64_t> bias_int)
+{
+    panic_if(!bias_int.empty() && bias_int.size() != w.rows(),
+             "bias length ", bias_int.size(), " != M ", w.rows());
+
+    std::vector<std::int64_t> folded(w.rows(), 0);
+    for (std::size_t m = 0; m < w.rows(); ++m) {
+        std::int64_t row_sum = 0;
+        for (std::size_t k = 0; k < w.cols(); ++k)
+            row_sum += w(m, k);
+        std::int64_t base = bias_int.empty() ? 0 : bias_int[m];
+        folded[m] = base - static_cast<std::int64_t>(zp_x) * row_sum;
+    }
+    return folded;
+}
+
+void
+addRowBias(MatrixI64 &acc, std::span<const std::int64_t> bias)
+{
+    panic_if(bias.size() != acc.rows(), "row bias length ", bias.size(),
+             " != rows ", acc.rows());
+    for (std::size_t m = 0; m < acc.rows(); ++m)
+        for (std::size_t n = 0; n < acc.cols(); ++n)
+            acc(m, n) += bias[m];
+}
+
+MatrixF
+dequantizeAccumulator(const MatrixI64 &acc, double scale_w, double scale_x)
+{
+    MatrixF out(acc.rows(), acc.cols());
+    double s = scale_w * scale_x;
+    for (std::size_t m = 0; m < acc.rows(); ++m)
+        for (std::size_t n = 0; n < acc.cols(); ++n)
+            out(m, n) = static_cast<float>(s * static_cast<double>(
+                acc(m, n)));
+    return out;
+}
+
+QuantizedLinear
+QuantizedLinear::make(const MatrixF &w, std::span<const float> bias,
+                      int w_bits, const QuantParams &x_params)
+{
+    QuantizedLinear layer;
+    layer.wParams = chooseSymmetricParams(w.data(), w_bits);
+    layer.wInt = quantize(w, layer.wParams);
+    layer.xParams = x_params;
+
+    // Quantize the float bias on the accumulator grid sW*sx, then fold in
+    // the zero-point correction (Eq. (3)).
+    std::vector<std::int64_t> bias_int;
+    if (!bias.empty()) {
+        bias_int.resize(bias.size());
+        double s = layer.wParams.scale * x_params.scale;
+        for (std::size_t i = 0; i < bias.size(); ++i)
+            bias_int[i] = static_cast<std::int64_t>(
+                std::llround(bias[i] / s));
+    }
+    layer.foldedBias = foldZeroPointBias(layer.wInt, x_params.zeroPoint,
+                                         bias_int);
+    return layer;
+}
+
+MatrixF
+QuantizedLinear::forward(const MatrixF &x) const
+{
+    MatrixI32 codes = quantize(x, xParams);
+    MatrixI64 acc = forwardCodes(codes);
+    return dequantizeAccumulator(acc, wParams.scale, xParams.scale);
+}
+
+MatrixI64
+QuantizedLinear::forwardCodes(const MatrixI32 &x_codes) const
+{
+    MatrixI64 acc = intGemm(wInt, x_codes);
+    addRowBias(acc, foldedBias);
+    return acc;
+}
+
+} // namespace panacea

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Integer GEMM with asymmetric activation quantization (paper Eq. (3)):
+ *
+ *   W x + b ~= sW sx (Wint xuint - zpx Wint 1 + bint)
+ *            = sW sx (Wint xuint + b_hat)
+ *
+ * The zero-point term is folded into the bias offline, so inference only
+ * runs the plain integer GEMM plus a per-row constant.
+ */
+
+#ifndef PANACEA_QUANT_GEMM_QUANT_H
+#define PANACEA_QUANT_GEMM_QUANT_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "quant/quant_params.h"
+#include "util/matrix.h"
+
+namespace panacea {
+
+/** Plain reference float GEMM: out = W x (+ bias per output row). */
+MatrixF floatGemm(const MatrixF &w, const MatrixF &x,
+                  std::span<const float> bias = {});
+
+/** Naive integer GEMM with 64-bit accumulation: out = W x. */
+MatrixI64 intGemm(const MatrixI32 &w, const MatrixI32 &x);
+
+/**
+ * Fold the zero-point correction into the bias (Eq. (3)):
+ * b_hat[m] = bias_int[m] - zp_x * sum_k W[m][k].
+ * An empty bias is treated as all zeros.
+ */
+std::vector<std::int64_t> foldZeroPointBias(const MatrixI32 &w,
+                                            std::int32_t zp_x,
+                                            std::span<const std::int64_t>
+                                                bias_int = {});
+
+/** Add a per-row constant to an accumulator matrix in place. */
+void addRowBias(MatrixI64 &acc, std::span<const std::int64_t> bias);
+
+/** Dequantize an accumulator: out = sW * sx * acc. */
+MatrixF dequantizeAccumulator(const MatrixI64 &acc, double scale_w,
+                              double scale_x);
+
+/**
+ * End-to-end quantized linear layer for accuracy studies: symmetric
+ * weights, caller-chosen activation scheme, Eq. (3) evaluation, float
+ * output. Exactness of this path against the bit-slice engines is the
+ * core invariant of the repository.
+ */
+struct QuantizedLinear
+{
+    MatrixI32 wInt;             ///< symmetric weight codes
+    QuantParams wParams;
+    QuantParams xParams;        ///< activation parameters (either scheme)
+    std::vector<std::int64_t> foldedBias;
+
+    /** Build from float weights + bias and pre-chosen activation params. */
+    static QuantizedLinear make(const MatrixF &w, std::span<const float>
+                                bias, int w_bits, const QuantParams &x_params);
+
+    /** Run on a float activation: quantize x, integer GEMM, dequantize. */
+    MatrixF forward(const MatrixF &x) const;
+
+    /** Run on pre-quantized activation codes; returns the accumulator. */
+    MatrixI64 forwardCodes(const MatrixI32 &x_codes) const;
+};
+
+} // namespace panacea
+
+#endif // PANACEA_QUANT_GEMM_QUANT_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Quantization parameter types shared by the calibrator, the quantizers
+ * and the bit-slicing layer (paper Eq. (1) and (2)).
+ */
+
+#ifndef PANACEA_QUANT_QUANT_PARAMS_H
+#define PANACEA_QUANT_QUANT_PARAMS_H
+
+#include <cstdint>
+
+namespace panacea {
+
+/** Uniform quantization scheme. */
+enum class QuantScheme
+{
+    Symmetric,   ///< signed codes centred on zero (paper Eq. (1))
+    Asymmetric,  ///< unsigned codes with a zero point (paper Eq. (2))
+};
+
+/** @return a short printable name for a scheme. */
+const char *toString(QuantScheme scheme);
+
+/**
+ * Parameters of one uniform quantizer.
+ *
+ * For Symmetric: codes are signed in [-2^(b-1), 2^(b-1)-1] and
+ * zeroPoint is always 0. For Asymmetric: codes are unsigned in
+ * [0, 2^b - 1] and zeroPoint maps real zero.
+ */
+struct QuantParams
+{
+    QuantScheme scheme = QuantScheme::Symmetric;
+    int bits = 8;             ///< code bit-width b
+    double scale = 1.0;       ///< real-valued step size (s or s')
+    std::int32_t zeroPoint = 0;
+
+    /** @return smallest representable code. */
+    std::int32_t
+    codeMin() const
+    {
+        return scheme == QuantScheme::Symmetric
+            ? -(std::int32_t{1} << (bits - 1)) : 0;
+    }
+
+    /** @return largest representable code. */
+    std::int32_t
+    codeMax() const
+    {
+        return scheme == QuantScheme::Symmetric
+            ? (std::int32_t{1} << (bits - 1)) - 1
+            : (std::int32_t{1} << bits) - 1;
+    }
+
+    /** @return number of representable codes (2^bits). */
+    std::int64_t levels() const { return std::int64_t{1} << bits; }
+};
+
+} // namespace panacea
+
+#endif // PANACEA_QUANT_QUANT_PARAMS_H

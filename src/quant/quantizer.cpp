@@ -1,0 +1,150 @@
+#include "quant/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace panacea {
+
+namespace {
+
+/** Round-half-away-from-zero, the ⌊·⌉ of the paper. */
+std::int64_t
+roundNearest(double v)
+{
+    return static_cast<std::int64_t>(std::llround(v));
+}
+
+} // namespace
+
+QuantParams
+chooseSymmetricParams(std::span<const float> sample, int bits)
+{
+    panic_if(bits < 2 || bits > 16, "unsupported bit-width ", bits);
+    SampleStats st = computeStats(sample);
+    double abs_max = std::max(std::abs(st.min), std::abs(st.max));
+    return chooseSymmetricParamsFromAbsMax(static_cast<float>(abs_max), bits);
+}
+
+QuantParams
+chooseSymmetricParamsFromAbsMax(float abs_max, int bits)
+{
+    QuantParams p;
+    p.scheme = QuantScheme::Symmetric;
+    p.bits = bits;
+    double levels = static_cast<double>((std::int64_t{1} << bits) - 1);
+    p.scale = abs_max > 0.0f ? 2.0 * abs_max / levels : 1.0;
+    p.zeroPoint = 0;
+    return p;
+}
+
+QuantParams
+chooseAsymmetricParams(std::span<const float> sample, int bits)
+{
+    panic_if(bits < 2 || bits > 16, "unsupported bit-width ", bits);
+    SampleStats st = computeStats(sample);
+    return chooseAsymmetricParamsFromRange(static_cast<float>(st.min),
+                                           static_cast<float>(st.max), bits);
+}
+
+QuantParams
+chooseAsymmetricParamsFromRange(float lo, float hi, int bits)
+{
+    panic_if(hi < lo, "asymmetric range [", lo, ",", hi, "] inverted");
+    QuantParams p;
+    p.scheme = QuantScheme::Asymmetric;
+    p.bits = bits;
+    double levels = static_cast<double>((std::int64_t{1} << bits) - 1);
+    double range = static_cast<double>(hi) - static_cast<double>(lo);
+    p.scale = range > 0.0 ? range / levels : 1.0;
+    auto zp = roundNearest(-static_cast<double>(lo) / p.scale);
+    p.zeroPoint = static_cast<std::int32_t>(
+        std::clamp<std::int64_t>(zp, 0, (std::int64_t{1} << bits) - 1));
+    return p;
+}
+
+std::int32_t
+quantizeValue(float value, const QuantParams &params)
+{
+    double scaled = static_cast<double>(value) / params.scale;
+    std::int64_t code = roundNearest(scaled) + params.zeroPoint;
+    return static_cast<std::int32_t>(std::clamp<std::int64_t>(
+        code, params.codeMin(), params.codeMax()));
+}
+
+float
+dequantizeValue(std::int32_t code, const QuantParams &params)
+{
+    return static_cast<float>(
+        params.scale * static_cast<double>(code - params.zeroPoint));
+}
+
+MatrixI32
+quantize(const MatrixF &input, const QuantParams &params)
+{
+    MatrixI32 out(input.rows(), input.cols());
+    auto src = input.data();
+    auto dst = out.data();
+    for (std::size_t i = 0; i < src.size(); ++i)
+        dst[i] = quantizeValue(src[i], params);
+    return out;
+}
+
+std::int32_t
+quantizeValueCoarse(float value, const QuantParams &params, int drop_bits)
+{
+    panic_if(drop_bits < 0 || drop_bits > 4, "coarse drop_bits ",
+             drop_bits, " out of [0,4]");
+    // ZPM's bucket-centred zero points are always aligned to the grid;
+    // an unaligned zero point merely shifts the rounding grid by a
+    // sub-step offset (the GEMM arithmetic stays exact either way).
+    if (drop_bits == 0)
+        return quantizeValue(value, params);
+
+    const std::int32_t step = 1 << drop_bits;
+    double scaled = static_cast<double>(value) /
+                    (params.scale * static_cast<double>(step));
+    std::int64_t coarse =
+        roundNearest(scaled) + params.zeroPoint / step;
+    std::int64_t max_coarse = params.codeMax() / step;
+    coarse = std::clamp<std::int64_t>(coarse, params.codeMin() / step,
+                                      max_coarse);
+    return static_cast<std::int32_t>(coarse * step);
+}
+
+MatrixI32
+quantizeCoarse(const MatrixF &input, const QuantParams &params,
+               int drop_bits)
+{
+    MatrixI32 out(input.rows(), input.cols());
+    auto src = input.data();
+    auto dst = out.data();
+    for (std::size_t i = 0; i < src.size(); ++i)
+        dst[i] = quantizeValueCoarse(src[i], params, drop_bits);
+    return out;
+}
+
+MatrixF
+dequantize(const MatrixI32 &codes, const QuantParams &params)
+{
+    MatrixF out(codes.rows(), codes.cols());
+    auto src = codes.data();
+    auto dst = out.data();
+    for (std::size_t i = 0; i < src.size(); ++i)
+        dst[i] = dequantizeValue(src[i], params);
+    return out;
+}
+
+const char *
+toString(QuantScheme scheme)
+{
+    switch (scheme) {
+      case QuantScheme::Symmetric:  return "symmetric";
+      case QuantScheme::Asymmetric: return "asymmetric";
+    }
+    return "?";
+}
+
+} // namespace panacea

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Uniform symmetric / asymmetric quantization (paper Eq. (1) and (2)).
+ *
+ * Scale-factor conventions follow the paper exactly:
+ *   symmetric:  s  = 2 * max(|x|) / (2^b - 1)
+ *   asymmetric: s' = (max(x) - min(x)) / (2^b - 1)
+ *               zp = clip(round(-min(x) / s'), 0, 2^b - 1)
+ */
+
+#ifndef PANACEA_QUANT_QUANTIZER_H
+#define PANACEA_QUANT_QUANTIZER_H
+
+#include <span>
+
+#include "quant/quant_params.h"
+#include "util/matrix.h"
+
+namespace panacea {
+
+/** Derive symmetric parameters (Eq. (1) scale rule) from a sample. */
+QuantParams chooseSymmetricParams(std::span<const float> sample, int bits);
+
+/** Derive asymmetric parameters (Eq. (2) scale/zero-point) from a sample. */
+QuantParams chooseAsymmetricParams(std::span<const float> sample, int bits);
+
+/**
+ * Derive asymmetric parameters from explicit clipping bounds
+ * (used by percentile calibration).
+ */
+QuantParams chooseAsymmetricParamsFromRange(float lo, float hi, int bits);
+
+/** Derive symmetric parameters from an explicit |x| bound. */
+QuantParams chooseSymmetricParamsFromAbsMax(float abs_max, int bits);
+
+/** Quantize one real value to its integer code. */
+std::int32_t quantizeValue(float value, const QuantParams &params);
+
+/** Reconstruct the real value of one code. */
+float dequantizeValue(std::int32_t code, const QuantParams &params);
+
+/** Quantize a whole matrix to integer codes. */
+MatrixI32 quantize(const MatrixF &input, const QuantParams &params);
+
+/**
+ * Quantize one value onto the coarse grid of codes that are multiples
+ * of 2^drop_bits (used by DBS wide-distribution slicing, where the
+ * (l-4) LO LSBs are not representable). Rounding to the coarse grid
+ * halves the error of naively truncating the discarded LSBs. ZPM's
+ * bucket-centred zero points are always aligned to this grid.
+ */
+std::int32_t quantizeValueCoarse(float value, const QuantParams &params,
+                                 int drop_bits);
+
+/** Coarse-grid quantization of a whole matrix. */
+MatrixI32 quantizeCoarse(const MatrixF &input, const QuantParams &params,
+                         int drop_bits);
+
+/** Dequantize a whole code matrix. */
+MatrixF dequantize(const MatrixI32 &codes, const QuantParams &params);
+
+} // namespace panacea
+
+#endif // PANACEA_QUANT_QUANTIZER_H

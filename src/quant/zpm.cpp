@@ -1,0 +1,123 @@
+#include "quant/zpm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace panacea {
+
+ZpmResult
+manipulateZeroPoint(std::int32_t zp, int bits, int lo_bits)
+{
+    panic_if(lo_bits < 1 || lo_bits >= bits,
+             "ZPM lo_bits=", lo_bits, " invalid for ", bits, "-bit codes");
+    panic_if(zp < 0, "asymmetric zero point must be non-negative, got ", zp);
+
+    ZpmResult res;
+    if (zp == 0) {
+        // Eq. (7): a zero zp stays zero -- the distribution already hugs
+        // the bottom bucket, whose HO slice is 0.
+        res.zeroPoint = 0;
+        res.frequentSlice = 0;
+        return res;
+    }
+
+    const std::int32_t step = 1 << lo_bits;
+    const std::int32_t half = step / 2;
+    const std::int32_t max_bucket = (1 << (bits - lo_bits)) - 1;
+
+    // The bucket *containing* zp: its centre is within step/2 of zp,
+    // and the frequent slice stays r' = HO(zp) as the paper defines it.
+    std::int32_t bucket = std::clamp(zp >> lo_bits, 0, max_bucket);
+
+    res.zeroPoint = bucket * step + half;
+    res.frequentSlice = (res.zeroPoint - half) >> lo_bits;
+    panic_if(res.frequentSlice != bucket, "ZPM slice/bucket mismatch");
+    return res;
+}
+
+ZpmResult
+applyZpm(QuantParams &params, int lo_bits)
+{
+    panic_if(params.scheme != QuantScheme::Asymmetric,
+             "ZPM only applies to asymmetric quantization");
+    ZpmResult res = manipulateZeroPoint(params.zeroPoint, params.bits,
+                                        lo_bits);
+    params.zeroPoint = res.zeroPoint;
+    return res;
+}
+
+std::int32_t
+frequentSliceOf(std::int32_t zp, int lo_bits)
+{
+    panic_if(zp < 0, "zero point must be non-negative");
+    return zp >> lo_bits;
+}
+
+ZpmResult
+manipulateZeroPointHistAware(const Histogram &codes, std::int32_t zp,
+                             int bits, int lo_bits)
+{
+    panic_if(lo_bits < 1 || lo_bits >= bits,
+             "ZPM lo_bits=", lo_bits, " invalid for ", bits, "-bit codes");
+    panic_if(zp < 0, "asymmetric zero point must be non-negative");
+
+    const std::int32_t code_max = (1 << bits) - 1;
+    const std::int32_t half = 1 << (lo_bits - 1);
+
+    ZpmResult best = manipulateZeroPoint(zp, bits, lo_bits);
+    std::uint64_t best_mass = 0;
+    std::int32_t best_abs_shift = 1 << bits;  // larger than any shift
+
+    for (std::int32_t shift = -half; shift <= half; ++shift) {
+        const std::int32_t zp_new = zp + shift;
+        if (zp_new < 0 || zp_new > code_max)
+            continue;
+        const std::int32_t r = zp_new >> lo_bits;
+        // Re-quantizing with zp_new moves every code by `shift`; count
+        // the calibration mass whose shifted code shares r's HO bucket.
+        const std::int32_t bucket_lo = (r << lo_bits) - shift;
+        const std::int32_t bucket_hi = bucket_lo + (1 << lo_bits) - 1;
+        const std::uint64_t mass = static_cast<std::uint64_t>(
+            static_cast<double>(codes.total()) *
+            codes.massIn(bucket_lo, bucket_hi) + 0.5);
+        if (mass > best_mass ||
+            (mass == best_mass && std::abs(shift) < best_abs_shift)) {
+            best_mass = mass;
+            best_abs_shift = std::abs(shift);
+            best.zeroPoint = zp_new;
+            best.frequentSlice = r;
+        }
+    }
+    return best;
+}
+
+QuantParams
+refitScaleForZeroPoint(const QuantParams &raw, std::int32_t new_zp)
+{
+    panic_if(raw.scheme != QuantScheme::Asymmetric,
+             "scale refit applies to asymmetric parameters");
+    const std::int32_t code_max = raw.codeMax();
+    panic_if(new_zp < 0 || new_zp > code_max, "zero point ", new_zp,
+             " out of code range");
+
+    // The calibrated real range implied by the raw parameters.
+    const double lo = -static_cast<double>(raw.zeroPoint) * raw.scale;
+    const double hi =
+        static_cast<double>(code_max - raw.zeroPoint) * raw.scale;
+
+    double scale = raw.scale;
+    if (new_zp > 0)
+        scale = std::max(scale, -lo / static_cast<double>(new_zp));
+    if (new_zp < code_max)
+        scale = std::max(
+            scale, hi / static_cast<double>(code_max - new_zp));
+
+    QuantParams out = raw;
+    out.zeroPoint = new_zp;
+    out.scale = scale;
+    return out;
+}
+
+} // namespace panacea

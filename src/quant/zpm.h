@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Sparsity-aware Zero-Point Manipulation (ZPM, paper §III-C Eq. (7)).
+ *
+ * The AQS-GEMM skips activation HO-slice vectors whose slices all equal
+ * r = HO(zp). A raw zero point generally sits off-centre inside its
+ * HO-slice bucket, so only part of the distribution's mass lands on the
+ * r bucket. ZPM snaps the zero point to the centre of a bucket:
+ *
+ *     zp' = 2^l * round(zp / 2^l) + 2^(l-1)   (zp > 0)
+ *
+ * after which values within ±2^(l-1) of zp' share the same HO slice
+ * r' = (zp' - 2^(l-1)) >> l, maximising skippable slices.
+ */
+
+#ifndef PANACEA_QUANT_ZPM_H
+#define PANACEA_QUANT_ZPM_H
+
+#include <cstdint>
+
+#include "quant/quant_params.h"
+#include "util/histogram.h"
+
+namespace panacea {
+
+/** Result of a zero-point manipulation. */
+struct ZpmResult
+{
+    std::int32_t zeroPoint = 0;   ///< manipulated zero point zp'
+    std::int32_t frequentSlice = 0; ///< HO slice value r' = HO(zp'-2^(l-1))
+};
+
+/**
+ * Apply Eq. (7) to a zero point.
+ *
+ * @param zp    the calibrated zero point (code domain, >= 0)
+ * @param bits  activation code bit-width b
+ * @param lo_bits LO-slice bit-width l (4 for the base scheme; 5/6 for DBS)
+ * @return the manipulated zero point and the frequent HO slice value.
+ *
+ * The bucket index is clamped so zp' always stays inside [0, 2^b - 1].
+ */
+ZpmResult manipulateZeroPoint(std::int32_t zp, int bits, int lo_bits);
+
+/** Apply ZPM in place to asymmetric QuantParams. */
+ZpmResult applyZpm(QuantParams &params, int lo_bits);
+
+/**
+ * The frequent HO slice for an *unmanipulated* zero point: r = HO(zp).
+ * Matches the paper's pre-ZPM behaviour (Fig. 8(a)).
+ */
+std::int32_t frequentSliceOf(std::int32_t zp, int lo_bits);
+
+/**
+ * Extension beyond the paper: histogram-aware ZPM.
+ *
+ * Eq. (7) centres the zero point in its HO bucket, which is optimal for
+ * symmetric distributions but loses mass on skewed ones (e.g. post-GELU
+ * inputs whose tail is one-sided). Since the calibration histogram is
+ * already recorded for DBS, the zero point's bucket phase can instead be
+ * chosen to maximize the calibration mass that lands in the skip range:
+ *
+ *   zp' = argmax_{|zp'-zp| <= 2^(l-1)} mass{ c : HO(c + zp' - zp) =
+ *                                            HO(zp') }.
+ *
+ * Ties prefer the smallest shift. Exactness is unaffected (any r is
+ * compensated); this only changes how much gets skipped.
+ *
+ * @param codes calibration histogram of codes quantized with `zp`
+ */
+ZpmResult manipulateZeroPointHistAware(const Histogram &codes,
+                                       std::int32_t zp, int bits,
+                                       int lo_bits);
+
+/**
+ * Refit the scale after a zero-point manipulation so the calibrated
+ * real range still fits the code range. Moving zp by up to 2^(l-1)
+ * codes would otherwise clip one end of the distribution (noticeable
+ * for the wide-bucket DBS types).
+ *
+ * @param raw    parameters straight out of calibration
+ * @param new_zp the manipulated zero point
+ * @return parameters with new_zp and the smallest scale covering the
+ *         original real range [(0 - zp)*s, (2^b - 1 - zp)*s].
+ */
+QuantParams refitScaleForZeroPoint(const QuantParams &raw,
+                                   std::int32_t new_zp);
+
+} // namespace panacea
+
+#endif // PANACEA_QUANT_ZPM_H

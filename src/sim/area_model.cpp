@@ -1,0 +1,21 @@
+#include "sim/area_model.h"
+
+namespace panacea {
+
+double
+estimateAreaMm2(const AreaInputs &in, const AreaTable &t)
+{
+    double um2 = 0.0;
+    um2 += static_cast<double>(in.multipliers) * t.mult4bUm2;
+    um2 += static_cast<double>(in.adders) * t.adderUm2;
+    um2 += static_cast<double>(in.shifters) * t.shifterUm2;
+    um2 += static_cast<double>(in.sramBytes) * t.sramUm2PerByte;
+    um2 += static_cast<double>(in.bufferBytes) * t.bufferUm2PerByte;
+    um2 += static_cast<double>(in.decoders) * t.decoderUm2;
+    um2 += static_cast<double>(in.schedulers) * t.schedulerUm2;
+    um2 += in.hasPpu ? t.ppuUm2 : 0.0;
+    um2 += t.controlUm2;
+    return um2 * 1e-6;
+}
+
+} // namespace panacea

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Relative area model (substitution for the paper's 28 nm layouts,
+ * Fig. 15(c) and Fig. 20). Gate-count-level estimates per module class;
+ * only *relative* comparisons between configurations are meaningful.
+ */
+
+#ifndef PANACEA_SIM_AREA_MODEL_H
+#define PANACEA_SIM_AREA_MODEL_H
+
+#include <cstdint>
+
+namespace panacea {
+
+/** Per-module area constants (um^2, 28 nm-class standard cells). */
+struct AreaTable
+{
+    double mult4bUm2 = 180.0;      ///< one 4b x 4b sign-unsigned multiplier
+    double adderUm2 = 70.0;        ///< one accumulator adder
+    double shifterUm2 = 45.0;      ///< one S-ACC barrel shifter
+    double sramUm2PerByte = 2.1;   ///< on-chip SRAM macro density
+    double bufferUm2PerByte = 3.4; ///< register-file buffers (WBUF etc.)
+    double decoderUm2 = 900.0;     ///< one RLE index decoder
+    double schedulerUm2 = 2200.0;  ///< one workload scheduler
+    double ppuUm2 = 60000.0;       ///< post-processing unit
+    double controlUm2 = 150000.0;  ///< top controller + NoC glue
+};
+
+/** Inputs of an area estimate. */
+struct AreaInputs
+{
+    std::uint64_t multipliers = 0;
+    std::uint64_t adders = 0;
+    std::uint64_t shifters = 0;
+    std::uint64_t sramBytes = 0;
+    std::uint64_t bufferBytes = 0;
+    std::uint64_t decoders = 0;
+    std::uint64_t schedulers = 0;
+    bool hasPpu = true;
+};
+
+/** @return the estimated core area in mm^2. */
+double estimateAreaMm2(const AreaInputs &inputs,
+                       const AreaTable &table = AreaTable{});
+
+} // namespace panacea
+
+#endif // PANACEA_SIM_AREA_MODEL_H

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Hardware activity counters shared by the Panacea and baseline cycle
+ * simulators. Every simulator fills one of these; the energy model turns
+ * it into joules.
+ */
+
+#ifndef PANACEA_SIM_COUNTERS_H
+#define PANACEA_SIM_COUNTERS_H
+
+#include <cstdint>
+
+namespace panacea {
+
+/** Raw activity counts of one accelerator run. */
+struct OpCounters
+{
+    std::uint64_t mults4b = 0;      ///< 4b x 4b multiplications
+    std::uint64_t adds = 0;         ///< accumulator additions (8-32b)
+    std::uint64_t shifts = 0;       ///< S-ACC / DBS barrel shifts
+    std::uint64_t ppuOps = 0;       ///< PPU post-processing operations
+    std::uint64_t sramReadBytes = 0;
+    std::uint64_t sramWriteBytes = 0;
+    std::uint64_t dramReadBytes = 0;
+    std::uint64_t dramWriteBytes = 0;
+    std::uint64_t cycles = 0;       ///< total elapsed cycles
+    std::uint64_t usefulMacs = 0;   ///< effective (dense-equivalent) MACs
+
+    /** Element-wise accumulate. */
+    OpCounters &
+    operator+=(const OpCounters &o)
+    {
+        mults4b += o.mults4b;
+        adds += o.adds;
+        shifts += o.shifts;
+        ppuOps += o.ppuOps;
+        sramReadBytes += o.sramReadBytes;
+        sramWriteBytes += o.sramWriteBytes;
+        dramReadBytes += o.dramReadBytes;
+        dramWriteBytes += o.dramWriteBytes;
+        cycles += o.cycles;
+        usefulMacs += o.usefulMacs;
+        return *this;
+    }
+
+    /** Scale every counter by an integer repeat factor. */
+    OpCounters &
+    scale(std::uint64_t factor)
+    {
+        mults4b *= factor;
+        adds *= factor;
+        shifts *= factor;
+        ppuOps *= factor;
+        sramReadBytes *= factor;
+        sramWriteBytes *= factor;
+        dramReadBytes *= factor;
+        dramWriteBytes *= factor;
+        cycles *= factor;
+        usefulMacs *= factor;
+        return *this;
+    }
+};
+
+} // namespace panacea
+
+#endif // PANACEA_SIM_COUNTERS_H

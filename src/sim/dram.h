@@ -1,0 +1,64 @@
+/**
+ * @file
+ * External-memory channel model: a fixed bytes-per-cycle bandwidth
+ * (paper: 256 bit/cycle) with access counting. Latency is absorbed into
+ * the bandwidth-limited transfer time, matching the paper's
+ * double-buffered DMA assumption.
+ */
+
+#ifndef PANACEA_SIM_DRAM_H
+#define PANACEA_SIM_DRAM_H
+
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace panacea {
+
+/** A bandwidth-limited DRAM channel. */
+class DramModel
+{
+  public:
+    /** @param bytes_per_cycle channel bandwidth (paper: 32 B/cycle). */
+    explicit DramModel(std::uint64_t bytes_per_cycle = 32)
+        : bytesPerCycle_(bytes_per_cycle)
+    {
+        fatal_if(bytes_per_cycle == 0, "DRAM bandwidth must be positive");
+    }
+
+    /** @return cycles to transfer the given number of bytes. */
+    std::uint64_t
+    cyclesFor(std::uint64_t bytes) const
+    {
+        return (bytes + bytesPerCycle_ - 1) / bytesPerCycle_;
+    }
+
+    /** Record a read transfer. */
+    void read(std::uint64_t bytes) { readBytes_ += bytes; }
+    /** Record a write transfer. */
+    void write(std::uint64_t bytes) { writeBytes_ += bytes; }
+
+    /** @return channel bandwidth in bytes per cycle. */
+    std::uint64_t bytesPerCycle() const { return bytesPerCycle_; }
+    /** @return cumulative bytes read. */
+    std::uint64_t readBytes() const { return readBytes_; }
+    /** @return cumulative bytes written. */
+    std::uint64_t writeBytes() const { return writeBytes_; }
+
+    /** Clear the access counters. */
+    void
+    reset()
+    {
+        readBytes_ = 0;
+        writeBytes_ = 0;
+    }
+
+  private:
+    std::uint64_t bytesPerCycle_;
+    std::uint64_t readBytes_ = 0;
+    std::uint64_t writeBytes_ = 0;
+};
+
+} // namespace panacea
+
+#endif // PANACEA_SIM_DRAM_H

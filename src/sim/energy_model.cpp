@@ -1,0 +1,22 @@
+#include "sim/energy_model.h"
+
+namespace panacea {
+
+EnergyBreakdown
+EnergyModel::compute(const OpCounters &c) const
+{
+    EnergyBreakdown e;
+    e.computePJ = static_cast<double>(c.mults4b) * table_.mult4bPJ +
+                  static_cast<double>(c.adds) * table_.addPJ +
+                  static_cast<double>(c.shifts) * table_.shiftPJ;
+    e.ppuPJ = static_cast<double>(c.ppuOps) * table_.ppuOpPJ;
+    e.sramPJ =
+        static_cast<double>(c.sramReadBytes) * table_.sramReadPJPerByte +
+        static_cast<double>(c.sramWriteBytes) * table_.sramWritePJPerByte;
+    e.dramPJ = static_cast<double>(c.dramReadBytes + c.dramWriteBytes) *
+               table_.dramPJPerByte;
+    e.controlPJ = static_cast<double>(c.cycles) * table_.controlPJPerCycle;
+    return e;
+}
+
+} // namespace panacea

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * 28 nm energy model (substitution for the paper's post-layout numbers
+ * and the CACTI 7.0 DRAM emulator; see DESIGN.md §2).
+ *
+ * Per-operation energies are derived from the widely used Horowitz
+ * ISSCC'14 45 nm table scaled to 28 nm (~0.5x logic, ~0.7x SRAM). The
+ * relative magnitudes (DRAM >> SRAM >> MAC) drive every ratio the paper
+ * reports; absolute joules are indicative only.
+ */
+
+#ifndef PANACEA_SIM_ENERGY_MODEL_H
+#define PANACEA_SIM_ENERGY_MODEL_H
+
+#include "sim/counters.h"
+
+namespace panacea {
+
+/** Energy of one run, split by component (picojoules). */
+struct EnergyBreakdown
+{
+    double computePJ = 0.0;   ///< multipliers + adders + shifters
+    double ppuPJ = 0.0;       ///< post-processing unit
+    double sramPJ = 0.0;      ///< on-chip buffer traffic
+    double dramPJ = 0.0;      ///< external memory traffic
+    double controlPJ = 0.0;   ///< clock tree / control per cycle
+
+    /** @return sum of all components, in pJ. */
+    double
+    totalPJ() const
+    {
+        return computePJ + ppuPJ + sramPJ + dramPJ + controlPJ;
+    }
+
+    EnergyBreakdown &
+    operator+=(const EnergyBreakdown &o)
+    {
+        computePJ += o.computePJ;
+        ppuPJ += o.ppuPJ;
+        sramPJ += o.sramPJ;
+        dramPJ += o.dramPJ;
+        controlPJ += o.controlPJ;
+        return *this;
+    }
+};
+
+/** Per-operation energy table (picojoules). */
+struct EnergyTable
+{
+    /**
+     * Multiplier energy includes local operand delivery (buffer mux /
+     * routing into the OPC), the part of the datapath a skipped outer
+     * product also saves.
+     */
+    double mult4bPJ = 0.06;        ///< 4b x 4b multiply + operand feed
+    double addPJ = 0.03;           ///< accumulator add
+    double shiftPJ = 0.004;        ///< barrel shift
+    double ppuOpPJ = 0.05;         ///< PPU op (PWL segment, requant)
+    double sramReadPJPerByte = 0.80;
+    double sramWritePJPerByte = 1.00;
+    double dramPJPerByte = 25.0;   ///< LPDDR4-class access energy
+    double controlPJPerCycle = 18.0; ///< clock/control overhead
+};
+
+/**
+ * Converts activity counters into an energy breakdown.
+ */
+class EnergyModel
+{
+  public:
+    EnergyModel() = default;
+    explicit EnergyModel(const EnergyTable &table) : table_(table) {}
+
+    /** @return the energy of the given activity. */
+    EnergyBreakdown compute(const OpCounters &counters) const;
+
+    /** @return the per-op table in use. */
+    const EnergyTable &table() const { return table_; }
+
+  private:
+    EnergyTable table_;
+};
+
+} // namespace panacea
+
+#endif // PANACEA_SIM_ENERGY_MODEL_H

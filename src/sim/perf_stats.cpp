@@ -1,0 +1,60 @@
+#include "sim/perf_stats.h"
+
+#include "util/logging.h"
+
+namespace panacea {
+
+double
+PerfResult::opUtilization() const
+{
+    if (counters.cycles == 0 || multipliers <= 0)
+        return 0.0;
+    return static_cast<double>(counters.mults4b) /
+           (static_cast<double>(counters.cycles) *
+            static_cast<double>(multipliers));
+}
+
+double
+PerfResult::seconds() const
+{
+    return static_cast<double>(counters.cycles) / (clockGhz * 1e9);
+}
+
+double
+PerfResult::tops() const
+{
+    double s = seconds();
+    if (s <= 0.0)
+        return 0.0;
+    return 2.0 * static_cast<double>(counters.usefulMacs) / s / 1e12;
+}
+
+double
+PerfResult::watts() const
+{
+    double s = seconds();
+    if (s <= 0.0)
+        return 0.0;
+    return energy.totalPJ() * 1e-12 / s;
+}
+
+double
+PerfResult::topsPerWatt() const
+{
+    double e = energy.totalPJ();
+    if (e <= 0.0)
+        return 0.0;
+    return 2.0 * static_cast<double>(counters.usefulMacs) / e;
+}
+
+PerfResult &
+PerfResult::operator+=(const PerfResult &other)
+{
+    panic_if(clockGhz != other.clockGhz,
+             "merging results at different clocks");
+    counters += other.counters;
+    energy += other.energy;
+    return *this;
+}
+
+} // namespace panacea

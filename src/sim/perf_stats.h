@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Aggregated performance results of one accelerator run: cycles, energy
+ * breakdown and the derived figures of merit the paper reports
+ * (throughput in effective TOPS, energy efficiency in TOPS/W).
+ */
+
+#ifndef PANACEA_SIM_PERF_STATS_H
+#define PANACEA_SIM_PERF_STATS_H
+
+#include <string>
+
+#include "sim/counters.h"
+#include "sim/energy_model.h"
+
+namespace panacea {
+
+/** A complete accelerator run result. */
+struct PerfResult
+{
+    std::string accelerator;    ///< design name
+    std::string workload;       ///< workload/model name
+    OpCounters counters;
+    EnergyBreakdown energy;
+    double clockGhz = 0.5;
+    int multipliers = 3072;     ///< 4b x 4b multiplier budget
+
+    /**
+     * Multiplier utilization: executed 4b x 4b multiplies over the
+     * multiplier-cycle slots available during the run. Comparable
+     * across designs thanks to the shared multiplier normalization;
+     * memory-bound phases lower it (paper Fig. 13's utilization
+     * discussion).
+     */
+    double opUtilization() const;
+
+    /** @return wall-clock seconds of the run. */
+    double seconds() const;
+
+    /** @return effective tera-ops/s (2 ops per dense-equivalent MAC). */
+    double tops() const;
+
+    /** @return average power in watts. */
+    double watts() const;
+
+    /** @return energy efficiency in effective TOPS/W. */
+    double topsPerWatt() const;
+
+    /** @return total energy in millijoules. */
+    double totalMj() const { return energy.totalPJ() * 1e-9; }
+
+    /** Merge another result (same accelerator, further layers). */
+    PerfResult &operator+=(const PerfResult &other);
+};
+
+} // namespace panacea
+
+#endif // PANACEA_SIM_PERF_STATS_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * On-chip SRAM model: capacity bookkeeping and access counting.
+ *
+ * All accelerator models are normalized to 192 KB of on-chip SRAM
+ * (paper §IV); this class tracks one partition (WMEM, AMEM or OMEM).
+ */
+
+#ifndef PANACEA_SIM_SRAM_H
+#define PANACEA_SIM_SRAM_H
+
+#include <cstdint>
+#include <string>
+
+#include "util/logging.h"
+
+namespace panacea {
+
+/** One on-chip SRAM partition. */
+class SramModel
+{
+  public:
+    /** Construct a partition with the given capacity in bytes. */
+    SramModel(std::string name, std::uint64_t capacity_bytes)
+        : name_(std::move(name)), capacity_(capacity_bytes)
+    {}
+
+    /** @return whether a working set fits in this partition. */
+    bool fits(std::uint64_t bytes) const { return bytes <= capacity_; }
+
+    /** Record a read of the given size. */
+    void read(std::uint64_t bytes) { readBytes_ += bytes; }
+
+    /** Record a write of the given size. */
+    void write(std::uint64_t bytes) { writeBytes_ += bytes; }
+
+    /** @return capacity in bytes. */
+    std::uint64_t capacity() const { return capacity_; }
+    /** @return cumulative bytes read. */
+    std::uint64_t readBytes() const { return readBytes_; }
+    /** @return cumulative bytes written. */
+    std::uint64_t writeBytes() const { return writeBytes_; }
+    /** @return the partition name. */
+    const std::string &name() const { return name_; }
+
+    /** Clear the access counters. */
+    void
+    reset()
+    {
+        readBytes_ = 0;
+        writeBytes_ = 0;
+    }
+
+  private:
+    std::string name_;
+    std::uint64_t capacity_;
+    std::uint64_t readBytes_ = 0;
+    std::uint64_t writeBytes_ = 0;
+};
+
+} // namespace panacea
+
+#endif // PANACEA_SIM_SRAM_H

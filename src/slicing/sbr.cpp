@@ -1,0 +1,69 @@
+#include "slicing/sbr.h"
+
+#include "util/logging.h"
+
+namespace panacea {
+
+int
+sbrLoSliceCount(int bits)
+{
+    panic_if(bits < 4 || (bits - 4) % 3 != 0,
+             "SBR requires (3n+4)-bit values, got ", bits);
+    return (bits - 4) / 3;
+}
+
+void
+sbrEncodeInto(std::int32_t value, int n, Slice *out)
+{
+    panic_if(n < 0, "negative LO slice count");
+    const int bits = sbrBits(n);
+    const std::int32_t lo_bound = -(std::int32_t{1} << (bits - 1));
+    const std::int32_t hi_bound = (std::int32_t{1} << (bits - 1)) - 1;
+    panic_if(value < lo_bound || value > hi_bound,
+             "value ", value, " does not fit ", bits, "-bit SBR");
+
+    const std::int32_t sign = value < 0 ? 1 : 0;
+
+    // Raw split: arithmetic-shift HO, 3-bit unsigned LO fields.
+    for (int i = 0; i < n; ++i)
+        out[i] = static_cast<Slice>((value >> (3 * i)) & 0x7);
+    out[n] = static_cast<Slice>(value >> (3 * n));
+
+    if (sign && n > 0) {
+        // Sign-extension: each LO slice gains the sign bit as its MSB
+        // (-8), and the slice above absorbs a +1 compensation.
+        // Net: LO_0 -= 8; intermediate LO_i += 1 - 8; HO += 1.
+        // With n = 0 there is no LO slice and the single 4-bit signed
+        // slice is already the value itself.
+        out[0] = static_cast<Slice>(out[0] - 8);
+        for (int i = 1; i < n; ++i)
+            out[i] = static_cast<Slice>(out[i] + 1 - 8);
+        out[n] = static_cast<Slice>(out[n] + 1);
+    }
+
+    for (int i = 0; i <= n; ++i)
+        panic_if(out[i] < signedSliceMin || out[i] > signedSliceMax,
+                 "SBR slice ", i, " = ", int{out[i]},
+                 " escapes signed 4-bit range for value ", value);
+}
+
+std::vector<Slice>
+sbrEncode(std::int32_t value, int n)
+{
+    std::vector<Slice> slices(n + 1);
+    sbrEncodeInto(value, n, slices.data());
+    return slices;
+}
+
+std::int32_t
+sbrDecode(const std::vector<Slice> &slices)
+{
+    panic_if(slices.empty(), "SBR decode of empty slice list");
+    std::int32_t value = 0;
+    for (std::size_t i = 0; i < slices.size(); ++i)
+        value += static_cast<std::int32_t>(slices[i])
+                 << sbrShift(static_cast<int>(i));
+    return value;
+}
+
+} // namespace panacea

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Signed Bit-slice Representation (SBR) of Sibia (paper §II-B, Fig. 3(b)).
+ *
+ * A (3n+4)-bit signed integer is divided into one 4-bit signed HO slice
+ * and n 3-bit unsigned LO slices; each LO slice is then extended to a
+ * signed 4-bit slice by appending the sign bit, and the next-higher slice
+ * absorbs a +1 compensation. After extension every slice lies in [-8, 7]
+ * and the value reconstructs as
+ *
+ *     w = HO * 8^n + sum_i LO_i * 8^i .
+ *
+ * The payoff: both positive and negative near-zero values (|w| <= 8^n)
+ * produce an all-zero HO slice, doubling skippable HO slices relative to
+ * straightforward slicing.
+ */
+
+#ifndef PANACEA_SLICING_SBR_H
+#define PANACEA_SLICING_SBR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "slicing/slice_types.h"
+
+namespace panacea {
+
+/** @return bit-width of an SBR value with n LO slices: 3n + 4. */
+constexpr int
+sbrBits(int n)
+{
+    return 3 * n + 4;
+}
+
+/** @return number of LO slices n for a (3n+4)-bit value. */
+int sbrLoSliceCount(int bits);
+
+/**
+ * Encode one (3n+4)-bit signed value into n+1 signed slices.
+ *
+ * @param value the signed integer; must fit in sbrBits(n) bits
+ * @param n     number of LO slices
+ * @return slices ordered low to high; slices[n] is the HO slice.
+ */
+std::vector<Slice> sbrEncode(std::int32_t value, int n);
+
+/**
+ * Allocation-free SBR encode into a caller buffer of n+1 slices
+ * (hot path for slicing multi-million-element tensors).
+ */
+void sbrEncodeInto(std::int32_t value, int n, Slice *out);
+
+/** Decode SBR slices (low to high) back to the integer value. */
+std::int32_t sbrDecode(const std::vector<Slice> &slices);
+
+/** Positional shift of SBR slice level i: value contribution is 2^(3i). */
+constexpr int
+sbrShift(int level)
+{
+    return 3 * level;
+}
+
+} // namespace panacea
+
+#endif // PANACEA_SLICING_SBR_H

@@ -1,0 +1,106 @@
+#include "slicing/slice_tensor.h"
+
+#include "slicing/sbr.h"
+#include "slicing/straightforward.h"
+#include "util/logging.h"
+
+namespace panacea {
+
+MatrixI32
+SlicedMatrix::reconstruct() const
+{
+    panic_if(planes.empty(), "reconstruct of empty SlicedMatrix");
+    MatrixI32 out(rows(), cols());
+    for (const SlicePlane &plane : planes) {
+        auto src = plane.data.data();
+        auto dst = out.data();
+        for (std::size_t i = 0; i < src.size(); ++i)
+            dst[i] += static_cast<std::int32_t>(src[i]) << plane.shift;
+    }
+    return out;
+}
+
+SlicedMatrix
+sbrSliceMatrix(const MatrixI32 &codes, int n)
+{
+    SlicedMatrix sliced;
+    sliced.signedSlices = true;
+    sliced.sourceBits = sbrBits(n);
+    sliced.planes.resize(n + 1);
+    for (int level = 0; level <= n; ++level) {
+        sliced.planes[level].data =
+            Matrix<Slice>(codes.rows(), codes.cols());
+        sliced.planes[level].shift = sbrShift(level);
+        sliced.planes[level].high = level == n;
+    }
+
+    Slice scratch[12];
+    panic_if(n + 1 > 12, "unsupported SBR slice count");
+    for (std::size_t r = 0; r < codes.rows(); ++r) {
+        for (std::size_t c = 0; c < codes.cols(); ++c) {
+            sbrEncodeInto(codes(r, c), n, scratch);
+            for (int level = 0; level <= n; ++level)
+                sliced.planes[level].data(r, c) = scratch[level];
+        }
+    }
+    return sliced;
+}
+
+SlicedMatrix
+activationSliceMatrix(const MatrixI32 &codes, int k)
+{
+    SlicedMatrix sliced;
+    sliced.signedSlices = false;
+    sliced.sourceBits = activationBits(k);
+    sliced.planes.resize(k + 1);
+    for (int level = 0; level <= k; ++level) {
+        sliced.planes[level].data =
+            Matrix<Slice>(codes.rows(), codes.cols());
+        sliced.planes[level].shift = activationShift(level);
+        sliced.planes[level].high = level == k;
+    }
+
+    for (std::size_t r = 0; r < codes.rows(); ++r) {
+        for (std::size_t c = 0; c < codes.cols(); ++c) {
+            const std::int32_t value = codes(r, c);
+            panic_if(value < 0 ||
+                     value >= (std::int32_t{1} << activationBits(k)),
+                     "activation code ", value, " out of unsigned ",
+                     activationBits(k), "-bit range");
+            for (int level = 0; level <= k; ++level)
+                sliced.planes[level].data(r, c) =
+                    static_cast<Slice>((value >> (4 * level)) & 0xF);
+        }
+    }
+    return sliced;
+}
+
+SlicedMatrix
+dbsSliceMatrix(const MatrixI32 &codes, int lo_bits)
+{
+    panic_if(lo_bits < 4 || lo_bits > 6, "DBS lo_bits ", lo_bits,
+             " outside {4,5,6}");
+
+    SlicedMatrix sliced;
+    sliced.signedSlices = false;
+    sliced.sourceBits = 8;
+    sliced.loBits = lo_bits;
+    sliced.planes.resize(2);
+    sliced.planes[0].data = Matrix<Slice>(codes.rows(), codes.cols());
+    sliced.planes[0].shift = lo_bits - 4;
+    sliced.planes[0].high = false;
+    sliced.planes[1].data = Matrix<Slice>(codes.rows(), codes.cols());
+    sliced.planes[1].shift = lo_bits;
+    sliced.planes[1].high = true;
+
+    for (std::size_t r = 0; r < codes.rows(); ++r) {
+        for (std::size_t c = 0; c < codes.cols(); ++c) {
+            DbsSlices s = dbsEncode(codes(r, c), lo_bits);
+            sliced.planes[0].data(r, c) = s.lo;
+            sliced.planes[1].data(r, c) = s.ho;
+        }
+    }
+    return sliced;
+}
+
+} // namespace panacea

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Sliced-matrix container: a quantized matrix decomposed into 4-bit slice
+ * planes, each with its positional shift. This is the operand format of
+ * every bit-slice GEMM engine in the repository.
+ */
+
+#ifndef PANACEA_SLICING_SLICE_TENSOR_H
+#define PANACEA_SLICING_SLICE_TENSOR_H
+
+#include <vector>
+
+#include "slicing/slice_types.h"
+#include "util/matrix.h"
+
+namespace panacea {
+
+/** One 4-bit slice plane of a matrix. */
+struct SlicePlane
+{
+    Matrix<Slice> data;  ///< slice values, same shape as the source
+    int shift = 0;       ///< positional weight is 2^shift
+    bool high = false;   ///< true for the HO plane
+};
+
+/**
+ * A matrix decomposed into slice planes, ordered low to high.
+ *
+ * Weight matrices use SBR (signed slices); activation matrices use
+ * straightforward or DBS slicing (unsigned slices).
+ */
+struct SlicedMatrix
+{
+    std::vector<SlicePlane> planes;  ///< ordered LO ... HO
+    bool signedSlices = false;       ///< SBR planes are signed
+    int sourceBits = 0;              ///< bit-width of the source codes
+    int loBits = 4;                  ///< DBS l (activations; 4 otherwise)
+
+    /** @return rows of the source matrix. */
+    std::size_t rows() const { return planes.at(0).data.rows(); }
+    /** @return cols of the source matrix. */
+    std::size_t cols() const { return planes.at(0).data.cols(); }
+    /** @return number of slice planes. */
+    std::size_t levels() const { return planes.size(); }
+
+    /** @return the highest-order plane. */
+    const SlicePlane &hoPlane() const { return planes.back(); }
+
+    /**
+     * Rebuild the integer codes: sum_i plane_i << shift_i. For DBS this
+     * reproduces the LSB-masked effective codes.
+     */
+    MatrixI32 reconstruct() const;
+};
+
+/** Slice a symmetric weight matrix with SBR into n+1 signed planes. */
+SlicedMatrix sbrSliceMatrix(const MatrixI32 &codes, int n);
+
+/** Slice an asymmetric activation matrix into k+1 unsigned planes. */
+SlicedMatrix activationSliceMatrix(const MatrixI32 &codes, int k);
+
+/**
+ * Slice an 8-bit activation matrix with the DBS rule for LO width l.
+ * Yields exactly two planes with shifts (l-4, l).
+ */
+SlicedMatrix dbsSliceMatrix(const MatrixI32 &codes, int lo_bits);
+
+} // namespace panacea
+
+#endif // PANACEA_SLICING_SLICE_TENSOR_H

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Basic types of the bit-slice layer.
+ *
+ * A slice is a 4-bit datum stored in an int8_t: signed in [-8, 7] for
+ * SBR weight slices, unsigned in [0, 15] for activation slices. The
+ * hardware multipliers are 4b x 4b sign-unsigned units, so a product of
+ * one weight slice and one activation slice fits in a signed 8-bit value.
+ */
+
+#ifndef PANACEA_SLICING_SLICE_TYPES_H
+#define PANACEA_SLICING_SLICE_TYPES_H
+
+#include <cstdint>
+
+namespace panacea {
+
+/** Storage type of a single 4-bit slice. */
+using Slice = std::int8_t;
+
+/** Slice significance level. */
+enum class SliceLevel { Low, High };
+
+/** Paper default: slices are grouped into vectors of this length. */
+inline constexpr int defaultVectorLength = 4;
+
+/** Paper default: RLE indices are this many bits (skip up to 15). */
+inline constexpr int defaultRleIndexBits = 4;
+
+/** Bounds of a signed 4-bit slice. */
+inline constexpr Slice signedSliceMin = -8;
+inline constexpr Slice signedSliceMax = 7;
+
+/** Bounds of an unsigned 4-bit slice. */
+inline constexpr Slice unsignedSliceMin = 0;
+inline constexpr Slice unsignedSliceMax = 15;
+
+} // namespace panacea
+
+#endif // PANACEA_SLICING_SLICE_TYPES_H

@@ -1,0 +1,85 @@
+#include "slicing/sparsity.h"
+
+#include "util/logging.h"
+
+namespace panacea {
+
+double
+sliceSparsity(const Matrix<Slice> &plane, Slice value)
+{
+    if (plane.empty())
+        return 0.0;
+    std::size_t hits = 0;
+    for (Slice s : plane.data())
+        hits += s == value ? 1 : 0;
+    return static_cast<double>(hits) / static_cast<double>(plane.size());
+}
+
+MatrixU8
+weightVectorMask(const Matrix<Slice> &plane, int v)
+{
+    panic_if(v <= 0, "vector length must be positive");
+    panic_if(plane.rows() % v != 0, "weight rows ", plane.rows(),
+             " not divisible by v=", v);
+
+    MatrixU8 mask(plane.rows() / v, plane.cols());
+    for (std::size_t g = 0; g < mask.rows(); ++g) {
+        for (std::size_t c = 0; c < plane.cols(); ++c) {
+            bool all_zero = true;
+            for (int i = 0; i < v && all_zero; ++i)
+                all_zero = plane(g * v + i, c) == 0;
+            mask(g, c) = all_zero ? 1 : 0;
+        }
+    }
+    return mask;
+}
+
+MatrixU8
+activationVectorMask(const Matrix<Slice> &plane, int v, Slice r)
+{
+    panic_if(v <= 0, "vector length must be positive");
+    panic_if(plane.cols() % v != 0, "activation cols ", plane.cols(),
+             " not divisible by v=", v);
+
+    MatrixU8 mask(plane.rows(), plane.cols() / v);
+    for (std::size_t rix = 0; rix < plane.rows(); ++rix) {
+        for (std::size_t g = 0; g < mask.cols(); ++g) {
+            bool all_r = true;
+            for (int i = 0; i < v && all_r; ++i)
+                all_r = plane(rix, g * v + i) == r;
+            mask(rix, g) = all_r ? 1 : 0;
+        }
+    }
+    return mask;
+}
+
+double
+maskDensityOfOnes(const MatrixU8 &mask)
+{
+    if (mask.empty())
+        return 0.0;
+    std::size_t ones = 0;
+    for (auto b : mask.data())
+        ones += b;
+    return static_cast<double>(ones) / static_cast<double>(mask.size());
+}
+
+SparsityReport
+analyzeWeightHo(const Matrix<Slice> &plane, int v)
+{
+    SparsityReport rep;
+    rep.sliceLevel = sliceSparsity(plane, 0);
+    rep.vectorLevel = maskDensityOfOnes(weightVectorMask(plane, v));
+    return rep;
+}
+
+SparsityReport
+analyzeActivationHo(const Matrix<Slice> &plane, int v, Slice r)
+{
+    SparsityReport rep;
+    rep.sliceLevel = sliceSparsity(plane, r);
+    rep.vectorLevel = maskDensityOfOnes(activationVectorMask(plane, v, r));
+    return rep;
+}
+
+} // namespace panacea

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Slice- and vector-level sparsity analytics (paper §III-B, Fig. 14).
+ *
+ * Weight HO planes are grouped into v x 1 column vectors along M; a
+ * vector is compressible when all its slices are zero. Activation HO
+ * planes are grouped into 1 x v row vectors along N; a vector is
+ * compressible when all its slices equal the frequent value r = HO(zp').
+ */
+
+#ifndef PANACEA_SLICING_SPARSITY_H
+#define PANACEA_SLICING_SPARSITY_H
+
+#include "slicing/slice_types.h"
+#include "util/matrix.h"
+
+namespace panacea {
+
+/** Fraction of slices in a plane equal to the given value. */
+double sliceSparsity(const Matrix<Slice> &plane, Slice value);
+
+/**
+ * Compression mask for a weight HO plane: groups rows into v-row bands.
+ * @return (rows/v) x cols matrix; 1 marks an all-zero vector.
+ */
+MatrixU8 weightVectorMask(const Matrix<Slice> &plane, int v);
+
+/**
+ * Compression mask for an activation HO plane: groups columns into
+ * v-column bands. @return rows x (cols/v) matrix; 1 marks an all-r
+ * vector.
+ */
+MatrixU8 activationVectorMask(const Matrix<Slice> &plane, int v, Slice r);
+
+/** Fraction of set entries in a compression mask. */
+double maskDensityOfOnes(const MatrixU8 &mask);
+
+/** Summary of one operand's HO sparsity. */
+struct SparsityReport
+{
+    double sliceLevel = 0.0;   ///< fraction of individually skippable slices
+    double vectorLevel = 0.0;  ///< fraction of compressible v-vectors
+};
+
+/** Analyze a weight HO plane (zero-valued skipping). */
+SparsityReport analyzeWeightHo(const Matrix<Slice> &plane, int v);
+
+/** Analyze an activation HO plane (r-valued skipping). */
+SparsityReport analyzeActivationHo(const Matrix<Slice> &plane, int v,
+                                   Slice r);
+
+} // namespace panacea
+
+#endif // PANACEA_SLICING_SPARSITY_H

@@ -1,0 +1,68 @@
+#include "slicing/straightforward.h"
+
+#include "util/logging.h"
+
+namespace panacea {
+
+int
+activationLoSliceCount(int bits)
+{
+    panic_if(bits < 4 || bits % 4 != 0,
+             "straightforward slicing requires (4k+4)-bit values, got ",
+             bits);
+    return bits / 4 - 1;
+}
+
+std::vector<Slice>
+activationEncode(std::int32_t value, int k)
+{
+    panic_if(k < 0, "negative LO slice count");
+    const int bits = activationBits(k);
+    panic_if(value < 0 || value >= (std::int32_t{1} << bits),
+             "value ", value, " does not fit unsigned ", bits, "-bit");
+
+    std::vector<Slice> slices(k + 1);
+    for (int i = 0; i <= k; ++i)
+        slices[i] = static_cast<Slice>((value >> (4 * i)) & 0xF);
+    return slices;
+}
+
+std::int32_t
+activationDecode(const std::vector<Slice> &slices)
+{
+    panic_if(slices.empty(), "decode of empty slice list");
+    std::int32_t value = 0;
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+        panic_if(slices[i] < 0 || slices[i] > unsignedSliceMax,
+                 "activation slice out of unsigned 4-bit range");
+        value += static_cast<std::int32_t>(slices[i])
+                 << activationShift(static_cast<int>(i));
+    }
+    return value;
+}
+
+DbsSlices
+dbsEncode(std::int32_t value, int lo_bits)
+{
+    panic_if(lo_bits < 4 || lo_bits > 6, "DBS lo_bits ", lo_bits,
+             " outside {4,5,6}");
+    panic_if(value < 0 || value > 255, "DBS slicing is defined on 8-bit "
+             "codes, got ", value);
+
+    DbsSlices out;
+    out.ho = static_cast<Slice>(value >> lo_bits);
+    const std::int32_t lo_field = value & ((1 << lo_bits) - 1);
+    out.lo = static_cast<Slice>(lo_field >> (lo_bits - 4));
+    return out;
+}
+
+std::int32_t
+dbsDecode(const DbsSlices &slices, int lo_bits)
+{
+    panic_if(lo_bits < 4 || lo_bits > 6, "DBS lo_bits ", lo_bits,
+             " outside {4,5,6}");
+    return (static_cast<std::int32_t>(slices.ho) << lo_bits) +
+           (static_cast<std::int32_t>(slices.lo) << (lo_bits - 4));
+}
+
+} // namespace panacea

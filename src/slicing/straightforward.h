@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Straightforward (unsigned) bit-slicing for asymmetrically quantized
+ * activations (paper §III-B), plus the DBS slicing rules (Fig. 10).
+ *
+ * A (4k+4)-bit unsigned value is split into k+1 unsigned 4-bit slices:
+ * slice_i = (x >> 4i) & 0xF, so x = sum_i slice_i * 16^i.
+ *
+ * Under DBS the 8-bit case re-draws the HO/LO boundary at bit l in
+ * {4, 5, 6}; hardware keeps 4-bit slices by zero-padding the short HO
+ * slice and dropping the (l-4) LSBs of the long LO slice. Reconstruction
+ * is then HO * 2^l + LO * 2^(l-4), i.e. the value loses its (l-4) LSBs.
+ */
+
+#ifndef PANACEA_SLICING_STRAIGHTFORWARD_H
+#define PANACEA_SLICING_STRAIGHTFORWARD_H
+
+#include <cstdint>
+#include <vector>
+
+#include "slicing/slice_types.h"
+
+namespace panacea {
+
+/** @return bit-width of a straightforward activation: 4k + 4. */
+constexpr int
+activationBits(int k)
+{
+    return 4 * k + 4;
+}
+
+/** @return number of LO slices k for a (4k+4)-bit activation. */
+int activationLoSliceCount(int bits);
+
+/** Encode a (4k+4)-bit unsigned value into k+1 unsigned slices (lo→hi). */
+std::vector<Slice> activationEncode(std::int32_t value, int k);
+
+/** Decode straightforward slices (lo→hi) back to the unsigned value. */
+std::int32_t activationDecode(const std::vector<Slice> &slices);
+
+/** Positional shift of straightforward slice level i: 4i. */
+constexpr int
+activationShift(int level)
+{
+    return 4 * level;
+}
+
+/** DBS two-slice split of an 8-bit code at LO width l in {4, 5, 6}. */
+struct DbsSlices
+{
+    Slice lo = 0;   ///< 4-bit stored LO slice (LSBs beyond 4 discarded)
+    Slice ho = 0;   ///< 4-bit stored HO slice (zero-padded)
+};
+
+/** Apply the DBS slicing rule to one 8-bit code. */
+DbsSlices dbsEncode(std::int32_t value, int lo_bits);
+
+/**
+ * Reconstruct the effective code from DBS slices:
+ * ho * 2^l + lo * 2^(l-4). Equals the original with its (l-4) LSBs
+ * cleared.
+ */
+std::int32_t dbsDecode(const DbsSlices &slices, int lo_bits);
+
+} // namespace panacea
+
+#endif // PANACEA_SLICING_STRAIGHTFORWARD_H

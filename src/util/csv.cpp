@@ -1,0 +1,43 @@
+#include "util/csv.h"
+
+#include "util/logging.h"
+
+namespace panacea {
+
+CsvWriter::CsvWriter(const std::string &path,
+                     std::vector<std::string> header)
+    : out_(path), columns_(header.size())
+{
+    fatal_if(!out_.good(), "cannot open CSV output '", path, "'");
+    writeRow(header);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    panic_if(cells.size() != columns_, "CSV row with ", cells.size(),
+             " cells, expected ", columns_);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            quoted += '"';
+        quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace panacea

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Minimal CSV writer so bench harnesses can dump machine-readable series
+ * alongside the human-readable tables.
+ */
+
+#ifndef PANACEA_UTIL_CSV_H
+#define PANACEA_UTIL_CSV_H
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace panacea {
+
+/**
+ * Streams rows to a CSV file. The writer escapes commas and quotes per
+ * RFC 4180 and flushes on destruction.
+ */
+class CsvWriter
+{
+  public:
+    /** Open (truncate) the file and write the header row. */
+    CsvWriter(const std::string &path, std::vector<std::string> header);
+
+    /** Write a row of pre-formatted cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** @return whether the underlying stream is healthy. */
+    bool good() const { return out_.good(); }
+
+  private:
+    static std::string escape(const std::string &cell);
+
+    std::ofstream out_;
+    std::size_t columns_;
+};
+
+} // namespace panacea
+
+#endif // PANACEA_UTIL_CSV_H

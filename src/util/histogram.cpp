@@ -1,0 +1,86 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace panacea {
+
+Histogram::Histogram(std::int64_t lo, std::int64_t hi)
+    : lo_(lo), hi_(hi)
+{
+    panic_if(hi < lo, "Histogram range [", lo, ",", hi, "] inverted");
+    bins_.assign(static_cast<std::size_t>(hi - lo + 1), 0);
+}
+
+void
+Histogram::add(std::int64_t value)
+{
+    std::int64_t clamped = std::clamp(value, lo_, hi_);
+    ++bins_[static_cast<std::size_t>(clamped - lo_)];
+    ++total_;
+}
+
+void
+Histogram::addAll(std::span<const std::int32_t> values)
+{
+    for (auto v : values)
+        add(v);
+}
+
+void
+Histogram::addAll(std::span<const std::uint8_t> values)
+{
+    for (auto v : values)
+        add(v);
+}
+
+std::uint64_t
+Histogram::count(std::int64_t value) const
+{
+    if (value < lo_ || value > hi_)
+        return 0;
+    return bins_[static_cast<std::size_t>(value - lo_)];
+}
+
+double
+Histogram::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < bins_.size(); ++i)
+        acc += static_cast<double>(bins_[i]) *
+               static_cast<double>(lo_ + static_cast<std::int64_t>(i));
+    return acc / static_cast<double>(total_);
+}
+
+double
+Histogram::stddev() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double mu = mean();
+    double acc = 0.0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        double v = static_cast<double>(lo_ + static_cast<std::int64_t>(i));
+        acc += static_cast<double>(bins_[i]) * (v - mu) * (v - mu);
+    }
+    return std::sqrt(acc / static_cast<double>(total_));
+}
+
+double
+Histogram::massIn(std::int64_t lo, std::int64_t hi) const
+{
+    if (total_ == 0 || hi < lo)
+        return 0.0;
+    std::int64_t from = std::max(lo, lo_);
+    std::int64_t to = std::min(hi, hi_);
+    std::uint64_t acc = 0;
+    for (std::int64_t v = from; v <= to; ++v)
+        acc += bins_[static_cast<std::size_t>(v - lo_)];
+    return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+} // namespace panacea

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fixed-bin histogram used by the DBS distribution monitor.
+ *
+ * The paper's calibration step "records histograms for quantized
+ * activations and then calculates their standard deviations"; this class
+ * is that monitor.
+ */
+
+#ifndef PANACEA_UTIL_HISTOGRAM_H
+#define PANACEA_UTIL_HISTOGRAM_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace panacea {
+
+/**
+ * Histogram over the integer domain [lo, hi] with one bin per value.
+ *
+ * Designed for quantized tensors where the domain is at most 2^b values.
+ */
+class Histogram
+{
+  public:
+    /** Construct a histogram covering the inclusive range [lo, hi]. */
+    Histogram(std::int64_t lo, std::int64_t hi);
+
+    /** Add one observation; out-of-range values clamp to the edge bins. */
+    void add(std::int64_t value);
+
+    /** Add a batch of observations. */
+    void addAll(std::span<const std::int32_t> values);
+    /** Add a batch of unsigned 8-bit observations. */
+    void addAll(std::span<const std::uint8_t> values);
+
+    /** @return count in the bin for the given value. */
+    std::uint64_t count(std::int64_t value) const;
+
+    /** @return total observations recorded. */
+    std::uint64_t total() const { return total_; }
+
+    /** @return inclusive lower bound of the domain. */
+    std::int64_t lo() const { return lo_; }
+    /** @return inclusive upper bound of the domain. */
+    std::int64_t hi() const { return hi_; }
+
+    /** Mean of the recorded distribution. */
+    double mean() const;
+
+    /** Population standard deviation of the recorded distribution. */
+    double stddev() const;
+
+    /**
+     * Fraction of observations whose value lies in [lo, hi] (inclusive).
+     * Used to measure how much mass falls inside a slice skip range.
+     */
+    double massIn(std::int64_t lo, std::int64_t hi) const;
+
+    /** @return raw bin array (index 0 corresponds to value lo()). */
+    std::span<const std::uint64_t> bins() const { return bins_; }
+
+  private:
+    std::int64_t lo_;
+    std::int64_t hi_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace panacea
+
+#endif // PANACEA_UTIL_HISTOGRAM_H

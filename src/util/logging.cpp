@@ -1,0 +1,58 @@
+#include "util/logging.h"
+
+#include <atomic>
+
+namespace panacea {
+
+namespace {
+
+std::atomic<bool> verboseFlag{true};
+
+/** Human-readable tag for each severity. */
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    verboseFlag.store(verbose, std::memory_order_relaxed);
+}
+
+bool
+verbose()
+{
+    return verboseFlag.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+emitLog(LogLevel level, std::string_view file, int line,
+        const std::string &message)
+{
+    if (level == LogLevel::Inform) {
+        if (verbose())
+            std::cout << levelTag(level) << ": " << message << "\n";
+        return;
+    }
+    std::ostream &os = std::cerr;
+    os << levelTag(level) << ": " << message;
+    if (level == LogLevel::Fatal || level == LogLevel::Panic)
+        os << " (" << file << ":" << line << ")";
+    os << std::endl;
+}
+
+} // namespace detail
+
+} // namespace panacea

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Status-message and error-handling primitives in the gem5 tradition.
+ *
+ * panic()  - an internal invariant was violated (a bug in this library);
+ *            aborts so the failure can be debugged.
+ * fatal()  - the user asked for something unsatisfiable (bad configuration,
+ *            invalid arguments); exits with status 1.
+ * warn()   - functionality works but with caveats the user should know.
+ * inform() - neutral status messages.
+ */
+
+#ifndef PANACEA_UTIL_LOGGING_H
+#define PANACEA_UTIL_LOGGING_H
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace panacea {
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Stream a pack of arguments into a single string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    if constexpr (sizeof...(Args) > 0)
+        (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+/** Emit one formatted log line to stderr (Inform goes to stdout). */
+void emitLog(LogLevel level, std::string_view file, int line,
+             const std::string &message);
+
+} // namespace detail
+
+/** Global verbosity switch: when false, inform() lines are suppressed. */
+void setVerbose(bool verbose);
+
+/** @return whether inform() lines are currently emitted. */
+bool verbose();
+
+} // namespace panacea
+
+/** Informative message; suppressed when verbosity is off. */
+#define inform(...)                                                          \
+    ::panacea::detail::emitLog(::panacea::LogLevel::Inform, __FILE__,        \
+                               __LINE__, ::panacea::detail::concat(__VA_ARGS__))
+
+/** Something works, but not as well as it should. */
+#define warn(...)                                                            \
+    ::panacea::detail::emitLog(::panacea::LogLevel::Warn, __FILE__,          \
+                               __LINE__, ::panacea::detail::concat(__VA_ARGS__))
+
+/** Unrecoverable user error: print and exit(1). */
+#define fatal(...)                                                           \
+    do {                                                                     \
+        ::panacea::detail::emitLog(::panacea::LogLevel::Fatal, __FILE__,     \
+                                   __LINE__,                                 \
+                                   ::panacea::detail::concat(__VA_ARGS__));  \
+        std::exit(1);                                                        \
+    } while (0)
+
+/** Internal bug: print and abort() so a core dump is available. */
+#define panic(...)                                                           \
+    do {                                                                     \
+        ::panacea::detail::emitLog(::panacea::LogLevel::Panic, __FILE__,     \
+                                   __LINE__,                                 \
+                                   ::panacea::detail::concat(__VA_ARGS__));  \
+        std::abort();                                                        \
+    } while (0)
+
+/** Assert an internal invariant; panics with the condition text on failure. */
+#define panic_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond) {                                                          \
+            panic("condition '" #cond "' hit: ",                             \
+                  ::panacea::detail::concat(__VA_ARGS__));                   \
+        }                                                                    \
+    } while (0)
+
+/** Report a user error when the condition holds. */
+#define fatal_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond) {                                                          \
+            fatal("condition '" #cond "' hit: ",                             \
+                  ::panacea::detail::concat(__VA_ARGS__));                   \
+        }                                                                    \
+    } while (0)
+
+#endif // PANACEA_UTIL_LOGGING_H

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Minimal dense row-major matrix container used throughout the library.
+ *
+ * This is intentionally a plain container: all numerics (quantization,
+ * slicing, GEMM) live in their own modules and operate on Matrix views.
+ */
+
+#ifndef PANACEA_UTIL_MATRIX_H
+#define PANACEA_UTIL_MATRIX_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace panacea {
+
+/**
+ * Dense row-major matrix of element type T.
+ *
+ * Indexing is (row, col); data() exposes the contiguous storage for
+ * kernels that want raw spans.
+ */
+template <typename T>
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Construct a rows x cols matrix, value-initialized. */
+    Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+        : rows_(rows), cols_(cols), data_(rows * cols, fill)
+    {}
+
+    /** @return number of rows. */
+    std::size_t rows() const { return rows_; }
+    /** @return number of columns. */
+    std::size_t cols() const { return cols_; }
+    /** @return total number of elements. */
+    std::size_t size() const { return data_.size(); }
+    /** @return whether the matrix holds no elements. */
+    bool empty() const { return data_.empty(); }
+
+    /** Element access (unchecked in release builds). */
+    T &
+    operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Const element access. */
+    const T &
+    operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Bounds-checked element access; panics when out of range. */
+    T &
+    at(std::size_t r, std::size_t c)
+    {
+        panic_if(r >= rows_ || c >= cols_,
+                 "Matrix::at(", r, ",", c, ") out of ", rows_, "x", cols_);
+        return (*this)(r, c);
+    }
+
+    /** Const bounds-checked element access. */
+    const T &
+    at(std::size_t r, std::size_t c) const
+    {
+        panic_if(r >= rows_ || c >= cols_,
+                 "Matrix::at(", r, ",", c, ") out of ", rows_, "x", cols_);
+        return (*this)(r, c);
+    }
+
+    /** @return span over one row. */
+    std::span<T>
+    row(std::size_t r)
+    {
+        return {data_.data() + r * cols_, cols_};
+    }
+
+    /** @return const span over one row. */
+    std::span<const T>
+    row(std::size_t r) const
+    {
+        return {data_.data() + r * cols_, cols_};
+    }
+
+    /** @return span over the whole storage. */
+    std::span<T> data() { return {data_.data(), data_.size()}; }
+    /** @return const span over the whole storage. */
+    std::span<const T> data() const { return {data_.data(), data_.size()}; }
+
+    /** Fill every element with the given value. */
+    void
+    fill(T value)
+    {
+        std::fill(data_.begin(), data_.end(), value);
+    }
+
+    /** Exact element-wise equality. */
+    bool
+    operator==(const Matrix &other) const
+    {
+        return rows_ == other.rows_ && cols_ == other.cols_ &&
+               data_ == other.data_;
+    }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<T> data_;
+};
+
+/** Convenience aliases for the element types used in this repo. */
+using MatrixF = Matrix<float>;
+using MatrixI32 = Matrix<std::int32_t>;
+using MatrixI64 = Matrix<std::int64_t>;
+using MatrixI16 = Matrix<std::int16_t>;
+using MatrixI8 = Matrix<std::int8_t>;
+using MatrixU8 = Matrix<std::uint8_t>;
+
+} // namespace panacea
+
+#endif // PANACEA_UTIL_MATRIX_H

@@ -1,0 +1,106 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace panacea {
+
+namespace {
+
+template <typename T>
+SampleStats
+computeStatsImpl(std::span<const T> values)
+{
+    SampleStats s;
+    s.count = values.size();
+    if (values.empty())
+        return s;
+
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (T v : values) {
+        double d = static_cast<double>(v);
+        sum += d;
+        sum_sq += d * d;
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
+    }
+    s.min = lo;
+    s.max = hi;
+    s.mean = sum / static_cast<double>(s.count);
+    double var = sum_sq / static_cast<double>(s.count) - s.mean * s.mean;
+    s.stddev = std::sqrt(std::max(0.0, var));
+    return s;
+}
+
+} // namespace
+
+SampleStats
+computeStats(std::span<const float> values)
+{
+    return computeStatsImpl(values);
+}
+
+SampleStats
+computeStats(std::span<const std::int32_t> values)
+{
+    return computeStatsImpl(values);
+}
+
+double
+percentile(std::span<const float> values, double q)
+{
+    panic_if(values.empty(), "percentile of empty sample");
+    panic_if(q < 0.0 || q > 100.0, "percentile q=", q, " out of [0,100]");
+
+    std::vector<float> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+
+    double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+    auto lo = static_cast<std::size_t>(std::floor(rank));
+    auto hi = static_cast<std::size_t>(std::ceil(rank));
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double
+meanSquaredError(std::span<const float> a, std::span<const float> b)
+{
+    panic_if(a.size() != b.size(), "MSE size mismatch ", a.size(), " vs ",
+             b.size());
+    if (a.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+        acc += d * d;
+    }
+    return acc / static_cast<double>(a.size());
+}
+
+double
+sqnrDb(std::span<const float> signal, std::span<const float> reconstruction)
+{
+    panic_if(signal.size() != reconstruction.size(),
+             "SQNR size mismatch ", signal.size(), " vs ",
+             reconstruction.size());
+    double power = 0.0;
+    double noise = 0.0;
+    for (std::size_t i = 0; i < signal.size(); ++i) {
+        double s = signal[i];
+        double e = s - static_cast<double>(reconstruction[i]);
+        power += s * s;
+        noise += e * e;
+    }
+    if (noise == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(power / noise);
+}
+
+} // namespace panacea

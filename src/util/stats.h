@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Scalar statistics over sample vectors: mean, variance, percentiles.
+ *
+ * Used by the PTQ calibrator (min/max and percentile clipping) and by the
+ * DBS distribution classifier (standard deviation against z-score ranges).
+ */
+
+#ifndef PANACEA_UTIL_STATS_H
+#define PANACEA_UTIL_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace panacea {
+
+/** Summary statistics of a sample. */
+struct SampleStats
+{
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;   ///< population standard deviation
+    std::size_t count = 0;
+};
+
+/** Compute min/max/mean/stddev of a sample in one pass. */
+SampleStats computeStats(std::span<const float> values);
+
+/** Compute min/max/mean/stddev over integer samples. */
+SampleStats computeStats(std::span<const std::int32_t> values);
+
+/**
+ * The q-th percentile (q in [0, 100]) using linear interpolation between
+ * order statistics. The input is copied; the original is not reordered.
+ */
+double percentile(std::span<const float> values, double q);
+
+/** Mean squared error between two equally sized samples. */
+double meanSquaredError(std::span<const float> a, std::span<const float> b);
+
+/**
+ * Signal-to-quantization-noise ratio in dB: 10*log10(E[s^2] / E[(s-q)^2]).
+ * Returns +inf when the error is exactly zero.
+ */
+double sqnrDb(std::span<const float> signal,
+              std::span<const float> reconstruction);
+
+} // namespace panacea
+
+#endif // PANACEA_UTIL_STATS_H

@@ -1,0 +1,104 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace panacea {
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    panic_if(header_.empty(), "Table requires at least one column");
+}
+
+Table &
+Table::newRow()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(std::string text)
+{
+    panic_if(rows_.empty(), "Table::cell before newRow");
+    rows_.back().push_back(std::move(text));
+    return *this;
+}
+
+Table &
+Table::cell(std::int64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(std::uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return cell(oss.str());
+}
+
+Table &
+Table::ratioCell(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value << "x";
+    return cell(oss.str());
+}
+
+Table &
+Table::percentCell(double fraction, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << fraction * 100.0
+        << "%";
+    return cell(oss.str());
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &text = c < row.size() ? row[c] : std::string();
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << text;
+        }
+        os << "\n";
+    };
+
+    print_row(header_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << "\n== " << title << " ==\n";
+}
+
+} // namespace panacea

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Aligned console table printer used by the bench harnesses to emit the
+ * rows/series the paper's tables and figures report.
+ */
+
+#ifndef PANACEA_UTIL_TABLE_H
+#define PANACEA_UTIL_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace panacea {
+
+/**
+ * Accumulates rows of string cells and prints them with aligned columns.
+ *
+ * Numeric helpers format with a fixed precision so bench output stays
+ * stable across runs.
+ */
+class Table
+{
+  public:
+    /** Construct with a header row. */
+    explicit Table(std::vector<std::string> header);
+
+    /** Start a new empty row. */
+    Table &newRow();
+
+    /** Append a string cell to the current row. */
+    Table &cell(std::string text);
+
+    /** Append an integer cell. */
+    Table &cell(std::int64_t value);
+    /** Append an unsigned integer cell. */
+    Table &cell(std::uint64_t value);
+
+    /** Append a floating-point cell with the given decimal places. */
+    Table &cell(double value, int precision = 3);
+
+    /** Append a "x.yz x" ratio cell (e.g. speedups). */
+    Table &ratioCell(double value, int precision = 2);
+
+    /** Append a percentage cell rendered as "nn.n %". */
+    Table &percentCell(double fraction, int precision = 1);
+
+    /** Render the table with a rule under the header. */
+    void print(std::ostream &os) const;
+
+    /** @return number of data rows so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner ("== title ==") used between bench sections. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace panacea
+
+#endif // PANACEA_UTIL_TABLE_H

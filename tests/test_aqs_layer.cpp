@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Layer-pipeline tests: the calibrate+forward path must agree with the
+ * reference quantized-linear path (Eq. (3)) bit-for-bit whenever DBS
+ * keeps l = 4, and with the LSB-masked reference under wider DBS types.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/aqs_layer.h"
+#include "quant/quantizer.h"
+#include "util/random.h"
+
+namespace panacea {
+namespace {
+
+MatrixF
+randomMatrix(Rng &rng, std::size_t r, std::size_t c, double mean,
+             double stddev)
+{
+    MatrixF m(r, c);
+    for (auto &v : m.data())
+        v = static_cast<float>(rng.gaussian(mean, stddev));
+    return m;
+}
+
+TEST(AqsLayer, MatchesReferenceQuantizedLinear)
+{
+    Rng rng(51);
+    MatrixF w = randomMatrix(rng, 16, 32, 0.0, 0.3);
+    MatrixF calib = randomMatrix(rng, 32, 16, 1.0, 0.2);
+    MatrixF x = randomMatrix(rng, 32, 8, 1.0, 0.2);
+    std::vector<float> bias(16, 0.25f);
+
+    AqsPipelineOptions opts;
+    opts.enableDbs = false;  // keep l = 4 so codes match exactly
+    opts.enableZpm = true;
+    std::vector<MatrixF> batches = {calib};
+    AqsLinearLayer layer =
+        AqsLinearLayer::calibrate(w, bias, batches, opts);
+
+    // Reference path with the *same* parameters (post-ZPM zero point).
+    QuantizedLinear ref = QuantizedLinear::make(
+        w, bias, opts.weightBits, layer.activationParams());
+
+    MatrixI32 codes = layer.quantizeInput(x);
+    MatrixI64 aqs_acc = layer.forwardCodes(codes);
+    MatrixI64 ref_acc = ref.forwardCodes(codes);
+    EXPECT_TRUE(aqs_acc == ref_acc);
+}
+
+TEST(AqsLayer, ZpmSnapsZeroPoint)
+{
+    Rng rng(52);
+    MatrixF w = randomMatrix(rng, 8, 16, 0.0, 0.3);
+    // Asymmetric input: mean shifted well above zero.
+    MatrixF calib = randomMatrix(rng, 16, 32, 2.0, 0.7);
+
+    AqsPipelineOptions opts;
+    opts.enableDbs = false;
+    opts.enableZpm = true;
+    std::vector<MatrixF> batches = {calib};
+    AqsLinearLayer layer = AqsLinearLayer::calibrate(w, {}, batches, opts);
+    const std::int32_t zp = layer.activationParams().zeroPoint;
+    if (zp != 0) {
+        EXPECT_EQ(zp % 16, 8);  // bucket-centred
+    }
+}
+
+TEST(AqsLayer, DbsWideDistributionTruncatesLsbs)
+{
+    Rng rng(53);
+    MatrixF w = randomMatrix(rng, 8, 16, 0.0, 0.3);
+    // Wide activation: forces DBS type-2/3.
+    MatrixF calib = randomMatrix(rng, 16, 64, 0.0, 3.0);
+    MatrixF x = randomMatrix(rng, 16, 8, 0.0, 3.0);
+
+    AqsPipelineOptions opts;
+    opts.enableDbs = true;
+    std::vector<MatrixF> batches = {calib};
+    AqsLinearLayer layer = AqsLinearLayer::calibrate(w, {}, batches, opts);
+    ASSERT_GT(layer.dbsDecision().loBits, 4);
+
+    QuantizedLinear ref = QuantizedLinear::make(
+        w, {}, opts.weightBits, layer.activationParams());
+
+    MatrixI32 codes = layer.quantizeInput(x);
+    MatrixI64 aqs_acc = layer.forwardCodes(codes);
+
+    MatrixI32 masked = codes;
+    const int l = layer.dbsDecision().loBits;
+    for (auto &c : masked.data())
+        c &= ~((1 << (l - 4)) - 1);
+    MatrixI64 ref_acc = ref.forwardCodes(masked);
+    EXPECT_TRUE(aqs_acc == ref_acc);
+}
+
+TEST(AqsLayer, ForwardFloatApproximatesFloatGemm)
+{
+    Rng rng(54);
+    MatrixF w = randomMatrix(rng, 16, 32, 0.0, 0.2);
+    MatrixF calib = randomMatrix(rng, 32, 32, 0.8, 0.4);
+    MatrixF x = randomMatrix(rng, 32, 8, 0.8, 0.4);
+
+    AqsPipelineOptions opts;
+    // Base-path fidelity check: DBS trades fidelity for sparsity and is
+    // measured separately (quantizationNmseDbs ordering test).
+    opts.enableDbs = false;
+    std::vector<MatrixF> batches = {calib};
+    AqsLinearLayer layer = AqsLinearLayer::calibrate(w, {}, batches, opts);
+    AqsStats stats;
+    MatrixF y = layer.forward(x, &stats);
+    MatrixF ref = floatGemm(w, x);
+
+    double err = 0.0;
+    double mag = 0.0;
+    for (std::size_t i = 0; i < y.data().size(); ++i) {
+        double d = y.data()[i] - ref.data()[i];
+        err += d * d;
+        mag += static_cast<double>(ref.data()[i]) * ref.data()[i];
+    }
+    EXPECT_LT(std::sqrt(err / mag), 0.02);
+    EXPECT_GT(stats.denseOuterProducts, 0u);
+}
+
+namespace {
+
+/** A peaked core plus rare wide tails: the code-domain shape of real
+ * activations (the min/max range is set by the tails, the mass sits in
+ * a few codes around the zero point). */
+MatrixF
+peakedWithTails(Rng &rng, std::size_t r, std::size_t c)
+{
+    // Mode at zero (like real activations): quantization maps the mode
+    // to the zero point, which ZPM centres in the skip range.
+    MatrixF m(r, c);
+    for (auto &v : m.data())
+        v = rng.bernoulli(0.05)
+                ? static_cast<float>(rng.uniformReal(-5.0, 15.0))
+                : static_cast<float>(rng.gaussian(0.0, 0.05));
+    return m;
+}
+
+} // namespace
+
+TEST(AqsLayer, SkipsProduceMacSavingsOnPeakedInput)
+{
+    Rng rng(55);
+    MatrixF w = randomMatrix(rng, 16, 32, 0.0, 0.05);
+    // Tightly clustered activations with rare tails: nearly all codes
+    // land in the skip range after ZPM.
+    MatrixF calib = peakedWithTails(rng, 32, 64);
+    MatrixF x = peakedWithTails(rng, 32, 16);
+
+    AqsPipelineOptions opts;
+    std::vector<MatrixF> batches = {calib};
+    AqsLinearLayer layer = AqsLinearLayer::calibrate(w, {}, batches, opts);
+    AqsStats stats;
+    (void)layer.forward(x, &stats);
+    EXPECT_GT(stats.macReduction(), 0.4);
+}
+
+TEST(AqsLayerDeath, RequiresCalibrationData)
+{
+    MatrixF w(4, 4, 0.1f);
+    AqsPipelineOptions opts;
+    EXPECT_DEATH(AqsLinearLayer::calibrate(w, {}, {}, opts),
+                 "at least one batch");
+}
+
+} // namespace
+} // namespace panacea

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * PTQ calibration tests: multi-batch range tracking, percentile clipping
+ * of outliers and scheme dispatch.
+ */
+
+#include <gtest/gtest.h>
+
+#include "quant/calibration.h"
+#include "quant/quantizer.h"
+#include "util/random.h"
+
+namespace panacea {
+namespace {
+
+TEST(Calibration, MinMaxTracksAcrossBatches)
+{
+    Calibrator cal(QuantScheme::Asymmetric, 8);
+    std::vector<float> a = {0.0f, 1.0f};
+    std::vector<float> b = {-2.0f, 0.5f};
+    cal.observe(a);
+    cal.observe(b);
+    QuantParams p = cal.finalize();
+    EXPECT_DOUBLE_EQ(p.scale, 3.0 / 255.0);
+    EXPECT_EQ(cal.observedCount(), 4u);
+}
+
+TEST(Calibration, PercentileRejectsOutliers)
+{
+    Rng rng(5);
+    std::vector<float> sample(20000);
+    for (auto &v : sample)
+        v = static_cast<float>(rng.gaussian(0.0, 1.0));
+    sample[7] = 1000.0f;  // a single gross outlier
+
+    Calibrator minmax(QuantScheme::Asymmetric, 8,
+                      CalibrationPolicy::MinMax);
+    Calibrator pct(QuantScheme::Asymmetric, 8,
+                   CalibrationPolicy::Percentile, 0.5);
+    minmax.observe(sample);
+    pct.observe(sample);
+
+    QuantParams p_minmax = minmax.finalize();
+    QuantParams p_pct = pct.finalize();
+    // The outlier blows up the min/max scale; percentile stays tight.
+    EXPECT_GT(p_minmax.scale, 10.0 * p_pct.scale);
+}
+
+TEST(Calibration, SymmetricSchemeProducesZeroZp)
+{
+    Calibrator cal(QuantScheme::Symmetric, 7);
+    std::vector<float> s = {-3.0f, 2.0f};
+    cal.observe(s);
+    QuantParams p = cal.finalize();
+    EXPECT_EQ(p.scheme, QuantScheme::Symmetric);
+    EXPECT_EQ(p.zeroPoint, 0);
+    EXPECT_DOUBLE_EQ(p.scale, 2.0 * 3.0 / 127.0);
+}
+
+TEST(CalibrationDeath, FinalizeWithoutData)
+{
+    Calibrator cal(QuantScheme::Asymmetric, 8);
+    EXPECT_DEATH(cal.finalize(), "without observations");
+}
+
+TEST(CalibrationDeath, RejectsBadConfig)
+{
+    EXPECT_DEATH(Calibrator(QuantScheme::Asymmetric, 1), "bit-width");
+    EXPECT_DEATH(Calibrator(QuantScheme::Asymmetric, 8,
+                            CalibrationPolicy::Percentile, 60.0),
+                 "percentile tail");
+}
+
+} // namespace
+} // namespace panacea

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Distribution-based slicing tests (paper Fig. 9): z-score computation,
+ * type classification thresholds, type-based ZPM and the effective-code
+ * mask.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/dbs.h"
+#include "util/random.h"
+
+namespace panacea {
+namespace {
+
+TEST(Dbs, ZScoreMatchesKnownQuantiles)
+{
+    // Two-sided z-scores of the standard normal.
+    EXPECT_NEAR(zScoreForMass(0.6827), 1.0, 1e-3);
+    EXPECT_NEAR(zScoreForMass(0.90), 1.6449, 1e-3);
+    EXPECT_NEAR(zScoreForMass(0.95), 1.9600, 1e-3);
+    EXPECT_NEAR(zScoreForMass(0.99), 2.5758, 1e-3);
+}
+
+Histogram
+gaussianHistogram(double mean, double stddev, std::size_t samples = 200000)
+{
+    Rng rng(42);
+    Histogram h(0, 255);
+    for (std::size_t i = 0; i < samples; ++i) {
+        auto v = static_cast<std::int64_t>(
+            std::llround(rng.gaussian(mean, stddev)));
+        h.add(std::clamp<std::int64_t>(v, 0, 255));
+    }
+    return h;
+}
+
+TEST(Dbs, ClassifiesNarrowAsType1)
+{
+    Histogram h = gaussianHistogram(136.0, 3.0);
+    DbsConfig cfg;
+    DbsDecision d = classifyDistribution(h, 133, cfg);
+    EXPECT_EQ(d.type, DbsType::Type1);
+    EXPECT_EQ(d.loBits, 4);
+}
+
+TEST(Dbs, ClassifiesMediumAsType2)
+{
+    Histogram h = gaussianHistogram(136.0, 7.0);
+    DbsConfig cfg;
+    DbsDecision d = classifyDistribution(h, 133, cfg);
+    EXPECT_EQ(d.type, DbsType::Type2);
+    EXPECT_EQ(d.loBits, 5);
+}
+
+TEST(Dbs, ClassifiesWideAsType3)
+{
+    Histogram h = gaussianHistogram(136.0, 16.0);
+    DbsConfig cfg;
+    DbsDecision d = classifyDistribution(h, 133, cfg);
+    EXPECT_EQ(d.type, DbsType::Type3);
+    EXPECT_EQ(d.loBits, 6);
+}
+
+TEST(Dbs, TypeBasedZpmUsesChosenLoWidth)
+{
+    Histogram h = gaussianHistogram(136.0, 7.0);  // type-2, l = 5
+    DbsConfig cfg;
+    DbsDecision d = classifyDistribution(h, 133, cfg);
+    ASSERT_EQ(d.loBits, 5);
+    // zp'' must sit at the centre of a 32-wide bucket.
+    EXPECT_EQ(d.zpm.zeroPoint % 32, 16);
+    EXPECT_EQ(d.zpm.frequentSlice, (d.zpm.zeroPoint - 16) >> 5);
+}
+
+TEST(Dbs, ZpmCanBeDisabled)
+{
+    Histogram h = gaussianHistogram(136.0, 7.0);
+    DbsConfig cfg;
+    cfg.enableZpm = false;
+    DbsDecision d = classifyDistribution(h, 133, cfg);
+    EXPECT_EQ(d.zpm.zeroPoint, 133);
+    EXPECT_EQ(d.zpm.frequentSlice, 133 >> 5);
+}
+
+TEST(Dbs, EffectiveCodeMasking)
+{
+    EXPECT_EQ(dbsEffectiveCode(0xFF, 4), 0xFF);
+    EXPECT_EQ(dbsEffectiveCode(0xFF, 5), 0xFE);
+    EXPECT_EQ(dbsEffectiveCode(0xFF, 6), 0xFC);
+    EXPECT_EQ(dbsEffectiveCode(85, 5), 84);
+}
+
+TEST(Dbs, LoBitsForTypes)
+{
+    EXPECT_EQ(loBitsFor(DbsType::Type1), 4);
+    EXPECT_EQ(loBitsFor(DbsType::Type2), 5);
+    EXPECT_EQ(loBitsFor(DbsType::Type3), 6);
+}
+
+TEST(Dbs, HigherTargetMassWidensClassification)
+{
+    // Raising the target mass raises std*z, pushing borderline layers
+    // into higher types (wider skip ranges).
+    Histogram h = gaussianHistogram(136.0, 5.2);
+    DbsConfig strict;
+    strict.targetMass = 0.99;
+    DbsConfig loose;
+    loose.targetMass = 0.80;
+    DbsDecision d_strict = classifyDistribution(h, 133, strict);
+    DbsDecision d_loose = classifyDistribution(h, 133, loose);
+    EXPECT_GE(static_cast<int>(d_strict.type),
+              static_cast<int>(d_loose.type));
+}
+
+} // namespace
+} // namespace panacea

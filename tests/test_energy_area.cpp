@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Energy- and area-model tests: linear accounting, component splits and
+ * the DRAM >> SRAM >> MAC ordering every reported ratio relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/area_model.h"
+#include "sim/dram.h"
+#include "sim/energy_model.h"
+#include "sim/sram.h"
+
+namespace panacea {
+namespace {
+
+TEST(EnergyModel, LinearInCounters)
+{
+    EnergyModel model;
+    OpCounters c;
+    c.mults4b = 1000;
+    c.adds = 500;
+    c.dramReadBytes = 64;
+    c.cycles = 10;
+
+    EnergyBreakdown e1 = model.compute(c);
+    OpCounters c2 = c;
+    c2.scale(3);
+    EnergyBreakdown e3 = model.compute(c2);
+    EXPECT_NEAR(e3.totalPJ(), 3.0 * e1.totalPJ(), 1e-9);
+}
+
+TEST(EnergyModel, CostOrdering)
+{
+    const EnergyTable t;
+    // Per byte moved: DRAM must dominate SRAM, which dominates a MAC.
+    EXPECT_GT(t.dramPJPerByte, 10.0 * t.sramReadPJPerByte);
+    EXPECT_GT(t.sramReadPJPerByte, t.mult4bPJ);
+}
+
+TEST(EnergyModel, ComponentSplit)
+{
+    EnergyModel model;
+    OpCounters c;
+    c.mults4b = 100;
+    c.sramReadBytes = 100;
+    c.dramReadBytes = 100;
+    EnergyBreakdown e = model.compute(c);
+    EXPECT_GT(e.computePJ, 0.0);
+    EXPECT_GT(e.sramPJ, 0.0);
+    EXPECT_GT(e.dramPJ, 0.0);
+    EXPECT_DOUBLE_EQ(e.totalPJ(), e.computePJ + e.ppuPJ + e.sramPJ +
+                                      e.dramPJ + e.controlPJ);
+}
+
+TEST(Sram, FitsAndCounts)
+{
+    SramModel sram("WMEM", 1024);
+    EXPECT_TRUE(sram.fits(1024));
+    EXPECT_FALSE(sram.fits(1025));
+    sram.read(100);
+    sram.write(50);
+    EXPECT_EQ(sram.readBytes(), 100u);
+    EXPECT_EQ(sram.writeBytes(), 50u);
+    sram.reset();
+    EXPECT_EQ(sram.readBytes(), 0u);
+}
+
+TEST(Dram, BandwidthCycles)
+{
+    DramModel dram(32);
+    EXPECT_EQ(dram.cyclesFor(0), 0u);
+    EXPECT_EQ(dram.cyclesFor(32), 1u);
+    EXPECT_EQ(dram.cyclesFor(33), 2u);
+    EXPECT_EQ(dram.cyclesFor(320), 10u);
+}
+
+TEST(AreaModel, MonotoneInResources)
+{
+    AreaInputs small;
+    small.multipliers = 1536;
+    small.sramBytes = 96 * 1024;
+    AreaInputs big;
+    big.multipliers = 3072;
+    big.sramBytes = 192 * 1024;
+    EXPECT_LT(estimateAreaMm2(small), estimateAreaMm2(big));
+}
+
+TEST(AreaModel, PanaceaOverheadIsSmall)
+{
+    // Fig. 15(c): the AQS machinery (decoders, schedulers, CS adders)
+    // adds only a small fraction on top of the MAC + SRAM baseline.
+    AreaInputs base;
+    base.multipliers = 3072;
+    base.adders = 3072;
+    base.sramBytes = 192 * 1024;
+    base.bufferBytes = 16 * 1024;
+
+    AreaInputs panacea = base;
+    panacea.decoders = 16;
+    panacea.schedulers = 16;
+    panacea.shifters = 16 * 4;
+    panacea.adders += 16 * 2 * 4;  // CS small S-ACCs
+
+    double a0 = estimateAreaMm2(base);
+    double a1 = estimateAreaMm2(panacea);
+    EXPECT_GT(a1, a0);
+    EXPECT_LT((a1 - a0) / a0, 0.10);
+}
+
+} // namespace
+} // namespace panacea

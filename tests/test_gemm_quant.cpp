@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Integer-GEMM-with-bias-folding tests (paper Eq. (3)): the folded-bias
+ * identity W(x - zp) = Wx - zp*W*1 must hold bit-exactly, and the
+ * dequantized output must approximate the float GEMM.
+ */
+
+#include <gtest/gtest.h>
+
+#include "quant/gemm_quant.h"
+#include "quant/quantizer.h"
+#include "util/random.h"
+
+namespace panacea {
+namespace {
+
+TEST(GemmQuant, IntGemmMatchesFloatOnIntegers)
+{
+    Rng rng(6);
+    MatrixI32 w(8, 12);
+    MatrixI32 x(12, 4);
+    for (auto &v : w.data())
+        v = static_cast<std::int32_t>(rng.uniformInt(-64, 63));
+    for (auto &v : x.data())
+        v = static_cast<std::int32_t>(rng.uniformInt(0, 255));
+
+    MatrixI64 acc = intGemm(w, x);
+    for (std::size_t m = 0; m < 8; ++m)
+        for (std::size_t n = 0; n < 4; ++n) {
+            std::int64_t ref = 0;
+            for (std::size_t k = 0; k < 12; ++k)
+                ref += static_cast<std::int64_t>(w(m, k)) * x(k, n);
+            ASSERT_EQ(acc(m, n), ref);
+        }
+}
+
+TEST(GemmQuant, ZeroPointFoldingIdentity)
+{
+    Rng rng(7);
+    MatrixI32 w(8, 12);
+    MatrixI32 x(12, 4);
+    const std::int32_t zp = 137;
+    for (auto &v : w.data())
+        v = static_cast<std::int32_t>(rng.uniformInt(-64, 63));
+    for (auto &v : x.data())
+        v = static_cast<std::int32_t>(rng.uniformInt(0, 255));
+
+    // Reference: W (x - zp) computed directly.
+    MatrixI32 x_shifted(12, 4);
+    for (std::size_t r = 0; r < 12; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            x_shifted(r, c) = x(r, c) - zp;
+    MatrixI64 ref = intGemm(w, x_shifted);
+
+    // Folded: W x + b_hat with b_hat = -zp * W * 1.
+    MatrixI64 folded = intGemm(w, x);
+    std::vector<std::int64_t> b_hat = foldZeroPointBias(w, zp);
+    addRowBias(folded, b_hat);
+    EXPECT_TRUE(folded == ref);
+}
+
+TEST(GemmQuant, QuantizedLinearApproximatesFloat)
+{
+    Rng rng(8);
+    MatrixF w(16, 32);
+    MatrixF x(32, 8);
+    std::vector<float> bias(16);
+    for (auto &v : w.data())
+        v = static_cast<float>(rng.gaussian(0.0, 0.2));
+    for (auto &v : x.data())
+        v = static_cast<float>(rng.gaussian(1.0, 0.8));
+    for (auto &v : bias)
+        v = static_cast<float>(rng.gaussian(0.0, 0.5));
+
+    QuantParams x_params = chooseAsymmetricParams(x.data(), 8);
+    QuantizedLinear layer = QuantizedLinear::make(w, bias, 8, x_params);
+    MatrixF y_q = layer.forward(x);
+    MatrixF y_f = floatGemm(w, x, bias);
+
+    double err = 0.0;
+    double mag = 0.0;
+    for (std::size_t i = 0; i < y_q.data().size(); ++i) {
+        double d = y_q.data()[i] - y_f.data()[i];
+        err += d * d;
+        mag += static_cast<double>(y_f.data()[i]) * y_f.data()[i];
+    }
+    // 8-bit quantization of well-behaved data: relative error well
+    // under 1%.
+    EXPECT_LT(std::sqrt(err / mag), 0.01);
+}
+
+TEST(GemmQuant, DequantizeAccumulatorScales)
+{
+    MatrixI64 acc(2, 2);
+    acc(0, 0) = 100;
+    acc(1, 1) = -50;
+    MatrixF out = dequantizeAccumulator(acc, 0.5, 0.25);
+    EXPECT_FLOAT_EQ(out(0, 0), 12.5f);
+    EXPECT_FLOAT_EQ(out(1, 1), -6.25f);
+    EXPECT_FLOAT_EQ(out(0, 1), 0.0f);
+}
+
+TEST(GemmQuantDeath, ShapeMismatch)
+{
+    MatrixI32 w(4, 5);
+    MatrixI32 x(6, 3);
+    EXPECT_DEATH(intGemm(w, x), "shape mismatch");
+}
+
+} // namespace
+} // namespace panacea

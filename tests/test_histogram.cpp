@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Histogram tests: counting, clamping, moments and skip-range mass -
+ * the DBS monitor's primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/histogram.h"
+
+namespace panacea {
+namespace {
+
+TEST(Histogram, CountsAndTotal)
+{
+    Histogram h(0, 15);
+    h.add(3);
+    h.add(3);
+    h.add(7);
+    EXPECT_EQ(h.count(3), 2u);
+    EXPECT_EQ(h.count(7), 1u);
+    EXPECT_EQ(h.count(0), 0u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram h(0, 10);
+    h.add(-5);
+    h.add(100);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(10), 1u);
+}
+
+TEST(Histogram, BatchAdd)
+{
+    Histogram h(0, 255);
+    std::vector<std::int32_t> v = {1, 1, 2};
+    h.addAll(v);
+    std::vector<std::uint8_t> u = {1};
+    h.addAll(u);
+    EXPECT_EQ(h.count(1), 3u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, MeanAndStd)
+{
+    Histogram h(0, 10);
+    for (int v : {2, 4, 4, 4, 5, 5, 7, 9})
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+    EXPECT_NEAR(h.stddev(), 2.0, 1e-12);
+}
+
+TEST(Histogram, MassInRange)
+{
+    Histogram h(0, 255);
+    for (int v = 100; v < 200; ++v)
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.massIn(100, 199), 1.0);
+    EXPECT_DOUBLE_EQ(h.massIn(100, 149), 0.5);
+    EXPECT_DOUBLE_EQ(h.massIn(0, 99), 0.0);
+    EXPECT_DOUBLE_EQ(h.massIn(300, 400), 0.0);
+    EXPECT_DOUBLE_EQ(h.massIn(150, 100), 0.0);  // inverted
+}
+
+TEST(Histogram, NegativeDomain)
+{
+    Histogram h(-8, 7);
+    h.add(-8);
+    h.add(7);
+    h.add(0);
+    EXPECT_EQ(h.count(-8), 1u);
+    EXPECT_DOUBLE_EQ(h.massIn(-8, -1), 1.0 / 3.0);
+}
+
+TEST(HistogramDeath, InvertedRange)
+{
+    EXPECT_DEATH(Histogram(5, 4), "inverted");
+}
+
+} // namespace
+} // namespace panacea

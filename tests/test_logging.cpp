@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Logging primitive tests: message assembly, verbosity gating and the
+ * fatal/panic termination semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace panacea {
+namespace {
+
+TEST(Logging, ConcatAssemblesMixedTypes)
+{
+    EXPECT_EQ(detail::concat("a", 1, "b", 2.5), "a1b2.5");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+TEST(Logging, VerbosityToggle)
+{
+    setVerbose(false);
+    EXPECT_FALSE(verbose());
+    testing::internal::CaptureStdout();
+    inform("hidden");
+    EXPECT_EQ(testing::internal::GetCapturedStdout(), "");
+
+    setVerbose(true);
+    EXPECT_TRUE(verbose());
+    testing::internal::CaptureStdout();
+    inform("shown ", 42);
+    EXPECT_EQ(testing::internal::GetCapturedStdout(),
+              "info: shown 42\n");
+}
+
+TEST(Logging, WarnGoesToStderr)
+{
+    testing::internal::CaptureStderr();
+    warn("careful");
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("warn: careful"), std::string::npos);
+}
+
+TEST(LoggingDeath, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("bad config"), ::testing::ExitedWithCode(1),
+                "fatal: bad config");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("bug: ", 7), "panic: bug: 7");
+}
+
+TEST(LoggingDeath, ConditionalForms)
+{
+    EXPECT_DEATH(panic_if(1 + 1 == 2, "math works"), "math works");
+    panic_if(false, "never fires");
+    fatal_if(false, "never fires");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace panacea

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Matrix container tests: indexing, rows/spans, fill, equality and
+ * bounds checking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/matrix.h"
+
+namespace panacea {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing)
+{
+    MatrixI32 m(3, 4, 7);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    EXPECT_EQ(m.size(), 12u);
+    EXPECT_FALSE(m.empty());
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            EXPECT_EQ(m(r, c), 7);
+
+    m(1, 2) = 42;
+    EXPECT_EQ(m.at(1, 2), 42);
+    // Row-major layout: element (1,2) sits at offset 1*4+2.
+    EXPECT_EQ(m.data()[6], 42);
+}
+
+TEST(Matrix, RowSpan)
+{
+    MatrixI32 m(2, 3);
+    m(1, 0) = 10;
+    m(1, 2) = 30;
+    auto row = m.row(1);
+    ASSERT_EQ(row.size(), 3u);
+    EXPECT_EQ(row[0], 10);
+    EXPECT_EQ(row[2], 30);
+    row[1] = 20;
+    EXPECT_EQ(m(1, 1), 20);
+}
+
+TEST(Matrix, FillAndEquality)
+{
+    MatrixI32 a(2, 2, 1);
+    MatrixI32 b(2, 2, 1);
+    EXPECT_TRUE(a == b);
+    b.fill(2);
+    EXPECT_FALSE(a == b);
+    MatrixI32 c(2, 3, 1);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(Matrix, EmptyDefault)
+{
+    MatrixF m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(MatrixDeath, AtChecksBounds)
+{
+    MatrixI32 m(2, 2);
+    EXPECT_DEATH(m.at(2, 0), "out of");
+    EXPECT_DEATH(m.at(0, 5), "out of");
+}
+
+} // namespace
+} // namespace panacea

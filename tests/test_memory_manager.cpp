@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Memory-manager tests: compressed-byte accounting, residency policies
+ * and the DTP enable condition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/memory_manager.h"
+#include "util/random.h"
+
+namespace panacea {
+namespace {
+
+TEST(MemoryManager, WeightBitsDenseAndCompressed)
+{
+    Rng rng(81);
+    PanaceaConfig cfg;
+    MemoryManager mem(cfg);
+
+    // Fully dense masks: every HO vector stored.
+    GemmWorkload dense =
+        GemmWorkload::synthetic("d", 64, 32, 64, 0.0, 0.0, 4, rng);
+    // HO: (64/4)*32 vectors * (16+4) bits; LO: 16*32*16 bits.
+    std::uint64_t expected = 16ull * 32 * (16 + 4) + 16ull * 32 * 16;
+    EXPECT_EQ(mem.weightBits(dense, 0, 16), expected);
+
+    // Fully compressed HO plane: only LO remains.
+    GemmWorkload sparse =
+        GemmWorkload::synthetic("s", 64, 32, 64, 1.0, 0.0, 4, rng);
+    EXPECT_EQ(mem.weightBits(sparse, 0, 16), 16ull * 32 * 16);
+}
+
+TEST(MemoryManager, SingleSliceWeightsAreDenseLo)
+{
+    Rng rng(82);
+    PanaceaConfig cfg;
+    MemoryManager mem(cfg);
+    GemmWorkload wl =
+        GemmWorkload::synthetic("w4", 64, 32, 64, 0.9, 0.0, 4, rng);
+    wl.wLevels = 1;
+    wl.weightHoSkippable = false;
+    // One dense 4-bit plane; the mask is ignored.
+    EXPECT_EQ(mem.weightBits(wl, 0, 16), 16ull * 32 * 16);
+}
+
+TEST(MemoryManager, ActivationBitsTrackSparsity)
+{
+    Rng rng(83);
+    PanaceaConfig cfg;
+    MemoryManager mem(cfg);
+    GemmWorkload dense =
+        GemmWorkload::synthetic("d", 64, 32, 64, 0.0, 0.0, 4, rng);
+    GemmWorkload sparse =
+        GemmWorkload::synthetic("s", 64, 32, 64, 0.0, 1.0, 4, rng);
+    EXPECT_GT(mem.activationBits(dense), mem.activationBits(sparse));
+    // Fully compressed: only the LO plane remains.
+    EXPECT_EQ(mem.activationBits(sparse), 32ull * 64 * 4);
+}
+
+TEST(MemoryManager, DtpRequiresTwoTilesInWmem)
+{
+    Rng rng(84);
+    PanaceaConfig cfg;
+    cfg.enableDtp = true;
+
+    // Small weights: 2 tiles easily fit 160 KB.
+    GemmWorkload small =
+        GemmWorkload::synthetic("small", 256, 256, 64, 0.0, 0.0, 4, rng);
+    TrafficPlan plan_small = MemoryManager(cfg).plan(small);
+    EXPECT_TRUE(plan_small.dtpEnabled);
+    EXPECT_EQ(plan_small.mSupers, 2u);  // 4 tiles paired
+
+    // Huge K: two dense 64 x 16384 tiles exceed WMEM.
+    GemmWorkload big =
+        GemmWorkload::synthetic("big", 256, 16384, 64, 0.0, 0.0, 4, rng);
+    TrafficPlan plan_big = MemoryManager(cfg).plan(big);
+    EXPECT_FALSE(plan_big.dtpEnabled);
+}
+
+TEST(MemoryManager, DtpSingleTileModelDisabled)
+{
+    Rng rng(85);
+    PanaceaConfig cfg;
+    GemmWorkload one_tile =
+        GemmWorkload::synthetic("one", 64, 128, 64, 0.0, 0.0, 4, rng);
+    TrafficPlan plan = MemoryManager(cfg).plan(one_tile);
+    EXPECT_FALSE(plan.dtpEnabled);
+    EXPECT_EQ(plan.mSupers, 1u);
+}
+
+TEST(MemoryManager, NonResidentWeightsRestreamPerNTile)
+{
+    Rng rng(86);
+    PanaceaConfig cfg;
+    cfg.enableDtp = false;
+    // 64 x 40960 dense weights: ~400 KB per tile, past 160 KB WMEM.
+    GemmWorkload wl =
+        GemmWorkload::synthetic("stream", 64, 40960, 256, 0.0, 0.0, 4,
+                                rng);
+    TrafficPlan plan = MemoryManager(cfg).plan(wl);
+    EXPECT_FALSE(plan.weightsResident);
+    EXPECT_EQ(plan.nTiles, 4u);
+    EXPECT_GE(plan.dramReadBytes, plan.wBytesCompressed * 4);
+}
+
+TEST(MemoryManager, CompressionShrinksDram)
+{
+    Rng rng(87);
+    PanaceaConfig cfg;
+    GemmWorkload dense =
+        GemmWorkload::synthetic("d", 512, 512, 256, 0.0, 0.0, 4, rng);
+    GemmWorkload sparse =
+        GemmWorkload::synthetic("s", 512, 512, 256, 0.8, 0.9, 4, rng);
+    TrafficPlan pd = MemoryManager(cfg).plan(dense);
+    TrafficPlan ps = MemoryManager(cfg).plan(sparse);
+    EXPECT_LT(ps.dramReadBytes, pd.dramReadBytes);
+    EXPECT_LT(ps.sramReadBytes, pd.sramReadBytes);
+}
+
+} // namespace
+} // namespace panacea

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Model-zoo and synthetic-data tests: shape divisibility, distribution
+ * family properties, the layer-build bridge and the accuracy proxy
+ * orderings the paper relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/accuracy_proxy.h"
+#include "models/model_workloads.h"
+#include "models/model_zoo.h"
+#include "models/synth_data.h"
+#include "quant/quantizer.h"
+#include "util/stats.h"
+
+namespace panacea {
+namespace {
+
+TEST(ModelZoo, AllShapesDivisibleByVectorLength)
+{
+    for (const ModelSpec &model : allModels()) {
+        for (const LayerSpec &l : model.layers) {
+            EXPECT_EQ(l.m % 4, 0u) << model.name << "/" << l.name;
+            std::size_t n = l.nOverride ? l.nOverride : model.seqLen;
+            EXPECT_EQ(n % 4, 0u) << model.name << "/" << l.name;
+            EXPECT_GT(l.kDim, 0u);
+            // Weight widths must be SBR-compatible.
+            EXPECT_EQ((l.weightBits - 4) % 3, 0)
+                << model.name << "/" << l.name;
+            EXPECT_EQ(l.actBits % 4, 0) << model.name << "/" << l.name;
+        }
+    }
+}
+
+TEST(ModelZoo, KnownShapes)
+{
+    ModelSpec opt = opt2_7b();
+    ASSERT_EQ(opt.layers.size(), 4u);
+    EXPECT_EQ(opt.layers[0].m, 3u * 2560);   // QKV
+    EXPECT_EQ(opt.layers[2].m, 10240u);      // FC1
+    EXPECT_EQ(opt.layers[2].kDim, 2560u);
+    EXPECT_EQ(opt.layers[0].repeat, 32u);
+    EXPECT_TRUE(opt.isLlm);
+
+    ModelSpec gpt = gpt2();
+    EXPECT_EQ(gpt.layers[2].weightBits, 10);  // paper footnote
+    EXPECT_EQ(gpt.layers[0].weightBits, 7);
+
+    ModelSpec llama = llama32_1b();
+    EXPECT_EQ(llama.layers.back().actBits, 12);  // down-projection
+}
+
+TEST(ModelZoo, TotalMacsScaleWithSeq)
+{
+    ModelSpec bert = bertBase();
+    EXPECT_EQ(bert.totalMacs(256), 2 * bert.totalMacs(128));
+}
+
+TEST(SynthData, PostReluIsNonNegativeWithZeros)
+{
+    Rng rng(131);
+    MatrixF x = genActivations(rng, 64, 128, ActDistKind::PostRelu);
+    std::size_t zeros = 0;
+    for (float v : x.data()) {
+        ASSERT_GE(v, 0.0f);
+        zeros += v == 0.0f ? 1 : 0;
+    }
+    // ReLU of near-centred Gaussians: a large fraction of exact zeros.
+    EXPECT_GT(zeros, x.size() / 5);
+}
+
+TEST(SynthData, PostGeluIsAsymmetric)
+{
+    Rng rng(132);
+    MatrixF x = genActivations(rng, 64, 128, ActDistKind::PostGelu);
+    SampleStats st = computeStats(x.data());
+    // GELU's negative lobe is bounded (~ -0.17 * sigma); positive tail
+    // is long: |min| << max.
+    EXPECT_LT(std::abs(st.min), st.max / 3.0);
+}
+
+TEST(SynthData, OutliersWidenTheRange)
+{
+    Rng rng(133);
+    MatrixF narrow =
+        genActivations(rng, 256, 64, ActDistKind::LayerNormGauss, 1.0,
+                       0.0);
+    Rng rng2(133);
+    MatrixF wide = genActivations(rng2, 256, 64,
+                                  ActDistKind::LayerNormGauss, 1.0, 0.1);
+    SampleStats sn = computeStats(narrow.data());
+    SampleStats sw = computeStats(wide.data());
+    EXPECT_GT(sw.max - sw.min, sn.max - sn.min);
+}
+
+TEST(SynthData, WeightsNearZero)
+{
+    Rng rng(134);
+    MatrixF w = genWeights(rng, 128, 256);
+    SampleStats st = computeStats(w.data());
+    EXPECT_NEAR(st.mean, 0.0, 0.01);
+    EXPECT_LT(st.stddev, 0.2);
+}
+
+TEST(ModelWorkloads, BuildLayerProducesConsistentWorkloads)
+{
+    LayerSpec spec;
+    spec.name = "T";
+    spec.m = 128;
+    spec.kDim = 96;
+    spec.dist = ActDistKind::PostGelu;
+
+    ModelBuildOptions opt;
+    Rng rng(135);
+    LayerBuild lb = buildLayer(spec, 64, opt, rng);
+
+    EXPECT_EQ(lb.panacea.m, 128u);
+    EXPECT_EQ(lb.panacea.k, 96u);
+    EXPECT_EQ(lb.panacea.n, 64u);
+    EXPECT_EQ(lb.panacea.wLevels, 2);
+    EXPECT_EQ(lb.panacea.xLevels, 2);
+    EXPECT_EQ(lb.sibia.actBits, 7);
+    // Same weights on both sides.
+    EXPECT_TRUE(lb.panacea.wMask == lb.sibia.wMask);
+    // The AQS path must find skippable activation vectors on a GELU
+    // layer; the symmetric zero-skip path finds some too (near-zero
+    // GELU outputs), but Panacea's r-skip dominates.
+    EXPECT_GT(lb.actHoPanacea.vectorLevel, 0.3);
+    EXPECT_GE(lb.actHoPanacea.vectorLevel, lb.actHoSibia.vectorLevel);
+}
+
+TEST(ModelWorkloads, ZpmRaisesSparsity)
+{
+    LayerSpec spec;
+    spec.name = "T";
+    spec.m = 64;
+    spec.kDim = 64;
+    spec.dist = ActDistKind::LayerNormGauss;
+
+    ModelBuildOptions with_zpm;
+    with_zpm.enableDbs = false;
+    with_zpm.enableZpm = true;
+    ModelBuildOptions no_zpm = with_zpm;
+    no_zpm.enableZpm = false;
+
+    Rng rng_a(136);
+    Rng rng_b(136);
+    LayerBuild a = buildLayer(spec, 64, with_zpm, rng_a);
+    LayerBuild b = buildLayer(spec, 64, no_zpm, rng_b);
+    EXPECT_GE(a.actHoPanacea.sliceLevel, b.actHoPanacea.sliceLevel);
+}
+
+TEST(ModelWorkloads, AsymBeatsSymOnAsymmetricData)
+{
+    LayerSpec spec;
+    spec.name = "T";
+    spec.m = 64;
+    spec.kDim = 128;
+    spec.dist = ActDistKind::PostGelu;
+
+    // Apples-to-apples quantizer comparison (paper Fig. 1/5): plain
+    // asymmetric vs symmetric, without the DBS fidelity/sparsity trade.
+    ModelBuildOptions opt;
+    opt.enableDbs = false;
+    Rng rng(137);
+    LayerBuild lb = buildLayer(spec, 128, opt, rng);
+    EXPECT_LT(lb.actNmseAsym, lb.actNmseSym);
+}
+
+TEST(ModelWorkloads, BuildModelCollectsAllLayers)
+{
+    ModelSpec tiny;
+    tiny.name = "tiny";
+    tiny.seqLen = 32;
+    tiny.layers = {
+        {"A", 64, 64, 0, ActDistKind::LayerNormGauss, 1.0, 0.0, 2, 7, 8},
+        {"B", 64, 64, 0, ActDistKind::PostGelu, 1.0, 0.0, 2, 7, 8},
+    };
+    ModelBuildOptions opt;
+    ModelBuild build = buildModel(tiny, opt);
+    ASSERT_EQ(build.layers.size(), 2u);
+    EXPECT_EQ(build.panaceaWorkloads().size(), 2u);
+    EXPECT_EQ(build.sibiaWorkloads().size(), 2u);
+    EXPECT_EQ(build.layers[0].panacea.repeat, 2u);
+    EXPECT_GT(build.meanNmseSym(), 0.0);
+}
+
+TEST(AccuracyProxy, MonotoneAndAnchored)
+{
+    EXPECT_DOUBLE_EQ(proxyPerplexity(12.47, 0.0), 12.47);
+    EXPECT_GT(proxyPerplexity(12.47, 0.01), 12.47);
+    EXPECT_GT(proxyPerplexity(12.47, 0.02),
+              proxyPerplexity(12.47, 0.01));
+    EXPECT_DOUBLE_EQ(proxyAccuracyLossPct(0.0), 0.0);
+    EXPECT_GT(proxyAccuracyLossPct(0.01), proxyAccuracyLossPct(0.001));
+}
+
+TEST(AccuracyProxy, NmseMeasuresQuantizer)
+{
+    Rng rng(138);
+    MatrixF x(64, 64);
+    for (auto &v : x.data())
+        v = static_cast<float>(rng.gaussian(1.0, 0.5));
+    QuantParams p8 = chooseAsymmetricParams(x.data(), 8);
+    QuantParams p4 = chooseAsymmetricParams(x.data(), 4);
+    double n8 = quantizationNmse(x, p8);
+    double n4 = quantizationNmse(x, p4);
+    EXPECT_LT(n8, n4);  // more bits, less noise
+    EXPECT_GT(n8, 0.0);
+    // DBS truncation adds error monotonically in l.
+    double d4 = quantizationNmseDbs(x, p8, 4);
+    double d5 = quantizationNmseDbs(x, p8, 5);
+    double d6 = quantizationNmseDbs(x, p8, 6);
+    EXPECT_DOUBLE_EQ(d4, n8);
+    EXPECT_LE(d4, d5);
+    EXPECT_LE(d5, d6);
+}
+
+} // namespace
+} // namespace panacea

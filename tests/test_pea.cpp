@@ -1,0 +1,153 @@
+/**
+ * @file
+ * PEA work-counting tests: the O(K) mask-aggregated counts must equal a
+ * brute-force recount, and the counts must satisfy the structural
+ * dynamic/static classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/pea.h"
+#include "util/random.h"
+
+namespace panacea {
+namespace {
+
+GemmWorkload
+randomWorkload(Rng &rng, std::size_t m, std::size_t k, std::size_t n,
+               double rho_w, double rho_x, int w_levels = 2,
+               int x_levels = 2)
+{
+    GemmWorkload wl = GemmWorkload::synthetic("t", m, k, n, rho_w, rho_x,
+                                              4, rng);
+    wl.wLevels = w_levels;
+    wl.xLevels = x_levels;
+    wl.weightHoSkippable = w_levels >= 2;
+    return wl;
+}
+
+/** Brute-force recount straight from the masks. */
+PeaWork
+bruteForce(const GemmWorkload &wl, std::size_t mg, std::size_t nt,
+           int tile_n, int v, bool compensate)
+{
+    PeaWork work;
+    const std::size_t n_groups = wl.n / static_cast<std::size_t>(v);
+    const std::size_t gpt = static_cast<std::size_t>(tile_n / v);
+    const std::size_t g0 = nt * gpt;
+    const std::size_t g1 = std::min(n_groups, g0 + gpt);
+
+    for (std::size_t k = 0; k < wl.k; ++k) {
+        const bool wc =
+            wl.weightHoSkippable && wl.wMask(mg, k) != 0;
+        for (std::size_t g = g0; g < g1; ++g) {
+            const bool xc = wl.xMask(k, g) != 0;
+            for (int wlvl = 0; wlvl < wl.wLevels; ++wlvl) {
+                const bool w_is_ho =
+                    wl.weightHoSkippable && wlvl == wl.wLevels - 1;
+                for (int xlvl = 0; xlvl < wl.xLevels; ++xlvl) {
+                    const bool x_is_ho = xlvl == wl.xLevels - 1;
+                    const bool dynamic = w_is_ho || x_is_ho;
+                    bool skipped =
+                        (w_is_ho && wc) || (x_is_ho && xc);
+                    if (!dynamic) {
+                        ++work.statExec;
+                    } else if (skipped) {
+                        ++work.dynSkipped;
+                    } else {
+                        ++work.dynExec;
+                    }
+                }
+            }
+            if (compensate) {
+                if (!xc)
+                    work.compAddsEq6 += static_cast<std::uint64_t>(v) *
+                                        wl.wLevels;
+                else
+                    work.compAddsEq5 += static_cast<std::uint64_t>(v) *
+                                        wl.wLevels;
+            }
+        }
+        // Brute force counts per (k, g); the aggregated version counts
+        // compMults once per output block below.
+    }
+    if (compensate)
+        work.compMults += (g1 - g0) * static_cast<std::uint64_t>(v) * v;
+    return work;
+}
+
+TEST(Pea, XccTableMatchesMask)
+{
+    Rng rng(71);
+    GemmWorkload wl = randomWorkload(rng, 64, 40, 96, 0.4, 0.6);
+    XccTable xcc = XccTable::build(wl, 64, 4);
+    ASSERT_EQ(xcc.tiles(), 2u);
+    EXPECT_EQ(xcc.groups(0), 16u);
+    EXPECT_EQ(xcc.groups(1), 8u);  // 96/4 = 24 groups; 24-16 = 8
+    for (std::size_t k = 0; k < wl.k; ++k) {
+        std::uint32_t manual = 0;
+        for (std::size_t g = 0; g < 16; ++g)
+            manual += wl.xMask(k, g);
+        ASSERT_EQ(xcc.skippable(k, 0), manual);
+    }
+}
+
+class PeaCountSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, int>>
+{};
+
+TEST_P(PeaCountSweep, AggregatedMatchesBruteForce)
+{
+    const double rho_w = std::get<0>(GetParam());
+    const double rho_x = std::get<1>(GetParam());
+    const int w_levels = std::get<2>(GetParam());
+    Rng rng(static_cast<std::uint64_t>(rho_w * 7 + rho_x * 13 +
+                                       w_levels * 100) + 5);
+    GemmWorkload wl = randomWorkload(rng, 32, 48, 64, rho_w, rho_x,
+                                     w_levels);
+    XccTable xcc = XccTable::build(wl, 64, 4);
+    for (std::size_t mg = 0; mg < wl.m / 4; ++mg) {
+        for (bool comp : {false, true}) {
+            PeaWork fast = countPeaWork(wl, xcc, mg, 0, 4, comp);
+            PeaWork slow = bruteForce(wl, mg, 0, 64, 4, comp);
+            ASSERT_EQ(fast.dynExec, slow.dynExec);
+            ASSERT_EQ(fast.statExec, slow.statExec);
+            ASSERT_EQ(fast.dynSkipped, slow.dynSkipped);
+            ASSERT_EQ(fast.compAddsEq6, slow.compAddsEq6);
+            ASSERT_EQ(fast.compAddsEq5, slow.compAddsEq5);
+            ASSERT_EQ(fast.compMults, slow.compMults);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PeaCountSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.5, 1.0),
+                       ::testing::Values(0.0, 0.5, 1.0),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(Pea, SingleSliceWeightsHaveNoDynamicWeightWork)
+{
+    Rng rng(72);
+    // n = 0: single LO weight slice; only x_HO products are dynamic.
+    GemmWorkload wl = randomWorkload(rng, 16, 32, 64, 0.9, 0.0, 1);
+    XccTable xcc = XccTable::build(wl, 64, 4);
+    PeaWork work = countPeaWork(wl, xcc, 0, 0, 4, true);
+    // Per (k, g): 1 dynamic (LO x HO) + 1 static (LO x LO).
+    EXPECT_EQ(work.dynExec, 32u * 16);
+    EXPECT_EQ(work.statExec, 32u * 16);
+    EXPECT_EQ(work.dynSkipped, 0u);
+}
+
+TEST(Pea, FullSparsityLeavesOnlyStatic)
+{
+    Rng rng(73);
+    GemmWorkload wl = randomWorkload(rng, 16, 32, 64, 1.0, 1.0);
+    XccTable xcc = XccTable::build(wl, 64, 4);
+    PeaWork work = countPeaWork(wl, xcc, 0, 0, 4, true);
+    EXPECT_EQ(work.dynExec, 0u);
+    EXPECT_EQ(work.statExec, 32u * 16);  // LO x LO survives
+}
+
+} // namespace
+} // namespace panacea

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * PPU tests: PWL GELU accuracy, non-linearity dispatch and integer
+ * requantization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/ppu.h"
+#include "quant/quantizer.h"
+#include "util/random.h"
+
+namespace panacea {
+namespace {
+
+TEST(Ppu, PwlGeluCloseToExact)
+{
+    double max_err = 0.0;
+    for (float x = -6.0f; x <= 6.0f; x += 0.01f) {
+        double err = std::abs(pwlGelu(x) - geluExact(x));
+        max_err = std::max(max_err, err);
+    }
+    EXPECT_LT(max_err, 8e-3);
+}
+
+TEST(Ppu, PwlGeluTailsExact)
+{
+    EXPECT_FLOAT_EQ(pwlGelu(-10.0f), 0.0f);
+    EXPECT_FLOAT_EQ(pwlGelu(10.0f), 10.0f);
+}
+
+TEST(Ppu, NonlinearityDispatch)
+{
+    MatrixF x(1, 3);
+    x(0, 0) = -1.0f;
+    x(0, 1) = 0.0f;
+    x(0, 2) = 2.0f;
+
+    MatrixF relu = applyNonlinearityExact(x, Nonlinearity::Relu);
+    EXPECT_FLOAT_EQ(relu(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(relu(0, 2), 2.0f);
+
+    MatrixF none = applyNonlinearityExact(x, Nonlinearity::None);
+    EXPECT_TRUE(none == x);
+
+    MatrixF gelu_pwl = applyNonlinearityPwl(x, Nonlinearity::Gelu);
+    MatrixF gelu_exact = applyNonlinearityExact(x, Nonlinearity::Gelu);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(gelu_pwl(0, i), gelu_exact(0, i), 8e-3);
+}
+
+TEST(Ppu, RequantizeMatchesScalarQuantizer)
+{
+    Rng rng(111);
+    MatrixI64 acc(4, 4);
+    for (auto &v : acc.data())
+        v = rng.uniformInt(-50000, 50000);
+    const double acc_scale = 0.0005;
+
+    QuantParams out;
+    out.scheme = QuantScheme::Asymmetric;
+    out.bits = 8;
+    out.scale = 0.02;
+    out.zeroPoint = 131;
+
+    MatrixI32 codes = requantize(acc, acc_scale, out);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 4; ++c) {
+            float real = static_cast<float>(acc(r, c) * acc_scale);
+            EXPECT_EQ(codes(r, c), quantizeValue(real, out));
+        }
+}
+
+TEST(Ppu, RequantizeClips)
+{
+    MatrixI64 acc(1, 2);
+    acc(0, 0) = 1 << 30;
+    acc(0, 1) = -(1 << 30);
+    QuantParams out;
+    out.scheme = QuantScheme::Asymmetric;
+    out.bits = 8;
+    out.scale = 0.01;
+    out.zeroPoint = 128;
+    MatrixI32 codes = requantize(acc, 1.0, out);
+    EXPECT_EQ(codes(0, 0), 255);
+    EXPECT_EQ(codes(0, 1), 0);
+}
+
+TEST(Ppu, OpCount)
+{
+    EXPECT_EQ(ppuOpsFor(100), 300u);
+}
+
+} // namespace
+} // namespace panacea

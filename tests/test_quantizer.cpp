@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Uniform quantizer tests (paper Eq. (1)/(2)): scale conventions,
+ * round-trip error bounds, clipping and zero-point semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/quantizer.h"
+#include "util/random.h"
+
+namespace panacea {
+namespace {
+
+TEST(Quantizer, SymmetricScaleConvention)
+{
+    std::vector<float> sample = {-2.0f, -0.5f, 0.0f, 1.0f, 1.5f};
+    QuantParams p = chooseSymmetricParams(sample, 8);
+    EXPECT_EQ(p.scheme, QuantScheme::Symmetric);
+    EXPECT_DOUBLE_EQ(p.scale, 2.0 * 2.0 / 255.0);
+    EXPECT_EQ(p.zeroPoint, 0);
+    EXPECT_EQ(p.codeMin(), -128);
+    EXPECT_EQ(p.codeMax(), 127);
+}
+
+TEST(Quantizer, AsymmetricScaleAndZeroPoint)
+{
+    std::vector<float> sample = {-1.0f, 0.0f, 3.0f};
+    QuantParams p = chooseAsymmetricParams(sample, 8);
+    EXPECT_EQ(p.scheme, QuantScheme::Asymmetric);
+    EXPECT_DOUBLE_EQ(p.scale, 4.0 / 255.0);
+    EXPECT_EQ(p.zeroPoint,
+              static_cast<std::int32_t>(std::llround(1.0 / p.scale)));
+    EXPECT_EQ(p.codeMin(), 0);
+    EXPECT_EQ(p.codeMax(), 255);
+    // Real zero maps to the zero point.
+    EXPECT_EQ(quantizeValue(0.0f, p), p.zeroPoint);
+}
+
+TEST(Quantizer, RoundTripErrorBoundedByHalfStep)
+{
+    Rng rng(3);
+    std::vector<float> sample(4096);
+    for (auto &v : sample)
+        v = static_cast<float>(rng.gaussian(0.7, 1.3));
+    for (auto scheme : {QuantScheme::Symmetric, QuantScheme::Asymmetric}) {
+        QuantParams p = scheme == QuantScheme::Symmetric
+                            ? chooseSymmetricParams(sample, 8)
+                            : chooseAsymmetricParams(sample, 8);
+        for (float v : sample) {
+            float rec = dequantizeValue(quantizeValue(v, p), p);
+            // Within the representable range the error is at most s/2.
+            EXPECT_LE(std::abs(v - rec), p.scale * 0.5 + 1e-6)
+                << toString(scheme);
+        }
+    }
+}
+
+TEST(Quantizer, ClipsOutOfRangeValues)
+{
+    QuantParams p = chooseAsymmetricParamsFromRange(0.0f, 1.0f, 8);
+    EXPECT_EQ(quantizeValue(5.0f, p), 255);
+    EXPECT_EQ(quantizeValue(-5.0f, p), 0);
+
+    QuantParams s = chooseSymmetricParamsFromAbsMax(1.0f, 8);
+    EXPECT_EQ(quantizeValue(100.0f, s), 127);
+    EXPECT_EQ(quantizeValue(-100.0f, s), -128);
+}
+
+TEST(Quantizer, MatrixRoundTripMatchesScalar)
+{
+    Rng rng(4);
+    MatrixF x(8, 8);
+    for (auto &v : x.data())
+        v = static_cast<float>(rng.uniformReal(-2.0, 5.0));
+    QuantParams p = chooseAsymmetricParams(x.data(), 8);
+    MatrixI32 codes = quantize(x, p);
+    MatrixF rec = dequantize(codes, p);
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        for (std::size_t c = 0; c < x.cols(); ++c) {
+            EXPECT_EQ(codes(r, c), quantizeValue(x(r, c), p));
+            EXPECT_FLOAT_EQ(rec(r, c),
+                            dequantizeValue(codes(r, c), p));
+        }
+}
+
+class QuantizerBitSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(QuantizerBitSweep, CodesStayInRange)
+{
+    const int bits = GetParam();
+    Rng rng(bits);
+    std::vector<float> sample(1024);
+    for (auto &v : sample)
+        v = static_cast<float>(rng.laplace(0.5, 2.0));
+
+    QuantParams sym = chooseSymmetricParams(sample, bits);
+    QuantParams asym = chooseAsymmetricParams(sample, bits);
+    for (float v : sample) {
+        std::int32_t cs = quantizeValue(v, sym);
+        std::int32_t ca = quantizeValue(v, asym);
+        ASSERT_GE(cs, sym.codeMin());
+        ASSERT_LE(cs, sym.codeMax());
+        ASSERT_GE(ca, 0);
+        ASSERT_LE(ca, asym.codeMax());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, QuantizerBitSweep,
+                         ::testing::Values(4, 7, 8, 10, 12));
+
+TEST(Quantizer, ConstantTensorDegenerateRange)
+{
+    std::vector<float> sample(16, 3.0f);
+    QuantParams p = chooseAsymmetricParams(sample, 8);
+    // Degenerate range falls back to unit scale without dividing by 0.
+    EXPECT_GT(p.scale, 0.0);
+    std::int32_t c = quantizeValue(3.0f, p);
+    EXPECT_GE(c, 0);
+    EXPECT_LE(c, 255);
+}
+
+} // namespace
+} // namespace panacea

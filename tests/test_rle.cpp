@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Run-length encoding tests (paper Fig. 7(a)): round trips, the skip
+ * budget of w-bit indices, verbatim storage of over-budget runs,
+ * trailing-run elision and traffic accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "slicing/rle.h"
+#include "util/random.h"
+
+namespace panacea {
+namespace {
+
+std::vector<Slice>
+makeVectors(Rng &rng, std::size_t count, int vlen, Slice fill,
+            double fill_prob)
+{
+    std::vector<Slice> out(count * static_cast<std::size_t>(vlen));
+    for (std::size_t i = 0; i < count; ++i) {
+        bool compressed = rng.bernoulli(fill_prob);
+        for (int j = 0; j < vlen; ++j) {
+            out[i * vlen + j] =
+                compressed ? fill
+                           : static_cast<Slice>(rng.uniformInt(0, 15));
+        }
+    }
+    return out;
+}
+
+TEST(Rle, RoundTripRandom)
+{
+    Rng rng(21);
+    for (double p : {0.0, 0.3, 0.7, 0.95, 1.0}) {
+        std::vector<Slice> vectors = makeVectors(rng, 200, 4, 10, p);
+        RleStream stream = RleStream::encode(vectors, 200, 4, 10, 4);
+        EXPECT_EQ(stream.decode(), vectors) << "fill prob " << p;
+    }
+}
+
+TEST(Rle, AllCompressedNeedsNoEntries)
+{
+    std::vector<Slice> vectors(40, 5);  // 10 vectors of fill=5
+    RleStream stream = RleStream::encode(vectors, 10, 4, 5, 4);
+    EXPECT_EQ(stream.storedCount(), 0u);
+    EXPECT_EQ(stream.decode(), vectors);
+    EXPECT_DOUBLE_EQ(stream.compressionRatio(), 1.0);
+    EXPECT_EQ(stream.encodedBits(), 0u);
+}
+
+TEST(Rle, OverBudgetRunStoredVerbatim)
+{
+    // 20 compressed vectors in a row with 4-bit indices (max skip 15):
+    // the 16th must be stored verbatim, the remaining 4 elided as a
+    // trailing run... unless a stored vector follows.
+    std::vector<Slice> vectors(21 * 4, 7);
+    for (int j = 0; j < 4; ++j)
+        vectors[20 * 4 + j] = 1;  // final vector uncompressed
+    RleStream stream = RleStream::encode(vectors, 21, 4, 7, 4);
+    // Entries: the verbatim fill vector at index 15 and the real one at
+    // index 20.
+    ASSERT_EQ(stream.storedCount(), 2u);
+    EXPECT_EQ(stream.entries()[0].skip, 15);
+    EXPECT_EQ(stream.entries()[0].vectorIndex, 15u);
+    EXPECT_EQ(stream.entries()[1].skip, 4);
+    EXPECT_EQ(stream.entries()[1].vectorIndex, 20u);
+    EXPECT_EQ(stream.decode(), vectors);
+}
+
+TEST(Rle, WiderIndexExtendsBudget)
+{
+    std::vector<Slice> vectors(21 * 4, 7);
+    for (int j = 0; j < 4; ++j)
+        vectors[20 * 4 + j] = 1;
+    RleStream stream = RleStream::encode(vectors, 21, 4, 7, 8);
+    // With 8-bit indices the 20-vector run fits in one skip.
+    ASSERT_EQ(stream.storedCount(), 1u);
+    EXPECT_EQ(stream.entries()[0].skip, 20);
+    EXPECT_EQ(stream.decode(), vectors);
+}
+
+TEST(Rle, TrafficAccounting)
+{
+    Rng rng(22);
+    std::vector<Slice> vectors = makeVectors(rng, 100, 4, 0, 0.8);
+    RleStream stream = RleStream::encode(vectors, 100, 4, 0, 4);
+    EXPECT_EQ(stream.denseBits(), 100u * 16);
+    EXPECT_EQ(stream.encodedBits(), stream.storedCount() * (16 + 4));
+    EXPECT_LT(stream.encodedBits(), stream.denseBits());
+}
+
+TEST(Rle, WeightPlaneStreams)
+{
+    // 8x3 plane, v=4: two row bands. Band 0 columns {0,2} all-zero.
+    Matrix<Slice> plane(8, 3, 0);
+    for (int r = 0; r < 4; ++r)
+        plane(r, 1) = static_cast<Slice>(r + 1);
+    for (int r = 4; r < 8; ++r)
+        for (int c = 0; c < 3; ++c)
+            plane(r, c) = 3;
+
+    auto streams = encodeWeightPlane(plane, 4, 4);
+    ASSERT_EQ(streams.size(), 2u);
+    EXPECT_EQ(streams[0].storedCount(), 1u);  // only column 1 stored
+    EXPECT_EQ(streams[0].entries()[0].vectorIndex, 1u);
+    EXPECT_EQ(streams[1].storedCount(), 3u);  // nothing compressible
+}
+
+TEST(Rle, ActivationPlaneStreams)
+{
+    // 3x8 plane, v=4: two column bands; fill value r=9.
+    Matrix<Slice> plane(3, 8, 9);
+    plane(1, 0) = 2;  // row 1, band 0 not compressible
+    auto streams = encodeActivationPlane(plane, 4, 9, 4);
+    ASSERT_EQ(streams.size(), 2u);
+    EXPECT_EQ(streams[0].storedCount(), 1u);
+    EXPECT_EQ(streams[0].entries()[0].vectorIndex, 1u);
+    EXPECT_EQ(streams[1].storedCount(), 0u);
+}
+
+TEST(RleDeath, SizeMismatch)
+{
+    std::vector<Slice> vectors(10);
+    EXPECT_DEATH(RleStream::encode(vectors, 4, 4, 0, 4), "input size");
+}
+
+} // namespace
+} // namespace panacea

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic RNG tests: reproducibility, independent forks and
+ * distribution sanity (all experiments depend on seeded determinism).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace panacea {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(a.uniformInt(0, 1000000), b.uniformInt(0, 1000000));
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.uniformInt(0, 1 << 30) == b.uniformInt(0, 1 << 30);
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng parent(7);
+    Rng child = parent.fork();
+    // The child stream differs from the parent's continued stream.
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += parent.uniformInt(0, 1 << 30) ==
+                child.uniformInt(0, 1 << 30);
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIntBoundsInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        auto v = rng.uniformInt(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(10);
+    std::vector<float> s(200000);
+    for (auto &v : s)
+        v = static_cast<float>(rng.gaussian(-1.0, 3.0));
+    SampleStats st = computeStats(s);
+    EXPECT_NEAR(st.mean, -1.0, 0.05);
+    EXPECT_NEAR(st.stddev, 3.0, 0.05);
+}
+
+TEST(Rng, LaplaceHeavierTailsThanGaussian)
+{
+    Rng rng(11);
+    std::size_t gauss_tail = 0;
+    std::size_t laplace_tail = 0;
+    const double threshold = 4.0;
+    for (int i = 0; i < 200000; ++i) {
+        if (std::abs(rng.gaussian(0.0, 1.0)) > threshold)
+            ++gauss_tail;
+        // Laplace scale 1/sqrt(2) matches unit variance.
+        if (std::abs(rng.laplace(0.0, 1.0 / std::sqrt(2.0))) > threshold)
+            ++laplace_tail;
+    }
+    EXPECT_GT(laplace_tail, gauss_tail * 5);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(12);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+} // namespace
+} // namespace panacea

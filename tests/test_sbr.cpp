@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Signed bit-slice representation tests: exhaustive round trips, slice
+ * range invariants and the zero-HO-slice capture property that motivates
+ * SBR (paper Fig. 3(b)).
+ */
+
+#include <gtest/gtest.h>
+
+#include "slicing/sbr.h"
+
+namespace panacea {
+namespace {
+
+TEST(Sbr, BitWidthHelpers)
+{
+    EXPECT_EQ(sbrBits(0), 4);
+    EXPECT_EQ(sbrBits(1), 7);
+    EXPECT_EQ(sbrBits(2), 10);
+    EXPECT_EQ(sbrLoSliceCount(4), 0);
+    EXPECT_EQ(sbrLoSliceCount(7), 1);
+    EXPECT_EQ(sbrLoSliceCount(10), 2);
+}
+
+TEST(Sbr, PaperExampleMinusOne)
+{
+    // Fig. 3(b): -1 = 1111111(2) becomes HO 0000 after the +1
+    // compensation, with LO = 1111(2) = -1.
+    std::vector<Slice> s = sbrEncode(-1, 1);
+    EXPECT_EQ(s[1], 0);   // HO slice is zero -> skippable
+    EXPECT_EQ(s[0], -1);  // sign-extended LO slice
+    EXPECT_EQ(sbrDecode(s), -1);
+}
+
+/** Exhaustive round-trip + range check per slice count. */
+class SbrRoundTrip : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SbrRoundTrip, AllValues)
+{
+    const int n = GetParam();
+    const int bits = sbrBits(n);
+    const std::int32_t lo = -(1 << (bits - 1));
+    const std::int32_t hi = (1 << (bits - 1)) - 1;
+    for (std::int32_t v = lo; v <= hi; ++v) {
+        std::vector<Slice> s = sbrEncode(v, n);
+        ASSERT_EQ(static_cast<int>(s.size()), n + 1);
+        for (Slice sl : s) {
+            ASSERT_GE(sl, signedSliceMin);
+            ASSERT_LE(sl, signedSliceMax);
+        }
+        ASSERT_EQ(sbrDecode(s), v) << "value " << v << " n=" << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SliceCounts, SbrRoundTrip,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(Sbr, ZeroHoSliceRange)
+{
+    // SBR's purpose: every |v| <= 8^n has an all-zero HO slice, covering
+    // negative near-zero values that straightforward slicing misses.
+    for (int n : {1, 2}) {
+        const std::int32_t window = 1 << (3 * n);
+        const int bits = sbrBits(n);
+        const std::int32_t lo = -(1 << (bits - 1));
+        const std::int32_t hi = (1 << (bits - 1)) - 1;
+        for (std::int32_t v = lo; v <= hi; ++v) {
+            std::vector<Slice> s = sbrEncode(v, n);
+            bool ho_zero = s.back() == 0;
+            bool in_window = v >= -window && v <= window - 1;
+            ASSERT_EQ(ho_zero, in_window) << "v=" << v << " n=" << n;
+        }
+    }
+}
+
+TEST(Sbr, EncodeIntoMatchesVectorForm)
+{
+    Slice buf[3];
+    for (std::int32_t v = -512; v <= 511; ++v) {
+        sbrEncodeInto(v, 2, buf);
+        std::vector<Slice> s = sbrEncode(v, 2);
+        ASSERT_EQ(buf[0], s[0]);
+        ASSERT_EQ(buf[1], s[1]);
+        ASSERT_EQ(buf[2], s[2]);
+    }
+}
+
+TEST(SbrDeath, RejectsOutOfRange)
+{
+    EXPECT_DEATH(sbrEncode(64, 1), "does not fit");
+    EXPECT_DEATH(sbrEncode(-65, 1), "does not fit");
+    EXPECT_DEATH(sbrLoSliceCount(8), "SBR requires");
+}
+
+} // namespace
+} // namespace panacea

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Workload-scheduler tests: the closed-form makespan must match greedy
+ * list scheduling across the workload space, and the DTP rules must
+ * route second-tile static work correctly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/scheduler.h"
+#include "util/random.h"
+
+namespace panacea {
+namespace {
+
+TEST(Scheduler, DenseWithoutDtp)
+{
+    PeaScheduler sched(4, 8);
+    // Paper-dense mix per (k, ng): 3 dynamic, 1 static.
+    PeaTileWork work;
+    work.dynOps = 300;
+    work.statOps = 100;
+    EXPECT_EQ(sched.makespan(work, false), 75u);   // DWO bound
+    EXPECT_EQ(sched.simulateGreedy(work, false), 75u);
+}
+
+TEST(Scheduler, StaticBoundWithoutDtp)
+{
+    PeaScheduler sched(8, 4);
+    PeaTileWork work;
+    work.dynOps = 10;
+    work.statOps = 100;
+    EXPECT_EQ(sched.makespan(work, false), 25u);   // SWO bound
+}
+
+TEST(Scheduler, DtpAllowsStaticSpillToDwos)
+{
+    PeaScheduler sched(4, 8);
+    PeaTileWork work;
+    work.dynOps = 0;
+    work.statOps = 800;   // saturates SWOs for 100 cycles
+    work.statOps2 = 400;  // must spill to DWOs
+    EXPECT_EQ(sched.makespan(work, true), 100u);
+    EXPECT_EQ(sched.simulateGreedy(work, true), 100u);
+}
+
+TEST(Scheduler, DtpImprovesHighSparsityThroughput)
+{
+    // At high sparsity, dynamic work vanishes; without DTP the second
+    // tile would be processed serially. DTP overlaps the two static
+    // streams across all operators.
+    PeaScheduler sched(4, 8);
+    PeaTileWork single;
+    single.dynOps = 20;
+    single.statOps = 200;
+    std::uint64_t two_passes = 2 * sched.makespan(single, false);
+
+    PeaTileWork dtp;
+    dtp.dynOps = 40;
+    dtp.statOps = 200;
+    dtp.statOps2 = 200;
+    std::uint64_t one_pass = sched.makespan(dtp, true);
+    EXPECT_LT(one_pass, two_passes);
+}
+
+TEST(Scheduler, ClosedFormMatchesGreedyRandomized)
+{
+    Rng rng(61);
+    for (int trial = 0; trial < 500; ++trial) {
+        int d = static_cast<int>(rng.uniformInt(1, 12));
+        int s = static_cast<int>(rng.uniformInt(1, 12));
+        PeaScheduler sched(d, s);
+        PeaTileWork work;
+        work.dynOps = static_cast<std::uint64_t>(rng.uniformInt(0, 2000));
+        work.statOps = static_cast<std::uint64_t>(rng.uniformInt(0, 2000));
+        bool dtp = rng.bernoulli(0.5);
+        if (dtp)
+            work.statOps2 =
+                static_cast<std::uint64_t>(rng.uniformInt(0, 2000));
+
+        std::uint64_t closed = sched.makespan(work, dtp);
+        std::uint64_t greedy = sched.simulateGreedy(work, dtp);
+        // Greedy is a feasible schedule: it can exceed the fluid bound
+        // by at most one rounding cycle and never beat it.
+        ASSERT_GE(greedy, closed == 0 ? 0 : closed - 1)
+            << "d=" << d << " s=" << s;
+        ASSERT_LE(greedy, closed + 1)
+            << "d=" << d << " s=" << s << " dyn=" << work.dynOps
+            << " st=" << work.statOps << " st2=" << work.statOps2;
+    }
+}
+
+TEST(Scheduler, EmptyWorkIsFree)
+{
+    PeaScheduler sched(4, 8);
+    PeaTileWork work;
+    EXPECT_EQ(sched.makespan(work, false), 0u);
+    EXPECT_EQ(sched.simulateGreedy(work, true), 0u);
+}
+
+TEST(SchedulerDeath, Stat2RequiresDtp)
+{
+    PeaScheduler sched(4, 8);
+    PeaTileWork work;
+    work.statOps2 = 5;
+    EXPECT_DEATH(sched.makespan(work, false), "without DTP");
+}
+
+} // namespace
+} // namespace panacea

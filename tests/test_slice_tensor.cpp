@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Sliced-matrix tests: lossless reconstruction across representations
+ * and plane metadata (shifts, HO flags).
+ */
+
+#include <gtest/gtest.h>
+
+#include "slicing/slice_tensor.h"
+#include "util/random.h"
+
+namespace panacea {
+namespace {
+
+TEST(SliceTensor, SbrReconstructLossless)
+{
+    Rng rng(31);
+    for (int n : {0, 1, 2}) {
+        const int bits = 3 * n + 4;
+        MatrixI32 codes(16, 12);
+        for (auto &c : codes.data())
+            c = static_cast<std::int32_t>(rng.uniformInt(
+                -(1 << (bits - 1)), (1 << (bits - 1)) - 1));
+        SlicedMatrix sliced = sbrSliceMatrix(codes, n);
+        EXPECT_EQ(sliced.levels(), static_cast<std::size_t>(n + 1));
+        EXPECT_TRUE(sliced.signedSlices);
+        EXPECT_TRUE(sliced.reconstruct() == codes) << "n=" << n;
+    }
+}
+
+TEST(SliceTensor, ActivationReconstructLossless)
+{
+    Rng rng(32);
+    for (int k : {1, 2}) {
+        const int bits = 4 * k + 4;
+        MatrixI32 codes(12, 16);
+        for (auto &c : codes.data())
+            c = static_cast<std::int32_t>(
+                rng.uniformInt(0, (1 << bits) - 1));
+        SlicedMatrix sliced = activationSliceMatrix(codes, k);
+        EXPECT_EQ(sliced.levels(), static_cast<std::size_t>(k + 1));
+        EXPECT_FALSE(sliced.signedSlices);
+        EXPECT_TRUE(sliced.reconstruct() == codes) << "k=" << k;
+    }
+}
+
+TEST(SliceTensor, SbrPlaneShifts)
+{
+    MatrixI32 codes(4, 4, 0);
+    SlicedMatrix sliced = sbrSliceMatrix(codes, 2);
+    EXPECT_EQ(sliced.planes[0].shift, 0);
+    EXPECT_EQ(sliced.planes[1].shift, 3);
+    EXPECT_EQ(sliced.planes[2].shift, 6);
+    EXPECT_FALSE(sliced.planes[0].high);
+    EXPECT_FALSE(sliced.planes[1].high);
+    EXPECT_TRUE(sliced.planes[2].high);
+}
+
+TEST(SliceTensor, DbsReconstructMasksLsbs)
+{
+    Rng rng(33);
+    MatrixI32 codes(8, 8);
+    for (auto &c : codes.data())
+        c = static_cast<std::int32_t>(rng.uniformInt(0, 255));
+
+    for (int l : {4, 5, 6}) {
+        SlicedMatrix sliced = dbsSliceMatrix(codes, l);
+        EXPECT_EQ(sliced.planes[0].shift, l - 4);
+        EXPECT_EQ(sliced.planes[1].shift, l);
+        MatrixI32 rec = sliced.reconstruct();
+        for (std::size_t i = 0; i < codes.data().size(); ++i)
+            ASSERT_EQ(rec.data()[i],
+                      codes.data()[i] & ~((1 << (l - 4)) - 1))
+                << "l=" << l;
+    }
+}
+
+TEST(SliceTensor, HoPlaneAccessor)
+{
+    MatrixI32 codes(4, 4, 5);
+    SlicedMatrix sliced = activationSliceMatrix(codes, 1);
+    EXPECT_TRUE(sliced.hoPlane().high);
+    EXPECT_EQ(sliced.hoPlane().shift, 4);
+}
+
+} // namespace
+} // namespace panacea

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Sparsity analytics tests: slice-level and vector-level measures on
+ * hand-constructed planes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "slicing/sparsity.h"
+
+namespace panacea {
+namespace {
+
+TEST(Sparsity, SliceSparsityCounts)
+{
+    Matrix<Slice> plane(4, 4, 0);
+    plane(0, 0) = 3;
+    plane(1, 1) = 3;
+    EXPECT_DOUBLE_EQ(sliceSparsity(plane, 0), 14.0 / 16.0);
+    EXPECT_DOUBLE_EQ(sliceSparsity(plane, 3), 2.0 / 16.0);
+}
+
+TEST(Sparsity, WeightVectorMaskGroupsRows)
+{
+    Matrix<Slice> plane(8, 2, 0);
+    plane(5, 0) = 1;  // poisons band 1, column 0
+    MatrixU8 mask = weightVectorMask(plane, 4);
+    ASSERT_EQ(mask.rows(), 2u);
+    ASSERT_EQ(mask.cols(), 2u);
+    EXPECT_EQ(mask(0, 0), 1);
+    EXPECT_EQ(mask(0, 1), 1);
+    EXPECT_EQ(mask(1, 0), 0);
+    EXPECT_EQ(mask(1, 1), 1);
+    EXPECT_DOUBLE_EQ(maskDensityOfOnes(mask), 3.0 / 4.0);
+}
+
+TEST(Sparsity, ActivationVectorMaskGroupsCols)
+{
+    Matrix<Slice> plane(2, 8, 9);
+    plane(0, 6) = 2;  // poisons row 0, band 1
+    MatrixU8 mask = activationVectorMask(plane, 4, 9);
+    ASSERT_EQ(mask.rows(), 2u);
+    ASSERT_EQ(mask.cols(), 2u);
+    EXPECT_EQ(mask(0, 0), 1);
+    EXPECT_EQ(mask(0, 1), 0);
+    EXPECT_EQ(mask(1, 0), 1);
+    EXPECT_EQ(mask(1, 1), 1);
+}
+
+TEST(Sparsity, VectorLevelNeverExceedsSliceLevel)
+{
+    // Grouping can only lose sparsity: a compressed vector needs all v
+    // slices at the fill value.
+    Matrix<Slice> plane(8, 8);
+    int counter = 0;
+    for (auto &s : plane.data())
+        s = static_cast<Slice>((counter++ % 3 == 0) ? 0 : 1);
+    SparsityReport rep = analyzeWeightHo(plane, 4);
+    EXPECT_LE(rep.vectorLevel, rep.sliceLevel);
+}
+
+TEST(Sparsity, Reports)
+{
+    Matrix<Slice> plane(4, 4, 0);
+    SparsityReport rep = analyzeWeightHo(plane, 4);
+    EXPECT_DOUBLE_EQ(rep.sliceLevel, 1.0);
+    EXPECT_DOUBLE_EQ(rep.vectorLevel, 1.0);
+
+    Matrix<Slice> act(4, 4, 7);
+    SparsityReport arep = analyzeActivationHo(act, 4, 7);
+    EXPECT_DOUBLE_EQ(arep.sliceLevel, 1.0);
+    EXPECT_DOUBLE_EQ(arep.vectorLevel, 1.0);
+}
+
+TEST(SparsityDeath, RequiresDivisibleDims)
+{
+    Matrix<Slice> plane(6, 4, 0);
+    EXPECT_DEATH(weightVectorMask(plane, 4), "not divisible");
+    Matrix<Slice> act(4, 6, 0);
+    EXPECT_DEATH(activationVectorMask(act, 4, 0), "not divisible");
+}
+
+} // namespace
+} // namespace panacea

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Scalar statistics tests: moments, percentiles, MSE and SQNR.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace panacea {
+namespace {
+
+TEST(Stats, KnownSample)
+{
+    std::vector<float> s = {1.0f, 2.0f, 3.0f, 4.0f};
+    SampleStats st = computeStats(s);
+    EXPECT_DOUBLE_EQ(st.min, 1.0);
+    EXPECT_DOUBLE_EQ(st.max, 4.0);
+    EXPECT_DOUBLE_EQ(st.mean, 2.5);
+    EXPECT_NEAR(st.stddev, std::sqrt(1.25), 1e-12);
+    EXPECT_EQ(st.count, 4u);
+}
+
+TEST(Stats, IntegerOverload)
+{
+    std::vector<std::int32_t> s = {-2, 0, 2};
+    SampleStats st = computeStats(s);
+    EXPECT_DOUBLE_EQ(st.mean, 0.0);
+    EXPECT_NEAR(st.stddev, std::sqrt(8.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, EmptySample)
+{
+    std::vector<float> s;
+    SampleStats st = computeStats(std::span<const float>(s));
+    EXPECT_EQ(st.count, 0u);
+    EXPECT_DOUBLE_EQ(st.mean, 0.0);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    std::vector<float> s = {10.0f, 20.0f, 30.0f, 40.0f, 50.0f};
+    EXPECT_DOUBLE_EQ(percentile(s, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(s, 50.0), 30.0);
+    EXPECT_DOUBLE_EQ(percentile(s, 100.0), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(s, 25.0), 20.0);
+    EXPECT_DOUBLE_EQ(percentile(s, 12.5), 15.0);
+}
+
+TEST(Stats, PercentileDoesNotReorderInput)
+{
+    std::vector<float> s = {3.0f, 1.0f, 2.0f};
+    (void)percentile(s, 50.0);
+    EXPECT_EQ(s[0], 3.0f);
+}
+
+TEST(Stats, MseAndSqnr)
+{
+    std::vector<float> a = {1.0f, 2.0f};
+    std::vector<float> b = {1.0f, 2.0f};
+    EXPECT_DOUBLE_EQ(meanSquaredError(a, b), 0.0);
+    EXPECT_TRUE(std::isinf(sqnrDb(a, b)));
+
+    std::vector<float> c = {1.5f, 2.5f};
+    EXPECT_DOUBLE_EQ(meanSquaredError(a, c), 0.25);
+    // SQNR = 10 log10( (1+4)/(0.25+0.25) ) = 10 log10(10) = 10 dB.
+    EXPECT_NEAR(sqnrDb(a, c), 10.0, 1e-9);
+}
+
+TEST(Stats, GaussianMomentsRecovered)
+{
+    Rng rng(141);
+    std::vector<float> s(100000);
+    for (auto &v : s)
+        v = static_cast<float>(rng.gaussian(3.0, 2.0));
+    SampleStats st = computeStats(s);
+    EXPECT_NEAR(st.mean, 3.0, 0.05);
+    EXPECT_NEAR(st.stddev, 2.0, 0.05);
+}
+
+TEST(StatsDeath, BadArguments)
+{
+    std::vector<float> s = {1.0f};
+    std::vector<float> t = {1.0f, 2.0f};
+    EXPECT_DEATH(meanSquaredError(s, t), "size mismatch");
+    EXPECT_DEATH(percentile(s, 101.0), "out of");
+    std::vector<float> empty;
+    EXPECT_DEATH(percentile(std::span<const float>(empty), 50.0),
+                 "empty");
+}
+
+} // namespace
+} // namespace panacea

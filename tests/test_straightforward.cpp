@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Straightforward and DBS slicing tests: exhaustive round trips and the
+ * LSB-truncation semantics of the dynamic slicing rules (paper Fig. 10).
+ */
+
+#include <gtest/gtest.h>
+
+#include "slicing/straightforward.h"
+
+namespace panacea {
+namespace {
+
+TEST(Straightforward, BitWidthHelpers)
+{
+    EXPECT_EQ(activationBits(0), 4);
+    EXPECT_EQ(activationBits(1), 8);
+    EXPECT_EQ(activationBits(2), 12);
+    EXPECT_EQ(activationLoSliceCount(8), 1);
+    EXPECT_EQ(activationLoSliceCount(12), 2);
+}
+
+class ActivationRoundTrip : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ActivationRoundTrip, AllValues)
+{
+    const int k = GetParam();
+    const std::int32_t hi = (1 << activationBits(k)) - 1;
+    for (std::int32_t v = 0; v <= hi; ++v) {
+        std::vector<Slice> s = activationEncode(v, k);
+        ASSERT_EQ(static_cast<int>(s.size()), k + 1);
+        for (Slice sl : s) {
+            ASSERT_GE(sl, 0);
+            ASSERT_LE(sl, unsignedSliceMax);
+        }
+        ASSERT_EQ(activationDecode(s), v);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SliceCounts, ActivationRoundTrip,
+                         ::testing::Values(0, 1, 2));
+
+TEST(Dbs, PaperExampleType2)
+{
+    // Fig. 10(b): 01010101(2) = 85 under l = 5 splits into HO 010(2)
+    // and LO 10101(2); stored slices are HO zero-padded and LO with the
+    // lowest bit discarded.
+    DbsSlices s = dbsEncode(85, 5);
+    EXPECT_EQ(s.ho, 2);    // 010
+    EXPECT_EQ(s.lo, 10);   // 1010 (LSB of 10101 dropped)
+    EXPECT_EQ(dbsDecode(s, 5), 84);  // 85 & ~1
+}
+
+class DbsSliceSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(DbsSliceSweep, TruncationSemanticsAllCodes)
+{
+    const int l = GetParam();
+    const std::int32_t lsb_mask = ~((1 << (l - 4)) - 1);
+    for (std::int32_t v = 0; v <= 255; ++v) {
+        DbsSlices s = dbsEncode(v, l);
+        ASSERT_GE(s.ho, 0);
+        ASSERT_LE(s.ho, unsignedSliceMax);
+        ASSERT_GE(s.lo, 0);
+        ASSERT_LE(s.lo, unsignedSliceMax);
+        ASSERT_EQ(dbsDecode(s, l), v & lsb_mask) << "v=" << v;
+        if (l == 4) {
+            ASSERT_EQ(dbsDecode(s, l), v);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(LoWidths, DbsSliceSweep,
+                         ::testing::Values(4, 5, 6));
+
+TEST(DbsDeath, RejectsBadInputs)
+{
+    EXPECT_DEATH(dbsEncode(256, 5), "8-bit");
+    EXPECT_DEATH(dbsEncode(10, 7), "outside");
+}
+
+} // namespace
+} // namespace panacea

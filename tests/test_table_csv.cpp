@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Console-table and CSV-writer tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace panacea {
+namespace {
+
+TEST(Table, AlignedOutput)
+{
+    Table t({"name", "value"});
+    t.newRow().cell("alpha").cell(std::int64_t{42});
+    t.newRow().cell("b").cell(3.14159, 2);
+    std::ostringstream oss;
+    t.print(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("3.14"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, FormattedCells)
+{
+    Table t({"a", "b", "c"});
+    t.newRow().ratioCell(1.974).percentCell(0.613).cell(
+        std::uint64_t{7});
+    std::ostringstream oss;
+    t.print(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("1.97x"), std::string::npos);
+    EXPECT_NE(out.find("61.3%"), std::string::npos);
+}
+
+TEST(Table, Banner)
+{
+    std::ostringstream oss;
+    printBanner(oss, "Figure 13");
+    EXPECT_EQ(oss.str(), "\n== Figure 13 ==\n");
+}
+
+TEST(TableDeath, CellBeforeRow)
+{
+    Table t({"x"});
+    EXPECT_DEATH(t.cell("oops"), "before newRow");
+}
+
+TEST(Csv, WritesAndEscapes)
+{
+    const std::string path = "/tmp/panacea_test_csv.csv";
+    {
+        CsvWriter csv(path, {"a", "b"});
+        csv.writeRow({"plain", "with,comma"});
+        csv.writeRow({"with\"quote", "multi\nline"});
+        EXPECT_TRUE(csv.good());
+    }
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string content = ss.str();
+    EXPECT_NE(content.find("a,b\n"), std::string::npos);
+    EXPECT_NE(content.find("plain,\"with,comma\"\n"),
+              std::string::npos);
+    EXPECT_NE(content.find("\"with\"\"quote\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(CsvDeath, ColumnMismatch)
+{
+    const std::string path = "/tmp/panacea_test_csv2.csv";
+    CsvWriter csv(path, {"a", "b"});
+    EXPECT_DEATH(csv.writeRow({"only-one"}), "expected");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace panacea

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Dataflow-conservation tests (DESIGN.md §5.6): the tiled executor walks
+ * the cycle simulator's exact tile traversal - with DTP pairing and the
+ * hardware Compensator units - and must reproduce the reference
+ * AQS-GEMM engine bit-for-bit, at every sparsity and configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/tiled_executor.h"
+#include "quant/gemm_quant.h"
+#include "util/random.h"
+
+namespace panacea {
+namespace {
+
+struct Operands
+{
+    MatrixI32 w;
+    MatrixI32 x;
+    WeightOperand wOp;
+    ActivationOperand xOp;
+};
+
+Operands
+makeOperands(Rng &rng, std::size_t m, std::size_t k, std::size_t n,
+             double w_bias, double x_bias, std::int32_t zp,
+             const AqsConfig &cfg, int weight_lo = 1)
+{
+    Operands ops;
+    ops.w = MatrixI32(m, k);
+    const int bits = 3 * weight_lo + 4;
+    const std::int32_t lo = -(1 << (bits - 1));
+    const std::int32_t hi = (1 << (bits - 1)) - 1;
+    const std::int32_t narrow = (1 << std::max(1, bits - 4)) - 1;
+    for (auto &v : ops.w.data())
+        v = rng.bernoulli(w_bias)
+                ? static_cast<std::int32_t>(rng.uniformInt(-narrow, narrow))
+                : static_cast<std::int32_t>(rng.uniformInt(lo, hi));
+    ops.x = MatrixI32(k, n);
+    for (auto &v : ops.x.data()) {
+        if (rng.bernoulli(x_bias))
+            v = static_cast<std::int32_t>(std::clamp<std::int64_t>(
+                zp + rng.uniformInt(-7, 7), 0, 255));
+        else
+            v = static_cast<std::int32_t>(rng.uniformInt(0, 255));
+    }
+    ops.wOp = prepareWeights(ops.w, weight_lo, cfg);
+    ops.xOp = prepareActivations(ops.x, 1, zp, cfg);
+    return ops;
+}
+
+TEST(TiledExecutor, MatchesReferenceEngineSingleTile)
+{
+    Rng rng(301);
+    AqsConfig gemm_cfg;
+    Operands ops = makeOperands(rng, 64, 32, 64, 0.6, 0.8, 136,
+                                gemm_cfg);
+    PanaceaConfig cfg;
+    TiledExecutionStats st;
+    MatrixI64 tiled = executeTiled(ops.wOp, ops.xOp, cfg, &st);
+    MatrixI64 ref = aqsGemm(ops.wOp, ops.xOp, gemm_cfg);
+    EXPECT_TRUE(tiled == ref);
+    EXPECT_TRUE(ref == intGemm(ops.w, ops.x));
+    EXPECT_EQ(st.tilesVisited, 1u);
+    EXPECT_FALSE(st.dtpUsed);
+}
+
+TEST(TiledExecutor, MatchesReferenceWithDtpPairing)
+{
+    Rng rng(302);
+    AqsConfig gemm_cfg;
+    // 4 m-tiles x 3 n-tiles, high sparsity so DTP engages.
+    Operands ops = makeOperands(rng, 256, 64, 192, 0.8, 0.9, 136,
+                                gemm_cfg);
+    PanaceaConfig cfg;
+    cfg.enableDtp = true;
+    TiledExecutionStats st;
+    MatrixI64 tiled = executeTiled(ops.wOp, ops.xOp, cfg, &st);
+    EXPECT_TRUE(tiled == intGemm(ops.w, ops.x));
+    EXPECT_TRUE(st.dtpUsed);
+
+    // DTP must never change the result or the executed-product count.
+    PanaceaConfig no_dtp = cfg;
+    no_dtp.enableDtp = false;
+    TiledExecutionStats st2;
+    MatrixI64 tiled2 = executeTiled(ops.wOp, ops.xOp, no_dtp, &st2);
+    EXPECT_TRUE(tiled == tiled2);
+    EXPECT_EQ(st.outerProducts, st2.outerProducts);
+}
+
+TEST(TiledExecutor, PartialTilesAtEveryEdge)
+{
+    Rng rng(303);
+    AqsConfig gemm_cfg;
+    // M = 192 (3 m-tiles), N = 80 (1.25 n-tiles): exercises the short
+    // final tile in both dimensions.
+    Operands ops = makeOperands(rng, 192, 48, 80, 0.5, 0.7, 88,
+                                gemm_cfg);
+    PanaceaConfig cfg;
+    MatrixI64 tiled = executeTiled(ops.wOp, ops.xOp, cfg);
+    EXPECT_TRUE(tiled == intGemm(ops.w, ops.x));
+}
+
+TEST(TiledExecutor, OuterProductCountMatchesFunctionalStats)
+{
+    Rng rng(304);
+    AqsConfig gemm_cfg;
+    Operands ops = makeOperands(rng, 128, 64, 128, 0.7, 0.85, 136,
+                                gemm_cfg);
+    AqsStats fstats;
+    (void)aqsGemm(ops.wOp, ops.xOp, gemm_cfg, &fstats);
+    PanaceaConfig cfg;
+    TiledExecutionStats st;
+    (void)executeTiled(ops.wOp, ops.xOp, cfg, &st);
+    EXPECT_EQ(st.outerProducts, fstats.executedOuterProducts);
+}
+
+class TiledExecutorSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{};
+
+TEST_P(TiledExecutorSweep, ConservationAcrossSparsities)
+{
+    const double w_bias = std::get<0>(GetParam());
+    const double x_bias = std::get<1>(GetParam());
+    Rng rng(static_cast<std::uint64_t>(w_bias * 31 + x_bias * 101) + 9);
+    AqsConfig gemm_cfg;
+    Operands ops = makeOperands(rng, 128, 40, 128, w_bias, x_bias, 168,
+                                gemm_cfg);
+    PanaceaConfig cfg;
+    MatrixI64 tiled = executeTiled(ops.wOp, ops.xOp, cfg);
+    EXPECT_TRUE(tiled == intGemm(ops.w, ops.x));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TiledExecutorSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.5, 0.95),
+                       ::testing::Values(0.0, 0.5, 0.95)));
+
+TEST(TiledExecutor, ZeroOnlyAndNoneModes)
+{
+    Rng rng(305);
+    for (ActSkipMode mode :
+         {ActSkipMode::ZeroOnly, ActSkipMode::None}) {
+        AqsConfig gemm_cfg;
+        gemm_cfg.actSkip = mode;
+        Operands ops = makeOperands(rng, 64, 32, 64, 0.6,
+                                    mode == ActSkipMode::ZeroOnly ? 0.9
+                                                                  : 0.5,
+                                    mode == ActSkipMode::ZeroOnly ? 4
+                                                                  : 136,
+                                    gemm_cfg);
+        PanaceaConfig cfg;
+        cfg.actSkip = mode;
+        MatrixI64 tiled = executeTiled(ops.wOp, ops.xOp, cfg);
+        EXPECT_TRUE(tiled == intGemm(ops.w, ops.x))
+            << toString(mode);
+    }
+}
+
+TEST(TiledExecutor, TenBitWeightsThreeSlices)
+{
+    Rng rng(306);
+    AqsConfig gemm_cfg;
+    Operands ops = makeOperands(rng, 64, 32, 64, 0.6, 0.8, 136,
+                                gemm_cfg, /*weight_lo=*/2);
+    PanaceaConfig cfg;
+    MatrixI64 tiled = executeTiled(ops.wOp, ops.xOp, cfg);
+    EXPECT_TRUE(tiled == intGemm(ops.w, ops.x));
+}
+
+} // namespace
+} // namespace panacea

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Zero-point manipulation tests (paper Eq. (7)): bucket-centre snapping,
+ * clamping at the code-range edges, and the skip-range property that
+ * motivates ZPM.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/zpm.h"
+#include "util/random.h"
+
+namespace panacea {
+namespace {
+
+TEST(Zpm, PaperExampleZp161)
+{
+    // Fig. 8: zp = 161 with l = 4. Eq. (7): 16*round(161/16)+8 = 168,
+    // frequent slice r' = (168-8)>>4 = 10 = 1010(2).
+    ZpmResult res = manipulateZeroPoint(161, 8, 4);
+    EXPECT_EQ(res.zeroPoint, 168);
+    EXPECT_EQ(res.frequentSlice, 10);
+}
+
+TEST(Zpm, ZeroStaysZero)
+{
+    ZpmResult res = manipulateZeroPoint(0, 8, 4);
+    EXPECT_EQ(res.zeroPoint, 0);
+    EXPECT_EQ(res.frequentSlice, 0);
+}
+
+TEST(Zpm, TopOfRangeStaysInTopBucket)
+{
+    // zp = 255 lives in bucket 15; its centre is 248.
+    ZpmResult res = manipulateZeroPoint(255, 8, 4);
+    EXPECT_EQ(res.zeroPoint, 248);
+    EXPECT_EQ(res.frequentSlice, 15);
+}
+
+TEST(Zpm, RefitScaleKeepsRangeCovered)
+{
+    // Raw calibration: range [-1, 3] on 8 bits -> s = 4/255, zp = 64.
+    QuantParams raw;
+    raw.scheme = QuantScheme::Asymmetric;
+    raw.bits = 8;
+    raw.scale = 4.0 / 255.0;
+    raw.zeroPoint = 64;
+
+    // Move the zero point up (as a wide-bucket ZPM might): without a
+    // refit, the top of the range would clip.
+    QuantParams refit = refitScaleForZeroPoint(raw, 96);
+    EXPECT_EQ(refit.zeroPoint, 96);
+    // Both calibrated endpoints stay representable.
+    double lo = -64.0 * raw.scale;
+    double hi = (255.0 - 64.0) * raw.scale;
+    EXPECT_LE(-refit.zeroPoint * refit.scale, lo + 1e-12);
+    EXPECT_GE((255.0 - refit.zeroPoint) * refit.scale, hi - 1e-12);
+    // Identity when the zero point is unchanged.
+    QuantParams same = refitScaleForZeroPoint(raw, 64);
+    EXPECT_DOUBLE_EQ(same.scale, raw.scale);
+}
+
+/** Exhaustive invariants over every possible zero point. */
+class ZpmSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ZpmSweep, InvariantsForAllZeroPoints)
+{
+    const int lo_bits = GetParam();
+    const int step = 1 << lo_bits;
+    for (std::int32_t zp = 0; zp <= 255; ++zp) {
+        ZpmResult res = manipulateZeroPoint(zp, 8, lo_bits);
+        // zp' is a representable code.
+        ASSERT_GE(res.zeroPoint, 0);
+        ASSERT_LE(res.zeroPoint, 255);
+        if (zp > 0) {
+            // zp' sits exactly at the centre of its HO bucket, so the
+            // skip range [r*2^l, (r+1)*2^l) is centred on zp'.
+            ASSERT_EQ(res.zeroPoint % step, step / 2) << "zp=" << zp;
+            // Snapping to the containing bucket's centre moves the zero
+            // point by at most half a bucket.
+            ASSERT_LE(std::abs(res.zeroPoint - zp), step / 2);
+            // The frequent slice is the HO slice of the original zp.
+            ASSERT_EQ(res.frequentSlice, zp >> lo_bits);
+        }
+        // r' is the HO slice of the bucket base.
+        ASSERT_EQ(res.frequentSlice,
+                  (res.zeroPoint - (zp > 0 ? step / 2 : 0)) >> lo_bits);
+        ASSERT_GE(res.frequentSlice, 0);
+        ASSERT_LT(res.frequentSlice, 1 << (8 - lo_bits));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(LoWidths, ZpmSweep, ::testing::Values(4, 5, 6));
+
+TEST(Zpm, SkipRangeCapturesCentredMass)
+{
+    // Values within +-2^(l-1) of zp' share the frequent HO slice: the
+    // mechanism by which ZPM raises slice sparsity (68% -> 98% in the
+    // paper example).
+    const int l = 4;
+    ZpmResult res = manipulateZeroPoint(161, 8, l);
+    const int lo = res.frequentSlice << l;
+    const int hi = lo + (1 << l) - 1;
+    for (int v = res.zeroPoint - 8; v <= res.zeroPoint + 7; ++v) {
+        EXPECT_GE(v, lo);
+        EXPECT_LE(v, hi);
+        EXPECT_EQ(v >> l, res.frequentSlice);
+    }
+}
+
+TEST(Zpm, ApplyUpdatesParams)
+{
+    QuantParams params;
+    params.scheme = QuantScheme::Asymmetric;
+    params.bits = 8;
+    params.zeroPoint = 161;
+    ZpmResult res = applyZpm(params, 4);
+    EXPECT_EQ(params.zeroPoint, 168);
+    EXPECT_EQ(res.zeroPoint, 168);
+}
+
+TEST(Zpm, FrequentSliceOfUnmanipulatedZp)
+{
+    EXPECT_EQ(frequentSliceOf(161, 4), 10);
+    EXPECT_EQ(frequentSliceOf(15, 4), 0);
+    EXPECT_EQ(frequentSliceOf(255, 4), 15);
+}
+
+TEST(ZpmDeath, RejectsInvalidArguments)
+{
+    EXPECT_DEATH(manipulateZeroPoint(-1, 8, 4), "non-negative");
+    EXPECT_DEATH(manipulateZeroPoint(10, 8, 8), "invalid");
+}
+
+namespace {
+
+/** Skip-range mass captured when re-quantizing with the given zp'. */
+double
+capturedMass(const Histogram &codes, std::int32_t zp_old,
+             std::int32_t zp_new, int lo_bits)
+{
+    const std::int32_t shift = zp_new - zp_old;
+    const std::int32_t r = zp_new >> lo_bits;
+    return codes.massIn((r << lo_bits) - shift,
+                        (r << lo_bits) - shift + (1 << lo_bits) - 1);
+}
+
+} // namespace
+
+TEST(ZpmHistAware, NeverWorseThanEq7)
+{
+    // Across a family of skewed distributions, the histogram-aware
+    // phase must capture at least as much calibration mass as the
+    // blind Eq. (7) centring.
+    Rng rng(77);
+    for (int trial = 0; trial < 30; ++trial) {
+        const std::int32_t zp =
+            static_cast<std::int32_t>(rng.uniformInt(1, 254));
+        const double skew = rng.uniformReal(-6.0, 6.0);
+        Histogram hist(0, 255);
+        for (int i = 0; i < 20000; ++i) {
+            auto c = static_cast<std::int64_t>(std::llround(
+                zp + skew + rng.laplace(0.0, 4.0)));
+            hist.add(std::clamp<std::int64_t>(c, 0, 255));
+        }
+        ZpmResult eq7 = manipulateZeroPoint(zp, 8, 4);
+        ZpmResult aware = manipulateZeroPointHistAware(hist, zp, 8, 4);
+        double mass_eq7 = capturedMass(hist, zp, eq7.zeroPoint, 4);
+        double mass_aware = capturedMass(hist, zp, aware.zeroPoint, 4);
+        ASSERT_GE(mass_aware + 1e-9, mass_eq7)
+            << "zp=" << zp << " skew=" << skew;
+        // The result is always a consistent (zp', r') pair in range.
+        ASSERT_GE(aware.zeroPoint, 0);
+        ASSERT_LE(aware.zeroPoint, 255);
+        ASSERT_EQ(aware.frequentSlice, aware.zeroPoint >> 4);
+    }
+}
+
+TEST(ZpmHistAware, PicksSkewedPhase)
+{
+    // A one-sided pile just above zp: the best bucket phase puts the
+    // skip range over the pile, not symmetrically around zp.
+    Histogram hist(0, 255);
+    const std::int32_t zp = 96;
+    for (int c = 96; c < 110; ++c)
+        for (int i = 0; i < 100; ++i)
+            hist.add(c);
+    ZpmResult aware = manipulateZeroPointHistAware(hist, zp, 8, 4);
+    double mass = capturedMass(hist, zp, aware.zeroPoint, 4);
+    EXPECT_GT(mass, 0.99);
+    // Eq. (7) centring loses the top of the pile.
+    ZpmResult eq7 = manipulateZeroPoint(zp, 8, 4);
+    EXPECT_LT(capturedMass(hist, zp, eq7.zeroPoint, 4), mass);
+}
+
+} // namespace
+} // namespace panacea
