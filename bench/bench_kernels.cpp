@@ -1,24 +1,50 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the functional engines: dense
- * integer GEMM, the legacy (Sibia-style) bit-slice GEMM and the
- * AQS-GEMM at several sparsity points, plus the preparation stages
- * (SBR slicing, RLE encoding). Host-CPU timings - these measure the
- * simulator's own kernels, not modeled hardware.
+ * Host-kernel microbenchmark: the scalar reference AQS-GEMM versus the
+ * register-blocked, skip-list-driven, multi-threaded kernel, plus the
+ * legacy bit-slice GEMM and the dense integer GEMM for context. These
+ * measure the simulator's own CPU kernels, not modeled hardware.
+ *
+ * Usage:
+ *   bench_kernels                  # human-readable table
+ *   bench_kernels --json           # also write BENCH_kernels.json
+ *   bench_kernels --json=out.json  # custom output path
+ *   bench_kernels --quick          # fewer repetitions (CI smoke)
+ *
+ * The JSON payload records old-vs-new GMAC/s (effective dense MACs per
+ * second), the speedup ratio, the thread-scaling curve of the new
+ * kernel, and a parity flag asserting the two kernels agreed bit-for-bit
+ * during the run.
  */
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/aqs_gemm.h"
 #include "core/legacy_gemm.h"
 #include "quant/gemm_quant.h"
 #include "slicing/rle.h"
 #include "slicing/slice_tensor.h"
+#include "util/parallel_for.h"
 #include "util/random.h"
 
 using namespace panacea;
 
 namespace {
+
+struct BenchOptions
+{
+    bool writeJson = false;
+    std::string jsonPath = "BENCH_kernels.json";
+    double minSeconds = 0.3;
+    int maxReps = 25;
+};
 
 MatrixI32
 weightCodes(Rng &rng, std::size_t m, std::size_t k, double near_zero)
@@ -44,91 +70,235 @@ actCodes(Rng &rng, std::size_t k, std::size_t n, std::int32_t zp,
     return x;
 }
 
-void
-BM_DenseIntGemm(benchmark::State &state)
+/** Best-of repeated timing in milliseconds. */
+template <typename F>
+double
+timeMs(const BenchOptions &opt, F &&fn)
 {
-    const auto dim = static_cast<std::size_t>(state.range(0));
-    Rng rng(1);
-    MatrixI32 w = weightCodes(rng, dim, dim, 0.5);
-    MatrixI32 x = actCodes(rng, dim, 64, 136, 0.5);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(intGemm(w, x));
-    state.SetItemsProcessed(state.iterations() * dim * dim * 64);
+    using clock = std::chrono::steady_clock;
+    fn(); // warm-up
+    double best = 1e300;
+    double total = 0.0;
+    for (int rep = 0; rep < opt.maxReps; ++rep) {
+        auto t0 = clock::now();
+        fn();
+        auto t1 = clock::now();
+        double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        best = std::min(best, ms);
+        total += ms * 1e-3;
+        if (rep >= 2 && total >= opt.minSeconds)
+            break;
+    }
+    return best;
 }
 
-void
-BM_AqsGemm(benchmark::State &state)
+double
+gmacs(std::size_t m, std::size_t k, std::size_t n, double ms)
 {
-    const auto dim = static_cast<std::size_t>(state.range(0));
-    const double sparsity = static_cast<double>(state.range(1)) / 100.0;
+    return static_cast<double>(m) * static_cast<double>(k) *
+           static_cast<double>(n) / (ms * 1e6);
+}
+
+struct CaseResult
+{
+    std::size_t dim = 0;
+    int sparsityPct = 0;
+    double refMs = 0.0;
+    double newMs = 0.0;
+    bool parity = false;
+
+    double speedup() const { return refMs / newMs; }
+};
+
+struct ThreadPoint
+{
+    int threads = 0;
+    double ms = 0.0;
+    double speedupVs1 = 0.0;
+};
+
+CaseResult
+runCase(const BenchOptions &opt, std::size_t dim, int sparsity_pct)
+{
     Rng rng(2);
     const std::int32_t zp = 136;
+    const double sparsity = sparsity_pct / 100.0;
     MatrixI32 w = weightCodes(rng, dim, dim, sparsity);
-    MatrixI32 x = actCodes(rng, dim, 64, zp, sparsity);
+    MatrixI32 x = actCodes(rng, dim, dim, zp, sparsity);
 
     AqsConfig cfg;
     WeightOperand w_op = prepareWeights(w, 1, cfg);
     ActivationOperand x_op = prepareActivations(x, 1, zp, cfg);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(aqsGemm(w_op, x_op, cfg));
-    state.SetItemsProcessed(state.iterations() * dim * dim * 64);
-}
 
-void
-BM_LegacyBitsliceGemm(benchmark::State &state)
-{
-    const auto dim = static_cast<std::size_t>(state.range(0));
-    Rng rng(3);
-    MatrixI32 w = weightCodes(rng, dim, dim, 0.8);
-    MatrixI32 x = weightCodes(rng, dim, 64, 0.8);
-    SlicedMatrix ws = sbrSliceMatrix(w, 1);
-    SlicedMatrix xs = sbrSliceMatrix(x, 1);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(
-            legacyBitsliceGemm(ws, xs, 4, SibiaSkipSide::Auto));
-    state.SetItemsProcessed(state.iterations() * dim * dim * 64);
-}
+    CaseResult res;
+    res.dim = dim;
+    res.sparsityPct = sparsity_pct;
 
-void
-BM_SbrSlicing(benchmark::State &state)
-{
-    const auto dim = static_cast<std::size_t>(state.range(0));
-    Rng rng(4);
-    MatrixI32 w = weightCodes(rng, dim, dim, 0.5);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(sbrSliceMatrix(w, 1));
-    state.SetItemsProcessed(state.iterations() * dim * dim);
-}
+    AqsStats ref_stats, new_stats;
+    MatrixI64 ref = aqsGemmReference(w_op, x_op, cfg, &ref_stats);
+    MatrixI64 neu = aqsGemm(w_op, x_op, cfg, &new_stats);
+    res.parity = ref == neu &&
+                 ref_stats.executedOuterProducts ==
+                     new_stats.executedOuterProducts &&
+                 ref_stats.totalMults() == new_stats.totalMults();
 
-void
-BM_RleEncode(benchmark::State &state)
-{
-    const auto vectors = static_cast<std::size_t>(state.range(0));
-    Rng rng(5);
-    std::vector<Slice> data(vectors * 4);
-    for (std::size_t i = 0; i < vectors; ++i) {
-        bool fill = rng.bernoulli(0.8);
-        for (int j = 0; j < 4; ++j)
-            data[i * 4 + j] =
-                fill ? 10 : static_cast<Slice>(rng.uniformInt(0, 15));
-    }
-    for (auto _ : state)
-        benchmark::DoNotOptimize(
-            RleStream::encode(data, vectors, 4, 10, 4));
-    state.SetItemsProcessed(state.iterations() * vectors);
+    res.refMs = timeMs(opt, [&] { aqsGemmReference(w_op, x_op, cfg); });
+    res.newMs = timeMs(opt, [&] { aqsGemm(w_op, x_op, cfg); });
+    return res;
 }
 
 } // namespace
 
-BENCHMARK(BM_DenseIntGemm)->Arg(128)->Arg(256);
-BENCHMARK(BM_AqsGemm)
-    ->Args({128, 0})
-    ->Args({128, 60})
-    ->Args({128, 95})
-    ->Args({256, 60})
-    ->Args({256, 95});
-BENCHMARK(BM_LegacyBitsliceGemm)->Arg(128)->Arg(256);
-BENCHMARK(BM_SbrSlicing)->Arg(256)->Arg(1024);
-BENCHMARK(BM_RleEncode)->Arg(1024)->Arg(65536);
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            opt.writeJson = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            opt.writeJson = true;
+            opt.jsonPath = arg.substr(7);
+        } else if (arg == "--quick") {
+            opt.minSeconds = 0.05;
+            opt.maxReps = 5;
+        } else {
+            std::cerr << "unknown option " << arg << "\n";
+            return 2;
+        }
+    }
 
-BENCHMARK_MAIN();
+    const int pool_threads = parallelThreads();
+    std::cout << "AQS-GEMM kernel bench (pool threads: " << pool_threads
+              << ")\n\n";
+
+    // --- Old vs new, single-threaded (the apples-to-apples compare) ---
+    setParallelThreads(1);
+    std::vector<CaseResult> cases;
+    std::cout << "single-thread reference vs blocked kernel\n";
+    std::cout << "  dim  sparsity  ref-ms   new-ms   GMAC/s(ref)  "
+                 "GMAC/s(new)  speedup  parity\n";
+    for (std::size_t dim : {128u, 256u, 512u}) {
+        for (int sp : {0, 60, 95}) {
+            if (dim != 256 && sp != 60)
+                continue; // off-diagonal points add little signal
+            CaseResult r = runCase(opt, dim, sp);
+            cases.push_back(r);
+            std::printf(
+                "  %4zu  %6d%%  %7.2f  %7.2f  %11.3f  %11.3f  %6.2fx  %s\n",
+                r.dim, r.sparsityPct, r.refMs, r.newMs,
+                gmacs(r.dim, r.dim, r.dim, r.refMs),
+                gmacs(r.dim, r.dim, r.dim, r.newMs), r.speedup(),
+                r.parity ? "yes" : "NO");
+        }
+    }
+
+    // --- Thread scaling of the new kernel at the default config ------
+    const std::size_t dim = 256;
+    Rng rng(7);
+    const std::int32_t zp = 136;
+    MatrixI32 w = weightCodes(rng, dim, dim, 0.6);
+    MatrixI32 x = actCodes(rng, dim, dim, zp, 0.6);
+    AqsConfig cfg;
+    WeightOperand w_op = prepareWeights(w, 1, cfg);
+    ActivationOperand x_op = prepareActivations(x, 1, zp, cfg);
+
+    std::vector<ThreadPoint> scaling;
+    std::cout << "\nblocked kernel thread scaling (dim=256, 60% "
+                 "clustered)\n";
+    std::cout << "  threads    ms    speedup-vs-1t\n";
+    double ms_1t = 0.0;
+    for (int t : {1, 2, 4, 8}) {
+        setParallelThreads(t);
+        ThreadPoint p;
+        p.threads = t;
+        p.ms = timeMs(opt, [&] { aqsGemm(w_op, x_op, cfg); });
+        if (t == 1)
+            ms_1t = p.ms;
+        p.speedupVs1 = ms_1t / p.ms;
+        scaling.push_back(p);
+        std::printf("  %7d  %7.2f  %10.2fx\n", p.threads, p.ms,
+                    p.speedupVs1);
+    }
+    setParallelThreads(pool_threads);
+
+    // --- Context kernels --------------------------------------------
+    SlicedMatrix ws = sbrSliceMatrix(w, 1);
+    SlicedMatrix xs = sbrSliceMatrix(weightCodes(rng, dim, dim, 0.8), 1);
+    double legacy_ms = timeMs(
+        opt, [&] { legacyBitsliceGemm(ws, xs, 4, SibiaSkipSide::Auto); });
+    double dense_ms = timeMs(opt, [&] { intGemm(w, x); });
+    std::printf("\ncontext (dim=256, pool=%d): legacy bit-slice %.2f ms, "
+                "dense int GEMM %.2f ms\n",
+                pool_threads, legacy_ms, dense_ms);
+
+    // --- Preparation stages (ROADMAP flags these as next hot spots) --
+    double sbr_ms = timeMs(opt, [&] { sbrSliceMatrix(w, 1); });
+    double prep_act_ms =
+        timeMs(opt, [&] { prepareActivations(x, 1, zp, cfg); });
+    std::vector<Slice> rle_data(65536 * 4);
+    for (std::size_t i = 0; i < 65536; ++i) {
+        bool fill = rng.bernoulli(0.8);
+        for (int j = 0; j < 4; ++j)
+            rle_data[i * 4 + j] =
+                fill ? 10 : static_cast<Slice>(rng.uniformInt(0, 15));
+    }
+    double rle_ms = timeMs(
+        opt, [&] { RleStream::encode(rle_data, 65536, 4, 10, 4); });
+    std::printf("prep (dim=256): SBR slice %.2f ms, activation prepare "
+                "%.2f ms, RLE encode (64Ki vectors) %.2f ms\n",
+                sbr_ms, prep_act_ms, rle_ms);
+
+    bool all_parity = true;
+    for (const CaseResult &r : cases)
+        all_parity = all_parity && r.parity;
+
+    if (opt.writeJson) {
+        std::ofstream out(opt.jsonPath);
+        if (!out) {
+            std::cerr << "cannot write " << opt.jsonPath << "\n";
+            return 1;
+        }
+        out << "{\n  \"bench\": \"kernels\",\n";
+        out << "  \"pool_threads\": " << pool_threads << ",\n";
+        out << "  \"parity\": " << (all_parity ? "true" : "false")
+            << ",\n";
+        out << "  \"single_thread_cases\": [\n";
+        for (std::size_t i = 0; i < cases.size(); ++i) {
+            const CaseResult &r = cases[i];
+            out << "    {\"m\": " << r.dim << ", \"k\": " << r.dim
+                << ", \"n\": " << r.dim
+                << ", \"sparsity_pct\": " << r.sparsityPct
+                << ", \"reference_ms\": " << r.refMs
+                << ", \"blocked_ms\": " << r.newMs
+                << ", \"reference_gmacs\": "
+                << gmacs(r.dim, r.dim, r.dim, r.refMs)
+                << ", \"blocked_gmacs\": "
+                << gmacs(r.dim, r.dim, r.dim, r.newMs)
+                << ", \"speedup\": " << r.speedup()
+                << ", \"parity\": " << (r.parity ? "true" : "false")
+                << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
+        }
+        out << "  ],\n  \"thread_scaling\": [\n";
+        for (std::size_t i = 0; i < scaling.size(); ++i) {
+            const ThreadPoint &p = scaling[i];
+            out << "    {\"threads\": " << p.threads
+                << ", \"ms\": " << p.ms << ", \"gmacs\": "
+                << gmacs(dim, dim, dim, p.ms)
+                << ", \"speedup_vs_1t\": " << p.speedupVs1 << "}"
+                << (i + 1 < scaling.size() ? "," : "") << "\n";
+        }
+        out << "  ],\n";
+        out << "  \"context\": {\"legacy_bitslice_ms\": " << legacy_ms
+            << ", \"dense_int_gemm_ms\": " << dense_ms << "},\n";
+        out << "  \"prep\": {\"sbr_slice_ms\": " << sbr_ms
+            << ", \"prepare_activations_ms\": " << prep_act_ms
+            << ", \"rle_encode_ms\": " << rle_ms << "}\n";
+        out << "}\n";
+        std::cout << "\nwrote " << opt.jsonPath << "\n";
+    }
+
+    return all_parity ? 0 : 1;
+}

@@ -7,6 +7,7 @@
 #include "arch/memory_manager.h"
 #include "arch/s_acc.h"
 #include "util/logging.h"
+#include "util/parallel_for.h"
 
 namespace panacea {
 
@@ -161,6 +162,9 @@ executeTiled(const WeightOperand &w, const ActivationOperand &x,
     const std::size_t tile_stride = plan.dtpEnabled ? 2 : 1;
 
     MatrixI64 acc(m, n);
+    std::vector<std::size_t> bands;
+    bands.reserve(tile_stride * bands_per_tile);
+    std::vector<TiledExecutionStats> partial;
     for (std::size_t t0 = 0; t0 < m_tiles; t0 += tile_stride) {
         const std::size_t tiles_now =
             std::min<std::size_t>(tile_stride, m_tiles - t0);
@@ -168,15 +172,34 @@ executeTiled(const WeightOperand &w, const ActivationOperand &x,
             const std::size_t g0 = nt * groups_per_ntile;
             const std::size_t g1 =
                 std::min(n_groups, g0 + groups_per_ntile);
+            bands.clear();
             for (std::size_t dt = 0; dt < tiles_now; ++dt) {
                 for (std::size_t p = 0; p < bands_per_tile; ++p) {
                     const std::size_t band =
                         (t0 + dt) * bands_per_tile + p;
-                    if (band >= total_bands)
-                        continue;
-                    processBand(w, x, band, g0, g1, v, cfg.actSkip,
-                                b_prime, acc, st);
+                    if (band < total_bands)
+                        bands.push_back(band);
                 }
+            }
+            // The PEAs of one tile pass run concurrently: bands own
+            // disjoint accumulator rows, and the per-band counters are
+            // exact integer sums, so the result and the statistics are
+            // bit-identical for any thread count.
+            const int chunks = parallelChunkCount(bands.size());
+            partial.assign(static_cast<std::size_t>(chunks),
+                           TiledExecutionStats{});
+            parallelFor(0, bands.size(),
+                        [&](std::size_t b, std::size_t e, int c) {
+                            for (std::size_t idx = b; idx < e; ++idx)
+                                processBand(w, x, bands[idx], g0, g1, v,
+                                            cfg.actSkip, b_prime, acc,
+                                            partial[static_cast<
+                                                std::size_t>(c)]);
+                        });
+            for (const TiledExecutionStats &part : partial) {
+                st.bandsProcessed += part.bandsProcessed;
+                st.outerProducts += part.outerProducts;
+                st.compensations += part.compensations;
             }
             ++st.tilesVisited;
         }

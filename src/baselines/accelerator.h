@@ -11,9 +11,11 @@
 
 #include <span>
 #include <string>
+#include <vector>
 
 #include "arch/workload.h"
 #include "sim/perf_stats.h"
+#include "util/parallel_for.h"
 
 namespace panacea {
 
@@ -40,17 +42,28 @@ class Accelerator
     /** Simulate one GEMM workload. */
     virtual PerfResult run(const GemmWorkload &wl) const = 0;
 
-    /** Simulate a sequence of layers and merge the results. */
+    /**
+     * Simulate a sequence of layers and merge the results. Layers are
+     * independent, so they run concurrently on the shared thread pool;
+     * the per-layer results are merged in layer order afterwards, so
+     * the total is identical for any thread count.
+     */
     PerfResult
     runAll(std::span<const GemmWorkload> layers,
            const std::string &workload_name) const
     {
+        std::vector<PerfResult> results(layers.size());
+        parallelFor(0, layers.size(),
+                    [&](std::size_t b, std::size_t e, int) {
+                        for (std::size_t i = b; i < e; ++i)
+                            results[i] = run(layers[i]);
+                    });
+
         PerfResult total;
         total.accelerator = name();
         total.workload = workload_name;
         bool first = true;
-        for (const GemmWorkload &wl : layers) {
-            PerfResult r = run(wl);
+        for (const PerfResult &r : results) {
             if (first) {
                 total.clockGhz = r.clockGhz;
                 first = false;

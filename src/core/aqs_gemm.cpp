@@ -1,9 +1,16 @@
 #include "core/aqs_gemm.h"
 
 #include <algorithm>
+#include <array>
+#include <vector>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 #include "slicing/sparsity.h"
 #include "util/logging.h"
+#include "util/parallel_for.h"
 
 namespace panacea {
 
@@ -21,10 +28,10 @@ toString(ActSkipMode mode)
 double
 AqsStats::macReduction() const
 {
-    if (denseOuterProducts == 0)
+    if (denseOuterProducts == 0 || macsPerOuterProduct <= 0.0)
         return 0.0;
-    double dense_macs =
-        static_cast<double>(denseOuterProducts) * 16.0;
+    double dense_macs = static_cast<double>(denseOuterProducts) *
+                        macsPerOuterProduct;
     double done = static_cast<double>(totalMults());
     return 1.0 - done / dense_macs;
 }
@@ -32,6 +39,14 @@ AqsStats::macReduction() const
 AqsStats &
 AqsStats::operator+=(const AqsStats &other)
 {
+    // Dense-OP-weighted blend keeps the macReduction() denominator
+    // exact when layers ran with different vector lengths.
+    const double d_old = static_cast<double>(denseOuterProducts);
+    const double d_other = static_cast<double>(other.denseOuterProducts);
+    if (d_old + d_other > 0.0)
+        macsPerOuterProduct = (macsPerOuterProduct * d_old +
+                               other.macsPerOuterProduct * d_other) /
+                              (d_old + d_other);
     denseOuterProducts += other.denseOuterProducts;
     executedOuterProducts += other.executedOuterProducts;
     skippedOuterProducts += other.skippedOuterProducts;
@@ -68,11 +83,35 @@ prepareWeights(const MatrixI32 &codes, int n, const AqsConfig &cfg)
 
 namespace {
 
+/**
+ * Widened (int16) copies of the activation slice planes, [level][k][n]:
+ * the operand format of the blocked kernel's 16-bit pair passes.
+ */
+std::vector<std::int16_t>
+widenActivationPlanes(const SlicedMatrix &sliced)
+{
+    const std::size_t kk = sliced.rows();
+    const std::size_t n = sliced.cols();
+    const std::size_t levels = sliced.levels();
+    std::vector<std::int16_t> out(levels * kk * n);
+    for (std::size_t xl = 0; xl < levels; ++xl) {
+        const Slice *src = sliced.planes[xl].data.data().data();
+        std::int16_t *dst = out.data() + xl * kk * n;
+        parallelFor(0, kk, [&](std::size_t b, std::size_t e, int) {
+            for (std::size_t k = b; k < e; ++k)
+                for (std::size_t j = 0; j < n; ++j)
+                    dst[k * n + j] = src[k * n + j];
+        });
+    }
+    return out;
+}
+
 /** Build mask + RLE streams for an activation HO plane. */
 void
 finishActivationOperand(ActivationOperand &op, const AqsConfig &cfg)
 {
     const Matrix<Slice> &ho = op.sliced.hoPlane().data;
+    op.widenedPlanes = widenActivationPlanes(op.sliced);
     Slice skip_value = 0;
     switch (cfg.actSkip) {
       case ActSkipMode::RValued:
@@ -90,6 +129,434 @@ finishActivationOperand(ActivationOperand &op, const AqsConfig &cfg)
     op.hoMask = activationVectorMask(ho, cfg.v, skip_value);
     op.streams = encodeActivationPlane(ho, cfg.v, skip_value,
                                        cfg.rleIndexBits);
+}
+
+/** Shape checks shared by the reference and blocked kernels. */
+void
+checkShapes(const WeightOperand &w, const ActivationOperand &x, int v)
+{
+    const std::size_t m = w.sliced.rows();
+    const std::size_t kk = w.sliced.cols();
+    const std::size_t n = x.sliced.cols();
+    panic_if(x.sliced.rows() != kk, "AQS-GEMM shape mismatch: W ", m, "x",
+             kk, " * x ", x.sliced.rows(), "x", n);
+    panic_if(m % v != 0 || n % v != 0,
+             "AQS-GEMM needs M and N divisible by v=", v);
+}
+
+/**
+ * Traffic accounting shared by both kernels: dense LO planes plus
+ * RLE-compressed HO planes, identical for any execution schedule.
+ */
+void
+countTraffic(AqsStats &local, const WeightOperand &w,
+             const ActivationOperand &x, std::size_t m, std::size_t kk,
+             std::size_t n, std::size_t w_levels, std::size_t x_levels,
+             int v)
+{
+    const std::uint64_t w_lo_nibbles =
+        static_cast<std::uint64_t>(m) * kk * (w_levels - 1);
+    const std::uint64_t x_lo_nibbles =
+        static_cast<std::uint64_t>(kk) * n * (x_levels - 1);
+    std::uint64_t w_ho_nibbles = 0;
+    for (const RleStream &s : w.streams) {
+        w_ho_nibbles += s.storedCount() * static_cast<std::uint64_t>(v);
+        local.wIndexBits += s.storedCount() *
+                            static_cast<std::uint64_t>(s.indexBits());
+    }
+    std::uint64_t x_ho_nibbles = 0;
+    for (const RleStream &s : x.streams) {
+        x_ho_nibbles += s.storedCount() * static_cast<std::uint64_t>(v);
+        local.xIndexBits += s.storedCount() *
+                            static_cast<std::uint64_t>(s.indexBits());
+    }
+    local.wNibbles = w_lo_nibbles + w_ho_nibbles;
+    local.xNibbles = x_lo_nibbles + x_ho_nibbles;
+    local.denseNibbles = static_cast<std::uint64_t>(m) * kk * w_levels +
+                         static_cast<std::uint64_t>(kk) * n * x_levels;
+}
+
+/**
+ * Per-n-group skip lists for the activation side, shared by every band:
+ * ks[offsets[ng] .. offsets[ng+1]) are the reduction steps whose HO
+ * vector is NOT compressed (dense steps). `identity` short-circuits the
+ * indirection when no activation skipping is active.
+ */
+struct ActSkipLists
+{
+    bool identity = false;
+    std::vector<std::uint32_t> offsets;
+    std::vector<std::uint32_t> ks;
+
+    std::size_t
+    count(std::size_t ng) const
+    {
+        return offsets[ng + 1] - offsets[ng];
+    }
+    const std::uint32_t *
+    list(std::size_t ng) const
+    {
+        return ks.data() + offsets[ng];
+    }
+};
+
+ActSkipLists
+buildActSkipLists(const ActivationOperand &x, const AqsConfig &cfg,
+                  std::size_t kk, std::size_t n_groups)
+{
+    ActSkipLists out;
+    if (cfg.actSkip == ActSkipMode::None) {
+        out.identity = true;
+        return out;
+    }
+    out.offsets.resize(n_groups + 1, 0);
+    out.ks.reserve(n_groups * kk);
+    for (std::size_t ng = 0; ng < n_groups; ++ng) {
+        for (std::size_t k = 0; k < kk; ++k)
+            if (x.hoMask(k, ng) == 0)
+                out.ks.push_back(static_cast<std::uint32_t>(k));
+        out.offsets[ng + 1] = static_cast<std::uint32_t>(out.ks.size());
+    }
+    return out;
+}
+
+/**
+ * One branch-free pass of a (weight-plane, activation-plane) pair over a
+ * skip list of dense reduction steps. Weights come from the per-band
+ * packed tile (wp[k*v + i], contiguous int16), activations from the
+ * widened plane row (contiguous v int16); products accumulate UNSHIFTED
+ * into the int32 pair accumulator - the positional shift is applied once
+ * when the pair is merged into the int64 micro-tile. |product| <=
+ * 8 * 63, so the pair sum is exact for any K below ~4M steps (guarded
+ * in aqsGemm).
+ */
+inline void
+pairPassGeneric(const std::int16_t *wp, const std::int16_t *xp,
+                std::size_t n, std::size_t ng_off,
+                const std::uint32_t *ks, std::size_t nk, bool identity,
+                int v, std::int32_t *pacc)
+{
+    for (std::size_t t = 0; t < nk; ++t) {
+        const std::size_t k = identity ? t : ks[t];
+        const std::int16_t *wv = wp + k * static_cast<std::size_t>(v);
+        const std::int16_t *xr = xp + k * n + ng_off;
+        for (int i = 0; i < v; ++i) {
+            const std::int32_t wsi = wv[i];
+            std::int32_t *p = pacc + i * v;
+            for (int j = 0; j < v; ++j)
+                p[j] += wsi * static_cast<std::int32_t>(xr[j]);
+        }
+    }
+}
+
+#if defined(__SSE2__)
+
+/**
+ * v = 4 pair pass: the 4x4 int32 micro-tile lives in four xmm
+ * accumulators; every iteration retires TWO reduction steps with four
+ * pmaddwd ops (32 MACs). Interleaving the two steps' operands
+ * (punpcklwd) makes each pmaddwd lane the two-step partial dot product
+ * of one (i, j) output element - exact int32 arithmetic, identical to
+ * the scalar path.
+ */
+inline void
+pairPass4(const std::int16_t *wp, const std::int16_t *xp, std::size_t n,
+          std::size_t ng_off, const std::uint32_t *ks, std::size_t nk,
+          bool identity, std::int32_t *pacc)
+{
+    __m128i acc0 = _mm_setzero_si128();
+    __m128i acc1 = _mm_setzero_si128();
+    __m128i acc2 = _mm_setzero_si128();
+    __m128i acc3 = _mm_setzero_si128();
+    std::size_t t = 0;
+    for (; t + 2 <= nk; t += 2) {
+        const std::size_t k0 = identity ? t : ks[t];
+        const std::size_t k1 = identity ? t + 1 : ks[t + 1];
+        const __m128i xr0 = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(xp + k0 * n + ng_off));
+        const __m128i xr1 = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(xp + k1 * n + ng_off));
+        const __m128i vb = _mm_unpacklo_epi16(xr0, xr1);
+        const __m128i wv0 = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(wp + k0 * 4));
+        const __m128i wv1 = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(wp + k1 * 4));
+        const __m128i wab = _mm_unpacklo_epi16(wv0, wv1);
+        acc0 = _mm_add_epi32(
+            acc0, _mm_madd_epi16(_mm_shuffle_epi32(wab, 0x00), vb));
+        acc1 = _mm_add_epi32(
+            acc1, _mm_madd_epi16(_mm_shuffle_epi32(wab, 0x55), vb));
+        acc2 = _mm_add_epi32(
+            acc2, _mm_madd_epi16(_mm_shuffle_epi32(wab, 0xAA), vb));
+        acc3 = _mm_add_epi32(
+            acc3, _mm_madd_epi16(_mm_shuffle_epi32(wab, 0xFF), vb));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(pacc + 0), acc0);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(pacc + 4), acc1);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(pacc + 8), acc2);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(pacc + 12), acc3);
+    if (t < nk) {
+        const std::size_t k = identity ? t : ks[t];
+        const std::int16_t *wv = wp + k * 4;
+        const std::int16_t *xr = xp + k * n + ng_off;
+        for (int i = 0; i < 4; ++i)
+            for (int j = 0; j < 4; ++j)
+                pacc[i * 4 + j] += static_cast<std::int32_t>(wv[i]) *
+                                   static_cast<std::int32_t>(xr[j]);
+    }
+}
+
+#endif // __SSE2__
+
+/** Dispatch to the vectorized v=4 pass when the ISA provides it. */
+template <int VT>
+inline void
+pairPass(const std::int16_t *wp, const std::int16_t *xp, std::size_t n,
+         std::size_t ng_off, const std::uint32_t *ks, std::size_t nk,
+         bool identity, int v, std::int32_t *pacc)
+{
+#if defined(__SSE2__)
+    if constexpr (VT == 4) {
+        pairPass4(wp, xp, n, ng_off, ks, nk, identity, pacc);
+        return;
+    }
+#endif
+    pairPassGeneric(wp, xp, n, ng_off, ks, nk, identity, v, pacc);
+}
+
+/**
+ * The register-blocked kernel body for one contiguous band of m-groups
+ * [mg0, mg1). Instantiated with VT = 4 for the paper-default vector
+ * length (fixed-size micro-tile, fully unrollable) and VT = 0 for a
+ * runtime v (v <= 16).
+ *
+ * Structure per m-group:
+ *   - pack the v weight rows of every slice plane into a contiguous
+ *     [k][i] tile (one strided pass, reused across every n-group);
+ *   - build the weight-side skip list (dense k's) from the HO mask.
+ * Per (mg, ng) tile:
+ *   - run one branch-free pairPass per (weight-plane, activation-plane)
+ *     combination over the matching skip list - all steps for LO/LO
+ *     pairs, the weight list for HO_w, the activation list for HO_x,
+ *     their intersection for HO_w/HO_x;
+ *   - merge each int32 pair accumulator into the int64 micro-tile with
+ *     its positional shift, add the Eq. (6) compensation, and write the
+ *     tile back in one pass.
+ * Outer-product counts fall out of the list lengths; no counter or mask
+ * test executes inside the hot loops. Bands own disjoint accumulator
+ * rows and all counters are exact integer sums, so results and stats
+ * are bit-identical for any thread count.
+ */
+template <int VT>
+void
+blockedBand(const WeightOperand &w, const ActivationOperand &x,
+            const AqsConfig &cfg, const ActSkipLists &xd,
+            const std::int16_t *x16, std::size_t mg0, std::size_t mg1,
+            MatrixI64 &acc, AqsStats &local)
+{
+    const int v = VT > 0 ? VT : cfg.v;
+    constexpr int TV = VT > 0 ? VT : 16; // static tile bound (v <= 16)
+    panic_if(v > TV, "AQS-GEMM blocked kernel supports v <= ", TV);
+    const std::size_t uv = static_cast<std::size_t>(v);
+
+    const std::size_t kk = w.sliced.cols();
+    const std::size_t n = x.sliced.cols();
+    const std::size_t n_groups = n / uv;
+    const std::size_t w_levels = w.sliced.levels();
+    const std::size_t x_levels = x.sliced.levels();
+    const std::size_t w_ho = w_levels - 1;
+    const std::size_t x_ho = x_levels - 1;
+    const bool r_skip = cfg.actSkip == ActSkipMode::RValued;
+    const int x_ho_shift = x.sliced.hoPlane().shift;
+    const std::int64_t r_scaled = static_cast<std::int64_t>(x.r)
+                                  << x_ho_shift;
+    const std::uint64_t dense_per_tile =
+        static_cast<std::uint64_t>(kk) * w_levels * x_levels;
+
+    std::vector<const std::int16_t *> xbase(x_levels);
+    std::vector<int> xshift(x_levels);
+    for (std::size_t xl = 0; xl < x_levels; ++xl) {
+        xbase[xl] = x16 + xl * kk * n;
+        xshift[xl] = x.sliced.planes[xl].shift;
+    }
+
+    // Per-band scratch, allocated once and reused for every m-group.
+    std::vector<std::int16_t> wpack(w_levels * kk * uv);
+    std::vector<std::int32_t> ttpack(r_skip ? kk * uv : 0);
+    std::vector<std::uint32_t> wd, wxd;
+    wd.reserve(kk);
+    wxd.reserve(kk);
+    std::array<std::int32_t, TV * TV> pacc;
+    std::array<std::int64_t, TV * TV> tile;
+    std::array<std::int64_t, TV> wsum, bprow;
+
+    for (std::size_t mg = mg0; mg < mg1; ++mg) {
+        const std::uint8_t *wmask = w.hoMask.row(mg).data();
+
+        // Weight-side skip list: dense reduction steps for this band.
+        wd.clear();
+        for (std::size_t k = 0; k < kk; ++k)
+            if (wmask[k] == 0)
+                wd.push_back(static_cast<std::uint32_t>(k));
+        const bool wd_full = wd.size() == kk;
+
+        // Pack the band's weight rows, widened: wpack[(wl*kk + k)*v + i].
+        for (std::size_t wl = 0; wl < w_levels; ++wl) {
+            const Slice *base = w.sliced.planes[wl].data.data().data();
+            std::int16_t *dst = wpack.data() + wl * kk * uv;
+            for (int i = 0; i < v; ++i) {
+                const Slice *src =
+                    base + (mg * uv + static_cast<std::size_t>(i)) * kk;
+                for (std::size_t k = 0; k < kk; ++k)
+                    dst[k * uv + static_cast<std::size_t>(i)] = src[k];
+            }
+        }
+
+        if (r_skip) {
+            // Offline term b' = r * 2^shift * row sums of the total
+            // weight codes (Eq. (6)), plus the packed total codes the
+            // CS reuses for the wsum accumulation.
+            for (int i = 0; i < v; ++i) {
+                const std::int32_t *src =
+                    w.totalCodes.row(mg * uv + static_cast<std::size_t>(i))
+                        .data();
+                std::int64_t sum = 0;
+                for (std::size_t k = 0; k < kk; ++k) {
+                    sum += src[k];
+                    ttpack[k * uv + static_cast<std::size_t>(i)] = src[k];
+                }
+                bprow[static_cast<std::size_t>(i)] = sum * r_scaled;
+            }
+        }
+
+        for (std::size_t ng = 0; ng < n_groups; ++ng) {
+            const std::uint32_t *xlist =
+                xd.identity ? nullptr : xd.list(ng);
+            const std::size_t nxd = xd.identity ? kk : xd.count(ng);
+            const bool xd_full = nxd == kk;
+            const std::size_t ng_off = ng * uv;
+
+            // Intersection list for the HO_w x HO_x pair (lazy; only
+            // when both sides actually compress something).
+            const std::uint32_t *both = nullptr;
+            std::size_t nboth = 0;
+            bool both_identity = false;
+            if (wd_full) {
+                both = xlist;
+                nboth = nxd;
+                both_identity = xd.identity || xd_full;
+                if (both_identity) {
+                    both = nullptr;
+                    nboth = kk;
+                }
+            } else if (xd.identity || xd_full) {
+                both = wd.data();
+                nboth = wd.size();
+            } else {
+                wxd.clear();
+                for (std::size_t t = 0; t < nxd; ++t) {
+                    const std::uint32_t k = xlist[t];
+                    if (wmask[k] == 0)
+                        wxd.push_back(k);
+                }
+                both = wxd.data();
+                nboth = wxd.size();
+            }
+
+            tile.fill(0);
+            std::uint64_t executed = 0;
+
+            for (std::size_t wl = 0; wl < w_levels; ++wl) {
+                const std::int16_t *wp = wpack.data() + wl * kk * uv;
+                const int w_shift = w.sliced.planes[wl].shift;
+                const bool w_is_ho = wl == w_ho;
+                for (std::size_t xl = 0; xl < x_levels; ++xl) {
+                    const std::uint32_t *ks;
+                    std::size_t nk;
+                    bool identity;
+                    const bool x_is_ho = xl == x_ho;
+                    if (w_is_ho && x_is_ho) {
+                        ks = both;
+                        nk = nboth;
+                        identity = both == nullptr;
+                    } else if (w_is_ho) {
+                        ks = wd_full ? nullptr : wd.data();
+                        nk = wd_full ? kk : wd.size();
+                        identity = wd_full;
+                    } else if (x_is_ho) {
+                        ks = (xd.identity || xd_full) ? nullptr : xlist;
+                        nk = nxd;
+                        identity = ks == nullptr;
+                    } else {
+                        ks = nullptr;
+                        nk = kk;
+                        identity = true;
+                    }
+
+                    pacc.fill(0);
+                    pairPass<VT>(wp, xbase[xl], n, ng_off, ks, nk,
+                                 identity, v, pacc.data());
+                    executed += nk;
+
+                    const int shift = w_shift + xshift[xl];
+                    for (int e = 0; e < v * v; ++e)
+                        tile[static_cast<std::size_t>(e)] +=
+                            static_cast<std::int64_t>(
+                                pacc[static_cast<std::size_t>(e)])
+                            << shift;
+                }
+            }
+
+            local.executedOuterProducts += executed;
+            local.skippedOuterProducts += dense_per_tile - executed;
+
+            if (r_skip) {
+                // Eq. (6): wsum over the weight columns of uncompressed
+                // activation vectors (the CS reuses the slices already
+                // loaded); compensation applied once per output block.
+                wsum.fill(0);
+                for (std::size_t t = 0; t < nxd; ++t) {
+                    const std::size_t k =
+                        (xd.identity || xd_full) ? t : xlist[t];
+                    const std::int32_t *tt = ttpack.data() + k * uv;
+                    for (int i = 0; i < v; ++i)
+                        wsum[static_cast<std::size_t>(i)] += tt[i];
+                }
+                if (cfg.useEq6) {
+                    local.compAdds += static_cast<std::uint64_t>(nxd) *
+                                      static_cast<std::uint64_t>(v) *
+                                      w_levels;
+                } else {
+                    const std::uint64_t n_xc =
+                        static_cast<std::uint64_t>(kk - nxd);
+                    local.compAdds += n_xc *
+                                      static_cast<std::uint64_t>(v) *
+                                      w_levels;
+                    local.compExtraEmaNibbles +=
+                        n_xc * static_cast<std::uint64_t>(v) * w_levels;
+                }
+                local.compMults += static_cast<std::uint64_t>(v) *
+                                   static_cast<std::uint64_t>(v);
+                for (int i = 0; i < v; ++i) {
+                    const std::int64_t comp =
+                        bprow[static_cast<std::size_t>(i)] -
+                        r_scaled * wsum[static_cast<std::size_t>(i)];
+                    std::int64_t *t = tile.data() + i * v;
+                    for (int j = 0; j < v; ++j)
+                        t[j] += comp;
+                }
+            }
+
+            // Single write-back of the micro-tile.
+            for (int i = 0; i < v; ++i) {
+                std::int64_t *arow =
+                    &acc(mg * uv + static_cast<std::size_t>(i), ng_off);
+                const std::int64_t *t = tile.data() + i * v;
+                for (int j = 0; j < v; ++j)
+                    arow[j] = t[j];
+            }
+        }
+    }
 }
 
 } // namespace
@@ -120,17 +587,92 @@ MatrixI64
 aqsGemm(const WeightOperand &w, const ActivationOperand &x,
         const AqsConfig &cfg, AqsStats *stats)
 {
+    const int v = cfg.v;
+    checkShapes(w, x, v);
     const std::size_t m = w.sliced.rows();
     const std::size_t kk = w.sliced.cols();
     const std::size_t n = x.sliced.cols();
-    panic_if(x.sliced.rows() != kk, "AQS-GEMM shape mismatch: W ", m, "x",
-             kk, " * x ", x.sliced.rows(), "x", n);
-    const int v = cfg.v;
-    panic_if(m % v != 0 || n % v != 0,
-             "AQS-GEMM needs M and N divisible by v=", v);
 
-    const std::size_t m_groups = m / v;
-    const std::size_t n_groups = n / v;
+    // The int32 pair accumulators are exact while K * max|product|
+    // stays below 2^31 (|slice product| <= 8 * 63), and the blocked
+    // micro-tile is bounded at v <= 16. Fall back to the scalar
+    // reference outside that domain.
+    if (kk >= (std::size_t{1} << 22) || v > 16)
+        return aqsGemmReference(w, x, cfg, stats);
+
+    const std::size_t m_groups = m / static_cast<std::size_t>(v);
+    const std::size_t n_groups = n / static_cast<std::size_t>(v);
+    const std::size_t w_levels = w.sliced.levels();
+    const std::size_t x_levels = x.sliced.levels();
+
+    // Activation-side skip lists, shared read-only by every band.
+    const ActSkipLists xd = buildActSkipLists(x, cfg, kk, n_groups);
+
+    // Widened activation planes (int16, same [k][n] layout): the pair
+    // passes run on 16-bit operands so two reduction steps fit one
+    // multiply-accumulate lane. prepareActivations* precomputes them;
+    // widen on the fly only for hand-built operands.
+    std::vector<std::int16_t> x16_local;
+    const std::int16_t *x16 = nullptr;
+    if (x.widenedPlanes.size() == x_levels * kk * n) {
+        x16 = x.widenedPlanes.data();
+    } else {
+        x16_local = widenActivationPlanes(x.sliced);
+        x16 = x16_local.data();
+    }
+
+    MatrixI64 acc(m, n);
+
+    // Parallel over m-groups: bands own disjoint accumulator rows, and
+    // every per-band counter is an exact integer sum, so the result and
+    // the statistics are bit-identical for any thread count.
+    const int chunks = parallelChunkCount(m_groups);
+    std::vector<AqsStats> partial(static_cast<std::size_t>(chunks));
+    parallelFor(0, m_groups, [&](std::size_t b, std::size_t e, int c) {
+        AqsStats &part = partial[static_cast<std::size_t>(c)];
+        if (v == 4)
+            blockedBand<4>(w, x, cfg, xd, x16, b, e, acc, part);
+        else
+            blockedBand<0>(w, x, cfg, xd, x16, b, e, acc, part);
+    });
+
+    AqsStats local;
+    for (const AqsStats &part : partial) {
+        local.executedOuterProducts += part.executedOuterProducts;
+        local.skippedOuterProducts += part.skippedOuterProducts;
+        local.compMults += part.compMults;
+        local.compAdds += part.compAdds;
+        local.compExtraEmaNibbles += part.compExtraEmaNibbles;
+    }
+    local.denseOuterProducts =
+        m_groups * n_groups * kk * w_levels * x_levels;
+    local.macsPerOuterProduct = static_cast<double>(v) * v;
+
+    // Multiply/add counts follow directly from executed outer products.
+    local.mults = local.executedOuterProducts *
+                  static_cast<std::uint64_t>(v) *
+                  static_cast<std::uint64_t>(v);
+    local.adds = local.mults;
+
+    countTraffic(local, w, x, m, kk, n, w_levels, x_levels, v);
+
+    if (stats)
+        *stats += local;
+    return acc;
+}
+
+MatrixI64
+aqsGemmReference(const WeightOperand &w, const ActivationOperand &x,
+                 const AqsConfig &cfg, AqsStats *stats)
+{
+    const std::size_t m = w.sliced.rows();
+    const std::size_t kk = w.sliced.cols();
+    const std::size_t n = x.sliced.cols();
+    const int v = cfg.v;
+    checkShapes(w, x, v);
+
+    const std::size_t m_groups = m / static_cast<std::size_t>(v);
+    const std::size_t n_groups = n / static_cast<std::size_t>(v);
     const std::size_t w_levels = w.sliced.levels();
     const std::size_t x_levels = x.sliced.levels();
     const int w_ho = static_cast<int>(w_levels) - 1;
@@ -141,6 +683,7 @@ aqsGemm(const WeightOperand &w, const ActivationOperand &x,
     AqsStats local;
     local.denseOuterProducts =
         m_groups * n_groups * kk * w_levels * x_levels;
+    local.macsPerOuterProduct = static_cast<double>(v) * v;
 
     MatrixI64 acc(m, n);
 
@@ -158,16 +701,14 @@ aqsGemm(const WeightOperand &w, const ActivationOperand &x,
         }
     }
 
-    std::vector<std::int64_t> wsum(v);
+    std::vector<std::int64_t> wsum(static_cast<std::size_t>(v));
     for (std::size_t mg = 0; mg < m_groups; ++mg) {
         for (std::size_t ng = 0; ng < n_groups; ++ng) {
-            bool any_x_compressed = false;
             std::fill(wsum.begin(), wsum.end(), 0);
 
             for (std::size_t k = 0; k < kk; ++k) {
                 const bool w_comp = w.hoMask(mg, k) != 0;
                 const bool x_comp = x.hoMask(k, ng) != 0;
-                any_x_compressed = any_x_compressed || x_comp;
 
                 if (r_skip) {
                     if (!x_comp) {
@@ -175,15 +716,19 @@ aqsGemm(const WeightOperand &w, const ActivationOperand &x,
                         // uncompressed activation vectors; the CS reuses
                         // slices loaded for the bit-slice products.
                         for (int i = 0; i < v; ++i)
-                            wsum[i] += w.totalCodes(mg * v + i, k);
+                            wsum[static_cast<std::size_t>(i)] +=
+                                w.totalCodes(
+                                    mg * static_cast<std::size_t>(v) +
+                                        static_cast<std::size_t>(i),
+                                    k);
                         if (cfg.useEq6)
-                            local.compAdds += static_cast<std::uint64_t>(v) *
-                                              w_levels;
+                            local.compAdds +=
+                                static_cast<std::uint64_t>(v) * w_levels;
                     } else if (!cfg.useEq6) {
                         // Eq. (5): compressed columns must be re-loaded
                         // and summed explicitly.
-                        local.compAdds += static_cast<std::uint64_t>(v) *
-                                          w_levels;
+                        local.compAdds +=
+                            static_cast<std::uint64_t>(v) * w_levels;
                         local.compExtraEmaNibbles +=
                             static_cast<std::uint64_t>(v) * w_levels;
                     }
@@ -227,14 +772,14 @@ aqsGemm(const WeightOperand &w, const ActivationOperand &x,
                 // When nothing was compressed the term is identically
                 // zero (b' = r*sum over all K); hardware performs it
                 // unconditionally, matching Table I's constant 16 Mul.
-                (void)any_x_compressed;
                 const std::int64_t r_scaled =
                     static_cast<std::int64_t>(x.r) << x_ho_shift;
-                local.compMults +=
-                    static_cast<std::uint64_t>(v) * static_cast<std::uint64_t>(v);
+                local.compMults += static_cast<std::uint64_t>(v) *
+                                   static_cast<std::uint64_t>(v);
                 for (int i = 0; i < v; ++i) {
                     const std::int64_t comp =
-                        b_prime[mg * v + i] - r_scaled * wsum[i];
+                        b_prime[mg * v + i] -
+                        r_scaled * wsum[static_cast<std::size_t>(i)];
                     for (int j = 0; j < v; ++j)
                         acc(mg * v + i, ng * v + j) += comp;
                 }
@@ -244,30 +789,11 @@ aqsGemm(const WeightOperand &w, const ActivationOperand &x,
 
     // Multiply/add counts follow directly from executed outer products.
     local.mults = local.executedOuterProducts *
-                  static_cast<std::uint64_t>(v) * static_cast<std::uint64_t>(v);
+                  static_cast<std::uint64_t>(v) *
+                  static_cast<std::uint64_t>(v);
     local.adds = local.mults;
 
-    // Traffic accounting: dense LO planes + RLE-compressed HO planes.
-    const std::uint64_t w_lo_nibbles =
-        static_cast<std::uint64_t>(m) * kk * (w_levels - 1);
-    const std::uint64_t x_lo_nibbles =
-        static_cast<std::uint64_t>(kk) * n * (x_levels - 1);
-    std::uint64_t w_ho_nibbles = 0;
-    for (const RleStream &s : w.streams) {
-        w_ho_nibbles += s.storedCount() * static_cast<std::uint64_t>(v);
-        local.wIndexBits += s.storedCount() *
-                            static_cast<std::uint64_t>(s.indexBits());
-    }
-    std::uint64_t x_ho_nibbles = 0;
-    for (const RleStream &s : x.streams) {
-        x_ho_nibbles += s.storedCount() * static_cast<std::uint64_t>(v);
-        local.xIndexBits += s.storedCount() *
-                            static_cast<std::uint64_t>(s.indexBits());
-    }
-    local.wNibbles = w_lo_nibbles + w_ho_nibbles;
-    local.xNibbles = x_lo_nibbles + x_ho_nibbles;
-    local.denseNibbles = static_cast<std::uint64_t>(m) * kk * w_levels +
-                         static_cast<std::uint64_t>(kk) * n * x_levels;
+    countTraffic(local, w, x, m, kk, n, w_levels, x_levels, v);
 
     if (stats)
         *stats += local;

@@ -70,6 +70,15 @@ struct ActivationOperand
     Slice r = 0;                    ///< frequent HO slice (skip value)
     MatrixU8 hoMask;                ///< K x (N/v), 1 = compressed vector
     std::vector<RleStream> streams; ///< HO plane RLE, one per column band
+    /**
+     * int16 copies of the slice planes ([level][k][n]), precomputed by
+     * prepareActivations* for the blocked kernel's 16-bit pair passes.
+     * Optional: aqsGemm widens on the fly when absent (hand-built
+     * operands). Invariant: derived from `sliced` — a caller that
+     * mutates `sliced` in place afterwards must clear() this cache so
+     * the kernel re-widens, or the engines diverge silently.
+     */
+    std::vector<std::int16_t> widenedPlanes;
 };
 
 /** Execution statistics of one AQS-GEMM call. */
@@ -88,6 +97,14 @@ struct AqsStats
     std::uint64_t wIndexBits = 0;   ///< weight RLE index traffic
     std::uint64_t xIndexBits = 0;   ///< activation RLE index traffic
     std::uint64_t denseNibbles = 0; ///< uncompressed traffic baseline
+
+    /**
+     * MACs per dense outer product (v * v), set by the engines from the
+     * configuration they ran with. Merging records blends the value
+     * weighted by dense outer products, so macReduction() stays correct
+     * even when aggregating layers that ran with different v.
+     */
+    double macsPerOuterProduct = 16.0;
 
     /** Fraction of dense bit-slice MACs eliminated. */
     double macReduction() const;
@@ -146,6 +163,17 @@ ActivationOperand prepareActivationsDbs(const MatrixI32 &codes, int lo_bits,
  */
 MatrixI64 aqsGemm(const WeightOperand &w, const ActivationOperand &x,
                   const AqsConfig &cfg, AqsStats *stats = nullptr);
+
+/**
+ * Scalar reference implementation of the AQS-GEMM: the original 7-deep
+ * loop nest with per-element indexing, single-threaded. Retained as the
+ * ground truth for the blocked/parallel kernel - aqsGemm() must match it
+ * bit-for-bit (accumulator and statistics) for every configuration - and
+ * as the "old kernel" side of bench_kernels.
+ */
+MatrixI64 aqsGemmReference(const WeightOperand &w,
+                           const ActivationOperand &x, const AqsConfig &cfg,
+                           AqsStats *stats = nullptr);
 
 } // namespace panacea
 

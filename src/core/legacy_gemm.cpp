@@ -1,22 +1,35 @@
 #include "core/legacy_gemm.h"
 
+#include <array>
+#include <vector>
+
 #include "slicing/sparsity.h"
 #include "util/logging.h"
+#include "util/parallel_for.h"
 
 namespace panacea {
 
 double
 LegacyStats::macReduction() const
 {
-    if (denseOuterProducts == 0)
+    if (denseOuterProducts == 0 || macsPerOuterProduct <= 0.0)
         return 0.0;
     return 1.0 - static_cast<double>(mults) /
-                     (static_cast<double>(denseOuterProducts) * 16.0);
+                     (static_cast<double>(denseOuterProducts) *
+                      macsPerOuterProduct);
 }
 
 LegacyStats &
 LegacyStats::operator+=(const LegacyStats &other)
 {
+    // Dense-OP-weighted blend keeps the macReduction() denominator
+    // exact when merging runs with different vector lengths.
+    const double d_old = static_cast<double>(denseOuterProducts);
+    const double d_other = static_cast<double>(other.denseOuterProducts);
+    if (d_old + d_other > 0.0)
+        macsPerOuterProduct = (macsPerOuterProduct * d_old +
+                               other.macsPerOuterProduct * d_other) /
+                              (d_old + d_other);
     denseOuterProducts += other.denseOuterProducts;
     executedOuterProducts += other.executedOuterProducts;
     skippedOuterProducts += other.skippedOuterProducts;
@@ -37,6 +50,177 @@ LegacyStats::operator+=(const LegacyStats &other)
     return *this;
 }
 
+namespace {
+
+/** Integer counters of one parallel band (exact sums, reduced later). */
+struct LegacyBandCounters
+{
+    std::uint64_t executed = 0;
+    std::uint64_t skipped = 0;
+};
+
+/**
+ * Register-blocked band [mg0, mg1) of the legacy bit-slice GEMM: same
+ * structure as the AQS kernel (per-tile skip list, hoisted plane/row
+ * pointers, micro-tile in registers, one write-back), but with the
+ * single-sided zero-vector skipping of Sibia and no compensation.
+ */
+/**
+ * Scalar band fallback for vector lengths beyond the static micro-tile
+ * bound (v > 16): the original per-element loop nest, band-partitioned
+ * so it still runs under the pool.
+ */
+void
+legacyBandScalar(const SlicedMatrix &w, const SlicedMatrix &x, int v,
+                 bool skip_weight, const MatrixU8 &w_mask,
+                 const MatrixU8 &x_mask_t, std::size_t mg0,
+                 std::size_t mg1, MatrixI64 &acc,
+                 LegacyBandCounters &counters)
+{
+    const std::size_t kk = w.cols();
+    const std::size_t n = x.cols();
+    const std::size_t w_levels = w.levels();
+    const std::size_t x_levels = x.levels();
+    const std::size_t w_ho = w_levels - 1;
+    const std::size_t x_ho = x_levels - 1;
+
+    for (std::size_t mg = mg0; mg < mg1; ++mg) {
+        for (std::size_t ng = 0; ng < n / v; ++ng) {
+            for (std::size_t k = 0; k < kk; ++k) {
+                const bool w_comp = skip_weight && w_mask(mg, k) != 0;
+                const bool x_comp = !skip_weight && x_mask_t(ng, k) != 0;
+                for (std::size_t wl = 0; wl < w_levels; ++wl) {
+                    if (w_comp && wl == w_ho) {
+                        counters.skipped += x_levels;
+                        continue;
+                    }
+                    const SlicePlane &wp = w.planes[wl];
+                    for (std::size_t xl = 0; xl < x_levels; ++xl) {
+                        if (x_comp && xl == x_ho) {
+                            ++counters.skipped;
+                            continue;
+                        }
+                        const SlicePlane &xp = x.planes[xl];
+                        const int shift = wp.shift + xp.shift;
+                        ++counters.executed;
+                        for (int i = 0; i < v; ++i) {
+                            const std::int64_t ws = wp.data(mg * v + i, k);
+                            for (int j = 0; j < v; ++j) {
+                                const std::int64_t xs =
+                                    xp.data(k, ng * v + j);
+                                acc(mg * v + i, ng * v + j) +=
+                                    (ws * xs) << shift;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+template <int VT>
+void
+legacyBand(const SlicedMatrix &w, const SlicedMatrix &x, int v_in,
+           bool skip_weight, const MatrixU8 &w_mask,
+           const MatrixU8 &x_mask_t, std::size_t mg0, std::size_t mg1,
+           MatrixI64 &acc, LegacyBandCounters &counters)
+{
+    const int v = VT > 0 ? VT : v_in;
+    constexpr int TV = VT > 0 ? VT : 16;
+    panic_if(v > TV, "legacy blocked kernel supports v <= ", TV);
+
+    const std::size_t kk = w.cols();
+    const std::size_t n = x.cols();
+    const std::size_t n_groups = n / static_cast<std::size_t>(v);
+    const std::size_t w_levels = w.levels();
+    const std::size_t x_levels = x.levels();
+    const std::size_t w_ho = w_levels - 1;
+    const std::size_t x_ho = x_levels - 1;
+
+    std::vector<const Slice *> wbase(w_levels), xbase(x_levels);
+    std::vector<int> wshift(w_levels), xshift(x_levels);
+    for (std::size_t wl = 0; wl < w_levels; ++wl) {
+        wbase[wl] = w.planes[wl].data.data().data();
+        wshift[wl] = w.planes[wl].shift;
+    }
+    for (std::size_t xl = 0; xl < x_levels; ++xl) {
+        xbase[xl] = x.planes[xl].data.data().data();
+        xshift[xl] = x.planes[xl].shift;
+    }
+
+    std::vector<const Slice *> wrows(w_levels *
+                                     static_cast<std::size_t>(v));
+    std::array<std::int64_t, TV * TV> tile;
+    std::array<std::int64_t, TV> ws;
+
+    for (std::size_t mg = mg0; mg < mg1; ++mg) {
+        const std::uint8_t *wmask =
+            skip_weight ? w_mask.row(mg).data() : nullptr;
+        for (std::size_t wl = 0; wl < w_levels; ++wl)
+            for (int i = 0; i < v; ++i)
+                wrows[wl * static_cast<std::size_t>(v) +
+                      static_cast<std::size_t>(i)] =
+                    wbase[wl] + (mg * static_cast<std::size_t>(v) +
+                                 static_cast<std::size_t>(i)) * kk;
+
+        for (std::size_t ng = 0; ng < n_groups; ++ng) {
+            const std::uint8_t *xmask =
+                skip_weight ? nullptr : x_mask_t.row(ng).data();
+            const std::size_t ng_off = ng * static_cast<std::size_t>(v);
+            tile.fill(0);
+
+            for (std::size_t k = 0; k < kk; ++k) {
+                const bool w_comp = wmask && wmask[k] != 0;
+                const bool x_comp = xmask && xmask[k] != 0;
+
+                for (std::size_t wl = 0; wl < w_levels; ++wl) {
+                    // Skipping is legal whenever the *skipped operand's*
+                    // HO slice participates: the product is then zero.
+                    if (w_comp && wl == w_ho) {
+                        counters.skipped += x_levels;
+                        continue;
+                    }
+                    const std::size_t wrow0 =
+                        wl * static_cast<std::size_t>(v);
+                    for (int i = 0; i < v; ++i)
+                        ws[static_cast<std::size_t>(i)] =
+                            wrows[wrow0 + static_cast<std::size_t>(i)][k];
+
+                    for (std::size_t xl = 0; xl < x_levels; ++xl) {
+                        if (x_comp && xl == x_ho) {
+                            ++counters.skipped;
+                            continue;
+                        }
+                        const Slice *xr = xbase[xl] + k * n + ng_off;
+                        const int shift = wshift[wl] + xshift[xl];
+                        ++counters.executed;
+                        for (int i = 0; i < v; ++i) {
+                            const std::int64_t wsi =
+                                ws[static_cast<std::size_t>(i)];
+                            std::int64_t *t = tile.data() + i * v;
+                            for (int j = 0; j < v; ++j)
+                                t[j] += (wsi * xr[j]) << shift;
+                        }
+                    }
+                }
+            }
+
+            for (int i = 0; i < v; ++i) {
+                std::int64_t *arow =
+                    &acc(mg * static_cast<std::size_t>(v) +
+                             static_cast<std::size_t>(i),
+                         ng_off);
+                const std::int64_t *t = tile.data() + i * v;
+                for (int j = 0; j < v; ++j)
+                    arow[j] = t[j];
+            }
+        }
+    }
+}
+
+} // namespace
+
 MatrixI64
 legacyBitsliceGemm(const SlicedMatrix &w, const SlicedMatrix &x, int v,
                    SibiaSkipSide side, LegacyStats *stats)
@@ -54,6 +238,7 @@ legacyBitsliceGemm(const SlicedMatrix &w, const SlicedMatrix &x, int v,
     LegacyStats local;
     local.rhoW = maskDensityOfOnes(w_mask);
     local.rhoX = maskDensityOfOnes(x_mask);
+    local.macsPerOuterProduct = static_cast<double>(v) * v;
 
     bool skip_weight;
     switch (side) {
@@ -68,47 +253,44 @@ legacyBitsliceGemm(const SlicedMatrix &w, const SlicedMatrix &x, int v,
 
     const std::size_t w_levels = w.levels();
     const std::size_t x_levels = x.levels();
-    const int w_ho = static_cast<int>(w_levels) - 1;
-    const int x_ho = static_cast<int>(x_levels) - 1;
+    const std::size_t m_groups = m / static_cast<std::size_t>(v);
+    const std::size_t n_groups = n / static_cast<std::size_t>(v);
     local.denseOuterProducts =
-        (m / v) * (n / v) * kk * w_levels * x_levels;
+        m_groups * n_groups * kk * w_levels * x_levels;
+
+    // The transposed activation mask is only dereferenced on the
+    // activation-skip path.
+    MatrixU8 x_mask_t;
+    if (!skip_weight) {
+        x_mask_t = MatrixU8(n_groups, kk);
+        for (std::size_t k = 0; k < kk; ++k)
+            for (std::size_t ng = 0; ng < n_groups; ++ng)
+                x_mask_t(ng, k) = x_mask(k, ng);
+    }
 
     MatrixI64 acc(m, n);
-    for (std::size_t mg = 0; mg < m / v; ++mg) {
-        for (std::size_t ng = 0; ng < n / v; ++ng) {
-            for (std::size_t k = 0; k < kk; ++k) {
-                const bool w_comp = skip_weight && w_mask(mg, k) != 0;
-                const bool x_comp = !skip_weight && x_mask(k, ng) != 0;
 
-                for (std::size_t wl = 0; wl < w_levels; ++wl) {
-                    // Skipping is legal whenever the *skipped operand's*
-                    // HO slice participates: the product is then zero.
-                    if (w_comp && static_cast<int>(wl) == w_ho) {
-                        local.skippedOuterProducts += x_levels;
-                        continue;
-                    }
-                    const SlicePlane &wp = w.planes[wl];
-                    for (std::size_t xl = 0; xl < x_levels; ++xl) {
-                        if (x_comp && static_cast<int>(xl) == x_ho) {
-                            ++local.skippedOuterProducts;
-                            continue;
-                        }
-                        const SlicePlane &xp = x.planes[xl];
-                        const int shift = wp.shift + xp.shift;
-                        ++local.executedOuterProducts;
-                        for (int i = 0; i < v; ++i) {
-                            const std::int64_t ws = wp.data(mg * v + i, k);
-                            for (int j = 0; j < v; ++j) {
-                                const std::int64_t xs =
-                                    xp.data(k, ng * v + j);
-                                acc(mg * v + i, ng * v + j) +=
-                                    (ws * xs) << shift;
-                            }
-                        }
-                    }
-                }
-            }
-        }
+    // Parallel over m-groups (disjoint accumulator rows); the per-band
+    // counters are exact integer sums, so results and statistics are
+    // bit-identical for any thread count.
+    const int chunks = parallelChunkCount(m_groups);
+    std::vector<LegacyBandCounters> partial(
+        static_cast<std::size_t>(chunks));
+    parallelFor(0, m_groups, [&](std::size_t b, std::size_t e, int c) {
+        LegacyBandCounters &part = partial[static_cast<std::size_t>(c)];
+        if (v == 4)
+            legacyBand<4>(w, x, v, skip_weight, w_mask, x_mask_t, b, e,
+                          acc, part);
+        else if (v <= 16)
+            legacyBand<0>(w, x, v, skip_weight, w_mask, x_mask_t, b, e,
+                          acc, part);
+        else
+            legacyBandScalar(w, x, v, skip_weight, w_mask, x_mask_t, b,
+                             e, acc, part);
+    });
+    for (const LegacyBandCounters &part : partial) {
+        local.executedOuterProducts += part.executed;
+        local.skippedOuterProducts += part.skipped;
     }
 
     local.mults = local.executedOuterProducts *

@@ -38,6 +38,7 @@ struct LegacyStats
     std::uint64_t mults = 0;
     std::uint64_t adds = 0;
     std::uint64_t emaNibbles = 0;  ///< dense DRAM format (no compression)
+    double macsPerOuterProduct = 16.0; ///< v * v (dense-OP-weighted merge)
     double rhoW = 0.0;             ///< measured weight HO vector sparsity
     double rhoX = 0.0;             ///< measured activation HO vector sparsity
     bool skippedWeightSide = false;

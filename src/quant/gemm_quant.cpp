@@ -4,6 +4,7 @@
 
 #include "quant/quantizer.h"
 #include "util/logging.h"
+#include "util/parallel_for.h"
 
 namespace panacea {
 
@@ -35,15 +36,19 @@ intGemm(const MatrixI32 &w, const MatrixI32 &x)
              "x", w.cols(), " * ", x.rows(), "x", x.cols());
 
     MatrixI64 out(w.rows(), x.cols());
-    for (std::size_t m = 0; m < w.rows(); ++m) {
-        for (std::size_t k = 0; k < w.cols(); ++k) {
-            std::int64_t wmk = w(m, k);
-            if (wmk == 0)
-                continue;
-            for (std::size_t n = 0; n < x.cols(); ++n)
-                out(m, n) += wmk * x(k, n);
+    // Rows are independent: parallel over m, bit-exact for any thread
+    // count.
+    parallelFor(0, w.rows(), [&](std::size_t b, std::size_t e, int) {
+        for (std::size_t m = b; m < e; ++m) {
+            for (std::size_t k = 0; k < w.cols(); ++k) {
+                std::int64_t wmk = w(m, k);
+                if (wmk == 0)
+                    continue;
+                for (std::size_t n = 0; n < x.cols(); ++n)
+                    out(m, n) += wmk * x(k, n);
+            }
         }
-    }
+    });
     return out;
 }
 
@@ -80,10 +85,12 @@ dequantizeAccumulator(const MatrixI64 &acc, double scale_w, double scale_x)
 {
     MatrixF out(acc.rows(), acc.cols());
     double s = scale_w * scale_x;
-    for (std::size_t m = 0; m < acc.rows(); ++m)
-        for (std::size_t n = 0; n < acc.cols(); ++n)
-            out(m, n) = static_cast<float>(s * static_cast<double>(
-                acc(m, n)));
+    parallelFor(0, acc.rows(), [&](std::size_t b, std::size_t e, int) {
+        for (std::size_t m = b; m < e; ++m)
+            for (std::size_t n = 0; n < acc.cols(); ++n)
+                out(m, n) = static_cast<float>(s * static_cast<double>(
+                    acc(m, n)));
+    });
     return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/parallel_for.h"
 #include "util/stats.h"
 
 namespace panacea {
@@ -87,8 +88,11 @@ quantize(const MatrixF &input, const QuantParams &params)
     MatrixI32 out(input.rows(), input.cols());
     auto src = input.data();
     auto dst = out.data();
-    for (std::size_t i = 0; i < src.size(); ++i)
-        dst[i] = quantizeValue(src[i], params);
+    // Element-wise and pure: safe and bit-exact under the shared pool.
+    parallelFor(0, src.size(), [&](std::size_t b, std::size_t e, int) {
+        for (std::size_t i = b; i < e; ++i)
+            dst[i] = quantizeValue(src[i], params);
+    });
     return out;
 }
 
@@ -121,8 +125,10 @@ quantizeCoarse(const MatrixF &input, const QuantParams &params,
     MatrixI32 out(input.rows(), input.cols());
     auto src = input.data();
     auto dst = out.data();
-    for (std::size_t i = 0; i < src.size(); ++i)
-        dst[i] = quantizeValueCoarse(src[i], params, drop_bits);
+    parallelFor(0, src.size(), [&](std::size_t b, std::size_t e, int) {
+        for (std::size_t i = b; i < e; ++i)
+            dst[i] = quantizeValueCoarse(src[i], params, drop_bits);
+    });
     return out;
 }
 
@@ -132,8 +138,10 @@ dequantize(const MatrixI32 &codes, const QuantParams &params)
     MatrixF out(codes.rows(), codes.cols());
     auto src = codes.data();
     auto dst = out.data();
-    for (std::size_t i = 0; i < src.size(); ++i)
-        dst[i] = dequantizeValue(src[i], params);
+    parallelFor(0, src.size(), [&](std::size_t b, std::size_t e, int) {
+        for (std::size_t i = b; i < e; ++i)
+            dst[i] = dequantizeValue(src[i], params);
+    });
     return out;
 }
 

@@ -1,0 +1,235 @@
+#include "util/parallel_for.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace panacea {
+
+namespace {
+
+/** True while the current thread is executing a pool chunk. */
+thread_local bool tls_in_pool_worker = false;
+
+int
+autoThreadCount()
+{
+    if (const char *env = std::getenv("PANACEA_THREADS")) {
+        long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<int>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/**
+ * One parallelFor invocation. Workers hold a shared_ptr so a straggler
+ * that probes the chunk counter after the job completed touches live
+ * memory; the counter is per-job, so lanes can never cross generations.
+ */
+struct JobState
+{
+    const RangeTask *fn = nullptr;
+    std::size_t begin = 0;
+    std::size_t items = 0;
+    int chunks = 0;
+    std::atomic<int> nextChunk{0};
+    std::atomic<int> chunksLeft{0};
+};
+
+/** Pull chunks off the job until none remain (one pool lane). */
+void
+runLane(JobState &job, std::mutex &mutex, std::condition_variable &done)
+{
+    const std::size_t base =
+        job.items / static_cast<std::size_t>(job.chunks);
+    const std::size_t rem =
+        job.items % static_cast<std::size_t>(job.chunks);
+    tls_in_pool_worker = true;
+    for (;;) {
+        const int c = job.nextChunk.fetch_add(1);
+        if (c >= job.chunks)
+            break;
+        const std::size_t uc = static_cast<std::size_t>(c);
+        const std::size_t b =
+            job.begin + uc * base + std::min<std::size_t>(uc, rem);
+        const std::size_t len = base + (uc < rem ? 1 : 0);
+        (*job.fn)(b, b + len, c);
+        if (job.chunksLeft.fetch_sub(1) == 1) {
+            std::lock_guard<std::mutex> lock(mutex);
+            done.notify_all();
+        }
+    }
+    tls_in_pool_worker = false;
+}
+
+} // namespace
+
+struct ThreadPool::Impl
+{
+    std::vector<std::thread> workers;
+
+    std::mutex mutex;
+    std::condition_variable workReady;
+    std::condition_variable workDone;
+
+    std::uint64_t generation = 0;
+    std::shared_ptr<JobState> job;
+    bool stopping = false;
+};
+
+ThreadPool::ThreadPool(int threads) : impl_(new Impl)
+{
+    spawn(threads);
+}
+
+ThreadPool::~ThreadPool()
+{
+    joinAll();
+    delete impl_;
+}
+
+void
+ThreadPool::spawn(int threads)
+{
+    threads_ = threads > 0 ? threads : autoThreadCount();
+    // threads_ - 1 helpers; the calling thread is the last lane.
+    for (int t = 0; t < threads_ - 1; ++t)
+        impl_->workers.emplace_back([this] { workerLoop(); });
+}
+
+void
+ThreadPool::joinAll()
+{
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->stopping = true;
+    }
+    impl_->workReady.notify_all();
+    for (std::thread &w : impl_->workers)
+        w.join();
+    impl_->workers.clear();
+    impl_->stopping = false;
+}
+
+void
+ThreadPool::resize(int threads)
+{
+    joinAll();
+    spawn(threads);
+}
+
+int
+ThreadPool::chunkCount(std::size_t items) const
+{
+    if (items == 0 || tls_in_pool_worker)
+        return 1;
+    return static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(threads_), items));
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::shared_ptr<JobState> job;
+        {
+            std::unique_lock<std::mutex> lock(impl_->mutex);
+            impl_->workReady.wait(lock, [&] {
+                return impl_->stopping || impl_->generation != seen;
+            });
+            if (impl_->stopping)
+                return;
+            seen = impl_->generation;
+            job = impl_->job;
+        }
+        if (job)
+            runLane(*job, impl_->mutex, impl_->workDone);
+    }
+}
+
+void
+ThreadPool::runJob(std::size_t begin, std::size_t end, int chunks,
+                   const RangeTask &fn)
+{
+    auto job = std::make_shared<JobState>();
+    job->fn = &fn;
+    job->begin = begin;
+    job->items = end - begin;
+    job->chunks = chunks;
+    job->chunksLeft.store(chunks);
+
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->job = job;
+        ++impl_->generation;
+    }
+    impl_->workReady.notify_all();
+
+    // The calling thread participates as one lane, then waits for the
+    // stragglers.
+    runLane(*job, impl_->mutex, impl_->workDone);
+
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->workDone.wait(lock,
+                         [&] { return job->chunksLeft.load() == 0; });
+    impl_->job.reset();
+}
+
+void
+ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                        const RangeTask &fn)
+{
+    if (end <= begin)
+        return;
+    const int chunks = chunkCount(end - begin);
+    if (chunks <= 1 || impl_->workers.empty() || tls_in_pool_worker) {
+        // Inline: single lane, nested call, or single-threaded pool.
+        // The worker flag is NOT set here - a top-level call that
+        // happens to span one chunk (e.g. a single-layer sweep) must
+        // not starve parallelism nested beneath it; only runLane marks
+        // genuine pool workers.
+        fn(begin, end, 0);
+        return;
+    }
+    runJob(begin, end, chunks, fn);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+int
+parallelThreads()
+{
+    return ThreadPool::global().threads();
+}
+
+void
+setParallelThreads(int threads)
+{
+    ThreadPool::global().resize(threads);
+}
+
+int
+parallelChunkCount(std::size_t items)
+{
+    return ThreadPool::global().chunkCount(items);
+}
+
+void
+parallelFor(std::size_t begin, std::size_t end, const RangeTask &fn)
+{
+    ThreadPool::global().parallelFor(begin, end, fn);
+}
+
+} // namespace panacea

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared persistent thread pool and a deterministic chunked
+ * parallel-for. All multi-threaded code in the repository (the AQS-GEMM
+ * kernel, the legacy bit-slice GEMM, the tiled executor, the model-zoo
+ * sweeps) routes through this single pool so thread creation happens
+ * once per process, not once per GEMM call.
+ *
+ * Determinism contract: parallelFor() splits [begin, end) into at most
+ * threads() contiguous chunks with a fixed partition rule; the callback
+ * receives (chunk_begin, chunk_end, chunk_index). Callers that reduce
+ * per-chunk results must index them by chunk and combine in chunk order.
+ * All kernels in this repo accumulate integer counters and write
+ * disjoint output rows, so results are bit-identical for every thread
+ * count.
+ */
+
+#ifndef PANACEA_UTIL_PARALLEL_FOR_H
+#define PANACEA_UTIL_PARALLEL_FOR_H
+
+#include <cstddef>
+#include <functional>
+
+namespace panacea {
+
+/** Range task: fn(chunk_begin, chunk_end, chunk_index). */
+using RangeTask = std::function<void(std::size_t, std::size_t, int)>;
+
+/**
+ * Persistent worker pool. Most callers use the free functions below,
+ * which operate on the process-wide pool; the class is public for tests
+ * and for embedders that want an isolated pool.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 picks PANACEA_THREADS from the
+     *        environment, falling back to hardware_concurrency().
+     */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** @return configured degree of parallelism (>= 1). */
+    int threads() const { return threads_; }
+
+    /** Re-size the pool (joins and respawns workers; not reentrant). */
+    void resize(int threads);
+
+    /**
+     * Number of chunks parallelFor() will use for an index range of the
+     * given length: min(threads, items), at least 1.
+     */
+    int chunkCount(std::size_t items) const;
+
+    /**
+     * Run fn over [begin, end) split into chunkCount(end - begin)
+     * contiguous chunks; blocks until every chunk has finished. Chunk c
+     * covers items/chunks elements (the first items%chunks chunks get
+     * one extra), so the partition depends only on (range, threads).
+     * Runs inline when the pool has one thread, the range is a single
+     * chunk, or the caller is itself a pool worker (no nested fan-out).
+     */
+    void parallelFor(std::size_t begin, std::size_t end,
+                     const RangeTask &fn);
+
+    /** @return the process-wide pool (created on first use). */
+    static ThreadPool &global();
+
+  private:
+    void workerLoop();
+    void runJob(std::size_t begin, std::size_t end, int chunks,
+                const RangeTask &fn);
+    void spawn(int threads);
+    void joinAll();
+
+    struct Impl;
+    Impl *impl_;
+    int threads_ = 1;
+};
+
+/** @return the global pool's degree of parallelism. */
+int parallelThreads();
+
+/** Set the global pool's degree of parallelism (0 = auto). */
+void setParallelThreads(int threads);
+
+/** @return chunks the global pool uses for an index range. */
+int parallelChunkCount(std::size_t items);
+
+/** Run fn over [begin, end) on the global pool (see ThreadPool). */
+void parallelFor(std::size_t begin, std::size_t end, const RangeTask &fn);
+
+} // namespace panacea
+
+#endif // PANACEA_UTIL_PARALLEL_FOR_H

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Shared test helper: RAII guard that restores the global thread-pool
+ * size when a test that resizes it returns.
+ */
+
+#ifndef PANACEA_TESTS_POOL_GUARD_H
+#define PANACEA_TESTS_POOL_GUARD_H
+
+#include "util/parallel_for.h"
+
+namespace panacea {
+
+class PoolGuard
+{
+  public:
+    PoolGuard() : saved_(parallelThreads()) {}
+    ~PoolGuard() { setParallelThreads(saved_); }
+
+    PoolGuard(const PoolGuard &) = delete;
+    PoolGuard &operator=(const PoolGuard &) = delete;
+
+  private:
+    int saved_;
+};
+
+} // namespace panacea
+
+#endif // PANACEA_TESTS_POOL_GUARD_H

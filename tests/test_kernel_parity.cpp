@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Parity tests for the register-blocked, multi-threaded AQS-GEMM kernel:
+ * aqsGemm() must reproduce the retained scalar reference
+ * (aqsGemmReference) bit-for-bit - accumulator AND statistics counters -
+ * across every ActSkipMode, SBR and DBS slicing, the Eq. (5)/(6)
+ * variants, non-default vector lengths, and 1/2/4/8 pool threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/aqs_gemm.h"
+#include "core/legacy_gemm.h"
+#include "quant/gemm_quant.h"
+#include "pool_guard.h"
+#include "slicing/sbr.h"
+#include "slicing/straightforward.h"
+#include "util/parallel_for.h"
+#include "util/random.h"
+
+namespace panacea {
+namespace {
+
+MatrixI32
+randomWeightCodes(Rng &rng, std::size_t m, std::size_t k, int n,
+                  double near_zero_bias = 0.5)
+{
+    const int bits = sbrBits(n);
+    const std::int32_t lo = -(1 << (bits - 1));
+    const std::int32_t hi = (1 << (bits - 1)) - 1;
+    const std::int32_t narrow = (1 << std::max(1, bits - 4)) - 1;
+    MatrixI32 codes(m, k);
+    for (auto &c : codes.data()) {
+        if (rng.bernoulli(near_zero_bias))
+            c = static_cast<std::int32_t>(rng.uniformInt(-narrow, narrow));
+        else
+            c = static_cast<std::int32_t>(rng.uniformInt(lo, hi));
+    }
+    return codes;
+}
+
+MatrixI32
+randomActivationCodes(Rng &rng, std::size_t k, std::size_t n, int bits,
+                      std::int32_t zp, double cluster_bias = 0.6)
+{
+    const std::int32_t hi = (1 << bits) - 1;
+    MatrixI32 codes(k, n);
+    for (auto &c : codes.data()) {
+        if (rng.bernoulli(cluster_bias)) {
+            auto v = zp + rng.uniformInt(-6, 6);
+            c = static_cast<std::int32_t>(
+                std::clamp<std::int64_t>(v, 0, hi));
+        } else {
+            c = static_cast<std::int32_t>(rng.uniformInt(0, hi));
+        }
+    }
+    return codes;
+}
+
+void
+expectStatsEqual(const AqsStats &a, const AqsStats &b)
+{
+    EXPECT_EQ(a.denseOuterProducts, b.denseOuterProducts);
+    EXPECT_EQ(a.executedOuterProducts, b.executedOuterProducts);
+    EXPECT_EQ(a.skippedOuterProducts, b.skippedOuterProducts);
+    EXPECT_EQ(a.mults, b.mults);
+    EXPECT_EQ(a.adds, b.adds);
+    EXPECT_EQ(a.compMults, b.compMults);
+    EXPECT_EQ(a.compAdds, b.compAdds);
+    EXPECT_EQ(a.compExtraEmaNibbles, b.compExtraEmaNibbles);
+    EXPECT_EQ(a.wNibbles, b.wNibbles);
+    EXPECT_EQ(a.xNibbles, b.xNibbles);
+    EXPECT_EQ(a.wIndexBits, b.wIndexBits);
+    EXPECT_EQ(a.xIndexBits, b.xIndexBits);
+    EXPECT_EQ(a.denseNibbles, b.denseNibbles);
+    EXPECT_DOUBLE_EQ(a.macsPerOuterProduct, b.macsPerOuterProduct);
+}
+
+struct ParityCase
+{
+    ActSkipMode mode;
+    bool useEq6;
+};
+
+class KernelParity : public ::testing::TestWithParam<ParityCase>
+{};
+
+TEST_P(KernelParity, SbrActivationsMatchReferenceAcrossThreads)
+{
+    PoolGuard guard;
+    const ParityCase pc = GetParam();
+    Rng rng(101);
+    const std::size_t m = 32, kk = 24, n = 20;
+    const std::int32_t zp = 137;
+
+    AqsConfig cfg;
+    cfg.actSkip = pc.mode;
+    cfg.useEq6 = pc.useEq6;
+    MatrixI32 w_codes = randomWeightCodes(rng, m, kk, 1);
+    MatrixI32 x_codes = randomActivationCodes(rng, kk, n, 8, zp);
+    WeightOperand w = prepareWeights(w_codes, 1, cfg);
+    ActivationOperand x = prepareActivations(x_codes, 1, zp, cfg);
+
+    AqsStats ref_stats;
+    MatrixI64 ref = aqsGemmReference(w, x, cfg, &ref_stats);
+
+    for (int threads : {1, 2, 4, 8}) {
+        setParallelThreads(threads);
+        AqsStats new_stats;
+        MatrixI64 got = aqsGemm(w, x, cfg, &new_stats);
+        EXPECT_TRUE(got == ref) << "accumulator mismatch at threads="
+                                << threads;
+        expectStatsEqual(new_stats, ref_stats);
+    }
+}
+
+TEST_P(KernelParity, DbsActivationsMatchReferenceAcrossThreads)
+{
+    PoolGuard guard;
+    const ParityCase pc = GetParam();
+    Rng rng(202);
+    const std::size_t m = 24, kk = 16, n = 28;
+
+    AqsConfig cfg;
+    cfg.actSkip = pc.mode;
+    cfg.useEq6 = pc.useEq6;
+    MatrixI32 w_codes = randomWeightCodes(rng, m, kk, 1);
+
+    for (int lo_bits : {4, 5, 6}) {
+        const Slice r = 9;
+        MatrixI32 x_codes =
+            randomActivationCodes(rng, kk, n, 8, r << lo_bits);
+        WeightOperand w = prepareWeights(w_codes, 1, cfg);
+        ActivationOperand x =
+            prepareActivationsDbs(x_codes, lo_bits, r, cfg);
+
+        AqsStats ref_stats;
+        MatrixI64 ref = aqsGemmReference(w, x, cfg, &ref_stats);
+        for (int threads : {1, 2, 4, 8}) {
+            setParallelThreads(threads);
+            AqsStats new_stats;
+            MatrixI64 got = aqsGemm(w, x, cfg, &new_stats);
+            EXPECT_TRUE(got == ref)
+                << "DBS mismatch at l=" << lo_bits
+                << " threads=" << threads;
+            expectStatsEqual(new_stats, ref_stats);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSkipModes, KernelParity,
+    ::testing::Values(ParityCase{ActSkipMode::RValued, true},
+                      ParityCase{ActSkipMode::RValued, false},
+                      ParityCase{ActSkipMode::ZeroOnly, true},
+                      ParityCase{ActSkipMode::None, true}));
+
+TEST(KernelParity, MultiSliceOperandsMatchReference)
+{
+    PoolGuard guard;
+    Rng rng(303);
+    // n = 2 LO weight slices (3 planes), k = 2 activation slices
+    // (3 planes): exercises multi-LO-plane pair scheduling.
+    const std::size_t m = 16, kk = 12, n = 16;
+    AqsConfig cfg;
+    MatrixI32 w_codes = randomWeightCodes(rng, m, kk, 2);
+    MatrixI32 x_codes = randomActivationCodes(rng, kk, n, 12, 1234);
+    WeightOperand w = prepareWeights(w_codes, 2, cfg);
+    ActivationOperand x = prepareActivations(x_codes, 2, 1234, cfg);
+
+    AqsStats ref_stats;
+    MatrixI64 ref = aqsGemmReference(w, x, cfg, &ref_stats);
+    for (int threads : {1, 4}) {
+        setParallelThreads(threads);
+        AqsStats new_stats;
+        MatrixI64 got = aqsGemm(w, x, cfg, &new_stats);
+        EXPECT_TRUE(got == ref);
+        expectStatsEqual(new_stats, ref_stats);
+    }
+}
+
+TEST(KernelParity, NonDefaultVectorLengthMatchesReference)
+{
+    PoolGuard guard;
+    Rng rng(404);
+    const std::size_t m = 32, kk = 12, n = 24;
+    AqsConfig cfg;
+    cfg.v = 8; // generic (non-SSE) micro-kernel path
+    MatrixI32 w_codes = randomWeightCodes(rng, m, kk, 1);
+    MatrixI32 x_codes = randomActivationCodes(rng, kk, n, 8, 99);
+    WeightOperand w = prepareWeights(w_codes, 1, cfg);
+    ActivationOperand x = prepareActivations(x_codes, 1, 99, cfg);
+
+    AqsStats ref_stats;
+    MatrixI64 ref = aqsGemmReference(w, x, cfg, &ref_stats);
+    for (int threads : {1, 2, 8}) {
+        setParallelThreads(threads);
+        AqsStats new_stats;
+        MatrixI64 got = aqsGemm(w, x, cfg, &new_stats);
+        EXPECT_TRUE(got == ref);
+        expectStatsEqual(new_stats, ref_stats);
+    }
+}
+
+TEST(KernelParity, OversizedVectorLengthFallsBackCorrectly)
+{
+    PoolGuard guard;
+    setParallelThreads(4);
+    Rng rng(808);
+    // v = 20 exceeds the blocked micro-tile bound: aqsGemm must fall
+    // back to the scalar reference and legacyBitsliceGemm to its
+    // scalar band, not abort.
+    const std::size_t m = 40, kk = 8, n = 20;
+    AqsConfig cfg;
+    cfg.v = 20;
+    MatrixI32 w_codes = randomWeightCodes(rng, m, kk, 1);
+    MatrixI32 x_codes = randomActivationCodes(rng, kk, n, 8, 66);
+    WeightOperand w = prepareWeights(w_codes, 1, cfg);
+    ActivationOperand x = prepareActivations(x_codes, 1, 66, cfg);
+
+    AqsStats ref_stats, new_stats;
+    MatrixI64 ref = aqsGemmReference(w, x, cfg, &ref_stats);
+    MatrixI64 got = aqsGemm(w, x, cfg, &new_stats);
+    EXPECT_TRUE(got == ref);
+    expectStatsEqual(new_stats, ref_stats);
+
+    SlicedMatrix ws = sbrSliceMatrix(w_codes, 1);
+    SlicedMatrix xs = sbrSliceMatrix(randomWeightCodes(rng, kk, n, 1), 1);
+    MatrixI64 legacy = legacyBitsliceGemm(ws, xs, 20,
+                                          SibiaSkipSide::Auto);
+    EXPECT_EQ(legacy.rows(), m);
+}
+
+TEST(KernelParity, HandBuiltOperandWithoutWidenedPlanesStillWorks)
+{
+    Rng rng(909);
+    const std::size_t m = 16, kk = 8, n = 12;
+    AqsConfig cfg;
+    MatrixI32 w_codes = randomWeightCodes(rng, m, kk, 1);
+    MatrixI32 x_codes = randomActivationCodes(rng, kk, n, 8, 50);
+    WeightOperand w = prepareWeights(w_codes, 1, cfg);
+    ActivationOperand x = prepareActivations(x_codes, 1, 50, cfg);
+    MatrixI64 ref = aqsGemmReference(w, x, cfg);
+
+    // Simulate an operand assembled by hand (no precomputed int16
+    // planes): the kernel must widen on the fly.
+    x.widenedPlanes.clear();
+    EXPECT_TRUE(aqsGemm(w, x, cfg) == ref);
+}
+
+TEST(KernelParity, ReferenceStillMatchesPlainIntGemm)
+{
+    Rng rng(505);
+    const std::size_t m = 16, kk = 8, n = 12;
+    AqsConfig cfg;
+    MatrixI32 w_codes = randomWeightCodes(rng, m, kk, 1);
+    MatrixI32 x_codes = randomActivationCodes(rng, kk, n, 8, 77);
+    WeightOperand w = prepareWeights(w_codes, 1, cfg);
+    ActivationOperand x = prepareActivations(x_codes, 1, 77, cfg);
+
+    MatrixI64 dense = intGemm(w_codes, x_codes);
+    EXPECT_TRUE(aqsGemmReference(w, x, cfg) == dense);
+    EXPECT_TRUE(aqsGemm(w, x, cfg) == dense);
+}
+
+TEST(KernelParity, MacReductionUsesConfiguredVectorLength)
+{
+    Rng rng(606);
+    AqsConfig cfg;
+    cfg.v = 2;
+    const std::size_t m = 8, kk = 8, n = 8;
+    MatrixI32 w_codes = randomWeightCodes(rng, m, kk, 1);
+    MatrixI32 x_codes = randomActivationCodes(rng, kk, n, 8, 40);
+    WeightOperand w = prepareWeights(w_codes, 1, cfg);
+    ActivationOperand x = prepareActivations(x_codes, 1, 40, cfg);
+
+    AqsStats stats;
+    (void)aqsGemm(w, x, cfg, &stats);
+    EXPECT_DOUBLE_EQ(stats.macsPerOuterProduct, 4.0);
+    // Reduction must be derived from v*v = 4, not the hardcoded 16:
+    // executed * 4 MACs of denseOuterProducts * 4.
+    const double expect =
+        1.0 - static_cast<double>(stats.totalMults()) /
+                  (static_cast<double>(stats.denseOuterProducts) * 4.0);
+    EXPECT_DOUBLE_EQ(stats.macReduction(), expect);
+}
+
+TEST(KernelParity, MixedVectorLengthMergeKeepsReductionExact)
+{
+    // Merging stats from runs with different v must blend the per-OP
+    // MAC count weighted by dense OPs, keeping macReduction() exact.
+    AqsStats a;
+    a.denseOuterProducts = 100;
+    a.executedOuterProducts = 50;
+    a.mults = 50 * 16;
+    a.macsPerOuterProduct = 16.0;
+
+    AqsStats b;
+    b.denseOuterProducts = 300;
+    b.executedOuterProducts = 300;
+    b.mults = 300 * 4;
+    b.macsPerOuterProduct = 4.0;
+
+    AqsStats total;
+    total += a;
+    total += b;
+    // dense MACs = 100*16 + 300*4 = 2800; executed = 800 + 1200 = 2000.
+    EXPECT_DOUBLE_EQ(total.denseOuterProducts * total.macsPerOuterProduct,
+                     2800.0);
+    EXPECT_DOUBLE_EQ(total.macReduction(), 1.0 - 2000.0 / 2800.0);
+}
+
+TEST(KernelParity, LegacyGemmDeterministicAcrossThreads)
+{
+    PoolGuard guard;
+    Rng rng(707);
+    const std::size_t m = 24, kk = 16, n = 20;
+    MatrixI32 w_codes = randomWeightCodes(rng, m, kk, 1, 0.8);
+    MatrixI32 x_codes = randomWeightCodes(rng, kk, n, 1, 0.8);
+    SlicedMatrix ws = sbrSliceMatrix(w_codes, 1);
+    SlicedMatrix xs = sbrSliceMatrix(x_codes, 1);
+
+    MatrixI64 dense = intGemm(w_codes, x_codes);
+    setParallelThreads(1);
+    LegacyStats base;
+    MatrixI64 ref = legacyBitsliceGemm(ws, xs, 4, SibiaSkipSide::Auto,
+                                       &base);
+    EXPECT_TRUE(ref == dense);
+    for (int threads : {2, 4, 8}) {
+        setParallelThreads(threads);
+        LegacyStats st;
+        MatrixI64 got = legacyBitsliceGemm(ws, xs, 4,
+                                           SibiaSkipSide::Auto, &st);
+        EXPECT_TRUE(got == ref);
+        EXPECT_EQ(st.executedOuterProducts, base.executedOuterProducts);
+        EXPECT_EQ(st.skippedOuterProducts, base.skippedOuterProducts);
+        EXPECT_EQ(st.mults, base.mults);
+        EXPECT_DOUBLE_EQ(st.rhoW, base.rhoW);
+        EXPECT_DOUBLE_EQ(st.rhoX, base.rhoX);
+    }
+}
+
+} // namespace
+} // namespace panacea

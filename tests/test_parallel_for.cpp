@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the shared thread pool: chunk partition determinism, full
+ * range coverage, nested-call safety, resizing, and the env-independent
+ * chunk-count contract that kernel reductions rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "pool_guard.h"
+#include "util/parallel_for.h"
+
+namespace panacea {
+namespace {
+
+TEST(ParallelFor, CoversRangeExactlyOnce)
+{
+    PoolGuard guard;
+    for (int threads : {1, 2, 3, 8}) {
+        setParallelThreads(threads);
+        std::vector<std::atomic<int>> hits(1000);
+        parallelFor(0, hits.size(),
+                    [&](std::size_t b, std::size_t e, int) {
+                        for (std::size_t i = b; i < e; ++i)
+                            hits[i].fetch_add(1);
+                    });
+        for (std::size_t i = 0; i < hits.size(); ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads "
+                                         << threads;
+    }
+}
+
+TEST(ParallelFor, ChunkIndicesAreDenseAndOrdered)
+{
+    PoolGuard guard;
+    setParallelThreads(4);
+    const std::size_t items = 103;
+    const int chunks = parallelChunkCount(items);
+    EXPECT_EQ(chunks, 4);
+
+    std::vector<std::pair<std::size_t, std::size_t>> ranges(
+        static_cast<std::size_t>(chunks), {0, 0});
+    parallelFor(0, items, [&](std::size_t b, std::size_t e, int c) {
+        ranges[static_cast<std::size_t>(c)] = {b, e};
+    });
+    // Contiguous, ordered partition: chunk c ends where c+1 begins.
+    EXPECT_EQ(ranges.front().first, 0u);
+    EXPECT_EQ(ranges.back().second, items);
+    for (int c = 0; c + 1 < chunks; ++c)
+        EXPECT_EQ(ranges[static_cast<std::size_t>(c)].second,
+                  ranges[static_cast<std::size_t>(c) + 1].first);
+}
+
+TEST(ParallelFor, PartitionDependsOnlyOnRangeAndThreads)
+{
+    PoolGuard guard;
+    setParallelThreads(3);
+    std::vector<std::size_t> first, second;
+    auto record = [](std::vector<std::size_t> &sink) {
+        return [&sink](std::size_t b, std::size_t e, int) {
+            static std::mutex m;
+            std::lock_guard<std::mutex> lock(m);
+            sink.push_back(b);
+            sink.push_back(e);
+        };
+    };
+    parallelFor(0, 77, record(first));
+    parallelFor(0, 77, record(second));
+    std::sort(first.begin(), first.end());
+    std::sort(second.begin(), second.end());
+    EXPECT_EQ(first, second);
+}
+
+TEST(ParallelFor, SmallRangesRunInline)
+{
+    PoolGuard guard;
+    setParallelThreads(8);
+    EXPECT_EQ(parallelChunkCount(1), 1);
+    int calls = 0;
+    parallelFor(0, 1, [&](std::size_t b, std::size_t e, int c) {
+        ++calls;
+        EXPECT_EQ(b, 0u);
+        EXPECT_EQ(e, 1u);
+        EXPECT_EQ(c, 0);
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsANoOp)
+{
+    int calls = 0;
+    parallelFor(5, 5, [&](std::size_t, std::size_t, int) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock)
+{
+    PoolGuard guard;
+    setParallelThreads(4);
+    std::atomic<int> total{0};
+    parallelFor(0, 8, [&](std::size_t b, std::size_t e, int) {
+        for (std::size_t i = b; i < e; ++i) {
+            // A nested parallelFor must not fan out again (and must not
+            // deadlock); it runs inline as a single chunk.
+            parallelFor(0, 10, [&](std::size_t nb, std::size_t ne,
+                                   int nc) {
+                EXPECT_EQ(nc, 0);
+                total.fetch_add(static_cast<int>(ne - nb));
+            });
+        }
+    });
+    EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ParallelFor, SingleChunkTopLevelDoesNotStarveNestedParallelism)
+{
+    PoolGuard guard;
+    setParallelThreads(4);
+    // A top-level call that spans one chunk (e.g. a single-layer sweep)
+    // runs inline but must NOT be treated as a pool worker: parallelism
+    // nested beneath it still fans out.
+    int nested_chunks = 0;
+    std::atomic<int> covered{0};
+    parallelFor(0, 1, [&](std::size_t, std::size_t, int) {
+        nested_chunks = parallelChunkCount(100);
+        parallelFor(0, 100, [&](std::size_t b, std::size_t e, int) {
+            covered.fetch_add(static_cast<int>(e - b));
+        });
+    });
+    EXPECT_EQ(nested_chunks, 4);
+    EXPECT_EQ(covered.load(), 100);
+}
+
+TEST(ParallelFor, ResizeIsEffective)
+{
+    PoolGuard guard;
+    setParallelThreads(2);
+    EXPECT_EQ(parallelThreads(), 2);
+    setParallelThreads(5);
+    EXPECT_EQ(parallelThreads(), 5);
+    EXPECT_EQ(parallelChunkCount(100), 5);
+}
+
+TEST(ParallelFor, IsolatedPoolWorks)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.threads(), 3);
+    std::vector<int> data(300, 0);
+    pool.parallelFor(0, data.size(),
+                     [&](std::size_t b, std::size_t e, int) {
+                         for (std::size_t i = b; i < e; ++i)
+                             data[i] = static_cast<int>(i);
+                     });
+    long long sum = std::accumulate(data.begin(), data.end(), 0LL);
+    EXPECT_EQ(sum, 299LL * 300 / 2);
+}
+
+} // namespace
+} // namespace panacea
