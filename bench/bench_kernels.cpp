@@ -1,9 +1,11 @@
 /**
  * @file
  * Host-kernel microbenchmark: the scalar reference AQS-GEMM versus the
- * register-blocked, skip-list-driven, multi-threaded kernel, plus the
- * legacy bit-slice GEMM and the dense integer GEMM for context. These
- * measure the simulator's own CPU kernels, not modeled hardware.
+ * register-blocked, skip-list-driven, multi-threaded kernel - across
+ * every ISA level the host can run - plus the legacy bit-slice GEMM and
+ * the dense integer GEMM for context, and the operand-preparation
+ * stages serial vs parallel. These measure the simulator's own CPU
+ * kernels, not modeled hardware.
  *
  * Usage:
  *   bench_kernels                  # human-readable table
@@ -12,9 +14,11 @@
  *   bench_kernels --quick          # fewer repetitions (CI smoke)
  *
  * The JSON payload records old-vs-new GMAC/s (effective dense MACs per
- * second), the speedup ratio, the thread-scaling curve of the new
- * kernel, and a parity flag asserting the two kernels agreed bit-for-bit
- * during the run.
+ * second), the speedup ratio, a per-ISA GMAC/s table at the 256^3/60%
+ * reference case, the thread-scaling curve of the new kernel, the
+ * serial-vs-parallel preparation-stage speedups, and a parity flag
+ * asserting every kernel agreed with the reference bit-for-bit during
+ * the run. See README.md ("Bench JSON schema") for the field list.
  */
 
 #include <algorithm>
@@ -24,6 +28,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/aqs_gemm.h"
@@ -31,6 +36,7 @@
 #include "quant/gemm_quant.h"
 #include "slicing/rle.h"
 #include "slicing/slice_tensor.h"
+#include "util/cpu_features.h"
 #include "util/parallel_for.h"
 #include "util/random.h"
 
@@ -44,6 +50,7 @@ struct BenchOptions
     std::string jsonPath = "BENCH_kernels.json";
     double minSeconds = 0.3;
     int maxReps = 25;
+    bool quick = false;
 };
 
 MatrixI32
@@ -111,11 +118,28 @@ struct CaseResult
     double speedup() const { return refMs / newMs; }
 };
 
+struct IsaCase
+{
+    IsaLevel level = IsaLevel::Scalar;
+    double ms = 0.0;
+    bool parity = false;
+};
+
 struct ThreadPoint
 {
     int threads = 0;
+    int poolThreads = 0; ///< width the pool actually ran with
     double ms = 0.0;
     double speedupVs1 = 0.0;
+};
+
+struct PrepStage
+{
+    const char *name = "";
+    double serialMs = 0.0;
+    double parallelMs = 0.0;
+
+    double speedup() const { return serialMs / parallelMs; }
 };
 
 CaseResult
@@ -164,6 +188,7 @@ main(int argc, char **argv)
         } else if (arg == "--quick") {
             opt.minSeconds = 0.05;
             opt.maxReps = 5;
+            opt.quick = true;
         } else {
             std::cerr << "unknown option " << arg << "\n";
             return 2;
@@ -171,13 +196,16 @@ main(int argc, char **argv)
     }
 
     const int pool_threads = parallelThreads();
+    const char *isa_active = toString(activeIsaLevel());
     std::cout << "AQS-GEMM kernel bench (pool threads: " << pool_threads
-              << ")\n\n";
+              << ", isa: " << isa_active
+              << ", detected: " << toString(detectedIsaLevel()) << ")\n\n";
 
     // --- Old vs new, single-threaded (the apples-to-apples compare) ---
     setParallelThreads(1);
     std::vector<CaseResult> cases;
-    std::cout << "single-thread reference vs blocked kernel\n";
+    std::cout << "single-thread reference vs blocked kernel (isa: "
+              << isa_active << ")\n";
     std::cout << "  dim  sparsity  ref-ms   new-ms   GMAC/s(ref)  "
                  "GMAC/s(new)  speedup  parity\n";
     for (std::size_t dim : {128u, 256u, 512u}) {
@@ -195,8 +223,59 @@ main(int argc, char **argv)
         }
     }
 
-    // --- Thread scaling of the new kernel at the default config ------
-    const std::size_t dim = 256;
+    // --- Per-ISA single-thread GMAC/s at the 256^3/60% reference case -
+    const std::size_t isa_dim = 256;
+    std::vector<IsaCase> isa_cases;
+    {
+        Rng rng(2);
+        const std::int32_t zp = 136;
+        MatrixI32 w = weightCodes(rng, isa_dim, isa_dim, 0.6);
+        MatrixI32 x = actCodes(rng, isa_dim, isa_dim, zp, 0.6);
+        AqsConfig cfg;
+        MatrixI64 ref;
+        bool have_ref = false;
+
+        std::cout << "\nper-ISA blocked kernel, single thread (dim="
+                  << isa_dim << ", 60% clustered)\n";
+        std::cout << "  isa       ms    GMAC/s   vs-scalar  parity\n";
+        double scalar_ms = 0.0;
+        for (IsaLevel lvl : runnableIsaLevels()) {
+            setIsaLevel(lvl);
+            // Prepare at this level so the precomputed operand caches
+            // match the dispatch tier under test - otherwise rows
+            // measured under a low PANACEA_ISA pin would time hidden
+            // per-call paired-plane rebuilds and the two CI legs'
+            // numbers would not be comparable.
+            WeightOperand w_op = prepareWeights(w, 1, cfg);
+            ActivationOperand x_op = prepareActivations(x, 1, zp, cfg);
+            if (!have_ref) {
+                ref = aqsGemmReference(w_op, x_op, cfg);
+                have_ref = true;
+            }
+            IsaCase c;
+            c.level = lvl;
+            c.parity = aqsGemm(w_op, x_op, cfg) == ref;
+            c.ms = timeMs(opt, [&] { aqsGemm(w_op, x_op, cfg); });
+            if (lvl == IsaLevel::Scalar)
+                scalar_ms = c.ms;
+            isa_cases.push_back(c);
+            std::printf("  %-6s %7.2f  %8.3f  %8.2fx  %s\n",
+                        toString(lvl), c.ms,
+                        gmacs(isa_dim, isa_dim, isa_dim, c.ms),
+                        scalar_ms > 0.0 ? scalar_ms / c.ms : 1.0,
+                        c.parity ? "yes" : "NO");
+        }
+        resetIsaLevel();
+    }
+
+    // --- Thread scaling of the new kernel ----------------------------
+    // A shape large enough that band parallelism dominates pool
+    // overhead (512 gives 128 m-bands); each point resizes the pool
+    // BEFORE the timed region so the kernel re-enters with the
+    // requested width, and records the width the pool actually ran
+    // with (on small machines the curve is legitimately flat - the
+    // hardware concurrency is in the JSON for that).
+    const std::size_t dim = opt.quick ? 256 : 512;
     Rng rng(7);
     const std::int32_t zp = 136;
     MatrixI32 w = weightCodes(rng, dim, dim, 0.6);
@@ -206,14 +285,15 @@ main(int argc, char **argv)
     ActivationOperand x_op = prepareActivations(x, 1, zp, cfg);
 
     std::vector<ThreadPoint> scaling;
-    std::cout << "\nblocked kernel thread scaling (dim=256, 60% "
-                 "clustered)\n";
+    std::cout << "\nblocked kernel thread scaling (dim=" << dim
+              << ", 60% clustered)\n";
     std::cout << "  threads    ms    speedup-vs-1t\n";
     double ms_1t = 0.0;
     for (int t : {1, 2, 4, 8}) {
         setParallelThreads(t);
         ThreadPoint p;
         p.threads = t;
+        p.poolThreads = parallelThreads();
         p.ms = timeMs(opt, [&] { aqsGemm(w_op, x_op, cfg); });
         if (t == 1)
             ms_1t = p.ms;
@@ -230,14 +310,31 @@ main(int argc, char **argv)
     double legacy_ms = timeMs(
         opt, [&] { legacyBitsliceGemm(ws, xs, 4, SibiaSkipSide::Auto); });
     double dense_ms = timeMs(opt, [&] { intGemm(w, x); });
-    std::printf("\ncontext (dim=256, pool=%d): legacy bit-slice %.2f ms, "
+    std::printf("\ncontext (dim=%zu, pool=%d): legacy bit-slice %.2f ms, "
                 "dense int GEMM %.2f ms\n",
-                pool_threads, legacy_ms, dense_ms);
+                dim, pool_threads, legacy_ms, dense_ms);
 
-    // --- Preparation stages (ROADMAP flags these as next hot spots) --
-    double sbr_ms = timeMs(opt, [&] { sbrSliceMatrix(w, 1); });
-    double prep_act_ms =
-        timeMs(opt, [&] { prepareActivations(x, 1, zp, cfg); });
+    // --- Preparation stages, serial vs parallel ----------------------
+    // The ROADMAP flagged prep as a visible serial fraction of layer
+    // time; these columns track the parallel_for speedup of each stage
+    // (1 thread vs the full pool).
+    std::vector<PrepStage> prep{{"sbr_slice"},
+                                {"prepare_weights"},
+                                {"prepare_activations"}};
+    for (PrepStage &stage : prep) {
+        auto run = [&] {
+            if (std::strcmp(stage.name, "sbr_slice") == 0)
+                sbrSliceMatrix(w, 1);
+            else if (std::strcmp(stage.name, "prepare_weights") == 0)
+                prepareWeights(w, 1, cfg);
+            else
+                prepareActivations(x, 1, zp, cfg);
+        };
+        setParallelThreads(1);
+        stage.serialMs = timeMs(opt, run);
+        setParallelThreads(pool_threads);
+        stage.parallelMs = timeMs(opt, run);
+    }
     std::vector<Slice> rle_data(65536 * 4);
     for (std::size_t i = 0; i < 65536; ++i) {
         bool fill = rng.bernoulli(0.8);
@@ -247,13 +344,19 @@ main(int argc, char **argv)
     }
     double rle_ms = timeMs(
         opt, [&] { RleStream::encode(rle_data, 65536, 4, 10, 4); });
-    std::printf("prep (dim=256): SBR slice %.2f ms, activation prepare "
-                "%.2f ms, RLE encode (64Ki vectors) %.2f ms\n",
-                sbr_ms, prep_act_ms, rle_ms);
+    std::printf("prep (dim=%zu, pool=%d):\n", dim, pool_threads);
+    for (const PrepStage &stage : prep)
+        std::printf("  %-20s serial %7.2f ms  parallel %7.2f ms  "
+                    "speedup %5.2fx\n",
+                    stage.name, stage.serialMs, stage.parallelMs,
+                    stage.speedup());
+    std::printf("  single RLE stream (64Ki vectors): %.2f ms\n", rle_ms);
 
     bool all_parity = true;
     for (const CaseResult &r : cases)
         all_parity = all_parity && r.parity;
+    for (const IsaCase &c : isa_cases)
+        all_parity = all_parity && c.parity;
 
     if (opt.writeJson) {
         std::ofstream out(opt.jsonPath);
@@ -263,6 +366,9 @@ main(int argc, char **argv)
         }
         out << "{\n  \"bench\": \"kernels\",\n";
         out << "  \"pool_threads\": " << pool_threads << ",\n";
+        out << "  \"isa\": \"" << isa_active << "\",\n";
+        out << "  \"isa_detected\": \"" << toString(detectedIsaLevel())
+            << "\",\n";
         out << "  \"parity\": " << (all_parity ? "true" : "false")
             << ",\n";
         out << "  \"single_thread_cases\": [\n";
@@ -281,21 +387,44 @@ main(int argc, char **argv)
                 << ", \"parity\": " << (r.parity ? "true" : "false")
                 << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
         }
+        out << "  ],\n  \"isa_cases\": [\n";
+        for (std::size_t i = 0; i < isa_cases.size(); ++i) {
+            const IsaCase &c = isa_cases[i];
+            out << "    {\"isa\": \"" << toString(c.level)
+                << "\", \"m\": " << isa_dim << ", \"k\": " << isa_dim
+                << ", \"n\": " << isa_dim << ", \"sparsity_pct\": 60"
+                << ", \"ms\": " << c.ms << ", \"gmacs\": "
+                << gmacs(isa_dim, isa_dim, isa_dim, c.ms)
+                << ", \"speedup_vs_scalar\": "
+                << (isa_cases.front().ms / c.ms)
+                << ", \"parity\": " << (c.parity ? "true" : "false")
+                << "}" << (i + 1 < isa_cases.size() ? "," : "") << "\n";
+        }
         out << "  ],\n  \"thread_scaling\": [\n";
         for (std::size_t i = 0; i < scaling.size(); ++i) {
             const ThreadPoint &p = scaling[i];
             out << "    {\"threads\": " << p.threads
-                << ", \"ms\": " << p.ms << ", \"gmacs\": "
-                << gmacs(dim, dim, dim, p.ms)
+                << ", \"pool_threads\": " << p.poolThreads
+                << ", \"dim\": " << dim << ", \"ms\": " << p.ms
+                << ", \"gmacs\": " << gmacs(dim, dim, dim, p.ms)
                 << ", \"speedup_vs_1t\": " << p.speedupVs1 << "}"
                 << (i + 1 < scaling.size() ? "," : "") << "\n";
         }
         out << "  ],\n";
+        out << "  \"hardware_concurrency\": "
+            << static_cast<int>(std::thread::hardware_concurrency())
+            << ",\n";
         out << "  \"context\": {\"legacy_bitslice_ms\": " << legacy_ms
             << ", \"dense_int_gemm_ms\": " << dense_ms << "},\n";
-        out << "  \"prep\": {\"sbr_slice_ms\": " << sbr_ms
-            << ", \"prepare_activations_ms\": " << prep_act_ms
-            << ", \"rle_encode_ms\": " << rle_ms << "}\n";
+        out << "  \"prep\": {\n";
+        for (std::size_t i = 0; i < prep.size(); ++i) {
+            const PrepStage &stage = prep[i];
+            out << "    \"" << stage.name << "\": {\"serial_ms\": "
+                << stage.serialMs << ", \"parallel_ms\": "
+                << stage.parallelMs << ", \"speedup\": "
+                << stage.speedup() << "},\n";
+        }
+        out << "    \"rle_encode_ms\": " << rle_ms << "\n  }\n";
         out << "}\n";
         std::cout << "\nwrote " << opt.jsonPath << "\n";
     }

@@ -4,11 +4,10 @@
 #include <array>
 #include <vector>
 
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
-
+#include "core/operand_pack.h"
+#include "core/pair_pass.h"
 #include "slicing/sparsity.h"
+#include "util/cpu_features.h"
 #include "util/logging.h"
 #include "util/parallel_for.h"
 
@@ -84,34 +83,25 @@ prepareWeights(const MatrixI32 &codes, int n, const AqsConfig &cfg)
 namespace {
 
 /**
- * Widened (int16) copies of the activation slice planes, [level][k][n]:
- * the operand format of the blocked kernel's 16-bit pair passes.
+ * Whether any streaming kernel could consume paired operands on this
+ * host + build (the best runnable dispatch row has one): gates the
+ * paired-plane precompute so scalar/SSE2-only hosts and non-v=4
+ * configurations pay neither the prep time nor the memory.
  */
-std::vector<std::int16_t>
-widenActivationPlanes(const SlicedMatrix &sliced)
+bool
+streamKernelsAvailable(const AqsConfig &cfg)
 {
-    const std::size_t kk = sliced.rows();
-    const std::size_t n = sliced.cols();
-    const std::size_t levels = sliced.levels();
-    std::vector<std::int16_t> out(levels * kk * n);
-    for (std::size_t xl = 0; xl < levels; ++xl) {
-        const Slice *src = sliced.planes[xl].data.data().data();
-        std::int16_t *dst = out.data() + xl * kk * n;
-        parallelFor(0, kk, [&](std::size_t b, std::size_t e, int) {
-            for (std::size_t k = b; k < e; ++k)
-                for (std::size_t j = 0; j < n; ++j)
-                    dst[k * n + j] = src[k * n + j];
-        });
-    }
-    return out;
+    return cfg.v == 4 &&
+           detail::pairPassKernels(activeIsaLevel()).stream4 != nullptr;
 }
 
-/** Build mask + RLE streams for an activation HO plane. */
+/** Build mask, RLE streams and kernel operand caches for an
+ *  activation HO plane. */
 void
 finishActivationOperand(ActivationOperand &op, const AqsConfig &cfg)
 {
     const Matrix<Slice> &ho = op.sliced.hoPlane().data;
-    op.widenedPlanes = widenActivationPlanes(op.sliced);
+    op.widenedPlanes = detail::widenSlicePlanes(op.sliced);
     Slice skip_value = 0;
     switch (cfg.actSkip) {
       case ActSkipMode::RValued:
@@ -124,11 +114,17 @@ finishActivationOperand(ActivationOperand &op, const AqsConfig &cfg)
         op.hoMask = MatrixU8(ho.rows(), ho.cols() / cfg.v, 0);
         op.streams = encodeActivationPlane(ho, cfg.v, /*r=*/-1,
                                            cfg.rleIndexBits);
+        if (streamKernelsAvailable(cfg))
+            op.pairedPlanes =
+                detail::pairedSlicePlanes(op.sliced, cfg.v, &op.hoMask);
         return;
     }
     op.hoMask = activationVectorMask(ho, cfg.v, skip_value);
     op.streams = encodeActivationPlane(ho, cfg.v, skip_value,
                                        cfg.rleIndexBits);
+    if (streamKernelsAvailable(cfg))
+        op.pairedPlanes =
+            detail::pairedSlicePlanes(op.sliced, cfg.v, &op.hoMask);
 }
 
 /** Shape checks shared by the reference and blocked kernels. */
@@ -176,152 +172,15 @@ countTraffic(AqsStats &local, const WeightOperand &w,
                          static_cast<std::uint64_t>(kk) * n * x_levels;
 }
 
-/**
- * Per-n-group skip lists for the activation side, shared by every band:
- * ks[offsets[ng] .. offsets[ng+1]) are the reduction steps whose HO
- * vector is NOT compressed (dense steps). `identity` short-circuits the
- * indirection when no activation skipping is active.
- */
-struct ActSkipLists
+detail::SkipLists
+buildActSkipLists(const ActivationOperand &x, const AqsConfig &cfg)
 {
-    bool identity = false;
-    std::vector<std::uint32_t> offsets;
-    std::vector<std::uint32_t> ks;
-
-    std::size_t
-    count(std::size_t ng) const
-    {
-        return offsets[ng + 1] - offsets[ng];
-    }
-    const std::uint32_t *
-    list(std::size_t ng) const
-    {
-        return ks.data() + offsets[ng];
-    }
-};
-
-ActSkipLists
-buildActSkipLists(const ActivationOperand &x, const AqsConfig &cfg,
-                  std::size_t kk, std::size_t n_groups)
-{
-    ActSkipLists out;
     if (cfg.actSkip == ActSkipMode::None) {
+        detail::SkipLists out;
         out.identity = true;
         return out;
     }
-    out.offsets.resize(n_groups + 1, 0);
-    out.ks.reserve(n_groups * kk);
-    for (std::size_t ng = 0; ng < n_groups; ++ng) {
-        for (std::size_t k = 0; k < kk; ++k)
-            if (x.hoMask(k, ng) == 0)
-                out.ks.push_back(static_cast<std::uint32_t>(k));
-        out.offsets[ng + 1] = static_cast<std::uint32_t>(out.ks.size());
-    }
-    return out;
-}
-
-/**
- * One branch-free pass of a (weight-plane, activation-plane) pair over a
- * skip list of dense reduction steps. Weights come from the per-band
- * packed tile (wp[k*v + i], contiguous int16), activations from the
- * widened plane row (contiguous v int16); products accumulate UNSHIFTED
- * into the int32 pair accumulator - the positional shift is applied once
- * when the pair is merged into the int64 micro-tile. |product| <=
- * 8 * 63, so the pair sum is exact for any K below ~4M steps (guarded
- * in aqsGemm).
- */
-inline void
-pairPassGeneric(const std::int16_t *wp, const std::int16_t *xp,
-                std::size_t n, std::size_t ng_off,
-                const std::uint32_t *ks, std::size_t nk, bool identity,
-                int v, std::int32_t *pacc)
-{
-    for (std::size_t t = 0; t < nk; ++t) {
-        const std::size_t k = identity ? t : ks[t];
-        const std::int16_t *wv = wp + k * static_cast<std::size_t>(v);
-        const std::int16_t *xr = xp + k * n + ng_off;
-        for (int i = 0; i < v; ++i) {
-            const std::int32_t wsi = wv[i];
-            std::int32_t *p = pacc + i * v;
-            for (int j = 0; j < v; ++j)
-                p[j] += wsi * static_cast<std::int32_t>(xr[j]);
-        }
-    }
-}
-
-#if defined(__SSE2__)
-
-/**
- * v = 4 pair pass: the 4x4 int32 micro-tile lives in four xmm
- * accumulators; every iteration retires TWO reduction steps with four
- * pmaddwd ops (32 MACs). Interleaving the two steps' operands
- * (punpcklwd) makes each pmaddwd lane the two-step partial dot product
- * of one (i, j) output element - exact int32 arithmetic, identical to
- * the scalar path.
- */
-inline void
-pairPass4(const std::int16_t *wp, const std::int16_t *xp, std::size_t n,
-          std::size_t ng_off, const std::uint32_t *ks, std::size_t nk,
-          bool identity, std::int32_t *pacc)
-{
-    __m128i acc0 = _mm_setzero_si128();
-    __m128i acc1 = _mm_setzero_si128();
-    __m128i acc2 = _mm_setzero_si128();
-    __m128i acc3 = _mm_setzero_si128();
-    std::size_t t = 0;
-    for (; t + 2 <= nk; t += 2) {
-        const std::size_t k0 = identity ? t : ks[t];
-        const std::size_t k1 = identity ? t + 1 : ks[t + 1];
-        const __m128i xr0 = _mm_loadl_epi64(
-            reinterpret_cast<const __m128i *>(xp + k0 * n + ng_off));
-        const __m128i xr1 = _mm_loadl_epi64(
-            reinterpret_cast<const __m128i *>(xp + k1 * n + ng_off));
-        const __m128i vb = _mm_unpacklo_epi16(xr0, xr1);
-        const __m128i wv0 = _mm_loadl_epi64(
-            reinterpret_cast<const __m128i *>(wp + k0 * 4));
-        const __m128i wv1 = _mm_loadl_epi64(
-            reinterpret_cast<const __m128i *>(wp + k1 * 4));
-        const __m128i wab = _mm_unpacklo_epi16(wv0, wv1);
-        acc0 = _mm_add_epi32(
-            acc0, _mm_madd_epi16(_mm_shuffle_epi32(wab, 0x00), vb));
-        acc1 = _mm_add_epi32(
-            acc1, _mm_madd_epi16(_mm_shuffle_epi32(wab, 0x55), vb));
-        acc2 = _mm_add_epi32(
-            acc2, _mm_madd_epi16(_mm_shuffle_epi32(wab, 0xAA), vb));
-        acc3 = _mm_add_epi32(
-            acc3, _mm_madd_epi16(_mm_shuffle_epi32(wab, 0xFF), vb));
-    }
-    _mm_storeu_si128(reinterpret_cast<__m128i *>(pacc + 0), acc0);
-    _mm_storeu_si128(reinterpret_cast<__m128i *>(pacc + 4), acc1);
-    _mm_storeu_si128(reinterpret_cast<__m128i *>(pacc + 8), acc2);
-    _mm_storeu_si128(reinterpret_cast<__m128i *>(pacc + 12), acc3);
-    if (t < nk) {
-        const std::size_t k = identity ? t : ks[t];
-        const std::int16_t *wv = wp + k * 4;
-        const std::int16_t *xr = xp + k * n + ng_off;
-        for (int i = 0; i < 4; ++i)
-            for (int j = 0; j < 4; ++j)
-                pacc[i * 4 + j] += static_cast<std::int32_t>(wv[i]) *
-                                   static_cast<std::int32_t>(xr[j]);
-    }
-}
-
-#endif // __SSE2__
-
-/** Dispatch to the vectorized v=4 pass when the ISA provides it. */
-template <int VT>
-inline void
-pairPass(const std::int16_t *wp, const std::int16_t *xp, std::size_t n,
-         std::size_t ng_off, const std::uint32_t *ks, std::size_t nk,
-         bool identity, int v, std::int32_t *pacc)
-{
-#if defined(__SSE2__)
-    if constexpr (VT == 4) {
-        pairPass4(wp, xp, n, ng_off, ks, nk, identity, pacc);
-        return;
-    }
-#endif
-    pairPassGeneric(wp, xp, n, ng_off, ks, nk, identity, v, pacc);
+    return detail::buildSkipLists(x.hoMask);
 }
 
 /**
@@ -335,10 +194,11 @@ pairPass(const std::int16_t *wp, const std::int16_t *xp, std::size_t n,
  *     [k][i] tile (one strided pass, reused across every n-group);
  *   - build the weight-side skip list (dense k's) from the HO mask.
  * Per (mg, ng) tile:
- *   - run one branch-free pairPass per (weight-plane, activation-plane)
- *     combination over the matching skip list - all steps for LO/LO
- *     pairs, the weight list for HO_w, the activation list for HO_x,
- *     their intersection for HO_w/HO_x;
+ *   - run one branch-free pair pass (through the ISA-dispatched kernel
+ *     table `kern`; see core/pair_pass.h) per (weight-plane,
+ *     activation-plane) combination over the matching skip list - all
+ *     steps for LO/LO pairs, the weight list for HO_w, the activation
+ *     list for HO_x, their intersection for HO_w/HO_x;
  *   - merge each int32 pair accumulator into the int64 micro-tile with
  *     its positional shift, add the Eq. (6) compensation, and write the
  *     tile back in one pass.
@@ -350,8 +210,9 @@ pairPass(const std::int16_t *wp, const std::int16_t *xp, std::size_t n,
 template <int VT>
 void
 blockedBand(const WeightOperand &w, const ActivationOperand &x,
-            const AqsConfig &cfg, const ActSkipLists &xd,
-            const std::int16_t *x16, std::size_t mg0, std::size_t mg1,
+            const AqsConfig &cfg, const detail::PairPassKernels &kern,
+            const detail::SkipLists &xd, const std::int16_t *x16,
+            const std::int16_t *xq, std::size_t mg0, std::size_t mg1,
             MatrixI64 &acc, AqsStats &local)
 {
     const int v = VT > 0 ? VT : cfg.v;
@@ -380,15 +241,26 @@ blockedBand(const WeightOperand &w, const ActivationOperand &x,
         xshift[xl] = x.sliced.planes[xl].shift;
     }
 
+    // Streaming fast path (AVX2+): dense masked passes over the
+    // pre-interleaved operands replace skip-list gathers whenever the
+    // list covers at least half the steps (the stream's per-step cost
+    // is roughly half the gather's). Stats always come from the list
+    // lengths, so the choice never changes results or counters.
+    const bool stream_ok =
+        VT == 4 && kern.stream4 != nullptr && xq != nullptr;
+    const std::size_t kkp = detail::pairCount(kk);
+    const std::size_t pw = 2 * uv;
+
     // Per-band scratch, allocated once and reused for every m-group.
     std::vector<std::int16_t> wpack(w_levels * kk * uv);
+    std::vector<std::int16_t> wq, wqm;
     std::vector<std::int32_t> ttpack(r_skip ? kk * uv : 0);
     std::vector<std::uint32_t> wd, wxd;
     wd.reserve(kk);
     wxd.reserve(kk);
     std::array<std::int32_t, TV * TV> pacc;
     std::array<std::int64_t, TV * TV> tile;
-    std::array<std::int64_t, TV> wsum, bprow;
+    std::array<std::int64_t, TV> wsum, bprow, ttfull;
 
     for (std::size_t mg = mg0; mg < mg1; ++mg) {
         const std::uint8_t *wmask = w.hoMask.row(mg).data();
@@ -412,6 +284,12 @@ blockedBand(const WeightOperand &w, const ActivationOperand &x,
             }
         }
 
+        // Paired-stream weight operands (unmasked + masked HO when a
+        // streamed HO_w pass could read it; see operand_pack.h).
+        if (stream_ok)
+            detail::packStreamWeightOperands(w.sliced, mg, v, wmask,
+                                             wd.size(), wq, wqm);
+
         if (r_skip) {
             // Offline term b' = r * 2^shift * row sums of the total
             // weight codes (Eq. (6)), plus the packed total codes the
@@ -425,6 +303,7 @@ blockedBand(const WeightOperand &w, const ActivationOperand &x,
                     sum += src[k];
                     ttpack[k * uv + static_cast<std::size_t>(i)] = src[k];
                 }
+                ttfull[static_cast<std::size_t>(i)] = sum;
                 bprow[static_cast<std::size_t>(i)] = sum * r_scaled;
             }
         }
@@ -453,14 +332,26 @@ blockedBand(const WeightOperand &w, const ActivationOperand &x,
                 both = wd.data();
                 nboth = wd.size();
             } else {
-                wxd.clear();
-                for (std::size_t t = 0; t < nxd; ++t) {
-                    const std::uint32_t k = xlist[t];
-                    if (wmask[k] == 0)
-                        wxd.push_back(k);
+                if (stream_ok) {
+                    // Count first; materialize the list only when the
+                    // gather path will read it (the stream path needs
+                    // just the count for stats and the cost decision).
+                    nboth = 0;
+                    for (std::size_t t = 0; t < nxd; ++t)
+                        nboth += wmask[xlist[t]] == 0 ? 1 : 0;
                 }
-                both = wxd.data();
-                nboth = wxd.size();
+                if (stream_ok && detail::streamProfitable(nboth, kk)) {
+                    both = nullptr; // stream pass; ks is never read
+                } else {
+                    wxd.clear();
+                    for (std::size_t t = 0; t < nxd; ++t) {
+                        const std::uint32_t k = xlist[t];
+                        if (wmask[k] == 0)
+                            wxd.push_back(k);
+                    }
+                    both = wxd.data();
+                    nboth = wxd.size();
+                }
             }
 
             tile.fill(0);
@@ -493,9 +384,21 @@ blockedBand(const WeightOperand &w, const ActivationOperand &x,
                         identity = true;
                     }
 
-                    pacc.fill(0);
-                    pairPass<VT>(wp, xbase[xl], n, ng_off, ks, nk,
-                                 identity, v, pacc.data());
+                    if (stream_ok && detail::streamProfitable(nk, kk)) {
+                        const std::int16_t *wqp =
+                            (w_is_ho && !wd_full)
+                                ? wqm.data()
+                                : wq.data() + wl * kkp * pw;
+                        const std::int16_t *xqp =
+                            xq + (xl * n_groups + ng) * kkp * pw;
+                        kern.stream4(wqp, xqp, kkp, pacc.data());
+                    } else if constexpr (VT == 4) {
+                        kern.pass4(wp, xbase[xl], n, ng_off, ks, nk,
+                                   identity, pacc.data());
+                    } else {
+                        kern.passGeneric(wp, xbase[xl], n, ng_off, ks,
+                                         nk, identity, v, pacc.data());
+                    }
                     executed += nk;
 
                     const int shift = w_shift + xshift[xl];
@@ -514,13 +417,33 @@ blockedBand(const WeightOperand &w, const ActivationOperand &x,
                 // Eq. (6): wsum over the weight columns of uncompressed
                 // activation vectors (the CS reuses the slices already
                 // loaded); compensation applied once per output block.
-                wsum.fill(0);
-                for (std::size_t t = 0; t < nxd; ++t) {
-                    const std::size_t k =
-                        (xd.identity || xd_full) ? t : xlist[t];
-                    const std::int32_t *tt = ttpack.data() + k * uv;
+                // Computed via whichever side of the dense/compressed
+                // partition is shorter - full-sum minus complement is
+                // the same exact int64 value as the direct sum.
+                if (xd.identity || xd_full) {
+                    wsum = ttfull;
+                } else if (2 * nxd >= kk) {
+                    wsum.fill(0);
+                    const std::uint32_t *cl = xd.clist(ng);
+                    const std::size_t nc = xd.ccount(ng);
+                    for (std::size_t t = 0; t < nc; ++t) {
+                        const std::int32_t *tt =
+                            ttpack.data() + cl[t] * uv;
+                        for (int i = 0; i < v; ++i)
+                            wsum[static_cast<std::size_t>(i)] += tt[i];
+                    }
                     for (int i = 0; i < v; ++i)
-                        wsum[static_cast<std::size_t>(i)] += tt[i];
+                        wsum[static_cast<std::size_t>(i)] =
+                            ttfull[static_cast<std::size_t>(i)] -
+                            wsum[static_cast<std::size_t>(i)];
+                } else {
+                    wsum.fill(0);
+                    for (std::size_t t = 0; t < nxd; ++t) {
+                        const std::int32_t *tt =
+                            ttpack.data() + xlist[t] * uv;
+                        for (int i = 0; i < v; ++i)
+                            wsum[static_cast<std::size_t>(i)] += tt[i];
+                    }
                 }
                 if (cfg.useEq6) {
                     local.compAdds += static_cast<std::uint64_t>(nxd) *
@@ -606,7 +529,13 @@ aqsGemm(const WeightOperand &w, const ActivationOperand &x,
     const std::size_t x_levels = x.sliced.levels();
 
     // Activation-side skip lists, shared read-only by every band.
-    const ActSkipLists xd = buildActSkipLists(x, cfg, kk, n_groups);
+    const detail::SkipLists xd = buildActSkipLists(x, cfg);
+
+    // Micro-kernel row for the active ISA level, resolved once per
+    // call: all variants are exact-integer and order-insensitive, so
+    // the level changes throughput only, never results.
+    const detail::PairPassKernels &kern =
+        detail::pairPassKernels(activeIsaLevel());
 
     // Widened activation planes (int16, same [k][n] layout): the pair
     // passes run on 16-bit operands so two reduction steps fit one
@@ -617,8 +546,32 @@ aqsGemm(const WeightOperand &w, const ActivationOperand &x,
     if (x.widenedPlanes.size() == x_levels * kk * n) {
         x16 = x.widenedPlanes.data();
     } else {
-        x16_local = widenActivationPlanes(x.sliced);
+        x16_local = detail::widenSlicePlanes(x.sliced);
         x16 = x16_local.data();
+    }
+
+    // Paired-stream activation planes for the AVX2+ streaming passes;
+    // like the widened planes they are precomputed by
+    // prepareActivations* and rebuilt here only for hand-built
+    // operands (and only when a streaming kernel exists).
+    const std::size_t paired_size = x_levels * n_groups *
+                                    detail::pairCount(kk) *
+                                    (2 * static_cast<std::size_t>(v));
+    std::vector<std::int16_t> xq_local;
+    const std::int16_t *xq = nullptr;
+    // The byte size alone cannot distinguish layouts built for a
+    // different v (it is v-independent); the mask width pins it. The
+    // local rebuild also requires a well-shaped mask: hand-built
+    // operands may leave hoMask empty under ActSkipMode::None (the one
+    // mode that never reads it) - then xq stays null and the gather
+    // path runs.
+    const bool mask_ok =
+        x.hoMask.rows() == kk && x.hoMask.cols() == n_groups;
+    if (x.pairedPlanes.size() == paired_size && mask_ok) {
+        xq = x.pairedPlanes.data();
+    } else if (kern.stream4 != nullptr && v == 4 && mask_ok) {
+        xq_local = detail::pairedSlicePlanes(x.sliced, v, &x.hoMask);
+        xq = xq_local.data();
     }
 
     MatrixI64 acc(m, n);
@@ -631,9 +584,11 @@ aqsGemm(const WeightOperand &w, const ActivationOperand &x,
     parallelFor(0, m_groups, [&](std::size_t b, std::size_t e, int c) {
         AqsStats &part = partial[static_cast<std::size_t>(c)];
         if (v == 4)
-            blockedBand<4>(w, x, cfg, xd, x16, b, e, acc, part);
+            blockedBand<4>(w, x, cfg, kern, xd, x16, xq, b, e, acc,
+                           part);
         else
-            blockedBand<0>(w, x, cfg, xd, x16, b, e, acc, part);
+            blockedBand<0>(w, x, cfg, kern, xd, x16, xq, b, e, acc,
+                           part);
     });
 
     AqsStats local;

@@ -19,6 +19,13 @@
  * The engine is functional (it produces the bit-exact integer GEMM
  * result) and fully counted: every multiply, add and nibble of traffic
  * is tallied so Table I and the energy model can be validated against it.
+ *
+ * Determinism guarantees (enforced by tests/test_kernel_parity.cpp):
+ * aqsGemm() returns results AND statistics bit-identical to
+ * aqsGemmReference() for every thread count (PANACEA_THREADS) and every
+ * micro-kernel ISA level (PANACEA_ISA; see util/cpu_features.h and the
+ * dispatch table in core/pair_pass.h). Threading and vectorization only
+ * change throughput, never a single output or counter bit.
  */
 
 #ifndef PANACEA_CORE_AQS_GEMM_H
@@ -79,6 +86,15 @@ struct ActivationOperand
      * the kernel re-widens, or the engines diverge silently.
      */
     std::vector<std::int16_t> widenedPlanes;
+    /**
+     * Pre-interleaved step-pair copies of the slice planes, blocked per
+     * column group, with compressed HO vectors stored as zeros (see
+     * detail::pairedSlicePlanes): the operand of the AVX2/AVX-512
+     * streaming pair passes. Optional, same invariant as
+     * `widenedPlanes`: derived from `sliced` + `hoMask`; clear() after
+     * mutating either, or the engines diverge silently.
+     */
+    std::vector<std::int16_t> pairedPlanes;
 };
 
 /** Execution statistics of one AQS-GEMM call. */
@@ -160,6 +176,14 @@ ActivationOperand prepareActivationsDbs(const MatrixI32 &codes, int lo_bits,
  * Execute the AQS-GEMM: returns the bit-exact integer accumulator
  * W_codes * x_codes (for DBS, over the LSB-masked effective activation
  * codes). Statistics are accumulated into *stats when non-null.
+ *
+ * Preconditions: operands prepared with the same cfg.v (M and N must be
+ * divisible by v); W is M x K, x is K x N. The blocked kernel runs for
+ * v <= 16 and K < 2^22 (the int32 pair-accumulator exactness domain)
+ * and falls back to the scalar reference outside it. Parallel over the
+ * shared pool and vectorized per the active ISA level — bit-identical
+ * to aqsGemmReference() in both results and statistics either way
+ * (parity-checked in tests/test_kernel_parity.cpp).
  */
 MatrixI64 aqsGemm(const WeightOperand &w, const ActivationOperand &x,
                   const AqsConfig &cfg, AqsStats *stats = nullptr);

@@ -3,7 +3,10 @@
 #include <array>
 #include <vector>
 
+#include "core/operand_pack.h"
+#include "core/pair_pass.h"
 #include "slicing/sparsity.h"
+#include "util/cpu_features.h"
 #include "util/logging.h"
 #include "util/parallel_for.h"
 
@@ -60,15 +63,10 @@ struct LegacyBandCounters
 };
 
 /**
- * Register-blocked band [mg0, mg1) of the legacy bit-slice GEMM: same
- * structure as the AQS kernel (per-tile skip list, hoisted plane/row
- * pointers, micro-tile in registers, one write-back), but with the
- * single-sided zero-vector skipping of Sibia and no compensation.
- */
-/**
  * Scalar band fallback for vector lengths beyond the static micro-tile
- * bound (v > 16): the original per-element loop nest, band-partitioned
- * so it still runs under the pool.
+ * bound (v > 16) and for reduction depths beyond the int32 pair-
+ * accumulator guard: the original per-element loop nest, band-
+ * partitioned so it still runs under the pool.
  */
 void
 legacyBandScalar(const SlicedMatrix &w, const SlicedMatrix &x, int v,
@@ -119,98 +117,167 @@ legacyBandScalar(const SlicedMatrix &w, const SlicedMatrix &x, int v,
     }
 }
 
+/**
+ * Register-blocked band [mg0, mg1) of the legacy bit-slice GEMM: the
+ * same packed-operand, skip-list-driven pair-pass structure as the AQS
+ * kernel (core/pair_pass.h), but with the single-sided zero-vector
+ * skipping of Sibia and no compensation. Per m-group the v weight rows
+ * of every slice plane are packed into a widened int16 [k][i] tile;
+ * per (mg, ng) tile one pair pass runs per (weight-plane,
+ * activation-plane) combination - the weight skip list when the HO
+ * weight plane participates under weight-side skipping, the activation
+ * skip list when the HO activation plane participates under
+ * activation-side skipping, all steps otherwise. Pair sums accumulate
+ * unshifted in int32 (|product| <= 64, guarded in legacyBitsliceGemm)
+ * and merge into the int64 micro-tile with their positional shift.
+ * Counters fall out of the list lengths, so results and statistics are
+ * bit-identical to the scalar band for any thread count or ISA level.
+ */
 template <int VT>
 void
 legacyBand(const SlicedMatrix &w, const SlicedMatrix &x, int v_in,
            bool skip_weight, const MatrixU8 &w_mask,
-           const MatrixU8 &x_mask_t, std::size_t mg0, std::size_t mg1,
-           MatrixI64 &acc, LegacyBandCounters &counters)
+           const detail::SkipLists &xd, const std::int16_t *x16,
+           const std::int16_t *xq, const detail::PairPassKernels &kern,
+           std::size_t mg0, std::size_t mg1, MatrixI64 &acc,
+           LegacyBandCounters &counters)
 {
     const int v = VT > 0 ? VT : v_in;
     constexpr int TV = VT > 0 ? VT : 16;
     panic_if(v > TV, "legacy blocked kernel supports v <= ", TV);
+    const std::size_t uv = static_cast<std::size_t>(v);
 
     const std::size_t kk = w.cols();
     const std::size_t n = x.cols();
-    const std::size_t n_groups = n / static_cast<std::size_t>(v);
+    const std::size_t n_groups = n / uv;
     const std::size_t w_levels = w.levels();
     const std::size_t x_levels = x.levels();
     const std::size_t w_ho = w_levels - 1;
     const std::size_t x_ho = x_levels - 1;
+    const std::uint64_t dense_per_tile =
+        static_cast<std::uint64_t>(kk) * w_levels * x_levels;
 
-    std::vector<const Slice *> wbase(w_levels), xbase(x_levels);
-    std::vector<int> wshift(w_levels), xshift(x_levels);
-    for (std::size_t wl = 0; wl < w_levels; ++wl) {
-        wbase[wl] = w.planes[wl].data.data().data();
-        wshift[wl] = w.planes[wl].shift;
-    }
+    std::vector<const std::int16_t *> xbase(x_levels);
+    std::vector<int> xshift(x_levels);
     for (std::size_t xl = 0; xl < x_levels; ++xl) {
-        xbase[xl] = x.planes[xl].data.data().data();
+        xbase[xl] = x16 + xl * kk * n;
         xshift[xl] = x.planes[xl].shift;
     }
 
-    std::vector<const Slice *> wrows(w_levels *
-                                     static_cast<std::size_t>(v));
+    // Streaming fast path (AVX2+): dense masked passes over the
+    // pre-interleaved operands replace skip-list gathers whenever the
+    // list covers at least half the steps; stats always come from the
+    // list lengths, so the choice never changes results or counters.
+    const bool stream_ok =
+        VT == 4 && kern.stream4 != nullptr && xq != nullptr;
+    const std::size_t kkp = detail::pairCount(kk);
+    const std::size_t pw = 2 * uv;
+
+    // Per-band scratch, allocated once and reused for every m-group.
+    std::vector<std::int16_t> wpack(w_levels * kk * uv);
+    std::vector<std::int16_t> wq, wqm;
+    std::vector<std::uint32_t> wd;
+    wd.reserve(kk);
+    std::array<std::int32_t, TV * TV> pacc;
     std::array<std::int64_t, TV * TV> tile;
-    std::array<std::int64_t, TV> ws;
 
     for (std::size_t mg = mg0; mg < mg1; ++mg) {
-        const std::uint8_t *wmask =
-            skip_weight ? w_mask.row(mg).data() : nullptr;
-        for (std::size_t wl = 0; wl < w_levels; ++wl)
-            for (int i = 0; i < v; ++i)
-                wrows[wl * static_cast<std::size_t>(v) +
-                      static_cast<std::size_t>(i)] =
-                    wbase[wl] + (mg * static_cast<std::size_t>(v) +
-                                 static_cast<std::size_t>(i)) * kk;
+        // Weight-side skip list: dense reduction steps for this band.
+        wd.clear();
+        bool wd_full = true;
+        if (skip_weight) {
+            const std::uint8_t *wmask = w_mask.row(mg).data();
+            for (std::size_t k = 0; k < kk; ++k)
+                if (wmask[k] == 0)
+                    wd.push_back(static_cast<std::uint32_t>(k));
+            wd_full = wd.size() == kk;
+        }
+
+        // Pack the band's weight rows, widened: wpack[(wl*kk + k)*v + i].
+        for (std::size_t wl = 0; wl < w_levels; ++wl) {
+            const Slice *base = w.planes[wl].data.data().data();
+            std::int16_t *dst = wpack.data() + wl * kk * uv;
+            for (int i = 0; i < v; ++i) {
+                const Slice *src =
+                    base + (mg * uv + static_cast<std::size_t>(i)) * kk;
+                for (std::size_t k = 0; k < kk; ++k)
+                    dst[k * uv + static_cast<std::size_t>(i)] = src[k];
+            }
+        }
+
+        // Paired-stream weight operands (unmasked + masked HO when a
+        // streamed HO_w pass could read it; see operand_pack.h).
+        if (stream_ok)
+            detail::packStreamWeightOperands(
+                w, mg, v,
+                skip_weight ? w_mask.row(mg).data() : nullptr,
+                skip_weight ? wd.size() : kk, wq, wqm);
 
         for (std::size_t ng = 0; ng < n_groups; ++ng) {
-            const std::uint8_t *xmask =
-                skip_weight ? nullptr : x_mask_t.row(ng).data();
-            const std::size_t ng_off = ng * static_cast<std::size_t>(v);
+            const std::uint32_t *xlist =
+                skip_weight ? nullptr : xd.list(ng);
+            const std::size_t nxd = skip_weight ? kk : xd.count(ng);
+            const bool xd_full = nxd == kk;
+            const std::size_t ng_off = ng * uv;
+
             tile.fill(0);
+            std::uint64_t executed = 0;
 
-            for (std::size_t k = 0; k < kk; ++k) {
-                const bool w_comp = wmask && wmask[k] != 0;
-                const bool x_comp = xmask && xmask[k] != 0;
-
-                for (std::size_t wl = 0; wl < w_levels; ++wl) {
+            for (std::size_t wl = 0; wl < w_levels; ++wl) {
+                const std::int16_t *wp = wpack.data() + wl * kk * uv;
+                const int w_shift = w.planes[wl].shift;
+                for (std::size_t xl = 0; xl < x_levels; ++xl) {
                     // Skipping is legal whenever the *skipped operand's*
                     // HO slice participates: the product is then zero.
-                    if (w_comp && wl == w_ho) {
-                        counters.skipped += x_levels;
-                        continue;
+                    const std::uint32_t *ks;
+                    std::size_t nk;
+                    bool identity;
+                    if (skip_weight && wl == w_ho) {
+                        ks = wd_full ? nullptr : wd.data();
+                        nk = wd_full ? kk : wd.size();
+                        identity = wd_full;
+                    } else if (!skip_weight && xl == x_ho) {
+                        ks = xd_full ? nullptr : xlist;
+                        nk = nxd;
+                        identity = xd_full;
+                    } else {
+                        ks = nullptr;
+                        nk = kk;
+                        identity = true;
                     }
-                    const std::size_t wrow0 =
-                        wl * static_cast<std::size_t>(v);
-                    for (int i = 0; i < v; ++i)
-                        ws[static_cast<std::size_t>(i)] =
-                            wrows[wrow0 + static_cast<std::size_t>(i)][k];
 
-                    for (std::size_t xl = 0; xl < x_levels; ++xl) {
-                        if (x_comp && xl == x_ho) {
-                            ++counters.skipped;
-                            continue;
-                        }
-                        const Slice *xr = xbase[xl] + k * n + ng_off;
-                        const int shift = wshift[wl] + xshift[xl];
-                        ++counters.executed;
-                        for (int i = 0; i < v; ++i) {
-                            const std::int64_t wsi =
-                                ws[static_cast<std::size_t>(i)];
-                            std::int64_t *t = tile.data() + i * v;
-                            for (int j = 0; j < v; ++j)
-                                t[j] += (wsi * xr[j]) << shift;
-                        }
+                    if (stream_ok && detail::streamProfitable(nk, kk)) {
+                        const std::int16_t *wqp =
+                            (skip_weight && wl == w_ho && !wd_full)
+                                ? wqm.data()
+                                : wq.data() + wl * kkp * pw;
+                        const std::int16_t *xqp =
+                            xq + (xl * n_groups + ng) * kkp * pw;
+                        kern.stream4(wqp, xqp, kkp, pacc.data());
+                    } else if constexpr (VT == 4) {
+                        kern.pass4(wp, xbase[xl], n, ng_off, ks, nk,
+                                   identity, pacc.data());
+                    } else {
+                        kern.passGeneric(wp, xbase[xl], n, ng_off, ks,
+                                         nk, identity, v, pacc.data());
                     }
+                    executed += nk;
+
+                    const int shift = w_shift + xshift[xl];
+                    for (int e = 0; e < v * v; ++e)
+                        tile[static_cast<std::size_t>(e)] +=
+                            static_cast<std::int64_t>(
+                                pacc[static_cast<std::size_t>(e)])
+                            << shift;
                 }
             }
 
+            counters.executed += executed;
+            counters.skipped += dense_per_tile - executed;
+
             for (int i = 0; i < v; ++i) {
                 std::int64_t *arow =
-                    &acc(mg * static_cast<std::size_t>(v) +
-                             static_cast<std::size_t>(i),
-                         ng_off);
+                    &acc(mg * uv + static_cast<std::size_t>(i), ng_off);
                 const std::int64_t *t = tile.data() + i * v;
                 for (int j = 0; j < v; ++j)
                     arow[j] = t[j];
@@ -258,17 +325,43 @@ legacyBitsliceGemm(const SlicedMatrix &w, const SlicedMatrix &x, int v,
     local.denseOuterProducts =
         m_groups * n_groups * kk * w_levels * x_levels;
 
-    // The transposed activation mask is only dereferenced on the
-    // activation-skip path.
+    MatrixI64 acc(m, n);
+
+    // The int32 pair accumulators are exact while K * max|product|
+    // stays below 2^31 (|slice product| <= 8 * 8); beyond that, and
+    // beyond the static micro-tile bound, the scalar band (int64
+    // accumulation, identical counters) takes over.
+    const bool blocked = v <= 16 && kk < (std::size_t{1} << 25);
+
+    // Operands of the blocked path: activation-side skip lists, the
+    // int16 widened activation planes, and the ISA-dispatched
+    // micro-kernel row (see core/pair_pass.h).
+    detail::SkipLists xd;
+    std::vector<std::int16_t> x16;
+    if (blocked) {
+        if (!skip_weight)
+            xd = detail::buildSkipLists(x_mask);
+        x16 = detail::widenSlicePlanes(x);
+    }
+    const detail::PairPassKernels &kern =
+        detail::pairPassKernels(activeIsaLevel());
+
+    // Paired-stream activation planes for the AVX2+ streaming passes;
+    // the HO plane is pre-masked only under activation-side skipping.
+    std::vector<std::int16_t> xq;
+    if (blocked && v == 4 && kern.stream4 != nullptr)
+        xq = detail::pairedSlicePlanes(x, v,
+                                       skip_weight ? nullptr : &x_mask);
+
+    // The transposed activation mask is only dereferenced by the
+    // scalar fallback band on the activation-skip path.
     MatrixU8 x_mask_t;
-    if (!skip_weight) {
+    if (!blocked && !skip_weight) {
         x_mask_t = MatrixU8(n_groups, kk);
         for (std::size_t k = 0; k < kk; ++k)
             for (std::size_t ng = 0; ng < n_groups; ++ng)
                 x_mask_t(ng, k) = x_mask(k, ng);
     }
-
-    MatrixI64 acc(m, n);
 
     // Parallel over m-groups (disjoint accumulator rows); the per-band
     // counters are exact integer sums, so results and statistics are
@@ -278,15 +371,16 @@ legacyBitsliceGemm(const SlicedMatrix &w, const SlicedMatrix &x, int v,
         static_cast<std::size_t>(chunks));
     parallelFor(0, m_groups, [&](std::size_t b, std::size_t e, int c) {
         LegacyBandCounters &part = partial[static_cast<std::size_t>(c)];
-        if (v == 4)
-            legacyBand<4>(w, x, v, skip_weight, w_mask, x_mask_t, b, e,
-                          acc, part);
-        else if (v <= 16)
-            legacyBand<0>(w, x, v, skip_weight, w_mask, x_mask_t, b, e,
-                          acc, part);
-        else
+        if (!blocked)
             legacyBandScalar(w, x, v, skip_weight, w_mask, x_mask_t, b,
                              e, acc, part);
+        else if (v == 4)
+            legacyBand<4>(w, x, v, skip_weight, w_mask, xd, x16.data(),
+                          xq.empty() ? nullptr : xq.data(), kern, b, e,
+                          acc, part);
+        else
+            legacyBand<0>(w, x, v, skip_weight, w_mask, xd, x16.data(),
+                          nullptr, kern, b, e, acc, part);
     });
     for (const LegacyBandCounters &part : partial) {
         local.executedOuterProducts += part.executed;

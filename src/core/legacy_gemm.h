@@ -53,6 +53,15 @@ struct LegacyStats
 /**
  * Execute the legacy bit-slice GEMM on SBR-sliced operands.
  *
+ * Preconditions: M and N divisible by v; x.rows() == w.cols(). The
+ * packed pair-pass kernel runs for v <= 16 and K < 2^25 (the int32
+ * pair-accumulator exactness domain for |slice| <= 8 operands) and
+ * falls back to a scalar band outside it. Parallel over the shared
+ * pool and vectorized per the active ISA level (util/cpu_features.h);
+ * results and statistics are bit-identical for every thread count and
+ * ISA level, and always equal the dense intGemm of the reconstructed
+ * codes (parity-checked in tests/test_kernel_parity.cpp).
+ *
  * @param w SBR-sliced symmetric weight codes (M x K)
  * @param x SBR-sliced symmetric activation codes (K x N)
  * @param v slice-vector length

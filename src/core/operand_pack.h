@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Internal operand-preparation helpers shared by the blocked AQS-GEMM
+ * and legacy bit-slice GEMM kernels: per-n-group skip lists derived
+ * from an HO compression mask, and int16 widening of slice planes into
+ * the contiguous [level][k][n] layout the pair-pass micro-kernels read
+ * (see core/pair_pass.h).
+ */
+
+#ifndef PANACEA_CORE_OPERAND_PACK_H
+#define PANACEA_CORE_OPERAND_PACK_H
+
+#include <cstdint>
+#include <vector>
+
+#include "slicing/slice_tensor.h"
+#include "util/matrix.h"
+#include "util/parallel_for.h"
+
+namespace panacea {
+namespace detail {
+
+/**
+ * Per-n-group skip lists for the activation side, shared read-only by
+ * every band: ks[offsets[ng] .. offsets[ng+1]) are the reduction steps
+ * whose HO vector is NOT compressed (dense steps). `identity`
+ * short-circuits the indirection when no skipping is active.
+ */
+struct SkipLists
+{
+    bool identity = false;
+    std::vector<std::uint32_t> offsets;
+    std::vector<std::uint32_t> ks;
+    /// Complement lists (the COMPRESSED steps), for reductions that
+    /// iterate whichever side of the partition is shorter.
+    std::vector<std::uint32_t> coffsets;
+    std::vector<std::uint32_t> cks;
+
+    std::size_t
+    count(std::size_t ng) const
+    {
+        return offsets[ng + 1] - offsets[ng];
+    }
+    const std::uint32_t *
+    list(std::size_t ng) const
+    {
+        return ks.data() + offsets[ng];
+    }
+    std::size_t
+    ccount(std::size_t ng) const
+    {
+        return coffsets[ng + 1] - coffsets[ng];
+    }
+    const std::uint32_t *
+    clist(std::size_t ng) const
+    {
+        return cks.data() + coffsets[ng];
+    }
+};
+
+/**
+ * Build skip lists from a K x (N/v) compression mask: list ng holds the
+ * k with mask(k, ng) == 0, in increasing order (complement list: the
+ * k with mask(k, ng) != 0).
+ */
+inline SkipLists
+buildSkipLists(const MatrixU8 &mask)
+{
+    SkipLists out;
+    const std::size_t kk = mask.rows();
+    const std::size_t n_groups = mask.cols();
+    out.offsets.resize(n_groups + 1, 0);
+    out.coffsets.resize(n_groups + 1, 0);
+    out.ks.reserve(n_groups * kk);
+    for (std::size_t ng = 0; ng < n_groups; ++ng) {
+        for (std::size_t k = 0; k < kk; ++k) {
+            if (mask(k, ng) == 0)
+                out.ks.push_back(static_cast<std::uint32_t>(k));
+            else
+                out.cks.push_back(static_cast<std::uint32_t>(k));
+        }
+        out.offsets[ng + 1] = static_cast<std::uint32_t>(out.ks.size());
+        out.coffsets[ng + 1] = static_cast<std::uint32_t>(out.cks.size());
+    }
+    return out;
+}
+
+/** @return step pairs covering kk reduction steps (odd kk pads one). */
+inline std::size_t
+pairCount(std::size_t kk)
+{
+    return (kk + 1) / 2;
+}
+
+/**
+ * Pre-interleaved ("paired") copies of a matrix's slice planes for the
+ * streaming pair passes (PairStream4Fn in core/pair_pass.h), blocked
+ * per column group so a pass reads one contiguous run:
+ *
+ *   out[((l * n_groups + ng) * kkp + k2) * 2v + 2j + s]
+ *     = plane_l(2*k2 + s, ng*v + j)
+ *
+ * with kkp = pairCount(kk); an odd trailing step stays zero. When
+ * `ho_mask` (K x N/v, 1 = compressed) is non-null, the HO plane's
+ * compressed vectors are stored as zeros, so a dense stream over the
+ * masked plane sums exactly the skip list's dense steps. Parallel over
+ * column groups; chunks write disjoint blocks of the pre-sized output,
+ * so the result is byte-identical for any thread count.
+ */
+inline std::vector<std::int16_t>
+pairedSlicePlanes(const SlicedMatrix &sliced, int v,
+                  const MatrixU8 *ho_mask)
+{
+    const std::size_t kk = sliced.rows();
+    const std::size_t n = sliced.cols();
+    const std::size_t levels = sliced.levels();
+    const std::size_t uv = static_cast<std::size_t>(v);
+    const std::size_t n_groups = n / uv;
+    const std::size_t kkp = pairCount(kk);
+    const std::size_t pw = 2 * uv;
+    std::vector<std::int16_t> out(levels * n_groups * kkp * pw, 0);
+    for (std::size_t l = 0; l < levels; ++l) {
+        const Slice *src = sliced.planes[l].data.data().data();
+        const bool is_ho = l + 1 == levels;
+        parallelFor(0, n_groups, [&](std::size_t b, std::size_t e, int) {
+            for (std::size_t ng = b; ng < e; ++ng) {
+                std::int16_t *dst =
+                    out.data() + (l * n_groups + ng) * kkp * pw;
+                for (std::size_t k = 0; k < kk; ++k) {
+                    if (is_ho && ho_mask && (*ho_mask)(k, ng) != 0)
+                        continue; // compressed vector stays zero
+                    const Slice *row = src + k * n + ng * uv;
+                    std::int16_t *cell =
+                        dst + (k >> 1) * pw + (k & 1);
+                    for (std::size_t j = 0; j < uv; ++j)
+                        cell[2 * j] = row[j];
+                }
+            }
+        });
+    }
+    return out;
+}
+
+/**
+ * Pack one m-band's v rows of every slice plane into the paired-stream
+ * layout: wq[(l * kkp + k2) * 2v + 2i + s] = plane_l(mg*v + i, 2*k2+s).
+ * Reuses the vector's storage across bands (assign, not reallocate).
+ */
+inline void
+packWeightBandPaired(const SlicedMatrix &w, std::size_t mg, int v,
+                     std::vector<std::int16_t> &wq)
+{
+    const std::size_t kk = w.cols();
+    const std::size_t levels = w.levels();
+    const std::size_t uv = static_cast<std::size_t>(v);
+    const std::size_t kkp = pairCount(kk);
+    const std::size_t pw = 2 * uv;
+    wq.assign(levels * kkp * pw, 0);
+    for (std::size_t l = 0; l < levels; ++l) {
+        const Slice *base = w.planes[l].data.data().data();
+        std::int16_t *dst = wq.data() + l * kkp * pw;
+        for (std::size_t i = 0; i < uv; ++i) {
+            const Slice *src = base + (mg * uv + i) * kk;
+            for (std::size_t k = 0; k < kk; ++k)
+                dst[(k >> 1) * pw + 2 * i + (k & 1)] = src[k];
+        }
+    }
+}
+
+/**
+ * Stream-vs-gather cost model, shared by both GEMM engines AND the
+ * masked-operand materialization precondition below: a dense masked
+ * stream over all kk steps beats gathering an nk-long skip list once
+ * the list covers at least half the steps (the stream's per-step cost
+ * is roughly half the gather's).
+ */
+inline bool
+streamProfitable(std::size_t nk, std::size_t kk)
+{
+    return 2 * nk >= kk;
+}
+
+/**
+ * Masked copy of one paired band plane (kkp * 2v int16): steps with
+ * mask_row[k] != 0 are zeroed, so a dense stream over the copy sums
+ * exactly the dense-step list of this band.
+ */
+inline void
+maskBandPlanePaired(const std::int16_t *src,
+                    const std::uint8_t *mask_row, std::size_t kk, int v,
+                    std::vector<std::int16_t> &out)
+{
+    const std::size_t uv = static_cast<std::size_t>(v);
+    const std::size_t kkp = pairCount(kk);
+    const std::size_t pw = 2 * uv;
+    out.assign(kkp * pw, 0);
+    for (std::size_t k = 0; k < kk; ++k) {
+        if (mask_row[k] != 0)
+            continue;
+        const std::size_t base = (k >> 1) * pw + (k & 1);
+        for (std::size_t i = 0; i < uv; ++i)
+            out[base + 2 * i] = src[base + 2 * i];
+    }
+}
+
+/**
+ * Pack one band's paired-stream weight operands: the unmasked pack
+ * always, and the masked HO copy only when a streamed HO_w pass could
+ * actually read it - the band's dense-step list (length wd_size) must
+ * be incomplete AND clear the streamProfitable() threshold; every
+ * HO_w stream's list is at most wd_size long, so below the threshold
+ * the copy is provably dead. Pass ho_mask_row = nullptr when weight
+ * skipping is off. Keeping this precondition next to the cost model
+ * is what lets the two engines share one policy.
+ */
+inline void
+packStreamWeightOperands(const SlicedMatrix &w, std::size_t mg, int v,
+                         const std::uint8_t *ho_mask_row,
+                         std::size_t wd_size, std::vector<std::int16_t> &wq,
+                         std::vector<std::int16_t> &wqm)
+{
+    packWeightBandPaired(w, mg, v, wq);
+    const std::size_t kk = w.cols();
+    if (ho_mask_row != nullptr && wd_size != kk &&
+        streamProfitable(wd_size, kk)) {
+        const std::size_t ho_off =
+            (w.levels() - 1) * pairCount(kk) * 2 *
+            static_cast<std::size_t>(v);
+        maskBandPlanePaired(wq.data() + ho_off, ho_mask_row, kk, v, wqm);
+    }
+}
+
+/**
+ * Widened (int16) copies of a matrix's slice planes, [level][k][n]: the
+ * operand format of the pair passes' 16-bit multiplies. Parallel over
+ * rows; every chunk writes disjoint elements of the pre-sized output,
+ * so the result is byte-identical for any thread count.
+ */
+inline std::vector<std::int16_t>
+widenSlicePlanes(const SlicedMatrix &sliced)
+{
+    const std::size_t kk = sliced.rows();
+    const std::size_t n = sliced.cols();
+    const std::size_t levels = sliced.levels();
+    std::vector<std::int16_t> out(levels * kk * n);
+    for (std::size_t xl = 0; xl < levels; ++xl) {
+        const Slice *src = sliced.planes[xl].data.data().data();
+        std::int16_t *dst = out.data() + xl * kk * n;
+        parallelFor(0, kk, [&](std::size_t b, std::size_t e, int) {
+            for (std::size_t k = b; k < e; ++k)
+                for (std::size_t j = 0; j < n; ++j)
+                    dst[k * n + j] = src[k * n + j];
+        });
+    }
+    return out;
+}
+
+} // namespace detail
+} // namespace panacea
+
+#endif // PANACEA_CORE_OPERAND_PACK_H

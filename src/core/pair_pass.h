@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Internal micro-kernel interface of the bit-slice GEMM engines: the
+ * "pair pass" - one branch-free sweep of a (weight-plane,
+ * activation-plane) combination over a skip list of dense reduction
+ * steps - and the runtime ISA-dispatch table that selects its widest
+ * available implementation (scalar / SSE2 / AVX2 / AVX-512).
+ *
+ * Contract shared by every variant (and relied on for cross-ISA
+ * parity):
+ *
+ *  - `wp` is the band's packed weight tile for one slice plane:
+ *    wp[k * v + i] is the widened (int16) slice of output row i at
+ *    reduction step k, contiguous per step.
+ *  - `xp` is the widened (int16) activation plane, row-major [k][n];
+ *    the pass reads the v elements at xp[k * n + ng_off].
+ *  - `ks`/`nk`/`identity` name the dense reduction steps: when
+ *    `identity` is true the steps are 0..nk-1 and `ks` may be null,
+ *    otherwise ks[0..nk) holds them in increasing order.
+ *  - `pacc` is the v x v row-major int32 pair accumulator. The pass
+ *    OVERWRITES it with sum_k w[k][i] * x[k][j] (no positional shift;
+ *    the caller applies `<< shift` when merging into the int64 tile).
+ *  - Arithmetic must be exact: every pacc element is the exact int32
+ *    sum of exact int16 x int16 products. Integer addition commutes,
+ *    so any vectorization order yields bit-identical results; callers
+ *    guarantee no int32 overflow (see the kk guards in aqs_gemm.cpp /
+ *    legacy_gemm.cpp).
+ *
+ * The AVX2/AVX-512 translation units are compiled with their ISA flags
+ * only when the compiler supports them (PANACEA_HAVE_*_KERNELS);
+ * pairPassKernels() additionally clamps to what the host CPU reports,
+ * so dispatch is always safe.
+ */
+
+#ifndef PANACEA_CORE_PAIR_PASS_H
+#define PANACEA_CORE_PAIR_PASS_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/cpu_features.h"
+
+namespace panacea {
+namespace detail {
+
+/** Fixed v = 4 pair pass (the paper-default vector length). */
+using PairPass4Fn = void (*)(const std::int16_t *wp,
+                             const std::int16_t *xp, std::size_t n,
+                             std::size_t ng_off, const std::uint32_t *ks,
+                             std::size_t nk, bool identity,
+                             std::int32_t *pacc);
+
+/** Runtime-v pair pass (1 <= v <= 16). */
+using PairPassGenericFn = void (*)(const std::int16_t *wp,
+                                   const std::int16_t *xp, std::size_t n,
+                                   std::size_t ng_off,
+                                   const std::uint32_t *ks, std::size_t nk,
+                                   bool identity, int v,
+                                   std::int32_t *pacc);
+
+/**
+ * Streaming v = 4 pair pass over PRE-INTERLEAVED operands. `wq` and
+ * `xq` hold `pairs` step pairs contiguously, 8 int16 each:
+ * wq[p*8 + 2*i + s] is the weight slice of output row i at reduction
+ * step 2p+s, xq[p*8 + 2*j + s] the activation slice of output column j
+ * (an odd trailing step is padded with zeros on both operands). The
+ * gather kernels' per-step loads and interleaves become one wide
+ * contiguous load per operand, which is what makes the AVX2/AVX-512
+ * tiers beat SSE2 on dense passes. The engines substitute a
+ * masked-dense stream for a skip-list gather when the list is dense
+ * (compressed steps are pre-zeroed in wq/xq, so their products vanish
+ * and the sum is bit-identical to the gathered one). OVERWRITES pacc.
+ */
+using PairStream4Fn = void (*)(const std::int16_t *wq,
+                               const std::int16_t *xq, std::size_t pairs,
+                               std::int32_t *pacc);
+
+/** One row of the ISA-dispatch table. */
+struct PairPassKernels
+{
+    IsaLevel level = IsaLevel::Scalar; ///< nominal tier of this row
+    PairPass4Fn pass4 = nullptr;
+    PairPassGenericFn passGeneric = nullptr;
+    /**
+     * Null below Avx2: the SSE2 tier stays exactly PR 1's gather
+     * kernel, which keeps the per-ISA bench comparison honest and the
+     * paired-operand build optional.
+     */
+    PairStream4Fn stream4 = nullptr;
+};
+
+/**
+ * The dispatch table row for an ISA level, clamped to
+ * min(detectedIsaLevel(), compiledIsaLevel()). A tier without its own
+ * variant inherits the next-lower implementation (e.g. the SSE2 row
+ * keeps the scalar generic-v kernel), so every returned row is fully
+ * populated and every function pointer is runnable on this host.
+ */
+const PairPassKernels &pairPassKernels(IsaLevel level);
+
+// Per-ISA implementations. Declared unconditionally; the AVX2/AVX-512
+// symbols are only referenced (and defined) when the matching
+// PANACEA_HAVE_*_KERNELS macro is set at configure time.
+void pairPass4Scalar(const std::int16_t *wp, const std::int16_t *xp,
+                     std::size_t n, std::size_t ng_off,
+                     const std::uint32_t *ks, std::size_t nk,
+                     bool identity, std::int32_t *pacc);
+void pairPassGenericScalar(const std::int16_t *wp, const std::int16_t *xp,
+                           std::size_t n, std::size_t ng_off,
+                           const std::uint32_t *ks, std::size_t nk,
+                           bool identity, int v, std::int32_t *pacc);
+void pairPass4Sse2(const std::int16_t *wp, const std::int16_t *xp,
+                   std::size_t n, std::size_t ng_off,
+                   const std::uint32_t *ks, std::size_t nk, bool identity,
+                   std::int32_t *pacc);
+void pairPass4Avx2(const std::int16_t *wp, const std::int16_t *xp,
+                   std::size_t n, std::size_t ng_off,
+                   const std::uint32_t *ks, std::size_t nk, bool identity,
+                   std::int32_t *pacc);
+void pairStream4Avx2(const std::int16_t *wq, const std::int16_t *xq,
+                     std::size_t pairs, std::int32_t *pacc);
+void pairPassGenericAvx2(const std::int16_t *wp, const std::int16_t *xp,
+                         std::size_t n, std::size_t ng_off,
+                         const std::uint32_t *ks, std::size_t nk,
+                         bool identity, int v, std::int32_t *pacc);
+void pairPass4Avx512(const std::int16_t *wp, const std::int16_t *xp,
+                     std::size_t n, std::size_t ng_off,
+                     const std::uint32_t *ks, std::size_t nk,
+                     bool identity, std::int32_t *pacc);
+void pairStream4Avx512(const std::int16_t *wq, const std::int16_t *xq,
+                       std::size_t pairs, std::int32_t *pacc);
+void pairPassGenericAvx512(const std::int16_t *wp, const std::int16_t *xp,
+                           std::size_t n, std::size_t ng_off,
+                           const std::uint32_t *ks, std::size_t nk,
+                           bool identity, int v, std::int32_t *pacc);
+
+} // namespace detail
+} // namespace panacea
+
+#endif // PANACEA_CORE_PAIR_PASS_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/parallel_for.h"
 
 namespace panacea {
 
@@ -108,19 +109,24 @@ encodeWeightPlane(const Matrix<Slice> &plane, int v, int index_bits)
     panic_if(plane.rows() % v != 0, "weight rows ", plane.rows(),
              " not divisible by v=", v);
 
-    std::vector<RleStream> streams;
-    streams.reserve(plane.rows() / v);
-    std::vector<Slice> scratch(plane.cols() * static_cast<std::size_t>(v));
-
-    for (std::size_t g = 0; g < plane.rows() / v; ++g) {
-        // Gather column vectors: vector k holds rows [g*v, g*v+v) of
-        // column k.
-        for (std::size_t k = 0; k < plane.cols(); ++k)
-            for (int i = 0; i < v; ++i)
-                scratch[k * v + i] = plane(g * v + i, k);
-        streams.push_back(RleStream::encode(scratch, plane.cols(), v,
-                                            /*fill=*/0, index_bits));
-    }
+    // Parallel over row bands: stream g depends only on band g, and
+    // every chunk writes its own pre-sized slots, so the result is
+    // identical for any thread count.
+    std::vector<RleStream> streams(plane.rows() / v);
+    parallelFor(0, streams.size(), [&](std::size_t b, std::size_t e,
+                                       int) {
+        std::vector<Slice> scratch(plane.cols() *
+                                   static_cast<std::size_t>(v));
+        for (std::size_t g = b; g < e; ++g) {
+            // Gather column vectors: vector k holds rows [g*v, g*v+v)
+            // of column k.
+            for (std::size_t k = 0; k < plane.cols(); ++k)
+                for (int i = 0; i < v; ++i)
+                    scratch[k * v + i] = plane(g * v + i, k);
+            streams[g] = RleStream::encode(scratch, plane.cols(), v,
+                                           /*fill=*/0, index_bits);
+        }
+    });
     return streams;
 }
 
@@ -131,19 +137,23 @@ encodeActivationPlane(const Matrix<Slice> &plane, int v, Slice r,
     panic_if(plane.cols() % v != 0, "activation cols ", plane.cols(),
              " not divisible by v=", v);
 
-    std::vector<RleStream> streams;
-    streams.reserve(plane.cols() / v);
-    std::vector<Slice> scratch(plane.rows() * static_cast<std::size_t>(v));
-
-    for (std::size_t g = 0; g < plane.cols() / v; ++g) {
-        // Gather row vectors: vector k holds columns [g*v, g*v+v) of
-        // row k.
-        for (std::size_t k = 0; k < plane.rows(); ++k)
-            for (int i = 0; i < v; ++i)
-                scratch[k * v + i] = plane(k, g * v + i);
-        streams.push_back(RleStream::encode(scratch, plane.rows(), v, r,
-                                            index_bits));
-    }
+    // Parallel over column bands (disjoint pre-sized slots; see
+    // encodeWeightPlane).
+    std::vector<RleStream> streams(plane.cols() / v);
+    parallelFor(0, streams.size(), [&](std::size_t b, std::size_t e,
+                                       int) {
+        std::vector<Slice> scratch(plane.rows() *
+                                   static_cast<std::size_t>(v));
+        for (std::size_t g = b; g < e; ++g) {
+            // Gather row vectors: vector k holds columns [g*v, g*v+v)
+            // of row k.
+            for (std::size_t k = 0; k < plane.rows(); ++k)
+                for (int i = 0; i < v; ++i)
+                    scratch[k * v + i] = plane(k, g * v + i);
+            streams[g] = RleStream::encode(scratch, plane.rows(), v, r,
+                                           index_bits);
+        }
+    });
     return streams;
 }
 

@@ -3,6 +3,7 @@
 #include "slicing/sbr.h"
 #include "slicing/straightforward.h"
 #include "util/logging.h"
+#include "util/parallel_for.h"
 
 namespace panacea {
 
@@ -11,12 +12,18 @@ SlicedMatrix::reconstruct() const
 {
     panic_if(planes.empty(), "reconstruct of empty SlicedMatrix");
     MatrixI32 out(rows(), cols());
-    for (const SlicePlane &plane : planes) {
-        auto src = plane.data.data();
-        auto dst = out.data();
-        for (std::size_t i = 0; i < src.size(); ++i)
-            dst[i] += static_cast<std::int32_t>(src[i]) << plane.shift;
-    }
+    // Parallel over disjoint element ranges; each chunk sums its
+    // elements across all planes, so the result is identical for any
+    // thread count.
+    auto dst = out.data();
+    parallelFor(0, dst.size(), [&](std::size_t b, std::size_t e, int) {
+        for (const SlicePlane &plane : planes) {
+            auto src = plane.data.data();
+            for (std::size_t i = b; i < e; ++i)
+                dst[i] += static_cast<std::int32_t>(src[i])
+                          << plane.shift;
+        }
+    });
     return out;
 }
 
@@ -34,15 +41,20 @@ sbrSliceMatrix(const MatrixI32 &codes, int n)
         sliced.planes[level].high = level == n;
     }
 
-    Slice scratch[12];
     panic_if(n + 1 > 12, "unsupported SBR slice count");
-    for (std::size_t r = 0; r < codes.rows(); ++r) {
-        for (std::size_t c = 0; c < codes.cols(); ++c) {
-            sbrEncodeInto(codes(r, c), n, scratch);
-            for (int level = 0; level <= n; ++level)
-                sliced.planes[level].data(r, c) = scratch[level];
+    // Parallel over rows: every chunk encodes its own rows into
+    // disjoint plane elements, so slicing is byte-identical for any
+    // thread count.
+    parallelFor(0, codes.rows(), [&](std::size_t b, std::size_t e, int) {
+        Slice scratch[12];
+        for (std::size_t r = b; r < e; ++r) {
+            for (std::size_t c = 0; c < codes.cols(); ++c) {
+                sbrEncodeInto(codes(r, c), n, scratch);
+                for (int level = 0; level <= n; ++level)
+                    sliced.planes[level].data(r, c) = scratch[level];
+            }
         }
-    }
+    });
     return sliced;
 }
 
@@ -60,18 +72,21 @@ activationSliceMatrix(const MatrixI32 &codes, int k)
         sliced.planes[level].high = level == k;
     }
 
-    for (std::size_t r = 0; r < codes.rows(); ++r) {
-        for (std::size_t c = 0; c < codes.cols(); ++c) {
-            const std::int32_t value = codes(r, c);
-            panic_if(value < 0 ||
-                     value >= (std::int32_t{1} << activationBits(k)),
-                     "activation code ", value, " out of unsigned ",
-                     activationBits(k), "-bit range");
-            for (int level = 0; level <= k; ++level)
-                sliced.planes[level].data(r, c) =
-                    static_cast<Slice>((value >> (4 * level)) & 0xF);
+    // Parallel over rows (disjoint writes; see sbrSliceMatrix).
+    parallelFor(0, codes.rows(), [&](std::size_t b, std::size_t e, int) {
+        for (std::size_t r = b; r < e; ++r) {
+            for (std::size_t c = 0; c < codes.cols(); ++c) {
+                const std::int32_t value = codes(r, c);
+                panic_if(value < 0 ||
+                         value >= (std::int32_t{1} << activationBits(k)),
+                         "activation code ", value, " out of unsigned ",
+                         activationBits(k), "-bit range");
+                for (int level = 0; level <= k; ++level)
+                    sliced.planes[level].data(r, c) =
+                        static_cast<Slice>((value >> (4 * level)) & 0xF);
+            }
         }
-    }
+    });
     return sliced;
 }
 
@@ -93,13 +108,16 @@ dbsSliceMatrix(const MatrixI32 &codes, int lo_bits)
     sliced.planes[1].shift = lo_bits;
     sliced.planes[1].high = true;
 
-    for (std::size_t r = 0; r < codes.rows(); ++r) {
-        for (std::size_t c = 0; c < codes.cols(); ++c) {
-            DbsSlices s = dbsEncode(codes(r, c), lo_bits);
-            sliced.planes[0].data(r, c) = s.lo;
-            sliced.planes[1].data(r, c) = s.ho;
+    // Parallel over rows (disjoint writes; see sbrSliceMatrix).
+    parallelFor(0, codes.rows(), [&](std::size_t b, std::size_t e, int) {
+        for (std::size_t r = b; r < e; ++r) {
+            for (std::size_t c = 0; c < codes.cols(); ++c) {
+                DbsSlices s = dbsEncode(codes(r, c), lo_bits);
+                sliced.planes[0].data(r, c) = s.lo;
+                sliced.planes[1].data(r, c) = s.ho;
+            }
         }
-    }
+    });
     return sliced;
 }
 

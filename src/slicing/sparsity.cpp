@@ -1,6 +1,7 @@
 #include "slicing/sparsity.h"
 
 #include "util/logging.h"
+#include "util/parallel_for.h"
 
 namespace panacea {
 
@@ -22,15 +23,19 @@ weightVectorMask(const Matrix<Slice> &plane, int v)
     panic_if(plane.rows() % v != 0, "weight rows ", plane.rows(),
              " not divisible by v=", v);
 
+    // Parallel over mask rows (disjoint writes, thread-count
+    // independent).
     MatrixU8 mask(plane.rows() / v, plane.cols());
-    for (std::size_t g = 0; g < mask.rows(); ++g) {
-        for (std::size_t c = 0; c < plane.cols(); ++c) {
-            bool all_zero = true;
-            for (int i = 0; i < v && all_zero; ++i)
-                all_zero = plane(g * v + i, c) == 0;
-            mask(g, c) = all_zero ? 1 : 0;
+    parallelFor(0, mask.rows(), [&](std::size_t b, std::size_t e, int) {
+        for (std::size_t g = b; g < e; ++g) {
+            for (std::size_t c = 0; c < plane.cols(); ++c) {
+                bool all_zero = true;
+                for (int i = 0; i < v && all_zero; ++i)
+                    all_zero = plane(g * v + i, c) == 0;
+                mask(g, c) = all_zero ? 1 : 0;
+            }
         }
-    }
+    });
     return mask;
 }
 
@@ -41,15 +46,19 @@ activationVectorMask(const Matrix<Slice> &plane, int v, Slice r)
     panic_if(plane.cols() % v != 0, "activation cols ", plane.cols(),
              " not divisible by v=", v);
 
+    // Parallel over mask rows (disjoint writes, thread-count
+    // independent).
     MatrixU8 mask(plane.rows(), plane.cols() / v);
-    for (std::size_t rix = 0; rix < plane.rows(); ++rix) {
-        for (std::size_t g = 0; g < mask.cols(); ++g) {
-            bool all_r = true;
-            for (int i = 0; i < v && all_r; ++i)
-                all_r = plane(rix, g * v + i) == r;
-            mask(rix, g) = all_r ? 1 : 0;
+    parallelFor(0, mask.rows(), [&](std::size_t b, std::size_t e, int) {
+        for (std::size_t rix = b; rix < e; ++rix) {
+            for (std::size_t g = 0; g < mask.cols(); ++g) {
+                bool all_r = true;
+                for (int i = 0; i < v && all_r; ++i)
+                    all_r = plane(rix, g * v + i) == r;
+                mask(rix, g) = all_r ? 1 : 0;
+            }
         }
-    }
+    });
     return mask;
 }
 

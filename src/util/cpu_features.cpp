@@ -1,0 +1,210 @@
+#include "util/cpu_features.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define PANACEA_X86 1
+#endif
+
+#include "util/logging.h"
+
+namespace panacea {
+
+namespace {
+
+#if defined(PANACEA_X86)
+
+std::uint64_t
+xgetbv0()
+{
+    std::uint32_t eax = 0, edx = 0;
+    // xgetbv with ecx = 0 reads XCR0; plain asm avoids needing -mxsave.
+    __asm__ volatile(".byte 0x0f, 0x01, 0xd0"
+                     : "=a"(eax), "=d"(edx)
+                     : "c"(0));
+    return (static_cast<std::uint64_t>(edx) << 32) | eax;
+}
+
+IsaLevel
+probeHardware()
+{
+    unsigned eax, ebx, ecx, edx;
+    if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx))
+        return IsaLevel::Scalar;
+    const bool sse2 = (edx & bit_SSE2) != 0;
+    const bool osxsave = (ecx & bit_OSXSAVE) != 0;
+    const bool avx = (ecx & bit_AVX) != 0;
+    if (!sse2)
+        return IsaLevel::Scalar;
+
+    // AVX requires the OS to save ymm state (XCR0 bits 1-2); AVX-512
+    // additionally opmask + zmm hi state (bits 5-7).
+    const std::uint64_t xcr0 = osxsave ? xgetbv0() : 0;
+    const bool ymm_os = (xcr0 & 0x6) == 0x6;
+    const bool zmm_os = (xcr0 & 0xE6) == 0xE6;
+
+    unsigned eax7, ebx7, ecx7, edx7;
+    if (!avx || !ymm_os ||
+        !__get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7))
+        return IsaLevel::Sse2;
+    const bool avx2 = (ebx7 & bit_AVX2) != 0;
+    const bool avx512f = (ebx7 & bit_AVX512F) != 0;
+    const bool avx512bw = (ebx7 & bit_AVX512BW) != 0;
+    if (avx512f && avx512bw && zmm_os)
+        return IsaLevel::Avx512;
+    if (avx2)
+        return IsaLevel::Avx2;
+    return IsaLevel::Sse2;
+}
+
+#else
+
+IsaLevel
+probeHardware()
+{
+    return IsaLevel::Scalar;
+}
+
+#endif // PANACEA_X86
+
+IsaLevel
+clampToSupported(IsaLevel level)
+{
+    const IsaLevel cap = supportedIsaCap();
+    return level < cap ? level : cap;
+}
+
+/** PANACEA_ISA request, read once; defaults to the supported maximum.
+ *  An empty value counts as unset (CI matrices export it that way). */
+IsaLevel
+envIsaLevel()
+{
+    static const IsaLevel level = [] {
+        const char *env = std::getenv("PANACEA_ISA");
+        if (env != nullptr && env[0] != '\0') {
+            IsaLevel requested;
+            if (parseIsaLevel(env, &requested))
+                return clampToSupported(requested);
+            warn("ignoring unrecognized PANACEA_ISA=", env);
+        }
+        return clampToSupported(IsaLevel::Avx512);
+    }();
+    return level;
+}
+
+// setIsaLevel() override; -1 = unset. Relaxed atomics suffice: callers
+// must not race overrides against kernel launches (see header).
+std::atomic<int> g_override{-1};
+
+} // namespace
+
+const char *
+toString(IsaLevel level)
+{
+    switch (level) {
+      case IsaLevel::Scalar: return "scalar";
+      case IsaLevel::Sse2:   return "sse2";
+      case IsaLevel::Avx2:   return "avx2";
+      case IsaLevel::Avx512: return "avx512";
+    }
+    return "?";
+}
+
+bool
+parseIsaLevel(std::string_view name, IsaLevel *out)
+{
+    auto equals = [&](std::string_view want) {
+        if (name.size() != want.size())
+            return false;
+        for (std::size_t i = 0; i < name.size(); ++i) {
+            char c = name[i];
+            if (c >= 'A' && c <= 'Z')
+                c = static_cast<char>(c - 'A' + 'a');
+            if (c != want[i])
+                return false;
+        }
+        return true;
+    };
+    if (equals("scalar"))
+        *out = IsaLevel::Scalar;
+    else if (equals("sse2"))
+        *out = IsaLevel::Sse2;
+    else if (equals("avx2"))
+        *out = IsaLevel::Avx2;
+    else if (equals("avx512"))
+        *out = IsaLevel::Avx512;
+    else
+        return false;
+    return true;
+}
+
+IsaLevel
+detectedIsaLevel()
+{
+    static const IsaLevel level = probeHardware();
+    return level;
+}
+
+IsaLevel
+compiledIsaLevel()
+{
+#if defined(PANACEA_HAVE_AVX512_KERNELS)
+    return IsaLevel::Avx512;
+#elif defined(PANACEA_HAVE_AVX2_KERNELS)
+    return IsaLevel::Avx2;
+#elif defined(__SSE2__)
+    return IsaLevel::Sse2;
+#else
+    return IsaLevel::Scalar;
+#endif
+}
+
+IsaLevel
+supportedIsaCap()
+{
+    IsaLevel cap = detectedIsaLevel();
+    if (compiledIsaLevel() < cap)
+        cap = compiledIsaLevel();
+    return cap;
+}
+
+IsaLevel
+activeIsaLevel()
+{
+    const int ov = g_override.load(std::memory_order_relaxed);
+    if (ov >= 0)
+        return static_cast<IsaLevel>(ov);
+    return envIsaLevel();
+}
+
+void
+setIsaLevel(IsaLevel level)
+{
+    g_override.store(static_cast<int>(clampToSupported(level)),
+                     std::memory_order_relaxed);
+}
+
+void
+resetIsaLevel()
+{
+    g_override.store(-1, std::memory_order_relaxed);
+}
+
+std::vector<IsaLevel>
+runnableIsaLevels()
+{
+    std::vector<IsaLevel> levels;
+    for (IsaLevel lvl : {IsaLevel::Scalar, IsaLevel::Sse2, IsaLevel::Avx2,
+                         IsaLevel::Avx512}) {
+        setIsaLevel(lvl);
+        if (activeIsaLevel() == lvl)
+            levels.push_back(lvl);
+    }
+    resetIsaLevel();
+    return levels;
+}
+
+} // namespace panacea

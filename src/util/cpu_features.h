@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Runtime CPU-feature detection and ISA-level selection for the SIMD
+ * micro-kernels of the bit-slice GEMM engines.
+ *
+ * Every kernel in `src/core/` that has vectorized variants selects them
+ * through activeIsaLevel() at call time, so one binary runs the widest
+ * pair-pass micro-kernel the host supports (see
+ * `src/core/pair_pass.h`). All ISA variants compute exact integer
+ * arithmetic in a value-independent order, so the selected level changes
+ * throughput only - results and statistics stay bit-identical across
+ * levels (enforced by tests/test_kernel_parity.cpp's ISA axis).
+ *
+ * Selection order for activeIsaLevel():
+ *   1. a setIsaLevel() override (tests, benchmarks),
+ *   2. the PANACEA_ISA environment variable
+ *      ("scalar" | "sse2" | "avx2" | "avx512", read once per process),
+ *   3. auto: the best level that is both compiled in and detected.
+ * Requests above what the hardware or the build supports are clamped
+ * down, never rejected: PANACEA_ISA=avx512 on an AVX2 machine runs AVX2.
+ */
+
+#ifndef PANACEA_UTIL_CPU_FEATURES_H
+#define PANACEA_UTIL_CPU_FEATURES_H
+
+#include <string_view>
+#include <vector>
+
+namespace panacea {
+
+/**
+ * Instruction-set tiers the micro-kernels are built for, ordered so a
+ * larger value is a strict superset in capability.
+ */
+enum class IsaLevel
+{
+    Scalar = 0, ///< portable C++ loops, no intrinsics
+    Sse2 = 1,   ///< 128-bit pmaddwd pair passes (x86-64 baseline)
+    Avx2 = 2,   ///< 256-bit pmaddwd, 4 reduction steps per op
+    Avx512 = 3, ///< 512-bit pmaddwd (F+BW), 8 reduction steps per op
+};
+
+/** @return printable name of an ISA level ("scalar", "sse2", ...). */
+const char *toString(IsaLevel level);
+
+/**
+ * Parse an ISA-level name (case-insensitive). @return true and set *out
+ * on success; false (out untouched) for unknown names.
+ */
+bool parseIsaLevel(std::string_view name, IsaLevel *out);
+
+/**
+ * The best level this hardware supports, probed once via cpuid and
+ * xgetbv (AVX levels additionally require OS xsave state support).
+ * Non-x86 builds report Scalar.
+ */
+IsaLevel detectedIsaLevel();
+
+/**
+ * The best level whose micro-kernels were compiled into this binary
+ * (the AVX2/AVX-512 translation units are gated on compiler support at
+ * configure time).
+ */
+IsaLevel compiledIsaLevel();
+
+/**
+ * The hard ceiling for every selection path:
+ * min(detectedIsaLevel(), compiledIsaLevel()). Both the PANACEA_ISA /
+ * setIsaLevel() clamping and the kernel dispatch table use this one
+ * accessor, so they can never disagree about what is runnable.
+ */
+IsaLevel supportedIsaCap();
+
+/**
+ * The level kernels should dispatch on right now: the setIsaLevel()
+ * override if set, else the PANACEA_ISA request, else auto - always
+ * clamped to supportedIsaCap().
+ */
+IsaLevel activeIsaLevel();
+
+/**
+ * Override the active level (clamped to what hardware + build support).
+ * Intended for tests and benchmarks that sweep the ISA axis; not
+ * thread-safe against concurrent kernel launches.
+ */
+void setIsaLevel(IsaLevel level);
+
+/** Drop the setIsaLevel() override, returning to PANACEA_ISA / auto. */
+void resetIsaLevel();
+
+/**
+ * Distinct levels reachable through setIsaLevel() on this host + build,
+ * low to high (an unreachable request clamps to the best supported
+ * level, so levels above the cap are not listed twice). Probes via
+ * setIsaLevel() and ends with resetIsaLevel(), so any prior override is
+ * dropped; intended for tests and benchmarks sweeping the ISA axis.
+ */
+std::vector<IsaLevel> runnableIsaLevels();
+
+} // namespace panacea
+
+#endif // PANACEA_UTIL_CPU_FEATURES_H

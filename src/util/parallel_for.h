@@ -12,7 +12,14 @@
  * per-chunk results must index them by chunk and combine in chunk order.
  * All kernels in this repo accumulate integer counters and write
  * disjoint output rows, so results are bit-identical for every thread
- * count.
+ * count. The operand-preparation stages (slicing, RLE encoding, mask
+ * construction, operand widening/pairing) follow the same rule -
+ * pre-sized outputs, disjoint writes - so prepared operands are
+ * byte-identical for every pool width (tests/test_prep_parallel.cpp).
+ *
+ * Nesting: a parallelFor() issued from inside a pool worker runs
+ * inline on that worker (no fan-out), so library code may call it
+ * unconditionally; only top-level calls parallelize.
  */
 
 #ifndef PANACEA_UTIL_PARALLEL_FOR_H

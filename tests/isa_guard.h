@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Shared test helper for sweeping the ISA axis: an RAII guard that
+ * drops any setIsaLevel() override on scope exit. The level list comes
+ * from runnableIsaLevels() in util/cpu_features.h.
+ */
+
+#ifndef PANACEA_TESTS_ISA_GUARD_H
+#define PANACEA_TESTS_ISA_GUARD_H
+
+#include "util/cpu_features.h"
+
+namespace panacea {
+
+class IsaGuard
+{
+  public:
+    IsaGuard() = default;
+    ~IsaGuard() { resetIsaLevel(); }
+
+    IsaGuard(const IsaGuard &) = delete;
+    IsaGuard &operator=(const IsaGuard &) = delete;
+};
+
+} // namespace panacea
+
+#endif // PANACEA_TESTS_ISA_GUARD_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the runtime ISA detection and selection layer
+ * (util/cpu_features.h): name parsing, ordering, clamping of
+ * overrides to what the host + build support, and the dispatch-table
+ * invariant that every returned row is fully populated.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pair_pass.h"
+#include "isa_guard.h"
+#include "util/cpu_features.h"
+
+namespace panacea {
+namespace {
+
+TEST(CpuFeatures, NamesRoundTrip)
+{
+    for (IsaLevel lvl : {IsaLevel::Scalar, IsaLevel::Sse2, IsaLevel::Avx2,
+                         IsaLevel::Avx512}) {
+        IsaLevel parsed;
+        ASSERT_TRUE(parseIsaLevel(toString(lvl), &parsed));
+        EXPECT_EQ(parsed, lvl);
+    }
+    IsaLevel parsed;
+    EXPECT_TRUE(parseIsaLevel("AVX2", &parsed)); // case-insensitive
+    EXPECT_EQ(parsed, IsaLevel::Avx2);
+    EXPECT_FALSE(parseIsaLevel("avx1024", &parsed));
+    EXPECT_FALSE(parseIsaLevel("", &parsed));
+}
+
+TEST(CpuFeatures, ActiveLevelNeverExceedsSupport)
+{
+    IsaGuard guard;
+    for (IsaLevel lvl : {IsaLevel::Scalar, IsaLevel::Sse2, IsaLevel::Avx2,
+                         IsaLevel::Avx512}) {
+        setIsaLevel(lvl);
+        EXPECT_LE(activeIsaLevel(), detectedIsaLevel());
+        EXPECT_LE(activeIsaLevel(), compiledIsaLevel());
+        EXPECT_LE(activeIsaLevel(), lvl); // clamped down, never up
+    }
+}
+
+TEST(CpuFeatures, ScalarOverrideAlwaysHonored)
+{
+    IsaGuard guard;
+    setIsaLevel(IsaLevel::Scalar);
+    EXPECT_EQ(activeIsaLevel(), IsaLevel::Scalar);
+    resetIsaLevel();
+    // Back to env/auto - whatever that is, it must be runnable.
+    EXPECT_LE(activeIsaLevel(), detectedIsaLevel());
+}
+
+TEST(CpuFeatures, DispatchTableRowsAreFullyPopulated)
+{
+    for (IsaLevel lvl : {IsaLevel::Scalar, IsaLevel::Sse2, IsaLevel::Avx2,
+                         IsaLevel::Avx512}) {
+        const detail::PairPassKernels &kern = detail::pairPassKernels(lvl);
+        EXPECT_NE(kern.pass4, nullptr);
+        EXPECT_NE(kern.passGeneric, nullptr);
+        // The row handed back must itself be runnable on this host.
+        EXPECT_LE(kern.level, detectedIsaLevel());
+        EXPECT_LE(kern.level, compiledIsaLevel());
+    }
+    // The scalar row never carries SIMD entry points.
+    EXPECT_EQ(detail::pairPassKernels(IsaLevel::Scalar).stream4, nullptr);
+}
+
+TEST(CpuFeatures, RunnableLevelsAreOrderedAndStartScalar)
+{
+    IsaGuard guard;
+    const std::vector<IsaLevel> levels = runnableIsaLevels();
+    ASSERT_FALSE(levels.empty());
+    EXPECT_EQ(levels.front(), IsaLevel::Scalar);
+    for (std::size_t i = 1; i < levels.size(); ++i)
+        EXPECT_LT(levels[i - 1], levels[i]);
+}
+
+} // namespace
+} // namespace panacea

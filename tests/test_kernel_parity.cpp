@@ -4,7 +4,10 @@
  * aqsGemm() must reproduce the retained scalar reference
  * (aqsGemmReference) bit-for-bit - accumulator AND statistics counters -
  * across every ActSkipMode, SBR and DBS slicing, the Eq. (5)/(6)
- * variants, non-default vector lengths, and 1/2/4/8 pool threads.
+ * variants, non-default vector lengths, 1/2/4/8 pool threads, AND every
+ * runnable ISA level (scalar/SSE2/AVX2/AVX-512): the dispatch table of
+ * core/pair_pass.h may change throughput only, never a single bit of
+ * results or statistics.
  */
 
 #include <gtest/gtest.h>
@@ -12,9 +15,11 @@
 #include "core/aqs_gemm.h"
 #include "core/legacy_gemm.h"
 #include "quant/gemm_quant.h"
+#include "isa_guard.h"
 #include "pool_guard.h"
 #include "slicing/sbr.h"
 #include "slicing/straightforward.h"
+#include "util/cpu_features.h"
 #include "util/parallel_for.h"
 #include "util/random.h"
 
@@ -104,13 +109,18 @@ TEST_P(KernelParity, SbrActivationsMatchReferenceAcrossThreads)
     AqsStats ref_stats;
     MatrixI64 ref = aqsGemmReference(w, x, cfg, &ref_stats);
 
-    for (int threads : {1, 2, 4, 8}) {
-        setParallelThreads(threads);
-        AqsStats new_stats;
-        MatrixI64 got = aqsGemm(w, x, cfg, &new_stats);
-        EXPECT_TRUE(got == ref) << "accumulator mismatch at threads="
-                                << threads;
-        expectStatsEqual(new_stats, ref_stats);
+    IsaGuard isa_guard;
+    for (IsaLevel isa : runnableIsaLevels()) {
+        setIsaLevel(isa);
+        for (int threads : {1, 2, 4, 8}) {
+            setParallelThreads(threads);
+            AqsStats new_stats;
+            MatrixI64 got = aqsGemm(w, x, cfg, &new_stats);
+            EXPECT_TRUE(got == ref)
+                << "accumulator mismatch at isa=" << toString(isa)
+                << " threads=" << threads;
+            expectStatsEqual(new_stats, ref_stats);
+        }
     }
 }
 
@@ -136,14 +146,19 @@ TEST_P(KernelParity, DbsActivationsMatchReferenceAcrossThreads)
 
         AqsStats ref_stats;
         MatrixI64 ref = aqsGemmReference(w, x, cfg, &ref_stats);
-        for (int threads : {1, 2, 4, 8}) {
-            setParallelThreads(threads);
-            AqsStats new_stats;
-            MatrixI64 got = aqsGemm(w, x, cfg, &new_stats);
-            EXPECT_TRUE(got == ref)
-                << "DBS mismatch at l=" << lo_bits
-                << " threads=" << threads;
-            expectStatsEqual(new_stats, ref_stats);
+        IsaGuard isa_guard;
+        for (IsaLevel isa : runnableIsaLevels()) {
+            setIsaLevel(isa);
+            for (int threads : {1, 2, 4, 8}) {
+                setParallelThreads(threads);
+                AqsStats new_stats;
+                MatrixI64 got = aqsGemm(w, x, cfg, &new_stats);
+                EXPECT_TRUE(got == ref)
+                    << "DBS mismatch at l=" << lo_bits
+                    << " isa=" << toString(isa)
+                    << " threads=" << threads;
+                expectStatsEqual(new_stats, ref_stats);
+            }
         }
     }
 }
@@ -193,12 +208,54 @@ TEST(KernelParity, NonDefaultVectorLengthMatchesReference)
 
     AqsStats ref_stats;
     MatrixI64 ref = aqsGemmReference(w, x, cfg, &ref_stats);
-    for (int threads : {1, 2, 8}) {
-        setParallelThreads(threads);
-        AqsStats new_stats;
-        MatrixI64 got = aqsGemm(w, x, cfg, &new_stats);
-        EXPECT_TRUE(got == ref);
-        expectStatsEqual(new_stats, ref_stats);
+    IsaGuard isa_guard;
+    for (IsaLevel isa : runnableIsaLevels()) {
+        setIsaLevel(isa);
+        for (int threads : {1, 2, 8}) {
+            setParallelThreads(threads);
+            AqsStats new_stats;
+            MatrixI64 got = aqsGemm(w, x, cfg, &new_stats);
+            EXPECT_TRUE(got == ref) << "isa=" << toString(isa);
+            expectStatsEqual(new_stats, ref_stats);
+        }
+    }
+}
+
+TEST(KernelParity, DensityExtremesMatchReferenceAcrossIsaLevels)
+{
+    // Near-fully-compressible and fully-dense operands steer the
+    // AVX2+ kernels through the streaming and gather paths
+    // respectively; both must match the reference bit-for-bit.
+    PoolGuard guard;
+    IsaGuard isa_guard;
+    Rng rng(1001);
+    const std::size_t m = 16, kk = 32, n = 16;
+    const std::int32_t zp = 136;
+
+    AqsConfig cfg;
+    MatrixI32 w_codes = randomWeightCodes(rng, m, kk, 1);
+
+    for (double cluster : {0.0, 0.98}) {
+        MatrixI32 x_codes =
+            randomActivationCodes(rng, kk, n, 8, zp, cluster);
+        WeightOperand w = prepareWeights(w_codes, 1, cfg);
+        ActivationOperand x = prepareActivations(x_codes, 1, zp, cfg);
+
+        AqsStats ref_stats;
+        MatrixI64 ref = aqsGemmReference(w, x, cfg, &ref_stats);
+        for (IsaLevel isa : runnableIsaLevels()) {
+            setIsaLevel(isa);
+            for (int threads : {1, 4}) {
+                setParallelThreads(threads);
+                AqsStats new_stats;
+                MatrixI64 got = aqsGemm(w, x, cfg, &new_stats);
+                EXPECT_TRUE(got == ref)
+                    << "cluster=" << cluster
+                    << " isa=" << toString(isa)
+                    << " threads=" << threads;
+                expectStatsEqual(new_stats, ref_stats);
+            }
+        }
     }
 }
 
@@ -246,6 +303,28 @@ TEST(KernelParity, HandBuiltOperandWithoutWidenedPlanesStillWorks)
     // planes): the kernel must widen on the fly.
     x.widenedPlanes.clear();
     EXPECT_TRUE(aqsGemm(w, x, cfg) == ref);
+}
+
+TEST(KernelParity, HandBuiltOperandWithoutMaskRunsUnderNoneMode)
+{
+    // Under ActSkipMode::None the HO mask is never consulted, so a
+    // hand-built operand may leave it (and every cache) empty; the
+    // kernel must fall back to gather passes rather than touch the
+    // absent mask.
+    Rng rng(1203);
+    const std::size_t m = 16, kk = 8, n = 12;
+    AqsConfig cfg;
+    cfg.actSkip = ActSkipMode::None;
+    MatrixI32 w_codes = randomWeightCodes(rng, m, kk, 1);
+    MatrixI32 x_codes = randomActivationCodes(rng, kk, n, 8, 60);
+    WeightOperand w = prepareWeights(w_codes, 1, cfg);
+    ActivationOperand x = prepareActivations(x_codes, 1, 60, cfg);
+    MatrixI64 ref = aqsGemm(w, x, cfg);
+
+    ActivationOperand bare;
+    bare.sliced = x.sliced;
+    bare.r = x.r;
+    EXPECT_TRUE(aqsGemm(w, bare, cfg) == ref);
 }
 
 TEST(KernelParity, ReferenceStillMatchesPlainIntGemm)
@@ -326,17 +405,49 @@ TEST(KernelParity, LegacyGemmDeterministicAcrossThreads)
     MatrixI64 ref = legacyBitsliceGemm(ws, xs, 4, SibiaSkipSide::Auto,
                                        &base);
     EXPECT_TRUE(ref == dense);
-    for (int threads : {2, 4, 8}) {
-        setParallelThreads(threads);
-        LegacyStats st;
-        MatrixI64 got = legacyBitsliceGemm(ws, xs, 4,
-                                           SibiaSkipSide::Auto, &st);
-        EXPECT_TRUE(got == ref);
-        EXPECT_EQ(st.executedOuterProducts, base.executedOuterProducts);
-        EXPECT_EQ(st.skippedOuterProducts, base.skippedOuterProducts);
-        EXPECT_EQ(st.mults, base.mults);
-        EXPECT_DOUBLE_EQ(st.rhoW, base.rhoW);
-        EXPECT_DOUBLE_EQ(st.rhoX, base.rhoX);
+    IsaGuard isa_guard;
+    for (IsaLevel isa : runnableIsaLevels()) {
+        setIsaLevel(isa);
+        for (int threads : {2, 4, 8}) {
+            setParallelThreads(threads);
+            LegacyStats st;
+            MatrixI64 got = legacyBitsliceGemm(ws, xs, 4,
+                                               SibiaSkipSide::Auto, &st);
+            EXPECT_TRUE(got == ref) << "isa=" << toString(isa);
+            EXPECT_EQ(st.executedOuterProducts,
+                      base.executedOuterProducts);
+            EXPECT_EQ(st.skippedOuterProducts,
+                      base.skippedOuterProducts);
+            EXPECT_EQ(st.mults, base.mults);
+            EXPECT_DOUBLE_EQ(st.rhoW, base.rhoW);
+            EXPECT_DOUBLE_EQ(st.rhoX, base.rhoX);
+        }
+    }
+}
+
+TEST(KernelParity, LegacyGemmBothSkipSidesMatchDenseAcrossIsaLevels)
+{
+    // Weight-side and activation-side skipping drive different masked
+    // stream operands in the legacy kernel; both must stay exact.
+    PoolGuard guard;
+    IsaGuard isa_guard;
+    Rng rng(1102);
+    const std::size_t m = 16, kk = 24, n = 16;
+    MatrixI32 w_codes = randomWeightCodes(rng, m, kk, 1, 0.7);
+    MatrixI32 x_codes = randomWeightCodes(rng, kk, n, 1, 0.7);
+    SlicedMatrix ws = sbrSliceMatrix(w_codes, 1);
+    SlicedMatrix xs = sbrSliceMatrix(x_codes, 1);
+    MatrixI64 dense = intGemm(w_codes, x_codes);
+
+    for (SibiaSkipSide side :
+         {SibiaSkipSide::Weight, SibiaSkipSide::Activation}) {
+        for (IsaLevel isa : runnableIsaLevels()) {
+            setIsaLevel(isa);
+            MatrixI64 got = legacyBitsliceGemm(ws, xs, 4, side);
+            EXPECT_TRUE(got == dense)
+                << "side=" << static_cast<int>(side)
+                << " isa=" << toString(isa);
+        }
     }
 }
 
