@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Serving-runtime benchmark: throughput of the micro-batching
+ * InferenceEngine versus sequential single-request execution on the
+ * same prepared model, across batch windows, with per-request latency
+ * percentiles and a bit-exactness check (every batched output must
+ * equal its solo run).
+ *
+ * Usage:
+ *   bench_serving                       # DeiT-base attention block
+ *   bench_serving --model=opt350m      # LLM-shaped stack
+ *   bench_serving --requests=64 --cols=4
+ *   bench_serving --json[=out.json]    # write BENCH_serving.json
+ *   bench_serving --quick              # CI smoke variant
+ *
+ * The JSON payload records sequential vs batched requests/s and
+ * effective GMAC/s (dense-equivalent MACs served per second), the
+ * speedup per batch window, batch-size and latency statistics, the
+ * model-preparation time the cache amortizes, and a parity flag. See
+ * README.md ("Bench JSON schema") for the field list.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "models/model_zoo.h"
+#include "serve/engine.h"
+#include "serve/operand_cache.h"
+#include "util/cpu_features.h"
+#include "util/parallel_for.h"
+#include "util/random.h"
+#include "util/table.h"
+#include "util/walltime.h"
+
+using namespace panacea;
+using namespace panacea::serve;
+
+namespace {
+
+struct BenchOptions
+{
+    bool writeJson = false;
+    std::string jsonPath = "BENCH_serving.json";
+    std::string model = "deit";
+    std::size_t requests = 32;
+    std::size_t cols = 4;
+    bool quick = false;
+};
+
+/** One engine configuration measured over the full request set. */
+struct WindowResult
+{
+    int window = 0;
+    double wallMs = 0.0;
+    double meanBatch = 0.0;
+    std::size_t maxBatch = 0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    bool parity = true;
+};
+
+ModelSpec
+pickModel(const std::string &name)
+{
+    if (name == "deit")
+        return deitBase();
+    if (name == "opt350m")
+        return opt350m();
+    if (name == "bert")
+        return bertBase();
+    std::cerr << "unknown --model=" << name
+              << " (deit | opt350m | bert)\n";
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            opt.writeJson = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            opt.writeJson = true;
+            opt.jsonPath = arg.substr(7);
+        } else if (arg.rfind("--model=", 0) == 0) {
+            opt.model = arg.substr(8);
+        } else if (arg.rfind("--requests=", 0) == 0) {
+            opt.requests = std::stoul(arg.substr(11));
+        } else if (arg.rfind("--cols=", 0) == 0) {
+            opt.cols = std::stoul(arg.substr(7));
+        } else if (arg == "--quick") {
+            opt.quick = true;
+        } else {
+            std::cerr << "unknown option " << arg << "\n";
+            return 1;
+        }
+    }
+    if (opt.quick)
+        opt.requests = std::min<std::size_t>(opt.requests, 16);
+
+    const ModelSpec spec = pickModel(opt.model);
+    ServeModelOptions mopts;
+    mopts.maxLayers = opt.quick ? 2 : 4;
+
+    std::cout << "Preparing " << spec.name << " ("
+              << (mopts.maxLayers ? mopts.maxLayers : spec.layers.size())
+              << " layers) for serving...\n";
+    auto model = PreparedModelCache::global().acquire(spec, mopts);
+    std::cout << "  prepared in " << model->buildMs() << " ms ("
+              << model->macsPerColumn() / 1.0e6
+              << " dense MMAC per column; cached for every engine)\n";
+
+    // Request set: Gaussian activations, opt.cols columns each.
+    Rng rng(0x5e81);
+    std::vector<MatrixF> inputs;
+    inputs.reserve(opt.requests);
+    for (std::size_t r = 0; r < opt.requests; ++r) {
+        MatrixF x(model->inputFeatures(), opt.cols);
+        for (auto &v : x.data())
+            v = static_cast<float>(rng.gaussian(0.2, 1.0));
+        inputs.push_back(std::move(x));
+    }
+
+    // --- Sequential baseline: one request at a time, wait for each.
+    // Its outputs double as the solo-run reference for the parity
+    // check (window 1 = no batching by construction).
+    std::vector<MatrixF> solo(opt.requests);
+    double seq_ms = 0.0;
+    {
+        EngineOptions eopts;
+        eopts.batchWindow = 1;
+        eopts.batchDeadlineMs = 0.0;
+        eopts.workers = 1;
+        InferenceEngine engine(eopts);
+        const auto t0 = nowTick();
+        for (std::size_t r = 0; r < opt.requests; ++r)
+            solo[r] = engine.submit(model, inputs[r]).get().output;
+        seq_ms = msSince(t0);
+    }
+    const double total_cols =
+        static_cast<double>(opt.requests) * static_cast<double>(opt.cols);
+    const double total_gmacs =
+        total_cols * static_cast<double>(model->macsPerColumn()) / 1.0e9;
+    const double seq_rps =
+        static_cast<double>(opt.requests) / (seq_ms / 1.0e3);
+
+    // --- Batched: submit everything, sweep the batch window.
+    std::vector<int> windows =
+        opt.quick ? std::vector<int>{2, 8}
+                  : std::vector<int>{2, 4, 8, 16};
+    std::vector<WindowResult> results;
+    bool all_parity = true;
+    for (int window : windows) {
+        EngineOptions eopts;
+        eopts.batchWindow = window;
+        eopts.batchDeadlineMs = 5.0;
+        eopts.workers = 2;
+        InferenceEngine engine(eopts);
+        std::vector<std::future<RequestResult>> futures;
+        futures.reserve(opt.requests);
+        const auto t0 = nowTick();
+        for (const MatrixF &x : inputs)
+            futures.push_back(engine.submit(model, x));
+        WindowResult wr;
+        wr.window = window;
+        for (std::size_t r = 0; r < opt.requests; ++r) {
+            RequestResult res = futures[r].get();
+            wr.parity = wr.parity && (res.output == solo[r]);
+        }
+        wr.wallMs = msSince(t0);
+        const EngineStats es = engine.stats();
+        wr.meanBatch = es.meanBatch;
+        wr.maxBatch = es.maxBatch;
+        wr.p50Ms = es.p50LatencyMs;
+        wr.p99Ms = es.p99LatencyMs;
+        all_parity = all_parity && wr.parity;
+        results.push_back(wr);
+    }
+
+    Table t({"mode", "wall ms", "req/s", "GMAC/s", "speedup",
+             "mean batch", "p50 ms", "p99 ms", "bit-exact"});
+    t.newRow()
+        .cell("sequential")
+        .cell(seq_ms, 2)
+        .cell(seq_rps, 1)
+        .cell(total_gmacs / (seq_ms / 1.0e3), 3)
+        .cell("1.00x")
+        .cell(1.0, 2)
+        .cell("-")
+        .cell("-")
+        .cell("ref");
+    for (const WindowResult &wr : results) {
+        t.newRow()
+            .cell("window " + std::to_string(wr.window))
+            .cell(wr.wallMs, 2)
+            .cell(static_cast<double>(opt.requests) / (wr.wallMs / 1e3),
+                  1)
+            .cell(total_gmacs / (wr.wallMs / 1.0e3), 3)
+            .ratioCell(seq_ms / wr.wallMs)
+            .cell(wr.meanBatch, 2)
+            .cell(wr.p50Ms, 2)
+            .cell(wr.p99Ms, 2)
+            .cell(wr.parity ? "yes" : "NO");
+    }
+    t.print(std::cout);
+    std::cout << "\nGMAC/s counts dense-equivalent MACs served; "
+                 "bit-exact means every batched output equals its "
+                 "solo run.\n";
+
+    if (opt.writeJson) {
+        std::ofstream out(opt.jsonPath);
+        if (!out) {
+            std::cerr << "cannot write " << opt.jsonPath << "\n";
+            return 1;
+        }
+        out << "{\n  \"bench\": \"serving\",\n";
+        out << "  \"model\": \"" << spec.name << "\",\n";
+        out << "  \"layers\": " << model->layerCount() << ",\n";
+        out << "  \"input_features\": " << model->inputFeatures()
+            << ",\n";
+        out << "  \"requests\": " << opt.requests << ",\n";
+        out << "  \"cols_per_request\": " << opt.cols << ",\n";
+        out << "  \"macs_per_column\": " << model->macsPerColumn()
+            << ",\n";
+        out << "  \"model_build_ms\": " << model->buildMs() << ",\n";
+        out << "  \"isa\": \"" << toString(activeIsaLevel()) << "\",\n";
+        out << "  \"pool_threads\": " << parallelThreads() << ",\n";
+        out << "  \"hardware_concurrency\": "
+            << static_cast<int>(std::thread::hardware_concurrency())
+            << ",\n";
+        out << "  \"parity\": " << (all_parity ? "true" : "false")
+            << ",\n";
+        out << "  \"sequential\": {\"wall_ms\": " << seq_ms
+            << ", \"req_per_s\": " << seq_rps
+            << ", \"gmacs\": " << total_gmacs / (seq_ms / 1.0e3)
+            << "},\n";
+        out << "  \"windows\": [\n";
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const WindowResult &wr = results[i];
+            out << "    {\"window\": " << wr.window
+                << ", \"wall_ms\": " << wr.wallMs << ", \"req_per_s\": "
+                << static_cast<double>(opt.requests) / (wr.wallMs / 1e3)
+                << ", \"gmacs\": " << total_gmacs / (wr.wallMs / 1.0e3)
+                << ", \"speedup_vs_sequential\": " << seq_ms / wr.wallMs
+                << ", \"mean_batch\": " << wr.meanBatch
+                << ", \"max_batch\": " << wr.maxBatch
+                << ", \"p50_ms\": " << wr.p50Ms << ", \"p99_ms\": "
+                << wr.p99Ms << ", \"parity\": "
+                << (wr.parity ? "true" : "false") << "}"
+                << (i + 1 < results.size() ? "," : "") << "\n";
+        }
+        out << "  ]\n}\n";
+        std::cout << "\nwrote " << opt.jsonPath << "\n";
+    }
+    return all_parity ? 0 : 1;
+}

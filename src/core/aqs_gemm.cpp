@@ -46,6 +46,12 @@ AqsStats::operator+=(const AqsStats &other)
         macsPerOuterProduct = (macsPerOuterProduct * d_old +
                                other.macsPerOuterProduct * d_other) /
                               (d_old + d_other);
+    return addCounters(other);
+}
+
+AqsStats &
+AqsStats::addCounters(const AqsStats &other)
+{
     denseOuterProducts += other.denseOuterProducts;
     executedOuterProducts += other.executedOuterProducts;
     skippedOuterProducts += other.skippedOuterProducts;
@@ -91,8 +97,10 @@ namespace {
 bool
 streamKernelsAvailable(const AqsConfig &cfg)
 {
-    return cfg.v == 4 &&
-           detail::pairPassKernels(activeIsaLevel()).stream4 != nullptr;
+    const detail::PairPassKernels &kern =
+        detail::pairPassKernels(activeIsaLevel());
+    return cfg.v == 4 ? kern.stream4 != nullptr
+                      : cfg.v <= 16 && kern.streamGeneric != nullptr;
 }
 
 /** Build mask, RLE streams and kernel operand caches for an
@@ -141,15 +149,21 @@ checkShapes(const WeightOperand &w, const ActivationOperand &x, int v)
 }
 
 /**
- * Traffic accounting shared by both kernels: dense LO planes plus
- * RLE-compressed HO planes, identical for any execution schedule.
+ * Traffic accounting shared by both kernels and the counting-only
+ * entry point: dense LO planes plus RLE-compressed HO planes,
+ * identical for any execution schedule. The activation side covers the
+ * column bands [ng_begin, ng_end) only (full kernels pass the whole
+ * range); the weight side always counts in full - weights are loaded
+ * once per GEMM call regardless of how many columns it serves.
  */
 void
 countTraffic(AqsStats &local, const WeightOperand &w,
              const ActivationOperand &x, std::size_t m, std::size_t kk,
-             std::size_t n, std::size_t w_levels, std::size_t x_levels,
-             int v)
+             std::size_t w_levels, std::size_t x_levels, int v,
+             std::size_t ng_begin, std::size_t ng_end)
 {
+    const std::size_t n =
+        (ng_end - ng_begin) * static_cast<std::size_t>(v);
     const std::uint64_t w_lo_nibbles =
         static_cast<std::uint64_t>(m) * kk * (w_levels - 1);
     const std::uint64_t x_lo_nibbles =
@@ -161,7 +175,11 @@ countTraffic(AqsStats &local, const WeightOperand &w,
                             static_cast<std::uint64_t>(s.indexBits());
     }
     std::uint64_t x_ho_nibbles = 0;
-    for (const RleStream &s : x.streams) {
+    // Hand-built operands may carry no streams (mode None never reads
+    // them); they then contribute no compressed-HO traffic.
+    const std::size_t s_end = std::min(ng_end, x.streams.size());
+    for (std::size_t ng = ng_begin; ng < s_end; ++ng) {
+        const RleStream &s = x.streams[ng];
         x_ho_nibbles += s.storedCount() * static_cast<std::uint64_t>(v);
         local.xIndexBits += s.storedCount() *
                             static_cast<std::uint64_t>(s.indexBits());
@@ -241,13 +259,15 @@ blockedBand(const WeightOperand &w, const ActivationOperand &x,
         xshift[xl] = x.sliced.planes[xl].shift;
     }
 
-    // Streaming fast path (AVX2+): dense masked passes over the
-    // pre-interleaved operands replace skip-list gathers whenever the
-    // list covers at least half the steps (the stream's per-step cost
-    // is roughly half the gather's). Stats always come from the list
-    // lengths, so the choice never changes results or counters.
+    // Streaming fast path (SSE2+ generic-v, AVX2+ for v = 4): dense
+    // masked passes over the pre-interleaved operands replace skip-list
+    // gathers whenever the list covers at least half the steps (the
+    // stream's per-step cost is roughly half the gather's). Stats
+    // always come from the list lengths, so the choice never changes
+    // results or counters.
     const bool stream_ok =
-        VT == 4 && kern.stream4 != nullptr && xq != nullptr;
+        xq != nullptr && (VT == 4 ? kern.stream4 != nullptr
+                                  : kern.streamGeneric != nullptr);
     const std::size_t kkp = detail::pairCount(kk);
     const std::size_t pw = 2 * uv;
 
@@ -391,7 +411,11 @@ blockedBand(const WeightOperand &w, const ActivationOperand &x,
                                 : wq.data() + wl * kkp * pw;
                         const std::int16_t *xqp =
                             xq + (xl * n_groups + ng) * kkp * pw;
-                        kern.stream4(wqp, xqp, kkp, pacc.data());
+                        if constexpr (VT == 4)
+                            kern.stream4(wqp, xqp, kkp, pacc.data());
+                        else
+                            kern.streamGeneric(wqp, xqp, kkp, v,
+                                               pacc.data());
                     } else if constexpr (VT == 4) {
                         kern.pass4(wp, xbase[xl], n, ng_off, ks, nk,
                                    identity, pacc.data());
@@ -567,9 +591,11 @@ aqsGemm(const WeightOperand &w, const ActivationOperand &x,
     // path runs.
     const bool mask_ok =
         x.hoMask.rows() == kk && x.hoMask.cols() == n_groups;
+    const bool have_stream = v == 4 ? kern.stream4 != nullptr
+                                    : kern.streamGeneric != nullptr;
     if (x.pairedPlanes.size() == paired_size && mask_ok) {
         xq = x.pairedPlanes.data();
-    } else if (kern.stream4 != nullptr && v == 4 && mask_ok) {
+    } else if (have_stream && mask_ok) {
         xq_local = detail::pairedSlicePlanes(x.sliced, v, &x.hoMask);
         xq = xq_local.data();
     }
@@ -609,7 +635,8 @@ aqsGemm(const WeightOperand &w, const ActivationOperand &x,
                   static_cast<std::uint64_t>(v);
     local.adds = local.mults;
 
-    countTraffic(local, w, x, m, kk, n, w_levels, x_levels, v);
+    countTraffic(local, w, x, m, kk, w_levels, x_levels, v, 0,
+                 n / static_cast<std::size_t>(v));
 
     if (stats)
         *stats += local;
@@ -748,11 +775,301 @@ aqsGemmReference(const WeightOperand &w, const ActivationOperand &x,
                   static_cast<std::uint64_t>(v);
     local.adds = local.mults;
 
-    countTraffic(local, w, x, m, kk, n, w_levels, x_levels, v);
+    countTraffic(local, w, x, m, kk, w_levels, x_levels, v, 0,
+                 n / static_cast<std::size_t>(v));
 
     if (stats)
         *stats += local;
     return acc;
+}
+
+ActivationOperand
+concatActivationOperands(std::span<const ActivationOperand *const> ops,
+                         const AqsConfig &cfg)
+{
+    panic_if(ops.empty(), "concat requires at least one operand");
+    const ActivationOperand &first = *ops.front();
+    const std::size_t kk = first.sliced.rows();
+    const std::size_t levels = first.sliced.levels();
+    const std::size_t uv = static_cast<std::size_t>(cfg.v);
+    const std::size_t kkp = detail::pairCount(kk);
+    const std::size_t pw = 2 * uv;
+
+    std::size_t n_total = 0;
+    bool have_widened = true;
+    bool have_paired = true;
+    for (const ActivationOperand *op : ops) {
+        const std::size_t n_op = op->sliced.cols();
+        panic_if(op->sliced.rows() != kk || op->sliced.levels() != levels,
+                 "concat operand shape mismatch: ", op->sliced.rows(),
+                 "x", n_op, " levels ", op->sliced.levels(), " vs ", kk,
+                 " levels ", levels);
+        panic_if(n_op % uv != 0, "concat operand N ", n_op,
+                 " not divisible by v=", cfg.v);
+        panic_if(op->r != first.r,
+                 "concat operands disagree on the skip value r");
+        panic_if(op->hoMask.rows() != kk ||
+                     op->hoMask.cols() != n_op / uv ||
+                     op->streams.size() != n_op / uv,
+                 "concat operand mask/streams malformed (prepare with "
+                 "prepareActivations*)");
+        for (std::size_t l = 0; l < levels; ++l)
+            panic_if(op->sliced.planes[l].shift !=
+                         first.sliced.planes[l].shift,
+                     "concat operands disagree on plane shifts");
+        n_total += n_op;
+        have_widened =
+            have_widened && op->widenedPlanes.size() == levels * kk * n_op;
+        have_paired = have_paired &&
+                      op->pairedPlanes.size() ==
+                          levels * (n_op / uv) * kkp * pw;
+    }
+    const std::size_t g_total = n_total / uv;
+
+    ActivationOperand out;
+    out.r = first.r;
+    out.sliced.signedSlices = first.sliced.signedSlices;
+    out.sliced.sourceBits = first.sliced.sourceBits;
+    out.sliced.loBits = first.sliced.loBits;
+    out.sliced.planes.resize(levels);
+    out.hoMask = MatrixU8(kk, g_total);
+    out.streams.reserve(g_total);
+    for (const ActivationOperand *op : ops)
+        out.streams.insert(out.streams.end(), op->streams.begin(),
+                           op->streams.end());
+
+    // Slice planes + HO mask: row-wise block copies, parallel over K.
+    // Chunks write disjoint row segments of pre-sized outputs, so the
+    // result is byte-identical for any thread count.
+    for (std::size_t l = 0; l < levels; ++l) {
+        SlicePlane &plane = out.sliced.planes[l];
+        plane.shift = first.sliced.planes[l].shift;
+        plane.high = first.sliced.planes[l].high;
+        plane.data = Matrix<Slice>(kk, n_total);
+        parallelFor(0, kk, [&](std::size_t b, std::size_t e, int) {
+            for (std::size_t k = b; k < e; ++k) {
+                Slice *dst = plane.data.row(k).data();
+                std::size_t off = 0;
+                for (const ActivationOperand *op : ops) {
+                    const auto src = op->sliced.planes[l].data.row(k);
+                    std::copy(src.begin(), src.end(), dst + off);
+                    off += src.size();
+                }
+            }
+        });
+    }
+    parallelFor(0, kk, [&](std::size_t b, std::size_t e, int) {
+        for (std::size_t k = b; k < e; ++k) {
+            std::uint8_t *dst = out.hoMask.row(k).data();
+            std::size_t off = 0;
+            for (const ActivationOperand *op : ops) {
+                const auto src = op->hoMask.row(k);
+                std::copy(src.begin(), src.end(), dst + off);
+                off += src.size();
+            }
+        }
+    });
+
+    // Kernel operand caches: concatenable only when every source
+    // carries them (the gate depends on the active ISA level at prep
+    // time, so a mixed set falls back to on-demand rebuild).
+    if (have_widened) {
+        out.widenedPlanes.resize(levels * kk * n_total);
+        for (std::size_t l = 0; l < levels; ++l) {
+            std::int16_t *base = out.widenedPlanes.data() +
+                                 l * kk * n_total;
+            parallelFor(0, kk, [&](std::size_t b, std::size_t e, int) {
+                for (std::size_t k = b; k < e; ++k) {
+                    std::int16_t *dst = base + k * n_total;
+                    std::size_t off = 0;
+                    for (const ActivationOperand *op : ops) {
+                        const std::size_t n_op = op->sliced.cols();
+                        const std::int16_t *src =
+                            op->widenedPlanes.data() + l * kk * n_op +
+                            k * n_op;
+                        std::copy(src, src + n_op, dst + off);
+                        off += n_op;
+                    }
+                }
+            });
+        }
+    }
+    if (have_paired) {
+        // Paired layout is [level][n-group][pair][2v]: per level one
+        // contiguous block per source operand.
+        out.pairedPlanes.resize(levels * g_total * kkp * pw);
+        for (std::size_t l = 0; l < levels; ++l) {
+            std::int16_t *dst =
+                out.pairedPlanes.data() + l * g_total * kkp * pw;
+            for (const ActivationOperand *op : ops) {
+                const std::size_t g_op = op->sliced.cols() / uv;
+                const std::int16_t *src =
+                    op->pairedPlanes.data() + l * g_op * kkp * pw;
+                std::copy(src, src + g_op * kkp * pw, dst);
+                dst += g_op * kkp * pw;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/**
+ * Weight-side mask summary shared by every column range of one
+ * counting call: total dense steps over all m-bands, and per-step
+ * column density for the HO_w x HO_x intersection term.
+ */
+struct WeightSideCounts
+{
+    std::uint64_t wdSum = 0;
+    std::vector<std::uint32_t> wcol;
+};
+
+WeightSideCounts
+scanWeightMask(const WeightOperand &w, std::size_t m_groups,
+               std::size_t kk)
+{
+    WeightSideCounts out;
+    out.wcol.assign(kk, 0);
+    for (std::size_t mg = 0; mg < m_groups; ++mg) {
+        const std::uint8_t *wmask = w.hoMask.row(mg).data();
+        for (std::size_t k = 0; k < kk; ++k) {
+            if (wmask[k] == 0) {
+                ++out.wdSum;
+                ++out.wcol[k];
+            }
+        }
+    }
+    return out;
+}
+
+AqsStats
+countStatsRange(const WeightOperand &w, const ActivationOperand &x,
+                const AqsConfig &cfg, const WeightSideCounts &w_counts,
+                std::size_t ng_begin, std::size_t ng_end)
+{
+    const int v = cfg.v;
+    const std::size_t m = w.sliced.rows();
+    const std::size_t kk = w.sliced.cols();
+    const std::size_t uv = static_cast<std::size_t>(v);
+    const std::size_t m_groups = m / uv;
+    const std::size_t n_groups = ng_end - ng_begin;
+    const std::size_t w_levels = w.sliced.levels();
+    const std::size_t x_levels = x.sliced.levels();
+    const bool x_identity = cfg.actSkip == ActSkipMode::None;
+    const bool r_skip = cfg.actSkip == ActSkipMode::RValued;
+    const std::uint64_t wd_sum = w_counts.wdSum;
+
+    // Activation side over the requested column bands: dense-step
+    // counts and the intersection sum over all (mg, ng) tiles.
+    std::uint64_t nxd_sum = 0;
+    std::uint64_t inter_sum = 0;
+    if (x_identity) {
+        nxd_sum = static_cast<std::uint64_t>(n_groups) * kk;
+        inter_sum = static_cast<std::uint64_t>(n_groups) * wd_sum;
+    } else {
+        for (std::size_t ng = ng_begin; ng < ng_end; ++ng) {
+            for (std::size_t k = 0; k < kk; ++k) {
+                if (x.hoMask(k, ng) == 0) {
+                    ++nxd_sum;
+                    inter_sum += w_counts.wcol[k];
+                }
+            }
+        }
+    }
+
+    AqsStats local;
+    local.denseOuterProducts = m_groups * n_groups * kk * w_levels *
+                               x_levels;
+    local.macsPerOuterProduct = static_cast<double>(v) * v;
+
+    // Per (mg, ng) tile the kernels run (w_levels-1)(x_levels-1) full
+    // passes, (x_levels-1) weight-list passes, (w_levels-1)
+    // activation-list passes and one intersection pass; summed in
+    // closed form here (wd_sum and inter_sum are already summed over
+    // m-bands, nxd_sum over column bands).
+    local.executedOuterProducts =
+        static_cast<std::uint64_t>(m_groups) * n_groups *
+            (w_levels - 1) * (x_levels - 1) * kk +
+        static_cast<std::uint64_t>(n_groups) * (x_levels - 1) * wd_sum +
+        static_cast<std::uint64_t>(m_groups) * (w_levels - 1) * nxd_sum +
+        inter_sum;
+    local.skippedOuterProducts =
+        local.denseOuterProducts - local.executedOuterProducts;
+    local.mults = local.executedOuterProducts *
+                  static_cast<std::uint64_t>(v) *
+                  static_cast<std::uint64_t>(v);
+    local.adds = local.mults;
+
+    if (r_skip) {
+        local.compMults = static_cast<std::uint64_t>(m_groups) *
+                          n_groups * static_cast<std::uint64_t>(v) *
+                          static_cast<std::uint64_t>(v);
+        if (cfg.useEq6) {
+            local.compAdds = static_cast<std::uint64_t>(m_groups) *
+                             static_cast<std::uint64_t>(v) * w_levels *
+                             nxd_sum;
+        } else {
+            const std::uint64_t n_xc =
+                static_cast<std::uint64_t>(n_groups) * kk - nxd_sum;
+            local.compAdds = static_cast<std::uint64_t>(m_groups) *
+                             static_cast<std::uint64_t>(v) * w_levels *
+                             n_xc;
+            local.compExtraEmaNibbles = local.compAdds;
+        }
+    }
+
+    countTraffic(local, w, x, m, kk, w_levels, x_levels, v, ng_begin,
+                 ng_end);
+    return local;
+}
+
+} // namespace
+
+AqsStats
+aqsCountStats(const WeightOperand &w, const ActivationOperand &x,
+              const AqsConfig &cfg, std::size_t ng_begin,
+              std::size_t ng_end)
+{
+    checkShapes(w, x, cfg.v);
+    const std::size_t uv = static_cast<std::size_t>(cfg.v);
+    const std::size_t m_groups = w.sliced.rows() / uv;
+    const std::size_t n_groups_all = x.sliced.cols() / uv;
+    if (ng_end > n_groups_all)
+        ng_end = n_groups_all;
+    panic_if(ng_begin > ng_end, "aqsCountStats range [", ng_begin, ", ",
+             ng_end, ") is inverted");
+    const WeightSideCounts w_counts =
+        scanWeightMask(w, m_groups, w.sliced.cols());
+    return countStatsRange(w, x, cfg, w_counts, ng_begin, ng_end);
+}
+
+std::vector<AqsStats>
+aqsCountStatsBatch(const WeightOperand &w, const ActivationOperand &x,
+                   const AqsConfig &cfg,
+                   std::span<const std::size_t> group_offsets)
+{
+    checkShapes(w, x, cfg.v);
+    panic_if(group_offsets.size() < 2,
+             "aqsCountStatsBatch needs at least one range");
+    const std::size_t uv = static_cast<std::size_t>(cfg.v);
+    const std::size_t m_groups = w.sliced.rows() / uv;
+    const std::size_t n_groups_all = x.sliced.cols() / uv;
+    panic_if(group_offsets.back() > n_groups_all,
+             "aqsCountStatsBatch offsets exceed N/v=", n_groups_all);
+    const WeightSideCounts w_counts =
+        scanWeightMask(w, m_groups, w.sliced.cols());
+    std::vector<AqsStats> out;
+    out.reserve(group_offsets.size() - 1);
+    for (std::size_t i = 0; i + 1 < group_offsets.size(); ++i) {
+        panic_if(group_offsets[i] > group_offsets[i + 1],
+                 "aqsCountStatsBatch offsets not monotone");
+        out.push_back(countStatsRange(w, x, cfg, w_counts,
+                                      group_offsets[i],
+                                      group_offsets[i + 1]));
+    }
+    return out;
 }
 
 } // namespace panacea

@@ -32,6 +32,7 @@
 #define PANACEA_CORE_AQS_GEMM_H
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "slicing/rle.h"
@@ -139,6 +140,14 @@ struct AqsStats
 
     /** Accumulate another stats record into this one. */
     AqsStats &operator+=(const AqsStats &other);
+
+    /**
+     * Add only the integer counters of another record (everything
+     * except the floating macsPerOuterProduct blend). The single
+     * field list both operator+= and order-independent folds (the
+     * serving engine's aggregate) build on.
+     */
+    AqsStats &addCounters(const AqsStats &other);
 };
 
 /**
@@ -187,6 +196,68 @@ ActivationOperand prepareActivationsDbs(const MatrixI32 &codes, int lo_bits,
  */
 MatrixI64 aqsGemm(const WeightOperand &w, const ActivationOperand &x,
                   const AqsConfig &cfg, AqsStats *stats = nullptr);
+
+/**
+ * Concatenate prepared activation operands along the column (token)
+ * axis: the batch-assembly primitive of the serving runtime
+ * (src/serve/). Every structure of an ActivationOperand is
+ * column-blocked (slice planes, HO mask, per-column-band RLE streams,
+ * widened and paired kernel caches), so concatenation is pure block
+ * copies - no re-slicing, no re-encoding - and the result is
+ * byte-identical to preparing the concatenated codes directly.
+ *
+ * Preconditions: all operands prepared by the same layer/configuration
+ * (same K, plane count/shifts, skip value r, column counts divisible by
+ * cfg.v). The widened/paired kernel caches are concatenated only when
+ * every source carries them (they are optional per the
+ * ActivationOperand contract); otherwise the result's caches stay
+ * empty and the engine rebuilds on demand.
+ *
+ * Combined with aqsGemm()'s column-slice determinism - each v-wide
+ * output column group depends only on its own activation columns - a
+ * batched GEMM over the concatenated operand returns, in request r's
+ * columns, exactly the bits a solo run of request r would
+ * (tests/test_operand_reuse.cpp).
+ */
+ActivationOperand
+concatActivationOperands(std::span<const ActivationOperand *const> ops,
+                         const AqsConfig &cfg);
+
+/**
+ * Counting-only twin of aqsGemm() restricted to the output column
+ * groups [ng_begin, ng_end): returns the exact statistics a GEMM over
+ * just those activation columns would record, without executing any
+ * arithmetic. Statistics depend only on the HO masks and RLE streams
+ * (never on operand values), so this is O(M/v * K + K * groups) mask
+ * counting instead of a GEMM.
+ *
+ * Invariants (enforced by tests/test_operand_reuse.cpp):
+ *  - full range: bit-equal to the stats aqsGemm()/aqsGemmReference()
+ *    accumulate for the same operands;
+ *  - sub-range of a concatenated operand: bit-equal to the solo stats
+ *    of the source operand occupying those columns (weight-side and
+ *    per-call traffic terms count per call, exactly like a solo run).
+ * The serving engine uses this to attribute per-request statistics out
+ * of one batched GEMM call.
+ *
+ * ng_end is clamped to N/v; the default (-1) covers the full operand.
+ */
+AqsStats aqsCountStats(const WeightOperand &w, const ActivationOperand &x,
+                       const AqsConfig &cfg, std::size_t ng_begin = 0,
+                       std::size_t ng_end = static_cast<std::size_t>(-1));
+
+/**
+ * Batched aqsCountStats(): one record per consecutive column-group
+ * range [group_offsets[i], group_offsets[i+1]). The weight-side mask
+ * scan (the O(M/v * K) part) runs once and is shared across all
+ * ranges, so attributing per-request statistics over an R-wide batch
+ * costs one weight scan plus R activation-range scans. Each record is
+ * bit-equal to aqsCountStats() over the same range.
+ */
+std::vector<AqsStats>
+aqsCountStatsBatch(const WeightOperand &w, const ActivationOperand &x,
+                   const AqsConfig &cfg,
+                   std::span<const std::size_t> group_offsets);
 
 /**
  * Scalar reference implementation of the AQS-GEMM: the original 7-deep

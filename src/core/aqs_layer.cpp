@@ -124,21 +124,39 @@ AqsLinearLayer::prepareInput(const MatrixI32 &x_codes) const
 }
 
 MatrixI64
-AqsLinearLayer::forwardCodes(const MatrixI32 &x_codes,
-                             AqsStats *stats) const
+AqsLinearLayer::forwardPrepared(const ActivationOperand &x_op,
+                                AqsStats *stats) const
 {
-    ActivationOperand x_op = prepareInput(x_codes);
     MatrixI64 acc = aqsGemm(weightOp_, x_op, opts_.gemm, stats);
     addRowBias(acc, foldedBias_);
     return acc;
+}
+
+AqsStats
+AqsLinearLayer::countStats(const ActivationOperand &x_op,
+                           std::size_t ng_begin, std::size_t ng_end) const
+{
+    return aqsCountStats(weightOp_, x_op, opts_.gemm, ng_begin, ng_end);
+}
+
+MatrixF
+AqsLinearLayer::dequantizeOutput(const MatrixI64 &acc) const
+{
+    return dequantizeAccumulator(acc, wParams_.scale, xParams_.scale);
+}
+
+MatrixI64
+AqsLinearLayer::forwardCodes(const MatrixI32 &x_codes,
+                             AqsStats *stats) const
+{
+    return forwardPrepared(prepareInput(x_codes), stats);
 }
 
 MatrixF
 AqsLinearLayer::forward(const MatrixF &x, AqsStats *stats) const
 {
     MatrixI32 codes = quantizeInput(x);
-    MatrixI64 acc = forwardCodes(codes, stats);
-    return dequantizeAccumulator(acc, wParams_.scale, xParams_.scale);
+    return dequantizeOutput(forwardCodes(codes, stats));
 }
 
 } // namespace panacea

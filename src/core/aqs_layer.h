@@ -69,6 +69,33 @@ class AqsLinearLayer
     MatrixI64 forwardCodes(const MatrixI32 &x_codes,
                            AqsStats *stats = nullptr) const;
 
+    /**
+     * Run the engine on an ALREADY-PREPARED activation operand and
+     * return the integer accumulator including the folded bias: the
+     * operand-reuse entry point of the serving runtime (src/serve/),
+     * which prepares/concatenates operands ahead of execution so a
+     * batch GEMM never re-slices and prep of batch i+1 can overlap the
+     * GEMM of batch i. forwardCodes() is exactly prepareInput() +
+     * forwardPrepared().
+     */
+    MatrixI64 forwardPrepared(const ActivationOperand &x_op,
+                              AqsStats *stats = nullptr) const;
+
+    /**
+     * Counting-only twin of forwardPrepared() over the output column
+     * groups [ng_begin, ng_end): the exact statistics a GEMM over just
+     * those columns would record (see aqsCountStats()). The serving
+     * engine uses it to attribute bit-exact per-request statistics out
+     * of one batched call.
+     */
+    AqsStats countStats(const ActivationOperand &x_op,
+                        std::size_t ng_begin = 0,
+                        std::size_t ng_end =
+                            static_cast<std::size_t>(-1)) const;
+
+    /** Dequantize an accumulator from forwardCodes/forwardPrepared. */
+    MatrixF dequantizeOutput(const MatrixI64 &acc) const;
+
     /** Quantize a float activation with this layer's parameters. */
     MatrixI32 quantizeInput(const MatrixF &x) const;
 

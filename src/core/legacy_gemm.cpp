@@ -164,12 +164,14 @@ legacyBand(const SlicedMatrix &w, const SlicedMatrix &x, int v_in,
         xshift[xl] = x.planes[xl].shift;
     }
 
-    // Streaming fast path (AVX2+): dense masked passes over the
-    // pre-interleaved operands replace skip-list gathers whenever the
-    // list covers at least half the steps; stats always come from the
-    // list lengths, so the choice never changes results or counters.
+    // Streaming fast path (SSE2+ generic-v, AVX2+ for v = 4): dense
+    // masked passes over the pre-interleaved operands replace skip-list
+    // gathers whenever the list covers at least half the steps; stats
+    // always come from the list lengths, so the choice never changes
+    // results or counters.
     const bool stream_ok =
-        VT == 4 && kern.stream4 != nullptr && xq != nullptr;
+        xq != nullptr && (VT == 4 ? kern.stream4 != nullptr
+                                  : kern.streamGeneric != nullptr);
     const std::size_t kkp = detail::pairCount(kk);
     const std::size_t pw = 2 * uv;
 
@@ -253,7 +255,11 @@ legacyBand(const SlicedMatrix &w, const SlicedMatrix &x, int v_in,
                                 : wq.data() + wl * kkp * pw;
                         const std::int16_t *xqp =
                             xq + (xl * n_groups + ng) * kkp * pw;
-                        kern.stream4(wqp, xqp, kkp, pacc.data());
+                        if constexpr (VT == 4)
+                            kern.stream4(wqp, xqp, kkp, pacc.data());
+                        else
+                            kern.streamGeneric(wqp, xqp, kkp, v,
+                                               pacc.data());
                     } else if constexpr (VT == 4) {
                         kern.pass4(wp, xbase[xl], n, ng_off, ks, nk,
                                    identity, pacc.data());
@@ -346,10 +352,13 @@ legacyBitsliceGemm(const SlicedMatrix &w, const SlicedMatrix &x, int v,
     const detail::PairPassKernels &kern =
         detail::pairPassKernels(activeIsaLevel());
 
-    // Paired-stream activation planes for the AVX2+ streaming passes;
-    // the HO plane is pre-masked only under activation-side skipping.
+    // Paired-stream activation planes for the streaming passes (v = 4
+    // from AVX2 up, generic-v from SSE2 up); the HO plane is pre-masked
+    // only under activation-side skipping.
     std::vector<std::int16_t> xq;
-    if (blocked && v == 4 && kern.stream4 != nullptr)
+    const bool have_stream = v == 4 ? kern.stream4 != nullptr
+                                    : kern.streamGeneric != nullptr;
+    if (blocked && have_stream)
         xq = detail::pairedSlicePlanes(x, v,
                                        skip_weight ? nullptr : &x_mask);
 
@@ -380,7 +389,8 @@ legacyBitsliceGemm(const SlicedMatrix &w, const SlicedMatrix &x, int v,
                           acc, part);
         else
             legacyBand<0>(w, x, v, skip_weight, w_mask, xd, x16.data(),
-                          nullptr, kern, b, e, acc, part);
+                          xq.empty() ? nullptr : xq.data(), kern, b, e,
+                          acc, part);
     });
     for (const LegacyBandCounters &part : partial) {
         local.executedOuterProducts += part.executed;

@@ -75,6 +75,23 @@ using PairStream4Fn = void (*)(const std::int16_t *wq,
                                const std::int16_t *xq, std::size_t pairs,
                                std::int32_t *pacc);
 
+/**
+ * Streaming runtime-v (1 <= v <= 16) pair pass over PRE-INTERLEAVED
+ * operands: the generic-v counterpart of PairStream4Fn. `wq` and `xq`
+ * hold `pairs` step pairs contiguously, 2v int16 each:
+ * wq[p*2v + 2*i + s] is the weight slice of output row i at reduction
+ * step 2p+s, xq[p*2v + 2*j + s] the activation slice of output column
+ * j (an odd trailing step is padded with zeros on both operands; the
+ * same layout pairedSlicePlanes / packWeightBandPaired emit for any
+ * v). Each pmaddwd lane fuses the two steps of one (i, j) element, so
+ * the pass is branch-free and indirection-free like the v = 4 stream.
+ * OVERWRITES pacc (v x v row-major int32).
+ */
+using PairStreamGenericFn = void (*)(const std::int16_t *wq,
+                                     const std::int16_t *xq,
+                                     std::size_t pairs, int v,
+                                     std::int32_t *pacc);
+
 /** One row of the ISA-dispatch table. */
 struct PairPassKernels
 {
@@ -87,6 +104,13 @@ struct PairPassKernels
      * paired-operand build optional.
      */
     PairStream4Fn stream4 = nullptr;
+    /**
+     * Generic-v streaming pass. Populated from the SSE2 tier up (the
+     * pmaddwd pair-fuse is what makes a dense masked stream beat the
+     * scalar gather); null in the scalar row, so the scalar tier stays
+     * a pure gather engine and the paired-operand build optional.
+     */
+    PairStreamGenericFn streamGeneric = nullptr;
 };
 
 /**
@@ -113,6 +137,8 @@ void pairPass4Sse2(const std::int16_t *wp, const std::int16_t *xp,
                    std::size_t n, std::size_t ng_off,
                    const std::uint32_t *ks, std::size_t nk, bool identity,
                    std::int32_t *pacc);
+void pairStreamGenericSse2(const std::int16_t *wq, const std::int16_t *xq,
+                           std::size_t pairs, int v, std::int32_t *pacc);
 void pairPass4Avx2(const std::int16_t *wp, const std::int16_t *xp,
                    std::size_t n, std::size_t ng_off,
                    const std::uint32_t *ks, std::size_t nk, bool identity,
@@ -123,6 +149,8 @@ void pairPassGenericAvx2(const std::int16_t *wp, const std::int16_t *xp,
                          std::size_t n, std::size_t ng_off,
                          const std::uint32_t *ks, std::size_t nk,
                          bool identity, int v, std::int32_t *pacc);
+void pairStreamGenericAvx2(const std::int16_t *wq, const std::int16_t *xq,
+                           std::size_t pairs, int v, std::int32_t *pacc);
 void pairPass4Avx512(const std::int16_t *wp, const std::int16_t *xp,
                      std::size_t n, std::size_t ng_off,
                      const std::uint32_t *ks, std::size_t nk,
@@ -133,6 +161,9 @@ void pairPassGenericAvx512(const std::int16_t *wp, const std::int16_t *xp,
                            std::size_t n, std::size_t ng_off,
                            const std::uint32_t *ks, std::size_t nk,
                            bool identity, int v, std::int32_t *pacc);
+void pairStreamGenericAvx512(const std::int16_t *wq,
+                             const std::int16_t *xq, std::size_t pairs,
+                             int v, std::int32_t *pacc);
 
 } // namespace detail
 } // namespace panacea

@@ -256,6 +256,85 @@ pairPassGenericAvx512(const std::int16_t *wp, const std::int16_t *xp,
     }
 }
 
+/**
+ * Generic-v streaming pair pass, 512-bit: the runtime-v counterpart of
+ * pairStream4Avx512 over the pre-interleaved 2v-wide paired layout.
+ * Per output row a 16-column accumulator block stays in one zmm
+ * register across all step pairs (v = 16 rows are a single block);
+ * each iteration broadcasts the row's (step, step+1) weight pair and
+ * retires TWO reduction steps for sixteen columns with one vpmaddwd.
+ * Narrower column remainders fall to the 256/128-bit and scalar tails.
+ * Exact int32 arithmetic, bit-identical to the gather kernels over the
+ * same dense steps.
+ */
+void
+pairStreamGenericAvx512(const std::int16_t *wq, const std::int16_t *xq,
+                        std::size_t pairs, int v, std::int32_t *pacc)
+{
+    const std::size_t pw = 2 * static_cast<std::size_t>(v);
+    const int j16 = v & ~15; // widest multiple-of-16 column prefix
+    const int j8 = v & ~7;
+    const int j4 = v & ~3;
+    for (int i = 0; i < v; ++i) {
+        std::int32_t *prow = pacc + i * v;
+        for (int j = 0; j < j16; j += 16) {
+            __m512i acc = _mm512_setzero_si512();
+            for (std::size_t p = 0; p < pairs; ++p) {
+                std::int32_t wpair;
+                __builtin_memcpy(&wpair, wq + p * pw + 2 * i,
+                                 sizeof wpair);
+                const __m512i xb = _mm512_loadu_si512(xq + p * pw +
+                                                      2 * j);
+                acc = _mm512_add_epi32(
+                    acc,
+                    _mm512_madd_epi16(_mm512_set1_epi32(wpair), xb));
+            }
+            _mm512_storeu_si512(prow + j, acc);
+        }
+        if (j8 > j16) {
+            __m256i acc = _mm256_setzero_si256();
+            for (std::size_t p = 0; p < pairs; ++p) {
+                std::int32_t wpair;
+                __builtin_memcpy(&wpair, wq + p * pw + 2 * i,
+                                 sizeof wpair);
+                const __m256i xb = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(xq + p * pw +
+                                                      2 * j16));
+                acc = _mm256_add_epi32(
+                    acc,
+                    _mm256_madd_epi16(_mm256_set1_epi32(wpair), xb));
+            }
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(prow + j16),
+                                acc);
+        }
+        if (j4 > j8) {
+            __m128i acc = _mm_setzero_si128();
+            for (std::size_t p = 0; p < pairs; ++p) {
+                std::int32_t wpair;
+                __builtin_memcpy(&wpair, wq + p * pw + 2 * i,
+                                 sizeof wpair);
+                const __m128i xb = _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(xq + p * pw +
+                                                      2 * j8));
+                acc = _mm_add_epi32(
+                    acc, _mm_madd_epi16(_mm_set1_epi32(wpair), xb));
+            }
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(prow + j8),
+                             acc);
+        }
+        for (int j = j4; j < v; ++j) {
+            std::int32_t sum = 0;
+            for (std::size_t p = 0; p < pairs; ++p) {
+                const std::int16_t *wr = wq + p * pw + 2 * i;
+                const std::int16_t *xr = xq + p * pw + 2 * j;
+                sum += static_cast<std::int32_t>(wr[0]) * xr[0] +
+                       static_cast<std::int32_t>(wr[1]) * xr[1];
+            }
+            prow[j] = sum;
+        }
+    }
+}
+
 } // namespace detail
 } // namespace panacea
 

@@ -10,6 +10,7 @@
 #include "core/pair_pass.h"
 
 #include <array>
+#include <cstring>
 
 #if defined(__SSE2__)
 #include <emmintrin.h>
@@ -105,6 +106,50 @@ pairPass4Sse2(const std::int16_t *wp, const std::int16_t *xp,
     }
 }
 
+/**
+ * Generic-v streaming pair pass, 128-bit: operands arrive
+ * pre-interleaved in the 2v-wide paired layout (PairStreamGenericFn in
+ * core/pair_pass.h). Per output row a 4-column accumulator block stays
+ * in one xmm register across all step pairs; each iteration broadcasts
+ * the row's (step, step+1) weight pair and retires TWO reduction steps
+ * for four columns with one pmaddwd - no skip-list indirection, no
+ * per-step interleaving. Exact int32 arithmetic, bit-identical to the
+ * gather kernels over the same dense steps.
+ */
+void
+pairStreamGenericSse2(const std::int16_t *wq, const std::int16_t *xq,
+                      std::size_t pairs, int v, std::int32_t *pacc)
+{
+    const std::size_t pw = 2 * static_cast<std::size_t>(v);
+    const int j4 = v & ~3; // widest multiple-of-4 prefix of the columns
+    for (int i = 0; i < v; ++i) {
+        std::int32_t *prow = pacc + i * v;
+        for (int j = 0; j < j4; j += 4) {
+            __m128i acc = _mm_setzero_si128();
+            for (std::size_t p = 0; p < pairs; ++p) {
+                std::int32_t wpair;
+                std::memcpy(&wpair, wq + p * pw + 2 * i, sizeof wpair);
+                const __m128i xb = _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(xq + p * pw +
+                                                      2 * j));
+                acc = _mm_add_epi32(
+                    acc, _mm_madd_epi16(_mm_set1_epi32(wpair), xb));
+            }
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(prow + j), acc);
+        }
+        for (int j = j4; j < v; ++j) {
+            std::int32_t sum = 0;
+            for (std::size_t p = 0; p < pairs; ++p) {
+                const std::int16_t *wr = wq + p * pw + 2 * i;
+                const std::int16_t *xr = xq + p * pw + 2 * j;
+                sum += static_cast<std::int32_t>(wr[0]) * xr[0] +
+                       static_cast<std::int32_t>(wr[1]) * xr[1];
+            }
+            prow[j] = sum;
+        }
+    }
+}
+
 #endif // __SSE2__
 
 const PairPassKernels &
@@ -120,6 +165,7 @@ pairPassKernels(IsaLevel level)
         t[1].level = IsaLevel::Sse2;
 #if defined(__SSE2__)
         t[1].pass4 = &pairPass4Sse2;
+        t[1].streamGeneric = &pairStreamGenericSse2;
 #endif
         t[2] = t[1];
         t[2].level = IsaLevel::Avx2;
@@ -127,6 +173,7 @@ pairPassKernels(IsaLevel level)
         t[2].pass4 = &pairPass4Avx2;
         t[2].passGeneric = &pairPassGenericAvx2;
         t[2].stream4 = &pairStream4Avx2;
+        t[2].streamGeneric = &pairStreamGenericAvx2;
 #endif
         t[3] = t[2];
         t[3].level = IsaLevel::Avx512;
@@ -134,6 +181,7 @@ pairPassKernels(IsaLevel level)
         t[3].pass4 = &pairPass4Avx512;
         t[3].passGeneric = &pairPassGenericAvx512;
         t[3].stream4 = &pairStream4Avx512;
+        t[3].streamGeneric = &pairStreamGenericAvx512;
 #endif
         return t;
     }();

@@ -1,0 +1,318 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "core/aqs_gemm.h"
+#include "util/logging.h"
+#include "util/stats.h"
+#include "util/walltime.h"
+
+namespace panacea {
+namespace serve {
+
+namespace {
+
+int
+defaultBatchWindow()
+{
+    if (const char *env = std::getenv("PANACEA_BATCH_WINDOW")) {
+        long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<int>(v);
+    }
+    return 8;
+}
+
+/** Latency percentiles cover the most recent this-many requests. */
+constexpr std::size_t kLatencyWindow = 8192;
+
+} // namespace
+
+/** One queued request (id, routing handle, input, completion hook). */
+struct InferenceEngine::Pending
+{
+    std::uint64_t id = 0;
+    std::shared_ptr<const ServedModel> model;
+    MatrixF input;
+    std::promise<RequestResult> promise;
+    std::chrono::steady_clock::time_point submitted;
+};
+
+InferenceEngine::InferenceEngine(const EngineOptions &opts,
+                                 PreparedModelCache *cache)
+    : opts_(opts), cache_(cache)
+{
+    if (opts_.batchWindow <= 0)
+        opts_.batchWindow = defaultBatchWindow();
+    if (opts_.workers <= 0)
+        opts_.workers = 2;
+    if (opts_.batchDeadlineMs < 0.0)
+        opts_.batchDeadlineMs = 0.0;
+    workers_.reserve(static_cast<std::size_t>(opts_.workers));
+    for (int t = 0; t < opts_.workers; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+InferenceEngine::~InferenceEngine()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+std::shared_ptr<const ServedModel>
+InferenceEngine::load(const ModelSpec &spec, const ServeModelOptions &opts)
+{
+    if (cache_ != nullptr)
+        return cache_->acquire(spec, opts);
+    return std::make_shared<const ServedModel>(
+        ServedModel::build(spec, opts));
+}
+
+std::future<RequestResult>
+InferenceEngine::submit(std::shared_ptr<const ServedModel> model,
+                        MatrixF input)
+{
+    // A long-lived serving engine must not die on one bad request:
+    // malformed submissions are rejected through their own future
+    // (std::invalid_argument) while every other request keeps flowing.
+    const auto reject = [](std::string why) {
+        std::promise<RequestResult> p;
+        p.set_exception(std::make_exception_ptr(
+            std::invalid_argument(std::move(why))));
+        return p.get_future();
+    };
+    if (model == nullptr)
+        return reject("submit() needs a loaded model");
+    const std::size_t uv =
+        static_cast<std::size_t>(model->options().v);
+    if (input.rows() != model->inputFeatures())
+        return reject("request rows " + std::to_string(input.rows()) +
+                      " != model input features " +
+                      std::to_string(model->inputFeatures()));
+    if (input.cols() == 0 || input.cols() % uv != 0)
+        return reject("request columns " +
+                      std::to_string(input.cols()) +
+                      " must be a positive multiple of v=" +
+                      std::to_string(uv));
+
+    Pending p;
+    p.model = std::move(model);
+    p.input = std::move(input);
+    p.submitted = std::chrono::steady_clock::now();
+    std::future<RequestResult> fut = p.promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return reject("submit() after engine shutdown began");
+        p.id = nextId_++;
+        queue_.push_back(std::move(p));
+    }
+    workCv_.notify_all();
+    return fut;
+}
+
+void
+InferenceEngine::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    drainCv_.wait(lock,
+                  [&] { return queue_.empty() && inFlight_ == 0; });
+}
+
+void
+InferenceEngine::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        workCv_.wait(lock,
+                     [&] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+
+        // Coalesce same-model requests behind the oldest pending one.
+        // Moving a request out of the queue and counting it in-flight
+        // happen under the same lock, so drain() never sees a gap.
+        const std::shared_ptr<const ServedModel> model =
+            queue_.front().model;
+        const std::size_t window =
+            static_cast<std::size_t>(opts_.batchWindow);
+        std::vector<Pending> batch;
+        batch.reserve(window);
+        const auto collect = [&] {
+            for (auto it = queue_.begin();
+                 it != queue_.end() && batch.size() < window;) {
+                if (it->model == model) {
+                    batch.push_back(std::move(*it));
+                    it = queue_.erase(it);
+                    ++inFlight_;
+                } else {
+                    ++it;
+                }
+            }
+        };
+        collect();
+        if (batch.size() < window && opts_.batchDeadlineMs > 0.0) {
+            const auto deadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::microseconds(static_cast<long long>(
+                    std::llround(opts_.batchDeadlineMs * 1000.0)));
+            while (batch.size() < window && !stopping_) {
+                if (workCv_.wait_until(lock, deadline) ==
+                    std::cv_status::timeout) {
+                    collect();
+                    break;
+                }
+                collect();
+            }
+        }
+
+        lock.unlock();
+        runBatch(model, batch);
+        lock.lock();
+        inFlight_ -= batch.size();
+        drainCv_.notify_all();
+    }
+}
+
+void
+InferenceEngine::runBatch(const std::shared_ptr<const ServedModel> &model,
+                          std::vector<Pending> &batch)
+{
+    const std::size_t uv =
+        static_cast<std::size_t>(model->options().v);
+    const std::size_t requests = batch.size();
+
+    // Layer-0 prep per request + column concat. This part runs
+    // concurrently across workers - it is the stage that overlaps the
+    // previous batch's GEMM.
+    const auto tp = std::chrono::steady_clock::now();
+    std::vector<ActivationOperand> ops;
+    ops.reserve(requests);
+    std::vector<std::size_t> offsets(requests + 1, 0);
+    for (std::size_t r = 0; r < requests; ++r) {
+        ops.push_back(model->prepareInput(batch[r].input));
+        offsets[r + 1] = offsets[r] + batch[r].input.cols() / uv;
+    }
+    ActivationOperand batched;
+    const ActivationOperand *op = &ops.front();
+    if (requests > 1) {
+        std::vector<const ActivationOperand *> ptrs;
+        ptrs.reserve(requests);
+        for (const ActivationOperand &o : ops)
+            ptrs.push_back(&o);
+        batched =
+            concatActivationOperands(ptrs, model->layer(0).config());
+        op = &batched;
+    }
+    double prep_ms = msSince(tp);
+
+    // The GEMM stage: gemmMutex_ is taken per layer GEMM inside
+    // runPrepared, so another worker's operand prep (layer 0 above,
+    // intermediate layers inside its own runPrepared) genuinely
+    // overlaps this batch's kernels.
+    ServedModel::BatchResult res =
+        model->runPrepared(*op, offsets, &gemmMutex_);
+    prep_ms += res.prepMs;
+
+    // Split the output columns back per request.
+    const auto tdone = std::chrono::steady_clock::now();
+    const std::size_t m_out = res.output.rows();
+    std::vector<RequestResult> results(requests);
+    for (std::size_t r = 0; r < requests; ++r) {
+        const std::size_t c0 = offsets[r] * uv;
+        const std::size_t c1 = offsets[r + 1] * uv;
+        RequestResult &rr = results[r];
+        rr.id = batch[r].id;
+        rr.stats = res.perRequest[r];
+        rr.batchSize = requests;
+        rr.output = MatrixF(m_out, c1 - c0);
+        for (std::size_t row = 0; row < m_out; ++row) {
+            const auto src = res.output.row(row);
+            std::copy(src.begin() + static_cast<std::ptrdiff_t>(c0),
+                      src.begin() + static_cast<std::ptrdiff_t>(c1),
+                      rr.output.row(row).begin());
+        }
+        rr.latencyMs = std::chrono::duration<double, std::milli>(
+                           tdone - batch[r].submitted)
+                           .count();
+    }
+
+    // Record counters BEFORE fulfilling futures: once a caller's
+    // future resolves, stats() already includes its request.
+    {
+        std::lock_guard<std::mutex> stats_lock(statsMutex_);
+        for (std::size_t r = 0; r < requests; ++r) {
+            const AqsStats &rs = res.perRequest[r];
+            // Integer counters only: exact sums, so the fold is
+            // identical for every completion order. stats()
+            // reconstructs the floating macsPerOuterProduct mean from
+            // the exact weighted sum below.
+            aggregate_.addCounters(rs);
+            // v*v and denseOuterProducts are integers, so each term
+            // (and the running sum, up to 2^53) is exact: the mean
+            // reconstructed in stats() is order-independent.
+            macsWeightedSum_ +=
+                rs.macsPerOuterProduct *
+                static_cast<double>(rs.denseOuterProducts);
+            ++requests_;
+            const float lat = static_cast<float>(results[r].latencyMs);
+            if (latenciesMs_.size() < kLatencyWindow)
+                latenciesMs_.push_back(lat);
+            else
+                latenciesMs_[latencyNext_ % kLatencyWindow] = lat;
+            ++latencyNext_;
+        }
+        ++batches_;
+        maxBatch_ = std::max(maxBatch_, requests);
+        const std::uint64_t cols = offsets.back() * uv;
+        columns_ += cols;
+        macs_ += cols * model->macsPerColumn();
+        prepMs_ += prep_ms;
+        gemmMs_ += res.gemmMs;
+    }
+
+    for (std::size_t r = 0; r < requests; ++r)
+        batch[r].promise.set_value(std::move(results[r]));
+}
+
+EngineStats
+InferenceEngine::stats() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    EngineStats s;
+    s.requests = requests_;
+    s.batches = batches_;
+    s.columns = columns_;
+    s.maxBatch = maxBatch_;
+    s.meanBatch = batches_ > 0 ? static_cast<double>(s.requests) /
+                                     static_cast<double>(batches_)
+                               : 0.0;
+    s.prepMs = prepMs_;
+    s.gemmMs = gemmMs_;
+    s.macs = macs_;
+    if (!latenciesMs_.empty()) {
+        s.p50LatencyMs = percentile(latenciesMs_, 50.0);
+        s.p99LatencyMs = percentile(latenciesMs_, 99.0);
+    }
+    s.aggregate = aggregate_;
+    if (aggregate_.denseOuterProducts > 0)
+        s.aggregate.macsPerOuterProduct =
+            macsWeightedSum_ /
+            static_cast<double>(aggregate_.denseOuterProducts);
+    return s;
+}
+
+} // namespace serve
+} // namespace panacea

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The batched inference engine: a submission queue with dynamic
+ * micro-batching on top of the prepared-operand cache and the AQS-GEMM
+ * kernels.
+ *
+ * Dataflow (one worker iteration):
+ *
+ *   submit() ──▶ pending queue ──▶ [collect ≤ window, wait ≤ deadline]
+ *                                        │  same-model requests
+ *                                        ▼
+ *                   per-request quantize + slice (layer 0)
+ *                   concatActivationOperands() ─ column concat
+ *                                        ▼
+ *                   ServedModel::runPrepared()   (GEMM serialized
+ *                        layer stack, batched     across workers)
+ *                                        ▼
+ *                   split output columns per request, fulfil futures
+ *
+ * Micro-batching: a worker takes the oldest pending request, then
+ * coalesces up to batchWindow same-model requests, waiting at most
+ * batchDeadlineMs for the window to fill. The batch executes as ONE
+ * activation operand whose columns are the requests' columns
+ * concatenated - amortizing the per-call weight-side work (band
+ * packing, skip-list builds, pool dispatch) that dominates small-N
+ * calls - and results are split back per request. Batching is
+ * bit-exact: aqsGemm() is column-slice deterministic and every
+ * inter-layer step is column-blocked, so request r's output and stats
+ * never depend on what else rode along.
+ *
+ * Overlap: with workers >= 2, one worker's layer-0 operand prep runs
+ * concurrently with another worker's GEMM (the GEMM itself is
+ * serialized by a mutex so the shared parallel_for pool serves one
+ * kernel at a time); both sides fan out on the shared pool.
+ *
+ * Determinism: per-request outputs and stats are byte-identical for
+ * any submission order, worker count, batch window/deadline and
+ * PANACEA_ISA level (tests/test_serve_engine.cpp). Engine timing
+ * fields (latency percentiles, prep/GEMM ms) are wall-clock and
+ * excluded from that contract.
+ */
+
+#ifndef PANACEA_SERVE_ENGINE_H
+#define PANACEA_SERVE_ENGINE_H
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/operand_cache.h"
+#include "serve/request.h"
+#include "serve/served_model.h"
+
+namespace panacea {
+namespace serve {
+
+/** Engine configuration (fixed at construction). */
+struct EngineOptions
+{
+    /**
+     * Max requests coalesced into one micro-batch. 0 reads
+     * PANACEA_BATCH_WINDOW from the environment, falling back to 8.
+     */
+    int batchWindow = 0;
+    /**
+     * How long a worker holding a partial batch waits for the window
+     * to fill before executing, in milliseconds. 0 = execute whatever
+     * is pending immediately (latency-first).
+     */
+    double batchDeadlineMs = 0.2;
+    /**
+     * Engine worker threads. 0 picks 2 (one prepping while one runs
+     * GEMM); 1 disables the overlap. Workers only change timing, never
+     * results.
+     */
+    int workers = 0;
+};
+
+/**
+ * The serving engine. Owns worker threads and (optionally) a model
+ * cache reference; all public methods are thread-safe.
+ */
+class InferenceEngine
+{
+  public:
+    /**
+     * @param opts  engine options (see EngineOptions)
+     * @param cache prepared-model cache load() goes through; defaults
+     *              to the process-wide cache so engines share models
+     */
+    explicit InferenceEngine(
+        const EngineOptions &opts = {},
+        PreparedModelCache *cache = &PreparedModelCache::global());
+
+    /** Drains the queue, then joins the workers. */
+    ~InferenceEngine();
+
+    InferenceEngine(const InferenceEngine &) = delete;
+    InferenceEngine &operator=(const InferenceEngine &) = delete;
+
+    /**
+     * Load (or fetch from cache) a model for serving. Weight operands
+     * are prepared at most once per cache key; the returned handle is
+     * the submit() routing key.
+     */
+    std::shared_ptr<const ServedModel>
+    load(const ModelSpec &spec, const ServeModelOptions &opts = {});
+
+    /**
+     * Enqueue one request. `input` must be model->inputFeatures() rows
+     * by a positive multiple-of-v columns (each v-wide column group is
+     * an independently batchable unit). Returns a future fulfilled
+     * when the request's micro-batch completes. A malformed request
+     * (null model, wrong feature rows, bad column count) or a submit
+     * after shutdown began is rejected through the future itself -
+     * get() throws std::invalid_argument - and never disturbs other
+     * requests.
+     */
+    std::future<RequestResult>
+    submit(std::shared_ptr<const ServedModel> model, MatrixF input);
+
+    /** Block until every submitted request has completed. */
+    void drain();
+
+    /** @return aggregate counters (see EngineStats). */
+    EngineStats stats() const;
+
+    /** @return the resolved options (window/deadline/workers). */
+    const EngineOptions &options() const { return opts_; }
+
+  private:
+    struct Pending;
+
+    void workerLoop();
+    void runBatch(const std::shared_ptr<const ServedModel> &model,
+                  std::vector<Pending> &batch);
+
+    EngineOptions opts_;
+    PreparedModelCache *cache_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable workCv_;  ///< queue activity
+    std::condition_variable drainCv_; ///< completion progress
+    std::deque<Pending> queue_;
+    std::size_t inFlight_ = 0;
+    std::uint64_t nextId_ = 0;
+    bool stopping_ = false;
+
+    std::mutex gemmMutex_; ///< one GEMM at a time on the shared pool
+
+    /**
+     * Aggregate state is O(1) in served requests: counters fold
+     * incrementally (exact integer sums, so completion order cannot
+     * change them; the one floating-point stats field is reconstructed
+     * from exact sums in stats()), and latency percentiles cover a
+     * fixed-size window of the most recent requests.
+     */
+    mutable std::mutex statsMutex_;
+    AqsStats aggregate_;             ///< integer counters only
+    double macsWeightedSum_ = 0.0;   ///< sum of v*v * denseOuterProducts
+    std::uint64_t requests_ = 0;
+    std::vector<float> latenciesMs_; ///< ring of recent latencies
+    std::size_t latencyNext_ = 0;
+    std::uint64_t batches_ = 0;
+    std::uint64_t columns_ = 0;
+    std::uint64_t macs_ = 0;
+    std::size_t maxBatch_ = 0;
+    double prepMs_ = 0.0;
+    double gemmMs_ = 0.0;
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace serve
+} // namespace panacea
+
+#endif // PANACEA_SERVE_ENGINE_H

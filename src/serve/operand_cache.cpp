@@ -1,0 +1,79 @@
+#include "serve/operand_cache.h"
+
+namespace panacea {
+namespace serve {
+
+std::shared_ptr<const ServedModel>
+PreparedModelCache::acquire(const ModelSpec &spec,
+                            const ServeModelOptions &opts)
+{
+    const std::string key = serveModelKey(spec, opts);
+    std::promise<std::shared_ptr<const ServedModel>> promise;
+    ModelFuture future;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            future = promise.get_future().share();
+            entries_.emplace(key, future);
+            builder = true;
+            ++stats_.misses;
+        } else {
+            future = it->second;
+            ++stats_.hits;
+        }
+    }
+
+    if (builder) {
+        // Build outside the lock: only same-key loaders wait (on the
+        // future); other keys and the counters stay available.
+        auto model = std::make_shared<const ServedModel>(
+            ServedModel::build(spec, opts));
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stats_.buildMsTotal += model->buildMs();
+        }
+        promise.set_value(model);
+        return model;
+    }
+
+    std::shared_ptr<const ServedModel> model = future.get();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.buildMsSaved += model->buildMs();
+    }
+    return model;
+}
+
+PreparedModelCache::CacheStats
+PreparedModelCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t
+PreparedModelCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void
+PreparedModelCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    stats_ = CacheStats{};
+}
+
+PreparedModelCache &
+PreparedModelCache::global()
+{
+    static PreparedModelCache cache;
+    return cache;
+}
+
+} // namespace serve
+} // namespace panacea

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Keyed cache of prepared models: the serving layer's guarantee that
+ * weight operands (SBR slices + RLE streams + HO masks) are built once
+ * per (model, options) and shared - across requests, engines and
+ * repeated load() calls - instead of being re-prepared per call the
+ * way the one-shot entry points do.
+ *
+ * Cache keying: serveModelKey() fingerprints everything that changes
+ * the prepared bytes - model name, v, RLE index width, skip mode,
+ * ZPM/DBS settings, weight-bit override, tensor seed, calibration
+ * token count and the served-layer cap. Two loads agreeing on the key
+ * therefore share one immutable ServedModel (shared_ptr); anything
+ * else builds a new entry. Entries live until clear().
+ */
+
+#ifndef PANACEA_SERVE_OPERAND_CACHE_H
+#define PANACEA_SERVE_OPERAND_CACHE_H
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/served_model.h"
+
+namespace panacea {
+namespace serve {
+
+/** Thread-safe keyed cache of immutable ServedModels. */
+class PreparedModelCache
+{
+  public:
+    /** Cache effectiveness counters (monotone; reset by clear()). */
+    struct CacheStats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        double buildMsTotal = 0.0; ///< wall time spent building entries
+        /**
+         * Wall time hits avoided re-spending: the sum of buildMs() of
+         * every entry served from cache - the "prep amortization win"
+         * the LLM decode example reports.
+         */
+        double buildMsSaved = 0.0;
+    };
+
+    /**
+     * Return the cached model for (spec, opts), building it on first
+     * use. Builds run OUTSIDE the cache lock: concurrent loaders of
+     * the same key wait on that entry's future instead of duplicating
+     * a multi-second preparation, while loads of other keys proceed
+     * unblocked.
+     */
+    std::shared_ptr<const ServedModel>
+    acquire(const ModelSpec &spec, const ServeModelOptions &opts = {});
+
+    /** @return a consistent snapshot of the counters. */
+    CacheStats stats() const;
+
+    /** @return number of resident entries. */
+    std::size_t size() const;
+
+    /** Drop every entry and reset the counters. */
+    void clear();
+
+    /** @return the process-wide cache. */
+    static PreparedModelCache &global();
+
+  private:
+    using ModelFuture =
+        std::shared_future<std::shared_ptr<const ServedModel>>;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, ModelFuture> entries_;
+    CacheStats stats_;
+};
+
+} // namespace serve
+} // namespace panacea
+
+#endif // PANACEA_SERVE_OPERAND_CACHE_H

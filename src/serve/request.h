@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Request/response types of the serving engine (serve/engine.h).
+ *
+ * A request is one float activation matrix (inputFeatures() rows, a
+ * positive multiple of v columns - e.g. v decode tokens) bound for a
+ * loaded model's layer stack. Results carry, besides the output
+ * columns, the request's OWN execution statistics: bit-equal to what a
+ * solo run would record, whatever batch the request actually rode in
+ * (see ServedModel::runPrepared()).
+ */
+
+#ifndef PANACEA_SERVE_REQUEST_H
+#define PANACEA_SERVE_REQUEST_H
+
+#include <cstdint>
+
+#include "core/aqs_gemm.h"
+#include "util/matrix.h"
+
+namespace panacea {
+namespace serve {
+
+/** Completion record of one inference request. */
+struct RequestResult
+{
+    std::uint64_t id = 0;   ///< submission id (monotone per engine)
+    MatrixF output;         ///< final-layer columns of this request
+    /**
+     * This request's execution statistics across the layer stack,
+     * attributed out of the batched calls via aqsCountStatsBatch():
+     * bit-identical to a solo run of the same input for any batch
+     * composition, worker count, submission order or ISA level.
+     */
+    AqsStats stats;
+    /** Requests in the micro-batch this one executed in (>= 1). */
+    std::size_t batchSize = 0;
+    /** Submit-to-completion wall time (timing, not deterministic). */
+    double latencyMs = 0.0;
+};
+
+/** Aggregate engine counters; see InferenceEngine::stats(). */
+struct EngineStats
+{
+    std::uint64_t requests = 0;   ///< completed requests
+    std::uint64_t batches = 0;    ///< executed micro-batches
+    std::uint64_t columns = 0;    ///< activation columns served
+    std::size_t maxBatch = 0;     ///< largest micro-batch
+    double meanBatch = 0.0;       ///< requests / batches
+    double p50LatencyMs = 0.0;    ///< median request latency
+    double p99LatencyMs = 0.0;    ///< tail request latency
+    double prepMs = 0.0;          ///< operand prep wall time (all layers)
+    double gemmMs = 0.0;          ///< GEMM wall time
+    std::uint64_t macs = 0;       ///< dense-equivalent MACs served
+    /**
+     * Exact fold of every completed request's per-request stats:
+     * integer counters sum exactly and the macsPerOuterProduct mean is
+     * reconstructed from exact weighted sums, so the aggregate is
+     * byte-identical for any completion order, worker count, batch
+     * composition and ISA level (the timing fields above are not).
+     */
+    AqsStats aggregate;
+};
+
+} // namespace serve
+} // namespace panacea
+
+#endif // PANACEA_SERVE_REQUEST_H

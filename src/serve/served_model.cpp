@@ -1,0 +1,203 @@
+#include "serve/served_model.h"
+
+#include <bit>
+#include <sstream>
+
+#include "models/synth_data.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/walltime.h"
+
+namespace panacea {
+namespace serve {
+
+namespace {
+
+/**
+ * FNV-1a fingerprint of everything in a ModelSpec that changes the
+ * prepared bytes: a custom spec reusing another spec's NAME must not
+ * collide with it in the cache.
+ */
+std::uint64_t
+specFingerprint(const ModelSpec &spec)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(spec.seqLen);
+    mix(spec.layers.size());
+    for (const LayerSpec &l : spec.layers) {
+        mix(l.m);
+        mix(l.kDim);
+        mix(l.nOverride);
+        mix(static_cast<std::uint64_t>(l.dist));
+        mix(std::bit_cast<std::uint64_t>(l.spread));
+        mix(std::bit_cast<std::uint64_t>(l.outlierRate));
+        mix(l.repeat);
+        mix(static_cast<std::uint64_t>(l.weightBits));
+        mix(static_cast<std::uint64_t>(l.actBits));
+        mix(std::bit_cast<std::uint64_t>(l.weightOutlierRate));
+    }
+    return h;
+}
+
+} // namespace
+
+std::string
+serveModelKey(const ModelSpec &spec, const ServeModelOptions &opts)
+{
+    std::ostringstream key;
+    key << spec.name << "#" << std::hex << specFingerprint(spec)
+        << std::dec << "|v=" << opts.v << "|rle=" << opts.rleIndexBits
+        << "|skip=" << toString(opts.actSkip)
+        << "|zpm=" << (opts.enableZpm ? 1 : 0)
+        << "|dbs=" << (opts.enableDbs ? 1 : 0) << ":" << opts.dbsTargetMass
+        << "|wbits=" << opts.weightBitsOverride << "|seed=" << opts.seed
+        << "|calib=" << opts.calibTokens << "|layers=" << opts.maxLayers;
+    return key.str();
+}
+
+ServedModel
+ServedModel::build(const ModelSpec &spec, const ServeModelOptions &opts)
+{
+    fatal_if(spec.layers.empty(), "cannot serve a model without layers");
+    const auto t0 = nowTick();
+
+    ServedModel model;
+    model.spec_ = spec;
+    model.opts_ = opts;
+    model.key_ = serveModelKey(spec, opts);
+
+    std::size_t count = spec.layers.size();
+    if (opts.maxLayers != 0 && opts.maxLayers < count)
+        count = opts.maxLayers;
+    model.layers_.reserve(count);
+
+    for (std::size_t i = 0; i < count; ++i) {
+        const LayerSpec &ls = spec.layers[i];
+        // Per-layer RNG stream: layer i's tensors never depend on how
+        // many layers precede it, so trimmed (maxLayers) and full
+        // builds agree on the shared prefix.
+        Rng rng(opts.seed + 0x9e3779b97f4a7c15ull * (i + 1));
+
+        AqsPipelineOptions pipe;
+        pipe.weightBits = opts.weightBitsOverride ? opts.weightBitsOverride
+                                                  : ls.weightBits;
+        pipe.actBits = ls.actBits;
+        pipe.enableZpm = opts.enableZpm;
+        pipe.enableDbs = opts.enableDbs;
+        pipe.dbsTargetMass = opts.dbsTargetMass;
+        pipe.gemm.v = opts.v;
+        pipe.gemm.rleIndexBits = opts.rleIndexBits;
+        pipe.gemm.actSkip = opts.actSkip;
+
+        MatrixF w = genWeights(rng, ls.m, ls.kDim, ls.weightOutlierRate);
+        const MatrixF calib[2] = {
+            genLayerActivations(rng, ls, opts.calibTokens),
+            genLayerActivations(rng, ls, opts.calibTokens),
+        };
+        model.layers_.push_back(AqsLinearLayer::calibrate(
+            w, /*bias=*/{}, std::span<const MatrixF>(calib, 2), pipe));
+        model.macsPerColumn_ +=
+            static_cast<std::uint64_t>(ls.m) * ls.kDim;
+    }
+
+    model.buildMs_ = msSince(t0);
+    return model;
+}
+
+std::size_t
+ServedModel::inputFeatures() const
+{
+    return layers_.front().weights().sliced.cols();
+}
+
+std::size_t
+ServedModel::outputFeatures() const
+{
+    return layers_.back().weights().sliced.rows();
+}
+
+MatrixF
+ServedModel::adaptFeatures(MatrixF y, std::size_t features)
+{
+    if (y.rows() == features)
+        return y;
+    MatrixF out(features, y.cols());
+    for (std::size_t r = 0; r < features; ++r) {
+        const auto src = y.row(r % y.rows());
+        auto dst = out.row(r);
+        std::copy(src.begin(), src.end(), dst.begin());
+    }
+    return out;
+}
+
+ActivationOperand
+ServedModel::prepareInput(const MatrixF &input) const
+{
+    const AqsLinearLayer &first = layers_.front();
+    return first.prepareInput(first.quantizeInput(input));
+}
+
+ServedModel::BatchResult
+ServedModel::runPrepared(const ActivationOperand &input_op,
+                         std::span<const std::size_t> group_offsets,
+                         std::mutex *gemm_mutex) const
+{
+    fatal_if(group_offsets.size() < 2,
+             "runPrepared needs at least one request range");
+    const std::size_t requests = group_offsets.size() - 1;
+    const std::size_t uv = static_cast<std::size_t>(opts_.v);
+    fatal_if(group_offsets.back() * uv != input_op.sliced.cols(),
+             "group offsets (", group_offsets.back(),
+             " groups) do not cover the operand (",
+             input_op.sliced.cols(), " columns)");
+
+    BatchResult res;
+    res.perRequest.assign(requests, AqsStats{});
+
+    const ActivationOperand *cur_op = &input_op;
+    ActivationOperand local_op;
+    MatrixF cur;
+    for (std::size_t li = 0; li < layers_.size(); ++li) {
+        const AqsLinearLayer &layer = layers_[li];
+        if (li > 0) {
+            const auto tp = nowTick();
+            local_op = layer.prepareInput(layer.quantizeInput(cur));
+            cur_op = &local_op;
+            res.prepMs += msSince(tp);
+        }
+
+        // Per-request statistics out of the one batched call: counting
+        // depends only on masks/streams, which are column-blocked, so
+        // each range's record equals a solo run's (one shared weight
+        // scan via the batch variant).
+        const std::vector<AqsStats> layer_stats = aqsCountStatsBatch(
+            layer.weights(), *cur_op, layer.config(), group_offsets);
+        for (std::size_t r = 0; r < requests; ++r)
+            res.perRequest[r] += layer_stats[r];
+
+        const auto tg = nowTick();
+        MatrixI64 acc;
+        {
+            std::unique_lock<std::mutex> gemm_lock;
+            if (gemm_mutex != nullptr)
+                gemm_lock = std::unique_lock<std::mutex>(*gemm_mutex);
+            acc = layer.forwardPrepared(*cur_op, nullptr);
+        }
+        res.gemmMs += msSince(tg);
+
+        MatrixF y = layer.dequantizeOutput(acc);
+        if (li + 1 < layers_.size())
+            cur = adaptFeatures(std::move(y),
+                                layers_[li + 1].weights().sliced.cols());
+        else
+            res.output = std::move(y);
+    }
+    return res;
+}
+
+} // namespace serve
+} // namespace panacea

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Tiny wall-clock helpers shared by the serving runtime, benches and
+ * examples: steady-clock timestamps and elapsed milliseconds.
+ */
+
+#ifndef PANACEA_UTIL_WALLTIME_H
+#define PANACEA_UTIL_WALLTIME_H
+
+#include <chrono>
+
+namespace panacea {
+
+/** @return a steady-clock timestamp for msSince(). */
+inline std::chrono::steady_clock::time_point
+nowTick()
+{
+    return std::chrono::steady_clock::now();
+}
+
+/** @return wall milliseconds elapsed since a nowTick() timestamp. */
+inline double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(nowTick() - t0)
+        .count();
+}
+
+} // namespace panacea
+
+#endif // PANACEA_UTIL_WALLTIME_H

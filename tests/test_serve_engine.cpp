@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Determinism tests for the serving engine (src/serve/): the same
+ * request set must produce byte-identical per-request outputs and
+ * statistics for ANY submission order, worker count, batch
+ * window/deadline and PANACEA_ISA level - micro-batching may change
+ * throughput and latency only, never a result bit. Plus coverage of
+ * the prepared-model cache and the batching machinery itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <vector>
+
+#include "isa_guard.h"
+#include "pool_guard.h"
+#include "serve/engine.h"
+#include "serve/operand_cache.h"
+#include "util/cpu_features.h"
+#include "util/parallel_for.h"
+#include "util/random.h"
+
+namespace panacea {
+namespace serve {
+namespace {
+
+/** A three-layer toy stack exercising distinct distribution families
+ *  and a feature-width change (24 -> 16 forces the glue path). */
+ModelSpec
+tinySpec()
+{
+    ModelSpec spec;
+    spec.name = "serve-test-tiny";
+    spec.seqLen = 16;
+    LayerSpec l0;
+    l0.name = "L0.FC1";
+    l0.m = 24;
+    l0.kDim = 16;
+    l0.dist = ActDistKind::LayerNormGauss;
+    LayerSpec l1;
+    l1.name = "L1.FC2";
+    l1.m = 16;
+    l1.kDim = 24;
+    l1.dist = ActDistKind::PostGelu;
+    LayerSpec l2;
+    l2.name = "L2.PROJ";
+    l2.m = 20;
+    l2.kDim = 12; // mismatched on purpose: exercises adaptFeatures
+    l2.dist = ActDistKind::PostAttention;
+    spec.layers = {l0, l1, l2};
+    return spec;
+}
+
+std::vector<MatrixF>
+makeRequests(std::size_t features, std::size_t count)
+{
+    Rng rng(0xbeef);
+    std::vector<MatrixF> inputs;
+    inputs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        // Mixed widths: 4 or 8 columns (1 or 2 column groups).
+        MatrixF x(features, (i % 3 == 0) ? 8 : 4);
+        for (auto &v : x.data())
+            v = static_cast<float>(rng.gaussian(0.2, 1.0));
+        inputs.push_back(std::move(x));
+    }
+    return inputs;
+}
+
+void
+expectStatsEqual(const AqsStats &a, const AqsStats &b)
+{
+    EXPECT_EQ(a.denseOuterProducts, b.denseOuterProducts);
+    EXPECT_EQ(a.executedOuterProducts, b.executedOuterProducts);
+    EXPECT_EQ(a.skippedOuterProducts, b.skippedOuterProducts);
+    EXPECT_EQ(a.mults, b.mults);
+    EXPECT_EQ(a.adds, b.adds);
+    EXPECT_EQ(a.compMults, b.compMults);
+    EXPECT_EQ(a.compAdds, b.compAdds);
+    EXPECT_EQ(a.compExtraEmaNibbles, b.compExtraEmaNibbles);
+    EXPECT_EQ(a.wNibbles, b.wNibbles);
+    EXPECT_EQ(a.xNibbles, b.xNibbles);
+    EXPECT_EQ(a.wIndexBits, b.wIndexBits);
+    EXPECT_EQ(a.xIndexBits, b.xIndexBits);
+    EXPECT_EQ(a.denseNibbles, b.denseNibbles);
+    EXPECT_DOUBLE_EQ(a.macsPerOuterProduct, b.macsPerOuterProduct);
+}
+
+/** Run every request through an engine; results in input order. */
+std::vector<RequestResult>
+runEngine(const EngineOptions &opts,
+          const std::shared_ptr<const ServedModel> &model,
+          const std::vector<MatrixF> &inputs,
+          const std::vector<std::size_t> &order)
+{
+    InferenceEngine engine(opts, &PreparedModelCache::global());
+    std::vector<std::future<RequestResult>> futures(inputs.size());
+    for (std::size_t idx : order)
+        futures[idx] = engine.submit(model, inputs[idx]);
+    std::vector<RequestResult> results;
+    results.reserve(inputs.size());
+    for (auto &f : futures)
+        results.push_back(f.get());
+    return results;
+}
+
+std::vector<std::size_t>
+identityOrder(std::size_t n)
+{
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = i;
+    return order;
+}
+
+TEST(ServeEngine, BatchingIsBitExactForAnyOrderWorkersWindowAndIsa)
+{
+    PoolGuard pool_guard;
+    const ModelSpec spec = tinySpec();
+    ServeModelOptions mopts;
+    InferenceEngine loader;
+    auto model = loader.load(spec, mopts);
+    const std::vector<MatrixF> inputs =
+        makeRequests(model->inputFeatures(), 6);
+
+    // Reference: every request alone (window 1 = no batching).
+    EngineOptions solo_opts;
+    solo_opts.batchWindow = 1;
+    solo_opts.batchDeadlineMs = 0.0;
+    solo_opts.workers = 1;
+    const std::vector<RequestResult> solo = runEngine(
+        solo_opts, model, inputs, identityOrder(inputs.size()));
+
+    std::vector<std::size_t> reversed = identityOrder(inputs.size());
+    std::reverse(reversed.begin(), reversed.end());
+    std::vector<std::size_t> interleaved = {3, 0, 5, 1, 4, 2};
+
+    struct Sweep
+    {
+        int window;
+        double deadlineMs;
+        int workers;
+        const std::vector<std::size_t> *order;
+    };
+    const std::vector<std::size_t> ident = identityOrder(inputs.size());
+    const std::vector<Sweep> sweeps = {
+        {1, 0.0, 2, &reversed},    {3, 5.0, 1, &ident},
+        {3, 0.0, 4, &interleaved}, {8, 5.0, 2, &ident},
+        {8, 5.0, 4, &reversed},    {8, 0.0, 1, &interleaved},
+    };
+    for (const Sweep &sw : sweeps) {
+        EngineOptions opts;
+        opts.batchWindow = sw.window;
+        opts.batchDeadlineMs = sw.deadlineMs;
+        opts.workers = sw.workers;
+        const std::vector<RequestResult> got =
+            runEngine(opts, model, inputs, *sw.order);
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+            EXPECT_TRUE(got[i].output == solo[i].output)
+                << "request " << i << " window=" << sw.window
+                << " workers=" << sw.workers;
+            expectStatsEqual(got[i].stats, solo[i].stats);
+        }
+    }
+
+    // Thread-pool width and ISA level must not change a bit either.
+    IsaGuard isa_guard;
+    for (IsaLevel isa : runnableIsaLevels()) {
+        setIsaLevel(isa);
+        for (int threads : {1, 4}) {
+            setParallelThreads(threads);
+            EngineOptions opts;
+            opts.batchWindow = 8;
+            opts.batchDeadlineMs = 5.0;
+            opts.workers = 2;
+            const std::vector<RequestResult> got =
+                runEngine(opts, model, inputs, ident);
+            for (std::size_t i = 0; i < inputs.size(); ++i) {
+                EXPECT_TRUE(got[i].output == solo[i].output)
+                    << "request " << i << " isa=" << toString(isa)
+                    << " threads=" << threads;
+                expectStatsEqual(got[i].stats, solo[i].stats);
+            }
+        }
+    }
+}
+
+TEST(ServeEngine, AggregateStatsAreDeterministic)
+{
+    const ModelSpec spec = tinySpec();
+    InferenceEngine loader;
+    auto model = loader.load(spec, ServeModelOptions{});
+    const std::vector<MatrixF> inputs =
+        makeRequests(model->inputFeatures(), 5);
+
+    EngineStats first;
+    for (int run = 0; run < 3; ++run) {
+        EngineOptions opts;
+        opts.batchWindow = run + 1; // different batch compositions
+        opts.batchDeadlineMs = run == 2 ? 5.0 : 0.0;
+        opts.workers = run + 1;
+        InferenceEngine engine(opts);
+        std::vector<std::future<RequestResult>> futures;
+        for (const MatrixF &x : inputs)
+            futures.push_back(engine.submit(model, x));
+        for (auto &f : futures)
+            f.get();
+        engine.drain();
+        const EngineStats s = engine.stats();
+        EXPECT_EQ(s.requests, inputs.size());
+        EXPECT_EQ(s.columns, 28u); // 8 + 4 + 4 + 8 + 4
+        EXPECT_EQ(s.macs, 28u * model->macsPerColumn());
+        EXPECT_GE(s.batches, 1u);
+        EXPECT_LE(s.batches, inputs.size());
+        EXPECT_GE(s.p99LatencyMs, s.p50LatencyMs);
+        if (run == 0)
+            first = s;
+        else
+            expectStatsEqual(s.aggregate, first.aggregate);
+    }
+}
+
+TEST(ServeEngine, WindowCoalescesAndSplitsCorrectly)
+{
+    const ModelSpec spec = tinySpec();
+    InferenceEngine loader;
+    auto model = loader.load(spec, ServeModelOptions{});
+    const std::vector<MatrixF> inputs =
+        makeRequests(model->inputFeatures(), 8);
+
+    EngineOptions opts;
+    opts.batchWindow = 8;
+    opts.batchDeadlineMs = 200.0; // generous: let the window fill
+    opts.workers = 1;
+    InferenceEngine engine(opts);
+    std::vector<std::future<RequestResult>> futures;
+    for (const MatrixF &x : inputs)
+        futures.push_back(engine.submit(model, x));
+    std::size_t max_batch = 0;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        RequestResult r = futures[i].get();
+        max_batch = std::max(max_batch, r.batchSize);
+        EXPECT_EQ(r.output.rows(), model->outputFeatures());
+        EXPECT_EQ(r.output.cols(), inputs[i].cols());
+        EXPECT_GE(r.latencyMs, 0.0);
+    }
+    // Timing-dependent lower bound: with a 200 ms fill deadline the
+    // eight near-instant submissions all but certainly coalesce; keep
+    // the assertion conservative so slow CI cannot flake it.
+    EXPECT_GE(max_batch, 2u);
+    const EngineStats s = engine.stats();
+    EXPECT_EQ(s.maxBatch, max_batch);
+    EXPECT_EQ(s.requests, 8u);
+}
+
+TEST(ServeEngine, MalformedRequestsAreRejectedViaFuture)
+{
+    const ModelSpec spec = tinySpec();
+    InferenceEngine engine;
+    auto model = engine.load(spec, ServeModelOptions{});
+
+    // Wrong column multiple, wrong feature rows, missing model: each
+    // rejection arrives on its own future; the engine keeps serving.
+    EXPECT_THROW(
+        engine.submit(model, MatrixF(model->inputFeatures(), 3)).get(),
+        std::invalid_argument);
+    EXPECT_THROW(
+        engine.submit(model, MatrixF(model->inputFeatures() + 1, 4))
+            .get(),
+        std::invalid_argument);
+    EXPECT_THROW(engine.submit(nullptr, MatrixF(4, 4)).get(),
+                 std::invalid_argument);
+
+    MatrixF good(model->inputFeatures(), 4);
+    for (auto &v : good.data())
+        v = 0.25f;
+    RequestResult r = engine.submit(model, good).get();
+    EXPECT_EQ(r.output.cols(), 4u);
+    EXPECT_EQ(engine.stats().requests, 1u);
+}
+
+TEST(ServeCache, PreparedModelsAreBuiltOncePerKey)
+{
+    PreparedModelCache cache;
+    const ModelSpec spec = tinySpec();
+    ServeModelOptions opts;
+
+    auto a = cache.acquire(spec, opts);
+    auto b = cache.acquire(spec, opts);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_GE(cache.stats().buildMsSaved, 0.0);
+
+    // Any option that changes prepared bytes is a different key.
+    ServeModelOptions other = opts;
+    other.seed += 1;
+    auto c = cache.acquire(spec, other);
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_EQ(cache.size(), 2u);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(ServeModel, AdaptFeaturesTruncatesAndTiles)
+{
+    MatrixF y(3, 2);
+    y(0, 0) = 1;  y(0, 1) = 2;
+    y(1, 0) = 3;  y(1, 1) = 4;
+    y(2, 0) = 5;  y(2, 1) = 6;
+
+    MatrixF same = ServedModel::adaptFeatures(y, 3);
+    EXPECT_TRUE(same == y);
+
+    MatrixF cut = ServedModel::adaptFeatures(y, 2);
+    EXPECT_EQ(cut.rows(), 2u);
+    EXPECT_EQ(cut(1, 1), 4.0f);
+
+    MatrixF tiled = ServedModel::adaptFeatures(y, 5);
+    EXPECT_EQ(tiled.rows(), 5u);
+    EXPECT_EQ(tiled(3, 0), 1.0f); // row 3 = row 0 again
+    EXPECT_EQ(tiled(4, 1), 4.0f); // row 4 = row 1
+}
+
+} // namespace
+} // namespace serve
+} // namespace panacea
