@@ -1,10 +1,10 @@
 /**
  * @file
- * Serving-runtime benchmark: throughput of the micro-batching
- * InferenceEngine versus sequential single-request execution on the
- * same prepared model, across batch windows, with per-request latency
- * percentiles and a bit-exactness check (every batched output must
- * equal its solo run).
+ * Serving-runtime benchmark: throughput of the micro-batching Session
+ * versus sequential single-request execution on the same compiled
+ * model, across batch windows, with per-request latency percentiles
+ * and a bit-exactness check (every batched output must equal its solo
+ * run). Written entirely against the public API (include/panacea/).
  *
  * Usage:
  *   bench_serving                       # DeiT-base attention block
@@ -12,14 +12,23 @@
  *   bench_serving --requests=64 --cols=4
  *   bench_serving --json[=out.json]    # write BENCH_serving.json
  *   bench_serving --quick              # CI smoke variant
+ *   bench_serving --save=m.pncm        # also save the compiled model
+ *   bench_serving --load=m.pncm        # COLD START: load instead of
+ *                                      # compiling (zero calibration/
+ *                                      # slicing work), then bench
  *
  * The JSON payload records sequential vs batched requests/s and
  * effective GMAC/s (dense-equivalent MACs served per second), the
  * speedup per batch window, batch-size and latency statistics, the
- * model-preparation time the cache amortizes, and a parity flag. See
+ * model-preparation time the cache amortizes, a parity flag, an
+ * output digest (FNV-1a over the solo outputs - byte-stable across
+ * processes at a fixed ISA leg, so a --save run and a --load run can
+ * be diffed for cross-process parity), and a cold_start block
+ * comparing the load cost against the build cost it avoided. See
  * README.md ("Bench JSON schema") for the field list.
  */
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -27,17 +36,13 @@
 #include <thread>
 #include <vector>
 
-#include "models/model_zoo.h"
-#include "serve/engine.h"
-#include "serve/operand_cache.h"
-#include "util/cpu_features.h"
-#include "util/parallel_for.h"
-#include "util/random.h"
-#include "util/table.h"
-#include "util/walltime.h"
+#include "panacea/models.h"
+#include "panacea/runtime.h"
+#include "panacea/serialize.h"
+#include "panacea/session.h"
+#include "panacea/util.h"
 
 using namespace panacea;
-using namespace panacea::serve;
 
 namespace {
 
@@ -49,9 +54,11 @@ struct BenchOptions
     std::size_t requests = 32;
     std::size_t cols = 4;
     bool quick = false;
+    std::string savePath; ///< save the compiled model after the bench
+    std::string loadPath; ///< cold start: load instead of compiling
 };
 
-/** One engine configuration measured over the full request set. */
+/** One session configuration measured over the full request set. */
 struct WindowResult
 {
     int window = 0;
@@ -77,6 +84,16 @@ pickModel(const std::string &name)
     std::exit(1);
 }
 
+/** FNV-1a over the solo outputs: the cross-process parity digest. */
+std::uint64_t
+outputDigest(const std::vector<MatrixF> &outputs)
+{
+    std::uint64_t h = fnv1a64Offset;
+    for (const MatrixF &m : outputs)
+        h = fnv1a64(m.data().data(), m.size() * sizeof(float), h);
+    return h;
+}
+
 } // namespace
 
 int
@@ -98,6 +115,10 @@ main(int argc, char **argv)
             opt.cols = std::stoul(arg.substr(7));
         } else if (arg == "--quick") {
             opt.quick = true;
+        } else if (arg.rfind("--save=", 0) == 0) {
+            opt.savePath = arg.substr(7);
+        } else if (arg.rfind("--load=", 0) == 0) {
+            opt.loadPath = arg.substr(7);
         } else {
             std::cerr << "unknown option " << arg << "\n";
             return 1;
@@ -107,23 +128,52 @@ main(int argc, char **argv)
         opt.requests = std::min<std::size_t>(opt.requests, 16);
 
     const ModelSpec spec = pickModel(opt.model);
-    ServeModelOptions mopts;
+    CompileOptions mopts;
     mopts.maxLayers = opt.quick ? 2 : 4;
 
-    std::cout << "Preparing " << spec.name << " ("
-              << (mopts.maxLayers ? mopts.maxLayers : spec.layers.size())
-              << " layers) for serving...\n";
-    auto model = PreparedModelCache::global().acquire(spec, mopts);
-    std::cout << "  prepared in " << model->buildMs() << " ms ("
-              << model->macsPerColumn() / 1.0e6
-              << " dense MMAC per column; cached for every engine)\n";
+    Runtime rt;
+    CompiledModel model;
+    double load_ms = 0.0;
+    const bool cold = !opt.loadPath.empty();
+    if (cold) {
+        // Cold start: decode the compiled artifact - zero calibration,
+        // slicing, RLE or HO work. loadCompiledModelFor() verifies the
+        // file is THE compiled form of exactly this (model, options).
+        std::cout << "Loading compiled " << spec.name << " from "
+                  << opt.loadPath << " (cold start)...\n";
+        const auto t0 = nowTick();
+        try {
+            model = loadCompiledModelFor(opt.loadPath, spec, mopts);
+        } catch (const SerializeError &err) {
+            std::cerr << "cold-start load failed: " << err.what()
+                      << "\n";
+            return 1;
+        }
+        load_ms = msSince(t0);
+        std::cout << "  loaded in " << load_ms << " ms vs "
+                  << model.buildMs()
+                  << " ms the original build spent ("
+                  << model.buildMs() / load_ms
+                  << "x faster; pure decode, no calibration or "
+                  << "slicing)\n";
+    } else {
+        std::cout << "Preparing " << spec.name << " ("
+                  << (mopts.maxLayers ? mopts.maxLayers
+                                      : spec.layers.size())
+                  << " layers) for serving...\n";
+        model = rt.compile(spec, mopts);
+        std::cout << "  prepared in " << model.buildMs() << " ms ("
+                  << model.macsPerColumn() / 1.0e6
+                  << " dense MMAC per column; cached for every "
+                  << "session)\n";
+    }
 
     // Request set: Gaussian activations, opt.cols columns each.
     Rng rng(0x5e81);
     std::vector<MatrixF> inputs;
     inputs.reserve(opt.requests);
     for (std::size_t r = 0; r < opt.requests; ++r) {
-        MatrixF x(model->inputFeatures(), opt.cols);
+        MatrixF x(model.inputFeatures(), opt.cols);
         for (auto &v : x.data())
             v = static_cast<float>(rng.gaussian(0.2, 1.0));
         inputs.push_back(std::move(x));
@@ -135,22 +185,23 @@ main(int argc, char **argv)
     std::vector<MatrixF> solo(opt.requests);
     double seq_ms = 0.0;
     {
-        EngineOptions eopts;
-        eopts.batchWindow = 1;
-        eopts.batchDeadlineMs = 0.0;
-        eopts.workers = 1;
-        InferenceEngine engine(eopts);
+        SessionOptions sopts;
+        sopts.batchWindow = 1;
+        sopts.batchDeadlineMs = 0.0;
+        sopts.workers = 1;
+        Session session = rt.createSession(sopts);
         const auto t0 = nowTick();
         for (std::size_t r = 0; r < opt.requests; ++r)
-            solo[r] = engine.submit(model, inputs[r]).get().output;
+            solo[r] = session.infer(model, inputs[r]).output;
         seq_ms = msSince(t0);
     }
     const double total_cols =
         static_cast<double>(opt.requests) * static_cast<double>(opt.cols);
     const double total_gmacs =
-        total_cols * static_cast<double>(model->macsPerColumn()) / 1.0e9;
+        total_cols * static_cast<double>(model.macsPerColumn()) / 1.0e9;
     const double seq_rps =
         static_cast<double>(opt.requests) / (seq_ms / 1.0e3);
+    const std::uint64_t digest = outputDigest(solo);
 
     // --- Batched: submit everything, sweep the batch window.
     std::vector<int> windows =
@@ -159,24 +210,24 @@ main(int argc, char **argv)
     std::vector<WindowResult> results;
     bool all_parity = true;
     for (int window : windows) {
-        EngineOptions eopts;
-        eopts.batchWindow = window;
-        eopts.batchDeadlineMs = 5.0;
-        eopts.workers = 2;
-        InferenceEngine engine(eopts);
-        std::vector<std::future<RequestResult>> futures;
+        SessionOptions sopts;
+        sopts.batchWindow = window;
+        sopts.batchDeadlineMs = 5.0;
+        sopts.workers = 2;
+        Session session = rt.createSession(sopts);
+        std::vector<std::future<InferenceResult>> futures;
         futures.reserve(opt.requests);
         const auto t0 = nowTick();
         for (const MatrixF &x : inputs)
-            futures.push_back(engine.submit(model, x));
+            futures.push_back(session.submit(model, x));
         WindowResult wr;
         wr.window = window;
         for (std::size_t r = 0; r < opt.requests; ++r) {
-            RequestResult res = futures[r].get();
+            InferenceResult res = futures[r].get();
             wr.parity = wr.parity && (res.output == solo[r]);
         }
         wr.wallMs = msSince(t0);
-        const EngineStats es = engine.stats();
+        const SessionStats es = session.stats();
         wr.meanBatch = es.meanBatch;
         wr.maxBatch = es.maxBatch;
         wr.p50Ms = es.p50LatencyMs;
@@ -215,6 +266,19 @@ main(int argc, char **argv)
                  "bit-exact means every batched output equals its "
                  "solo run.\n";
 
+    if (!opt.savePath.empty()) {
+        try {
+            saveCompiledModel(model, opt.savePath);
+            std::cout << "\nsaved compiled model to " << opt.savePath
+                      << " (reload with --load=" << opt.savePath
+                      << " for a zero-preparation cold start)\n";
+        } catch (const SerializeError &err) {
+            std::cerr << "saving compiled model failed: " << err.what()
+                      << "\n";
+            return 1;
+        }
+    }
+
     if (opt.writeJson) {
         std::ofstream out(opt.jsonPath);
         if (!out) {
@@ -223,14 +287,23 @@ main(int argc, char **argv)
         }
         out << "{\n  \"bench\": \"serving\",\n";
         out << "  \"model\": \"" << spec.name << "\",\n";
-        out << "  \"layers\": " << model->layerCount() << ",\n";
-        out << "  \"input_features\": " << model->inputFeatures()
+        out << "  \"layers\": " << model.layerCount() << ",\n";
+        out << "  \"input_features\": " << model.inputFeatures()
             << ",\n";
         out << "  \"requests\": " << opt.requests << ",\n";
         out << "  \"cols_per_request\": " << opt.cols << ",\n";
-        out << "  \"macs_per_column\": " << model->macsPerColumn()
+        out << "  \"macs_per_column\": " << model.macsPerColumn()
             << ",\n";
-        out << "  \"model_build_ms\": " << model->buildMs() << ",\n";
+        out << "  \"model_build_ms\": " << model.buildMs() << ",\n";
+        out << "  \"cold_start\": {\"loaded\": "
+            << (cold ? "true" : "false")
+            << ", \"load_ms\": " << load_ms
+            << ", \"build_ms_saved\": "
+            << (cold ? model.buildMs() : 0.0) << "},\n";
+        char digest_hex[17];
+        std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                      static_cast<unsigned long long>(digest));
+        out << "  \"output_digest\": \"" << digest_hex << "\",\n";
         out << "  \"isa\": \"" << toString(activeIsaLevel()) << "\",\n";
         out << "  \"pool_threads\": " << parallelThreads() << ",\n";
         out << "  \"hardware_concurrency\": "

@@ -13,12 +13,8 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "arch/panacea_sim.h"
-#include "baselines/sibia.h"
-#include "baselines/simd.h"
-#include "baselines/systolic.h"
-#include "util/random.h"
-#include "util/table.h"
+#include "panacea/simulation.h"
+#include "panacea/util.h"
 
 using namespace panacea;
 

@@ -11,10 +11,9 @@
 
 #include <iostream>
 
-#include "arch/panacea_sim.h"
-#include "models/model_workloads.h"
-#include "models/model_zoo.h"
-#include "util/table.h"
+#include "panacea/models.h"
+#include "panacea/simulation.h"
+#include "panacea/util.h"
 
 using namespace panacea;
 

@@ -14,9 +14,8 @@
 #include <cmath>
 #include <iostream>
 
-#include "core/aqs_layer.h"
-#include "quant/gemm_quant.h"
-#include "util/random.h"
+#include "panacea/core.h"
+#include "panacea/util.h"
 
 using namespace panacea;
 

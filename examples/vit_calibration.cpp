@@ -10,10 +10,9 @@
 
 #include <iostream>
 
-#include "models/accuracy_proxy.h"
-#include "models/model_workloads.h"
-#include "models/model_zoo.h"
-#include "util/table.h"
+#include "panacea/models.h"
+#include "panacea/simulation.h"
+#include "panacea/util.h"
 
 using namespace panacea;
 

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Layer-level public API: the single-layer Panacea pipeline for users
+ * who bring their own float tensors instead of a ModelSpec.
+ *
+ *   auto layer = panacea::AqsLinearLayer::calibrate(w, bias, calib, opts);
+ *   panacea::MatrixF y = layer.forward(x, &stats);
+ *
+ * Also re-exports the AQS-GEMM engine surface (prepare/execute/count
+ * entry points, AqsStats, AqsConfig) and the plain quantized-GEMM
+ * reference used for exactness checks. Serving whole models is the
+ * job of panacea/runtime.h; this header is the escape hatch below it.
+ */
+
+#ifndef PANACEA_PUBLIC_CORE_H
+#define PANACEA_PUBLIC_CORE_H
+
+#include "core/aqs_gemm.h"
+#include "core/aqs_layer.h"
+#include "quant/gemm_quant.h"
+
+#endif // PANACEA_PUBLIC_CORE_H

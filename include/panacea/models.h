@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Model descriptions for the public API: LayerSpec/ModelSpec (exact
+ * GEMM shapes plus an activation-distribution family per layer - the
+ * repository's checkpoint substitute) and the model zoo of paper
+ * workloads (deitBase(), bertBase(), opt350m(), opt2_7b(), gpt2(),
+ * llama32_1b(), ...). Pass any of these - or your own ModelSpec - to
+ * Runtime::compile().
+ */
+
+#ifndef PANACEA_PUBLIC_MODELS_H
+#define PANACEA_PUBLIC_MODELS_H
+
+#include "models/layer.h"
+#include "models/model_zoo.h"
+
+#endif // PANACEA_PUBLIC_MODELS_H

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The Panacea public API, one include. This facade is the supported
+ * surface of the library - `src/` headers are implementation detail
+ * and may change without notice.
+ *
+ *   #include <panacea/panacea.h>
+ *
+ *   panacea::Runtime rt({.cacheDir = "/var/cache/panacea"});
+ *   panacea::CompiledModel m = rt.compile(panacea::opt350m());
+ *   panacea::Session s = rt.createSession();
+ *   panacea::InferenceResult r = s.infer(m, input);
+ *
+ *   panacea::saveCompiledModel(m, "opt350m.pncm");   // deploy artifact
+ *   auto cold = panacea::loadCompiledModel("opt350m.pncm"); // 0 prep
+ *
+ * Pieces (each usable on its own):
+ *   panacea/runtime.h        Runtime: ISA/pool/cache in one place
+ *   panacea/compiled_model.h CompiledModel + uncached compileModel()
+ *   panacea/session.h        Session: submit/await micro-batching
+ *   panacea/serialize.h      save/load of compiled models
+ *   panacea/models.h         ModelSpec + the paper model zoo
+ *   panacea/core.h           single-layer AQS pipeline + AQS-GEMM
+ *   panacea/simulation.h     cycle simulator + paper baselines
+ *   panacea/util.h           Matrix, RNG, tables, pool/ISA knobs
+ */
+
+#ifndef PANACEA_PUBLIC_PANACEA_H
+#define PANACEA_PUBLIC_PANACEA_H
+
+#include "panacea/compiled_model.h"
+#include "panacea/core.h"
+#include "panacea/models.h"
+#include "panacea/runtime.h"
+#include "panacea/serialize.h"
+#include "panacea/session.h"
+#include "panacea/simulation.h"
+#include "panacea/util.h"
+
+#endif // PANACEA_PUBLIC_PANACEA_H

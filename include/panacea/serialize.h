@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Save/load of compiled models: the versioned little-endian binary
+ * format that turns the expensive AQS preparation into a deployable
+ * artifact. A model saved here and loaded in another process is
+ * behaviourally byte-identical to the freshly compiled original -
+ * same outputs, same AqsStats, at every ISA level - and loading does
+ * zero calibration/slicing/RLE/HO work.
+ *
+ * File layout ("PNCM" magic + format version + fingerprinted payload
+ * + FNV-1a checksum) is documented in src/serve/model_serialize.h;
+ * tests/test_model_serialize.cpp pins round-trip byte identity and
+ * every rejection path. Any structural defect - bad magic, unknown
+ * version, checksum mismatch, truncation, fingerprint mismatch -
+ * throws SerializeError; a load never returns a half-built model.
+ *
+ * Runtime::compile() with RuntimeOptions::cacheDir automates this
+ * (save on build, load on cold start); these entry points are for
+ * explicit artifact handling (CI, deployment pipelines,
+ * bench_serving --save/--load).
+ */
+
+#ifndef PANACEA_PUBLIC_SERIALIZE_H
+#define PANACEA_PUBLIC_SERIALIZE_H
+
+#include <string>
+
+#include "panacea/compiled_model.h"
+#include "serve/model_serialize.h"
+
+namespace panacea {
+
+/** Structural defect in a compiled-model file (see file header). */
+using SerializeError = serve::SerializeError;
+
+/** Current compiled-model file format version. */
+inline constexpr std::uint32_t kCompiledModelFormatVersion =
+    serve::kCompiledModelFormatVersion;
+
+/**
+ * Write a compiled model to `path` (atomically: temp file + rename).
+ * The bytes are a pure function of the prepared state, so
+ * save -> load -> save reproduces the identical file.
+ */
+inline void
+saveCompiledModel(const CompiledModel &model, const std::string &path)
+{
+    serve::saveServedModel(*model.shared(), path);
+}
+
+/** Read a compiled model from `path`; throws SerializeError. */
+inline CompiledModel
+loadCompiledModel(const std::string &path)
+{
+    return CompiledModel(serve::loadServedModel(path));
+}
+
+/**
+ * loadCompiledModel() plus an identity check: the file's fingerprint
+ * must equal serveModelKey(spec, opts) - i.e. the artifact must be
+ * THE compiled form of exactly this model and configuration. Use it
+ * when the file name is untrusted (deployment manifests, CI
+ * artifacts); throws SerializeError on mismatch.
+ */
+inline CompiledModel
+loadCompiledModelFor(const std::string &path, const ModelSpec &spec,
+                     const CompileOptions &opts = {})
+{
+    CompiledModel model = loadCompiledModel(path);
+    const std::string want = serve::serveModelKey(spec, opts);
+    if (model.key() != want)
+        throw SerializeError("compiled model at " + path +
+                             " holds key '" + model.key() +
+                             "', expected '" + want + "'");
+    return model;
+}
+
+} // namespace panacea
+
+#endif // PANACEA_PUBLIC_SERIALIZE_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * panacea::Session - the submit/await surface of the serving runtime.
+ * A Session wraps the dynamic micro-batching engine: requests for the
+ * same CompiledModel coalesce into one column-concatenated GEMM (up
+ * to the batch window, waiting at most the batch deadline), models
+ * take round-robin turns, and every request receives its own output
+ * columns and execution statistics - bit-identical to a solo run,
+ * whatever batch it rode in.
+ *
+ * Sessions come from Runtime::createSession() and must not outlive
+ * their Runtime (they serve models through its cache). All methods
+ * are thread-safe; a Session may be shared by any number of
+ * submitting threads.
+ */
+
+#ifndef PANACEA_PUBLIC_SESSION_H
+#define PANACEA_PUBLIC_SESSION_H
+
+#include <future>
+#include <memory>
+
+#include "panacea/compiled_model.h"
+#include "serve/engine.h"
+#include "serve/request.h"
+
+namespace panacea {
+
+/**
+ * Session configuration: batch window, fill deadline, worker count,
+ * paused start. See serve/engine.h for field semantics; batching
+ * parameters change throughput and latency only, never results.
+ */
+using SessionOptions = serve::EngineOptions;
+
+/**
+ * One request's completion record: output columns, solo-equivalent
+ * AqsStats, batch size/sequence, latency.
+ */
+using InferenceResult = serve::RequestResult;
+
+/** Aggregate session counters (requests, batches, latency, stats). */
+using SessionStats = serve::EngineStats;
+
+/** The submit/await handle; see the file header. */
+class Session
+{
+  public:
+    Session() = default;
+
+    /**
+     * Wrap an engine bound to `cache` (the Runtime's). Application
+     * code uses Runtime::createSession() instead.
+     */
+    Session(const SessionOptions &opts,
+            serve::PreparedModelCache *cache)
+        : engine_(std::make_unique<serve::InferenceEngine>(opts, cache))
+    {}
+
+    /** @return whether this session holds an engine. */
+    bool valid() const { return engine_ != nullptr; }
+
+    /**
+     * Enqueue one request: `input` must be model.inputFeatures() rows
+     * by a positive multiple of v columns. Malformed requests are
+     * rejected through the returned future (std::invalid_argument on
+     * get()) and never disturb other requests.
+     */
+    std::future<InferenceResult>
+    submit(const CompiledModel &model, MatrixF input)
+    {
+        return engine_->submit(model.shared(), std::move(input));
+    }
+
+    /** submit() and wait: the blocking convenience for simple loops. */
+    InferenceResult
+    infer(const CompiledModel &model, MatrixF input)
+    {
+        return submit(model, std::move(input)).get();
+    }
+
+    /** Release the workers of a startPaused session (idempotent). */
+    void start() { engine_->start(); }
+
+    /** Block until every submitted request completed (implies start). */
+    void drain() { engine_->drain(); }
+
+    /** @return aggregate counters (deterministic fields documented). */
+    SessionStats stats() const { return engine_->stats(); }
+
+    /** @return the resolved options (window/deadline/workers). */
+    const SessionOptions &options() const { return engine_->options(); }
+
+  private:
+    std::unique_ptr<serve::InferenceEngine> engine_;
+};
+
+} // namespace panacea
+
+#endif // PANACEA_PUBLIC_SESSION_H

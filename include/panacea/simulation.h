@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Accelerator simulation for the public API: the cycle-level Panacea
+ * simulator (PEA/scheduler/memory/DTP), the SIBIA / systolic / SIMD
+ * baselines, workload construction from model specs, and the
+ * accuracy/perplexity proxies - everything the paper-figure benches
+ * and the what-if examples use to size a deployment.
+ */
+
+#ifndef PANACEA_PUBLIC_SIMULATION_H
+#define PANACEA_PUBLIC_SIMULATION_H
+
+#include "arch/panacea_sim.h"
+#include "baselines/sibia.h"
+#include "baselines/simd.h"
+#include "baselines/systolic.h"
+#include "models/accuracy_proxy.h"
+#include "models/model_workloads.h"
+
+#endif // PANACEA_PUBLIC_SIMULATION_H

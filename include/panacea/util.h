@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Support types the public API hands out or accepts: the dense Matrix
+ * container, the deterministic RNG, wall-clock helpers, table/banner
+ * printing, FNV-1a hashing (the library's digest/fingerprint
+ * primitive), the shared thread pool (panacea::setParallelThreads)
+ * and runtime ISA selection (panacea::setIsaLevel) - the two knobs
+ * RuntimeOptions wraps.
+ */
+
+#ifndef PANACEA_PUBLIC_UTIL_H
+#define PANACEA_PUBLIC_UTIL_H
+
+#include "util/cpu_features.h"
+#include "util/fnv.h"
+#include "util/matrix.h"
+#include "util/parallel_for.h"
+#include "util/random.h"
+#include "util/table.h"
+#include "util/walltime.h"
+
+#endif // PANACEA_PUBLIC_UTIL_H

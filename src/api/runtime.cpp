@@ -1,0 +1,45 @@
+#include "panacea/runtime.h"
+
+#include "util/cpu_features.h"
+#include "util/logging.h"
+#include "util/parallel_for.h"
+
+namespace panacea {
+
+Runtime::Runtime(const RuntimeOptions &opts) : opts_(opts)
+{
+    if (!opts_.isa.empty()) {
+        IsaLevel level;
+        if (parseIsaLevel(opts_.isa, &level))
+            setIsaLevel(level); // clamped to hardware + build support
+        else
+            warn("RuntimeOptions::isa '", opts_.isa,
+                 "' not recognized (scalar|sse2|avx2|avx512) - keeping "
+                 "current selection");
+    }
+    if (opts_.threads > 0)
+        setParallelThreads(opts_.threads);
+
+    if (opts_.useGlobalCache) {
+        cache_ = &serve::PreparedModelCache::global();
+    } else {
+        owned_ = std::make_unique<serve::PreparedModelCache>();
+        cache_ = owned_.get();
+    }
+    if (!opts_.cacheDir.empty())
+        cache_->setDiskDir(opts_.cacheDir);
+}
+
+CompiledModel
+Runtime::compile(const ModelSpec &spec, const CompileOptions &opts)
+{
+    return CompiledModel(cache_->acquire(spec, opts));
+}
+
+Session
+Runtime::createSession(const SessionOptions &opts)
+{
+    return Session(opts, cache_);
+}
+
+} // namespace panacea

@@ -913,24 +913,13 @@ concatActivationOperands(std::span<const ActivationOperand *const> ops,
     return out;
 }
 
-namespace {
-
-/**
- * Weight-side mask summary shared by every column range of one
- * counting call: total dense steps over all m-bands, and per-step
- * column density for the HO_w x HO_x intersection term.
- */
-struct WeightSideCounts
+WeightCountingCache
+buildWeightCountingCache(const WeightOperand &w, int v)
 {
-    std::uint64_t wdSum = 0;
-    std::vector<std::uint32_t> wcol;
-};
-
-WeightSideCounts
-scanWeightMask(const WeightOperand &w, std::size_t m_groups,
-               std::size_t kk)
-{
-    WeightSideCounts out;
+    const std::size_t uv = static_cast<std::size_t>(v);
+    const std::size_t m_groups = w.sliced.rows() / uv;
+    const std::size_t kk = w.sliced.cols();
+    WeightCountingCache out;
     out.wcol.assign(kk, 0);
     for (std::size_t mg = 0; mg < m_groups; ++mg) {
         const std::uint8_t *wmask = w.hoMask.row(mg).data();
@@ -944,9 +933,11 @@ scanWeightMask(const WeightOperand &w, std::size_t m_groups,
     return out;
 }
 
+namespace {
+
 AqsStats
 countStatsRange(const WeightOperand &w, const ActivationOperand &x,
-                const AqsConfig &cfg, const WeightSideCounts &w_counts,
+                const AqsConfig &cfg, const WeightCountingCache &w_counts,
                 std::size_t ng_begin, std::size_t ng_end)
 {
     const int v = cfg.v;
@@ -1032,17 +1023,26 @@ aqsCountStats(const WeightOperand &w, const ActivationOperand &x,
               const AqsConfig &cfg, std::size_t ng_begin,
               std::size_t ng_end)
 {
+    return aqsCountStats(w, x, cfg, buildWeightCountingCache(w, cfg.v),
+                         ng_begin, ng_end);
+}
+
+AqsStats
+aqsCountStats(const WeightOperand &w, const ActivationOperand &x,
+              const AqsConfig &cfg, const WeightCountingCache &wcache,
+              std::size_t ng_begin, std::size_t ng_end)
+{
     checkShapes(w, x, cfg.v);
     const std::size_t uv = static_cast<std::size_t>(cfg.v);
-    const std::size_t m_groups = w.sliced.rows() / uv;
     const std::size_t n_groups_all = x.sliced.cols() / uv;
     if (ng_end > n_groups_all)
         ng_end = n_groups_all;
     panic_if(ng_begin > ng_end, "aqsCountStats range [", ng_begin, ", ",
              ng_end, ") is inverted");
-    const WeightSideCounts w_counts =
-        scanWeightMask(w, m_groups, w.sliced.cols());
-    return countStatsRange(w, x, cfg, w_counts, ng_begin, ng_end);
+    panic_if(wcache.wcol.size() != w.sliced.cols(),
+             "weight counting cache covers ", wcache.wcol.size(),
+             " steps, operand has ", w.sliced.cols());
+    return countStatsRange(w, x, cfg, wcache, ng_begin, ng_end);
 }
 
 std::vector<AqsStats>
@@ -1050,22 +1050,32 @@ aqsCountStatsBatch(const WeightOperand &w, const ActivationOperand &x,
                    const AqsConfig &cfg,
                    std::span<const std::size_t> group_offsets)
 {
+    return aqsCountStatsBatch(w, x, cfg,
+                              buildWeightCountingCache(w, cfg.v),
+                              group_offsets);
+}
+
+std::vector<AqsStats>
+aqsCountStatsBatch(const WeightOperand &w, const ActivationOperand &x,
+                   const AqsConfig &cfg, const WeightCountingCache &wcache,
+                   std::span<const std::size_t> group_offsets)
+{
     checkShapes(w, x, cfg.v);
     panic_if(group_offsets.size() < 2,
              "aqsCountStatsBatch needs at least one range");
     const std::size_t uv = static_cast<std::size_t>(cfg.v);
-    const std::size_t m_groups = w.sliced.rows() / uv;
     const std::size_t n_groups_all = x.sliced.cols() / uv;
     panic_if(group_offsets.back() > n_groups_all,
              "aqsCountStatsBatch offsets exceed N/v=", n_groups_all);
-    const WeightSideCounts w_counts =
-        scanWeightMask(w, m_groups, w.sliced.cols());
+    panic_if(wcache.wcol.size() != w.sliced.cols(),
+             "weight counting cache covers ", wcache.wcol.size(),
+             " steps, operand has ", w.sliced.cols());
     std::vector<AqsStats> out;
     out.reserve(group_offsets.size() - 1);
     for (std::size_t i = 0; i + 1 < group_offsets.size(); ++i) {
         panic_if(group_offsets[i] > group_offsets[i + 1],
                  "aqsCountStatsBatch offsets not monotone");
-        out.push_back(countStatsRange(w, x, cfg, w_counts,
+        out.push_back(countStatsRange(w, x, cfg, wcache,
                                       group_offsets[i],
                                       group_offsets[i + 1]));
     }

@@ -260,6 +260,42 @@ aqsCountStatsBatch(const WeightOperand &w, const ActivationOperand &x,
                    std::span<const std::size_t> group_offsets);
 
 /**
+ * The weight-side summary the counting entry points derive from an HO
+ * compression mask: total dense (uncompressed) steps over all m-bands,
+ * and the per-step column density the HO_w x HO_x intersection term
+ * reads. It depends only on the prepared WeightOperand and v - never
+ * on any activation - so a long-lived layer (the serving runtime's
+ * ServedModel) computes it once and every micro-batch reuses it
+ * instead of re-scanning the O(M/v * K) mask per call.
+ */
+struct WeightCountingCache
+{
+    std::uint64_t wdSum = 0;            ///< dense steps over all m-bands
+    std::vector<std::uint32_t> wcol;    ///< per step k: dense m-band count
+};
+
+/** Scan w.hoMask once; see WeightCountingCache. */
+WeightCountingCache buildWeightCountingCache(const WeightOperand &w, int v);
+
+/**
+ * aqsCountStats() with a precomputed weight-side scan: bit-equal to the
+ * scanning overload for a cache built from the same operand and v
+ * (enforced by tests/test_operand_reuse.cpp).
+ */
+AqsStats aqsCountStats(const WeightOperand &w, const ActivationOperand &x,
+                       const AqsConfig &cfg,
+                       const WeightCountingCache &wcache,
+                       std::size_t ng_begin = 0,
+                       std::size_t ng_end = static_cast<std::size_t>(-1));
+
+/** aqsCountStatsBatch() with a precomputed weight-side scan. */
+std::vector<AqsStats>
+aqsCountStatsBatch(const WeightOperand &w, const ActivationOperand &x,
+                   const AqsConfig &cfg,
+                   const WeightCountingCache &wcache,
+                   std::span<const std::size_t> group_offsets);
+
+/**
  * Scalar reference implementation of the AQS-GEMM: the original 7-deep
  * loop nest with per-element indexing, single-threaded. Retained as the
  * ground truth for the blocked/parallel kernel - aqsGemm() must match it

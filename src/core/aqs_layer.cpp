@@ -99,6 +99,30 @@ AqsLinearLayer::calibrate(const MatrixF &w, std::span<const float> bias,
     return layer;
 }
 
+AqsLinearLayer
+AqsLinearLayer::restore(const AqsPipelineOptions &opts,
+                        const QuantParams &weight_params,
+                        const QuantParams &act_params,
+                        const DbsDecision &dbs, WeightOperand weight_op,
+                        std::vector<std::int64_t> folded_bias)
+{
+    fatal_if(weight_op.sliced.planes.empty(),
+             "restore needs a prepared weight operand");
+    fatal_if(folded_bias.size() != weight_op.sliced.rows(),
+             "restored folded bias length ", folded_bias.size(),
+             " != M ", weight_op.sliced.rows());
+    AqsLinearLayer layer;
+    layer.opts_ = opts;
+    layer.n_ = sbrLoSliceCount(opts.weightBits);
+    layer.k_ = activationLoSliceCount(opts.actBits);
+    layer.wParams_ = weight_params;
+    layer.xParams_ = act_params;
+    layer.dbs_ = dbs;
+    layer.weightOp_ = std::move(weight_op);
+    layer.foldedBias_ = std::move(folded_bias);
+    return layer;
+}
+
 MatrixI32
 AqsLinearLayer::quantizeInput(const MatrixF &x) const
 {

@@ -59,6 +59,23 @@ class AqsLinearLayer
                                     std::span<const MatrixF> calib_acts,
                                     const AqsPipelineOptions &opts);
 
+    /**
+     * Rebuild a layer from the state calibrate() produced, WITHOUT
+     * re-running calibration or operand preparation: the
+     * deserialization entry point of the compiled-model format
+     * (serve/model_serialize.h). The parts must come from one
+     * calibrated layer; a layer restored from its own state is
+     * behaviourally byte-identical to the original (same outputs, same
+     * AqsStats). The LO slice counts are re-derived from the bit
+     * widths in `opts`, exactly as calibrate() derives them.
+     */
+    static AqsLinearLayer restore(const AqsPipelineOptions &opts,
+                                  const QuantParams &weight_params,
+                                  const QuantParams &act_params,
+                                  const DbsDecision &dbs,
+                                  WeightOperand weight_op,
+                                  std::vector<std::int64_t> folded_bias);
+
     /** Quantize, slice and multiply one activation; returns float. */
     MatrixF forward(const MatrixF &x, AqsStats *stats = nullptr) const;
 
@@ -110,6 +127,11 @@ class AqsLinearLayer
     const DbsDecision &dbsDecision() const { return dbs_; }
     /** @return the prepared weight operand. */
     const WeightOperand &weights() const { return weightOp_; }
+    /** @return the folded bias b' of Eq. (3) (length M). */
+    const std::vector<std::int64_t> &foldedBias() const
+    {
+        return foldedBias_;
+    }
     /** @return number of weight LO slices n. */
     int weightLoSlices() const { return n_; }
     /** @return number of activation LO slices k. */

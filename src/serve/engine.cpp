@@ -42,6 +42,13 @@ struct InferenceEngine::Pending
     std::chrono::steady_clock::time_point submitted;
 };
 
+/** One model's slot in the round-robin ring (FIFO within the model). */
+struct InferenceEngine::ModelQueue
+{
+    std::shared_ptr<const ServedModel> model;
+    std::deque<Pending> pending;
+};
+
 InferenceEngine::InferenceEngine(const EngineOptions &opts,
                                  PreparedModelCache *cache)
     : opts_(opts), cache_(cache)
@@ -52,6 +59,7 @@ InferenceEngine::InferenceEngine(const EngineOptions &opts,
         opts_.workers = 2;
     if (opts_.batchDeadlineMs < 0.0)
         opts_.batchDeadlineMs = 0.0;
+    started_ = !opts_.startPaused;
     workers_.reserve(static_cast<std::size_t>(opts_.workers));
     for (int t = 0; t < opts_.workers; ++t)
         workers_.emplace_back([this] { workerLoop(); });
@@ -114,18 +122,48 @@ InferenceEngine::submit(std::shared_ptr<const ServedModel> model,
         if (stopping_)
             return reject("submit() after engine shutdown began");
         p.id = nextId_++;
-        queue_.push_back(std::move(p));
+        ModelQueue *mq = findQueue(p.model.get());
+        if (mq == nullptr) {
+            // First pending request of this model: it joins the ring
+            // at the back - its turn comes after every model already
+            // waiting, and before any of their SECOND turns.
+            ring_.emplace_back();
+            ring_.back().model = p.model;
+            mq = &ring_.back();
+        }
+        mq->pending.push_back(std::move(p));
+        ++pendingCount_;
     }
     workCv_.notify_all();
     return fut;
 }
 
+InferenceEngine::ModelQueue *
+InferenceEngine::findQueue(const ServedModel *model)
+{
+    for (ModelQueue &mq : ring_)
+        if (mq.model.get() == model)
+            return &mq;
+    return nullptr;
+}
+
+void
+InferenceEngine::start()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        started_ = true;
+    }
+    workCv_.notify_all();
+}
+
 void
 InferenceEngine::drain()
 {
+    start();
     std::unique_lock<std::mutex> lock(mutex_);
     drainCv_.wait(lock,
-                  [&] { return queue_.empty() && inFlight_ == 0; });
+                  [&] { return pendingCount_ == 0 && inFlight_ == 0; });
 }
 
 void
@@ -133,36 +171,51 @@ InferenceEngine::workerLoop()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-        workCv_.wait(lock,
-                     [&] { return stopping_ || !queue_.empty(); });
-        if (queue_.empty()) {
+        workCv_.wait(lock, [&] {
+            return stopping_ || (started_ && !ring_.empty());
+        });
+        // Shutdown still drains whatever is queued (even on a paused
+        // engine): submitted futures must resolve, never dangle.
+        if (ring_.empty()) {
             if (stopping_)
                 return;
             continue;
         }
 
-        // Coalesce same-model requests behind the oldest pending one.
-        // Moving a request out of the queue and counting it in-flight
-        // happen under the same lock, so drain() never sees a gap.
+        // Take the front model's turn: cut up to one window of ITS
+        // requests (FIFO), then rotate it to the back of the ring if
+        // it still has pending work. Moving requests out and counting
+        // them in-flight happen under the same lock, so drain() never
+        // sees a gap.
         const std::shared_ptr<const ServedModel> model =
-            queue_.front().model;
+            ring_.front().model;
         const std::size_t window =
             static_cast<std::size_t>(opts_.batchWindow);
         std::vector<Pending> batch;
         batch.reserve(window);
         const auto collect = [&] {
-            for (auto it = queue_.begin();
-                 it != queue_.end() && batch.size() < window;) {
-                if (it->model == model) {
-                    batch.push_back(std::move(*it));
-                    it = queue_.erase(it);
-                    ++inFlight_;
-                } else {
-                    ++it;
-                }
+            ModelQueue *mq = findQueue(model.get());
+            if (mq == nullptr)
+                return;
+            while (!mq->pending.empty() && batch.size() < window) {
+                batch.push_back(std::move(mq->pending.front()));
+                mq->pending.pop_front();
+                ++inFlight_;
+                --pendingCount_;
             }
         };
         collect();
+        {
+            // Rotate: drop the (now possibly empty) front slot; a
+            // remainder re-joins at the back, behind every other
+            // waiting model. The remainder can only be non-empty when
+            // the window filled, so the deadline wait below never
+            // races a back-of-ring copy of the same model.
+            ModelQueue turn = std::move(ring_.front());
+            ring_.pop_front();
+            if (!turn.pending.empty())
+                ring_.push_back(std::move(turn));
+        }
         if (batch.size() < window && opts_.batchDeadlineMs > 0.0) {
             const auto deadline =
                 std::chrono::steady_clock::now() +
@@ -176,10 +229,27 @@ InferenceEngine::workerLoop()
                 }
                 collect();
             }
+            // A late arrival that re-created this model's ring slot
+            // may have been fully drained into the batch; drop the
+            // slot so an empty queue never takes a turn.
+            for (auto it = ring_.begin(); it != ring_.end(); ++it) {
+                if (it->model.get() == model.get()) {
+                    if (it->pending.empty())
+                        ring_.erase(it);
+                    break;
+                }
+            }
         }
+        // Another worker's deadline-wait collect() may have drained a
+        // re-created slot of this model and left it empty in the ring
+        // for us to take: an empty turn executes nothing (and burns no
+        // batch sequence number).
+        if (batch.empty())
+            continue;
+        const std::uint64_t batch_seq = nextBatchSeq_++;
 
         lock.unlock();
-        runBatch(model, batch);
+        runBatch(model, batch, batch_seq);
         lock.lock();
         inFlight_ -= batch.size();
         drainCv_.notify_all();
@@ -188,7 +258,8 @@ InferenceEngine::workerLoop()
 
 void
 InferenceEngine::runBatch(const std::shared_ptr<const ServedModel> &model,
-                          std::vector<Pending> &batch)
+                          std::vector<Pending> &batch,
+                          std::uint64_t batch_seq)
 {
     const std::size_t uv =
         static_cast<std::size_t>(model->options().v);
@@ -237,6 +308,7 @@ InferenceEngine::runBatch(const std::shared_ptr<const ServedModel> &model,
         rr.id = batch[r].id;
         rr.stats = res.perRequest[r];
         rr.batchSize = requests;
+        rr.batchSeq = batch_seq;
         rr.output = MatrixF(m_out, c1 - c0);
         for (std::size_t row = 0; row < m_out; ++row) {
             const auto src = res.output.row(row);

@@ -6,8 +6,9 @@
  *
  * Dataflow (one worker iteration):
  *
- *   submit() ──▶ pending queue ──▶ [collect ≤ window, wait ≤ deadline]
- *                                        │  same-model requests
+ *   submit() ──▶ per-model queues ──▶ [front model of the round-robin
+ *                (FIFO within a model)  ring: collect ≤ window, wait
+ *                                       ≤ deadline]
  *                                        ▼
  *                   per-request quantize + slice (layer 0)
  *                   concatActivationOperands() ─ column concat
@@ -17,16 +18,26 @@
  *                                        ▼
  *                   split output columns per request, fulfil futures
  *
- * Micro-batching: a worker takes the oldest pending request, then
- * coalesces up to batchWindow same-model requests, waiting at most
- * batchDeadlineMs for the window to fill. The batch executes as ONE
- * activation operand whose columns are the requests' columns
- * concatenated - amortizing the per-call weight-side work (band
- * packing, skip-list builds, pool dispatch) that dominates small-N
- * calls - and results are split back per request. Batching is
- * bit-exact: aqsGemm() is column-slice deterministic and every
- * inter-layer step is column-blocked, so request r's output and stats
- * never depend on what else rode along.
+ * Micro-batching: a worker takes the model at the FRONT of the
+ * round-robin ring, coalesces up to batchWindow of ITS pending
+ * requests (FIFO within the model), waiting at most batchDeadlineMs
+ * for the window to fill. The batch executes as ONE activation
+ * operand whose columns are the requests' columns concatenated -
+ * amortizing the per-call weight-side work (band packing, skip-list
+ * builds, pool dispatch) that dominates small-N calls - and results
+ * are split back per request. Batching is bit-exact: aqsGemm() is
+ * column-slice deterministic and every inter-layer step is
+ * column-blocked, so request r's output and stats never depend on
+ * what else rode along.
+ *
+ * Multi-model fairness: models take turns. A model enters the ring
+ * when its first request arrives; after a batch is cut, a model with
+ * remaining requests goes to the BACK of the ring. One model flooding
+ * the queue therefore costs every other model at most one batch of
+ * extra wait per turn - it can never starve them the way the old
+ * oldest-request-first pop could. With one worker the service order
+ * is fully deterministic (round-robin in ring order, FIFO per model);
+ * tests/test_serve_engine.cpp pins it via RequestResult::batchSeq.
  *
  * Overlap: with workers >= 2, one worker's layer-0 operand prep runs
  * concurrently with another worker's GEMM (the GEMM itself is
@@ -79,6 +90,14 @@ struct EngineOptions
      * results.
      */
     int workers = 0;
+    /**
+     * When true, workers accept submissions but execute nothing until
+     * start() is called: submissions queue up and the batch/round-robin
+     * schedule becomes a pure function of the submission sequence
+     * (deterministic tests, warm-up sequencing). Default: run
+     * immediately.
+     */
+    bool startPaused = false;
 };
 
 /**
@@ -124,7 +143,17 @@ class InferenceEngine
     std::future<RequestResult>
     submit(std::shared_ptr<const ServedModel> model, MatrixF input);
 
-    /** Block until every submitted request has completed. */
+    /**
+     * Release the workers of a startPaused engine (no-op otherwise,
+     * idempotent). Requests submitted while paused execute in
+     * round-robin ring order once started.
+     */
+    void start();
+
+    /**
+     * Block until every submitted request has completed. Implies
+     * start(): draining a paused engine would otherwise never return.
+     */
     void drain();
 
     /** @return aggregate counters (see EngineStats). */
@@ -135,10 +164,14 @@ class InferenceEngine
 
   private:
     struct Pending;
+    struct ModelQueue;
 
     void workerLoop();
     void runBatch(const std::shared_ptr<const ServedModel> &model,
-                  std::vector<Pending> &batch);
+                  std::vector<Pending> &batch, std::uint64_t batch_seq);
+
+    /** The model's ring slot, or nullptr (requires mutex_). */
+    ModelQueue *findQueue(const ServedModel *model);
 
     EngineOptions opts_;
     PreparedModelCache *cache_;
@@ -146,9 +179,19 @@ class InferenceEngine
     mutable std::mutex mutex_;
     std::condition_variable workCv_;  ///< queue activity
     std::condition_variable drainCv_; ///< completion progress
-    std::deque<Pending> queue_;
+    /**
+     * The round-robin ring: one slot per model with pending requests,
+     * in service order (new models join at the back; a model with
+     * leftovers after a batch re-joins at the back). Requests are
+     * FIFO within a slot. deque: refs to surviving slots stay valid
+     * across push/pop at the ends.
+     */
+    std::deque<ModelQueue> ring_;
+    std::size_t pendingCount_ = 0;
     std::size_t inFlight_ = 0;
     std::uint64_t nextId_ = 0;
+    std::uint64_t nextBatchSeq_ = 0;
+    bool started_ = false;
     bool stopping_ = false;
 
     std::mutex gemmMutex_; ///< one GEMM at a time on the shared pool

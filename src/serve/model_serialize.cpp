@@ -1,0 +1,773 @@
+#include "serve/model_serialize.h"
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <unistd.h>
+#include <utility>
+
+#include "util/fnv.h"
+
+namespace panacea {
+namespace serve {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'N', 'C', 'M'};
+
+// --- Little-endian writer over a growing byte buffer -------------------
+
+class Writer
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(static_cast<char>(v));
+    }
+    void
+    u16(std::uint16_t v)
+    {
+        for (int i = 0; i < 2; ++i)
+            buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+    void
+    i32(std::int32_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+    }
+    void
+    i64(std::int64_t v)
+    {
+        u64(static_cast<std::uint64_t>(v));
+    }
+    void
+    f64(double v)
+    {
+        u64(std::bit_cast<std::uint64_t>(v));
+    }
+    void
+    boolean(bool v)
+    {
+        u8(v ? 1 : 0);
+    }
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        buf_.append(s);
+    }
+    void
+    bytes(const void *data, std::size_t size)
+    {
+        buf_.append(static_cast<const char *>(data), size);
+    }
+
+    const std::string &buffer() const { return buf_; }
+
+  private:
+    std::string buf_;
+};
+
+// --- Bounds-checked little-endian reader -------------------------------
+
+class Reader
+{
+  public:
+    Reader(const char *data, std::size_t size) : data_(data), size_(size)
+    {}
+
+    std::size_t remaining() const { return size_ - pos_; }
+    bool exhausted() const { return pos_ == size_; }
+
+    void
+    need(std::size_t n) const
+    {
+        if (n > remaining())
+            throw SerializeError(
+                "compiled model truncated: need " + std::to_string(n) +
+                " bytes at offset " + std::to_string(pos_) + ", have " +
+                std::to_string(remaining()));
+    }
+
+    /** a*b with overflow -> SerializeError (allocation guard). */
+    static std::size_t
+    checkedMul(std::size_t a, std::size_t b)
+    {
+        if (b != 0 && a > std::numeric_limits<std::size_t>::max() / b)
+            throw SerializeError("compiled model size field overflows");
+        return a * b;
+    }
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return static_cast<std::uint8_t>(data_[pos_++]);
+    }
+    std::uint16_t
+    u16()
+    {
+        need(2);
+        std::uint16_t v = 0;
+        for (int i = 0; i < 2; ++i)
+            v |= static_cast<std::uint16_t>(
+                static_cast<unsigned char>(data_[pos_++]) << (8 * i));
+        return v;
+    }
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(data_[pos_++]))
+                 << (8 * i);
+        return v;
+    }
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(data_[pos_++]))
+                 << (8 * i);
+        return v;
+    }
+    std::int32_t
+    i32()
+    {
+        return static_cast<std::int32_t>(u32());
+    }
+    std::int64_t
+    i64()
+    {
+        return static_cast<std::int64_t>(u64());
+    }
+    double
+    f64()
+    {
+        return std::bit_cast<double>(u64());
+    }
+    bool
+    boolean()
+    {
+        const std::uint8_t v = u8();
+        if (v > 1)
+            throw SerializeError("compiled model bool field holds " +
+                                 std::to_string(v));
+        return v != 0;
+    }
+    std::string
+    str()
+    {
+        const std::uint64_t n = u64();
+        need(n);
+        std::string s(data_ + pos_, n);
+        pos_ += n;
+        return s;
+    }
+    void
+    bytes(void *dst, std::size_t size)
+    {
+        need(size);
+        std::copy(data_ + pos_, data_ + pos_ + size,
+                  static_cast<char *>(dst));
+        pos_ += size;
+    }
+
+    /** u32 validated against an inclusive enum range. */
+    template <typename E>
+    E
+    enumVal(const char *what, std::uint32_t lo, std::uint32_t hi)
+    {
+        const std::uint32_t v = u32();
+        if (v < lo || v > hi)
+            throw SerializeError(std::string("compiled model ") + what +
+                                 " enum value " + std::to_string(v) +
+                                 " out of [" + std::to_string(lo) + ", " +
+                                 std::to_string(hi) + "]");
+        return static_cast<E>(v);
+    }
+
+  private:
+    const char *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+// --- Component writers/readers ----------------------------------------
+
+template <typename T>
+void
+writeMatrix(Writer &w, const Matrix<T> &m)
+{
+    w.u64(m.rows());
+    w.u64(m.cols());
+    w.bytes(m.data().data(), m.size() * sizeof(T));
+}
+
+template <typename T>
+Matrix<T>
+readMatrix(Reader &r)
+{
+    const std::uint64_t rows = r.u64();
+    const std::uint64_t cols = r.u64();
+    const std::size_t elems = Reader::checkedMul(rows, cols);
+    r.need(Reader::checkedMul(elems, sizeof(T)));
+    Matrix<T> m(rows, cols);
+    r.bytes(m.data().data(), elems * sizeof(T));
+    return m;
+}
+
+void
+writeLayerSpec(Writer &w, const LayerSpec &l)
+{
+    w.str(l.name);
+    w.u64(l.m);
+    w.u64(l.kDim);
+    w.u64(l.nOverride);
+    w.u32(static_cast<std::uint32_t>(l.dist));
+    w.f64(l.spread);
+    w.f64(l.outlierRate);
+    w.u64(l.repeat);
+    w.i32(l.weightBits);
+    w.i32(l.actBits);
+    w.f64(l.weightOutlierRate);
+}
+
+LayerSpec
+readLayerSpec(Reader &r)
+{
+    LayerSpec l;
+    l.name = r.str();
+    l.m = r.u64();
+    l.kDim = r.u64();
+    l.nOverride = r.u64();
+    l.dist = r.enumVal<ActDistKind>(
+        "ActDistKind", 0,
+        static_cast<std::uint32_t>(ActDistKind::ImageNorm));
+    l.spread = r.f64();
+    l.outlierRate = r.f64();
+    l.repeat = r.u64();
+    l.weightBits = r.i32();
+    l.actBits = r.i32();
+    l.weightOutlierRate = r.f64();
+    return l;
+}
+
+void
+writeModelSpec(Writer &w, const ModelSpec &spec)
+{
+    w.str(spec.name);
+    w.u64(spec.seqLen);
+    w.boolean(spec.isLlm);
+    w.f64(spec.fp16Ppl);
+    w.f64(spec.fp32AccPct);
+    w.u64(spec.layers.size());
+    for (const LayerSpec &l : spec.layers)
+        writeLayerSpec(w, l);
+}
+
+ModelSpec
+readModelSpec(Reader &r)
+{
+    ModelSpec spec;
+    spec.name = r.str();
+    spec.seqLen = r.u64();
+    spec.isLlm = r.boolean();
+    spec.fp16Ppl = r.f64();
+    spec.fp32AccPct = r.f64();
+    const std::uint64_t layers = r.u64();
+    // Each LayerSpec occupies >= 8 bytes (its name length field alone),
+    // so this bound rejects absurd counts before any allocation.
+    r.need(Reader::checkedMul(layers, 8));
+    spec.layers.reserve(layers);
+    for (std::uint64_t i = 0; i < layers; ++i)
+        spec.layers.push_back(readLayerSpec(r));
+    return spec;
+}
+
+void
+writeServeOptions(Writer &w, const ServeModelOptions &o)
+{
+    w.i32(o.v);
+    w.i32(o.rleIndexBits);
+    w.u32(static_cast<std::uint32_t>(o.actSkip));
+    w.boolean(o.enableZpm);
+    w.boolean(o.enableDbs);
+    w.f64(o.dbsTargetMass);
+    w.i32(o.weightBitsOverride);
+    w.u64(o.seed);
+    w.u64(o.calibTokens);
+    w.u64(o.maxLayers);
+}
+
+ServeModelOptions
+readServeOptions(Reader &r)
+{
+    ServeModelOptions o;
+    o.v = r.i32();
+    o.rleIndexBits = r.i32();
+    o.actSkip = r.enumVal<ActSkipMode>(
+        "ActSkipMode", 0, static_cast<std::uint32_t>(ActSkipMode::None));
+    o.enableZpm = r.boolean();
+    o.enableDbs = r.boolean();
+    o.dbsTargetMass = r.f64();
+    o.weightBitsOverride = r.i32();
+    o.seed = r.u64();
+    o.calibTokens = r.u64();
+    o.maxLayers = r.u64();
+    // The checksum is not a MAC, so semantic bounds matter: v divides
+    // shapes all over the restore path (v = 0 would be UB before any
+    // kernel guard runs).
+    if (o.v <= 0 || o.v > 4096)
+        throw SerializeError("compiled model vector length " +
+                             std::to_string(o.v) + " out of range");
+    if (o.rleIndexBits <= 0 || o.rleIndexBits > 16)
+        throw SerializeError("compiled model RLE index width " +
+                             std::to_string(o.rleIndexBits) +
+                             " out of range");
+    return o;
+}
+
+void
+writePipelineOptions(Writer &w, const AqsPipelineOptions &o)
+{
+    w.i32(o.weightBits);
+    w.i32(o.actBits);
+    w.boolean(o.enableZpm);
+    w.boolean(o.enableDbs);
+    w.boolean(o.histAwareZpm);
+    w.f64(o.dbsTargetMass);
+    w.u32(static_cast<std::uint32_t>(o.calibPolicy));
+    w.f64(o.calibTailPct);
+    w.i32(o.gemm.v);
+    w.i32(o.gemm.rleIndexBits);
+    w.u32(static_cast<std::uint32_t>(o.gemm.actSkip));
+    w.boolean(o.gemm.useEq6);
+    w.boolean(o.gemm.skipWeightVectors);
+}
+
+AqsPipelineOptions
+readPipelineOptions(Reader &r)
+{
+    AqsPipelineOptions o;
+    o.weightBits = r.i32();
+    o.actBits = r.i32();
+    o.enableZpm = r.boolean();
+    o.enableDbs = r.boolean();
+    o.histAwareZpm = r.boolean();
+    o.dbsTargetMass = r.f64();
+    o.calibPolicy = r.enumVal<CalibrationPolicy>(
+        "CalibrationPolicy", 0,
+        static_cast<std::uint32_t>(CalibrationPolicy::Percentile));
+    o.calibTailPct = r.f64();
+    o.gemm.v = r.i32();
+    o.gemm.rleIndexBits = r.i32();
+    o.gemm.actSkip = r.enumVal<ActSkipMode>(
+        "ActSkipMode", 0, static_cast<std::uint32_t>(ActSkipMode::None));
+    o.gemm.useEq6 = r.boolean();
+    o.gemm.skipWeightVectors = r.boolean();
+    return o;
+}
+
+void
+writeQuantParams(Writer &w, const QuantParams &p)
+{
+    w.u32(static_cast<std::uint32_t>(p.scheme));
+    w.i32(p.bits);
+    w.f64(p.scale);
+    w.i32(p.zeroPoint);
+}
+
+QuantParams
+readQuantParams(Reader &r)
+{
+    QuantParams p;
+    p.scheme = r.enumVal<QuantScheme>(
+        "QuantScheme", 0,
+        static_cast<std::uint32_t>(QuantScheme::Asymmetric));
+    p.bits = r.i32();
+    p.scale = r.f64();
+    p.zeroPoint = r.i32();
+    return p;
+}
+
+void
+writeDbsDecision(Writer &w, const DbsDecision &d)
+{
+    w.u32(static_cast<std::uint32_t>(d.type));
+    w.i32(d.loBits);
+    w.i32(d.zpm.zeroPoint);
+    w.i32(d.zpm.frequentSlice);
+    w.f64(d.stdTimesZ);
+}
+
+DbsDecision
+readDbsDecision(Reader &r)
+{
+    DbsDecision d;
+    d.type = r.enumVal<DbsType>(
+        "DbsType", static_cast<std::uint32_t>(DbsType::Type1),
+        static_cast<std::uint32_t>(DbsType::Type3));
+    d.loBits = r.i32();
+    d.zpm.zeroPoint = r.i32();
+    d.zpm.frequentSlice = r.i32();
+    d.stdTimesZ = r.f64();
+    return d;
+}
+
+void
+writeSlicedMatrix(Writer &w, const SlicedMatrix &s)
+{
+    w.boolean(s.signedSlices);
+    w.i32(s.sourceBits);
+    w.i32(s.loBits);
+    w.u64(s.planes.size());
+    for (const SlicePlane &p : s.planes) {
+        w.i32(p.shift);
+        w.boolean(p.high);
+        writeMatrix(w, p.data);
+    }
+}
+
+SlicedMatrix
+readSlicedMatrix(Reader &r)
+{
+    SlicedMatrix s;
+    s.signedSlices = r.boolean();
+    s.sourceBits = r.i32();
+    s.loBits = r.i32();
+    const std::uint64_t planes = r.u64();
+    if (planes == 0)
+        throw SerializeError("compiled model slice matrix has no planes");
+    r.need(Reader::checkedMul(planes, 21)); // fixed bytes per plane
+    s.planes.reserve(planes);
+    for (std::uint64_t i = 0; i < planes; ++i) {
+        SlicePlane p;
+        p.shift = r.i32();
+        p.high = r.boolean();
+        p.data = readMatrix<Slice>(r);
+        if (!s.planes.empty() &&
+            (p.data.rows() != s.planes.front().data.rows() ||
+             p.data.cols() != s.planes.front().data.cols()))
+            throw SerializeError(
+                "compiled model slice planes disagree on shape");
+        s.planes.push_back(std::move(p));
+    }
+    return s;
+}
+
+void
+writeRleStream(Writer &w, const RleStream &s)
+{
+    w.u64(s.totalCount());
+    w.u8(static_cast<std::uint8_t>(s.fill()));
+    w.i32(s.vlen());
+    w.i32(s.indexBits());
+    w.u64(s.storedCount());
+    for (const RleEntry &e : s.entries()) {
+        w.u16(e.skip);
+        w.u32(e.vectorIndex);
+    }
+    for (std::size_t i = 0; i < s.storedCount(); ++i) {
+        std::span<const Slice> payload = s.payload(i);
+        w.bytes(payload.data(), payload.size() * sizeof(Slice));
+    }
+}
+
+RleStream
+readRleStream(Reader &r)
+{
+    const std::uint64_t total = r.u64();
+    const Slice fill = static_cast<Slice>(r.u8());
+    const std::int32_t vlen = r.i32();
+    const std::int32_t index_bits = r.i32();
+    if (vlen <= 0 || vlen > 4096)
+        throw SerializeError("compiled model RLE vlen " +
+                             std::to_string(vlen) + " out of range");
+    if (index_bits <= 0 || index_bits > 16)
+        throw SerializeError("compiled model RLE index bits " +
+                             std::to_string(index_bits) + " out of range");
+    const std::uint64_t stored = r.u64();
+    r.need(Reader::checkedMul(stored, 6)); // entry metadata floor
+    std::vector<RleEntry> entries;
+    entries.reserve(stored);
+    for (std::uint64_t i = 0; i < stored; ++i) {
+        RleEntry e;
+        e.skip = r.u16();
+        e.vectorIndex = r.u32();
+        if (e.vectorIndex >= total)
+            throw SerializeError("compiled model RLE entry index " +
+                                 std::to_string(e.vectorIndex) +
+                                 " past sequence end " +
+                                 std::to_string(total));
+        entries.push_back(e);
+    }
+    const std::size_t payload_size = Reader::checkedMul(
+        stored, static_cast<std::size_t>(vlen));
+    r.need(payload_size);
+    std::vector<Slice> payloads(payload_size);
+    r.bytes(payloads.data(), payload_size * sizeof(Slice));
+    return RleStream::restore(std::move(entries), std::move(payloads),
+                              total, fill, vlen, index_bits);
+}
+
+void
+writeWeightOperand(Writer &w, const WeightOperand &op)
+{
+    writeSlicedMatrix(w, op.sliced);
+    writeMatrix(w, op.totalCodes);
+    writeMatrix(w, op.hoMask);
+    w.u64(op.streams.size());
+    for (const RleStream &s : op.streams)
+        writeRleStream(w, s);
+}
+
+WeightOperand
+readWeightOperand(Reader &r)
+{
+    WeightOperand op;
+    op.sliced = readSlicedMatrix(r);
+    op.totalCodes = readMatrix<std::int32_t>(r);
+    op.hoMask = readMatrix<std::uint8_t>(r);
+    const std::uint64_t streams = r.u64();
+    r.need(Reader::checkedMul(streams, 24)); // stream header floor
+    op.streams.reserve(streams);
+    for (std::uint64_t i = 0; i < streams; ++i)
+        op.streams.push_back(readRleStream(r));
+    return op;
+}
+
+AqsLinearLayer
+readLayer(Reader &r, int expect_v)
+{
+    const AqsPipelineOptions opts = readPipelineOptions(r);
+    // build() stamps every layer with the model-level vector length;
+    // a layer disagreeing with it would make the per-layer counting
+    // caches (built with the MODEL v) index past the layer's hoMask.
+    if (opts.gemm.v != expect_v)
+        throw SerializeError("compiled model layer v " +
+                             std::to_string(opts.gemm.v) +
+                             " != model v " +
+                             std::to_string(expect_v));
+    const QuantParams w_params = readQuantParams(r);
+    const QuantParams x_params = readQuantParams(r);
+    const DbsDecision dbs = readDbsDecision(r);
+    WeightOperand op = readWeightOperand(r);
+    const std::uint64_t bias_len = r.u64();
+    if (bias_len != op.sliced.rows())
+        throw SerializeError("compiled model folded bias length " +
+                             std::to_string(bias_len) + " != M " +
+                             std::to_string(op.sliced.rows()));
+    r.need(Reader::checkedMul(bias_len, 8));
+    std::vector<std::int64_t> bias(bias_len);
+    for (std::uint64_t i = 0; i < bias_len; ++i)
+        bias[i] = r.i64();
+    // Internal-consistency checks: every structure the kernels index
+    // must agree on the layer shape, or a crafted (checksum-valid)
+    // file could drive out-of-bounds reads after loading.
+    const std::size_t m = op.sliced.rows();
+    const std::size_t kk = op.sliced.cols();
+    if (opts.gemm.v <= 0 ||
+        m % static_cast<std::size_t>(opts.gemm.v) != 0)
+        throw SerializeError(
+            "compiled model weight rows not divisible by v");
+    const std::size_t m_groups =
+        m / static_cast<std::size_t>(opts.gemm.v);
+    if (op.totalCodes.rows() != m || op.totalCodes.cols() != kk)
+        throw SerializeError(
+            "compiled model total codes disagree with slice planes");
+    if (op.hoMask.rows() != m_groups || op.hoMask.cols() != kk)
+        throw SerializeError(
+            "compiled model weight HO mask has wrong shape");
+    if (op.streams.size() != m_groups)
+        throw SerializeError("compiled model weight stream count " +
+                             std::to_string(op.streams.size()) +
+                             " != m-band count " +
+                             std::to_string(m_groups));
+    for (const RleStream &s : op.streams)
+        if (s.totalCount() != kk || s.vlen() != opts.gemm.v)
+            throw SerializeError(
+                "compiled model weight stream disagrees with layer "
+                "shape");
+    return AqsLinearLayer::restore(opts, w_params, x_params, dbs,
+                                   std::move(op), std::move(bias));
+}
+
+} // namespace
+
+void
+writeServedModel(std::ostream &out, const ServedModel &model)
+{
+    Writer payload;
+    payload.str(model.key());
+    writeModelSpec(payload, model.spec());
+    writeServeOptions(payload, model.options());
+    payload.f64(model.buildMs());
+    payload.u64(model.layerCount());
+    for (std::size_t i = 0; i < model.layerCount(); ++i) {
+        const AqsLinearLayer &layer = model.layer(i);
+        writePipelineOptions(payload, layer.options());
+        writeQuantParams(payload, layer.weightParams());
+        writeQuantParams(payload, layer.activationParams());
+        writeDbsDecision(payload, layer.dbsDecision());
+        writeWeightOperand(payload, layer.weights());
+        payload.u64(layer.foldedBias().size());
+        for (std::int64_t b : layer.foldedBias())
+            payload.i64(b);
+    }
+
+    const std::string &body = payload.buffer();
+    Writer header;
+    header.bytes(kMagic, sizeof(kMagic));
+    header.u32(kCompiledModelFormatVersion);
+    out.write(header.buffer().data(),
+              static_cast<std::streamsize>(header.buffer().size()));
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    Writer trailer;
+    trailer.u64(fnv1a64(body.data(), body.size()));
+    out.write(trailer.buffer().data(),
+              static_cast<std::streamsize>(trailer.buffer().size()));
+    if (!out)
+        throw SerializeError("compiled model write failed");
+}
+
+std::shared_ptr<const ServedModel>
+readServedModel(std::istream &in)
+{
+    // Bulk-read seekable streams (files are tens of MB; the
+    // char-by-char iterator slurp costs more than the decode);
+    // fall back to the iterator for non-seekable sources.
+    std::string file;
+    in.seekg(0, std::ios::end);
+    if (in.good()) {
+        const std::streampos end = in.tellg();
+        in.seekg(0, std::ios::beg);
+        file.resize(static_cast<std::size_t>(end));
+        in.read(file.data(), end);
+    } else {
+        in.clear();
+        file.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+    }
+    if (in.bad())
+        throw SerializeError("compiled model read failed");
+    constexpr std::size_t kEnvelope = sizeof(kMagic) + 4 + 8;
+    if (file.size() < kEnvelope)
+        throw SerializeError("compiled model too small (" +
+                             std::to_string(file.size()) + " bytes)");
+    if (!std::equal(kMagic, kMagic + sizeof(kMagic), file.data()))
+        throw SerializeError("compiled model magic mismatch");
+
+    Reader head(file.data() + sizeof(kMagic), 4);
+    const std::uint32_t version = head.u32();
+    if (version != kCompiledModelFormatVersion)
+        throw SerializeError(
+            "compiled model format version " + std::to_string(version) +
+            " unsupported (expected " +
+            std::to_string(kCompiledModelFormatVersion) + ")");
+
+    const char *body = file.data() + sizeof(kMagic) + 4;
+    const std::size_t body_size = file.size() - kEnvelope;
+    Reader check(file.data() + file.size() - 8, 8);
+    const std::uint64_t stored_sum = check.u64();
+    if (stored_sum != fnv1a64(body, body_size))
+        throw SerializeError("compiled model checksum mismatch");
+
+    Reader r(body, body_size);
+    const std::string key = r.str();
+    const ModelSpec spec = readModelSpec(r);
+    const ServeModelOptions opts = readServeOptions(r);
+    const double build_ms = r.f64();
+
+    // The stored key must equal the fingerprint of the decoded
+    // spec+options: a body that decodes cleanly but belongs to a
+    // different model/configuration is rejected here.
+    const std::string derived = serveModelKey(spec, opts);
+    if (key != derived)
+        throw SerializeError("compiled model fingerprint mismatch: file "
+                             "says '" +
+                             key + "', body derives '" + derived + "'");
+
+    std::size_t expect_layers = spec.layers.size();
+    if (opts.maxLayers != 0 && opts.maxLayers < expect_layers)
+        expect_layers = opts.maxLayers;
+    const std::uint64_t layer_count = r.u64();
+    if (layer_count != expect_layers || layer_count == 0)
+        throw SerializeError("compiled model layer count " +
+                             std::to_string(layer_count) +
+                             " != served count " +
+                             std::to_string(expect_layers));
+    std::vector<AqsLinearLayer> layers;
+    layers.reserve(layer_count);
+    for (std::uint64_t i = 0; i < layer_count; ++i)
+        layers.push_back(readLayer(r, opts.v));
+    if (!r.exhausted())
+        throw SerializeError("compiled model has " +
+                             std::to_string(r.remaining()) +
+                             " trailing payload bytes");
+
+    return std::make_shared<const ServedModel>(
+        ServedModel::restore(spec, opts, std::move(layers), build_ms));
+}
+
+void
+saveServedModel(const ServedModel &model, const std::string &path)
+{
+    // Per-process temp name: two processes sharing a cache directory
+    // can write the same key concurrently; each must stage its own
+    // file so the final rename stays atomic.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw SerializeError("cannot open " + tmp + " for writing");
+        writeServedModel(out, model);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw SerializeError("cannot move " + tmp + " to " + path);
+    }
+}
+
+std::shared_ptr<const ServedModel>
+loadServedModel(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw SerializeError("cannot open " + path + " for reading");
+    return readServedModel(in);
+}
+
+std::string
+compiledModelFileName(const std::string &key)
+{
+    const std::uint64_t h = fnv1a64(key.data(), key.size());
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return std::string(hex) + kCompiledModelExtension;
+}
+
+} // namespace serve
+} // namespace panacea

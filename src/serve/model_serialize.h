@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Versioned binary serialization of prepared (compiled) models: the
+ * on-disk operand format that makes the expensive AQS preparation
+ * (calibration, SBR/DBS slicing, RLE + HO compression, folded bias) a
+ * deployable artifact instead of per-process warm-up work. A model
+ * written by one process and read by another is behaviourally
+ * byte-identical to the freshly built original - same outputs, same
+ * AqsStats, at every ISA level - and loading does ZERO slicing/RLE/HO
+ * work (pure decode through the restore() entry points of RleStream,
+ * AqsLinearLayer and ServedModel).
+ *
+ * File layout (scalar fields little-endian; bulk tensor payloads are
+ * raw element bytes, i.e. the host's layout - identical on every
+ * x86-64 host, the only architecture the SIMD engine targets):
+ *
+ *   offset 0   "PNCM"                     magic
+ *   offset 4   u32   format version       readers reject other versions
+ *   offset 8   payload                    see below
+ *   last 8 B   u64   FNV-1a(payload)      integrity checksum
+ *
+ * Payload:
+ *
+ *   string  cache key                     serveModelKey() fingerprint;
+ *                                         re-derived from the decoded
+ *                                         spec+options and compared,
+ *                                         so a tampered or mismatched
+ *                                         body is rejected
+ *   ModelSpec                             name, seqLen, metric anchors,
+ *                                         every LayerSpec field
+ *   ServeModelOptions                     every field
+ *   f64     original build ms             keeps buildMsSaved accounting
+ *                                         meaningful across processes
+ *   u64     served layer count
+ *   per layer:
+ *     AqsPipelineOptions                  incl. the AqsConfig
+ *     QuantParams x 2                     weight + activation
+ *     DbsDecision                         type, l, ZPM, statistic
+ *     WeightOperand                       SBR slice planes, total codes,
+ *                                         HO mask, RLE streams
+ *     folded bias                         i64 x M
+ *
+ * Every reader-side structural violation (bad magic, unknown version,
+ * checksum mismatch, truncation, out-of-range enum, trailing bytes,
+ * key/fingerprint mismatch) throws SerializeError; a load never
+ * returns a partially-initialized model.
+ *
+ * This header is internal; the public entry points are
+ * panacea::saveCompiledModel / loadCompiledModel in
+ * include/panacea/serialize.h and the disk tier of PreparedModelCache.
+ */
+
+#ifndef PANACEA_SERVE_MODEL_SERIALIZE_H
+#define PANACEA_SERVE_MODEL_SERIALIZE_H
+
+#include <iosfwd>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "serve/served_model.h"
+
+namespace panacea {
+namespace serve {
+
+/** Any structural defect found while reading/writing a model file. */
+class SerializeError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Current compiled-model format version (bumped on layout changes). */
+inline constexpr std::uint32_t kCompiledModelFormatVersion = 1;
+
+/** Conventional file extension of compiled models. */
+inline constexpr const char *kCompiledModelExtension = ".pncm";
+
+/**
+ * Serialize a prepared model to a stream; throws SerializeError when
+ * the stream fails. The byte sequence is a pure function of the
+ * model's prepared state (timing fields excluded except the recorded
+ * build cost), so save -> load -> save reproduces identical bytes.
+ */
+void writeServedModel(std::ostream &out, const ServedModel &model);
+
+/**
+ * Deserialize a model; throws SerializeError on any structural defect
+ * (see file header). The returned model is immutable and ready to
+ * serve - no calibration, slicing, RLE or HO work happens here.
+ */
+std::shared_ptr<const ServedModel> readServedModel(std::istream &in);
+
+/** writeServedModel() to `path` (atomic: temp file + rename). */
+void saveServedModel(const ServedModel &model, const std::string &path);
+
+/** readServedModel() from `path`; SerializeError covers I/O too. */
+std::shared_ptr<const ServedModel> loadServedModel(const std::string &path);
+
+/**
+ * @return the disk-tier file name of a cache key:
+ * "<fnv1a64(key) in hex><.pncm>". Keys contain characters that are
+ * hostile to file systems ('|', '#', ':'), so the name is a hash; the
+ * key stored INSIDE the file is authoritative and verified on load.
+ */
+std::string compiledModelFileName(const std::string &key);
+
+} // namespace serve
+} // namespace panacea
+
+#endif // PANACEA_SERVE_MODEL_SERIALIZE_H

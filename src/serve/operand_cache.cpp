@@ -1,5 +1,12 @@
 #include "serve/operand_cache.h"
 
+#include <cstdlib>
+#include <filesystem>
+
+#include "serve/model_serialize.h"
+#include "util/logging.h"
+#include "util/walltime.h"
+
 namespace panacea {
 namespace serve {
 
@@ -11,6 +18,7 @@ PreparedModelCache::acquire(const ModelSpec &spec,
     std::promise<std::shared_ptr<const ServedModel>> promise;
     ModelFuture future;
     bool builder = false;
+    std::string disk_dir;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = entries_.find(key);
@@ -18,7 +26,7 @@ PreparedModelCache::acquire(const ModelSpec &spec,
             future = promise.get_future().share();
             entries_.emplace(key, future);
             builder = true;
-            ++stats_.misses;
+            disk_dir = diskDir_;
         } else {
             future = it->second;
             ++stats_.hits;
@@ -26,15 +34,82 @@ PreparedModelCache::acquire(const ModelSpec &spec,
     }
 
     if (builder) {
-        // Build outside the lock: only same-key loaders wait (on the
-        // future); other keys and the counters stay available.
-        auto model = std::make_shared<const ServedModel>(
-            ServedModel::build(spec, opts));
+        // Build or load outside the lock: only same-key loaders wait
+        // (on the future); other keys and the counters stay available.
+        // ANY escaping exception must still resolve the future and
+        // drop the entry, or every waiter (and every later acquire of
+        // this key) would block on a promise nobody will ever fulfil.
+        std::shared_ptr<const ServedModel> model;
+        std::string path;
+        try {
+            if (!disk_dir.empty()) {
+                path = (std::filesystem::path(disk_dir) /
+                        compiledModelFileName(key))
+                           .string();
+                std::error_code ec;
+                if (std::filesystem::exists(path, ec)) {
+                    const auto t0 = nowTick();
+                    try {
+                        model = loadServedModel(path);
+                        // The file stores its own key; a
+                        // hash-collision or hand-renamed file for
+                        // another model is rejected here, never
+                        // silently served.
+                        if (model->key() != key) {
+                            warn("disk cache file ", path,
+                                 " holds key '", model->key(),
+                                 "', wanted '", key, "' - rebuilding");
+                            model.reset();
+                        }
+                    } catch (const SerializeError &err) {
+                        warn("disk cache file ", path, " unreadable (",
+                             err.what(), ") - rebuilding");
+                        model.reset();
+                    }
+                    if (model != nullptr) {
+                        const double load_ms = msSince(t0);
+                        {
+                            std::lock_guard<std::mutex> lock(mutex_);
+                            ++stats_.diskHits;
+                            stats_.loadMsTotal += load_ms;
+                            stats_.buildMsSaved += model->buildMs();
+                        }
+                        promise.set_value(model);
+                        return model;
+                    }
+                }
+            }
+            model = std::make_shared<const ServedModel>(
+                ServedModel::build(spec, opts));
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                entries_.erase(key);
+            }
+            promise.set_exception(std::current_exception());
+            throw;
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.misses;
             stats_.buildMsTotal += model->buildMs();
         }
+        // Publish BEFORE the write-back: the model is immutable shared
+        // state, so same-key waiters need not stall for a multi-MB
+        // disk write.
         promise.set_value(model);
+        if (!path.empty()) {
+            // Write-through is best-effort: a read-only or full disk
+            // costs the next cold start a rebuild, nothing else.
+            try {
+                std::error_code ec;
+                std::filesystem::create_directories(disk_dir, ec);
+                saveServedModel(*model, path);
+            } catch (const SerializeError &err) {
+                warn("disk cache write to ", path, " failed: ",
+                     err.what());
+            }
+        }
         return model;
     }
 
@@ -44,6 +119,20 @@ PreparedModelCache::acquire(const ModelSpec &spec,
         stats_.buildMsSaved += model->buildMs();
     }
     return model;
+}
+
+void
+PreparedModelCache::setDiskDir(std::string dir)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    diskDir_ = std::move(dir);
+}
+
+std::string
+PreparedModelCache::diskDir() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return diskDir_;
 }
 
 PreparedModelCache::CacheStats
@@ -71,8 +160,14 @@ PreparedModelCache::clear()
 PreparedModelCache &
 PreparedModelCache::global()
 {
-    static PreparedModelCache cache;
-    return cache;
+    static PreparedModelCache *cache = [] {
+        auto *c = new PreparedModelCache();
+        if (const char *dir = std::getenv("PANACEA_CACHE_DIR");
+            dir != nullptr && *dir != '\0')
+            c->setDiskDir(dir);
+        return c;
+    }();
+    return *cache;
 }
 
 } // namespace serve

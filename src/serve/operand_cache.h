@@ -12,6 +12,18 @@
  * token count and the served-layer cap. Two loads agreeing on the key
  * therefore share one immutable ServedModel (shared_ptr); anything
  * else builds a new entry. Entries live until clear().
+ *
+ * Disk tier (setDiskDir() / PANACEA_CACHE_DIR): when a directory is
+ * configured, a memory miss first tries to LOAD the compiled model
+ * from "<dir>/<fnv(key)>.pncm" (format: serve/model_serialize.h)
+ * before building, and every fresh build is written back. A loaded
+ * model does zero calibration/slicing/RLE/HO work and is
+ * behaviourally byte-identical to a fresh build, so a cold process
+ * skips the multi-second preparation entirely - CacheStats::diskHits
+ * vs misses is the observable proof. Unreadable or stale files (wrong
+ * version, checksum, fingerprint) are ignored with a warning and the
+ * model is rebuilt; the disk tier can only add speed, never change
+ * results.
  */
 
 #ifndef PANACEA_SERVE_OPERAND_CACHE_H
@@ -35,26 +47,45 @@ class PreparedModelCache
     /** Cache effectiveness counters (monotone; reset by clear()). */
     struct CacheStats
     {
-        std::uint64_t hits = 0;
+        std::uint64_t hits = 0;   ///< served from memory
+        /**
+         * Entries actually BUILT (full calibration + preparation).
+         * With a disk tier, a cold start that finds its file keeps
+         * misses at 0 - the cold-start acceptance check.
+         */
         std::uint64_t misses = 0;
+        /** Entries deserialized from the disk tier instead of built. */
+        std::uint64_t diskHits = 0;
         double buildMsTotal = 0.0; ///< wall time spent building entries
+        double loadMsTotal = 0.0;  ///< wall time spent loading entries
         /**
          * Wall time hits avoided re-spending: the sum of buildMs() of
-         * every entry served from cache - the "prep amortization win"
-         * the LLM decode example reports.
+         * every entry served from memory or disk - the "prep
+         * amortization win" the LLM decode example reports. Disk hits
+         * count the ORIGINAL build cost recorded in the file.
          */
         double buildMsSaved = 0.0;
     };
 
     /**
      * Return the cached model for (spec, opts), building it on first
-     * use. Builds run OUTSIDE the cache lock: concurrent loaders of
-     * the same key wait on that entry's future instead of duplicating
-     * a multi-second preparation, while loads of other keys proceed
-     * unblocked.
+     * use. Builds (and disk loads) run OUTSIDE the cache lock:
+     * concurrent loaders of the same key wait on that entry's future
+     * instead of duplicating a multi-second preparation, while loads
+     * of other keys proceed unblocked.
      */
     std::shared_ptr<const ServedModel>
     acquire(const ModelSpec &spec, const ServeModelOptions &opts = {});
+
+    /**
+     * Enable (non-empty) or disable (empty) the disk tier. The
+     * directory is created on first write. Affects subsequent
+     * acquire() calls only; resident entries stay valid.
+     */
+    void setDiskDir(std::string dir);
+
+    /** @return the disk-tier directory ("" = disabled). */
+    std::string diskDir() const;
 
     /** @return a consistent snapshot of the counters. */
     CacheStats stats() const;
@@ -62,10 +93,13 @@ class PreparedModelCache
     /** @return number of resident entries. */
     std::size_t size() const;
 
-    /** Drop every entry and reset the counters. */
+    /** Drop every entry and reset the counters (disk files remain). */
     void clear();
 
-    /** @return the process-wide cache. */
+    /**
+     * @return the process-wide cache. Its disk tier starts from the
+     * PANACEA_CACHE_DIR environment variable when set.
+     */
     static PreparedModelCache &global();
 
   private:
@@ -74,6 +108,7 @@ class PreparedModelCache
 
     mutable std::mutex mutex_;
     std::map<std::string, ModelFuture> entries_;
+    std::string diskDir_;
     CacheStats stats_;
 };
 

@@ -35,6 +35,14 @@ struct RequestResult
     AqsStats stats;
     /** Requests in the micro-batch this one executed in (>= 1). */
     std::size_t batchSize = 0;
+    /**
+     * Sequence number of that micro-batch (monotone per engine, in
+     * batch-formation order). With one worker this exposes the
+     * round-robin service order - what the fairness tests pin down;
+     * with several workers formation order is still monotone but
+     * completion order may differ.
+     */
+    std::uint64_t batchSeq = 0;
     /** Submit-to-completion wall time (timing, not deterministic). */
     double latencyMs = 0.0;
 };

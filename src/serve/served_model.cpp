@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "models/synth_data.h"
+#include "util/fnv.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/walltime.h"
@@ -21,11 +22,8 @@ namespace {
 std::uint64_t
 specFingerprint(const ModelSpec &spec)
 {
-    std::uint64_t h = 1469598103934665603ull;
-    const auto mix = [&h](std::uint64_t v) {
-        h ^= v;
-        h *= 1099511628211ull;
-    };
+    std::uint64_t h = fnv1a64Offset;
+    const auto mix = [&h](std::uint64_t v) { h = fnv1a64Word(h, v); };
     mix(spec.seqLen);
     mix(spec.layers.size());
     for (const LayerSpec &l : spec.layers) {
@@ -68,7 +66,6 @@ ServedModel::build(const ModelSpec &spec, const ServeModelOptions &opts)
     ServedModel model;
     model.spec_ = spec;
     model.opts_ = opts;
-    model.key_ = serveModelKey(spec, opts);
 
     std::size_t count = spec.layers.size();
     if (opts.maxLayers != 0 && opts.maxLayers < count)
@@ -100,12 +97,48 @@ ServedModel::build(const ModelSpec &spec, const ServeModelOptions &opts)
         };
         model.layers_.push_back(AqsLinearLayer::calibrate(
             w, /*bias=*/{}, std::span<const MatrixF>(calib, 2), pipe));
-        model.macsPerColumn_ +=
-            static_cast<std::uint64_t>(ls.m) * ls.kDim;
     }
 
+    model.finalizeDerivedState();
     model.buildMs_ = msSince(t0);
     return model;
+}
+
+ServedModel
+ServedModel::restore(const ModelSpec &spec, const ServeModelOptions &opts,
+                     std::vector<AqsLinearLayer> layers, double build_ms)
+{
+    fatal_if(layers.empty(), "cannot restore a model without layers");
+    std::size_t count = spec.layers.size();
+    if (opts.maxLayers != 0 && opts.maxLayers < count)
+        count = opts.maxLayers;
+    fatal_if(layers.size() != count, "restored layer count ",
+             layers.size(), " != served layer count ", count, " of ",
+             spec.name);
+
+    ServedModel model;
+    model.spec_ = spec;
+    model.opts_ = opts;
+    model.layers_ = std::move(layers);
+    model.finalizeDerivedState();
+    model.buildMs_ = build_ms;
+    return model;
+}
+
+void
+ServedModel::finalizeDerivedState()
+{
+    key_ = serveModelKey(spec_, opts_);
+    macsPerColumn_ = 0;
+    countCaches_.clear();
+    countCaches_.reserve(layers_.size());
+    for (const AqsLinearLayer &layer : layers_) {
+        macsPerColumn_ +=
+            static_cast<std::uint64_t>(layer.weights().sliced.rows()) *
+            layer.weights().sliced.cols();
+        countCaches_.push_back(
+            buildWeightCountingCache(layer.weights(), opts_.v));
+    }
 }
 
 std::size_t
@@ -172,10 +205,12 @@ ServedModel::runPrepared(const ActivationOperand &input_op,
 
         // Per-request statistics out of the one batched call: counting
         // depends only on masks/streams, which are column-blocked, so
-        // each range's record equals a solo run's (one shared weight
-        // scan via the batch variant).
+        // each range's record equals a solo run's. The weight-side
+        // mask scan comes from the per-layer cache built once at
+        // build/restore time.
         const std::vector<AqsStats> layer_stats = aqsCountStatsBatch(
-            layer.weights(), *cur_op, layer.config(), group_offsets);
+            layer.weights(), *cur_op, layer.config(), countCaches_[li],
+            group_offsets);
         for (std::size_t r = 0; r < requests; ++r)
             res.perRequest[r] += layer_stats[r];
 

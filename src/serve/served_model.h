@@ -72,6 +72,21 @@ class ServedModel
     static ServedModel build(const ModelSpec &spec,
                              const ServeModelOptions &opts);
 
+    /**
+     * Reassemble a served model from already-prepared layers WITHOUT
+     * any calibration, slicing, RLE or HO work: the deserialization
+     * entry point of the compiled-model format
+     * (serve/model_serialize.h). The layers must be the ones a
+     * build(spec, opts) produced (restored via AqsLinearLayer::
+     * restore()); key and per-layer counting caches are re-derived,
+     * `build_ms` records what the ORIGINAL build spent so cache
+     * accounting (buildMsSaved) stays meaningful across processes.
+     */
+    static ServedModel restore(const ModelSpec &spec,
+                               const ServeModelOptions &opts,
+                               std::vector<AqsLinearLayer> layers,
+                               double build_ms);
+
     /** Result of one batched pass through the layer stack. */
     struct BatchResult
     {
@@ -142,10 +157,20 @@ class ServedModel
   private:
     ServedModel() = default;
 
+    /** Shared build()/restore() tail: key, MACs, counting caches. */
+    void finalizeDerivedState();
+
     ModelSpec spec_;
     ServeModelOptions opts_;
     std::string key_;
     std::vector<AqsLinearLayer> layers_;
+    /**
+     * Per-layer weight-side counting caches: the O(M/v * K) hoMask
+     * scan aqsCountStats needs, done once at build/restore time
+     * instead of once per micro-batch (stats stay bit-equal to the
+     * scanning path; see WeightCountingCache).
+     */
+    std::vector<WeightCountingCache> countCaches_;
     std::uint64_t macsPerColumn_ = 0;
     double buildMs_ = 0.0;
 };

@@ -53,6 +53,33 @@ RleStream::encode(std::span<const Slice> vectors, std::size_t num_vectors,
     return stream;
 }
 
+RleStream
+RleStream::restore(std::vector<RleEntry> entries,
+                   std::vector<Slice> payloads, std::size_t total_vectors,
+                   Slice fill, int vlen, int index_bits)
+{
+    panic_if(vlen <= 0, "RLE vlen must be positive");
+    panic_if(index_bits <= 0 || index_bits > 16, "RLE index bits ",
+             index_bits, " out of (0,16]");
+    panic_if(payloads.size() !=
+                 entries.size() * static_cast<std::size_t>(vlen),
+             "RLE restore payload size ", payloads.size(), " != ",
+             entries.size(), "*", vlen);
+    for (const RleEntry &e : entries)
+        panic_if(e.vectorIndex >= total_vectors,
+                 "RLE restore entry index ", e.vectorIndex,
+                 " past sequence end ", total_vectors);
+
+    RleStream stream;
+    stream.entries_ = std::move(entries);
+    stream.payloads_ = std::move(payloads);
+    stream.totalVectors_ = total_vectors;
+    stream.fill_ = fill;
+    stream.vlen_ = vlen;
+    stream.indexBits_ = index_bits;
+    return stream;
+}
+
 std::vector<Slice>
 RleStream::decode() const
 {

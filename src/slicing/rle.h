@@ -51,6 +51,23 @@ class RleStream
                             std::size_t num_vectors, int vlen, Slice fill,
                             int index_bits);
 
+    /**
+     * Rebuild a stream from its stored parts (entry metadata, payload
+     * slices, sequence length and encoding parameters) WITHOUT
+     * re-running the encoder: the deserialization entry point of the
+     * compiled-model format (serve/model_serialize.h). The parts must
+     * come from a stream encoded with the same parameters; restoring
+     * what encode() produced yields a byte-identical stream.
+     *
+     * @param entries      stored-entry metadata, in stream order
+     * @param payloads     entries.size() * vlen payload slices
+     * @param total_vectors original sequence length
+     */
+    static RleStream restore(std::vector<RleEntry> entries,
+                             std::vector<Slice> payloads,
+                             std::size_t total_vectors, Slice fill,
+                             int vlen, int index_bits);
+
     /** Reconstruct the full flattened vector sequence. */
     std::vector<Slice> decode() const;
 

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * FNV-1a 64-bit hashing, shared by every site that must agree on the
+ * exact bit pattern: the compiled-model file checksum and cache-file
+ * name (serve/model_serialize.cpp), the ModelSpec fingerprint inside
+ * the cache key (serve/served_model.cpp) and the cross-process output
+ * digest of bench_serving. One definition, so the constants cannot
+ * silently diverge between writers and readers.
+ *
+ * FNV-1a is an integrity/bucketing hash, NOT a MAC: anyone can
+ * recompute it, so checksummed files are tamper-evident against
+ * corruption only, never against a deliberate author (which is why
+ * the deserializer still validates every structural invariant).
+ */
+
+#ifndef PANACEA_UTIL_FNV_H
+#define PANACEA_UTIL_FNV_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace panacea {
+
+inline constexpr std::uint64_t fnv1a64Offset = 1469598103934665603ull;
+inline constexpr std::uint64_t fnv1a64Prime = 1099511628211ull;
+
+/** Streaming accumulator: seed with fnv1a64Offset, fold bytes/words. */
+inline std::uint64_t
+fnv1a64Byte(std::uint64_t h, std::uint8_t byte)
+{
+    h ^= byte;
+    h *= fnv1a64Prime;
+    return h;
+}
+
+/** Fold a 64-bit word as one unit (the cache-key fingerprint form). */
+inline std::uint64_t
+fnv1a64Word(std::uint64_t h, std::uint64_t word)
+{
+    h ^= word;
+    h *= fnv1a64Prime;
+    return h;
+}
+
+/** One-shot hash of a byte buffer. */
+inline std::uint64_t
+fnv1a64(const void *data, std::size_t size,
+        std::uint64_t h = fnv1a64Offset)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i)
+        h = fnv1a64Byte(h, bytes[i]);
+    return h;
+}
+
+} // namespace panacea
+
+#endif // PANACEA_UTIL_FNV_H

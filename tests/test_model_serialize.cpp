@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Compiled-model serialization tests: the on-disk format must be a
+ * faithful, versioned, integrity-checked image of the prepared state.
+ *
+ *  - round trip: save -> load -> save reproduces IDENTICAL bytes, and
+ *    the loaded model produces byte-identical outputs and AqsStats to
+ *    the freshly built one at every runnable ISA level;
+ *  - rejection: wrong magic, unknown format version, checksum
+ *    mismatch, truncation at any boundary, trailing bytes and
+ *    fingerprint mismatches all throw SerializeError - a load never
+ *    returns a half-built model;
+ *  - disk tier: a cold PreparedModelCache pointed at a directory a
+ *    warm cache populated serves the model with ZERO builds
+ *    (CacheStats::misses == 0, diskHits == 1) and bit-equal behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "isa_guard.h"
+#include "panacea/compiled_model.h"
+#include "panacea/serialize.h"
+#include "serve/model_serialize.h"
+#include "serve/operand_cache.h"
+#include "util/cpu_features.h"
+#include "util/random.h"
+
+namespace panacea {
+namespace {
+
+/** Three layers over distinct distributions + a feature-width bend. */
+ModelSpec
+tinySpec()
+{
+    ModelSpec spec;
+    spec.name = "serialize-test-tiny";
+    spec.seqLen = 16;
+    LayerSpec l0;
+    l0.name = "L0.FC1";
+    l0.m = 24;
+    l0.kDim = 16;
+    l0.dist = ActDistKind::LayerNormGauss;
+    LayerSpec l1;
+    l1.name = "L1.FC2";
+    l1.m = 16;
+    l1.kDim = 24;
+    l1.dist = ActDistKind::PostGelu;
+    LayerSpec l2;
+    l2.name = "L2.PROJ";
+    l2.m = 20;
+    l2.kDim = 12;
+    l2.dist = ActDistKind::PostAttention;
+    spec.layers = {l0, l1, l2};
+    return spec;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/** Unique scratch directory, removed on destruction. */
+struct TempDir
+{
+    std::filesystem::path path;
+    TempDir()
+    {
+        path = std::filesystem::temp_directory_path() /
+               ("panacea_serialize_" +
+                std::to_string(::getpid()) + "_" +
+                std::to_string(counter()++));
+        std::filesystem::create_directories(path);
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+    std::string
+    file(const std::string &name) const
+    {
+        return (path / name).string();
+    }
+    static int &
+    counter()
+    {
+        static int c = 0;
+        return c;
+    }
+};
+
+void
+expectStatsEqual(const AqsStats &a, const AqsStats &b)
+{
+    EXPECT_EQ(a.denseOuterProducts, b.denseOuterProducts);
+    EXPECT_EQ(a.executedOuterProducts, b.executedOuterProducts);
+    EXPECT_EQ(a.skippedOuterProducts, b.skippedOuterProducts);
+    EXPECT_EQ(a.mults, b.mults);
+    EXPECT_EQ(a.adds, b.adds);
+    EXPECT_EQ(a.compMults, b.compMults);
+    EXPECT_EQ(a.compAdds, b.compAdds);
+    EXPECT_EQ(a.compExtraEmaNibbles, b.compExtraEmaNibbles);
+    EXPECT_EQ(a.wNibbles, b.wNibbles);
+    EXPECT_EQ(a.xNibbles, b.xNibbles);
+    EXPECT_EQ(a.wIndexBits, b.wIndexBits);
+    EXPECT_EQ(a.xIndexBits, b.xIndexBits);
+    EXPECT_EQ(a.denseNibbles, b.denseNibbles);
+    EXPECT_DOUBLE_EQ(a.macsPerOuterProduct, b.macsPerOuterProduct);
+}
+
+/** One deterministic request through a model's stack. */
+serve::ServedModel::BatchResult
+runOnce(const serve::ServedModel &model)
+{
+    Rng rng(0xf00d);
+    MatrixF x(model.inputFeatures(), 8);
+    for (auto &v : x.data())
+        v = static_cast<float>(rng.gaussian(0.2, 1.0));
+    const std::size_t offsets[] = {0, 2};
+    return model.runPrepared(model.prepareInput(x), offsets);
+}
+
+TEST(ModelSerialize, RoundTripIsByteIdenticalAndBitExactAcrossIsa)
+{
+    TempDir dir;
+    const ModelSpec spec = tinySpec();
+    CompileOptions opts;
+    const CompiledModel fresh = compileModel(spec, opts);
+
+    const std::string path_a = dir.file("a.pncm");
+    saveCompiledModel(fresh, path_a);
+    const CompiledModel loaded = loadCompiledModel(path_a);
+
+    // save -> load -> save: identical bytes.
+    const std::string path_b = dir.file("b.pncm");
+    saveCompiledModel(loaded, path_b);
+    const std::string bytes_a = readFile(path_a);
+    const std::string bytes_b = readFile(path_b);
+    ASSERT_FALSE(bytes_a.empty());
+    EXPECT_EQ(bytes_a, bytes_b);
+
+    // Identity of everything observable.
+    EXPECT_EQ(loaded.key(), fresh.key());
+    EXPECT_EQ(loaded.layerCount(), fresh.layerCount());
+    EXPECT_EQ(loaded.inputFeatures(), fresh.inputFeatures());
+    EXPECT_EQ(loaded.outputFeatures(), fresh.outputFeatures());
+    EXPECT_EQ(loaded.macsPerColumn(), fresh.macsPerColumn());
+    EXPECT_DOUBLE_EQ(loaded.buildMs(), fresh.buildMs());
+
+    // The loaded model is behaviourally byte-identical at every ISA
+    // level - outputs AND statistics.
+    IsaGuard isa_guard;
+    for (IsaLevel isa : runnableIsaLevels()) {
+        setIsaLevel(isa);
+        const auto ref = runOnce(*fresh.shared());
+        const auto got = runOnce(*loaded.shared());
+        EXPECT_TRUE(got.output == ref.output)
+            << "outputs diverge at isa=" << toString(isa);
+        ASSERT_EQ(got.perRequest.size(), ref.perRequest.size());
+        for (std::size_t i = 0; i < ref.perRequest.size(); ++i)
+            expectStatsEqual(got.perRequest[i], ref.perRequest[i]);
+    }
+}
+
+TEST(ModelSerialize, FingerprintMismatchIsRejected)
+{
+    TempDir dir;
+    const ModelSpec spec = tinySpec();
+    CompileOptions opts;
+    const CompiledModel model = compileModel(spec, opts);
+    const std::string path = dir.file("m.pncm");
+    saveCompiledModel(model, path);
+
+    // The right (spec, opts) loads...
+    EXPECT_NO_THROW(loadCompiledModelFor(path, spec, opts));
+
+    // ...anything that changes the prepared bytes does not.
+    CompileOptions other_opts = opts;
+    other_opts.seed += 1;
+    EXPECT_THROW(loadCompiledModelFor(path, spec, other_opts),
+                 SerializeError);
+    ModelSpec other_spec = spec;
+    other_spec.layers[0].kDim += 4;
+    EXPECT_THROW(loadCompiledModelFor(path, other_spec, opts),
+                 SerializeError);
+
+    // A tampered stored key no longer matches the body fingerprint.
+    std::string bytes = readFile(path);
+    const std::size_t key_payload = 8 + 8; // magic+version, key length
+    ASSERT_GT(bytes.size(), key_payload + 1);
+    bytes[key_payload] ^= 0x01; // first key character
+    const std::string tampered = dir.file("tampered.pncm");
+    writeFile(tampered, bytes);
+    EXPECT_THROW(loadCompiledModel(tampered), SerializeError);
+}
+
+TEST(ModelSerialize, VersionMagicChecksumAndTruncationAreRejected)
+{
+    TempDir dir;
+    const ModelSpec spec = tinySpec();
+    CompileOptions opts;
+    opts.maxLayers = 1; // small file: truncation sweep stays cheap
+    const CompiledModel model = compileModel(spec, opts);
+    const std::string path = dir.file("m.pncm");
+    saveCompiledModel(model, path);
+    const std::string good = readFile(path);
+    ASSERT_GT(good.size(), 32u);
+
+    const auto expectRejected = [&](std::string bytes,
+                                    const char *what) {
+        const std::string p = dir.file("bad.pncm");
+        writeFile(p, bytes);
+        EXPECT_THROW(loadCompiledModel(p), SerializeError) << what;
+    };
+
+    // Magic.
+    {
+        std::string bad = good;
+        bad[0] = 'X';
+        expectRejected(bad, "magic");
+    }
+    // Unknown format version.
+    {
+        std::string bad = good;
+        bad[4] = static_cast<char>(bad[4] + 1);
+        expectRejected(bad, "version");
+    }
+    // Payload corruption -> checksum mismatch.
+    {
+        std::string bad = good;
+        bad[good.size() / 2] ^= 0x40;
+        expectRejected(bad, "checksum");
+    }
+    // Checksum corruption itself.
+    {
+        std::string bad = good;
+        bad[good.size() - 1] ^= 0x01;
+        expectRejected(bad, "trailer");
+    }
+    // Truncation at every kind of boundary: inside the envelope,
+    // inside the payload, and just shy of the full file.
+    for (std::size_t cut :
+         {std::size_t{0}, std::size_t{3}, std::size_t{8},
+          std::size_t{15}, good.size() / 3, good.size() / 2,
+          good.size() - 9, good.size() - 1}) {
+        expectRejected(good.substr(0, cut), "truncation");
+    }
+    // Trailing garbage after a valid image.
+    expectRejected(good + std::string(4, '\0'), "trailing bytes");
+
+    // Missing file.
+    EXPECT_THROW(loadCompiledModel(dir.file("absent.pncm")),
+                 SerializeError);
+
+    // The original still loads after all that.
+    EXPECT_NO_THROW(loadCompiledModel(path));
+}
+
+TEST(ModelSerialize, DiskTierServesColdStartWithZeroBuilds)
+{
+    TempDir dir;
+    const ModelSpec spec = tinySpec();
+    CompileOptions opts;
+
+    // Warm process: builds once, writes through to disk.
+    serve::PreparedModelCache warm;
+    warm.setDiskDir(dir.path.string());
+    auto built = warm.acquire(spec, opts);
+    EXPECT_EQ(warm.stats().misses, 1u);
+    EXPECT_EQ(warm.stats().diskHits, 0u);
+    const std::string file =
+        (dir.path / serve::compiledModelFileName(built->key())).string();
+    EXPECT_TRUE(std::filesystem::exists(file));
+
+    // Cold process (fresh cache object): the file is found, decoded,
+    // and NOTHING is built - the zero-preparation cold start.
+    serve::PreparedModelCache cold;
+    cold.setDiskDir(dir.path.string());
+    auto loaded = cold.acquire(spec, opts);
+    const auto cstats = cold.stats();
+    EXPECT_EQ(cstats.misses, 0u) << "cold start rebuilt the model";
+    EXPECT_EQ(cstats.diskHits, 1u);
+    EXPECT_EQ(cstats.hits, 0u);
+    EXPECT_GT(cstats.buildMsSaved, 0.0);
+    EXPECT_GE(cstats.loadMsTotal, 0.0);
+
+    // Same behaviour, bit for bit.
+    const auto ref = runOnce(*built);
+    const auto got = runOnce(*loaded);
+    EXPECT_TRUE(got.output == ref.output);
+    for (std::size_t i = 0; i < ref.perRequest.size(); ++i)
+        expectStatsEqual(got.perRequest[i], ref.perRequest[i]);
+
+    // Second acquire in the cold cache: memory hit, no extra disk I/O.
+    cold.acquire(spec, opts);
+    EXPECT_EQ(cold.stats().hits, 1u);
+    EXPECT_EQ(cold.stats().diskHits, 1u);
+
+    // A corrupt file degrades to a rebuild, never a failure.
+    std::string bytes = readFile(file);
+    bytes[bytes.size() / 2] ^= 0x10;
+    writeFile(file, bytes);
+    serve::PreparedModelCache recover;
+    recover.setDiskDir(dir.path.string());
+    auto rebuilt = recover.acquire(spec, opts);
+    EXPECT_EQ(recover.stats().misses, 1u);
+    EXPECT_EQ(recover.stats().diskHits, 0u);
+    EXPECT_TRUE(runOnce(*rebuilt).output == ref.output);
+}
+
+} // namespace
+} // namespace panacea

@@ -274,6 +274,40 @@ TEST_P(OperandReuse, CountStatsRangeMatchesSoloRun)
     expectStatsEqual(batch[1], solo_b);
 }
 
+TEST_P(OperandReuse, PrecomputedWeightCountingCacheIsBitEqual)
+{
+    // The cached overloads (ServedModel precomputes the weight-side
+    // mask scan once per layer) must reproduce the scanning overloads
+    // bit for bit, range by range.
+    const ModeCase pc = GetParam();
+    Rng rng(815);
+    const std::size_t m = 16, kk = 28;
+    const std::int32_t zp = 149;
+    AqsConfig cfg;
+    cfg.actSkip = pc.mode;
+    cfg.useEq6 = pc.useEq6;
+
+    MatrixI32 w_codes = randomWeightCodes(rng, m, kk, 1);
+    WeightOperand w = prepareWeights(w_codes, 1, cfg);
+    MatrixI32 x_codes = randomActivationCodes(rng, kk, 12, 8, zp);
+    ActivationOperand x = prepareActivations(x_codes, 1, zp, cfg);
+
+    const WeightCountingCache wcache = buildWeightCountingCache(w, cfg.v);
+    expectStatsEqual(aqsCountStats(w, x, cfg, wcache),
+                     aqsCountStats(w, x, cfg));
+    expectStatsEqual(aqsCountStats(w, x, cfg, wcache, 1, 3),
+                     aqsCountStats(w, x, cfg, 1, 3));
+
+    const std::size_t offsets[] = {0, 1, 3};
+    const std::vector<AqsStats> cached =
+        aqsCountStatsBatch(w, x, cfg, wcache, offsets);
+    const std::vector<AqsStats> scanned =
+        aqsCountStatsBatch(w, x, cfg, offsets);
+    ASSERT_EQ(cached.size(), scanned.size());
+    for (std::size_t i = 0; i < cached.size(); ++i)
+        expectStatsEqual(cached[i], scanned[i]);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Modes, OperandReuse,
     ::testing::Values(ModeCase{ActSkipMode::RValued, true},

@@ -1,11 +1,15 @@
 /**
  * @file
- * Determinism tests for the serving engine (src/serve/): the same
- * request set must produce byte-identical per-request outputs and
- * statistics for ANY submission order, worker count, batch
+ * Determinism and fairness tests for the serving runtime, driven
+ * through the public API (panacea::Runtime / CompiledModel / Session):
+ * the same request set must produce byte-identical per-request outputs
+ * and statistics for ANY submission order, worker count, batch
  * window/deadline and PANACEA_ISA level - micro-batching may change
- * throughput and latency only, never a result bit. Plus coverage of
- * the prepared-model cache and the batching machinery itself.
+ * throughput and latency only, never a result bit. Models take
+ * round-robin turns, so a flooding model cannot starve others
+ * (pinned exactly via RequestResult::batchSeq on a paused-start,
+ * single-worker session). Plus coverage of the prepared-model cache
+ * and the batching machinery itself.
  */
 
 #include <gtest/gtest.h>
@@ -15,24 +19,25 @@
 #include <vector>
 
 #include "isa_guard.h"
+#include "panacea/runtime.h"
+#include "panacea/session.h"
 #include "pool_guard.h"
-#include "serve/engine.h"
 #include "serve/operand_cache.h"
+#include "serve/served_model.h"
 #include "util/cpu_features.h"
 #include "util/parallel_for.h"
 #include "util/random.h"
 
 namespace panacea {
-namespace serve {
 namespace {
 
 /** A three-layer toy stack exercising distinct distribution families
  *  and a feature-width change (24 -> 16 forces the glue path). */
 ModelSpec
-tinySpec()
+tinySpec(const std::string &name = "serve-test-tiny")
 {
     ModelSpec spec;
-    spec.name = "serve-test-tiny";
+    spec.name = name;
     spec.seqLen = 16;
     LayerSpec l0;
     l0.name = "L0.FC1";
@@ -88,18 +93,18 @@ expectStatsEqual(const AqsStats &a, const AqsStats &b)
     EXPECT_DOUBLE_EQ(a.macsPerOuterProduct, b.macsPerOuterProduct);
 }
 
-/** Run every request through an engine; results in input order. */
-std::vector<RequestResult>
-runEngine(const EngineOptions &opts,
-          const std::shared_ptr<const ServedModel> &model,
-          const std::vector<MatrixF> &inputs,
-          const std::vector<std::size_t> &order)
+/** Run every request through a fresh session; results in input order. */
+std::vector<InferenceResult>
+runSession(Runtime &rt, const SessionOptions &opts,
+           const CompiledModel &model,
+           const std::vector<MatrixF> &inputs,
+           const std::vector<std::size_t> &order)
 {
-    InferenceEngine engine(opts, &PreparedModelCache::global());
-    std::vector<std::future<RequestResult>> futures(inputs.size());
+    Session session = rt.createSession(opts);
+    std::vector<std::future<InferenceResult>> futures(inputs.size());
     for (std::size_t idx : order)
-        futures[idx] = engine.submit(model, inputs[idx]);
-    std::vector<RequestResult> results;
+        futures[idx] = session.submit(model, inputs[idx]);
+    std::vector<InferenceResult> results;
     results.reserve(inputs.size());
     for (auto &f : futures)
         results.push_back(f.get());
@@ -118,20 +123,18 @@ identityOrder(std::size_t n)
 TEST(ServeEngine, BatchingIsBitExactForAnyOrderWorkersWindowAndIsa)
 {
     PoolGuard pool_guard;
-    const ModelSpec spec = tinySpec();
-    ServeModelOptions mopts;
-    InferenceEngine loader;
-    auto model = loader.load(spec, mopts);
+    Runtime rt;
+    const CompiledModel model = rt.compile(tinySpec());
     const std::vector<MatrixF> inputs =
-        makeRequests(model->inputFeatures(), 6);
+        makeRequests(model.inputFeatures(), 6);
 
     // Reference: every request alone (window 1 = no batching).
-    EngineOptions solo_opts;
+    SessionOptions solo_opts;
     solo_opts.batchWindow = 1;
     solo_opts.batchDeadlineMs = 0.0;
     solo_opts.workers = 1;
-    const std::vector<RequestResult> solo = runEngine(
-        solo_opts, model, inputs, identityOrder(inputs.size()));
+    const std::vector<InferenceResult> solo = runSession(
+        rt, solo_opts, model, inputs, identityOrder(inputs.size()));
 
     std::vector<std::size_t> reversed = identityOrder(inputs.size());
     std::reverse(reversed.begin(), reversed.end());
@@ -151,12 +154,12 @@ TEST(ServeEngine, BatchingIsBitExactForAnyOrderWorkersWindowAndIsa)
         {8, 5.0, 4, &reversed},    {8, 0.0, 1, &interleaved},
     };
     for (const Sweep &sw : sweeps) {
-        EngineOptions opts;
+        SessionOptions opts;
         opts.batchWindow = sw.window;
         opts.batchDeadlineMs = sw.deadlineMs;
         opts.workers = sw.workers;
-        const std::vector<RequestResult> got =
-            runEngine(opts, model, inputs, *sw.order);
+        const std::vector<InferenceResult> got =
+            runSession(rt, opts, model, inputs, *sw.order);
         for (std::size_t i = 0; i < inputs.size(); ++i) {
             EXPECT_TRUE(got[i].output == solo[i].output)
                 << "request " << i << " window=" << sw.window
@@ -171,12 +174,12 @@ TEST(ServeEngine, BatchingIsBitExactForAnyOrderWorkersWindowAndIsa)
         setIsaLevel(isa);
         for (int threads : {1, 4}) {
             setParallelThreads(threads);
-            EngineOptions opts;
+            SessionOptions opts;
             opts.batchWindow = 8;
             opts.batchDeadlineMs = 5.0;
             opts.workers = 2;
-            const std::vector<RequestResult> got =
-                runEngine(opts, model, inputs, ident);
+            const std::vector<InferenceResult> got =
+                runSession(rt, opts, model, inputs, ident);
             for (std::size_t i = 0; i < inputs.size(); ++i) {
                 EXPECT_TRUE(got[i].output == solo[i].output)
                     << "request " << i << " isa=" << toString(isa)
@@ -187,31 +190,102 @@ TEST(ServeEngine, BatchingIsBitExactForAnyOrderWorkersWindowAndIsa)
     }
 }
 
+TEST(ServeEngine, RoundRobinPreventsStarvationDeterministically)
+{
+    Runtime rt;
+    const CompiledModel flood = rt.compile(tinySpec("serve-flood"));
+    const CompiledModel victim = rt.compile(tinySpec("serve-victim"));
+
+    // Paused start + one worker: the schedule is a pure function of
+    // the submission sequence. Model "flood" piles up 12 requests
+    // BEFORE "victim" submits 2.
+    SessionOptions opts;
+    opts.batchWindow = 4;
+    opts.batchDeadlineMs = 0.0;
+    opts.workers = 1;
+    opts.startPaused = true;
+    Session session = rt.createSession(opts);
+
+    MatrixF x(flood.inputFeatures(), 4);
+    for (auto &v : x.data())
+        v = 0.25f;
+    std::vector<std::future<InferenceResult>> flood_futs;
+    for (int i = 0; i < 12; ++i)
+        flood_futs.push_back(session.submit(flood, x));
+    std::vector<std::future<InferenceResult>> victim_futs;
+    for (int i = 0; i < 2; ++i)
+        victim_futs.push_back(session.submit(victim, x));
+    session.start();
+
+    // Round-robin ring: flood cuts one window (seq 0, requests 0-3),
+    // rotates behind victim; victim's whole queue is seq 1; flood's
+    // remainder follows (seq 2, 3). FIFO within each model.
+    const std::uint64_t expect_flood_seq[12] = {0, 0, 0, 0, 2, 2,
+                                                2, 2, 3, 3, 3, 3};
+    for (int i = 0; i < 12; ++i) {
+        const InferenceResult r = flood_futs[i].get();
+        EXPECT_EQ(r.batchSeq, expect_flood_seq[i]) << "flood req " << i;
+        EXPECT_EQ(r.batchSize, 4u);
+    }
+    for (int i = 0; i < 2; ++i) {
+        const InferenceResult r = victim_futs[i].get();
+        EXPECT_EQ(r.batchSeq, 1u)
+            << "victim req " << i << " was starved behind the flood";
+        EXPECT_EQ(r.batchSize, 2u);
+    }
+
+    // The old oldest-request-first pop would have given the victim
+    // batchSeq 3 (after ALL flood batches); round-robin bounds its
+    // wait to one batch regardless of the flood depth.
+}
+
+TEST(ServeEngine, PausedStartIsIdempotentAndDrainImpliesStart)
+{
+    Runtime rt;
+    const CompiledModel model = rt.compile(tinySpec());
+    SessionOptions opts;
+    opts.batchWindow = 2;
+    opts.batchDeadlineMs = 0.0;
+    opts.workers = 1;
+    opts.startPaused = true;
+    Session session = rt.createSession(opts);
+
+    MatrixF x(model.inputFeatures(), 4);
+    for (auto &v : x.data())
+        v = 0.5f;
+    auto fut = session.submit(model, x);
+    // Nothing runs while paused; drain() releases the workers and
+    // completes the request. start() twice is harmless.
+    session.drain();
+    session.start();
+    EXPECT_EQ(fut.get().output.rows(), model.outputFeatures());
+    EXPECT_EQ(session.stats().requests, 1u);
+}
+
 TEST(ServeEngine, AggregateStatsAreDeterministic)
 {
-    const ModelSpec spec = tinySpec();
-    InferenceEngine loader;
-    auto model = loader.load(spec, ServeModelOptions{});
+    Runtime rt;
+    const CompiledModel model = rt.compile(tinySpec());
     const std::vector<MatrixF> inputs =
-        makeRequests(model->inputFeatures(), 5);
+        makeRequests(model.inputFeatures(), 5);
 
-    EngineStats first;
+    SessionStats first;
     for (int run = 0; run < 3; ++run) {
-        EngineOptions opts;
+        SessionOptions opts;
         opts.batchWindow = run + 1; // different batch compositions
         opts.batchDeadlineMs = run == 2 ? 5.0 : 0.0;
         opts.workers = run + 1;
-        InferenceEngine engine(opts);
-        std::vector<std::future<RequestResult>> futures;
+        Session session = rt.createSession(opts);
+        std::vector<std::future<InferenceResult>> futures;
         for (const MatrixF &x : inputs)
-            futures.push_back(engine.submit(model, x));
+            futures.push_back(session.submit(model, x));
         for (auto &f : futures)
             f.get();
-        engine.drain();
-        const EngineStats s = engine.stats();
+        session.drain();
+        const SessionStats s = session.stats();
         EXPECT_EQ(s.requests, inputs.size());
         EXPECT_EQ(s.columns, 28u); // 8 + 4 + 4 + 8 + 4
-        EXPECT_EQ(s.macs, 28u * model->macsPerColumn());
+        EXPECT_EQ(s.macs, 28u * model.macsPerColumn());
         EXPECT_GE(s.batches, 1u);
         EXPECT_LE(s.batches, inputs.size());
         EXPECT_GE(s.p99LatencyMs, s.p50LatencyMs);
@@ -224,87 +298,85 @@ TEST(ServeEngine, AggregateStatsAreDeterministic)
 
 TEST(ServeEngine, WindowCoalescesAndSplitsCorrectly)
 {
-    const ModelSpec spec = tinySpec();
-    InferenceEngine loader;
-    auto model = loader.load(spec, ServeModelOptions{});
+    Runtime rt;
+    const CompiledModel model = rt.compile(tinySpec());
     const std::vector<MatrixF> inputs =
-        makeRequests(model->inputFeatures(), 8);
+        makeRequests(model.inputFeatures(), 8);
 
-    EngineOptions opts;
+    SessionOptions opts;
     opts.batchWindow = 8;
-    opts.batchDeadlineMs = 200.0; // generous: let the window fill
+    opts.batchDeadlineMs = 0.0;
     opts.workers = 1;
-    InferenceEngine engine(opts);
-    std::vector<std::future<RequestResult>> futures;
+    opts.startPaused = true; // all 8 queue up -> exactly one batch
+    Session session = rt.createSession(opts);
+    std::vector<std::future<InferenceResult>> futures;
     for (const MatrixF &x : inputs)
-        futures.push_back(engine.submit(model, x));
-    std::size_t max_batch = 0;
+        futures.push_back(session.submit(model, x));
+    session.start();
     for (std::size_t i = 0; i < futures.size(); ++i) {
-        RequestResult r = futures[i].get();
-        max_batch = std::max(max_batch, r.batchSize);
-        EXPECT_EQ(r.output.rows(), model->outputFeatures());
+        InferenceResult r = futures[i].get();
+        EXPECT_EQ(r.batchSize, 8u);
+        EXPECT_EQ(r.batchSeq, 0u);
+        EXPECT_EQ(r.output.rows(), model.outputFeatures());
         EXPECT_EQ(r.output.cols(), inputs[i].cols());
         EXPECT_GE(r.latencyMs, 0.0);
     }
-    // Timing-dependent lower bound: with a 200 ms fill deadline the
-    // eight near-instant submissions all but certainly coalesce; keep
-    // the assertion conservative so slow CI cannot flake it.
-    EXPECT_GE(max_batch, 2u);
-    const EngineStats s = engine.stats();
-    EXPECT_EQ(s.maxBatch, max_batch);
+    const SessionStats s = session.stats();
+    EXPECT_EQ(s.maxBatch, 8u);
+    EXPECT_EQ(s.batches, 1u);
     EXPECT_EQ(s.requests, 8u);
 }
 
 TEST(ServeEngine, MalformedRequestsAreRejectedViaFuture)
 {
-    const ModelSpec spec = tinySpec();
-    InferenceEngine engine;
-    auto model = engine.load(spec, ServeModelOptions{});
+    Runtime rt;
+    const CompiledModel model = rt.compile(tinySpec());
+    Session session = rt.createSession();
 
     // Wrong column multiple, wrong feature rows, missing model: each
-    // rejection arrives on its own future; the engine keeps serving.
+    // rejection arrives on its own future; the session keeps serving.
     EXPECT_THROW(
-        engine.submit(model, MatrixF(model->inputFeatures(), 3)).get(),
+        session.submit(model, MatrixF(model.inputFeatures(), 3)).get(),
         std::invalid_argument);
     EXPECT_THROW(
-        engine.submit(model, MatrixF(model->inputFeatures() + 1, 4))
+        session.submit(model, MatrixF(model.inputFeatures() + 1, 4))
             .get(),
         std::invalid_argument);
-    EXPECT_THROW(engine.submit(nullptr, MatrixF(4, 4)).get(),
+    EXPECT_THROW(session.submit(CompiledModel(), MatrixF(4, 4)).get(),
                  std::invalid_argument);
 
-    MatrixF good(model->inputFeatures(), 4);
+    MatrixF good(model.inputFeatures(), 4);
     for (auto &v : good.data())
         v = 0.25f;
-    RequestResult r = engine.submit(model, good).get();
+    InferenceResult r = session.infer(model, good);
     EXPECT_EQ(r.output.cols(), 4u);
-    EXPECT_EQ(engine.stats().requests, 1u);
+    EXPECT_EQ(session.stats().requests, 1u);
 }
 
 TEST(ServeCache, PreparedModelsAreBuiltOncePerKey)
 {
-    PreparedModelCache cache;
+    Runtime rt;
     const ModelSpec spec = tinySpec();
-    ServeModelOptions opts;
+    CompileOptions opts;
 
-    auto a = cache.acquire(spec, opts);
-    auto b = cache.acquire(spec, opts);
-    EXPECT_EQ(a.get(), b.get());
-    EXPECT_EQ(cache.size(), 1u);
-    EXPECT_EQ(cache.stats().misses, 1u);
-    EXPECT_EQ(cache.stats().hits, 1u);
-    EXPECT_GE(cache.stats().buildMsSaved, 0.0);
+    CompiledModel a = rt.compile(spec, opts);
+    CompiledModel b = rt.compile(spec, opts);
+    EXPECT_EQ(a.shared().get(), b.shared().get());
+    EXPECT_EQ(rt.cache().size(), 1u);
+    EXPECT_EQ(rt.cacheStats().misses, 1u);
+    EXPECT_EQ(rt.cacheStats().hits, 1u);
+    EXPECT_GE(rt.cacheStats().buildMsSaved, 0.0);
 
     // Any option that changes prepared bytes is a different key.
-    ServeModelOptions other = opts;
+    CompileOptions other = opts;
     other.seed += 1;
-    auto c = cache.acquire(spec, other);
-    EXPECT_NE(a.get(), c.get());
-    EXPECT_EQ(cache.size(), 2u);
+    CompiledModel c = rt.compile(spec, other);
+    EXPECT_NE(a.shared().get(), c.shared().get());
+    EXPECT_EQ(rt.cache().size(), 2u);
 
-    cache.clear();
-    EXPECT_EQ(cache.size(), 0u);
-    EXPECT_EQ(cache.stats().hits, 0u);
+    rt.cache().clear();
+    EXPECT_EQ(rt.cache().size(), 0u);
+    EXPECT_EQ(rt.cacheStats().hits, 0u);
 }
 
 TEST(ServeModel, AdaptFeaturesTruncatesAndTiles)
@@ -314,19 +386,18 @@ TEST(ServeModel, AdaptFeaturesTruncatesAndTiles)
     y(1, 0) = 3;  y(1, 1) = 4;
     y(2, 0) = 5;  y(2, 1) = 6;
 
-    MatrixF same = ServedModel::adaptFeatures(y, 3);
+    MatrixF same = serve::ServedModel::adaptFeatures(y, 3);
     EXPECT_TRUE(same == y);
 
-    MatrixF cut = ServedModel::adaptFeatures(y, 2);
+    MatrixF cut = serve::ServedModel::adaptFeatures(y, 2);
     EXPECT_EQ(cut.rows(), 2u);
     EXPECT_EQ(cut(1, 1), 4.0f);
 
-    MatrixF tiled = ServedModel::adaptFeatures(y, 5);
+    MatrixF tiled = serve::ServedModel::adaptFeatures(y, 5);
     EXPECT_EQ(tiled.rows(), 5u);
     EXPECT_EQ(tiled(3, 0), 1.0f); // row 3 = row 0 again
     EXPECT_EQ(tiled(4, 1), 4.0f); // row 4 = row 1
 }
 
 } // namespace
-} // namespace serve
 } // namespace panacea
