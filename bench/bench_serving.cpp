@@ -16,6 +16,26 @@
  *   bench_serving --load=m.pncm        # COLD START: load instead of
  *                                      # compiling (zero calibration/
  *                                      # slicing work), then bench
+ *   bench_serving --arrivals=poisson:<rate|auto>
+ *                                      # open-loop Poisson arrivals
+ *                                      # (seeded, deterministic
+ *                                      # schedule): measures layer-0
+ *                                      # batching vs CONTINUOUS
+ *                                      # admission at window 16 -
+ *                                      # p50/p99 latency split and
+ *                                      # the admitted_at_layer
+ *                                      # histogram land in the JSON
+ *
+ * The Poisson schedule is deterministic: inter-arrival gaps come from
+ * a fixed-seed Rng, so two runs (or two modes) see the SAME arrival
+ * times; "auto" scales the rate to 1.5x the measured sequential
+ * throughput so arrivals land mid-stack (where continuous admission
+ * matters) on any machine. Both modes run one engine worker at
+ * window 16: the layer-0 server keeps a 15 ms fill deadline (the
+ * window-filling wait a throughput-tuned batch server needs), the
+ * continuous server starts cohorts immediately and coalesces by
+ * mid-stack admission instead - which is exactly the trade the bench
+ * measures.
  *
  * The JSON payload records sequential vs batched requests/s and
  * effective GMAC/s (dense-equivalent MACs served per second), the
@@ -28,6 +48,8 @@
  * README.md ("Bench JSON schema") for the field list.
  */
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -56,6 +78,25 @@ struct BenchOptions
     bool quick = false;
     std::string savePath; ///< save the compiled model after the bench
     std::string loadPath; ///< cold start: load instead of compiling
+    bool arrivals = false;  ///< open-loop Poisson arrivals mode
+    double arrivalRate = 0; ///< req/s; 0 = auto (1.5x sequential)
+    int arrivalWindow = 16; ///< batch window of the arrivals runs
+};
+
+/** One arrivals-mode configuration (layer-0 vs continuous). */
+struct ArrivalResult
+{
+    std::string name;
+    double wallMs = 0.0;
+    double reqPerS = 0.0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    double p50QueueMs = 0.0;
+    double p99QueueMs = 0.0;
+    double p50ExecMs = 0.0;
+    double p99ExecMs = 0.0;
+    std::vector<std::uint64_t> admittedAtLayer;
+    bool parity = true;
 };
 
 /** One session configuration measured over the full request set. */
@@ -94,6 +135,60 @@ outputDigest(const std::vector<MatrixF> &outputs)
     return h;
 }
 
+/**
+ * One open-loop arrivals run: request r is submitted schedule_ms[r]
+ * after t0 (the same deterministic schedule for every mode), every
+ * output is parity-checked against its solo run, and the session's
+ * latency split + admission histogram are captured.
+ */
+ArrivalResult
+runArrivalMode(Runtime &rt, const CompiledModel &model,
+               const std::vector<MatrixF> &inputs,
+               const std::vector<MatrixF> &solo,
+               const std::vector<double> &schedule_ms, int window,
+               bool continuous)
+{
+    SessionOptions sopts;
+    sopts.batchWindow = window;
+    sopts.batchDeadlineMs = 15.0;
+    sopts.workers = 1;
+    sopts.continuous = continuous;
+    sopts.maxAdmissionLayer = 0;
+    Session session = rt.createSession(sopts);
+
+    std::vector<std::future<InferenceResult>> futures;
+    futures.reserve(inputs.size());
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < inputs.size(); ++r) {
+        std::this_thread::sleep_until(
+            t0 + std::chrono::duration_cast<
+                     std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double, std::milli>(
+                         schedule_ms[r])));
+        futures.push_back(session.submit(model, inputs[r]));
+    }
+    ArrivalResult res;
+    res.name = continuous ? "continuous" : "layer0";
+    for (std::size_t r = 0; r < inputs.size(); ++r) {
+        const InferenceResult ir = futures[r].get();
+        res.parity = res.parity && (ir.output == solo[r]);
+    }
+    res.wallMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+    res.reqPerS =
+        static_cast<double>(inputs.size()) / (res.wallMs / 1.0e3);
+    const SessionStats es = session.stats();
+    res.p50Ms = es.p50LatencyMs;
+    res.p99Ms = es.p99LatencyMs;
+    res.p50QueueMs = es.p50QueueWaitMs;
+    res.p99QueueMs = es.p99QueueWaitMs;
+    res.p50ExecMs = es.p50ExecuteMs;
+    res.p99ExecMs = es.p99ExecuteMs;
+    res.admittedAtLayer = es.admittedAtLayer;
+    return res;
+}
+
 } // namespace
 
 int
@@ -119,6 +214,24 @@ main(int argc, char **argv)
             opt.savePath = arg.substr(7);
         } else if (arg.rfind("--load=", 0) == 0) {
             opt.loadPath = arg.substr(7);
+        } else if (arg.rfind("--arrivals=", 0) == 0) {
+            const std::string spec_arg = arg.substr(11);
+            if (spec_arg.rfind("poisson:", 0) != 0) {
+                std::cerr << "bad --arrivals spec '" << spec_arg
+                          << "' (want poisson:<rate|auto>)\n";
+                return 1;
+            }
+            const std::string rate = spec_arg.substr(8);
+            opt.arrivals = true;
+            if (rate == "auto") {
+                opt.arrivalRate = 0.0;
+            } else {
+                opt.arrivalRate = std::stod(rate);
+                if (opt.arrivalRate <= 0.0) {
+                    std::cerr << "arrival rate must be positive\n";
+                    return 1;
+                }
+            }
         } else {
             std::cerr << "unknown option " << arg << "\n";
             return 1;
@@ -266,6 +379,64 @@ main(int argc, char **argv)
                  "bit-exact means every batched output equals its "
                  "solo run.\n";
 
+    // --- Open-loop Poisson arrivals: layer-0 batching vs continuous
+    // admission over the SAME deterministic arrival schedule.
+    std::vector<ArrivalResult> arrivals;
+    double arrival_rate = 0.0;
+    if (opt.arrivals) {
+        arrival_rate = opt.arrivalRate > 0.0 ? opt.arrivalRate
+                                             : seq_rps * 1.5;
+        Rng arng(0xa221); // fixed seed: the schedule is reproducible
+        std::vector<double> schedule(opt.requests);
+        double at = 0.0;
+        for (double &s : schedule) {
+            at += -std::log(1.0 - arng.uniformReal(0.0, 1.0)) *
+                  1000.0 / arrival_rate;
+            s = at;
+        }
+        std::cout << "\nOpen-loop Poisson arrivals: "
+                  << arrival_rate << " req/s (seed 0xa221), window "
+                  << opt.arrivalWindow << ", " << opt.requests
+                  << " requests\n";
+        arrivals.push_back(runArrivalMode(rt, model, inputs, solo,
+                                          schedule, opt.arrivalWindow,
+                                          false));
+        arrivals.push_back(runArrivalMode(rt, model, inputs, solo,
+                                          schedule, opt.arrivalWindow,
+                                          true));
+        all_parity = all_parity && arrivals[0].parity &&
+                     arrivals[1].parity;
+
+        Table at_table({"mode", "req/s", "p50 ms", "p99 ms",
+                        "p50 queue", "p99 queue", "p50 exec",
+                        "p99 exec", "bit-exact"});
+        for (const ArrivalResult &ar : arrivals) {
+            at_table.newRow()
+                .cell(ar.name)
+                .cell(ar.reqPerS, 1)
+                .cell(ar.p50Ms, 2)
+                .cell(ar.p99Ms, 2)
+                .cell(ar.p50QueueMs, 2)
+                .cell(ar.p99QueueMs, 2)
+                .cell(ar.p50ExecMs, 2)
+                .cell(ar.p99ExecMs, 2)
+                .cell(ar.parity ? "yes" : "NO");
+        }
+        at_table.print(std::cout);
+        const ArrivalResult &l0 = arrivals[0];
+        const ArrivalResult &ct = arrivals[1];
+        std::cout << "admitted_at_layer (continuous): [";
+        for (std::size_t i = 0; i < ct.admittedAtLayer.size(); ++i)
+            std::cout << (i ? ", " : "") << ct.admittedAtLayer[i];
+        std::cout << "]\ncontinuous vs layer0: p99 "
+                  << ct.p99Ms << " vs " << l0.p99Ms << " ms ("
+                  << (l0.p99Ms > 0.0
+                          ? 100.0 * (l0.p99Ms - ct.p99Ms) / l0.p99Ms
+                          : 0.0)
+                  << "% lower), throughput " << ct.reqPerS << " vs "
+                  << l0.reqPerS << " req/s\n";
+    }
+
     if (!opt.savePath.empty()) {
         try {
             saveCompiledModel(model, opt.savePath);
@@ -330,7 +501,42 @@ main(int argc, char **argv)
                 << (wr.parity ? "true" : "false") << "}"
                 << (i + 1 < results.size() ? "," : "") << "\n";
         }
-        out << "  ]\n}\n";
+        out << "  ],\n";
+        out << "  \"arrivals\": {\"enabled\": "
+            << (opt.arrivals ? "true" : "false");
+        if (opt.arrivals) {
+            out << ", \"mode\": \"poisson\", \"rate_req_per_s\": "
+                << arrival_rate << ", \"seed\": \"0xa221\""
+                << ", \"window\": " << opt.arrivalWindow
+                << ", \"requests\": " << opt.requests << ",\n"
+                << "    \"modes\": [\n";
+            for (std::size_t i = 0; i < arrivals.size(); ++i) {
+                const ArrivalResult &ar = arrivals[i];
+                out << "      {\"name\": \"" << ar.name
+                    << "\", \"wall_ms\": " << ar.wallMs
+                    << ", \"req_per_s\": " << ar.reqPerS
+                    << ", \"p50_ms\": " << ar.p50Ms << ", \"p99_ms\": "
+                    << ar.p99Ms << ", \"p50_queue_ms\": "
+                    << ar.p50QueueMs << ", \"p99_queue_ms\": "
+                    << ar.p99QueueMs << ", \"p50_exec_ms\": "
+                    << ar.p50ExecMs << ", \"p99_exec_ms\": "
+                    << ar.p99ExecMs << ",\n       \"models\": [{"
+                    << "\"name\": \"" << spec.name
+                    << "\", \"p50_ms\": " << ar.p50Ms
+                    << ", \"p99_ms\": " << ar.p99Ms << "}],\n"
+                    << "       \"admitted_at_layer\": [";
+                for (std::size_t h = 0; h < ar.admittedAtLayer.size();
+                     ++h)
+                    out << (h ? ", " : "") << ar.admittedAtLayer[h];
+                out << "], \"parity\": "
+                    << (ar.parity ? "true" : "false") << "}"
+                    << (i + 1 < arrivals.size() ? "," : "") << "\n";
+            }
+            out << "    ]}\n";
+        } else {
+            out << "}\n";
+        }
+        out << "}\n";
         std::cout << "\nwrote " << opt.jsonPath << "\n";
     }
     return all_parity ? 0 : 1;

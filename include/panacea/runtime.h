@@ -65,6 +65,16 @@ struct RuntimeOptions
      */
     std::string cacheDir;
     /**
+     * Size cap of the disk tier in bytes; 0 = unbounded (or the
+     * PANACEA_CACHE_MAX_MB environment variable when the global cache
+     * is shared). When a write-back pushes the directory past the
+     * cap, least-recently-USED .pncm files are pruned (disk hits
+     * refresh recency) until it fits - the newest entry is never
+     * pruned. Eviction only costs a later cold start a rebuild; it
+     * can never change results.
+     */
+    std::uint64_t cacheMaxBytes = 0;
+    /**
      * Share the process-wide model cache instead of owning a private
      * one: several Runtimes then deduplicate preparation across each
      * other (cacheDir, when set, is applied to the global cache).

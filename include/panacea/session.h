@@ -1,12 +1,23 @@
 /**
  * @file
  * panacea::Session - the submit/await surface of the serving runtime.
- * A Session wraps the dynamic micro-batching engine: requests for the
- * same CompiledModel coalesce into one column-concatenated GEMM (up
- * to the batch window, waiting at most the batch deadline), models
- * take round-robin turns, and every request receives its own output
- * columns and execution statistics - bit-identical to a solo run,
- * whatever batch it rode in.
+ * A Session wraps the layer-stepped micro-batching engine: requests
+ * for the same CompiledModel coalesce into one column-concatenated
+ * GEMM (up to the batch window, waiting at most the batch deadline),
+ * models take round-robin turns, and every request receives its own
+ * output columns and execution statistics - bit-identical to a solo
+ * run, whatever batch it rode in.
+ *
+ * Continuous batching (SessionOptions::continuous): the engine
+ * advances a running batch one layer at a time and admits newly
+ * submitted requests BETWEEN layer steps - a late request catches up
+ * through the layers it missed and is spliced into the running
+ * cohort instead of waiting for the whole stack, cutting tail
+ * latency under open-loop arrivals. InferenceResult::admittedAtLayer
+ * records where each request joined, and SessionStats splits latency
+ * into queue-wait and execute percentile series plus an
+ * admission-layer histogram. Bit-exactness is unchanged in either
+ * mode.
  *
  * Sessions come from Runtime::createSession() and must not outlive
  * their Runtime (they serve models through its cache). All methods
@@ -28,18 +39,27 @@ namespace panacea {
 
 /**
  * Session configuration: batch window, fill deadline, worker count,
- * paused start. See serve/engine.h for field semantics; batching
- * parameters change throughput and latency only, never results.
+ * paused start, continuous (layer-stepped) admission and its
+ * in-flight column cap. See serve/engine.h for field semantics;
+ * batching parameters change throughput and latency only, never
+ * results.
  */
 using SessionOptions = serve::EngineOptions;
 
 /**
  * One request's completion record: output columns, solo-equivalent
- * AqsStats, batch size/sequence, latency.
+ * AqsStats, batch size/sequence, admission layer
+ * (admittedAtLayer: 0 = batched at stack entry, L = spliced into a
+ * running cohort at layer L), and the latency split
+ * (queueWaitMs + executeMs = latencyMs).
  */
 using InferenceResult = serve::RequestResult;
 
-/** Aggregate session counters (requests, batches, latency, stats). */
+/**
+ * Aggregate session counters (requests, batches, latency/queue-wait/
+ * execute percentiles, admission-layer histogram, stats). Percentiles
+ * cover completed requests only; see serve/request.h.
+ */
 using SessionStats = serve::EngineStats;
 
 /** The submit/await handle; see the file header. */

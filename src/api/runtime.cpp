@@ -28,6 +28,8 @@ Runtime::Runtime(const RuntimeOptions &opts) : opts_(opts)
     }
     if (!opts_.cacheDir.empty())
         cache_->setDiskDir(opts_.cacheDir);
+    if (opts_.cacheMaxBytes > 0)
+        cache_->setDiskCapBytes(opts_.cacheMaxBytes);
 }
 
 CompiledModel

@@ -169,6 +169,13 @@ AqsLinearLayer::dequantizeOutput(const MatrixI64 &acc) const
     return dequantizeAccumulator(acc, wParams_.scale, xParams_.scale);
 }
 
+MatrixF
+AqsLinearLayer::forwardPreparedStep(const ActivationOperand &x_op,
+                                    AqsStats *stats) const
+{
+    return dequantizeOutput(forwardPrepared(x_op, stats));
+}
+
 MatrixI64
 AqsLinearLayer::forwardCodes(const MatrixI32 &x_codes,
                              AqsStats *stats) const

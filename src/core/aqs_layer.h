@@ -99,6 +99,20 @@ class AqsLinearLayer
                               AqsStats *stats = nullptr) const;
 
     /**
+     * One full layer step on a prepared operand: forwardPrepared() +
+     * dequantizeOutput() in a single call, returning the float
+     * output. The single-layer convenience for callers that do not
+     * need the two stages separated (the serving scheduler's
+     * ServedModel::forwardPreparedStep splits them so its GEMM mutex
+     * scopes the GEMM only, and is guaranteed bit-equal to this call
+     * per layer - tests/test_serve_continuous.cpp). Both stages are
+     * column-blocked, so the step inherits aqsGemm()'s column-slice
+     * determinism.
+     */
+    MatrixF forwardPreparedStep(const ActivationOperand &x_op,
+                                AqsStats *stats = nullptr) const;
+
+    /**
      * Counting-only twin of forwardPrepared() over the output column
      * groups [ng_begin, ng_end): the exact statistics a GEMM over just
      * those columns would record (see aqsCountStats()). The serving

@@ -30,6 +30,9 @@ defaultBatchWindow()
 /** Latency percentiles cover the most recent this-many requests. */
 constexpr std::size_t kLatencyWindow = 8192;
 
+/** Default continuous-mode cap on a cohort's activation columns. */
+constexpr int kDefaultMaxInflightColumns = 1024;
+
 } // namespace
 
 /** One queued request (id, routing handle, input, completion hook). */
@@ -40,6 +43,20 @@ struct InferenceEngine::Pending
     MatrixF input;
     std::promise<RequestResult> promise;
     std::chrono::steady_clock::time_point submitted;
+};
+
+/**
+ * One in-flight request inside an executing cohort: the queued request
+ * plus the scheduling state the layer-stepped core tracks through
+ * splice and split - where it joined, when, and its stats accumulated
+ * one layer step at a time.
+ */
+struct InferenceEngine::Member
+{
+    Pending p;
+    std::size_t admittedAtLayer = 0;
+    std::chrono::steady_clock::time_point admitted;
+    AqsStats stats;
 };
 
 /** One model's slot in the round-robin ring (FIFO within the model). */
@@ -59,6 +76,10 @@ InferenceEngine::InferenceEngine(const EngineOptions &opts,
         opts_.workers = 2;
     if (opts_.batchDeadlineMs < 0.0)
         opts_.batchDeadlineMs = 0.0;
+    if (opts_.maxInflightColumns <= 0)
+        opts_.maxInflightColumns = kDefaultMaxInflightColumns;
+    if (opts_.maxAdmissionLayer <= 0)
+        opts_.maxAdmissionLayer = 1;
     started_ = !opts_.startPaused;
     workers_.reserve(static_cast<std::size_t>(opts_.workers));
     for (int t = 0; t < opts_.workers; ++t)
@@ -216,7 +237,11 @@ InferenceEngine::workerLoop()
             if (!turn.pending.empty())
                 ring_.push_back(std::move(turn));
         }
-        if (batch.size() < window && opts_.batchDeadlineMs > 0.0) {
+        // Continuous mode never waits for the window to fill: the fill
+        // deadline exists only to coalesce, and mid-stack admission
+        // already does that without stalling the requests in hand.
+        if (batch.size() < window && opts_.batchDeadlineMs > 0.0 &&
+            !opts_.continuous) {
             const auto deadline =
                 std::chrono::steady_clock::now() +
                 std::chrono::microseconds(static_cast<long long>(
@@ -249,75 +274,230 @@ InferenceEngine::workerLoop()
         const std::uint64_t batch_seq = nextBatchSeq_++;
 
         lock.unlock();
-        runBatch(model, batch, batch_seq);
+        const std::size_t completed = runStack(model, batch, batch_seq);
         lock.lock();
-        inFlight_ -= batch.size();
+        inFlight_ -= completed;
         drainCv_.notify_all();
     }
 }
 
-void
-InferenceEngine::runBatch(const std::shared_ptr<const ServedModel> &model,
+std::vector<InferenceEngine::Pending>
+InferenceEngine::takeAdmissions(const ServedModel *model,
+                                std::size_t cohort_columns)
+{
+    std::vector<Pending> admitted;
+    const std::size_t cap =
+        static_cast<std::size_t>(opts_.maxInflightColumns);
+    if (cohort_columns >= cap)
+        return admitted;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = ring_.begin(); it != ring_.end(); ++it) {
+        if (it->model.get() != model)
+            continue;
+        // FIFO within the model: a request is admitted only if it
+        // fits entirely under the column cap; the first one that does
+        // not stops admission (preserving submission order).
+        std::size_t cols = cohort_columns;
+        while (!it->pending.empty()) {
+            const std::size_t req_cols = it->pending.front().input.cols();
+            if (cols + req_cols > cap)
+                break;
+            cols += req_cols;
+            admitted.push_back(std::move(it->pending.front()));
+            it->pending.pop_front();
+            ++inFlight_;
+            --pendingCount_;
+        }
+        // Mid-stack admission may empty the slot; drop it so an empty
+        // queue never takes a round-robin turn.
+        if (it->pending.empty())
+            ring_.erase(it);
+        break;
+    }
+    return admitted;
+}
+
+ActivationOperand
+InferenceEngine::prepareLayer0Concat(const ServedModel &model,
+                                     const std::vector<Member> &members)
+{
+    std::vector<ActivationOperand> ops;
+    ops.reserve(members.size());
+    for (const Member &m : members)
+        ops.push_back(model.prepareInput(m.p.input));
+    if (ops.size() == 1)
+        return std::move(ops.front());
+    std::vector<const ActivationOperand *> ptrs;
+    ptrs.reserve(ops.size());
+    for (const ActivationOperand &o : ops)
+        ptrs.push_back(&o);
+    return concatActivationOperands(ptrs, model.layer(0).config());
+}
+
+MatrixF
+InferenceEngine::catchUp(const ServedModel &model,
+                         std::vector<Member> &newcomers,
+                         std::span<const std::size_t> offsets,
+                         std::size_t upto, double &prep_ms,
+                         double &gemm_ms)
+{
+    // The newcomers form their own mini-cohort and replay the layers
+    // the running cohort already passed - the same column-blocked
+    // math, so their outputs and stats stay bit-equal to solo runs.
+    auto tp = nowTick();
+    ActivationOperand op = prepareLayer0Concat(model, newcomers);
+    prep_ms += msSince(tp);
+
+    MatrixF cur;
+    for (std::size_t lj = 0; lj < upto; ++lj) {
+        if (lj > 0) {
+            tp = nowTick();
+            op = model.prepareStepInput(lj, cur);
+            prep_ms += msSince(tp);
+        }
+        ServedModel::StepResult step =
+            model.forwardPreparedStep(lj, op, offsets, &gemmMutex_);
+        for (std::size_t r = 0; r < newcomers.size(); ++r)
+            newcomers[r].stats += step.perRequest[r];
+        gemm_ms += step.gemmMs;
+        cur = std::move(step.next);
+    }
+    // upto < layerCount always (admission happens before a remaining
+    // layer), so `cur` is already adapted for layer `upto`.
+    return cur;
+}
+
+std::size_t
+InferenceEngine::runStack(const std::shared_ptr<const ServedModel> &model,
                           std::vector<Pending> &batch,
                           std::uint64_t batch_seq)
 {
     const std::size_t uv =
         static_cast<std::size_t>(model->options().v);
-    const std::size_t requests = batch.size();
+    const std::size_t layer_count = model->layerCount();
 
-    // Layer-0 prep per request + column concat. This part runs
-    // concurrently across workers - it is the stage that overlaps the
-    // previous batch's GEMM.
-    const auto tp = std::chrono::steady_clock::now();
-    std::vector<ActivationOperand> ops;
-    ops.reserve(requests);
-    std::vector<std::size_t> offsets(requests + 1, 0);
-    for (std::size_t r = 0; r < requests; ++r) {
-        ops.push_back(model->prepareInput(batch[r].input));
-        offsets[r + 1] = offsets[r] + batch[r].input.cols() / uv;
+    // Cohort state: members in splice order, cumulative column-group
+    // offsets naming each member's range, per-member stats folded one
+    // layer step at a time.
+    const auto formed = std::chrono::steady_clock::now();
+    std::vector<Member> members;
+    members.reserve(batch.size());
+    for (Pending &p : batch) {
+        Member m;
+        m.p = std::move(p);
+        m.admitted = formed;
+        members.push_back(std::move(m));
     }
-    ActivationOperand batched;
-    const ActivationOperand *op = &ops.front();
-    if (requests > 1) {
-        std::vector<const ActivationOperand *> ptrs;
-        ptrs.reserve(requests);
-        for (const ActivationOperand &o : ops)
-            ptrs.push_back(&o);
-        batched =
-            concatActivationOperands(ptrs, model->layer(0).config());
-        op = &batched;
+    std::vector<std::size_t> offsets(members.size() + 1, 0);
+    for (std::size_t r = 0; r < members.size(); ++r)
+        offsets[r + 1] = offsets[r] + members[r].p.input.cols() / uv;
+
+    double prep_ms = 0.0;
+    double gemm_ms = 0.0;
+
+    // Layer-0 prep per request + column concat. This stage runs
+    // concurrently across workers - it overlaps another worker's GEMM.
+    auto tp = nowTick();
+    ActivationOperand op = prepareLayer0Concat(*model, members);
+    prep_ms += msSince(tp);
+
+    // The layer-stepped core: one forwardPreparedStep() per layer,
+    // with continuous admission between steps. gemmMutex_ is taken
+    // per step inside forwardPreparedStep, so another worker's prep
+    // (layer 0 above, catch-up, inter-layer quantize/slice) genuinely
+    // overlaps this cohort's kernels.
+    MatrixF cur;
+    for (std::size_t li = 0; li < layer_count; ++li) {
+        if (li > 0) {
+            // Continuous admission BEFORE preparing layer li's
+            // operand: newcomers catch up through layers 0..li-1 as
+            // their own mini-cohort, then their prepared layer-li
+            // operand is spliced onto the cohort's by column concat.
+            std::vector<Pending> admitted;
+            if (opts_.continuous &&
+                li <= static_cast<std::size_t>(opts_.maxAdmissionLayer))
+                admitted =
+                    takeAdmissions(model.get(), offsets.back() * uv);
+
+            tp = nowTick();
+            op = model->prepareStepInput(li, cur);
+            prep_ms += msSince(tp);
+
+            if (!admitted.empty()) {
+                const auto now = std::chrono::steady_clock::now();
+                std::vector<Member> newcomers;
+                newcomers.reserve(admitted.size());
+                std::vector<std::size_t> noffsets(admitted.size() + 1,
+                                                  0);
+                for (std::size_t r = 0; r < admitted.size(); ++r) {
+                    Member m;
+                    m.p = std::move(admitted[r]);
+                    m.admitted = now;
+                    m.admittedAtLayer = li;
+                    noffsets[r + 1] =
+                        noffsets[r] + m.p.input.cols() / uv;
+                    newcomers.push_back(std::move(m));
+                }
+                MatrixF ncur = catchUp(*model, newcomers, noffsets, li,
+                                       prep_ms, gemm_ms);
+                tp = nowTick();
+                ActivationOperand nop =
+                    model->prepareStepInput(li, ncur);
+                const ActivationOperand *parts[2] = {&op, &nop};
+                op = concatActivationOperands(parts,
+                                              model->layer(li).config());
+                prep_ms += msSince(tp);
+                // Splice the scheduling state: members append in
+                // admission order, ranges shift by the cohort's group
+                // count. Each member's range is preserved verbatim,
+                // which is what keeps its stats and output split
+                // bit-exact.
+                const std::size_t base = offsets.back();
+                for (std::size_t r = 0; r < newcomers.size(); ++r) {
+                    offsets.push_back(base + noffsets[r + 1]);
+                    members.push_back(std::move(newcomers[r]));
+                }
+            }
+        }
+        ServedModel::StepResult step =
+            model->forwardPreparedStep(li, op, offsets, &gemmMutex_);
+        for (std::size_t r = 0; r < members.size(); ++r)
+            members[r].stats += step.perRequest[r];
+        gemm_ms += step.gemmMs;
+        cur = std::move(step.next);
     }
-    double prep_ms = msSince(tp);
 
-    // The GEMM stage: gemmMutex_ is taken per layer GEMM inside
-    // runPrepared, so another worker's operand prep (layer 0 above,
-    // intermediate layers inside its own runPrepared) genuinely
-    // overlaps this batch's kernels.
-    ServedModel::BatchResult res =
-        model->runPrepared(*op, offsets, &gemmMutex_);
-    prep_ms += res.prepMs;
-
-    // Split the output columns back per request.
+    // `cur` now holds the final layer's output; split its columns
+    // back per member.
     const auto tdone = std::chrono::steady_clock::now();
-    const std::size_t m_out = res.output.rows();
+    const std::size_t requests = members.size();
+    const std::size_t m_out = cur.rows();
     std::vector<RequestResult> results(requests);
     for (std::size_t r = 0; r < requests; ++r) {
         const std::size_t c0 = offsets[r] * uv;
         const std::size_t c1 = offsets[r + 1] * uv;
+        const Member &m = members[r];
         RequestResult &rr = results[r];
-        rr.id = batch[r].id;
-        rr.stats = res.perRequest[r];
+        rr.id = m.p.id;
+        rr.stats = m.stats;
         rr.batchSize = requests;
         rr.batchSeq = batch_seq;
+        rr.admittedAtLayer = m.admittedAtLayer;
         rr.output = MatrixF(m_out, c1 - c0);
         for (std::size_t row = 0; row < m_out; ++row) {
-            const auto src = res.output.row(row);
+            const auto src = cur.row(row);
             std::copy(src.begin() + static_cast<std::ptrdiff_t>(c0),
                       src.begin() + static_cast<std::ptrdiff_t>(c1),
                       rr.output.row(row).begin());
         }
         rr.latencyMs = std::chrono::duration<double, std::milli>(
-                           tdone - batch[r].submitted)
+                           tdone - m.p.submitted)
+                           .count();
+        rr.queueWaitMs = std::chrono::duration<double, std::milli>(
+                             m.admitted - m.p.submitted)
+                             .count();
+        rr.executeMs = std::chrono::duration<double, std::milli>(
+                           tdone - m.admitted)
                            .count();
     }
 
@@ -325,8 +505,19 @@ InferenceEngine::runBatch(const std::shared_ptr<const ServedModel> &model,
     // future resolves, stats() already includes its request.
     {
         std::lock_guard<std::mutex> stats_lock(statsMutex_);
+        // The three timing rings advance in lockstep so the latency,
+        // queue-wait and execute percentile series always cover the
+        // same completed requests.
+        const auto push = [&](std::vector<float> &ring, double v) {
+            if (ring.size() < kLatencyWindow)
+                ring.push_back(static_cast<float>(v));
+            else
+                ring[latencyNext_ % kLatencyWindow] =
+                    static_cast<float>(v);
+        };
         for (std::size_t r = 0; r < requests; ++r) {
-            const AqsStats &rs = res.perRequest[r];
+            const Member &m = members[r];
+            const AqsStats &rs = m.stats;
             // Integer counters only: exact sums, so the fold is
             // identical for every completion order. stats()
             // reconstructs the floating macsPerOuterProduct mean from
@@ -339,12 +530,13 @@ InferenceEngine::runBatch(const std::shared_ptr<const ServedModel> &model,
                 rs.macsPerOuterProduct *
                 static_cast<double>(rs.denseOuterProducts);
             ++requests_;
-            const float lat = static_cast<float>(results[r].latencyMs);
-            if (latenciesMs_.size() < kLatencyWindow)
-                latenciesMs_.push_back(lat);
-            else
-                latenciesMs_[latencyNext_ % kLatencyWindow] = lat;
+            push(latenciesMs_, results[r].latencyMs);
+            push(queueWaitsMs_, results[r].queueWaitMs);
+            push(executesMs_, results[r].executeMs);
             ++latencyNext_;
+            if (admissionHist_.size() <= m.admittedAtLayer)
+                admissionHist_.resize(m.admittedAtLayer + 1, 0);
+            ++admissionHist_[m.admittedAtLayer];
         }
         ++batches_;
         maxBatch_ = std::max(maxBatch_, requests);
@@ -352,17 +544,29 @@ InferenceEngine::runBatch(const std::shared_ptr<const ServedModel> &model,
         columns_ += cols;
         macs_ += cols * model->macsPerColumn();
         prepMs_ += prep_ms;
-        gemmMs_ += res.gemmMs;
+        gemmMs_ += gemm_ms;
     }
 
     for (std::size_t r = 0; r < requests; ++r)
-        batch[r].promise.set_value(std::move(results[r]));
+        members[r].p.promise.set_value(std::move(results[r]));
+    return requests;
 }
 
 EngineStats
 InferenceEngine::stats() const
 {
     std::lock_guard<std::mutex> lock(statsMutex_);
+    // The documented percentile semantics, asserted: the three series
+    // cover the SAME completed requests, never more than the sliding
+    // window, and never a request that has not completed.
+    panic_if(latenciesMs_.size() != queueWaitsMs_.size() ||
+                 latenciesMs_.size() != executesMs_.size(),
+             "engine percentile rings out of sync (", latenciesMs_.size(),
+             "/", queueWaitsMs_.size(), "/", executesMs_.size(), ")");
+    panic_if(latenciesMs_.size() > kLatencyWindow,
+             "engine percentile ring exceeds its window");
+    panic_if(static_cast<std::uint64_t>(latenciesMs_.size()) > requests_,
+             "engine percentile ring holds uncompleted requests");
     EngineStats s;
     s.requests = requests_;
     s.batches = batches_;
@@ -377,7 +581,12 @@ InferenceEngine::stats() const
     if (!latenciesMs_.empty()) {
         s.p50LatencyMs = percentile(latenciesMs_, 50.0);
         s.p99LatencyMs = percentile(latenciesMs_, 99.0);
+        s.p50QueueWaitMs = percentile(queueWaitsMs_, 50.0);
+        s.p99QueueWaitMs = percentile(queueWaitsMs_, 99.0);
+        s.p50ExecuteMs = percentile(executesMs_, 50.0);
+        s.p99ExecuteMs = percentile(executesMs_, 99.0);
     }
+    s.admittedAtLayer = admissionHist_;
     s.aggregate = aggregate_;
     if (aggregate_.denseOuterProducts > 0)
         s.aggregate.macsPerOuterProduct =

@@ -1,27 +1,35 @@
 /**
  * @file
- * The batched inference engine: a submission queue with dynamic
- * micro-batching on top of the prepared-operand cache and the AQS-GEMM
- * kernels.
+ * The inference engine: a submission queue feeding a LAYER-STEPPED
+ * execution core on top of the prepared-operand cache and the AQS-GEMM
+ * kernels. The unit of execution is one layer step over a cohort of
+ * in-flight column groups, not a whole-stack batch - which is what
+ * makes continuous (mid-stack) admission possible.
  *
  * Dataflow (one worker iteration):
  *
  *   submit() ──▶ per-model queues ──▶ [front model of the round-robin
  *                (FIFO within a model)  ring: collect ≤ window, wait
- *                                       ≤ deadline]
+ *                                       ≤ deadline]  = cohort
  *                                        ▼
  *                   per-request quantize + slice (layer 0)
  *                   concatActivationOperands() ─ column concat
  *                                        ▼
- *                   ServedModel::runPrepared()   (GEMM serialized
- *                        layer stack, batched     across workers)
+ *              ┌──▶ ServedModel::forwardPreparedStep(L)  ──┐
+ *              │        one layer, GEMM serialized         │
+ *              │        across workers                     │
+ *              │                                           ▼
+ *              │    [continuous] admit queued requests: catch-up
+ *              │    layers 0..L via their own step loop, then
+ *              │    splice with concatActivationOperands()
+ *              └───────────── next layer L+1 ──────────────┘
  *                                        ▼
  *                   split output columns per request, fulfil futures
  *
  * Micro-batching: a worker takes the model at the FRONT of the
  * round-robin ring, coalesces up to batchWindow of ITS pending
  * requests (FIFO within the model), waiting at most batchDeadlineMs
- * for the window to fill. The batch executes as ONE activation
+ * for the window to fill. The cohort executes as ONE activation
  * operand whose columns are the requests' columns concatenated -
  * amortizing the per-call weight-side work (band packing, skip-list
  * builds, pool dispatch) that dominates small-N calls - and results
@@ -29,6 +37,22 @@
  * column-slice deterministic and every inter-layer step is
  * column-blocked, so request r's output and stats never depend on
  * what else rode along.
+ *
+ * Continuous admission (EngineOptions::continuous): between layer
+ * steps, the worker revisits the model's queue. A request that
+ * arrived AFTER the cohort left layer 0 no longer waits for the whole
+ * stack to finish: it is caught up through the layers it missed
+ * (prepared at layer 0, advanced by the same step loop as its own
+ * mini-cohort) and spliced into the running cohort's next operand
+ * with concatActivationOperands(). Admission changes WHEN a request
+ * executes, never WHAT it computes: catch-up and cohort steps are the
+ * same column-blocked math, so outputs and AqsStats stay bit-equal to
+ * a solo run for any arrival timing (tests/test_serve_continuous.cpp).
+ * RequestResult::admittedAtLayer records where each request joined;
+ * EngineStats keeps the admission histogram and splits latency into
+ * queue-wait and execute percentiles. With continuous=false the
+ * engine admits at layer 0 only and today's pinned round-robin
+ * batchSeq schedules are preserved exactly.
  *
  * Multi-model fairness: models take turns. A model enters the ring
  * when its first request arrives; after a batch is cut, a model with
@@ -98,6 +122,38 @@ struct EngineOptions
      * immediately.
      */
     bool startPaused = false;
+    /**
+     * Layer-stepped continuous admission. When true, a worker driving
+     * a cohort revisits the submission queue BETWEEN layer steps:
+     * newly queued same-model requests are caught up through the
+     * layers they missed and spliced into the running cohort instead
+     * of waiting for the whole stack (see the file header). Cuts
+     * head-of-line blocking under open-loop arrivals; bit-exactness
+     * and aggregate-stat determinism are unchanged. When false
+     * (default), requests batch at layer 0 only and the pinned
+     * round-robin batchSeq schedules of paused-start engines are
+     * preserved exactly.
+     */
+    bool continuous = false;
+    /**
+     * Continuous-mode cap on a cohort's total activation columns:
+     * mid-stack admission stops splicing once the cohort carries this
+     * many (a request is admitted only if it fits entirely). 0 picks
+     * 1024. Layer-0 cohort formation is governed by batchWindow, not
+     * this cap.
+     */
+    int maxInflightColumns = 0;
+    /**
+     * Deepest layer boundary continuous admission may splice at: a
+     * request joins a running cohort at layer L only when
+     * L <= maxAdmissionLayer. Catch-up replays L layers at the
+     * admission sub-batch's (small, inefficient) width ON the
+     * cohort's critical path, so deep admissions trade everyone's
+     * execute time for the newcomer's queue wait - boundary 1 is the
+     * measured sweet spot on the 1-core CI runner (bench_serving
+     * --arrivals). 0 picks 1; raise it to admit at every boundary.
+     */
+    int maxAdmissionLayer = 0;
 };
 
 /**
@@ -164,11 +220,48 @@ class InferenceEngine
 
   private:
     struct Pending;
+    struct Member;
     struct ModelQueue;
 
     void workerLoop();
-    void runBatch(const std::shared_ptr<const ServedModel> &model,
-                  std::vector<Pending> &batch, std::uint64_t batch_seq);
+
+    /**
+     * Execute one cohort to completion, one layer step at a time; in
+     * continuous mode, admit queued same-model requests between
+     * steps. Fulfils every member's future.
+     * @return the number of requests completed (>= batch.size() -
+     *         admissions grow the cohort).
+     */
+    std::size_t runStack(const std::shared_ptr<const ServedModel> &model,
+                         std::vector<Pending> &batch,
+                         std::uint64_t batch_seq);
+
+    /**
+     * Pop queued requests of `model` admissible into a cohort already
+     * carrying `cohort_columns` activation columns (FIFO, capped by
+     * maxInflightColumns). Takes mutex_; call with no lock held.
+     */
+    std::vector<Pending> takeAdmissions(const ServedModel *model,
+                                        std::size_t cohort_columns);
+
+    /**
+     * Run newcomers through layers [0, upto) as their own mini-cohort
+     * (the layers they missed), accumulating their per-request stats.
+     * @return their float activations adapted for layer `upto`.
+     */
+    MatrixF catchUp(const ServedModel &model,
+                    std::vector<Member> &newcomers,
+                    std::span<const std::size_t> offsets,
+                    std::size_t upto, double &prep_ms, double &gemm_ms);
+
+    /**
+     * Per-member layer-0 prep + column concat: the cohort- and
+     * catch-up-formation primitive (one code path, so the two can
+     * never diverge on the splice bit-exactness invariant).
+     */
+    static ActivationOperand
+    prepareLayer0Concat(const ServedModel &model,
+                        const std::vector<Member> &members);
 
     /** The model's ring slot, or nullptr (requires mutex_). */
     ModelQueue *findQueue(const ServedModel *model);
@@ -207,8 +300,17 @@ class InferenceEngine
     AqsStats aggregate_;             ///< integer counters only
     double macsWeightedSum_ = 0.0;   ///< sum of v*v * denseOuterProducts
     std::uint64_t requests_ = 0;
-    std::vector<float> latenciesMs_; ///< ring of recent latencies
+    /**
+     * Rings of recent per-request timings, pushed together so the
+     * three percentile series always cover the SAME completed
+     * requests (asserted in stats()).
+     */
+    std::vector<float> latenciesMs_;
+    std::vector<float> queueWaitsMs_;
+    std::vector<float> executesMs_;
     std::size_t latencyNext_ = 0;
+    /** admissionHist_[L] = completed requests admitted at layer L. */
+    std::vector<std::uint64_t> admissionHist_;
     std::uint64_t batches_ = 0;
     std::uint64_t columns_ = 0;
     std::uint64_t macs_ = 0;

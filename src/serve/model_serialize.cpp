@@ -1,12 +1,15 @@
 #include "serve/model_serialize.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <unistd.h>
 #include <utility>
+#include <vector>
 
 #include "util/fnv.h"
 
@@ -767,6 +770,144 @@ compiledModelFileName(const std::string &key)
     std::snprintf(hex, sizeof(hex), "%016llx",
                   static_cast<unsigned long long>(h));
     return std::string(hex) + kCompiledModelExtension;
+}
+
+std::uint32_t
+peekCompiledModelVersion(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw SerializeError("cannot open " + path + " for reading");
+    char envelope[sizeof(kMagic) + 4];
+    in.read(envelope, sizeof(envelope));
+    if (in.gcount() != static_cast<std::streamsize>(sizeof(envelope)))
+        throw SerializeError("compiled model too small (" +
+                             std::to_string(in.gcount()) + " bytes)");
+    if (!std::equal(kMagic, kMagic + sizeof(kMagic), envelope))
+        throw SerializeError("compiled model magic mismatch");
+    Reader head(envelope + sizeof(kMagic), 4);
+    return head.u32();
+}
+
+namespace {
+
+/** One disk-tier entry as the maintenance passes see it. */
+struct CacheDirEntry
+{
+    std::filesystem::path path;
+    std::uint64_t bytes = 0;
+    std::filesystem::file_time_type mtime;
+};
+
+/** List the .pncm files of `dir` ("" / missing dir -> empty). */
+std::vector<CacheDirEntry>
+listCacheDir(const std::string &dir)
+{
+    std::vector<CacheDirEntry> entries;
+    if (dir.empty())
+        return entries;
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec)
+        return entries;
+    for (const auto &de : it) {
+        if (!de.is_regular_file(ec))
+            continue;
+        if (de.path().extension() != kCompiledModelExtension)
+            continue;
+        CacheDirEntry e;
+        e.path = de.path();
+        e.bytes = static_cast<std::uint64_t>(de.file_size(ec));
+        if (ec)
+            continue;
+        e.mtime = de.last_write_time(ec);
+        if (ec)
+            continue;
+        entries.push_back(std::move(e));
+    }
+    return entries;
+}
+
+/** LRU prune over an already-listed entry set (shared pass tail). */
+void
+pruneEntries(std::vector<CacheDirEntry> &entries, std::uint64_t max_bytes,
+             CacheDirReport &report)
+{
+    std::uint64_t total = 0;
+    for (const CacheDirEntry &e : entries)
+        total += e.bytes;
+    if (max_bytes > 0 && total > max_bytes) {
+        // Oldest write/access timestamp first; the newest file is
+        // never removed (an entry's own write-back must survive).
+        std::sort(entries.begin(), entries.end(),
+                  [](const CacheDirEntry &a, const CacheDirEntry &b) {
+                      return a.mtime < b.mtime;
+                  });
+        for (std::size_t i = 0;
+             i + 1 < entries.size() && total > max_bytes; ++i) {
+            std::error_code ec;
+            if (!std::filesystem::remove(entries[i].path, ec) || ec)
+                continue;
+            total -= entries[i].bytes;
+            report.bytesFreed += entries[i].bytes;
+            entries[i].bytes = 0;
+            ++report.evicted;
+        }
+        entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                     [](const CacheDirEntry &e) {
+                                         return e.bytes == 0;
+                                     }),
+                      entries.end());
+    }
+    report.bytesKept = total;
+}
+
+} // namespace
+
+CacheDirReport
+pruneCompiledModelDir(const std::string &dir, std::uint64_t max_bytes)
+{
+    CacheDirReport report;
+    std::vector<CacheDirEntry> entries = listCacheDir(dir);
+    report.scanned = entries.size();
+    pruneEntries(entries, max_bytes, report);
+    return report;
+}
+
+CacheDirReport
+sweepCompiledModelDir(const std::string &dir, std::uint64_t max_bytes)
+{
+    CacheDirReport report;
+    std::vector<CacheDirEntry> entries = listCacheDir(dir);
+    report.scanned = entries.size();
+    std::vector<CacheDirEntry> kept;
+    kept.reserve(entries.size());
+    for (CacheDirEntry &e : entries) {
+        bool stale = false;
+        bool corrupt = false;
+        try {
+            stale = peekCompiledModelVersion(e.path.string()) !=
+                    kCompiledModelFormatVersion;
+        } catch (const SerializeError &) {
+            corrupt = true;
+        }
+        if (!stale && !corrupt) {
+            kept.push_back(std::move(e));
+            continue;
+        }
+        std::error_code ec;
+        if (!std::filesystem::remove(e.path, ec) || ec) {
+            kept.push_back(std::move(e));
+            continue;
+        }
+        report.bytesFreed += e.bytes;
+        if (stale)
+            ++report.staleVersion;
+        else
+            ++report.corrupt;
+    }
+    pruneEntries(kept, max_bytes, report);
+    return report;
 }
 
 } // namespace serve

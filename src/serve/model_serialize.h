@@ -105,6 +105,52 @@ std::shared_ptr<const ServedModel> loadServedModel(const std::string &path);
  */
 std::string compiledModelFileName(const std::string &key);
 
+/**
+ * Read ONLY the envelope (magic + format version) of a compiled-model
+ * file - a few bytes, no payload decode. Throws SerializeError on a
+ * missing/short file or bad magic; an out-of-date version is NOT an
+ * error here (that is what the sweep is for).
+ * @return the file's format version.
+ */
+std::uint32_t peekCompiledModelVersion(const std::string &path);
+
+/** What a cache-directory maintenance pass removed (file counts). */
+struct CacheDirReport
+{
+    std::uint64_t scanned = 0;      ///< .pncm files examined
+    std::uint64_t staleVersion = 0; ///< removed: other format version
+    std::uint64_t corrupt = 0;      ///< removed: bad magic / unreadable
+    std::uint64_t evicted = 0;      ///< removed: size-cap LRU pruning
+    std::uint64_t bytesFreed = 0;   ///< total bytes removed
+    std::uint64_t bytesKept = 0;    ///< bytes remaining after the pass
+};
+
+/**
+ * Enforce a size cap on a disk-tier directory: while the total size of
+ * its .pncm files exceeds `max_bytes`, remove the least-recently-used
+ * one (oldest write/access timestamp - PreparedModelCache refreshes
+ * the timestamp on every disk hit). The most recent file is never
+ * removed, so a single process's write-back always survives its own
+ * prune. (In a directory SHARED by concurrent processes a racing
+ * writer or disk hit can out-date an entry between its write and the
+ * prune and get it evicted - which costs that process's next cold
+ * start a rebuild, nothing else.) max_bytes == 0 means unbounded
+ * (no-op). A missing directory is a no-op, never an error.
+ */
+CacheDirReport pruneCompiledModelDir(const std::string &dir,
+                                     std::uint64_t max_bytes);
+
+/**
+ * Version-sweep a disk-tier directory: remove every .pncm file whose
+ * envelope does not carry the CURRENT format version (stale formats a
+ * reader would reject anyway) or whose envelope is unreadable/corrupt.
+ * Entries of the current version are left intact. With max_bytes > 0,
+ * follows up with pruneCompiledModelDir(). This is the library side of
+ * the `panacea_cache_sweep` tool.
+ */
+CacheDirReport sweepCompiledModelDir(const std::string &dir,
+                                     std::uint64_t max_bytes = 0);
+
 } // namespace serve
 } // namespace panacea
 

@@ -19,6 +19,7 @@ PreparedModelCache::acquire(const ModelSpec &spec,
     ModelFuture future;
     bool builder = false;
     std::string disk_dir;
+    std::uint64_t disk_cap = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = entries_.find(key);
@@ -27,6 +28,7 @@ PreparedModelCache::acquire(const ModelSpec &spec,
             entries_.emplace(key, future);
             builder = true;
             disk_dir = diskDir_;
+            disk_cap = diskCapBytes_;
         } else {
             future = it->second;
             ++stats_.hits;
@@ -62,11 +64,21 @@ PreparedModelCache::acquire(const ModelSpec &spec,
                             model.reset();
                         }
                     } catch (const SerializeError &err) {
+                        // Prune, don't just skip: a corrupt file would
+                        // otherwise sit in the directory (and count
+                        // against the size cap) forever.
                         warn("disk cache file ", path, " unreadable (",
-                             err.what(), ") - rebuilding");
+                             err.what(), ") - pruning and rebuilding");
+                        std::filesystem::remove(path, ec);
                         model.reset();
                     }
                     if (model != nullptr) {
+                        // LRU recency: a hit refreshes the file's
+                        // timestamp so eviction prunes genuinely idle
+                        // entries first (best-effort).
+                        std::filesystem::last_write_time(
+                            path, std::filesystem::file_time_type::clock::now(),
+                            ec);
                         const double load_ms = msSince(t0);
                         {
                             std::lock_guard<std::mutex> lock(mutex_);
@@ -105,6 +117,14 @@ PreparedModelCache::acquire(const ModelSpec &spec,
                 std::error_code ec;
                 std::filesystem::create_directories(disk_dir, ec);
                 saveServedModel(*model, path);
+                // Size cap: LRU-prune AFTER the write so the tier
+                // never exceeds the cap for longer than one write.
+                // The just-written entry is this process's newest and
+                // survives its own prune; a CONCURRENT writer to a
+                // shared directory can still out-date it and have it
+                // evicted, costing only a later rebuild.
+                if (disk_cap > 0)
+                    pruneCompiledModelDir(disk_dir, disk_cap);
             } catch (const SerializeError &err) {
                 warn("disk cache write to ", path, " failed: ",
                      err.what());
@@ -133,6 +153,20 @@ PreparedModelCache::diskDir() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return diskDir_;
+}
+
+void
+PreparedModelCache::setDiskCapBytes(std::uint64_t max_bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    diskCapBytes_ = max_bytes;
+}
+
+std::uint64_t
+PreparedModelCache::diskCapBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return diskCapBytes_;
 }
 
 PreparedModelCache::CacheStats
@@ -165,6 +199,12 @@ PreparedModelCache::global()
         if (const char *dir = std::getenv("PANACEA_CACHE_DIR");
             dir != nullptr && *dir != '\0')
             c->setDiskDir(dir);
+        if (const char *mb = std::getenv("PANACEA_CACHE_MAX_MB")) {
+            const long v = std::strtol(mb, nullptr, 10);
+            if (v > 0)
+                c->setDiskCapBytes(static_cast<std::uint64_t>(v) *
+                                   1024ull * 1024ull);
+        }
         return c;
     }();
     return *cache;

@@ -21,9 +21,18 @@
  * behaviourally byte-identical to a fresh build, so a cold process
  * skips the multi-second preparation entirely - CacheStats::diskHits
  * vs misses is the observable proof. Unreadable or stale files (wrong
- * version, checksum, fingerprint) are ignored with a warning and the
+ * version, checksum, fingerprint) are PRUNED with a warning and the
  * model is rebuilt; the disk tier can only add speed, never change
  * results.
+ *
+ * Eviction (setDiskCapBytes() / PANACEA_CACHE_MAX_MB /
+ * RuntimeOptions::cacheMaxBytes): with a byte cap configured, every
+ * write-back is followed by an LRU prune - least-recently-USED .pncm
+ * files go first (a disk hit refreshes its file's timestamp), the
+ * just-written entry always survives - so the directory stops growing
+ * without bound (the old behaviour, cap 0, remains the default).
+ * Stale format versions are removed by the `panacea_cache_sweep` tool
+ * (sweepCompiledModelDir() in serve/model_serialize.h).
  */
 
 #ifndef PANACEA_SERVE_OPERAND_CACHE_H
@@ -87,6 +96,15 @@ class PreparedModelCache
     /** @return the disk-tier directory ("" = disabled). */
     std::string diskDir() const;
 
+    /**
+     * Cap the disk tier at `max_bytes` (0 = unbounded). Enforced by
+     * LRU pruning after each write-back; see the file header.
+     */
+    void setDiskCapBytes(std::uint64_t max_bytes);
+
+    /** @return the disk-tier size cap in bytes (0 = unbounded). */
+    std::uint64_t diskCapBytes() const;
+
     /** @return a consistent snapshot of the counters. */
     CacheStats stats() const;
 
@@ -109,6 +127,7 @@ class PreparedModelCache
     mutable std::mutex mutex_;
     std::map<std::string, ModelFuture> entries_;
     std::string diskDir_;
+    std::uint64_t diskCapBytes_ = 0;
     CacheStats stats_;
 };
 

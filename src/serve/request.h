@@ -14,6 +14,7 @@
 #define PANACEA_SERVE_REQUEST_H
 
 #include <cstdint>
+#include <vector>
 
 #include "core/aqs_gemm.h"
 #include "util/matrix.h"
@@ -43,23 +44,65 @@ struct RequestResult
      * completion order may differ.
      */
     std::uint64_t batchSeq = 0;
+    /**
+     * Layer index at which this request joined its executing cohort:
+     * 0 = batched at stack entry (always, when continuous mode is
+     * off); L > 0 = the continuous scheduler admitted it while the
+     * cohort was about to execute layer L - the request caught up
+     * through layers 0..L-1 in its admission sub-batch, then rode the
+     * cohort for the remaining layers. The VALUE is timing-dependent
+     * in continuous mode; the request's output and stats are not.
+     */
+    std::size_t admittedAtLayer = 0;
     /** Submit-to-completion wall time (timing, not deterministic). */
     double latencyMs = 0.0;
+    /**
+     * Submit-to-admission wall time: how long the request sat queued
+     * before an executing cohort picked it up (layer 0 or a
+     * continuous splice). latencyMs == queueWaitMs + executeMs up to
+     * clock resolution. Timing, not deterministic.
+     */
+    double queueWaitMs = 0.0;
+    /** Admission-to-completion wall time (timing, not deterministic). */
+    double executeMs = 0.0;
 };
 
-/** Aggregate engine counters; see InferenceEngine::stats(). */
+/**
+ * Aggregate engine counters; see InferenceEngine::stats().
+ *
+ * Percentile semantics (asserted in stats()): every percentile field
+ * covers COMPLETED requests only, over a sliding window of the most
+ * recent completions (8192) at snapshot time. Requests still queued or
+ * in flight are invisible to them - a snapshot taken mid-run reports
+ * the tail of what has FINISHED, not of what is stuck. The latency
+ * series splits exactly into the queue-wait and execute series below
+ * (same requests, same window).
+ */
 struct EngineStats
 {
     std::uint64_t requests = 0;   ///< completed requests
-    std::uint64_t batches = 0;    ///< executed micro-batches
+    std::uint64_t batches = 0;    ///< executed micro-batches (cohorts)
     std::uint64_t columns = 0;    ///< activation columns served
-    std::size_t maxBatch = 0;     ///< largest micro-batch
+    std::size_t maxBatch = 0;     ///< largest cohort (requests)
     double meanBatch = 0.0;       ///< requests / batches
     double p50LatencyMs = 0.0;    ///< median request latency
     double p99LatencyMs = 0.0;    ///< tail request latency
+    double p50QueueWaitMs = 0.0;  ///< median submit-to-admission wait
+    double p99QueueWaitMs = 0.0;  ///< tail submit-to-admission wait
+    double p50ExecuteMs = 0.0;    ///< median admission-to-completion
+    double p99ExecuteMs = 0.0;    ///< tail admission-to-completion
     double prepMs = 0.0;          ///< operand prep wall time (all layers)
     double gemmMs = 0.0;          ///< GEMM wall time
     std::uint64_t macs = 0;       ///< dense-equivalent MACs served
+    /**
+     * Admission-layer histogram: admittedAtLayer[L] counts completed
+     * requests that joined their cohort at layer L (index 0 =
+     * layer-0 batching; sized to the deepest admission seen, so it is
+     * {requests} when continuous mode is off or never spliced). The
+     * split is timing-dependent in continuous mode; the TOTAL equals
+     * `requests` always.
+     */
+    std::vector<std::uint64_t> admittedAtLayer;
     /**
      * Exact fold of every completed request's per-request stats:
      * integer counters sum exactly and the macsPerOuterProduct mean is

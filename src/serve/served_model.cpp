@@ -174,6 +174,63 @@ ServedModel::prepareInput(const MatrixF &input) const
     return first.prepareInput(first.quantizeInput(input));
 }
 
+ActivationOperand
+ServedModel::prepareStepInput(std::size_t layer_index,
+                              const MatrixF &x) const
+{
+    fatal_if(layer_index >= layers_.size(), "prepareStepInput layer ",
+             layer_index, " out of ", layers_.size());
+    const AqsLinearLayer &layer = layers_[layer_index];
+    return layer.prepareInput(layer.quantizeInput(x));
+}
+
+ServedModel::StepResult
+ServedModel::forwardPreparedStep(std::size_t layer_index,
+                                 const ActivationOperand &op,
+                                 std::span<const std::size_t> group_offsets,
+                                 std::mutex *gemm_mutex) const
+{
+    fatal_if(layer_index >= layers_.size(), "forwardPreparedStep layer ",
+             layer_index, " out of ", layers_.size());
+    fatal_if(group_offsets.size() < 2,
+             "forwardPreparedStep needs at least one request range");
+    const std::size_t uv = static_cast<std::size_t>(opts_.v);
+    fatal_if(group_offsets.back() * uv != op.sliced.cols(),
+             "group offsets (", group_offsets.back(),
+             " groups) do not cover the operand (", op.sliced.cols(),
+             " columns)");
+    const AqsLinearLayer &layer = layers_[layer_index];
+
+    StepResult res;
+    // Per-request statistics out of the one batched call: counting
+    // depends only on masks/streams, which are column-blocked, so
+    // each range's record equals a solo run's. The weight-side mask
+    // scan comes from the per-layer cache built once at build/restore
+    // time.
+    res.perRequest = aqsCountStatsBatch(layer.weights(), op,
+                                        layer.config(),
+                                        countCaches_[layer_index],
+                                        group_offsets);
+
+    const auto tg = nowTick();
+    MatrixI64 acc;
+    {
+        std::unique_lock<std::mutex> gemm_lock;
+        if (gemm_mutex != nullptr)
+            gemm_lock = std::unique_lock<std::mutex>(*gemm_mutex);
+        acc = layer.forwardPrepared(op, nullptr);
+    }
+    res.gemmMs = msSince(tg);
+
+    MatrixF y = layer.dequantizeOutput(acc);
+    if (layer_index + 1 < layers_.size())
+        res.next = adaptFeatures(
+            std::move(y), layers_[layer_index + 1].weights().sliced.cols());
+    else
+        res.next = std::move(y);
+    return res;
+}
+
 ServedModel::BatchResult
 ServedModel::runPrepared(const ActivationOperand &input_op,
                          std::span<const std::size_t> group_offsets,
@@ -182,11 +239,6 @@ ServedModel::runPrepared(const ActivationOperand &input_op,
     fatal_if(group_offsets.size() < 2,
              "runPrepared needs at least one request range");
     const std::size_t requests = group_offsets.size() - 1;
-    const std::size_t uv = static_cast<std::size_t>(opts_.v);
-    fatal_if(group_offsets.back() * uv != input_op.sliced.cols(),
-             "group offsets (", group_offsets.back(),
-             " groups) do not cover the operand (",
-             input_op.sliced.cols(), " columns)");
 
     BatchResult res;
     res.perRequest.assign(requests, AqsStats{});
@@ -195,41 +247,21 @@ ServedModel::runPrepared(const ActivationOperand &input_op,
     ActivationOperand local_op;
     MatrixF cur;
     for (std::size_t li = 0; li < layers_.size(); ++li) {
-        const AqsLinearLayer &layer = layers_[li];
         if (li > 0) {
             const auto tp = nowTick();
-            local_op = layer.prepareInput(layer.quantizeInput(cur));
+            local_op = prepareStepInput(li, cur);
             cur_op = &local_op;
             res.prepMs += msSince(tp);
         }
-
-        // Per-request statistics out of the one batched call: counting
-        // depends only on masks/streams, which are column-blocked, so
-        // each range's record equals a solo run's. The weight-side
-        // mask scan comes from the per-layer cache built once at
-        // build/restore time.
-        const std::vector<AqsStats> layer_stats = aqsCountStatsBatch(
-            layer.weights(), *cur_op, layer.config(), countCaches_[li],
-            group_offsets);
+        StepResult step =
+            forwardPreparedStep(li, *cur_op, group_offsets, gemm_mutex);
         for (std::size_t r = 0; r < requests; ++r)
-            res.perRequest[r] += layer_stats[r];
-
-        const auto tg = nowTick();
-        MatrixI64 acc;
-        {
-            std::unique_lock<std::mutex> gemm_lock;
-            if (gemm_mutex != nullptr)
-                gemm_lock = std::unique_lock<std::mutex>(*gemm_mutex);
-            acc = layer.forwardPrepared(*cur_op, nullptr);
-        }
-        res.gemmMs += msSince(tg);
-
-        MatrixF y = layer.dequantizeOutput(acc);
+            res.perRequest[r] += step.perRequest[r];
+        res.gemmMs += step.gemmMs;
         if (li + 1 < layers_.size())
-            cur = adaptFeatures(std::move(y),
-                                layers_[li + 1].weights().sliced.cols());
+            cur = std::move(step.next);
         else
-            res.output = std::move(y);
+            res.output = std::move(step.next);
     }
     return res;
 }

@@ -102,6 +102,59 @@ class ServedModel
         double gemmMs = 0.0; ///< GEMM time across the stack
     };
 
+    /** Result of one layer step over a set of in-flight column groups. */
+    struct StepResult
+    {
+        /**
+         * When the step executed the LAST layer: the final float
+         * output. Otherwise: the float activations already adapted
+         * (adaptFeatures()) to the NEXT layer's input width, ready for
+         * prepareStepInput(layer_index + 1, ...).
+         */
+        MatrixF next;
+        /**
+         * This step's statistics, one record per group range:
+         * bit-equal to what a solo run of that range would record at
+         * this layer (aqsCountStatsBatch() over the per-layer counting
+         * cache).
+         */
+        std::vector<AqsStats> perRequest;
+        double gemmMs = 0.0; ///< GEMM wall time of this step
+    };
+
+    /**
+     * Execute exactly ONE layer on a prepared (possibly spliced)
+     * operand: the unit of execution of the layer-stepped continuous
+     * scheduler (serve/engine.h). `op` must be layer
+     * `layer_index`'s prepared input - a single request's, or any
+     * column concatenation of prepared operands
+     * (concatActivationOperands()) - and `group_offsets` (cumulative
+     * column groups, R+1 entries covering the operand) names each
+     * request's column range.
+     *
+     * When `gemm_mutex` is non-null it is held around the GEMM only;
+     * per-request counting and dequantize/adapt run unlocked.
+     *
+     * Determinism: every stage is column-blocked, so request r's slice
+     * of `next` and its stats record are bit-identical whatever other
+     * column groups ride in the operand - the invariant that makes
+     * mid-stack admission (splice) bit-exact
+     * (tests/test_serve_continuous.cpp).
+     */
+    StepResult forwardPreparedStep(std::size_t layer_index,
+                                   const ActivationOperand &op,
+                                   std::span<const std::size_t> group_offsets,
+                                   std::mutex *gemm_mutex = nullptr) const;
+
+    /**
+     * Quantize + slice float activations as layer `layer_index`'s
+     * input operand (layer 0: same as prepareInput()). Column-blocked,
+     * so preparing a column concatenation equals concatenating
+     * per-request preparations.
+     */
+    ActivationOperand prepareStepInput(std::size_t layer_index,
+                                       const MatrixF &x) const;
+
     /**
      * Run one batch through the stack. `input_op` is the prepared
      * layer-0 activation operand (a single request's, or the

@@ -1,0 +1,590 @@
+/**
+ * @file
+ * Continuous-batching (layer-stepped admission) tests.
+ *
+ * The contract under test: whatever layer a request is admitted at,
+ * its output bytes and AqsStats are bit-identical to a solo run - for
+ * any submission order, arrival timing, worker count, batch window,
+ * ISA level and pool width. The deterministic splice matrix drives
+ * ServedModel::forwardPreparedStep directly at EVERY admission layer;
+ * the engine tests pin a deterministic continuous schedule
+ * (paused-start, one worker) and stress timing-dependent admission.
+ * Continuous=false must preserve the pinned layer-0 batchSeq
+ * schedules exactly (the PR-4 fairness contract).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <numeric>
+#include <vector>
+
+#include "isa_guard.h"
+#include "panacea/runtime.h"
+#include "panacea/session.h"
+#include "pool_guard.h"
+#include "serve/served_model.h"
+#include "util/cpu_features.h"
+#include "util/parallel_for.h"
+#include "util/random.h"
+
+namespace panacea {
+namespace {
+
+/** Three layers, distinct distributions, one feature-width bend. */
+ModelSpec
+tinySpec(const std::string &name = "cont-test-tiny")
+{
+    ModelSpec spec;
+    spec.name = name;
+    spec.seqLen = 16;
+    LayerSpec l0;
+    l0.name = "L0.FC1";
+    l0.m = 24;
+    l0.kDim = 16;
+    l0.dist = ActDistKind::LayerNormGauss;
+    LayerSpec l1;
+    l1.name = "L1.FC2";
+    l1.m = 16;
+    l1.kDim = 24;
+    l1.dist = ActDistKind::PostGelu;
+    LayerSpec l2;
+    l2.name = "L2.PROJ";
+    l2.m = 20;
+    l2.kDim = 12; // mismatched on purpose: exercises adaptFeatures
+    l2.dist = ActDistKind::PostAttention;
+    spec.layers = {l0, l1, l2};
+    return spec;
+}
+
+std::vector<MatrixF>
+makeRequests(std::size_t features, std::size_t count)
+{
+    Rng rng(0xcafe);
+    std::vector<MatrixF> inputs;
+    inputs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        MatrixF x(features, (i % 3 == 0) ? 8 : 4);
+        for (auto &v : x.data())
+            v = static_cast<float>(rng.gaussian(0.2, 1.0));
+        inputs.push_back(std::move(x));
+    }
+    return inputs;
+}
+
+void
+expectStatsEqual(const AqsStats &a, const AqsStats &b)
+{
+    EXPECT_EQ(a.denseOuterProducts, b.denseOuterProducts);
+    EXPECT_EQ(a.executedOuterProducts, b.executedOuterProducts);
+    EXPECT_EQ(a.skippedOuterProducts, b.skippedOuterProducts);
+    EXPECT_EQ(a.mults, b.mults);
+    EXPECT_EQ(a.adds, b.adds);
+    EXPECT_EQ(a.compMults, b.compMults);
+    EXPECT_EQ(a.compAdds, b.compAdds);
+    EXPECT_EQ(a.compExtraEmaNibbles, b.compExtraEmaNibbles);
+    EXPECT_EQ(a.wNibbles, b.wNibbles);
+    EXPECT_EQ(a.xNibbles, b.xNibbles);
+    EXPECT_EQ(a.wIndexBits, b.wIndexBits);
+    EXPECT_EQ(a.xIndexBits, b.xIndexBits);
+    EXPECT_EQ(a.denseNibbles, b.denseNibbles);
+    EXPECT_DOUBLE_EQ(a.macsPerOuterProduct, b.macsPerOuterProduct);
+}
+
+/** Solo run of one request via the whole-stack path (the reference). */
+serve::ServedModel::BatchResult
+soloRun(const serve::ServedModel &sm, const MatrixF &input)
+{
+    const std::size_t uv = static_cast<std::size_t>(sm.options().v);
+    const std::size_t offsets[2] = {0, input.cols() / uv};
+    return sm.runPrepared(sm.prepareInput(input), offsets);
+}
+
+/** Column-concat the per-request layer-0 preparations. */
+ActivationOperand
+prepConcat(const serve::ServedModel &sm,
+           const std::vector<const MatrixF *> &inputs)
+{
+    std::vector<ActivationOperand> ops;
+    ops.reserve(inputs.size());
+    for (const MatrixF *x : inputs)
+        ops.push_back(sm.prepareInput(*x));
+    if (ops.size() == 1)
+        return std::move(ops.front());
+    std::vector<const ActivationOperand *> ptrs;
+    ptrs.reserve(ops.size());
+    for (const ActivationOperand &o : ops)
+        ptrs.push_back(&o);
+    return concatActivationOperands(ptrs, sm.layer(0).config());
+}
+
+/**
+ * The deterministic splice matrix: a two-request cohort advances layer
+ * by layer; two newcomers catch up and are spliced in at
+ * `admit_layer`. Every member's output columns and stats must equal
+ * its solo run - the exact invariant the engine's continuous scheduler
+ * relies on, pinned here without any timing dependence.
+ */
+void
+runSpliceMatrix(const serve::ServedModel &sm,
+                const std::vector<MatrixF> &inputs,
+                std::size_t admit_layer)
+{
+    ASSERT_EQ(inputs.size(), 4u);
+    const std::size_t uv = static_cast<std::size_t>(sm.options().v);
+    const std::size_t layers = sm.layerCount();
+
+    std::vector<std::size_t> offsets = {0, inputs[0].cols() / uv};
+    offsets.push_back(offsets.back() + inputs[1].cols() / uv);
+    std::vector<AqsStats> stats(4);
+
+    ActivationOperand op = prepConcat(sm, {&inputs[0], &inputs[1]});
+    std::size_t member_count = 2;
+    MatrixF cur;
+    for (std::size_t li = 0; li < layers; ++li) {
+        if (li > 0) {
+            op = sm.prepareStepInput(li, cur);
+            if (li == admit_layer) {
+                // Catch-up: the newcomers replay layers 0..li-1 as
+                // their own mini-cohort, then splice by operand
+                // concat - exactly what the engine does.
+                std::vector<std::size_t> noffsets = {
+                    0, inputs[2].cols() / uv};
+                noffsets.push_back(noffsets.back() +
+                                   inputs[3].cols() / uv);
+                ActivationOperand nop =
+                    prepConcat(sm, {&inputs[2], &inputs[3]});
+                MatrixF ncur;
+                for (std::size_t lj = 0; lj < li; ++lj) {
+                    if (lj > 0)
+                        nop = sm.prepareStepInput(lj, ncur);
+                    serve::ServedModel::StepResult sr =
+                        sm.forwardPreparedStep(lj, nop, noffsets);
+                    stats[2] += sr.perRequest[0];
+                    stats[3] += sr.perRequest[1];
+                    ncur = std::move(sr.next);
+                }
+                nop = sm.prepareStepInput(li, ncur);
+                const ActivationOperand *parts[2] = {&op, &nop};
+                op = concatActivationOperands(parts,
+                                              sm.layer(li).config());
+                const std::size_t base = offsets.back();
+                offsets.push_back(base + noffsets[1]);
+                offsets.push_back(base + noffsets[2]);
+                member_count = 4;
+            }
+        }
+        serve::ServedModel::StepResult sr =
+            sm.forwardPreparedStep(li, op, offsets);
+        for (std::size_t r = 0; r < member_count; ++r)
+            stats[r] += sr.perRequest[r];
+        cur = std::move(sr.next);
+    }
+    ASSERT_EQ(member_count, 4u);
+
+    for (std::size_t r = 0; r < 4; ++r) {
+        const serve::ServedModel::BatchResult solo =
+            soloRun(sm, inputs[r]);
+        const std::size_t c0 = offsets[r] * uv;
+        ASSERT_EQ(offsets[r + 1] * uv - c0, solo.output.cols())
+            << "admit layer " << admit_layer << " member " << r;
+        bool bytes_equal = solo.output.rows() == cur.rows();
+        for (std::size_t row = 0; bytes_equal && row < cur.rows(); ++row)
+            for (std::size_t c = 0; c < solo.output.cols(); ++c)
+                if (cur(row, c0 + c) != solo.output(row, c)) {
+                    bytes_equal = false;
+                    break;
+                }
+        EXPECT_TRUE(bytes_equal)
+            << "admit layer " << admit_layer << " member " << r;
+        expectStatsEqual(stats[r], solo.perRequest[0]);
+    }
+}
+
+TEST(ServeContinuous, SpliceIsBitExactAtEveryAdmissionLayer)
+{
+    Runtime rt;
+    const CompiledModel model = rt.compile(tinySpec());
+    const serve::ServedModel &sm = *model.shared();
+    const std::vector<MatrixF> inputs =
+        makeRequests(model.inputFeatures(), 4);
+    for (std::size_t admit = 1; admit < sm.layerCount(); ++admit)
+        runSpliceMatrix(sm, inputs, admit);
+}
+
+/**
+ * The layer-level single-call step must equal the scheduler's split
+ * step (stats counted separately, GEMM + dequantize fused) bit for
+ * bit at every layer.
+ */
+TEST(ServeContinuous, LayerStepConvenienceMatchesScheduledStep)
+{
+    Runtime rt;
+    const CompiledModel model = rt.compile(tinySpec());
+    const serve::ServedModel &sm = *model.shared();
+    const std::vector<MatrixF> inputs =
+        makeRequests(model.inputFeatures(), 1);
+    const std::size_t uv = static_cast<std::size_t>(sm.options().v);
+    const std::size_t offsets[2] = {0, inputs[0].cols() / uv};
+
+    MatrixF cur = inputs[0];
+    for (std::size_t li = 0; li < sm.layerCount(); ++li) {
+        const ActivationOperand op = sm.prepareStepInput(li, cur);
+        AqsStats layer_stats;
+        const MatrixF direct =
+            sm.layer(li).forwardPreparedStep(op, &layer_stats);
+        const serve::ServedModel::StepResult sr =
+            sm.forwardPreparedStep(li, op, offsets);
+        if (li + 1 < sm.layerCount()) {
+            // The scheduler adapts for the next layer; compare before
+            // adaptation via the same deterministic transform.
+            const MatrixF adapted = serve::ServedModel::adaptFeatures(
+                direct, sm.layer(li + 1).weights().sliced.cols());
+            EXPECT_TRUE(sr.next == adapted) << "layer " << li;
+        } else {
+            EXPECT_TRUE(sr.next == direct) << "layer " << li;
+        }
+        expectStatsEqual(sr.perRequest[0], layer_stats);
+        cur = sr.next;
+    }
+}
+
+TEST(ServeContinuous, SpliceMatrixHoldsAcrossIsaLevelsAndPoolWidths)
+{
+    PoolGuard pool_guard;
+    IsaGuard isa_guard;
+    Runtime rt;
+    const CompiledModel model = rt.compile(tinySpec());
+    const serve::ServedModel &sm = *model.shared();
+    const std::vector<MatrixF> inputs =
+        makeRequests(model.inputFeatures(), 4);
+    for (IsaLevel isa : runnableIsaLevels()) {
+        setIsaLevel(isa);
+        for (int threads : {1, 4}) {
+            setParallelThreads(threads);
+            for (std::size_t admit = 1; admit < sm.layerCount(); ++admit)
+                runSpliceMatrix(sm, inputs, admit);
+        }
+    }
+}
+
+/**
+ * Deterministic continuous schedule: paused start + ONE worker +
+ * window 1 means the worker cuts request 0 alone as the cohort, and
+ * every other queued request is admitted at layer 1 (the first
+ * admission boundary) - a pure function of the submission sequence.
+ */
+TEST(ServeContinuous, PinnedAdmissionScheduleAndMetadata)
+{
+    Runtime rt;
+    const CompiledModel model = rt.compile(tinySpec());
+    const std::vector<MatrixF> inputs =
+        makeRequests(model.inputFeatures(), 4);
+
+    SessionOptions opts;
+    opts.batchWindow = 1;
+    opts.batchDeadlineMs = 0.0;
+    opts.workers = 1;
+    opts.startPaused = true;
+    opts.continuous = true;
+    Session session = rt.createSession(opts);
+
+    std::vector<std::future<InferenceResult>> futures;
+    for (const MatrixF &x : inputs)
+        futures.push_back(session.submit(model, x));
+    session.start();
+
+    // Solo reference.
+    SessionOptions solo_opts;
+    solo_opts.batchWindow = 1;
+    solo_opts.batchDeadlineMs = 0.0;
+    solo_opts.workers = 1;
+    Session solo_session = rt.createSession(solo_opts);
+
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const InferenceResult got = futures[i].get();
+        EXPECT_EQ(got.batchSeq, 0u) << "request " << i;
+        EXPECT_EQ(got.batchSize, 4u) << "request " << i;
+        EXPECT_EQ(got.admittedAtLayer, i == 0 ? 0u : 1u)
+            << "request " << i;
+        EXPECT_GE(got.latencyMs, 0.0);
+        EXPECT_GE(got.queueWaitMs, 0.0);
+        EXPECT_GE(got.executeMs, 0.0);
+        EXPECT_NEAR(got.queueWaitMs + got.executeMs, got.latencyMs,
+                    0.5);
+        const InferenceResult solo =
+            solo_session.infer(model, inputs[i]);
+        EXPECT_TRUE(got.output == solo.output) << "request " << i;
+        expectStatsEqual(got.stats, solo.stats);
+    }
+
+    const SessionStats s = session.stats();
+    EXPECT_EQ(s.requests, 4u);
+    EXPECT_EQ(s.batches, 1u);
+    EXPECT_EQ(s.maxBatch, 4u);
+    ASSERT_EQ(s.admittedAtLayer.size(), 2u);
+    EXPECT_EQ(s.admittedAtLayer[0], 1u);
+    EXPECT_EQ(s.admittedAtLayer[1], 3u);
+    EXPECT_GE(s.p99LatencyMs, s.p50LatencyMs);
+    EXPECT_GE(s.p99QueueWaitMs, s.p50QueueWaitMs);
+    EXPECT_GE(s.p99ExecuteMs, s.p50ExecuteMs);
+}
+
+/** The in-flight column cap bounds what admission may splice. */
+TEST(ServeContinuous, InflightColumnCapLimitsAdmission)
+{
+    Runtime rt;
+    const CompiledModel model = rt.compile(tinySpec());
+    const std::size_t uv =
+        static_cast<std::size_t>(model.options().v);
+
+    SessionOptions opts;
+    opts.batchWindow = 1;
+    opts.batchDeadlineMs = 0.0;
+    opts.workers = 1;
+    opts.startPaused = true;
+    opts.continuous = true;
+    // Cohort starts with one 4-column request; cap leaves room for
+    // exactly one more 4-column admission.
+    opts.maxInflightColumns = 8;
+    Session session = rt.createSession(opts);
+
+    MatrixF x(model.inputFeatures(), uv);
+    for (auto &v : x.data())
+        v = 0.25f;
+    std::vector<std::future<InferenceResult>> futures;
+    for (int i = 0; i < 3; ++i)
+        futures.push_back(session.submit(model, x));
+    session.start();
+
+    std::vector<InferenceResult> results;
+    for (auto &f : futures)
+        results.push_back(f.get());
+    // Request 0: the cohort. Request 1: admitted (8-column cap).
+    // Request 2: does not fit - served by the NEXT cohort.
+    EXPECT_EQ(results[0].batchSeq, 0u);
+    EXPECT_EQ(results[0].admittedAtLayer, 0u);
+    EXPECT_EQ(results[1].batchSeq, 0u);
+    EXPECT_EQ(results[1].admittedAtLayer, 1u);
+    EXPECT_EQ(results[2].batchSeq, 1u);
+    EXPECT_EQ(results[2].admittedAtLayer, 0u);
+    EXPECT_EQ(session.stats().batches, 2u);
+}
+
+TEST(ServeContinuous, EngineIsBitExactForAnyOrderWorkersWindowAndIsa)
+{
+    PoolGuard pool_guard;
+    Runtime rt;
+    const CompiledModel model = rt.compile(tinySpec());
+    const std::vector<MatrixF> inputs =
+        makeRequests(model.inputFeatures(), 8);
+
+    SessionOptions solo_opts;
+    solo_opts.batchWindow = 1;
+    solo_opts.batchDeadlineMs = 0.0;
+    solo_opts.workers = 1;
+    Session solo_session = rt.createSession(solo_opts);
+    std::vector<InferenceResult> solo;
+    for (const MatrixF &x : inputs)
+        solo.push_back(solo_session.infer(model, x));
+
+    std::vector<std::size_t> order(inputs.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::vector<std::size_t> reversed = order;
+    std::reverse(reversed.begin(), reversed.end());
+    std::vector<std::size_t> interleaved = {3, 0, 7, 5, 1, 6, 4, 2};
+
+    struct Sweep
+    {
+        int window;
+        double deadlineMs;
+        int workers;
+        int maxCols;
+        int admitLayer; ///< 0 = default (1); big = every boundary
+        const std::vector<std::size_t> *order;
+    };
+    const std::vector<Sweep> sweeps = {
+        {1, 0.0, 1, 0, 99, &order},      {1, 0.0, 2, 8, 0, &reversed},
+        {3, 5.0, 1, 0, 99, &interleaved}, {4, 0.0, 4, 16, 2, &order},
+        {8, 5.0, 2, 0, 0, &reversed},    {2, 1.0, 3, 12, 99, &interleaved},
+    };
+    for (const Sweep &sw : sweeps) {
+        SessionOptions opts;
+        opts.batchWindow = sw.window;
+        opts.batchDeadlineMs = sw.deadlineMs;
+        opts.workers = sw.workers;
+        opts.continuous = true;
+        opts.maxInflightColumns = sw.maxCols;
+        opts.maxAdmissionLayer = sw.admitLayer;
+        Session session = rt.createSession(opts);
+        std::vector<std::future<InferenceResult>> futures(inputs.size());
+        for (std::size_t idx : *sw.order)
+            futures[idx] = session.submit(model, inputs[idx]);
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+            const InferenceResult got = futures[i].get();
+            EXPECT_TRUE(got.output == solo[i].output)
+                << "request " << i << " window=" << sw.window
+                << " workers=" << sw.workers;
+            expectStatsEqual(got.stats, solo[i].stats);
+            EXPECT_LT(got.admittedAtLayer, model.layerCount());
+        }
+        session.drain();
+        const SessionStats s = session.stats();
+        EXPECT_EQ(s.requests, inputs.size());
+        std::uint64_t admitted_total = 0;
+        for (std::uint64_t n : s.admittedAtLayer)
+            admitted_total += n;
+        EXPECT_EQ(admitted_total, s.requests);
+    }
+
+    IsaGuard isa_guard;
+    for (IsaLevel isa : runnableIsaLevels()) {
+        setIsaLevel(isa);
+        for (int threads : {1, 4}) {
+            setParallelThreads(threads);
+            SessionOptions opts;
+            opts.batchWindow = 2;
+            opts.batchDeadlineMs = 1.0;
+            opts.workers = 2;
+            opts.continuous = true;
+            Session session = rt.createSession(opts);
+            std::vector<std::future<InferenceResult>> futures;
+            for (const MatrixF &x : inputs)
+                futures.push_back(session.submit(model, x));
+            for (std::size_t i = 0; i < inputs.size(); ++i) {
+                const InferenceResult got = futures[i].get();
+                EXPECT_TRUE(got.output == solo[i].output)
+                    << "request " << i << " isa=" << toString(isa)
+                    << " threads=" << threads;
+                expectStatsEqual(got.stats, solo[i].stats);
+            }
+        }
+    }
+}
+
+/** Mid-run submission storm: admission under real timing races. */
+TEST(ServeContinuous, MidRunArrivalsStayBitExact)
+{
+    Runtime rt;
+    const CompiledModel model = rt.compile(tinySpec());
+    const std::vector<MatrixF> inputs =
+        makeRequests(model.inputFeatures(), 12);
+
+    SessionOptions solo_opts;
+    solo_opts.batchWindow = 1;
+    solo_opts.batchDeadlineMs = 0.0;
+    solo_opts.workers = 1;
+    Session solo_session = rt.createSession(solo_opts);
+    std::vector<InferenceResult> solo;
+    for (const MatrixF &x : inputs)
+        solo.push_back(solo_session.infer(model, x));
+
+    for (int round = 0; round < 3; ++round) {
+        SessionOptions opts;
+        opts.batchWindow = 2;
+        opts.batchDeadlineMs = 0.0;
+        opts.workers = 1 + round;
+        opts.continuous = true;
+        opts.maxAdmissionLayer = round; // 0 = default(1), then deeper
+        Session session = rt.createSession(opts);
+        // Submit from the test thread while workers are already
+        // running: arrivals land at arbitrary layer boundaries.
+        std::vector<std::future<InferenceResult>> futures;
+        for (const MatrixF &x : inputs)
+            futures.push_back(session.submit(model, x));
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+            const InferenceResult got = futures[i].get();
+            EXPECT_TRUE(got.output == solo[i].output)
+                << "round " << round << " request " << i;
+            expectStatsEqual(got.stats, solo[i].stats);
+        }
+    }
+}
+
+/**
+ * continuous=false must keep the PR-4 pinned round-robin schedule:
+ * flood 12 + victim 2 on a paused single worker, window 4 - and every
+ * request reports admittedAtLayer 0.
+ */
+TEST(ServeContinuous, LayerZeroModePreservesPinnedBatchSeqSchedules)
+{
+    Runtime rt;
+    const CompiledModel flood = rt.compile(tinySpec("cont-flood"));
+    const CompiledModel victim = rt.compile(tinySpec("cont-victim"));
+
+    SessionOptions opts;
+    opts.batchWindow = 4;
+    opts.batchDeadlineMs = 0.0;
+    opts.workers = 1;
+    opts.startPaused = true;
+    opts.continuous = false;
+    Session session = rt.createSession(opts);
+
+    MatrixF x(flood.inputFeatures(), 4);
+    for (auto &v : x.data())
+        v = 0.25f;
+    std::vector<std::future<InferenceResult>> flood_futs;
+    for (int i = 0; i < 12; ++i)
+        flood_futs.push_back(session.submit(flood, x));
+    std::vector<std::future<InferenceResult>> victim_futs;
+    for (int i = 0; i < 2; ++i)
+        victim_futs.push_back(session.submit(victim, x));
+    session.start();
+
+    const std::uint64_t expect_flood_seq[12] = {0, 0, 0, 0, 2, 2,
+                                                2, 2, 3, 3, 3, 3};
+    for (int i = 0; i < 12; ++i) {
+        const InferenceResult r = flood_futs[i].get();
+        EXPECT_EQ(r.batchSeq, expect_flood_seq[i]) << "flood req " << i;
+        EXPECT_EQ(r.admittedAtLayer, 0u);
+    }
+    for (int i = 0; i < 2; ++i) {
+        const InferenceResult r = victim_futs[i].get();
+        EXPECT_EQ(r.batchSeq, 1u) << "victim req " << i;
+        EXPECT_EQ(r.admittedAtLayer, 0u);
+    }
+    const SessionStats s = session.stats();
+    ASSERT_EQ(s.admittedAtLayer.size(), 1u);
+    EXPECT_EQ(s.admittedAtLayer[0], 14u);
+}
+
+/** The queue/execute split is reported and consistent per request. */
+TEST(ServeContinuous, LatencySplitSemantics)
+{
+    Runtime rt;
+    const CompiledModel model = rt.compile(tinySpec());
+    const std::vector<MatrixF> inputs =
+        makeRequests(model.inputFeatures(), 6);
+
+    for (bool continuous : {false, true}) {
+        SessionOptions opts;
+        opts.batchWindow = 3;
+        opts.batchDeadlineMs = 1.0;
+        opts.workers = 2;
+        opts.continuous = continuous;
+        Session session = rt.createSession(opts);
+        std::vector<std::future<InferenceResult>> futures;
+        for (const MatrixF &x : inputs)
+            futures.push_back(session.submit(model, x));
+        for (auto &f : futures) {
+            const InferenceResult r = f.get();
+            EXPECT_GE(r.queueWaitMs, 0.0);
+            EXPECT_GE(r.executeMs, 0.0);
+            EXPECT_NEAR(r.queueWaitMs + r.executeMs, r.latencyMs, 0.5);
+        }
+        session.drain();
+        const SessionStats s = session.stats();
+        // Percentiles cover exactly the completed requests (all of
+        // them here: the session is drained).
+        EXPECT_EQ(s.requests, inputs.size());
+        EXPECT_GE(s.p99LatencyMs, s.p50LatencyMs);
+        EXPECT_GE(s.p99QueueWaitMs, s.p50QueueWaitMs);
+        EXPECT_GE(s.p99ExecuteMs, s.p50ExecuteMs);
+        EXPECT_GE(s.p50LatencyMs, 0.0);
+    }
+}
+
+} // namespace
+} // namespace panacea

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Concatenate per-commit BENCH_*.json GMAC/s figures into a trajectory CSV.
+
+Each CI run calls this with the commit SHA and whatever BENCH_*.json
+files the benches wrote; the emitted CSV has one row per (bench, isa,
+case) GMAC/s figure, so rows from successive commits concatenate into a
+perf-over-time series (download the BENCH_trajectory artifacts and
+`cat` them - the header repeats but is trivially de-duplicated).
+
+Usage:
+    bench_trajectory.py --commit <sha> [--out trajectory.csv] BENCH_*.json
+
+Understands both payload shapes:
+  - bench_kernels:  isa_cases[] (per-ISA GMAC/s) and the top-level case
+  - bench_serving:  sequential.gmacs and windows[].gmacs
+Unknown files are skipped with a note, never an error - the script must
+not fail a CI run over a bench it predates.
+"""
+
+import argparse
+import csv
+import json
+import sys
+
+
+def rows_for(path, payload, commit):
+    bench = payload.get("bench", "")
+    isa = payload.get("isa", "")
+    out = []
+
+    def row(case, gmacs):
+        if gmacs is not None:
+            out.append(
+                {
+                    "commit": commit,
+                    "bench": bench or path,
+                    "isa": isa,
+                    "case": case,
+                    "gmacs": gmacs,
+                }
+            )
+
+    for case in payload.get("isa_cases", []):
+        row("isa:" + case.get("isa", "?"), case.get("gmacs"))
+    for case in payload.get("single_thread_cases", []):
+        shape = "%sx%sx%s@%s" % (
+            case.get("m"),
+            case.get("k"),
+            case.get("n"),
+            case.get("sparsity_pct"),
+        )
+        row("blocked:" + shape, case.get("blocked_gmacs"))
+    seq = payload.get("sequential")
+    if isinstance(seq, dict):
+        row("sequential", seq.get("gmacs"))
+    for w in payload.get("windows", []):
+        row("window:%s" % w.get("window", "?"), w.get("gmacs"))
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--commit", required=True)
+    ap.add_argument("--out", default="BENCH_trajectory.csv")
+    ap.add_argument("files", nargs="+")
+    args = ap.parse_args()
+
+    rows = []
+    for path in args.files:
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError) as err:
+            print("skipping %s: %s" % (path, err), file=sys.stderr)
+            continue
+        found = rows_for(path, payload, args.commit)
+        if not found:
+            print("skipping %s: no GMAC/s figures" % path, file=sys.stderr)
+        rows.extend(found)
+
+    with open(args.out, "w", newline="") as fh:
+        writer = csv.DictWriter(
+            fh, fieldnames=["commit", "bench", "isa", "case", "gmacs"]
+        )
+        writer.writeheader()
+        writer.writerows(rows)
+    print("wrote %s (%d rows)" % (args.out, len(rows)))
+
+
+if __name__ == "__main__":
+    main()
