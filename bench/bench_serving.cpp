@@ -13,9 +13,17 @@
  *   bench_serving --json[=out.json]    # write BENCH_serving.json
  *   bench_serving --quick              # CI smoke variant
  *   bench_serving --save=m.pncm        # also save the compiled model
+ *   bench_serving --save-format=v1     # ... as a legacy v1 file (the
+ *                                      # copying-decode baseline)
  *   bench_serving --load=m.pncm        # COLD START: load instead of
  *                                      # compiling (zero calibration/
- *                                      # slicing work), then bench
+ *                                      # slicing work), then bench.
+ *                                      # A v2 file is mmapped and
+ *                                      # consumed in place; the run
+ *                                      # also times the copying
+ *                                      # decode of the same file, so
+ *                                      # map_ms vs copy_ms lands in
+ *                                      # the cold_start JSON block
  *   bench_serving --arrivals=poisson:<rate|auto>
  *                                      # open-loop Poisson arrivals
  *                                      # (seeded, deterministic
@@ -77,6 +85,8 @@ struct BenchOptions
     std::size_t cols = 4;
     bool quick = false;
     std::string savePath; ///< save the compiled model after the bench
+    /** File format --save writes (v2 = mappable, v1 = legacy). */
+    std::uint32_t saveVersion = kCompiledModelFormatVersion;
     std::string loadPath; ///< cold start: load instead of compiling
     bool arrivals = false;  ///< open-loop Poisson arrivals mode
     double arrivalRate = 0; ///< req/s; 0 = auto (1.5x sequential)
@@ -123,6 +133,37 @@ pickModel(const std::string &name)
     std::cerr << "unknown --model=" << name
               << " (deit | opt350m | bert)\n";
     std::exit(1);
+}
+
+/** Resident / anonymous footprint snapshot (/proc; zeros elsewhere). */
+struct MemUsage
+{
+    long rssKb = 0;  ///< resident set, file-backed mappings included
+    long anonKb = 0; ///< anonymous (heap) resident pages
+};
+
+/**
+ * Snapshot this process's memory footprint. The ANONYMOUS delta around
+ * a model load is the zero-copy smoke: an mmap load keeps heap growth
+ * near zero - its RSS growth is file-backed, page-cache pages that
+ * every mapper of the file shares and the kernel can drop - while a
+ * copying decode allocates roughly the file size on the heap.
+ */
+MemUsage
+memUsage()
+{
+    MemUsage u;
+    std::ifstream st("/proc/self/smaps_rollup");
+    std::string line;
+    while (std::getline(st, line)) {
+        long kb = 0;
+        if (std::sscanf(line.c_str(), "Rss: %ld kB", &kb) == 1)
+            u.rssKb = kb;
+        else if (std::sscanf(line.c_str(), "Anonymous: %ld kB", &kb) ==
+                 1)
+            u.anonKb = kb;
+    }
+    return u;
 }
 
 /** FNV-1a over the solo outputs: the cross-process parity digest. */
@@ -212,6 +253,17 @@ main(int argc, char **argv)
             opt.quick = true;
         } else if (arg.rfind("--save=", 0) == 0) {
             opt.savePath = arg.substr(7);
+        } else if (arg.rfind("--save-format=", 0) == 0) {
+            const std::string fmt = arg.substr(14);
+            if (fmt == "v1") {
+                opt.saveVersion = kCompiledModelLegacyFormatVersion;
+            } else if (fmt == "v2") {
+                opt.saveVersion = kCompiledModelFormatVersion;
+            } else {
+                std::cerr << "bad --save-format=" << fmt
+                          << " (v1 | v2)\n";
+                return 1;
+            }
         } else if (arg.rfind("--load=", 0) == 0) {
             opt.loadPath = arg.substr(7);
         } else if (arg.rfind("--arrivals=", 0) == 0) {
@@ -246,14 +298,25 @@ main(int argc, char **argv)
 
     Runtime rt;
     CompiledModel model;
-    double load_ms = 0.0;
+    double load_ms = 0.0;  ///< wall time of the primary (served) load
+    double map_ms = 0.0;   ///< = load_ms when the load was mapped
+    double copy_ms = 0.0;  ///< copying decode of the same file (ref)
+    std::size_t mapped_bytes = 0;
+    std::uint32_t file_version = 0;
+    long rss_delta_kb = 0;  ///< RSS growth across the primary load
+    long anon_delta_kb = 0; ///< heap growth of the primary load - the
+                            ///< zero-copy smoke (near 0 when mapped)
+    long copy_anon_delta_kb = 0; ///< heap growth of the copy-decode leg
     const bool cold = !opt.loadPath.empty();
     if (cold) {
-        // Cold start: decode the compiled artifact - zero calibration,
-        // slicing, RLE or HO work. loadCompiledModelFor() verifies the
-        // file is THE compiled form of exactly this (model, options).
+        // Cold start: consume the compiled artifact - zero
+        // calibration, slicing, RLE or HO work. A v2 file is mapped
+        // read-only and its weights served in place; v1 decodes by
+        // copying. loadCompiledModelFor() verifies the file is THE
+        // compiled form of exactly this (model, options).
         std::cout << "Loading compiled " << spec.name << " from "
                   << opt.loadPath << " (cold start)...\n";
+        const MemUsage mem0 = memUsage();
         const auto t0 = nowTick();
         try {
             model = loadCompiledModelFor(opt.loadPath, spec, mopts);
@@ -263,12 +326,55 @@ main(int argc, char **argv)
             return 1;
         }
         load_ms = msSince(t0);
-        std::cout << "  loaded in " << load_ms << " ms vs "
+        const MemUsage mem1 = memUsage();
+        rss_delta_kb = mem1.rssKb - mem0.rssKb;
+        anon_delta_kb = mem1.anonKb - mem0.anonKb;
+        mapped_bytes = model.mappedBytes();
+        if (mapped_bytes > 0)
+            map_ms = load_ms;
+        try {
+            file_version = peekCompiledModelVersion(opt.loadPath);
+            // Reference leg: the same file through the copying decode
+            // (mmap off), so one run reports map_ms vs copy_ms.
+            const MemUsage mem2 = memUsage();
+            const auto t1 = nowTick();
+            const CompiledModel copied = loadCompiledModelFor(
+                opt.loadPath, spec, mopts, /*allow_mmap=*/false);
+            copy_ms = msSince(t1);
+            copy_anon_delta_kb = memUsage().anonKb - mem2.anonKb;
+            if (copied.mappedBytes() != 0) {
+                std::cerr << "copy-decode leg unexpectedly mapped\n";
+                return 1;
+            }
+        } catch (const SerializeError &err) {
+            std::cerr << "cold-start copy-decode leg failed: "
+                      << err.what() << "\n";
+            return 1;
+        }
+        std::cout << "  loaded in " << load_ms << " ms ("
+                  << (mapped_bytes > 0 ? "mmap, zero-copy"
+                                       : "copying decode")
+                  << ", format v" << file_version << ") vs "
+                  << copy_ms << " ms copying decode vs "
                   << model.buildMs()
                   << " ms the original build spent ("
-                  << model.buildMs() / load_ms
-                  << "x faster; pure decode, no calibration or "
-                  << "slicing)\n";
+                  << model.buildMs() / load_ms << "x faster than "
+                  << "building)\n";
+        if (mapped_bytes > 0)
+            std::cout << "  mapped " << mapped_bytes
+                      << " bytes read-only; weight pages are shared "
+                      << "with every process mapping this file ("
+                      << (map_ms > 0.0 ? copy_ms / map_ms : 0.0)
+                      << "x faster than the copying decode)\n";
+        std::cout << "  load RSS delta " << rss_delta_kb << " kB ("
+                  << anon_delta_kb
+                  << " kB heap) vs copy-decode heap delta "
+                  << copy_anon_delta_kb << " kB"
+                  << (mapped_bytes > 0
+                          ? " - zero-copy: the weights stay in "
+                            "file-backed pages every mapper shares"
+                          : "")
+                  << "\n";
     } else {
         std::cout << "Preparing " << spec.name << " ("
                   << (mopts.maxLayers ? mopts.maxLayers
@@ -439,9 +545,10 @@ main(int argc, char **argv)
 
     if (!opt.savePath.empty()) {
         try {
-            saveCompiledModel(model, opt.savePath);
+            saveCompiledModel(model, opt.savePath, opt.saveVersion);
             std::cout << "\nsaved compiled model to " << opt.savePath
-                      << " (reload with --load=" << opt.savePath
+                      << " (format v" << opt.saveVersion
+                      << "; reload with --load=" << opt.savePath
                       << " for a zero-preparation cold start)\n";
         } catch (const SerializeError &err) {
             std::cerr << "saving compiled model failed: " << err.what()
@@ -469,6 +576,13 @@ main(int argc, char **argv)
         out << "  \"cold_start\": {\"loaded\": "
             << (cold ? "true" : "false")
             << ", \"load_ms\": " << load_ms
+            << ", \"map_ms\": " << map_ms
+            << ", \"copy_ms\": " << copy_ms
+            << ", \"mapped_bytes\": " << mapped_bytes
+            << ", \"format_version\": " << file_version
+            << ", \"rss_delta_kb\": " << rss_delta_kb
+            << ", \"anon_delta_kb\": " << anon_delta_kb
+            << ", \"copy_anon_delta_kb\": " << copy_anon_delta_kb
             << ", \"build_ms_saved\": "
             << (cold ? model.buildMs() : 0.0) << "},\n";
         char digest_hex[17];

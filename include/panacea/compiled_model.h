@@ -80,6 +80,15 @@ class CompiledModel
      * the load time itself.
      */
     double buildMs() const { return model_->buildMs(); }
+    /**
+     * @return bytes of the read-only file mapping this model's weight
+     * payloads are served from (0 when the model owns its payloads,
+     * i.e. it was compiled in-process, loaded with mmap disabled, or
+     * loaded from a legacy v1 file). Non-zero means the weight bytes
+     * are shared with every other process mapping the same .pncm
+     * file - the zero-copy cold-start path (panacea/serialize.h).
+     */
+    std::size_t mappedBytes() const { return model_->mappedBytes(); }
 
     /** @return the underlying shared state (internal bridge). */
     const std::shared_ptr<const serve::ServedModel> &shared() const

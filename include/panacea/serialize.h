@@ -7,8 +7,14 @@
  * same outputs, same AqsStats, at every ISA level - and loading does
  * zero calibration/slicing/RLE/HO work.
  *
- * File layout ("PNCM" magic + format version + fingerprinted payload
- * + FNV-1a checksum) is documented in src/serve/model_serialize.h;
+ * The current format (v2) lays every bulk payload out in
+ * 64-byte-aligned sections so loadCompiledModel() can map the file
+ * read-only and serve the weights in place: cold-start cost becomes
+ * page mapping plus header validation, and processes loading the same
+ * file share one set of physical weight pages
+ * (CompiledModel::mappedBytes() reports the mapping). Legacy v1 files
+ * remain loadable through the copying decode. The full layout is
+ * documented in src/serve/model_serialize.h;
  * tests/test_model_serialize.cpp pins round-trip byte identity and
  * every rejection path. Any structural defect - bad magic, unknown
  * version, checksum mismatch, truncation, fingerprint mismatch -
@@ -33,26 +39,51 @@ namespace panacea {
 /** Structural defect in a compiled-model file (see file header). */
 using SerializeError = serve::SerializeError;
 
-/** Current compiled-model file format version. */
+/** Current compiled-model file format version (sectioned, mappable). */
 inline constexpr std::uint32_t kCompiledModelFormatVersion =
     serve::kCompiledModelFormatVersion;
 
+/** The legacy copying format; still loadable, writable on request. */
+inline constexpr std::uint32_t kCompiledModelLegacyFormatVersion =
+    serve::kCompiledModelLegacyFormatVersion;
+
 /**
  * Write a compiled model to `path` (atomically: temp file + rename).
- * The bytes are a pure function of the prepared state, so
- * save -> load -> save reproduces the identical file.
+ * The bytes are a pure function of (prepared state, version), so
+ * save -> load -> save reproduces the identical file. `version`
+ * selects the file format - pass kCompiledModelLegacyFormatVersion to
+ * produce a v1 file for consumers that predate the mappable format.
  */
 inline void
-saveCompiledModel(const CompiledModel &model, const std::string &path)
+saveCompiledModel(const CompiledModel &model, const std::string &path,
+                  std::uint32_t version = kCompiledModelFormatVersion)
 {
-    serve::saveServedModel(*model.shared(), path);
+    serve::saveServedModel(*model.shared(), path, version);
 }
 
-/** Read a compiled model from `path`; throws SerializeError. */
+/**
+ * Read a compiled model from `path`; throws SerializeError. With
+ * `allow_mmap` (the default) a v2 file is mapped read-only and its
+ * weights served in place (CompiledModel::mappedBytes() > 0); the
+ * copying decode covers v1 files, mmap-less platforms and
+ * PANACEA_MMAP=0 (which wins over the caller). Both paths produce
+ * bit-identical models.
+ */
 inline CompiledModel
-loadCompiledModel(const std::string &path)
+loadCompiledModel(const std::string &path, bool allow_mmap = true)
 {
-    return CompiledModel(serve::loadServedModel(path));
+    return CompiledModel(serve::loadServedModel(path, allow_mmap));
+}
+
+/**
+ * @return the format version stored in a compiled-model file's
+ * envelope (a few bytes read, no payload decode). Throws
+ * SerializeError on a missing/short file or bad magic.
+ */
+inline std::uint32_t
+peekCompiledModelVersion(const std::string &path)
+{
+    return serve::peekCompiledModelVersion(path);
 }
 
 /**
@@ -64,9 +95,10 @@ loadCompiledModel(const std::string &path)
  */
 inline CompiledModel
 loadCompiledModelFor(const std::string &path, const ModelSpec &spec,
-                     const CompileOptions &opts = {})
+                     const CompileOptions &opts = {},
+                     bool allow_mmap = true)
 {
-    CompiledModel model = loadCompiledModel(path);
+    CompiledModel model = loadCompiledModel(path, allow_mmap);
     const std::string want = serve::serveModelKey(spec, opts);
     if (model.key() != want)
         throw SerializeError("compiled model at " + path +

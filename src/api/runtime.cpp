@@ -30,6 +30,7 @@ Runtime::Runtime(const RuntimeOptions &opts) : opts_(opts)
         cache_->setDiskDir(opts_.cacheDir);
     if (opts_.cacheMaxBytes > 0)
         cache_->setDiskCapBytes(opts_.cacheMaxBytes);
+    cache_->setMmapModels(opts_.mmapModels);
 }
 
 CompiledModel

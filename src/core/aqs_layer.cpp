@@ -104,7 +104,7 @@ AqsLinearLayer::restore(const AqsPipelineOptions &opts,
                         const QuantParams &weight_params,
                         const QuantParams &act_params,
                         const DbsDecision &dbs, WeightOperand weight_op,
-                        std::vector<std::int64_t> folded_bias)
+                        ArenaVec<std::int64_t> folded_bias)
 {
     fatal_if(weight_op.sliced.planes.empty(),
              "restore needs a prepared weight operand");

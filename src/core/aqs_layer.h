@@ -19,6 +19,7 @@
 
 #include "core/aqs_gemm.h"
 #include "quant/calibration.h"
+#include "util/arena.h"
 #include "quant/dbs.h"
 #include "quant/gemm_quant.h"
 #include "quant/quant_params.h"
@@ -74,7 +75,7 @@ class AqsLinearLayer
                                   const QuantParams &act_params,
                                   const DbsDecision &dbs,
                                   WeightOperand weight_op,
-                                  std::vector<std::int64_t> folded_bias);
+                                  ArenaVec<std::int64_t> folded_bias);
 
     /** Quantize, slice and multiply one activation; returns float. */
     MatrixF forward(const MatrixF &x, AqsStats *stats = nullptr) const;
@@ -142,7 +143,7 @@ class AqsLinearLayer
     /** @return the prepared weight operand. */
     const WeightOperand &weights() const { return weightOp_; }
     /** @return the folded bias b' of Eq. (3) (length M). */
-    const std::vector<std::int64_t> &foldedBias() const
+    std::span<const std::int64_t> foldedBias() const
     {
         return foldedBias_;
     }
@@ -163,7 +164,9 @@ class AqsLinearLayer
     int n_ = 1;   ///< weight LO slices
     int k_ = 1;   ///< activation LO slices
     WeightOperand weightOp_;
-    std::vector<std::int64_t> foldedBias_;
+    // Own-or-view backing: calibrate() owns, the zero-copy loader
+    // views into the mapped compiled-model file (util/arena.h).
+    ArenaVec<std::int64_t> foldedBias_;
 };
 
 } // namespace panacea

@@ -2,16 +2,24 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstddef>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <mutex>
 #include <sstream>
+#include <type_traits>
 #include <unistd.h>
 #include <utility>
 #include <vector>
 
+#include "util/arena.h"
 #include "util/fnv.h"
+#include "util/logging.h"
+#include "util/mapped_file.h"
 
 namespace panacea {
 namespace serve {
@@ -19,6 +27,21 @@ namespace serve {
 namespace {
 
 constexpr char kMagic[4] = {'P', 'N', 'C', 'M'};
+
+// The v2 format stores RleEntry sections as raw entry structs so the
+// loader can view them in place. That is only sound while the on-disk
+// layout {u16 skip, 2 zero bytes, u32 vectorIndex} IS the in-memory
+// layout; these asserts pin it (x86-64, the engine's only target).
+// The writer canonicalizes the padding bytes to zero and the reader
+// rejects nonzero padding, so files stay byte-deterministic.
+static_assert(std::is_trivially_copyable_v<RleEntry>,
+              "RleEntry must be raw-viewable");
+static_assert(sizeof(RleEntry) == 8, "RleEntry on-disk layout changed");
+static_assert(offsetof(RleEntry, skip) == 0,
+              "RleEntry on-disk layout changed");
+static_assert(offsetof(RleEntry, vectorIndex) == 4,
+              "RleEntry on-disk layout changed");
+static_assert(sizeof(Slice) == 1, "Slice sections assume 1-byte slices");
 
 // --- Little-endian writer over a growing byte buffer -------------------
 
@@ -215,6 +238,49 @@ class Reader
     std::size_t size_;
     std::size_t pos_ = 0;
 };
+
+// --- Raw little-endian loads/stores (v2 header + directory) ------------
+
+std::uint32_t
+loadU32(const std::byte *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(std::to_integer<unsigned>(p[i]))
+             << (8 * i);
+    return v;
+}
+
+std::uint64_t
+loadU64(const std::byte *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(std::to_integer<unsigned>(p[i]))
+             << (8 * i);
+    return v;
+}
+
+void
+storeU16(char *p, std::uint16_t v)
+{
+    for (int i = 0; i < 2; ++i)
+        p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void
+storeU32(char *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void
+storeU64(char *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
 
 // --- Component writers/readers ----------------------------------------
 
@@ -438,6 +504,48 @@ readDbsDecision(Reader &r)
     return d;
 }
 
+/**
+ * Internal-consistency checks shared by both format readers: every
+ * structure the kernels index must agree on the layer shape, or a
+ * crafted (checksum-valid) file could drive out-of-bounds reads after
+ * loading.
+ */
+void
+validateLayerShapes(const WeightOperand &op, const AqsPipelineOptions &opts,
+                    std::uint64_t bias_len)
+{
+    if (bias_len != op.sliced.rows())
+        throw SerializeError("compiled model folded bias length " +
+                             std::to_string(bias_len) + " != M " +
+                             std::to_string(op.sliced.rows()));
+    const std::size_t m = op.sliced.rows();
+    const std::size_t kk = op.sliced.cols();
+    if (opts.gemm.v <= 0 ||
+        m % static_cast<std::size_t>(opts.gemm.v) != 0)
+        throw SerializeError(
+            "compiled model weight rows not divisible by v");
+    const std::size_t m_groups =
+        m / static_cast<std::size_t>(opts.gemm.v);
+    if (op.totalCodes.rows() != m || op.totalCodes.cols() != kk)
+        throw SerializeError(
+            "compiled model total codes disagree with slice planes");
+    if (op.hoMask.rows() != m_groups || op.hoMask.cols() != kk)
+        throw SerializeError(
+            "compiled model weight HO mask has wrong shape");
+    if (op.streams.size() != m_groups)
+        throw SerializeError("compiled model weight stream count " +
+                             std::to_string(op.streams.size()) +
+                             " != m-band count " +
+                             std::to_string(m_groups));
+    for (const RleStream &s : op.streams)
+        if (s.totalCount() != kk || s.vlen() != opts.gemm.v)
+            throw SerializeError(
+                "compiled model weight stream disagrees with layer "
+                "shape");
+}
+
+// --- v1 (legacy) bulk payload encode/decode ----------------------------
+
 void
 writeSlicedMatrix(Writer &w, const SlicedMatrix &s)
 {
@@ -561,7 +669,7 @@ readWeightOperand(Reader &r)
 }
 
 AqsLinearLayer
-readLayer(Reader &r, int expect_v)
+readLayerV1(Reader &r, int expect_v)
 {
     const AqsPipelineOptions opts = readPipelineOptions(r);
     // build() stamps every layer with the model-level vector length;
@@ -577,49 +685,18 @@ readLayer(Reader &r, int expect_v)
     const DbsDecision dbs = readDbsDecision(r);
     WeightOperand op = readWeightOperand(r);
     const std::uint64_t bias_len = r.u64();
-    if (bias_len != op.sliced.rows())
-        throw SerializeError("compiled model folded bias length " +
-                             std::to_string(bias_len) + " != M " +
-                             std::to_string(op.sliced.rows()));
     r.need(Reader::checkedMul(bias_len, 8));
     std::vector<std::int64_t> bias(bias_len);
     for (std::uint64_t i = 0; i < bias_len; ++i)
         bias[i] = r.i64();
-    // Internal-consistency checks: every structure the kernels index
-    // must agree on the layer shape, or a crafted (checksum-valid)
-    // file could drive out-of-bounds reads after loading.
-    const std::size_t m = op.sliced.rows();
-    const std::size_t kk = op.sliced.cols();
-    if (opts.gemm.v <= 0 ||
-        m % static_cast<std::size_t>(opts.gemm.v) != 0)
-        throw SerializeError(
-            "compiled model weight rows not divisible by v");
-    const std::size_t m_groups =
-        m / static_cast<std::size_t>(opts.gemm.v);
-    if (op.totalCodes.rows() != m || op.totalCodes.cols() != kk)
-        throw SerializeError(
-            "compiled model total codes disagree with slice planes");
-    if (op.hoMask.rows() != m_groups || op.hoMask.cols() != kk)
-        throw SerializeError(
-            "compiled model weight HO mask has wrong shape");
-    if (op.streams.size() != m_groups)
-        throw SerializeError("compiled model weight stream count " +
-                             std::to_string(op.streams.size()) +
-                             " != m-band count " +
-                             std::to_string(m_groups));
-    for (const RleStream &s : op.streams)
-        if (s.totalCount() != kk || s.vlen() != opts.gemm.v)
-            throw SerializeError(
-                "compiled model weight stream disagrees with layer "
-                "shape");
+    validateLayerShapes(op, opts, bias_len);
     return AqsLinearLayer::restore(opts, w_params, x_params, dbs,
                                    std::move(op), std::move(bias));
 }
 
-} // namespace
-
+/** The v1 payload: one scalar stream, everything copied. */
 void
-writeServedModel(std::ostream &out, const ServedModel &model)
+writeServedModelV1(std::ostream &out, const ServedModel &model)
 {
     Writer payload;
     payload.str(model.key());
@@ -642,7 +719,7 @@ writeServedModel(std::ostream &out, const ServedModel &model)
     const std::string &body = payload.buffer();
     Writer header;
     header.bytes(kMagic, sizeof(kMagic));
-    header.u32(kCompiledModelFormatVersion);
+    header.u32(kCompiledModelLegacyFormatVersion);
     out.write(header.buffer().data(),
               static_cast<std::streamsize>(header.buffer().size()));
     out.write(body.data(), static_cast<std::streamsize>(body.size()));
@@ -652,6 +729,613 @@ writeServedModel(std::ostream &out, const ServedModel &model)
               static_cast<std::streamsize>(trailer.buffer().size()));
     if (!out)
         throw SerializeError("compiled model write failed");
+}
+
+/** Shared model-level decode head: key/spec/options + fingerprint. */
+struct ModelHead
+{
+    std::string key;
+    ModelSpec spec;
+    ServeModelOptions opts;
+    double buildMs = 0.0;
+    std::uint64_t layerCount = 0;
+};
+
+ModelHead
+readModelHead(Reader &r)
+{
+    ModelHead head;
+    head.key = r.str();
+    head.spec = readModelSpec(r);
+    head.opts = readServeOptions(r);
+    head.buildMs = r.f64();
+
+    // The stored key must equal the fingerprint of the decoded
+    // spec+options: a body that decodes cleanly but belongs to a
+    // different model/configuration is rejected here.
+    const std::string derived = serveModelKey(head.spec, head.opts);
+    if (head.key != derived)
+        throw SerializeError("compiled model fingerprint mismatch: file "
+                             "says '" +
+                             head.key + "', body derives '" + derived +
+                             "'");
+
+    std::size_t expect_layers = head.spec.layers.size();
+    if (head.opts.maxLayers != 0 && head.opts.maxLayers < expect_layers)
+        expect_layers = head.opts.maxLayers;
+    head.layerCount = r.u64();
+    if (head.layerCount != expect_layers || head.layerCount == 0)
+        throw SerializeError("compiled model layer count " +
+                             std::to_string(head.layerCount) +
+                             " != served count " +
+                             std::to_string(expect_layers));
+    return head;
+}
+
+/** Decode a whole v1 file image (envelope + payload + trailer). */
+std::shared_ptr<const ServedModel>
+decodeV1(const std::byte *data, std::size_t size)
+{
+    constexpr std::size_t kEnvelope = sizeof(kMagic) + 4 + 8;
+    if (size < kEnvelope)
+        throw SerializeError("compiled model too small (" +
+                             std::to_string(size) + " bytes)");
+    const char *body =
+        reinterpret_cast<const char *>(data) + sizeof(kMagic) + 4;
+    const std::size_t body_size = size - kEnvelope;
+    Reader check(reinterpret_cast<const char *>(data) + size - 8, 8);
+    const std::uint64_t stored_sum = check.u64();
+    if (stored_sum != fnv1a64(body, body_size))
+        throw SerializeError("compiled model checksum mismatch");
+
+    Reader r(body, body_size);
+    const ModelHead head = readModelHead(r);
+    std::vector<AqsLinearLayer> layers;
+    layers.reserve(head.layerCount);
+    for (std::uint64_t i = 0; i < head.layerCount; ++i)
+        layers.push_back(readLayerV1(r, head.opts.v));
+    if (!r.exhausted())
+        throw SerializeError("compiled model has " +
+                             std::to_string(r.remaining()) +
+                             " trailing payload bytes");
+
+    return std::make_shared<const ServedModel>(ServedModel::restore(
+        head.spec, head.opts, std::move(layers), head.buildMs));
+}
+
+// --- v2 (sectioned, zero-copy) encode/decode ---------------------------
+
+constexpr std::size_t kV2HeaderBytes = 32; ///< magic..sectionCount
+constexpr std::size_t kSectionsPerLayer = 6;
+constexpr std::uint64_t kV2ChecksumFrom = 24; ///< sectionCount onward
+
+std::uint64_t
+alignUp64(std::uint64_t x)
+{
+    return (x + (kArenaAlignment - 1)) & ~(kArenaAlignment - 1);
+}
+
+/** One directory record: where a section's bytes live in the file. */
+struct SectionRange
+{
+    std::uint64_t offset = 0;
+    std::uint64_t size = 0;
+};
+
+/** Per-layer bulk payload byte counts (writer-side layout planning). */
+struct LayerBulkSizes
+{
+    std::uint64_t planes = 0;
+    std::uint64_t codes = 0;
+    std::uint64_t mask = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t payloads = 0;
+    std::uint64_t bias = 0;
+    std::uint64_t stored = 0; ///< total entries across streams
+};
+
+void
+writeServedModelV2(std::ostream &out, const ServedModel &model)
+{
+    const std::size_t layer_count = model.layerCount();
+    const std::uint64_t section_count =
+        1 + kSectionsPerLayer * layer_count;
+
+    std::vector<LayerBulkSizes> bulk(layer_count);
+    for (std::size_t i = 0; i < layer_count; ++i) {
+        const WeightOperand &op = model.layer(i).weights();
+        LayerBulkSizes &b = bulk[i];
+        const std::uint64_t elems =
+            static_cast<std::uint64_t>(op.sliced.rows()) *
+            op.sliced.cols();
+        b.planes = elems * op.sliced.levels() * sizeof(Slice);
+        b.codes = elems * sizeof(std::int32_t);
+        b.mask = static_cast<std::uint64_t>(op.hoMask.rows()) *
+                 op.hoMask.cols();
+        for (const RleStream &s : op.streams) {
+            b.stored += s.storedCount();
+            b.payloads += s.payloads().size();
+        }
+        b.entries = b.stored * sizeof(RleEntry);
+        b.bias = model.layer(i).foldedBias().size() *
+                 sizeof(std::int64_t);
+    }
+
+    // META: the scalar stream. Bulk payloads are referenced by section
+    // index; with canonical ordering, layer i's sections start at
+    // 1 + 6*i.
+    Writer meta;
+    meta.str(model.key());
+    writeModelSpec(meta, model.spec());
+    writeServeOptions(meta, model.options());
+    meta.f64(model.buildMs());
+    meta.u64(layer_count);
+    for (std::size_t i = 0; i < layer_count; ++i) {
+        const AqsLinearLayer &layer = model.layer(i);
+        const WeightOperand &op = layer.weights();
+        const std::uint64_t base = 1 + kSectionsPerLayer * i;
+        writePipelineOptions(meta, layer.options());
+        writeQuantParams(meta, layer.weightParams());
+        writeQuantParams(meta, layer.activationParams());
+        writeDbsDecision(meta, layer.dbsDecision());
+        meta.boolean(op.sliced.signedSlices);
+        meta.i32(op.sliced.sourceBits);
+        meta.i32(op.sliced.loBits);
+        meta.u64(op.sliced.planes.size());
+        meta.u64(op.sliced.rows());
+        meta.u64(op.sliced.cols());
+        for (const SlicePlane &p : op.sliced.planes) {
+            meta.i32(p.shift);
+            meta.boolean(p.high);
+        }
+        meta.u64(base + 0);
+        meta.u64(op.totalCodes.rows());
+        meta.u64(op.totalCodes.cols());
+        meta.u64(base + 1);
+        meta.u64(op.hoMask.rows());
+        meta.u64(op.hoMask.cols());
+        meta.u64(base + 2);
+        meta.u64(op.streams.size());
+        for (const RleStream &s : op.streams) {
+            meta.u64(s.totalCount());
+            meta.u8(static_cast<std::uint8_t>(s.fill()));
+            meta.i32(s.vlen());
+            meta.i32(s.indexBits());
+            meta.u64(s.storedCount());
+        }
+        meta.u64(base + 3);
+        meta.u64(base + 4);
+        meta.u64(layer.foldedBias().size());
+        meta.u64(base + 5);
+    }
+
+    // Lay the sections out: directory right after the header, every
+    // section 64-byte aligned, gaps zero (the whole buffer starts
+    // zeroed and only payload bytes are written).
+    std::vector<SectionRange> sections(section_count);
+    std::uint64_t cursor = kV2HeaderBytes + section_count * 16;
+    const auto place = [&](std::uint64_t idx, std::uint64_t size) {
+        cursor = alignUp64(cursor);
+        sections[idx] = {cursor, size};
+        cursor += size;
+    };
+    place(0, meta.buffer().size());
+    for (std::size_t i = 0; i < layer_count; ++i) {
+        const std::uint64_t base = 1 + kSectionsPerLayer * i;
+        place(base + 0, bulk[i].planes);
+        place(base + 1, bulk[i].codes);
+        place(base + 2, bulk[i].mask);
+        place(base + 3, bulk[i].entries);
+        place(base + 4, bulk[i].payloads);
+        place(base + 5, bulk[i].bias);
+    }
+    const std::uint64_t file_size = cursor;
+
+    std::string buf(file_size, '\0');
+    std::memcpy(buf.data(), kMagic, sizeof(kMagic));
+    storeU32(buf.data() + 4, kCompiledModelFormatVersion);
+    storeU64(buf.data() + 8, file_size);
+    // checksum at offset 16 is patched last
+    storeU64(buf.data() + 24, section_count);
+    for (std::uint64_t s = 0; s < section_count; ++s) {
+        storeU64(buf.data() + kV2HeaderBytes + 16 * s,
+                 sections[s].offset);
+        storeU64(buf.data() + kV2HeaderBytes + 16 * s + 8,
+                 sections[s].size);
+    }
+    std::memcpy(buf.data() + sections[0].offset, meta.buffer().data(),
+                meta.buffer().size());
+    for (std::size_t i = 0; i < layer_count; ++i) {
+        const WeightOperand &op = model.layer(i).weights();
+        const std::uint64_t base = 1 + kSectionsPerLayer * i;
+
+        char *p = buf.data() + sections[base + 0].offset;
+        for (const SlicePlane &plane : op.sliced.planes) {
+            std::memcpy(p, plane.data.data().data(),
+                        plane.data.size() * sizeof(Slice));
+            p += plane.data.size() * sizeof(Slice);
+        }
+        std::memcpy(buf.data() + sections[base + 1].offset,
+                    op.totalCodes.data().data(),
+                    op.totalCodes.size() * sizeof(std::int32_t));
+        std::memcpy(buf.data() + sections[base + 2].offset,
+                    op.hoMask.data().data(), op.hoMask.size());
+
+        // Entries are written field-by-field so the two struct padding
+        // bytes are canonically zero whatever the in-memory garbage.
+        p = buf.data() + sections[base + 3].offset;
+        char *q = buf.data() + sections[base + 4].offset;
+        for (const RleStream &s : op.streams) {
+            for (const RleEntry &e : s.entries()) {
+                storeU16(p, e.skip);
+                storeU16(p + 2, 0);
+                storeU32(p + 4, e.vectorIndex);
+                p += sizeof(RleEntry);
+            }
+            std::memcpy(q, s.payloads().data(), s.payloads().size());
+            q += s.payloads().size();
+        }
+
+        const std::span<const std::int64_t> bias =
+            model.layer(i).foldedBias();
+        std::memcpy(buf.data() + sections[base + 5].offset, bias.data(),
+                    bias.size() * sizeof(std::int64_t));
+    }
+
+    storeU64(buf.data() + 16,
+             fnv1a64Striped(buf.data() + kV2ChecksumFrom,
+                            file_size - kV2ChecksumFrom));
+
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    if (!out)
+        throw SerializeError("compiled model write failed");
+}
+
+/**
+ * Decode a whole v2 file image IN PLACE: every validation (declared
+ * size, striped checksum, directory bounds/alignment, shapes, RLE
+ * chains and padding) runs before a single view is created, and the
+ * views the model keeps point into `data` - which `owner` (a
+ * MappedFile or an arena-held copy) must keep alive.
+ */
+std::shared_ptr<const ServedModel>
+decodeV2(const std::byte *data, std::size_t size,
+         std::shared_ptr<const void> owner, std::size_t mapped_bytes)
+{
+    if (size < kV2HeaderBytes)
+        throw SerializeError("compiled model too small (" +
+                             std::to_string(size) + " bytes)");
+    const std::uint64_t declared = loadU64(data + 8);
+    if (declared != size)
+        throw SerializeError(
+            "compiled model declared size " + std::to_string(declared) +
+            " != actual size " + std::to_string(size) +
+            " (truncated or trailing bytes)");
+    const std::uint64_t section_count = loadU64(data + 24);
+    if (section_count == 0 ||
+        section_count > (size - kV2HeaderBytes) / 16)
+        throw SerializeError("compiled model section count " +
+                             std::to_string(section_count) +
+                             " exceeds file");
+    if (loadU64(data + 16) !=
+        fnv1a64Striped(data + kV2ChecksumFrom, size - kV2ChecksumFrom))
+        throw SerializeError("compiled model checksum mismatch");
+
+    // Directory: 64-byte aligned, in-bounds, ascending, non-overlapping.
+    std::vector<SectionRange> sections(section_count);
+    std::uint64_t prev_end = kV2HeaderBytes + section_count * 16;
+    for (std::uint64_t s = 0; s < section_count; ++s) {
+        SectionRange &sec = sections[s];
+        sec.offset = loadU64(data + kV2HeaderBytes + 16 * s);
+        sec.size = loadU64(data + kV2HeaderBytes + 16 * s + 8);
+        if (sec.offset % kArenaAlignment != 0)
+            throw SerializeError("compiled model section " +
+                                 std::to_string(s) +
+                                 " offset not 64-byte aligned");
+        if (sec.offset < prev_end || sec.size > size ||
+            sec.offset > size - sec.size)
+            throw SerializeError("compiled model section " +
+                                 std::to_string(s) + " out of bounds");
+        prev_end = sec.offset + sec.size;
+    }
+    if (prev_end != size)
+        throw SerializeError("compiled model has " +
+                             std::to_string(size - prev_end) +
+                             " trailing payload bytes");
+
+    const auto sectionAt = [&](std::uint64_t idx,
+                               const char *what) -> const SectionRange & {
+        if (idx >= section_count)
+            throw SerializeError(std::string("compiled model ") + what +
+                                 " section index " + std::to_string(idx) +
+                                 " out of range");
+        return sections[idx];
+    };
+
+    Reader r(reinterpret_cast<const char *>(data) + sections[0].offset,
+             sections[0].size);
+    const ModelHead head = readModelHead(r);
+    if (section_count != 1 + kSectionsPerLayer * head.layerCount)
+        throw SerializeError("compiled model section count " +
+                             std::to_string(section_count) +
+                             " != 1 + 6 x layer count " +
+                             std::to_string(head.layerCount));
+
+    std::vector<AqsLinearLayer> layers;
+    layers.reserve(head.layerCount);
+    for (std::uint64_t li = 0; li < head.layerCount; ++li) {
+        const AqsPipelineOptions opts = readPipelineOptions(r);
+        if (opts.gemm.v != head.opts.v)
+            throw SerializeError("compiled model layer v " +
+                                 std::to_string(opts.gemm.v) +
+                                 " != model v " +
+                                 std::to_string(head.opts.v));
+        const QuantParams w_params = readQuantParams(r);
+        const QuantParams x_params = readQuantParams(r);
+        const DbsDecision dbs = readDbsDecision(r);
+
+        WeightOperand op;
+        op.sliced.signedSlices = r.boolean();
+        op.sliced.sourceBits = r.i32();
+        op.sliced.loBits = r.i32();
+        const std::uint64_t plane_count = r.u64();
+        const std::uint64_t rows = r.u64();
+        const std::uint64_t cols = r.u64();
+        if (plane_count == 0)
+            throw SerializeError(
+                "compiled model slice matrix has no planes");
+        const std::size_t plane_elems = Reader::checkedMul(rows, cols);
+        struct PlaneHead
+        {
+            std::int32_t shift;
+            bool high;
+        };
+        std::vector<PlaneHead> plane_heads;
+        r.need(Reader::checkedMul(plane_count, 5));
+        plane_heads.reserve(plane_count);
+        for (std::uint64_t p = 0; p < plane_count; ++p)
+            plane_heads.push_back({r.i32(), r.boolean()});
+        const SectionRange &planes_sec =
+            sectionAt(r.u64(), "slice planes");
+        if (planes_sec.size !=
+            Reader::checkedMul(plane_elems, plane_count))
+            throw SerializeError(
+                "compiled model slice plane section size mismatch");
+
+        const std::uint64_t codes_rows = r.u64();
+        const std::uint64_t codes_cols = r.u64();
+        const SectionRange &codes_sec = sectionAt(r.u64(), "total codes");
+        if (codes_sec.size !=
+            Reader::checkedMul(Reader::checkedMul(codes_rows, codes_cols),
+                               sizeof(std::int32_t)))
+            throw SerializeError(
+                "compiled model total codes section size mismatch");
+
+        const std::uint64_t mask_rows = r.u64();
+        const std::uint64_t mask_cols = r.u64();
+        const SectionRange &mask_sec = sectionAt(r.u64(), "HO mask");
+        if (mask_sec.size != Reader::checkedMul(mask_rows, mask_cols))
+            throw SerializeError(
+                "compiled model HO mask section size mismatch");
+
+        const std::uint64_t stream_count = r.u64();
+        struct StreamHead
+        {
+            std::uint64_t total;
+            Slice fill;
+            std::int32_t vlen;
+            std::int32_t indexBits;
+            std::uint64_t stored;
+        };
+        std::vector<StreamHead> stream_heads;
+        r.need(Reader::checkedMul(stream_count, 25));
+        stream_heads.reserve(stream_count);
+        std::uint64_t total_stored = 0;
+        std::uint64_t total_payload = 0;
+        for (std::uint64_t s = 0; s < stream_count; ++s) {
+            StreamHead h;
+            h.total = r.u64();
+            h.fill = static_cast<Slice>(r.u8());
+            h.vlen = r.i32();
+            h.indexBits = r.i32();
+            h.stored = r.u64();
+            if (h.vlen <= 0 || h.vlen > 4096)
+                throw SerializeError("compiled model RLE vlen " +
+                                     std::to_string(h.vlen) +
+                                     " out of range");
+            if (h.indexBits <= 0 || h.indexBits > 16)
+                throw SerializeError("compiled model RLE index bits " +
+                                     std::to_string(h.indexBits) +
+                                     " out of range");
+            if (h.stored > h.total)
+                throw SerializeError(
+                    "compiled model RLE stored count exceeds sequence");
+            total_stored += h.stored;
+            total_payload += Reader::checkedMul(
+                h.stored, static_cast<std::size_t>(h.vlen));
+            stream_heads.push_back(h);
+        }
+        const SectionRange &entries_sec =
+            sectionAt(r.u64(), "RLE entries");
+        if (entries_sec.size !=
+            Reader::checkedMul(total_stored, sizeof(RleEntry)))
+            throw SerializeError(
+                "compiled model RLE entry section size mismatch");
+        const SectionRange &payloads_sec =
+            sectionAt(r.u64(), "RLE payloads");
+        if (payloads_sec.size != total_payload)
+            throw SerializeError(
+                "compiled model RLE payload section size mismatch");
+
+        const std::uint64_t bias_len = r.u64();
+        const SectionRange &bias_sec = sectionAt(r.u64(), "folded bias");
+        if (bias_sec.size !=
+            Reader::checkedMul(bias_len, sizeof(std::int64_t)))
+            throw SerializeError(
+                "compiled model folded bias section size mismatch");
+
+        // Validate the RLE entry chains (and the canonical zero
+        // padding) BEFORE any views exist: the kernels iterate entries
+        // without re-checking, and decode() panics - not throws - on a
+        // broken chain.
+        const std::byte *ebytes = data + entries_sec.offset;
+        {
+            std::uint64_t e_at = 0;
+            for (const StreamHead &h : stream_heads) {
+                std::uint64_t cursor = 0;
+                for (std::uint64_t j = 0; j < h.stored; ++j) {
+                    const std::byte *e =
+                        ebytes + (e_at + j) * sizeof(RleEntry);
+                    const std::uint16_t skip =
+                        static_cast<std::uint16_t>(loadU32(e) & 0xffff);
+                    if ((loadU32(e) >> 16) != 0)
+                        throw SerializeError(
+                            "compiled model RLE entry padding not zero");
+                    const std::uint32_t index = loadU32(e + 4);
+                    cursor += skip;
+                    if (cursor != index || cursor >= h.total)
+                        throw SerializeError(
+                            "compiled model RLE entry chain broken");
+                    ++cursor;
+                }
+                e_at += h.stored;
+            }
+        }
+
+        // All bytes validated - build the views.
+        const auto *plane_base = reinterpret_cast<const Slice *>(
+            data + planes_sec.offset);
+        op.sliced.planes.reserve(plane_count);
+        for (std::uint64_t p = 0; p < plane_count; ++p) {
+            SlicePlane plane;
+            plane.shift = plane_heads[p].shift;
+            plane.high = plane_heads[p].high;
+            plane.data = Matrix<Slice>::fromView(
+                plane_base + p * plane_elems, rows, cols);
+            op.sliced.planes.push_back(std::move(plane));
+        }
+        op.totalCodes = MatrixI32::fromView(
+            reinterpret_cast<const std::int32_t *>(data +
+                                                   codes_sec.offset),
+            codes_rows, codes_cols);
+        op.hoMask = MatrixU8::fromView(
+            reinterpret_cast<const std::uint8_t *>(data +
+                                                   mask_sec.offset),
+            mask_rows, mask_cols);
+        const auto *entry_base =
+            reinterpret_cast<const RleEntry *>(data + entries_sec.offset);
+        const auto *payload_base = reinterpret_cast<const Slice *>(
+            data + payloads_sec.offset);
+        op.streams.reserve(stream_count);
+        std::uint64_t e_at = 0, p_at = 0;
+        for (const StreamHead &h : stream_heads) {
+            const std::uint64_t p_len = Reader::checkedMul(
+                h.stored, static_cast<std::size_t>(h.vlen));
+            op.streams.push_back(RleStream::restore(
+                ArenaVec<RleEntry>::view({entry_base + e_at, h.stored}),
+                ArenaVec<Slice>::view({payload_base + p_at, p_len}),
+                h.total, h.fill, h.vlen, h.indexBits));
+            e_at += h.stored;
+            p_at += p_len;
+        }
+        validateLayerShapes(op, opts, bias_len);
+        layers.push_back(AqsLinearLayer::restore(
+            opts, w_params, x_params, dbs, std::move(op),
+            ArenaVec<std::int64_t>::view(
+                {reinterpret_cast<const std::int64_t *>(data +
+                                                        bias_sec.offset),
+                 bias_len})));
+    }
+    if (!r.exhausted())
+        throw SerializeError("compiled model has " +
+                             std::to_string(r.remaining()) +
+                             " trailing META bytes");
+
+    return std::make_shared<const ServedModel>(ServedModel::restore(
+        head.spec, head.opts, std::move(layers), head.buildMs,
+        std::move(owner), mapped_bytes));
+}
+
+// --- Load-path plumbing ------------------------------------------------
+
+/** A 64-byte-aligned owning copy of a whole file image. */
+struct ArenaImage
+{
+    Arena arena;
+    std::byte *data = nullptr;
+    std::size_t size = 0;
+};
+
+std::shared_ptr<ArenaImage>
+makeArenaImage(std::size_t size)
+{
+    auto img = std::make_shared<ArenaImage>();
+    img->size = size;
+    img->data = img->arena.alloc(size);
+    return img;
+}
+
+/** PANACEA_MMAP=0 disables the mapped load path process-wide. */
+bool
+mmapEnabledByEnv()
+{
+    const char *e = std::getenv("PANACEA_MMAP");
+    return e == nullptr || std::string(e) != "0";
+}
+
+void
+logLegacyLoadOnce()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        inform("loading legacy v1 compiled model via the copying "
+               "decode path; re-save to v2 for zero-copy mmap loads");
+    });
+}
+
+/**
+ * Dispatch a whole in-memory/mapped file image on its envelope.
+ * `owner`/`mapped_bytes` describe `data`'s backing and only reach the
+ * v2 decoder (v1 copies everything out of the image).
+ */
+std::shared_ptr<const ServedModel>
+decodeFileImage(const std::byte *data, std::size_t size,
+                std::shared_ptr<const void> owner,
+                std::size_t mapped_bytes)
+{
+    if (size < sizeof(kMagic) + 4)
+        throw SerializeError("compiled model too small (" +
+                             std::to_string(size) + " bytes)");
+    if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0)
+        throw SerializeError("compiled model magic mismatch");
+    const std::uint32_t version = loadU32(data + sizeof(kMagic));
+    if (version == kCompiledModelFormatVersion)
+        return decodeV2(data, size, std::move(owner), mapped_bytes);
+    if (version == kCompiledModelLegacyFormatVersion) {
+        logLegacyLoadOnce();
+        return decodeV1(data, size);
+    }
+    throw SerializeError(
+        "compiled model format version " + std::to_string(version) +
+        " unsupported (readable: " +
+        std::to_string(kCompiledModelLegacyFormatVersion) + ", " +
+        std::to_string(kCompiledModelFormatVersion) + ")");
+}
+
+} // namespace
+
+void
+writeServedModel(std::ostream &out, const ServedModel &model,
+                 std::uint32_t version)
+{
+    if (version == kCompiledModelFormatVersion)
+        writeServedModelV2(out, model);
+    else if (version == kCompiledModelLegacyFormatVersion)
+        writeServedModelV1(out, model);
+    else
+        throw SerializeError("cannot write compiled model format "
+                             "version " +
+                             std::to_string(version));
 }
 
 std::shared_ptr<const ServedModel>
@@ -674,67 +1358,31 @@ readServedModel(std::istream &in)
     }
     if (in.bad())
         throw SerializeError("compiled model read failed");
-    constexpr std::size_t kEnvelope = sizeof(kMagic) + 4 + 8;
-    if (file.size() < kEnvelope)
-        throw SerializeError("compiled model too small (" +
-                             std::to_string(file.size()) + " bytes)");
-    if (!std::equal(kMagic, kMagic + sizeof(kMagic), file.data()))
-        throw SerializeError("compiled model magic mismatch");
 
-    Reader head(file.data() + sizeof(kMagic), 4);
-    const std::uint32_t version = head.u32();
-    if (version != kCompiledModelFormatVersion)
-        throw SerializeError(
-            "compiled model format version " + std::to_string(version) +
-            " unsupported (expected " +
-            std::to_string(kCompiledModelFormatVersion) + ")");
-
-    const char *body = file.data() + sizeof(kMagic) + 4;
-    const std::size_t body_size = file.size() - kEnvelope;
-    Reader check(file.data() + file.size() - 8, 8);
-    const std::uint64_t stored_sum = check.u64();
-    if (stored_sum != fnv1a64(body, body_size))
-        throw SerializeError("compiled model checksum mismatch");
-
-    Reader r(body, body_size);
-    const std::string key = r.str();
-    const ModelSpec spec = readModelSpec(r);
-    const ServeModelOptions opts = readServeOptions(r);
-    const double build_ms = r.f64();
-
-    // The stored key must equal the fingerprint of the decoded
-    // spec+options: a body that decodes cleanly but belongs to a
-    // different model/configuration is rejected here.
-    const std::string derived = serveModelKey(spec, opts);
-    if (key != derived)
-        throw SerializeError("compiled model fingerprint mismatch: file "
-                             "says '" +
-                             key + "', body derives '" + derived + "'");
-
-    std::size_t expect_layers = spec.layers.size();
-    if (opts.maxLayers != 0 && opts.maxLayers < expect_layers)
-        expect_layers = opts.maxLayers;
-    const std::uint64_t layer_count = r.u64();
-    if (layer_count != expect_layers || layer_count == 0)
-        throw SerializeError("compiled model layer count " +
-                             std::to_string(layer_count) +
-                             " != served count " +
-                             std::to_string(expect_layers));
-    std::vector<AqsLinearLayer> layers;
-    layers.reserve(layer_count);
-    for (std::uint64_t i = 0; i < layer_count; ++i)
-        layers.push_back(readLayer(r, opts.v));
-    if (!r.exhausted())
-        throw SerializeError("compiled model has " +
-                             std::to_string(r.remaining()) +
-                             " trailing payload bytes");
-
-    return std::make_shared<const ServedModel>(
-        ServedModel::restore(spec, opts, std::move(layers), build_ms));
+    // A v2 image must sit at 64-byte alignment for its in-place views;
+    // a std::string buffer guarantees no such thing, so rehome the
+    // bytes into an arena image the model then owns. (v1 decodes
+    // byte-wise from anywhere and copies everything immediately.)
+    if (file.size() >= sizeof(kMagic) + 4 &&
+        loadU32(reinterpret_cast<const std::byte *>(file.data()) +
+                sizeof(kMagic)) == kCompiledModelFormatVersion) {
+        auto img = makeArenaImage(file.size());
+        std::memcpy(img->data, file.data(), file.size());
+        // Pull the fields out BEFORE std::move(img): argument
+        // evaluation order is unspecified, so img->size in the same
+        // call could read a moved-from (null) pointer.
+        const std::byte *base = img->data;
+        const std::size_t size = img->size;
+        return decodeFileImage(base, size, std::move(img), 0);
+    }
+    return decodeFileImage(
+        reinterpret_cast<const std::byte *>(file.data()), file.size(),
+        nullptr, 0);
 }
 
 void
-saveServedModel(const ServedModel &model, const std::string &path)
+saveServedModel(const ServedModel &model, const std::string &path,
+                std::uint32_t version)
 {
     // Per-process temp name: two processes sharing a cache directory
     // can write the same key concurrently; each must stage its own
@@ -745,7 +1393,7 @@ saveServedModel(const ServedModel &model, const std::string &path)
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out)
             throw SerializeError("cannot open " + tmp + " for writing");
-        writeServedModel(out, model);
+        writeServedModel(out, model, version);
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
@@ -754,8 +1402,18 @@ saveServedModel(const ServedModel &model, const std::string &path)
 }
 
 std::shared_ptr<const ServedModel>
-loadServedModel(const std::string &path)
+loadServedModel(const std::string &path, bool allow_mmap)
 {
+    if (allow_mmap && mmapEnabledByEnv()) {
+        if (std::shared_ptr<MappedFile> map = MappedFile::open(path)) {
+            const std::byte *base = map->data();
+            const std::size_t size = map->size();
+            return decodeFileImage(base, size, map, size);
+        }
+        // No mapping (platform without mmap, unreadable file, ...):
+        // fall through to the copying path, which reports open errors
+        // properly.
+    }
     std::ifstream in(path, std::ios::binary);
     if (!in)
         throw SerializeError("cannot open " + path + " for reading");
@@ -886,8 +1544,11 @@ sweepCompiledModelDir(const std::string &dir, std::uint64_t max_bytes)
         bool stale = false;
         bool corrupt = false;
         try {
-            stale = peekCompiledModelVersion(e.path.string()) !=
-                    kCompiledModelFormatVersion;
+            // Both readable versions are valid cache entries: a sweep
+            // by a v2-writing build must NOT evict legacy v1 files the
+            // loader still serves (via its copying fallback).
+            stale = !isSupportedCompiledModelVersion(
+                peekCompiledModelVersion(e.path.string()));
         } catch (const SerializeError &) {
             corrupt = true;
         }

@@ -6,43 +6,60 @@
  * deployable artifact instead of per-process warm-up work. A model
  * written by one process and read by another is behaviourally
  * byte-identical to the freshly built original - same outputs, same
- * AqsStats, at every ISA level - and loading does ZERO slicing/RLE/HO
- * work (pure decode through the restore() entry points of RleStream,
- * AqsLinearLayer and ServedModel).
+ * AqsStats, at every ISA level.
  *
- * File layout (scalar fields little-endian; bulk tensor payloads are
- * raw element bytes, i.e. the host's layout - identical on every
- * x86-64 host, the only architecture the SIMD engine targets):
+ * Two format versions are readable:
  *
- *   offset 0   "PNCM"                     magic
- *   offset 4   u32   format version       readers reject other versions
- *   offset 8   payload                    see below
- *   last 8 B   u64   FNV-1a(payload)      integrity checksum
+ *   v2 (current, written by default) - SECTIONED, ZERO-COPY. All bulk
+ *   payloads live in 64-byte-aligned sections addressed by an offset
+ *   directory, laid out exactly as the kernels consume them, so the
+ *   loader can mmap the file read-only (util/mapped_file.h) and hand
+ *   the operand structs non-owning views straight into the mapping -
+ *   no per-structure decode copies, and every process mapping the same
+ *   file shares one set of physical pages. Loading without mmap uses
+ *   the identical view decode over one 64-byte-aligned arena copy of
+ *   the file image.
  *
- * Payload:
+ *   v1 (legacy, still readable + writable on request) - a single
+ *   little-endian scalar stream; every payload is copied and
+ *   re-materialized through the restore() entry points. The loader
+ *   falls back to this copying path for v1 files with a one-time log;
+ *   the sweep does NOT treat v1 as stale.
  *
- *   string  cache key                     serveModelKey() fingerprint;
- *                                         re-derived from the decoded
- *                                         spec+options and compared,
- *                                         so a tampered or mismatched
- *                                         body is rejected
- *   ModelSpec                             name, seqLen, metric anchors,
- *                                         every LayerSpec field
- *   ServeModelOptions                     every field
- *   f64     original build ms             keeps buildMsSaved accounting
- *                                         meaningful across processes
- *   u64     served layer count
- *   per layer:
- *     AqsPipelineOptions                  incl. the AqsConfig
- *     QuantParams x 2                     weight + activation
- *     DbsDecision                         type, l, ZPM, statistic
- *     WeightOperand                       SBR slice planes, total codes,
- *                                         HO mask, RLE streams
- *     folded bias                         i64 x M
+ * v2 file layout (all scalar fields little-endian):
  *
- * Every reader-side structural violation (bad magic, unknown version,
- * checksum mismatch, truncation, out-of-range enum, trailing bytes,
- * key/fingerprint mismatch) throws SerializeError; a load never
+ *   offset  0  "PNCM"                magic
+ *   offset  4  u32  format version   2
+ *   offset  8  u64  file size        must equal the real size; rejects
+ *                                    truncation/trailing bytes before
+ *                                    any payload is touched
+ *   offset 16  u64  checksum         fnv1a64Striped over [24, size)
+ *   offset 24  u64  section count    1 (META) + 6 per layer
+ *   offset 32  directory             section count x {u64 offset,
+ *                                    u64 size}; offsets 64-byte
+ *                                    aligned, ascending, gaps zeroed
+ *   ...        sections
+ *
+ * Section 0 is META: the scalar stream (cache key, ModelSpec,
+ * ServeModelOptions, build ms, per-layer scalars/shapes/stream
+ * headers) plus, for each bulk payload, the index of the section that
+ * holds its bytes. Each layer owns six bulk sections, in canonical
+ * order: slice planes, total codes (i32), HO mask (u8), RLE entries
+ * ({u16 skip, u16 zero, u32 index} x stored, concatenated across the
+ * layer's streams), RLE payloads (Slice), folded bias (i64). Bulk
+ * bytes are raw element bytes, i.e. the host's layout - identical on
+ * every x86-64 host, the only architecture the SIMD engine targets.
+ *
+ * SIGBUS / corruption discipline on the mapped path: the declared file
+ * size, the striped checksum and every structural invariant (directory
+ * bounds + alignment, shapes, RLE entry chains and padding) are
+ * validated BEFORE any view is handed out, so a truncated or
+ * bit-flipped file fails with SerializeError - it can never surface
+ * later as a fault inside a kernel reading the mapping.
+ *
+ * Every reader-side structural violation (bad magic, unsupported
+ * version, checksum mismatch, truncation, out-of-range enum, trailing
+ * bytes, key/fingerprint mismatch) throws SerializeError; a load never
  * returns a partially-initialized model.
  *
  * This header is internal; the public entry points are
@@ -71,31 +88,57 @@ class SerializeError : public std::runtime_error
 };
 
 /** Current compiled-model format version (bumped on layout changes). */
-inline constexpr std::uint32_t kCompiledModelFormatVersion = 1;
+inline constexpr std::uint32_t kCompiledModelFormatVersion = 2;
+
+/** The legacy copying format; still read (and written on request). */
+inline constexpr std::uint32_t kCompiledModelLegacyFormatVersion = 1;
+
+/** @return whether a reader of this build can load format version v. */
+inline constexpr bool
+isSupportedCompiledModelVersion(std::uint32_t v)
+{
+    return v == kCompiledModelFormatVersion ||
+           v == kCompiledModelLegacyFormatVersion;
+}
 
 /** Conventional file extension of compiled models. */
 inline constexpr const char *kCompiledModelExtension = ".pncm";
 
 /**
  * Serialize a prepared model to a stream; throws SerializeError when
- * the stream fails. The byte sequence is a pure function of the
- * model's prepared state (timing fields excluded except the recorded
- * build cost), so save -> load -> save reproduces identical bytes.
+ * the stream fails or `version` is unsupported. The byte sequence is a
+ * pure function of (prepared state, version) - timing fields excluded
+ * except the recorded build cost - so save -> load -> save reproduces
+ * identical bytes, for either version.
  */
-void writeServedModel(std::ostream &out, const ServedModel &model);
+void writeServedModel(std::ostream &out, const ServedModel &model,
+                      std::uint32_t version = kCompiledModelFormatVersion);
 
 /**
- * Deserialize a model; throws SerializeError on any structural defect
- * (see file header). The returned model is immutable and ready to
- * serve - no calibration, slicing, RLE or HO work happens here.
+ * Deserialize a model (either supported version); throws
+ * SerializeError on any structural defect (see file header). The
+ * returned model is immutable and ready to serve - no calibration,
+ * slicing, RLE or HO work happens here. Stream loads always own their
+ * payloads (v2 views point into an arena copy of the file image); use
+ * loadServedModel() for the mmap-backed path.
  */
 std::shared_ptr<const ServedModel> readServedModel(std::istream &in);
 
 /** writeServedModel() to `path` (atomic: temp file + rename). */
-void saveServedModel(const ServedModel &model, const std::string &path);
+void saveServedModel(const ServedModel &model, const std::string &path,
+                     std::uint32_t version = kCompiledModelFormatVersion);
 
-/** readServedModel() from `path`; SerializeError covers I/O too. */
-std::shared_ptr<const ServedModel> loadServedModel(const std::string &path);
+/**
+ * Load a compiled model from `path`; SerializeError covers I/O too.
+ *
+ * With `allow_mmap` (the default) a v2 file is mapped read-only and
+ * consumed in place (model->mappedBytes() > 0); the copying decode is
+ * the fallback for v1 files, platforms without mmap, and
+ * PANACEA_MMAP=0 in the environment (the operational escape hatch -
+ * it beats allow_mmap regardless of the caller).
+ */
+std::shared_ptr<const ServedModel> loadServedModel(const std::string &path,
+                                                   bool allow_mmap = true);
 
 /**
  * @return the disk-tier file name of a cache key:
@@ -118,7 +161,7 @@ std::uint32_t peekCompiledModelVersion(const std::string &path);
 struct CacheDirReport
 {
     std::uint64_t scanned = 0;      ///< .pncm files examined
-    std::uint64_t staleVersion = 0; ///< removed: other format version
+    std::uint64_t staleVersion = 0; ///< removed: unsupported version
     std::uint64_t corrupt = 0;      ///< removed: bad magic / unreadable
     std::uint64_t evicted = 0;      ///< removed: size-cap LRU pruning
     std::uint64_t bytesFreed = 0;   ///< total bytes removed
@@ -142,9 +185,9 @@ CacheDirReport pruneCompiledModelDir(const std::string &dir,
 
 /**
  * Version-sweep a disk-tier directory: remove every .pncm file whose
- * envelope does not carry the CURRENT format version (stale formats a
- * reader would reject anyway) or whose envelope is unreadable/corrupt.
- * Entries of the current version are left intact. With max_bytes > 0,
+ * envelope carries a format version this build cannot READ
+ * (isSupportedCompiledModelVersion() - legacy v1 entries are valid and
+ * stay) or whose envelope is unreadable/corrupt. With max_bytes > 0,
  * follows up with pruneCompiledModelDir(). This is the library side of
  * the `panacea_cache_sweep` tool.
  */

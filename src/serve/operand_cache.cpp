@@ -20,6 +20,7 @@ PreparedModelCache::acquire(const ModelSpec &spec,
     bool builder = false;
     std::string disk_dir;
     std::uint64_t disk_cap = 0;
+    bool allow_mmap = true;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = entries_.find(key);
@@ -29,6 +30,7 @@ PreparedModelCache::acquire(const ModelSpec &spec,
             builder = true;
             disk_dir = diskDir_;
             disk_cap = diskCapBytes_;
+            allow_mmap = mmapModels_;
         } else {
             future = it->second;
             ++stats_.hits;
@@ -52,7 +54,7 @@ PreparedModelCache::acquire(const ModelSpec &spec,
                 if (std::filesystem::exists(path, ec)) {
                     const auto t0 = nowTick();
                     try {
-                        model = loadServedModel(path);
+                        model = loadServedModel(path, allow_mmap);
                         // The file stores its own key; a
                         // hash-collision or hand-renamed file for
                         // another model is rejected here, never
@@ -167,6 +169,20 @@ PreparedModelCache::diskCapBytes() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return diskCapBytes_;
+}
+
+void
+PreparedModelCache::setMmapModels(bool enable)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    mmapModels_ = enable;
+}
+
+bool
+PreparedModelCache::mmapModels() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return mmapModels_;
 }
 
 PreparedModelCache::CacheStats

@@ -105,6 +105,18 @@ class PreparedModelCache
     /** @return the disk-tier size cap in bytes (0 = unbounded). */
     std::uint64_t diskCapBytes() const;
 
+    /**
+     * Whether disk hits may map the file read-only and serve the
+     * weight payloads in place (default: on). Off forces the copying
+     * decode. PANACEA_MMAP=0 in the environment disables mapping
+     * regardless of this flag (the operational escape hatch lives in
+     * loadServedModel()).
+     */
+    void setMmapModels(bool enable);
+
+    /** @return whether disk hits may use the mmap load path. */
+    bool mmapModels() const;
+
     /** @return a consistent snapshot of the counters. */
     CacheStats stats() const;
 
@@ -128,6 +140,7 @@ class PreparedModelCache
     std::map<std::string, ModelFuture> entries_;
     std::string diskDir_;
     std::uint64_t diskCapBytes_ = 0;
+    bool mmapModels_ = true;
     CacheStats stats_;
 };
 

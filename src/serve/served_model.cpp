@@ -106,7 +106,9 @@ ServedModel::build(const ModelSpec &spec, const ServeModelOptions &opts)
 
 ServedModel
 ServedModel::restore(const ModelSpec &spec, const ServeModelOptions &opts,
-                     std::vector<AqsLinearLayer> layers, double build_ms)
+                     std::vector<AqsLinearLayer> layers, double build_ms,
+                     std::shared_ptr<const void> payload_owner,
+                     std::size_t mapped_bytes)
 {
     fatal_if(layers.empty(), "cannot restore a model without layers");
     std::size_t count = spec.layers.size();
@@ -120,6 +122,8 @@ ServedModel::restore(const ModelSpec &spec, const ServeModelOptions &opts,
     model.spec_ = spec;
     model.opts_ = opts;
     model.layers_ = std::move(layers);
+    model.payloadOwner_ = std::move(payload_owner);
+    model.mappedBytes_ = mapped_bytes;
     model.finalizeDerivedState();
     model.buildMs_ = build_ms;
     return model;
@@ -130,15 +134,25 @@ ServedModel::finalizeDerivedState()
 {
     key_ = serveModelKey(spec_, opts_);
     macsPerColumn_ = 0;
-    countCaches_.clear();
-    countCaches_.reserve(layers_.size());
-    for (const AqsLinearLayer &layer : layers_) {
+    for (const AqsLinearLayer &layer : layers_)
         macsPerColumn_ +=
             static_cast<std::uint64_t>(layer.weights().sliced.rows()) *
             layer.weights().sliced.cols();
-        countCaches_.push_back(
-            buildWeightCountingCache(layer.weights(), opts_.v));
-    }
+    // Slots only; each layer's cache materializes on first use (see
+    // countCache()) so restore from a mapped file stays map-bound.
+    countCaches_ = std::vector<WeightCountingCache>(layers_.size());
+    countCacheOnce_ =
+        std::make_unique<std::once_flag[]>(layers_.size());
+}
+
+const WeightCountingCache &
+ServedModel::countCache(std::size_t i) const
+{
+    std::call_once(countCacheOnce_[i], [this, i] {
+        countCaches_[i] =
+            buildWeightCountingCache(layers_[i].weights(), opts_.v);
+    });
+    return countCaches_[i];
 }
 
 std::size_t
@@ -205,11 +219,11 @@ ServedModel::forwardPreparedStep(std::size_t layer_index,
     // Per-request statistics out of the one batched call: counting
     // depends only on masks/streams, which are column-blocked, so
     // each range's record equals a solo run's. The weight-side mask
-    // scan comes from the per-layer cache built once at build/restore
-    // time.
+    // scan comes from the per-layer cache, materialized once on first
+    // use (countCache()).
     res.perRequest = aqsCountStatsBatch(layer.weights(), op,
                                         layer.config(),
-                                        countCaches_[layer_index],
+                                        countCache(layer_index),
                                         group_offsets);
 
     const auto tg = nowTick();

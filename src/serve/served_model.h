@@ -25,6 +25,7 @@
 #define PANACEA_SERVE_SERVED_MODEL_H
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -78,14 +79,25 @@ class ServedModel
      * entry point of the compiled-model format
      * (serve/model_serialize.h). The layers must be the ones a
      * build(spec, opts) produced (restored via AqsLinearLayer::
-     * restore()); key and per-layer counting caches are re-derived,
-     * `build_ms` records what the ORIGINAL build spent so cache
-     * accounting (buildMsSaved) stays meaningful across processes.
+     * restore()); the key is re-derived and the per-layer counting
+     * caches materialize lazily on first use, `build_ms` records what
+     * the ORIGINAL build spent so cache accounting (buildMsSaved)
+     * stays meaningful across processes.
+     *
+     * Zero-copy loads (model_serialize.h, format v2) pass
+     * `payload_owner` - the object whose memory the layers' operand
+     * views point into (a MappedFile or an Arena holding the file
+     * image); the model keeps it alive for its own lifetime.
+     * `mapped_bytes` > 0 records that the payloads live in a shared
+     * read-only file mapping of that many bytes (0 for owning loads).
      */
     static ServedModel restore(const ModelSpec &spec,
                                const ServeModelOptions &opts,
                                std::vector<AqsLinearLayer> layers,
-                               double build_ms);
+                               double build_ms,
+                               std::shared_ptr<const void> payload_owner =
+                                   nullptr,
+                               std::size_t mapped_bytes = 0);
 
     /** Result of one batched pass through the layer stack. */
     struct BatchResult
@@ -206,24 +218,41 @@ class ServedModel
     std::uint64_t macsPerColumn() const { return macsPerColumn_; }
     /** @return wall time build() spent preparing this model. */
     double buildMs() const { return buildMs_; }
+    /**
+     * @return bytes of the read-only file mapping the operand views
+     * point into, 0 when the model owns (or arena-copied) its
+     * payloads. Non-zero means the weight bytes are shared with every
+     * other process mapping the same .pncm.
+     */
+    std::size_t mappedBytes() const { return mappedBytes_; }
 
   private:
     ServedModel() = default;
 
-    /** Shared build()/restore() tail: key, MACs, counting caches. */
+    /** Shared build()/restore() tail: key, MACs, lazy-cache slots. */
     void finalizeDerivedState();
+
+    /**
+     * Layer `i`'s weight-side counting cache - the O(M/v * K) hoMask
+     * scan aqsCountStats needs - materialized on FIRST use
+     * (std::call_once, safe under concurrent readers) instead of at
+     * build/restore time: a zero-copy load must not eagerly walk every
+     * layer's mask, or map-time degrades back into decode-time. Stats
+     * stay bit-equal to the scanning path (see WeightCountingCache).
+     */
+    const WeightCountingCache &countCache(std::size_t i) const;
 
     ModelSpec spec_;
     ServeModelOptions opts_;
     std::string key_;
     std::vector<AqsLinearLayer> layers_;
-    /**
-     * Per-layer weight-side counting caches: the O(M/v * K) hoMask
-     * scan aqsCountStats needs, done once at build/restore time
-     * instead of once per micro-batch (stats stay bit-equal to the
-     * scanning path; see WeightCountingCache).
-     */
-    std::vector<WeightCountingCache> countCaches_;
+    /** Lazily-built per-layer caches; see countCache(). */
+    mutable std::vector<WeightCountingCache> countCaches_;
+    /** One flag per layer (array: once_flag is immovable). */
+    mutable std::unique_ptr<std::once_flag[]> countCacheOnce_;
+    /** Keeps the mapped file / arena behind operand views alive. */
+    std::shared_ptr<const void> payloadOwner_;
+    std::size_t mappedBytes_ = 0;
     std::uint64_t macsPerColumn_ = 0;
     double buildMs_ = 0.0;
 };

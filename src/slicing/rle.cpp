@@ -27,6 +27,8 @@ RleStream::encode(std::span<const Slice> vectors, std::size_t num_vectors,
     const std::uint16_t max_skip =
         static_cast<std::uint16_t>((1u << index_bits) - 1);
 
+    std::vector<RleEntry> entries;
+    std::vector<Slice> payloads;
     std::uint16_t run = 0;
     for (std::size_t k = 0; k < num_vectors; ++k) {
         std::span<const Slice> vec =
@@ -44,18 +46,19 @@ RleStream::encode(std::span<const Slice> vectors, std::size_t num_vectors,
         RleEntry entry;
         entry.skip = run;
         entry.vectorIndex = static_cast<std::uint32_t>(k);
-        stream.entries_.push_back(entry);
-        stream.payloads_.insert(stream.payloads_.end(), vec.begin(),
-                                vec.end());
+        entries.push_back(entry);
+        payloads.insert(payloads.end(), vec.begin(), vec.end());
         run = 0;
     }
     // A trailing run needs no entry: the decoder pads to totalVectors_.
+    stream.entries_ = std::move(entries);
+    stream.payloads_ = std::move(payloads);
     return stream;
 }
 
 RleStream
-RleStream::restore(std::vector<RleEntry> entries,
-                   std::vector<Slice> payloads, std::size_t total_vectors,
+RleStream::restore(ArenaVec<RleEntry> entries,
+                   ArenaVec<Slice> payloads, std::size_t total_vectors,
                    Slice fill, int vlen, int index_bits)
 {
     panic_if(vlen <= 0, "RLE vlen must be positive");

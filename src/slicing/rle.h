@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "slicing/slice_types.h"
+#include "util/arena.h"
 #include "util/matrix.h"
 
 namespace panacea {
@@ -63,8 +64,8 @@ class RleStream
      * @param payloads     entries.size() * vlen payload slices
      * @param total_vectors original sequence length
      */
-    static RleStream restore(std::vector<RleEntry> entries,
-                             std::vector<Slice> payloads,
+    static RleStream restore(ArenaVec<RleEntry> entries,
+                             ArenaVec<Slice> payloads,
                              std::size_t total_vectors, Slice fill,
                              int vlen, int index_bits);
 
@@ -87,10 +88,13 @@ class RleStream
     std::size_t denseBits() const;
 
     /** @return entry metadata (skip counts + absolute indices). */
-    const std::vector<RleEntry> &entries() const { return entries_; }
+    std::span<const RleEntry> entries() const { return entries_; }
 
     /** @return payload slices of entry i (vlen slices). */
     std::span<const Slice> payload(std::size_t i) const;
+
+    /** @return all payload slices (storedCount() * vlen, entry order). */
+    std::span<const Slice> payloads() const { return payloads_; }
 
     /** @return the compressible fill value. */
     Slice fill() const { return fill_; }
@@ -100,8 +104,10 @@ class RleStream
     int indexBits() const { return indexBits_; }
 
   private:
-    std::vector<RleEntry> entries_;
-    std::vector<Slice> payloads_;   ///< entries_.size() * vlen_ slices
+    // Own-or-view backing: encode() owns, the zero-copy loader views
+    // into the mapped compiled-model file (util/arena.h).
+    ArenaVec<RleEntry> entries_;
+    ArenaVec<Slice> payloads_;      ///< entries_.size() * vlen_ slices
     std::size_t totalVectors_ = 0;
     Slice fill_ = 0;
     int vlen_ = defaultVectorLength;

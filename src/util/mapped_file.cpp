@@ -1,0 +1,50 @@
+#include "util/mapped_file.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PANACEA_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define PANACEA_HAVE_MMAP 0
+#endif
+
+namespace panacea {
+
+std::shared_ptr<MappedFile>
+MappedFile::open(const std::string &path)
+{
+#if PANACEA_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return nullptr;
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode) || st.st_size <= 0) {
+        ::close(fd);
+        return nullptr;
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    void *addr = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    // The mapping holds its own reference to the inode; the fd is no
+    // longer needed either way.
+    ::close(fd);
+    if (addr == MAP_FAILED)
+        return nullptr;
+    return std::shared_ptr<MappedFile>(
+        new MappedFile(static_cast<const std::byte *>(addr), size));
+#else
+    (void)path;
+    return nullptr;
+#endif
+}
+
+MappedFile::~MappedFile()
+{
+#if PANACEA_HAVE_MMAP
+    if (data_ != nullptr)
+        ::munmap(const_cast<std::byte *>(data_), size_);
+#endif
+}
+
+} // namespace panacea

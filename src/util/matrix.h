@@ -4,11 +4,19 @@
  *
  * This is intentionally a plain container: all numerics (quantization,
  * slicing, GEMM) live in their own modules and operate on Matrix views.
+ *
+ * A Matrix either OWNS its storage (the default; every constructor
+ * below) or is a non-owning VIEW over memory kept alive elsewhere
+ * (fromView - the zero-copy compiled-model load path, where element
+ * data stays inside an mmap'ed file). Views are read-only: the
+ * mutating accessors panic on a view rather than corrupt a shared
+ * read-only mapping.
  */
 
 #ifndef PANACEA_UTIL_MATRIX_H
 #define PANACEA_UTIL_MATRIX_H
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -34,27 +42,45 @@ class Matrix
         : rows_(rows), cols_(cols), data_(rows * cols, fill)
     {}
 
+    /**
+     * Non-owning read-only view of rows x cols elements at `elements`
+     * (row-major, contiguous). The caller keeps the memory alive for
+     * the view's lifetime - the compiled-model loader parks the
+     * backing mapping in the owning ServedModel.
+     */
+    static Matrix
+    fromView(const T *elements, std::size_t rows, std::size_t cols)
+    {
+        Matrix m;
+        m.rows_ = rows;
+        m.cols_ = cols;
+        m.view_ = elements;
+        return m;
+    }
+
     /** @return number of rows. */
     std::size_t rows() const { return rows_; }
     /** @return number of columns. */
     std::size_t cols() const { return cols_; }
     /** @return total number of elements. */
-    std::size_t size() const { return data_.size(); }
+    std::size_t size() const { return rows_ * cols_; }
     /** @return whether the matrix holds no elements. */
-    bool empty() const { return data_.empty(); }
+    bool empty() const { return size() == 0; }
+    /** @return whether this is a non-owning read-only view. */
+    bool isView() const { return view_ != nullptr; }
 
     /** Element access (unchecked in release builds). */
     T &
     operator()(std::size_t r, std::size_t c)
     {
-        return data_[r * cols_ + c];
+        return mutableBase()[r * cols_ + c];
     }
 
     /** Const element access. */
     const T &
     operator()(std::size_t r, std::size_t c) const
     {
-        return data_[r * cols_ + c];
+        return base()[r * cols_ + c];
     }
 
     /** Bounds-checked element access; panics when out of range. */
@@ -79,40 +105,56 @@ class Matrix
     std::span<T>
     row(std::size_t r)
     {
-        return {data_.data() + r * cols_, cols_};
+        return {mutableBase() + r * cols_, cols_};
     }
 
     /** @return const span over one row. */
     std::span<const T>
     row(std::size_t r) const
     {
-        return {data_.data() + r * cols_, cols_};
+        return {base() + r * cols_, cols_};
     }
 
     /** @return span over the whole storage. */
-    std::span<T> data() { return {data_.data(), data_.size()}; }
+    std::span<T> data() { return {mutableBase(), size()}; }
     /** @return const span over the whole storage. */
-    std::span<const T> data() const { return {data_.data(), data_.size()}; }
+    std::span<const T> data() const { return {base(), size()}; }
 
     /** Fill every element with the given value. */
     void
     fill(T value)
     {
-        std::fill(data_.begin(), data_.end(), value);
+        std::fill_n(mutableBase(), size(), value);
     }
 
-    /** Exact element-wise equality. */
+    /** Exact element-wise equality (view/owning agnostic). */
     bool
     operator==(const Matrix &other) const
     {
-        return rows_ == other.rows_ && cols_ == other.cols_ &&
-               data_ == other.data_;
+        if (rows_ != other.rows_ || cols_ != other.cols_)
+            return false;
+        const std::span<const T> a = data(), b = other.data();
+        return std::equal(a.begin(), a.end(), b.begin());
     }
 
   private:
+    const T *
+    base() const
+    {
+        return view_ != nullptr ? view_ : data_.data();
+    }
+
+    T *
+    mutableBase()
+    {
+        panic_if(view_ != nullptr, "mutating a view-backed Matrix");
+        return data_.data();
+    }
+
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
     std::vector<T> data_;
+    const T *view_ = nullptr; ///< non-null => read-only view
 };
 
 /** Convenience aliases for the element types used in this repo. */

@@ -18,6 +18,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -123,6 +125,22 @@ expectStatsEqual(const AqsStats &a, const AqsStats &b)
     EXPECT_EQ(a.xIndexBits, b.xIndexBits);
     EXPECT_EQ(a.denseNibbles, b.denseNibbles);
     EXPECT_DOUBLE_EQ(a.macsPerOuterProduct, b.macsPerOuterProduct);
+}
+
+std::uint32_t
+fieldU32(const std::string &bytes, std::size_t off)
+{
+    std::uint32_t v = 0;
+    std::memcpy(&v, bytes.data() + off, sizeof(v));
+    return v;
+}
+
+std::uint64_t
+fieldU64(const std::string &bytes, std::size_t off)
+{
+    std::uint64_t v = 0;
+    std::memcpy(&v, bytes.data() + off, sizeof(v));
+    return v;
 }
 
 /** One deterministic request through a model's stack. */
@@ -323,6 +341,166 @@ TEST(ModelSerialize, DiskTierServesColdStartWithZeroBuilds)
     EXPECT_EQ(recover.stats().misses, 1u);
     EXPECT_EQ(recover.stats().diskHits, 0u);
     EXPECT_TRUE(runOnce(*rebuilt).output == ref.output);
+}
+
+TEST(ModelSerialize, V2SectionDirectoryIsAlignedAndCoversFile)
+{
+    TempDir dir;
+    const ModelSpec spec = tinySpec();
+    CompileOptions opts;
+    const CompiledModel model = compileModel(spec, opts);
+    const std::string path = dir.file("m.pncm");
+    saveCompiledModel(model, path);
+    const std::string bytes = readFile(path);
+    ASSERT_GT(bytes.size(), 32u);
+
+    // Envelope: magic, current version, declared size == actual size.
+    EXPECT_EQ(bytes.substr(0, 4), "PNCM");
+    EXPECT_EQ(fieldU32(bytes, 4), kCompiledModelFormatVersion);
+    EXPECT_EQ(fieldU64(bytes, 8), bytes.size());
+
+    // Directory: 1 META section + 6 bulk sections per layer, offsets
+    // 64-byte aligned, ascending, non-overlapping, in bounds, and the
+    // last section ends exactly at the declared file size (no slack a
+    // mapped reader could silently run past).
+    const std::uint64_t sections = fieldU64(bytes, 24);
+    EXPECT_EQ(sections, 1u + 6u * model.layerCount());
+    const std::size_t dir_end = 32 + sections * 16;
+    ASSERT_LT(dir_end, bytes.size());
+    std::uint64_t prev_end = dir_end;
+    for (std::uint64_t s = 0; s < sections; ++s) {
+        const std::uint64_t off = fieldU64(bytes, 32 + s * 16);
+        const std::uint64_t size = fieldU64(bytes, 32 + s * 16 + 8);
+        EXPECT_EQ(off % 64, 0u) << "section " << s << " misaligned";
+        EXPECT_GE(off, prev_end) << "section " << s << " overlaps";
+        EXPECT_LE(off + size, bytes.size()) << "section " << s;
+        // Alignment gaps are zero-filled - the bytes are a pure
+        // function of the prepared state, nothing leaks in.
+        for (std::uint64_t p = prev_end; p < off; ++p)
+            ASSERT_EQ(bytes[p], '\0') << "gap byte " << p;
+        prev_end = off + size;
+    }
+    EXPECT_EQ(prev_end, bytes.size()) << "last section must end at EOF";
+}
+
+TEST(ModelSerialize, MappedAndCopyingLoadsAreBitExactAcrossIsa)
+{
+    TempDir dir;
+    const ModelSpec spec = tinySpec();
+    CompileOptions opts;
+    const CompiledModel fresh = compileModel(spec, opts);
+    const std::string path = dir.file("m.pncm");
+    saveCompiledModel(fresh, path);
+
+    // allow_mmap=true serves the weights from the mapping; the
+    // copying decode of the SAME file owns everything.
+    const CompiledModel mapped = loadCompiledModel(path, true);
+    const CompiledModel copied = loadCompiledModel(path, false);
+    EXPECT_GT(mapped.mappedBytes(), 0u);
+    EXPECT_EQ(mapped.mappedBytes(), std::filesystem::file_size(path));
+    EXPECT_EQ(copied.mappedBytes(), 0u);
+
+    // PANACEA_MMAP=0 is the operational kill switch: it wins over the
+    // caller and forces the copying decode.
+    ::setenv("PANACEA_MMAP", "0", 1);
+    const CompiledModel killed = loadCompiledModel(path, true);
+    ::unsetenv("PANACEA_MMAP");
+    EXPECT_EQ(killed.mappedBytes(), 0u);
+
+    // All three serve bit-identically to the fresh build at every
+    // runnable ISA level - outputs AND statistics.
+    IsaGuard isa_guard;
+    for (IsaLevel isa : runnableIsaLevels()) {
+        setIsaLevel(isa);
+        const auto ref = runOnce(*fresh.shared());
+        for (const CompiledModel *m : {&mapped, &copied, &killed}) {
+            const auto got = runOnce(*m->shared());
+            EXPECT_TRUE(got.output == ref.output)
+                << "outputs diverge at isa=" << toString(isa);
+            ASSERT_EQ(got.perRequest.size(), ref.perRequest.size());
+            for (std::size_t i = 0; i < ref.perRequest.size(); ++i)
+                expectStatsEqual(got.perRequest[i], ref.perRequest[i]);
+        }
+    }
+}
+
+TEST(ModelSerialize, LegacyV1WritesLoadThroughCopyingFallback)
+{
+    TempDir dir;
+    const ModelSpec spec = tinySpec();
+    CompileOptions opts;
+    const CompiledModel fresh = compileModel(spec, opts);
+
+    const std::string v1_path = dir.file("legacy.pncm");
+    saveCompiledModel(fresh, v1_path, kCompiledModelLegacyFormatVersion);
+    const std::string v2_path = dir.file("current.pncm");
+    saveCompiledModel(fresh, v2_path);
+    EXPECT_EQ(peekCompiledModelVersion(v1_path),
+              kCompiledModelLegacyFormatVersion);
+    EXPECT_EQ(peekCompiledModelVersion(v2_path),
+              kCompiledModelFormatVersion);
+
+    // A v1 file can never be served from a mapping: the loader falls
+    // back to the copying decode even with mmap allowed, and the
+    // result is bit-identical to the v2 load and the fresh build.
+    const CompiledModel v1 = loadCompiledModel(v1_path, true);
+    EXPECT_EQ(v1.mappedBytes(), 0u);
+    EXPECT_EQ(v1.key(), fresh.key());
+    const CompiledModel v2 = loadCompiledModel(v2_path, true);
+    const auto ref = runOnce(*fresh.shared());
+    EXPECT_TRUE(runOnce(*v1.shared()).output == ref.output);
+    EXPECT_TRUE(runOnce(*v2.shared()).output == ref.output);
+
+    // v1 save -> load -> save reproduces identical bytes too.
+    const std::string v1_again = dir.file("legacy_again.pncm");
+    saveCompiledModel(v1, v1_again, kCompiledModelLegacyFormatVersion);
+    EXPECT_EQ(readFile(v1_path), readFile(v1_again));
+
+    // And the v1 rejection paths still hold behind the fallback.
+    std::string bad = readFile(v1_path);
+    bad[bad.size() / 2] ^= 0x20;
+    const std::string bad_path = dir.file("legacy_bad.pncm");
+    writeFile(bad_path, bad);
+    EXPECT_THROW(loadCompiledModel(bad_path), SerializeError);
+    writeFile(bad_path, readFile(v1_path).substr(0, bad.size() / 2));
+    EXPECT_THROW(loadCompiledModel(bad_path), SerializeError);
+}
+
+TEST(ModelSerialize, SweepKeepsEveryReadableVersion)
+{
+    TempDir dir;
+    const ModelSpec spec = tinySpec();
+    CompileOptions opts;
+    opts.maxLayers = 1;
+    const CompiledModel model = compileModel(spec, opts);
+
+    // Two valid artifacts (one per readable version), one from the
+    // future, one corrupt, one unrelated file.
+    saveCompiledModel(model, dir.file("v2.pncm"));
+    saveCompiledModel(model, dir.file("v1.pncm"),
+                      kCompiledModelLegacyFormatVersion);
+    std::string future = readFile(dir.file("v2.pncm"));
+    future[4] = static_cast<char>(future[4] + 55);
+    writeFile(dir.file("future.pncm"), future);
+    writeFile(dir.file("garbage.pncm"), "not a compiled model");
+    writeFile(dir.file("notes.txt"), "ignored: wrong extension");
+
+    const serve::CacheDirReport report =
+        serve::sweepCompiledModelDir(dir.path.string());
+    EXPECT_EQ(report.scanned, 4u);
+    EXPECT_EQ(report.staleVersion, 1u);
+    EXPECT_EQ(report.corrupt, 1u);
+    EXPECT_EQ(report.evicted, 0u);
+
+    // The sweep keeps BOTH readable versions - v1 is legacy, not
+    // stale - and ignores non-.pncm files.
+    EXPECT_TRUE(std::filesystem::exists(dir.file("v2.pncm")));
+    EXPECT_TRUE(std::filesystem::exists(dir.file("v1.pncm")));
+    EXPECT_FALSE(std::filesystem::exists(dir.file("future.pncm")));
+    EXPECT_FALSE(std::filesystem::exists(dir.file("garbage.pncm")));
+    EXPECT_TRUE(std::filesystem::exists(dir.file("notes.txt")));
+    EXPECT_NO_THROW(loadCompiledModel(dir.file("v2.pncm")));
+    EXPECT_NO_THROW(loadCompiledModel(dir.file("v1.pncm")));
 }
 
 } // namespace

@@ -7,7 +7,8 @@
  * format versions and corrupt envelopes - and, with --max-mb, enforces
  * a size cap by least-recently-used pruning (disk hits refresh a
  * file's timestamp, so idle entries go first; the newest entry always
- * survives). Entries of the current format version are left intact.
+ * survives). Entries of any READABLE format version are left intact -
+ * legacy v1 files still load (via the copying path) and stay.
  *
  * Usage:
  *   panacea_cache_sweep <dir> [--max-mb=N] [--dry-run]
@@ -84,9 +85,9 @@ main(int argc, char **argv)
             ++scanned;
             bytes += de.file_size();
             try {
-                if (panacea::serve::peekCompiledModelVersion(
-                        de.path().string()) !=
-                    panacea::serve::kCompiledModelFormatVersion) {
+                if (!panacea::serve::isSupportedCompiledModelVersion(
+                        panacea::serve::peekCompiledModelVersion(
+                            de.path().string()))) {
                     ++stale;
                     continue;
                 }
