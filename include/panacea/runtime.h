@@ -32,6 +32,7 @@
 #include <string>
 
 #include "panacea/compiled_model.h"
+#include "panacea/fleet.h"
 #include "panacea/session.h"
 #include "serve/operand_cache.h"
 
@@ -91,6 +92,12 @@ struct RuntimeOptions
      * outputs.
      */
     bool mmapModels = true;
+    /**
+     * Default replica count for createFleet(): the value used when
+     * FleetOptions::replicas is left at 0. 0 here defers to the
+     * PANACEA_REPLICAS environment variable, falling back to 2.
+     */
+    int replicas = 0;
 };
 
 /** The public API root; see the file header. */
@@ -116,6 +123,15 @@ class Runtime
 
     /** Create a serving session over this runtime's cache. */
     Session createSession(const SessionOptions &opts = {});
+
+    /**
+     * Create a multi-replica serving fleet (see panacea/fleet.h).
+     * opts.replicas == 0 takes RuntimeOptions::replicas, then
+     * PANACEA_REPLICAS, then 2. Deploy CompiledModels from compile()
+     * or loadCompiledModel() - with mmapModels, every replica shares
+     * one physical copy of the weights.
+     */
+    Fleet createFleet(FleetOptions opts = {});
 
     /** @return cache counters (the cold-start proof lives here). */
     CacheStats cacheStats() const { return cache_->stats(); }

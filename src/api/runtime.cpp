@@ -45,4 +45,15 @@ Runtime::createSession(const SessionOptions &opts)
     return Session(opts, cache_);
 }
 
+Fleet
+Runtime::createFleet(FleetOptions opts)
+{
+    // Precedence for the replica count: explicit FleetOptions, then
+    // RuntimeOptions::replicas; 0 lets the router read
+    // PANACEA_REPLICAS and fall back to 2.
+    if (opts.replicas <= 0)
+        opts.replicas = opts_.replicas;
+    return Fleet(opts);
+}
+
 } // namespace panacea

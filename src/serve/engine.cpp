@@ -142,6 +142,18 @@ InferenceEngine::submit(std::shared_ptr<const ServedModel> model,
         std::lock_guard<std::mutex> lock(mutex_);
         if (stopping_)
             return reject("submit() after engine shutdown began");
+        // A submit racing drain() must reject-or-complete, never
+        // hang: accepting it would move the drain's goalposts (a fast
+        // submitter could extend the wait forever), and once the
+        // drainer proceeds to teardown an accepted-but-unserved
+        // future dangles. Rejection is typed distinctly from
+        // malformed-request rejection so callers can retry.
+        if (draining_ > 0) {
+            std::promise<RequestResult> rp;
+            rp.set_exception(std::make_exception_ptr(std::runtime_error(
+                "submit() rejected: drain() in progress")));
+            return rp.get_future();
+        }
         p.id = nextId_++;
         ModelQueue *mq = findQueue(p.model.get());
         if (mq == nullptr) {
@@ -183,8 +195,10 @@ InferenceEngine::drain()
 {
     start();
     std::unique_lock<std::mutex> lock(mutex_);
+    ++draining_; // submit() rejects while any drain is in progress
     drainCv_.wait(lock,
                   [&] { return pendingCount_ == 0 && inFlight_ == 0; });
+    --draining_;
 }
 
 void
@@ -319,7 +333,7 @@ InferenceEngine::takeAdmissions(const ServedModel *model,
 
 ActivationOperand
 InferenceEngine::prepareLayer0Concat(const ServedModel &model,
-                                     const std::vector<Member> &members)
+                                     std::span<const Member> members)
 {
     std::vector<ActivationOperand> ops;
     ops.reserve(members.size());
@@ -336,7 +350,7 @@ InferenceEngine::prepareLayer0Concat(const ServedModel &model,
 
 MatrixF
 InferenceEngine::catchUp(const ServedModel &model,
-                         std::vector<Member> &newcomers,
+                         std::span<Member> newcomers,
                          std::span<const std::size_t> offsets,
                          std::size_t upto, double &prep_ms,
                          double &gemm_ms)
@@ -395,161 +409,191 @@ InferenceEngine::runStack(const std::shared_ptr<const ServedModel> &model,
     double prep_ms = 0.0;
     double gemm_ms = 0.0;
 
-    // Layer-0 prep per request + column concat. This stage runs
-    // concurrently across workers - it overlaps another worker's GEMM.
-    auto tp = nowTick();
-    ActivationOperand op = prepareLayer0Concat(*model, members);
-    prep_ms += msSince(tp);
+    // Everything through promise fulfilment runs under one try: a
+    // throw mid-cohort (the EngineOptions::stepHook fault seam, or a
+    // prep/kernel failure) is delivered to EVERY member's future -
+    // mid-stack admissions join `members` BEFORE their catch-up
+    // replay runs, so they are covered too - and the worker moves on
+    // to the next batch. Futures never dangle, and the caller's
+    // inFlight_ accounting stays exact: the return value counts every
+    // member on both paths.
+    try {
+        // Layer-0 prep per request + column concat. This stage runs
+        // concurrently across workers - it overlaps another worker's
+        // GEMM.
+        auto tp = nowTick();
+        ActivationOperand op = prepareLayer0Concat(*model, members);
+        prep_ms += msSince(tp);
 
-    // The layer-stepped core: one forwardPreparedStep() per layer,
-    // with continuous admission between steps. gemmMutex_ is taken
-    // per step inside forwardPreparedStep, so another worker's prep
-    // (layer 0 above, catch-up, inter-layer quantize/slice) genuinely
-    // overlaps this cohort's kernels.
-    MatrixF cur;
-    for (std::size_t li = 0; li < layer_count; ++li) {
-        if (li > 0) {
-            // Continuous admission BEFORE preparing layer li's
-            // operand: newcomers catch up through layers 0..li-1 as
-            // their own mini-cohort, then their prepared layer-li
-            // operand is spliced onto the cohort's by column concat.
-            std::vector<Pending> admitted;
-            if (opts_.continuous &&
-                li <= static_cast<std::size_t>(opts_.maxAdmissionLayer))
-                admitted =
-                    takeAdmissions(model.get(), offsets.back() * uv);
+        // The layer-stepped core: one forwardPreparedStep() per
+        // layer, with continuous admission between steps. gemmMutex_
+        // is taken per step inside forwardPreparedStep, so another
+        // worker's prep (layer 0 above, catch-up, inter-layer
+        // quantize/slice) genuinely overlaps this cohort's kernels.
+        MatrixF cur;
+        for (std::size_t li = 0; li < layer_count; ++li) {
+            if (li > 0) {
+                // Continuous admission BEFORE preparing layer li's
+                // operand: newcomers catch up through layers 0..li-1
+                // as their own mini-cohort, then their prepared
+                // layer-li operand is spliced onto the cohort's by
+                // column concat.
+                std::vector<Pending> admitted;
+                if (opts_.continuous &&
+                    li <= static_cast<std::size_t>(
+                              opts_.maxAdmissionLayer))
+                    admitted = takeAdmissions(model.get(),
+                                              offsets.back() * uv);
 
-            tp = nowTick();
-            op = model->prepareStepInput(li, cur);
-            prep_ms += msSince(tp);
-
-            if (!admitted.empty()) {
-                const auto now = std::chrono::steady_clock::now();
-                std::vector<Member> newcomers;
-                newcomers.reserve(admitted.size());
-                std::vector<std::size_t> noffsets(admitted.size() + 1,
-                                                  0);
-                for (std::size_t r = 0; r < admitted.size(); ++r) {
-                    Member m;
-                    m.p = std::move(admitted[r]);
-                    m.admitted = now;
-                    m.admittedAtLayer = li;
-                    noffsets[r + 1] =
-                        noffsets[r] + m.p.input.cols() / uv;
-                    newcomers.push_back(std::move(m));
-                }
-                MatrixF ncur = catchUp(*model, newcomers, noffsets, li,
-                                       prep_ms, gemm_ms);
                 tp = nowTick();
-                ActivationOperand nop =
-                    model->prepareStepInput(li, ncur);
-                const ActivationOperand *parts[2] = {&op, &nop};
-                op = concatActivationOperands(parts,
-                                              model->layer(li).config());
+                op = model->prepareStepInput(li, cur);
                 prep_ms += msSince(tp);
-                // Splice the scheduling state: members append in
-                // admission order, ranges shift by the cohort's group
-                // count. Each member's range is preserved verbatim,
-                // which is what keeps its stats and output split
-                // bit-exact.
-                const std::size_t base = offsets.back();
-                for (std::size_t r = 0; r < newcomers.size(); ++r) {
-                    offsets.push_back(base + noffsets[r + 1]);
-                    members.push_back(std::move(newcomers[r]));
+
+                if (!admitted.empty()) {
+                    const auto now = std::chrono::steady_clock::now();
+                    const std::size_t first_new = members.size();
+                    std::vector<std::size_t> noffsets(
+                        admitted.size() + 1, 0);
+                    for (std::size_t r = 0; r < admitted.size();
+                         ++r) {
+                        Member m;
+                        m.p = std::move(admitted[r]);
+                        m.admitted = now;
+                        m.admittedAtLayer = li;
+                        noffsets[r + 1] =
+                            noffsets[r] + m.p.input.cols() / uv;
+                        members.push_back(std::move(m));
+                    }
+                    MatrixF ncur = catchUp(
+                        *model,
+                        std::span<Member>(members).subspan(first_new),
+                        noffsets, li, prep_ms, gemm_ms);
+                    tp = nowTick();
+                    ActivationOperand nop =
+                        model->prepareStepInput(li, ncur);
+                    const ActivationOperand *parts[2] = {&op, &nop};
+                    op = concatActivationOperands(
+                        parts, model->layer(li).config());
+                    prep_ms += msSince(tp);
+                    // Splice the scheduling state: members appended
+                    // in admission order above, ranges shift by the
+                    // cohort's group count. Each member's range is
+                    // preserved verbatim, which is what keeps its
+                    // stats and output split bit-exact.
+                    const std::size_t base = offsets.back();
+                    for (std::size_t r = 1; r < noffsets.size(); ++r)
+                        offsets.push_back(base + noffsets[r]);
                 }
             }
+            // The fault-injection seam: invoked right before each
+            // MAIN cohort step (catch-up mini-cohorts replay layers
+            // the hook already saw and do not re-invoke it).
+            if (opts_.stepHook)
+                opts_.stepHook(li);
+            ServedModel::StepResult step =
+                model->forwardPreparedStep(li, op, offsets,
+                                           &gemmMutex_);
+            for (std::size_t r = 0; r < members.size(); ++r)
+                members[r].stats += step.perRequest[r];
+            gemm_ms += step.gemmMs;
+            cur = std::move(step.next);
         }
-        ServedModel::StepResult step =
-            model->forwardPreparedStep(li, op, offsets, &gemmMutex_);
-        for (std::size_t r = 0; r < members.size(); ++r)
-            members[r].stats += step.perRequest[r];
-        gemm_ms += step.gemmMs;
-        cur = std::move(step.next);
-    }
 
-    // `cur` now holds the final layer's output; split its columns
-    // back per member.
-    const auto tdone = std::chrono::steady_clock::now();
-    const std::size_t requests = members.size();
-    const std::size_t m_out = cur.rows();
-    std::vector<RequestResult> results(requests);
-    for (std::size_t r = 0; r < requests; ++r) {
-        const std::size_t c0 = offsets[r] * uv;
-        const std::size_t c1 = offsets[r + 1] * uv;
-        const Member &m = members[r];
-        RequestResult &rr = results[r];
-        rr.id = m.p.id;
-        rr.stats = m.stats;
-        rr.batchSize = requests;
-        rr.batchSeq = batch_seq;
-        rr.admittedAtLayer = m.admittedAtLayer;
-        rr.output = MatrixF(m_out, c1 - c0);
-        for (std::size_t row = 0; row < m_out; ++row) {
-            const auto src = cur.row(row);
-            std::copy(src.begin() + static_cast<std::ptrdiff_t>(c0),
-                      src.begin() + static_cast<std::ptrdiff_t>(c1),
-                      rr.output.row(row).begin());
-        }
-        rr.latencyMs = std::chrono::duration<double, std::milli>(
-                           tdone - m.p.submitted)
-                           .count();
-        rr.queueWaitMs = std::chrono::duration<double, std::milli>(
-                             m.admitted - m.p.submitted)
-                             .count();
-        rr.executeMs = std::chrono::duration<double, std::milli>(
-                           tdone - m.admitted)
-                           .count();
-    }
-
-    // Record counters BEFORE fulfilling futures: once a caller's
-    // future resolves, stats() already includes its request.
-    {
-        std::lock_guard<std::mutex> stats_lock(statsMutex_);
-        // The three timing rings advance in lockstep so the latency,
-        // queue-wait and execute percentile series always cover the
-        // same completed requests.
-        const auto push = [&](std::vector<float> &ring, double v) {
-            if (ring.size() < kLatencyWindow)
-                ring.push_back(static_cast<float>(v));
-            else
-                ring[latencyNext_ % kLatencyWindow] =
-                    static_cast<float>(v);
-        };
+        // `cur` now holds the final layer's output; split its
+        // columns back per member.
+        const auto tdone = std::chrono::steady_clock::now();
+        const std::size_t requests = members.size();
+        const std::size_t m_out = cur.rows();
+        std::vector<RequestResult> results(requests);
         for (std::size_t r = 0; r < requests; ++r) {
+            const std::size_t c0 = offsets[r] * uv;
+            const std::size_t c1 = offsets[r + 1] * uv;
             const Member &m = members[r];
-            const AqsStats &rs = m.stats;
-            // Integer counters only: exact sums, so the fold is
-            // identical for every completion order. stats()
-            // reconstructs the floating macsPerOuterProduct mean from
-            // the exact weighted sum below.
-            aggregate_.addCounters(rs);
-            // v*v and denseOuterProducts are integers, so each term
-            // (and the running sum, up to 2^53) is exact: the mean
-            // reconstructed in stats() is order-independent.
-            macsWeightedSum_ +=
-                rs.macsPerOuterProduct *
-                static_cast<double>(rs.denseOuterProducts);
-            ++requests_;
-            push(latenciesMs_, results[r].latencyMs);
-            push(queueWaitsMs_, results[r].queueWaitMs);
-            push(executesMs_, results[r].executeMs);
-            ++latencyNext_;
-            if (admissionHist_.size() <= m.admittedAtLayer)
-                admissionHist_.resize(m.admittedAtLayer + 1, 0);
-            ++admissionHist_[m.admittedAtLayer];
+            RequestResult &rr = results[r];
+            rr.id = m.p.id;
+            rr.stats = m.stats;
+            rr.batchSize = requests;
+            rr.batchSeq = batch_seq;
+            rr.admittedAtLayer = m.admittedAtLayer;
+            rr.output = MatrixF(m_out, c1 - c0);
+            for (std::size_t row = 0; row < m_out; ++row) {
+                const auto src = cur.row(row);
+                std::copy(src.begin() +
+                              static_cast<std::ptrdiff_t>(c0),
+                          src.begin() +
+                              static_cast<std::ptrdiff_t>(c1),
+                          rr.output.row(row).begin());
+            }
+            rr.latencyMs = std::chrono::duration<double, std::milli>(
+                               tdone - m.p.submitted)
+                               .count();
+            rr.queueWaitMs =
+                std::chrono::duration<double, std::milli>(
+                    m.admitted - m.p.submitted)
+                    .count();
+            rr.executeMs = std::chrono::duration<double, std::milli>(
+                               tdone - m.admitted)
+                               .count();
         }
-        ++batches_;
-        maxBatch_ = std::max(maxBatch_, requests);
-        const std::uint64_t cols = offsets.back() * uv;
-        columns_ += cols;
-        macs_ += cols * model->macsPerColumn();
-        prepMs_ += prep_ms;
-        gemmMs_ += gemm_ms;
-    }
 
-    for (std::size_t r = 0; r < requests; ++r)
-        members[r].p.promise.set_value(std::move(results[r]));
-    return requests;
+        // Record counters BEFORE fulfilling futures: once a caller's
+        // future resolves, stats() already includes its request.
+        {
+            std::lock_guard<std::mutex> stats_lock(statsMutex_);
+            // The three timing rings advance in lockstep so the
+            // latency, queue-wait and execute percentile series
+            // always cover the same completed requests.
+            const auto push = [&](std::vector<float> &ring, double v) {
+                if (ring.size() < kLatencyWindow)
+                    ring.push_back(static_cast<float>(v));
+                else
+                    ring[latencyNext_ % kLatencyWindow] =
+                        static_cast<float>(v);
+            };
+            for (std::size_t r = 0; r < requests; ++r) {
+                const Member &m = members[r];
+                const AqsStats &rs = m.stats;
+                // Integer counters only: exact sums, so the fold is
+                // identical for every completion order. stats()
+                // reconstructs the floating macsPerOuterProduct mean
+                // from the exact weighted sum below.
+                aggregate_.addCounters(rs);
+                // v*v and denseOuterProducts are integers, so each
+                // term (and the running sum, up to 2^53) is exact:
+                // the mean reconstructed in stats() is
+                // order-independent.
+                macsWeightedSum_ +=
+                    rs.macsPerOuterProduct *
+                    static_cast<double>(rs.denseOuterProducts);
+                ++requests_;
+                push(latenciesMs_, results[r].latencyMs);
+                push(queueWaitsMs_, results[r].queueWaitMs);
+                push(executesMs_, results[r].executeMs);
+                ++latencyNext_;
+                if (admissionHist_.size() <= m.admittedAtLayer)
+                    admissionHist_.resize(m.admittedAtLayer + 1, 0);
+                ++admissionHist_[m.admittedAtLayer];
+            }
+            ++batches_;
+            maxBatch_ = std::max(maxBatch_, requests);
+            const std::uint64_t cols = offsets.back() * uv;
+            columns_ += cols;
+            macs_ += cols * model->macsPerColumn();
+            prepMs_ += prep_ms;
+            gemmMs_ += gemm_ms;
+        }
+
+        for (std::size_t r = 0; r < requests; ++r)
+            members[r].p.promise.set_value(std::move(results[r]));
+    } catch (...) {
+        // Fault delivery: the cohort aborts as a unit, every
+        // member's future receives the exception, and the engine
+        // keeps serving subsequent batches
+        // (tests/test_serve_engine.cpp, tests/test_fleet_faults.cpp).
+        for (Member &m : members)
+            m.p.promise.set_exception(std::current_exception());
+    }
+    return members.size();
 }
 
 EngineStats

@@ -80,9 +80,11 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -154,6 +156,19 @@ struct EngineOptions
      * --arrivals). 0 picks 1; raise it to admit at every boundary.
      */
     int maxAdmissionLayer = 0;
+    /**
+     * Deterministic fault-injection seam (null = no overhead): the
+     * executing worker calls stepHook(L) immediately before each main
+     * cohort layer step L (catch-up mini-cohorts do not re-invoke it).
+     * The hook may BLOCK (stall injection - the cohort, and with one
+     * worker the whole engine, freezes until the hook returns) or
+     * THROW (fault injection - the cohort aborts, every member's
+     * future receives the exception, and the worker moves on to the
+     * next batch; the engine itself stays serviceable). This is what
+     * the fleet router's quarantine tests drive
+     * (serve/fleet.h FleetTestHooks, tests/test_fleet_faults.cpp).
+     */
+    std::function<void(std::size_t layer)> stepHook;
 };
 
 /**
@@ -194,7 +209,10 @@ class InferenceEngine
      * (null model, wrong feature rows, bad column count) or a submit
      * after shutdown began is rejected through the future itself -
      * get() throws std::invalid_argument - and never disturbs other
-     * requests.
+     * requests. A submit racing a drain() is rejected the same way
+     * (get() throws std::runtime_error): accepting it could keep
+     * extending the drain forever, and fulfilling the rejection
+     * through the future means no submission ever hangs.
      */
     std::future<RequestResult>
     submit(std::shared_ptr<const ServedModel> model, MatrixF input);
@@ -207,8 +225,14 @@ class InferenceEngine
     void start();
 
     /**
-     * Block until every submitted request has completed. Implies
-     * start(): draining a paused engine would otherwise never return.
+     * Block until every request submitted BEFORE the call has
+     * completed. Implies start(): draining a paused engine would
+     * otherwise never return. While a drain is in progress concurrent
+     * submit() calls are rejected through their futures
+     * (std::runtime_error) - previously they were accepted, which let
+     * a fast submitter extend the drain unboundedly and left a
+     * submit-after-teardown future hanging. Reject-or-complete is
+     * pinned in tests/test_serve_engine.cpp.
      */
     void drain();
 
@@ -250,7 +274,7 @@ class InferenceEngine
      * @return their float activations adapted for layer `upto`.
      */
     MatrixF catchUp(const ServedModel &model,
-                    std::vector<Member> &newcomers,
+                    std::span<Member> newcomers,
                     std::span<const std::size_t> offsets,
                     std::size_t upto, double &prep_ms, double &gemm_ms);
 
@@ -261,7 +285,7 @@ class InferenceEngine
      */
     static ActivationOperand
     prepareLayer0Concat(const ServedModel &model,
-                        const std::vector<Member> &members);
+                        std::span<const Member> members);
 
     /** The model's ring slot, or nullptr (requires mutex_). */
     ModelQueue *findQueue(const ServedModel *model);
@@ -286,6 +310,7 @@ class InferenceEngine
     std::uint64_t nextBatchSeq_ = 0;
     bool started_ = false;
     bool stopping_ = false;
+    int draining_ = 0; ///< active drain() calls; submit() rejects while > 0
 
     std::mutex gemmMutex_; ///< one GEMM at a time on the shared pool
 

@@ -1,0 +1,583 @@
+#include "serve/fleet.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#include "util/fnv.h"
+#include "util/walltime.h"
+
+namespace panacea {
+namespace serve {
+
+namespace {
+
+int
+defaultReplicas()
+{
+    if (const char *env = std::getenv("PANACEA_REPLICAS")) {
+        long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<int>(v);
+    }
+    return 2;
+}
+
+/** Default per-replica outstanding-column bound (router + engine). */
+constexpr std::size_t kDefaultQueueCapColumns = 256;
+
+/** Default cap on columns forwarded into the engine at once. */
+constexpr std::size_t kDefaultEngineDepthColumns = 64;
+
+} // namespace
+
+/**
+ * One queued fleet request. Owns the promise (single owner at every
+ * instant = exactly-once) AND the original input: the engine consumes
+ * a copy, so a faulted request can be redispatched from here.
+ */
+struct ReplicaRouter::PendingReq
+{
+    std::uint64_t id = 0;
+    std::string name;
+    std::shared_ptr<const ServedModel> model; ///< pinned at admission
+    std::uint64_t version = 0;
+    MatrixF input;
+    std::promise<FleetResult> promise;
+    std::chrono::steady_clock::time_point submitted;
+    int dispatches = 0;
+};
+
+/** A request forwarded into a replica's engine (not recallable). */
+struct ReplicaRouter::InFlightReq
+{
+    PendingReq req;
+    std::future<RequestResult> engineFut;
+};
+
+/** name -> the model version NEW submissions route to. */
+struct ReplicaRouter::Deployment
+{
+    std::string name;
+    std::shared_ptr<const ServedModel> model;
+    std::uint64_t version = 0;
+};
+
+/**
+ * The shared stall gate testHooks' stallAtLayer blocks on. One latch
+ * per router, shared_ptr-held by every stall hook so a hook caught
+ * mid-block outlives even the router (engine workers may still be
+ * inside it while the engine is being torn down).
+ */
+struct ReplicaRouter::StallLatch
+{
+    std::mutex m;
+    std::condition_variable cv;
+    bool released = false;
+
+    void release()
+    {
+        {
+            std::lock_guard<std::mutex> lock(m);
+            released = true;
+        }
+        cv.notify_all();
+    }
+    void wait()
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return released; });
+    }
+};
+
+/**
+ * One replica: an engine plus the router-side state around it. The
+ * router queue holds requests that can still be recalled on a fault;
+ * inEngine holds requests the engine owns (promise still here, but
+ * the work is committed). All fields require ReplicaRouter::mutex_
+ * except engine (thread-safe) and the thread handles.
+ */
+struct ReplicaRouter::Replica
+{
+    std::unique_ptr<InferenceEngine> engine;
+    std::deque<PendingReq> queue;
+    std::deque<InFlightReq> inEngine;
+    std::size_t queuedColumns = 0;
+    std::size_t engineColumns = 0;
+    bool quarantined = false;
+    std::string quarantineReason;
+    std::uint64_t dispatched = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t faults = 0;
+    std::uint64_t recalled = 0;
+    std::condition_variable dispatchCv;
+    std::condition_variable harvestCv;
+    std::thread dispatcher;
+    std::thread harvester;
+};
+
+ReplicaRouter::ReplicaRouter(const FleetOptions &opts) : opts_(opts)
+{
+    if (opts_.replicas <= 0)
+        opts_.replicas = defaultReplicas();
+    if (opts_.queueCapColumns == 0)
+        opts_.queueCapColumns = kDefaultQueueCapColumns;
+    if (opts_.engineDepthColumns == 0)
+        opts_.engineDepthColumns = kDefaultEngineDepthColumns;
+    if (opts_.engineDepthColumns > opts_.queueCapColumns)
+        opts_.engineDepthColumns = opts_.queueCapColumns;
+    if (opts_.placementWidth <= 0 ||
+        opts_.placementWidth > opts_.replicas)
+        opts_.placementWidth = opts_.replicas;
+    if (opts_.engine.workers <= 0)
+        opts_.engine.workers = 1;
+    // The router gates dispatch (started_), never the engines: a
+    // paused ENGINE would also pause fault delivery.
+    opts_.engine.startPaused = false;
+    started_ = !opts_.startPaused;
+    stallLatch_ = std::make_shared<StallLatch>();
+
+    const std::size_t n = static_cast<std::size_t>(opts_.replicas);
+    replicas_.reserve(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        auto rep = std::make_unique<Replica>();
+        EngineOptions eopts = opts_.engine;
+        FleetTestHooks::Replica hook;
+        if (r < opts_.testHooks.replicas.size())
+            hook = opts_.testHooks.replicas[r];
+        if (hook.throwOnCohort > 0 || hook.stallAtLayer >= 0) {
+            // Cohorts are counted at layer 0 (exactly one per cohort,
+            // catch-up replays excluded) so throwOnCohort numbers the
+            // replica's executed cohorts 1, 2, ...
+            auto cohorts =
+                std::make_shared<std::atomic<std::uint64_t>>(0);
+            std::shared_ptr<StallLatch> latch = stallLatch_;
+            eopts.stepHook = [hook, cohorts,
+                              latch](std::size_t layer) {
+                if (layer == 0 && hook.throwOnCohort > 0 &&
+                    cohorts->fetch_add(1) + 1 == hook.throwOnCohort)
+                    throw std::runtime_error(
+                        "injected engine fault (testHooks "
+                        "throwOnCohort)");
+                if (hook.stallAtLayer >= 0 &&
+                    layer ==
+                        static_cast<std::size_t>(hook.stallAtLayer))
+                    latch->wait();
+            };
+        }
+        rep->engine = std::make_unique<InferenceEngine>(eopts);
+        replicas_.push_back(std::move(rep));
+    }
+    // Threads start after every replica exists: loops index the
+    // finished vector.
+    for (std::size_t r = 0; r < n; ++r) {
+        replicas_[r]->dispatcher =
+            std::thread([this, r] { dispatchLoop(r); });
+        replicas_[r]->harvester =
+            std::thread([this, r] { harvestLoop(r); });
+    }
+}
+
+ReplicaRouter::~ReplicaRouter()
+{
+    // Unblock injected stalls first: a stalled engine can never drain
+    // and its dtor would deadlock joining workers.
+    releaseStalls();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        // Every still-queued request resolves as a typed rejection -
+        // futures never dangle across teardown. In-engine requests
+        // are the harvesters' job: engine dtors drain, so their
+        // futures all resolve.
+        for (std::unique_ptr<Replica> &rep : replicas_) {
+            while (!rep->queue.empty()) {
+                PendingReq req = std::move(rep->queue.front());
+                rep->queue.pop_front();
+                rep->queuedColumns -= req.input.cols();
+                rejectLocked(std::move(req), "router shutdown");
+            }
+        }
+    }
+    for (std::unique_ptr<Replica> &rep : replicas_) {
+        rep->dispatchCv.notify_all();
+        rep->harvestCv.notify_all();
+    }
+    for (std::unique_ptr<Replica> &rep : replicas_) {
+        rep->dispatcher.join();
+        rep->harvester.join();
+    }
+}
+
+std::uint64_t
+ReplicaRouter::deploy(std::shared_ptr<const ServedModel> model)
+{
+    if (model == nullptr)
+        throw std::invalid_argument("deploy() needs a model");
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::string &name = model->spec().name;
+    const std::uint64_t version = nextVersion_++;
+    for (Deployment &d : deployments_) {
+        if (d.name == name) {
+            // Redeploying a live name IS the hot-reload: the swap is
+            // one pointer assignment under the router mutex, so a
+            // submission sees either the old (model, version) pair or
+            // the new - never a mix. Requests already admitted hold
+            // their own shared_ptr and finish on it.
+            d.model = std::move(model);
+            d.version = version;
+            ++reloads_;
+            return version;
+        }
+    }
+    deployments_.push_back(Deployment{name, std::move(model), version});
+    return version;
+}
+
+std::uint64_t
+ReplicaRouter::reload(std::shared_ptr<const ServedModel> model)
+{
+    return deploy(std::move(model));
+}
+
+void
+ReplicaRouter::rejectLocked(PendingReq &&req, std::string why)
+{
+    FleetResult out;
+    out.outcome = FleetOutcome::Rejected;
+    out.rejectReason = std::move(why);
+    out.dispatches = req.dispatches;
+    out.modelVersion = req.version;
+    out.fleetLatencyMs = msSince(req.submitted);
+    ++rejected_;
+    ++terminal_;
+    req.promise.set_value(std::move(out));
+    drainCv_.notify_all();
+}
+
+int
+ReplicaRouter::pickReplicaLocked(const std::string &name,
+                                 std::size_t cols) const
+{
+    const int n = static_cast<int>(replicas_.size());
+    const int width = opts_.placementWidth;
+    const int start = static_cast<int>(
+        fnv1a64(name.data(), name.size()) %
+        static_cast<std::uint64_t>(n));
+    int best = -1;
+    std::size_t best_out = 0;
+    // Scan replica indices in INCREASING order (placement membership
+    // filters) so least-outstanding ties break toward the lowest
+    // index - the property the pinned-dispatch tests replicate.
+    for (int r = 0; r < n; ++r) {
+        const int off = (r - start + n) % n;
+        if (off >= width)
+            continue;
+        const Replica &rep = *replicas_[static_cast<std::size_t>(r)];
+        if (rep.quarantined)
+            continue;
+        const std::size_t out = rep.queuedColumns + rep.engineColumns;
+        if (out + cols > opts_.queueCapColumns)
+            continue;
+        if (best < 0 || out < best_out) {
+            best = r;
+            best_out = out;
+        }
+    }
+    return best;
+}
+
+void
+ReplicaRouter::enqueueLocked(int r, PendingReq &&req)
+{
+    Replica &rep = *replicas_[static_cast<std::size_t>(r)];
+    rep.queuedColumns += req.input.cols();
+    rep.queue.push_back(std::move(req));
+}
+
+void
+ReplicaRouter::redispatchLocked(PendingReq &&req)
+{
+    const int r = pickReplicaLocked(req.name, req.input.cols());
+    if (r < 0) {
+        rejectLocked(std::move(req),
+                     "shed after replica fault: no healthy replica "
+                     "with capacity");
+        return;
+    }
+    ++redispatched_;
+    enqueueLocked(r, std::move(req));
+    replicas_[static_cast<std::size_t>(r)]->dispatchCv.notify_all();
+}
+
+void
+ReplicaRouter::quarantineLocked(std::size_t r, const std::string &why)
+{
+    Replica &rep = *replicas_[r];
+    if (rep.quarantined)
+        return;
+    rep.quarantined = true;
+    rep.quarantineReason = why;
+    // Recall the router queue (the engine never saw these) and move
+    // each, FIFO, to a healthy replica - or shed it typed. The
+    // in-engine list stays: those requests are the engine's to
+    // finish.
+    std::deque<PendingReq> recalled = std::move(rep.queue);
+    rep.queue.clear();
+    rep.queuedColumns = 0;
+    rep.recalled += recalled.size();
+    while (!recalled.empty()) {
+        redispatchLocked(std::move(recalled.front()));
+        recalled.pop_front();
+    }
+}
+
+std::future<FleetResult>
+ReplicaRouter::submit(const std::string &model_name, MatrixF input)
+{
+    PendingReq req;
+    req.name = model_name;
+    req.input = std::move(input);
+    req.submitted = nowTick();
+    std::future<FleetResult> fut = req.promise.get_future();
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++submitted_;
+    req.id = submitted_;
+    if (stopping_) {
+        rejectLocked(std::move(req), "router shutdown");
+        return fut;
+    }
+    if (draining_ > 0) {
+        // Same reject-or-complete contract as the engine's drain():
+        // accepting would extend the drain unboundedly.
+        rejectLocked(std::move(req), "drain in progress");
+        return fut;
+    }
+    Deployment *dep = nullptr;
+    for (Deployment &d : deployments_) {
+        if (d.name == model_name) {
+            dep = &d;
+            break;
+        }
+    }
+    if (dep == nullptr) {
+        rejectLocked(std::move(req),
+                     "unknown model '" + model_name + "'");
+        return fut;
+    }
+    const std::size_t uv =
+        static_cast<std::size_t>(dep->model->options().v);
+    if (req.input.rows() != dep->model->inputFeatures() ||
+        req.input.cols() == 0 || req.input.cols() % uv != 0) {
+        rejectLocked(std::move(req),
+                     "malformed request: need " +
+                         std::to_string(dep->model->inputFeatures()) +
+                         " rows x positive multiple of v=" +
+                         std::to_string(uv) + " cols, got " +
+                         std::to_string(req.input.rows()) + "x" +
+                         std::to_string(req.input.cols()));
+        return fut;
+    }
+    // Admission pins the (model, version) pair: a reload after this
+    // point does not touch this request.
+    req.model = dep->model;
+    req.version = dep->version;
+    const int r = pickReplicaLocked(model_name, req.input.cols());
+    if (r < 0) {
+        bool any_healthy = false;
+        for (const std::unique_ptr<Replica> &rep : replicas_)
+            any_healthy = any_healthy || !rep->quarantined;
+        rejectLocked(std::move(req),
+                     any_healthy
+                         ? "queue full: every placement replica at "
+                           "its column bound"
+                         : "no healthy replica");
+        return fut;
+    }
+    enqueueLocked(r, std::move(req));
+    lock.unlock();
+    replicas_[static_cast<std::size_t>(r)]->dispatchCv.notify_all();
+    return fut;
+}
+
+void
+ReplicaRouter::start()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        started_ = true;
+    }
+    for (std::unique_ptr<Replica> &rep : replicas_)
+        rep->dispatchCv.notify_all();
+}
+
+void
+ReplicaRouter::drain()
+{
+    start();
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++draining_;
+    drainCv_.wait(lock, [&] { return terminal_ == submitted_; });
+    --draining_;
+}
+
+void
+ReplicaRouter::releaseStalls()
+{
+    stallLatch_->release();
+}
+
+void
+ReplicaRouter::dispatchLoop(std::size_t ri)
+{
+    Replica &rep = *replicas_[ri];
+    double admit_delay_ms = 0.0;
+    if (ri < opts_.testHooks.replicas.size())
+        admit_delay_ms = opts_.testHooks.replicas[ri].admitDelayMs;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        rep.dispatchCv.wait(lock, [&] {
+            return stopping_ ||
+                   (started_ && !rep.quarantined &&
+                    !rep.queue.empty() &&
+                    rep.engineColumns < opts_.engineDepthColumns);
+        });
+        if (stopping_)
+            return;
+        PendingReq req = std::move(rep.queue.front());
+        rep.queue.pop_front();
+        const std::size_t cols = req.input.cols();
+        // Column accounting moves queue -> engine under the SAME lock
+        // hold, so pickReplicaLocked never sees the request counted
+        // twice or not at all.
+        rep.queuedColumns -= cols;
+        rep.engineColumns += cols;
+        ++rep.dispatched;
+        ++req.dispatches;
+        std::shared_ptr<const ServedModel> model = req.model;
+
+        lock.unlock();
+        if (admit_delay_ms > 0.0)
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                static_cast<long long>(admit_delay_ms * 1000.0)));
+        // The engine consumes a COPY: the original stays with the
+        // request so a faulted cohort can redispatch it elsewhere.
+        std::future<RequestResult> ef =
+            rep.engine->submit(std::move(model), MatrixF(req.input));
+        lock.lock();
+        rep.inEngine.push_back(
+            InFlightReq{std::move(req), std::move(ef)});
+        rep.harvestCv.notify_all();
+    }
+}
+
+void
+ReplicaRouter::harvestLoop(std::size_t ri)
+{
+    Replica &rep = *replicas_[ri];
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        rep.harvestCv.wait(lock, [&] {
+            return stopping_ || !rep.inEngine.empty();
+        });
+        if (rep.inEngine.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+        // Harvest strictly in forward order (the engine serves a
+        // replica's requests FIFO anyway). The deque reference stays
+        // valid across the unlocked wait: only this thread pops, and
+        // push_back never moves existing elements.
+        InFlightReq &front = rep.inEngine.front();
+        lock.unlock();
+        if (opts_.stallTimeoutMs > 0.0) {
+            const auto timeout = std::chrono::microseconds(
+                static_cast<long long>(opts_.stallTimeoutMs *
+                                       1000.0));
+            bool flagged = false;
+            while (front.engineFut.wait_for(timeout) !=
+                   std::future_status::ready) {
+                // Unresponsive replica: quarantine ONCE (recalls its
+                // queue), then keep waiting - the committed request
+                // completes if the stall ever releases, exactly once,
+                // here.
+                if (!flagged) {
+                    flagged = true;
+                    lock.lock();
+                    quarantineLocked(
+                        ri, "stalled: no step progress within " +
+                                std::to_string(opts_.stallTimeoutMs) +
+                                " ms");
+                    lock.unlock();
+                }
+            }
+        } else {
+            front.engineFut.wait();
+        }
+        lock.lock();
+        InFlightReq done = std::move(rep.inEngine.front());
+        rep.inEngine.pop_front();
+        rep.engineColumns -= done.req.input.cols();
+        try {
+            RequestResult res = done.engineFut.get();
+            FleetResult out;
+            out.outcome = FleetOutcome::Completed;
+            out.result = std::move(res);
+            out.replica = static_cast<int>(ri);
+            out.dispatches = done.req.dispatches;
+            out.modelVersion = done.req.version;
+            out.fleetLatencyMs = msSince(done.req.submitted);
+            ++completed_;
+            ++rep.completed;
+            ++terminal_;
+            done.req.promise.set_value(std::move(out));
+            drainCv_.notify_all();
+        } catch (const std::exception &e) {
+            // The cohort threw: this request was never answered, so
+            // it goes back through placement (or sheds, typed).
+            ++rep.faults;
+            quarantineLocked(ri, std::string("engine fault: ") +
+                                     e.what());
+            redispatchLocked(std::move(done.req));
+        }
+        // Engine capacity freed either way; and after a quarantine
+        // other replicas' dispatchers were notified by
+        // redispatchLocked.
+        rep.dispatchCv.notify_all();
+    }
+}
+
+FleetStats
+ReplicaRouter::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    FleetStats s;
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.rejected = rejected_;
+    s.redispatched = redispatched_;
+    s.reloads = reloads_;
+    s.replicas.reserve(replicas_.size());
+    for (const std::unique_ptr<Replica> &rep : replicas_) {
+        FleetStats::Replica r;
+        r.dispatched = rep->dispatched;
+        r.completed = rep->completed;
+        r.faults = rep->faults;
+        r.recalled = rep->recalled;
+        r.quarantined = rep->quarantined;
+        r.quarantineReason = rep->quarantineReason;
+        r.outstandingColumns = rep->queuedColumns + rep->engineColumns;
+        if (rep->quarantined)
+            ++s.quarantined;
+        s.replicas.push_back(std::move(r));
+    }
+    return s;
+}
+
+} // namespace serve
+} // namespace panacea

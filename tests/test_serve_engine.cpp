@@ -15,7 +15,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <future>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "isa_guard.h"
@@ -350,6 +354,110 @@ TEST(ServeEngine, MalformedRequestsAreRejectedViaFuture)
         v = 0.25f;
     InferenceResult r = session.infer(model, good);
     EXPECT_EQ(r.output.cols(), 4u);
+    EXPECT_EQ(session.stats().requests, 1u);
+}
+
+TEST(ServeEngine, DrainRejectsOrCompletesConcurrentSubmissions)
+{
+    Runtime rt;
+    const CompiledModel model = rt.compile(tinySpec());
+
+    // One worker, paused start: request A is the only thing the
+    // worker can run, and its stepHook blocks at layer 0 while a
+    // drainer thread sits inside drain(). Submissions racing that
+    // window must reject-or-complete, never hang - the old drain()
+    // accepted them silently, which let a fast submitter extend the
+    // drain forever and left late futures dangling at teardown.
+    std::promise<void> entered;
+    std::atomic<bool> entered_once{false};
+    std::atomic<bool> release{false};
+    SessionOptions opts;
+    opts.batchWindow = 1;
+    opts.batchDeadlineMs = 0.0;
+    opts.workers = 1;
+    opts.startPaused = true;
+    opts.stepHook = [&](std::size_t layer) {
+        if (layer != 0)
+            return;
+        if (!entered_once.exchange(true))
+            entered.set_value();
+        while (!release.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    };
+    Session session = rt.createSession(opts);
+
+    MatrixF x(model.inputFeatures(), 4);
+    for (auto &v : x.data())
+        v = 0.5f;
+    auto fut_a = session.submit(model, x);
+    std::thread drainer([&] { session.drain(); });
+    entered.get_future().wait(); // the worker now holds A mid-stack
+
+    // Probe until the drain window is observable: a rejected future
+    // is ready the moment submit() returns (the promise is fulfilled
+    // inline), while an accepted one cannot be - the only worker is
+    // blocked inside A's stepHook.
+    std::vector<std::future<InferenceResult>> accepted;
+    bool saw_rejection = false;
+    for (int i = 0; i < 20000 && !saw_rejection; ++i) {
+        auto f = session.submit(model, x);
+        if (f.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready) {
+            EXPECT_THROW(f.get(), std::runtime_error);
+            saw_rejection = true;
+        } else {
+            accepted.push_back(std::move(f));
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(200));
+        }
+    }
+    EXPECT_TRUE(saw_rejection)
+        << "drain() never rejected a concurrent submit";
+
+    release.store(true);
+    drainer.join();
+    // Reject-or-complete: A and every accepted racer completed.
+    EXPECT_EQ(fut_a.get().output.cols(), 4u);
+    for (auto &f : accepted)
+        EXPECT_EQ(f.get().output.cols(), 4u);
+}
+
+TEST(ServeEngine, StepHookThrowIsDeliveredThroughEveryCohortFuture)
+{
+    Runtime rt;
+    const CompiledModel model = rt.compile(tinySpec());
+
+    // Paused start + window 8: three requests form exactly one
+    // cohort, whose first layer step throws. Every member's future
+    // must receive the exception - and the engine must keep serving
+    // the next batch as if nothing happened.
+    std::atomic<std::uint64_t> cohorts{0};
+    SessionOptions opts;
+    opts.batchWindow = 8;
+    opts.batchDeadlineMs = 0.0;
+    opts.workers = 1;
+    opts.startPaused = true;
+    opts.stepHook = [&](std::size_t layer) {
+        if (layer == 0 && ++cohorts == 1)
+            throw std::runtime_error("injected engine fault");
+    };
+    Session session = rt.createSession(opts);
+
+    MatrixF x(model.inputFeatures(), 4);
+    for (auto &v : x.data())
+        v = 0.25f;
+    std::vector<std::future<InferenceResult>> doomed;
+    for (int i = 0; i < 3; ++i)
+        doomed.push_back(session.submit(model, x));
+    session.start();
+    for (auto &f : doomed)
+        EXPECT_THROW(f.get(), std::runtime_error);
+
+    // The engine survived the faulted cohort: a fresh request (cohort
+    // 2, hook passes) completes, and stats count only completions.
+    InferenceResult ok = session.infer(model, x);
+    EXPECT_EQ(ok.output.cols(), 4u);
+    session.drain();
     EXPECT_EQ(session.stats().requests, 1u);
 }
 

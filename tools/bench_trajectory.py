@@ -13,6 +13,7 @@ Usage:
 Understands both payload shapes:
   - bench_kernels:  isa_cases[] (per-ISA GMAC/s) and the top-level case
   - bench_serving:  sequential.gmacs and windows[].gmacs
+  - bench_fleet:    load_points[].gmacs (goodput at 0.5x/1x/2x load)
 Unknown files are skipped with a note, never an error - the script must
 not fail a CI run over a bench it predates.
 """
@@ -55,6 +56,8 @@ def rows_for(path, payload, commit):
         row("sequential", seq.get("gmacs"))
     for w in payload.get("windows", []):
         row("window:%s" % w.get("window", "?"), w.get("gmacs"))
+    for p in payload.get("load_points", []):
+        row("load:%sx" % p.get("factor", "?"), p.get("gmacs"))
     return out
 
 
