@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Generation benchmark: phase-aware scheduling (bounded prefill chunks
+ * + urgent decode steps) versus a naive FIFO loop (whole prompts, no
+ * phases) over the SAME seeded mixed traffic - interactive decode
+ * streams sharing one engine with long-prompt arrivals, open-loop
+ * Poisson submission times. Written against the public API
+ * (panacea::Session::generate).
+ *
+ * The workload is the one the phase split exists for: short-prompt
+ * generations holding live decode streams while long prompts land
+ * mid-run. Under FIFO a decode step queues behind whole prompts and
+ * pays their full stack latency (inter-token p99 blows up); phase-aware
+ * bounds that stall to one prefill chunk. Both modes run the identical
+ * deterministic arrival schedule on a fresh continuous session, and
+ * every generation is checked byte-for-byte against a manual
+ * whole-prompt + per-step reference loop (the FNV-1a digest of those
+ * reference outputs is the cross-process parity anchor).
+ *
+ * Usage:
+ *   bench_generation                    # opt350m, mixed traffic
+ *   bench_generation --model=deit|opt350m|bert
+ *   bench_generation --json[=out.json]  # write BENCH_generation.json
+ *   bench_generation --quick            # CI smoke variant
+ *
+ * JSON: tokens/s, TTFT p50/p99, inter-token p50/p99 and prefill-chunk
+ * counts per mode, plus the parity flag and digest. See README.md
+ * ("Bench JSON schema"). Exit code is nonzero on any parity failure.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "panacea/models.h"
+#include "panacea/runtime.h"
+#include "panacea/session.h"
+#include "panacea/util.h"
+
+using namespace panacea;
+
+namespace {
+
+struct BenchOptions
+{
+    bool writeJson = false;
+    std::string jsonPath = "BENCH_generation.json";
+    std::string model = "opt350m";
+    bool quick = false;
+};
+
+/** One generation job of the mixed traffic. */
+struct GenJob
+{
+    std::string kind; ///< "chat" (decode-heavy) or "doc" (long prompt)
+    MatrixF prompt;
+    std::size_t steps = 0;
+    std::uint64_t seed = 0;
+    double arriveMs = 0.0; ///< submission offset on the shared schedule
+    MatrixF refPrefill;    ///< manual-loop reference outputs
+    MatrixF refOutput;
+};
+
+/** One scheduling mode measured over the full traffic. */
+struct ModeResult
+{
+    std::string name;
+    double wallMs = 0.0;
+    double tokensPerSecond = 0.0;
+    double p50TtftMs = 0.0;
+    double p99TtftMs = 0.0;
+    double p50InterTokenMs = 0.0;
+    double p99InterTokenMs = 0.0;
+    std::uint64_t prefillChunks = 0;
+    std::uint64_t decodeSteps = 0;
+    bool parity = true;
+};
+
+ModelSpec
+pickModel(const std::string &name)
+{
+    if (name == "deit")
+        return deitBase();
+    if (name == "opt350m")
+        return opt350m();
+    if (name == "bert")
+        return bertBase();
+    std::cerr << "unknown --model=" << name
+              << " (deit | opt350m | bert)\n";
+    std::exit(1);
+}
+
+MatrixF
+makePrompt(std::size_t features, std::size_t cols, std::uint64_t seed)
+{
+    Rng rng(seed);
+    MatrixF x(features, cols);
+    for (auto &v : x.data())
+        v = static_cast<float>(rng.gaussian(0.2, 1.0));
+    return x;
+}
+
+/**
+ * The reference loop every mode is checked against: whole prompt, then
+ * one infer() per decode step through the same seeded sampler.
+ */
+void
+fillReference(Session &session, const CompiledModel &model, GenJob &job)
+{
+    const std::size_t v = static_cast<std::size_t>(model.options().v);
+    TokenSampler sampler(job.seed);
+    job.refPrefill = session.infer(model, job.prompt).output;
+    job.refOutput = MatrixF(model.outputFeatures(), job.steps * v);
+    MatrixF prev = job.refPrefill;
+    for (std::size_t step = 0; step < job.steps; ++step) {
+        MatrixF x = sampler.next(prev, model.inputFeatures(), v);
+        MatrixF y = session.infer(model, std::move(x)).output;
+        for (std::size_t row = 0; row < y.rows(); ++row) {
+            const auto src = y.row(row);
+            std::copy(src.begin(), src.end(),
+                      job.refOutput.row(row).begin() +
+                          static_cast<std::ptrdiff_t>(step * v));
+        }
+        prev = std::move(y);
+    }
+}
+
+/**
+ * One mode over the whole traffic: a fresh continuous session, every
+ * job submitted at its schedule offset, every result parity-checked.
+ */
+ModeResult
+runMode(Runtime &rt, const CompiledModel &model,
+        std::vector<GenJob> &jobs, bool phase_aware,
+        std::size_t chunk_groups)
+{
+    SessionOptions sopts;
+    sopts.batchWindow = 1;
+    sopts.batchDeadlineMs = 0.0;
+    sopts.workers = 1;
+    sopts.continuous = true;
+    Session session = rt.createSession(sopts);
+
+    std::vector<std::future<GenerationResult>> futures;
+    futures.reserve(jobs.size());
+    const auto t0 = std::chrono::steady_clock::now();
+    for (GenJob &job : jobs) {
+        std::this_thread::sleep_until(
+            t0 + std::chrono::duration_cast<
+                     std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double, std::milli>(
+                         job.arriveMs)));
+        GenerationRequest req;
+        req.prompt = job.prompt;
+        req.maxSteps = job.steps;
+        req.samplerSeed = job.seed;
+        req.phaseAware = phase_aware;
+        req.prefillChunkGroups = chunk_groups;
+        futures.push_back(session.generate(model, req));
+    }
+    ModeResult res;
+    res.name = phase_aware ? "phase_aware" : "fifo";
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const GenerationResult gr = futures[i].get();
+        res.parity = res.parity &&
+                     gr.prefillOutput == jobs[i].refPrefill &&
+                     gr.output == jobs[i].refOutput;
+    }
+    res.wallMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+    const GenerationStats gs = session.generationStats();
+    res.tokensPerSecond = gs.tokensPerSecond;
+    res.p50TtftMs = gs.p50TtftMs;
+    res.p99TtftMs = gs.p99TtftMs;
+    res.p50InterTokenMs = gs.p50InterTokenMs;
+    res.p99InterTokenMs = gs.p99InterTokenMs;
+    res.prefillChunks = gs.prefillChunks;
+    res.decodeSteps = gs.decodeSteps;
+    return res;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            opt.writeJson = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            opt.writeJson = true;
+            opt.jsonPath = arg.substr(7);
+        } else if (arg.rfind("--model=", 0) == 0) {
+            opt.model = arg.substr(8);
+        } else if (arg == "--quick") {
+            opt.quick = true;
+        } else {
+            std::cerr << "unknown option " << arg << "\n";
+            return 1;
+        }
+    }
+
+    const ModelSpec spec = pickModel(opt.model);
+    CompileOptions mopts;
+    mopts.maxLayers = opt.quick ? 2 : 4;
+
+    Runtime rt;
+    std::cout << "Preparing " << spec.name << " ("
+              << (mopts.maxLayers ? mopts.maxLayers
+                                  : spec.layers.size())
+              << " layers) for generation...\n";
+    const CompiledModel model = rt.compile(spec, mopts);
+    std::cout << "  prepared in " << model.buildMs() << " ms\n";
+    const std::size_t v = static_cast<std::size_t>(model.options().v);
+
+    // Mixed traffic: decode-heavy chat streams + long-prompt document
+    // arrivals, everything derived from fixed seeds.
+    const std::size_t chats = opt.quick ? 3 : 6;
+    const std::size_t docs = opt.quick ? 2 : 3;
+    const std::size_t chat_steps = opt.quick ? 8 : 12;
+    const std::size_t doc_groups = opt.quick ? 32 : 64;
+    const std::size_t chunk_groups = 8;
+    std::vector<GenJob> jobs;
+    for (std::size_t i = 0; i < chats; ++i) {
+        GenJob j;
+        j.kind = "chat";
+        j.prompt =
+            makePrompt(model.inputFeatures(), (2 + i % 3) * v, 0xc0 + i);
+        j.steps = chat_steps;
+        j.seed = 0x1000 + i;
+        jobs.push_back(std::move(j));
+    }
+    for (std::size_t i = 0; i < docs; ++i) {
+        GenJob j;
+        j.kind = "doc";
+        j.prompt =
+            makePrompt(model.inputFeatures(), doc_groups * v, 0xd0 + i);
+        j.steps = 2;
+        j.seed = 0x2000 + i;
+        jobs.push_back(std::move(j));
+    }
+
+    // References (and the sequential wall time the schedule scales to).
+    std::cout << "Running the manual-loop reference ("
+              << jobs.size() << " generations)...\n";
+    SessionOptions solo_opts;
+    solo_opts.batchWindow = 1;
+    solo_opts.batchDeadlineMs = 0.0;
+    solo_opts.workers = 1;
+    Session solo = rt.createSession(solo_opts);
+    const auto tref = nowTick();
+    for (GenJob &job : jobs)
+        fillReference(solo, model, job);
+    const double seq_ms = msSince(tref);
+
+    // FNV-1a over the reference outputs: policy-invariant by the
+    // identity contract, so any two processes at one ISA leg can diff.
+    std::uint64_t digest = fnv1a64Offset;
+    for (const GenJob &job : jobs) {
+        digest = fnv1a64(job.refPrefill.data().data(),
+                         job.refPrefill.size() * sizeof(float), digest);
+        digest = fnv1a64(job.refOutput.data().data(),
+                         job.refOutput.size() * sizeof(float), digest);
+    }
+
+    // Open-loop Poisson arrivals, fixed seed: chats lead (their decode
+    // streams must be live when the documents land mid-run), and both
+    // modes replay the identical schedule.
+    Rng arng(0xa660);
+    double at = 0.0;
+    const double mean_gap_ms =
+        seq_ms / (2.0 * static_cast<double>(jobs.size()));
+    for (GenJob &job : jobs) {
+        job.arriveMs = at;
+        at += -std::log(1.0 - arng.uniformReal(0.0, 1.0)) * mean_gap_ms;
+    }
+
+    std::cout << "Mixed Poisson traffic: " << chats << " chat streams ("
+              << chat_steps << " steps), " << docs
+              << " long prompts (" << doc_groups
+              << " groups, chunk " << chunk_groups
+              << "), seed 0xa660, mean gap " << mean_gap_ms << " ms\n\n";
+
+    std::vector<ModeResult> modes;
+    modes.push_back(runMode(rt, model, jobs, false, chunk_groups));
+    modes.push_back(runMode(rt, model, jobs, true, chunk_groups));
+    const ModeResult &fifo = modes[0];
+    const ModeResult &aware = modes[1];
+    const bool parity = fifo.parity && aware.parity;
+
+    Table t({"mode", "wall ms", "tokens/s", "TTFT p50", "TTFT p99",
+             "tok gap p50", "tok gap p99", "prefill cohorts",
+             "bit-exact"});
+    for (const ModeResult &mr : modes) {
+        t.newRow()
+            .cell(mr.name)
+            .cell(mr.wallMs, 1)
+            .cell(mr.tokensPerSecond, 1)
+            .cell(mr.p50TtftMs, 2)
+            .cell(mr.p99TtftMs, 2)
+            .cell(mr.p50InterTokenMs, 2)
+            .cell(mr.p99InterTokenMs, 2)
+            .cell(static_cast<double>(mr.prefillChunks), 0)
+            .cell(mr.parity ? "yes" : "NO");
+    }
+    t.print(std::cout);
+    std::cout << "\nphase_aware vs fifo: inter-token p99 "
+              << aware.p99InterTokenMs << " vs " << fifo.p99InterTokenMs
+              << " ms ("
+              << (fifo.p99InterTokenMs > 0.0
+                      ? 100.0 *
+                            (fifo.p99InterTokenMs -
+                             aware.p99InterTokenMs) /
+                            fifo.p99InterTokenMs
+                      : 0.0)
+              << "% lower), tokens/s " << aware.tokensPerSecond
+              << " vs " << fifo.tokensPerSecond
+              << "; outputs byte-identical to the manual loop: "
+              << (parity ? "yes" : "NO") << "\n";
+
+    if (opt.writeJson) {
+        std::ofstream out(opt.jsonPath);
+        if (!out) {
+            std::cerr << "cannot write " << opt.jsonPath << "\n";
+            return 1;
+        }
+        char digest_hex[17];
+        std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                      static_cast<unsigned long long>(digest));
+        out << "{\n  \"bench\": \"generation\",\n";
+        out << "  \"model\": \"" << spec.name << "\",\n";
+        out << "  \"layers\": " << model.layerCount() << ",\n";
+        out << "  \"quick\": " << (opt.quick ? "true" : "false")
+            << ",\n";
+        out << "  \"chat_streams\": " << chats << ",\n";
+        out << "  \"chat_steps\": " << chat_steps << ",\n";
+        out << "  \"doc_prompts\": " << docs << ",\n";
+        out << "  \"doc_prompt_groups\": " << doc_groups << ",\n";
+        out << "  \"prefill_chunk_groups\": " << chunk_groups << ",\n";
+        out << "  \"arrival_seed\": \"0xa660\",\n";
+        out << "  \"mean_arrival_gap_ms\": " << mean_gap_ms << ",\n";
+        out << "  \"sequential_reference_ms\": " << seq_ms << ",\n";
+        out << "  \"isa\": \"" << toString(activeIsaLevel()) << "\",\n";
+        out << "  \"pool_threads\": " << parallelThreads() << ",\n";
+        out << "  \"hardware_concurrency\": "
+            << static_cast<int>(std::thread::hardware_concurrency())
+            << ",\n";
+        out << "  \"output_digest\": \"" << digest_hex << "\",\n";
+        out << "  \"parity\": " << (parity ? "true" : "false") << ",\n";
+        out << "  \"modes\": [\n";
+        for (std::size_t i = 0; i < modes.size(); ++i) {
+            const ModeResult &mr = modes[i];
+            out << "    {\"name\": \"" << mr.name
+                << "\", \"wall_ms\": " << mr.wallMs
+                << ", \"tokens_per_s\": " << mr.tokensPerSecond
+                << ", \"ttft_p50_ms\": " << mr.p50TtftMs
+                << ", \"ttft_p99_ms\": " << mr.p99TtftMs
+                << ", \"inter_token_p50_ms\": " << mr.p50InterTokenMs
+                << ", \"inter_token_p99_ms\": " << mr.p99InterTokenMs
+                << ", \"prefill_cohorts\": " << mr.prefillChunks
+                << ", \"decode_steps\": " << mr.decodeSteps
+                << ", \"parity\": " << (mr.parity ? "true" : "false")
+                << "}" << (i + 1 < modes.size() ? "," : "") << "\n";
+        }
+        out << "  ]\n}\n";
+        std::cout << "wrote " << opt.jsonPath << "\n";
+    }
+    return parity ? 0 : 1;
+}

@@ -312,6 +312,19 @@ main(int argc, char **argv)
                     p.speedupVs1);
     }
     setParallelThreads(pool_threads);
+    // A ladder run on a 1-core host (or with every point clamped to
+    // pool width 1) measures nothing about scaling: the threads exist
+    // but time-slice one core, so the curve is flat by construction.
+    // Label that explicitly instead of letting 1.00x read as "does
+    // not scale".
+    bool wide_pool = false;
+    for (const ThreadPoint &p : scaling)
+        wide_pool = wide_pool || p.poolThreads > 1;
+    const bool scaling_measured = wide_pool && hw > 1;
+    if (!scaling_measured)
+        std::printf("  (host has %d hardware thread%s: the flat curve "
+                    "is UNMEASURED scaling, not absent scaling)\n",
+                    hw, hw == 1 ? "" : "s");
 
     // --- Context kernels --------------------------------------------
     SlicedMatrix ws = sbrSliceMatrix(w, 1);
@@ -409,7 +422,13 @@ main(int argc, char **argv)
                 << ", \"parity\": " << (c.parity ? "true" : "false")
                 << "}" << (i + 1 < isa_cases.size() ? "," : "") << "\n";
         }
-        out << "  ],\n  \"thread_scaling\": [\n";
+        // thread_scaling_measured: false when the host cannot run the
+        // ladder's threads concurrently (1 hardware core, or every
+        // point clamped to pool width 1) - consumers must label or
+        // skip the flat curve rather than plot it as real scaling.
+        out << "  ],\n  \"thread_scaling_measured\": "
+            << (scaling_measured ? "true" : "false") << ",\n";
+        out << "  \"thread_scaling\": [\n";
         for (std::size_t i = 0; i < scaling.size(); ++i) {
             const ThreadPoint &p = scaling[i];
             out << "    {\"threads\": " << p.threads

@@ -7,12 +7,13 @@
  * The example builds the model's unique GEMM layers with the full PTQ
  * pipeline, runs the cycle simulators, and reports per-layer and
  * end-to-end energy, latency and the perplexity proxy. It then runs
- * an autoregressive decode loop on the host AQS-GEMM engine through
- * the public serving API (panacea::Runtime / CompiledModel /
- * Session): weights are sliced/RLE-encoded/HO-compressed ONCE at
- * compile and every decode step reuses them, versus the naive flow
- * that re-compiles each step - the prep-amortization win is printed.
- * Finally the compiled model is saved and reloaded to show the
+ * an autoregressive generation through the public Generation API
+ * (panacea::Session::generate): a prompt prefills in bounded chunks,
+ * decode steps chain through the seeded sampler with phase-aware
+ * admission, and per-step outputs stream through the callback. The
+ * same generation is replayed as a manual per-step infer() loop and
+ * compared byte-for-byte - this example doubles as the API's smoke
+ * test. Finally the compiled model is saved and reloaded to show the
  * zero-preparation cold-start path (panacea::saveCompiledModel /
  * loadCompiledModel).
  *
@@ -109,65 +110,81 @@ main(int argc, char **argv)
               << ppl_asym << " vs " << ppl_sym << " proxy PPL (FP16 "
               << model.fp16Ppl << ").\n";
 
-    // --- Autoregressive decode through the public serving API: the
-    // compiled-model cache vs re-compiling every step ------------------
+    // --- Autoregressive generation through the public Generation API --
     printBanner(std::cout,
-                "Decode loop (host AQS-GEMM, compiled-model cache)");
+                "Autoregressive generation (Session::generate)");
 
     CompileOptions sopts;
     sopts.maxLayers = 2; // the attention block's QKV + PROJ GEMMs
-    const std::size_t naive_steps = 2;
-    const std::size_t cached_steps = 8;
 
     Runtime rt;
     SessionOptions dopts;
-    dopts.batchWindow = 1; // decode is latency-bound: no batching
-    dopts.batchDeadlineMs = 0.0;
     dopts.workers = 1;
+    dopts.continuous = true; // decode steps splice between layer steps
     Session session = rt.createSession(dopts);
-
-    Rng rng(0xdec0de);
-    const auto decode_token = [&](const CompiledModel &served) {
-        // One decode step: a v-wide token group through the stack.
-        MatrixF x(served.inputFeatures(), 4);
-        for (auto &v : x.data())
-            v = static_cast<float>(rng.gaussian(0.2, 1.0));
-        return session.infer(served, std::move(x));
-    };
-
-    // Naive flow: every decode step re-slices, re-encodes and
-    // re-compresses the weight operands before it can multiply.
-    double naive_ms = 0.0;
-    for (std::size_t step = 0; step < naive_steps; ++step) {
-        const auto t0 = nowTick();
-        CompiledModel fresh = compileModel(model, sopts);
-        decode_token(fresh);
-        naive_ms += msSince(t0);
-    }
-    naive_ms /= static_cast<double>(naive_steps);
-
-    // Cached flow: the runtime compiles once; every subsequent step
-    // (and every other session user of the same key) reuses the
-    // prepared weights untouched.
     CompiledModel served = rt.compile(model, sopts);
-    double cached_ms = 0.0;
-    for (std::size_t step = 0; step < cached_steps; ++step) {
-        rt.compile(model, sopts); // per-step lookup: always a hit
-        const auto t0 = nowTick();
-        decode_token(served);
-        cached_ms += msSince(t0);
+
+    // A seeded prompt of 8 column groups; 8 decode steps follow it.
+    const std::size_t v = 4;
+    const std::size_t prompt_groups = 8;
+    const std::size_t steps = 8;
+    MatrixF prompt(served.inputFeatures(), prompt_groups * v);
+    Rng rng(0xdec0de);
+    for (auto &pv : prompt.data())
+        pv = static_cast<float>(rng.gaussian(0.2, 1.0));
+
+    GenerationRequest greq;
+    greq.prompt = prompt;
+    greq.maxSteps = steps;
+    greq.samplerSeed = 0x70ca;
+    greq.prefillChunkGroups = 4; // prefill lands in 2 bounded chunks
+    greq.onStep = [](const GenerationStepView &sv) {
+        std::cout << "  step " << toString(sv.phase) << "/" << sv.index
+                  << ": " << sv.cols << " columns at "
+                  << sv.sinceStartMs << " ms\n";
+    };
+    const auto tg = nowTick();
+    GenerationResult gen = session.generate(served, greq).get();
+    const double gen_ms = msSince(tg);
+
+    const GenerationStats gstats = session.generationStats();
+    std::cout << "generated " << gen.steps << " steps ("
+              << gen.output.cols() << " columns) in " << gen_ms
+              << " ms: TTFT " << gen.ttftMs << " ms, prefill "
+              << gen.prefillMs << " ms, decode rate "
+              << gstats.tokensPerSecond << " columns/s, paged state "
+              << gen.arenaBytes << " bytes\n";
+
+    // The smoke test: replay the SAME generation as a manual per-step
+    // loop (whole prompt + one infer() per step) and compare bytes.
+    // Scheduling policy must never change what gets computed.
+    bool gen_ok = true;
+    {
+        serve::TokenSampler sampler(greq.samplerSeed);
+        const InferenceResult pre = session.infer(served, prompt);
+        gen_ok = gen_ok && pre.output == gen.prefillOutput;
+        MatrixF prev = pre.output;
+        for (std::size_t step = 0; step < steps; ++step) {
+            MatrixF x =
+                sampler.next(prev, served.inputFeatures(), v);
+            const InferenceResult r = session.infer(served, std::move(x));
+            for (std::size_t row = 0; gen_ok && row < r.output.rows();
+                 ++row)
+                for (std::size_t c = 0; gen_ok && c < v; ++c)
+                    gen_ok = r.output(row, c) ==
+                             gen.output(row, step * v + c);
+            prev = r.output;
+        }
     }
-    cached_ms /= static_cast<double>(cached_steps);
+    std::cout << "generation outputs byte-identical to the manual "
+                 "per-step loop: "
+              << (gen_ok ? "YES" : "NO") << "\n";
 
     const CacheStats cstats = rt.cacheStats();
     std::cout << "weight prep (once, cached): " << served.buildMs()
-              << " ms for " << served.layerCount()
-              << " layers\nper decode step: naive (re-compile) "
-              << naive_ms << " ms -> cached " << cached_ms << " ms = "
-              << naive_ms / cached_ms
-              << "x faster\ncache: " << cstats.hits << " hits / "
-              << cstats.misses << " misses, "
-              << cstats.buildMsSaved
+              << " ms for " << served.layerCount() << " layers; cache: "
+              << cstats.hits << " hits / " << cstats.misses
+              << " misses, " << cstats.buildMsSaved
               << " ms of preparation amortized across this run\n";
 
     // --- Cold start: ship the compiled model as a file ----------------
@@ -211,5 +228,5 @@ main(int argc, char **argv)
         }
     }
     std::remove(path.c_str());
-    return cold_ok ? 0 : 1;
+    return (cold_ok && gen_ok) ? 0 : 1;
 }

@@ -37,8 +37,10 @@
 #include <future>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "panacea/compiled_model.h"
+#include "panacea/generation.h"
 #include "serve/fleet.h"
 
 namespace panacea {
@@ -117,6 +119,37 @@ class Fleet
     {
         return router_->submit(model.shared()->spec().name,
                                std::move(input));
+    }
+
+    /**
+     * Run one autoregressive generation over the fleet (see
+     * panacea/generation.h): the same chunked-prefill + seeded-decode
+     * chain as Session::generate, each step routed (and possibly
+     * redispatched) by the router under its phase tag - so outputs
+     * are byte-identical to the Session path at any replica count.
+     * The future yields the GenerationResult, or throws
+     * std::runtime_error when a step was shed/rejected mid-chain
+     * (unlike submit(), whose rejections are typed results - a
+     * half-generated sequence has no useful typed half). The Fleet
+     * must outlive the returned future.
+     */
+    std::future<GenerationResult>
+    generate(const std::string &model_name, GenerationRequest req)
+    {
+        return std::async(
+            std::launch::async,
+            [router = router_.get(), model_name,
+             r = std::move(req)]() mutable {
+                return serve::generateOverRouter(*router, model_name,
+                                                 std::move(r));
+            });
+    }
+
+    /** Convenience overload routing by the model's compiled name. */
+    std::future<GenerationResult>
+    generate(const CompiledModel &model, GenerationRequest req)
+    {
+        return generate(model.shared()->spec().name, std::move(req));
     }
 
     /** Release a startPaused fleet's dispatchers (idempotent). */

@@ -18,6 +18,7 @@
  *   panacea/runtime.h        Runtime: ISA/pool/cache in one place
  *   panacea/compiled_model.h CompiledModel + uncached compileModel()
  *   panacea/session.h        Session: submit/await micro-batching
+ *   panacea/generation.h     autoregressive generate(): phase-aware decode
  *   panacea/fleet.h          Fleet: N replicas behind a shedding router
  *   panacea/serialize.h      save/load of compiled models
  *   panacea/models.h         ModelSpec + the paper model zoo
@@ -32,6 +33,7 @@
 #include "panacea/compiled_model.h"
 #include "panacea/core.h"
 #include "panacea/fleet.h"
+#include "panacea/generation.h"
 #include "panacea/models.h"
 #include "panacea/runtime.h"
 #include "panacea/serialize.h"

@@ -30,8 +30,10 @@
 
 #include <future>
 #include <memory>
+#include <utility>
 
 #include "panacea/compiled_model.h"
+#include "panacea/generation.h"
 #include "serve/engine.h"
 #include "serve/request.h"
 
@@ -74,7 +76,8 @@ class Session
      */
     Session(const SessionOptions &opts,
             serve::PreparedModelCache *cache)
-        : engine_(std::make_unique<serve::InferenceEngine>(opts, cache))
+        : engine_(std::make_unique<serve::InferenceEngine>(opts, cache)),
+          gen_(std::make_unique<serve::GenerationScheduler>(*engine_))
     {}
 
     /** @return whether this session holds an engine. */
@@ -99,20 +102,51 @@ class Session
         return submit(model, std::move(input)).get();
     }
 
+    /**
+     * Start one autoregressive generation (see panacea/generation.h):
+     * the prompt prefills in bounded chunks, then maxSteps decode
+     * steps chain through the seeded sampler, each re-entering the
+     * engine's admission ahead of queued prefill work (phase-aware
+     * scheduling; GenerationRequest::phaseAware = false reproduces a
+     * naive FIFO loop, with byte-identical outputs). The future
+     * yields exactly one GenerationResult or one exception.
+     */
+    std::future<GenerationResult>
+    generate(const CompiledModel &model, GenerationRequest req)
+    {
+        return gen_->generate(model.shared(), std::move(req));
+    }
+
     /** Release the workers of a startPaused session (idempotent). */
     void start() { engine_->start(); }
 
-    /** Block until every submitted request completed (implies start). */
-    void drain() { engine_->drain(); }
+    /**
+     * Block until every submitted request AND every started
+     * generation completed (implies start). Generations drain first:
+     * they stop feeding the engine once terminal, so the engine drain
+     * below cannot race their step submissions.
+     */
+    void drain()
+    {
+        gen_->drain();
+        engine_->drain();
+    }
 
     /** @return aggregate counters (deterministic fields documented). */
     SessionStats stats() const { return engine_->stats(); }
+
+    /** @return generation counters: tokens/s, TTFT and inter-token
+     *  percentiles, paged-state bytes (see GenerationStats). */
+    GenerationStats generationStats() const { return gen_->stats(); }
 
     /** @return the resolved options (window/deadline/workers). */
     const SessionOptions &options() const { return engine_->options(); }
 
   private:
     std::unique_ptr<serve::InferenceEngine> engine_;
+    /** Declared after engine_: destroyed FIRST, so teardown drains
+     *  live generations through a still-alive engine. */
+    std::unique_ptr<serve::GenerationScheduler> gen_;
 };
 
 } // namespace panacea

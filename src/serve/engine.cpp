@@ -41,6 +41,11 @@ struct InferenceEngine::Pending
     std::uint64_t id = 0;
     std::shared_ptr<const ServedModel> model;
     MatrixF input;
+    RequestPhase phase = RequestPhase::Bulk;
+    /** Pre-built layer-0 operand, or null (SubmitExtras::prepared). */
+    std::shared_ptr<const ActivationOperand> prepared;
+    /** Post-resolution hook, or null (SubmitExtras::onReady). */
+    std::function<void()> onReady;
     std::promise<RequestResult> promise;
     std::chrono::steady_clock::time_point submitted;
 };
@@ -59,11 +64,19 @@ struct InferenceEngine::Member
     AqsStats stats;
 };
 
-/** One model's slot in the round-robin ring (FIFO within the model). */
+/**
+ * One model's slot in the round-robin ring. Two queues per slot:
+ * `urgent` holds Decode-phase submissions and is drained before
+ * `pending` (Bulk/Prefill, FIFO) by cohort formation and continuous
+ * admission alike - the engine half of the phase-aware policy.
+ */
 struct InferenceEngine::ModelQueue
 {
     std::shared_ptr<const ServedModel> model;
     std::deque<Pending> pending;
+    std::deque<Pending> urgent;
+
+    bool empty() const { return pending.empty() && urgent.empty(); }
 };
 
 InferenceEngine::InferenceEngine(const EngineOptions &opts,
@@ -110,38 +123,69 @@ std::future<RequestResult>
 InferenceEngine::submit(std::shared_ptr<const ServedModel> model,
                         MatrixF input)
 {
+    return submit(std::move(model), std::move(input), SubmitExtras{});
+}
+
+std::future<RequestResult>
+InferenceEngine::submit(std::shared_ptr<const ServedModel> model,
+                        MatrixF input, SubmitExtras extras)
+{
     // A long-lived serving engine must not die on one bad request:
     // malformed submissions are rejected through their own future
     // (std::invalid_argument) while every other request keeps flowing.
-    const auto reject = [](std::string why) {
+    // The onReady hook fires on rejections too - its exactly-once
+    // contract is what lets the generation scheduler sleep on it.
+    const auto reject = [&extras](std::exception_ptr exc) {
         std::promise<RequestResult> p;
-        p.set_exception(std::make_exception_ptr(
+        p.set_exception(std::move(exc));
+        std::future<RequestResult> f = p.get_future();
+        if (extras.onReady)
+            extras.onReady();
+        return f;
+    };
+    const auto reject_arg = [&reject](std::string why) {
+        return reject(std::make_exception_ptr(
             std::invalid_argument(std::move(why))));
-        return p.get_future();
     };
     if (model == nullptr)
-        return reject("submit() needs a loaded model");
+        return reject_arg("submit() needs a loaded model");
     const std::size_t uv =
         static_cast<std::size_t>(model->options().v);
     if (input.rows() != model->inputFeatures())
-        return reject("request rows " + std::to_string(input.rows()) +
-                      " != model input features " +
-                      std::to_string(model->inputFeatures()));
+        return reject_arg("request rows " + std::to_string(input.rows()) +
+                          " != model input features " +
+                          std::to_string(model->inputFeatures()));
     if (input.cols() == 0 || input.cols() % uv != 0)
-        return reject("request columns " +
-                      std::to_string(input.cols()) +
-                      " must be a positive multiple of v=" +
-                      std::to_string(uv));
+        return reject_arg("request columns " +
+                          std::to_string(input.cols()) +
+                          " must be a positive multiple of v=" +
+                          std::to_string(uv));
+    if (extras.prepared != nullptr &&
+        extras.prepared->sliced.cols() != input.cols())
+        return reject_arg("prepared operand columns " +
+                          std::to_string(extras.prepared->sliced.cols()) +
+                          " != request columns " +
+                          std::to_string(input.cols()));
 
     Pending p;
     p.model = std::move(model);
     p.input = std::move(input);
+    p.phase = extras.phase;
+    p.prepared = std::move(extras.prepared);
+    p.onReady = std::move(extras.onReady);
     p.submitted = std::chrono::steady_clock::now();
     std::future<RequestResult> fut = p.promise.get_future();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (stopping_)
-            return reject("submit() after engine shutdown began");
+        std::unique_lock<std::mutex> lock(mutex_);
+        // Shutdown/drain rejections resolve OUTSIDE the lock: the
+        // onReady hook may re-enter scheduler state and must never run
+        // under the engine mutex.
+        if (stopping_) {
+            lock.unlock();
+            extras.onReady = std::move(p.onReady);
+            return reject(std::make_exception_ptr(std::invalid_argument(
+                "submit() after engine shutdown began")));
+        }
         // A submit racing drain() must reject-or-complete, never
         // hang: accepting it would move the drain's goalposts (a fast
         // submitter could extend the wait forever), and once the
@@ -149,10 +193,10 @@ InferenceEngine::submit(std::shared_ptr<const ServedModel> model,
         // future dangles. Rejection is typed distinctly from
         // malformed-request rejection so callers can retry.
         if (draining_ > 0) {
-            std::promise<RequestResult> rp;
-            rp.set_exception(std::make_exception_ptr(std::runtime_error(
+            lock.unlock();
+            extras.onReady = std::move(p.onReady);
+            return reject(std::make_exception_ptr(std::runtime_error(
                 "submit() rejected: drain() in progress")));
-            return rp.get_future();
         }
         p.id = nextId_++;
         ModelQueue *mq = findQueue(p.model.get());
@@ -164,7 +208,12 @@ InferenceEngine::submit(std::shared_ptr<const ServedModel> model,
             ring_.back().model = p.model;
             mq = &ring_.back();
         }
-        mq->pending.push_back(std::move(p));
+        // Decode steps go to the urgent queue, served before the FIFO
+        // queue: the engine half of phase-aware admission.
+        if (p.phase == RequestPhase::Decode)
+            mq->urgent.push_back(std::move(p));
+        else
+            mq->pending.push_back(std::move(p));
         ++pendingCount_;
     }
     workCv_.notify_all();
@@ -232,9 +281,14 @@ InferenceEngine::workerLoop()
             ModelQueue *mq = findQueue(model.get());
             if (mq == nullptr)
                 return;
-            while (!mq->pending.empty() && batch.size() < window) {
-                batch.push_back(std::move(mq->pending.front()));
-                mq->pending.pop_front();
+            // Urgent (Decode) before FIFO (Bulk/Prefill): decode
+            // steps ride the next cohort even when long prompts
+            // arrived first. Each queue stays FIFO internally.
+            while (!mq->empty() && batch.size() < window) {
+                std::deque<Pending> &q =
+                    !mq->urgent.empty() ? mq->urgent : mq->pending;
+                batch.push_back(std::move(q.front()));
+                q.pop_front();
                 ++inFlight_;
                 --pendingCount_;
             }
@@ -248,7 +302,7 @@ InferenceEngine::workerLoop()
             // races a back-of-ring copy of the same model.
             ModelQueue turn = std::move(ring_.front());
             ring_.pop_front();
-            if (!turn.pending.empty())
+            if (!turn.empty())
                 ring_.push_back(std::move(turn));
         }
         // Continuous mode never waits for the window to fill: the fill
@@ -273,7 +327,7 @@ InferenceEngine::workerLoop()
             // slot so an empty queue never takes a turn.
             for (auto it = ring_.begin(); it != ring_.end(); ++it) {
                 if (it->model.get() == model.get()) {
-                    if (it->pending.empty())
+                    if (it->empty())
                         ring_.erase(it);
                     break;
                 }
@@ -308,23 +362,31 @@ InferenceEngine::takeAdmissions(const ServedModel *model,
     for (auto it = ring_.begin(); it != ring_.end(); ++it) {
         if (it->model.get() != model)
             continue;
-        // FIFO within the model: a request is admitted only if it
-        // fits entirely under the column cap; the first one that does
-        // not stops admission (preserving submission order).
+        // Urgent (Decode) ahead of FIFO, each queue FIFO within
+        // itself: a request is admitted only if it fits entirely
+        // under the column cap; the first one that does not stops
+        // admission altogether (preserving submission order within
+        // its class, and never letting a later Bulk request overtake
+        // a capacity-blocked Decode step).
         std::size_t cols = cohort_columns;
-        while (!it->pending.empty()) {
-            const std::size_t req_cols = it->pending.front().input.cols();
-            if (cols + req_cols > cap)
-                break;
-            cols += req_cols;
-            admitted.push_back(std::move(it->pending.front()));
-            it->pending.pop_front();
-            ++inFlight_;
-            --pendingCount_;
-        }
+        const auto admit_from = [&](std::deque<Pending> &q) {
+            while (!q.empty()) {
+                const std::size_t req_cols = q.front().input.cols();
+                if (cols + req_cols > cap)
+                    return false;
+                cols += req_cols;
+                admitted.push_back(std::move(q.front()));
+                q.pop_front();
+                ++inFlight_;
+                --pendingCount_;
+            }
+            return true;
+        };
+        if (admit_from(it->urgent))
+            admit_from(it->pending);
         // Mid-stack admission may empty the slot; drop it so an empty
         // queue never takes a round-robin turn.
-        if (it->pending.empty())
+        if (it->empty())
             ring_.erase(it);
         break;
     }
@@ -335,16 +397,25 @@ ActivationOperand
 InferenceEngine::prepareLayer0Concat(const ServedModel &model,
                                      std::span<const Member> members)
 {
+    // A member carrying a pre-built operand (SubmitExtras::prepared -
+    // the generation scheduler preps the new decode column while the
+    // previous cohort GEMMs) is used verbatim; everyone else is
+    // quantized/sliced here. prepareInput() is deterministic, so the
+    // mix cannot change the concat's bytes.
     std::vector<ActivationOperand> ops;
     ops.reserve(members.size());
-    for (const Member &m : members)
-        ops.push_back(model.prepareInput(m.p.input));
-    if (ops.size() == 1)
-        return std::move(ops.front());
     std::vector<const ActivationOperand *> ptrs;
-    ptrs.reserve(ops.size());
-    for (const ActivationOperand &o : ops)
-        ptrs.push_back(&o);
+    ptrs.reserve(members.size());
+    for (const Member &m : members) {
+        if (m.p.prepared != nullptr) {
+            ptrs.push_back(m.p.prepared.get());
+        } else {
+            ops.push_back(model.prepareInput(m.p.input));
+            ptrs.push_back(&ops.back());
+        }
+    }
+    if (ptrs.size() == 1)
+        return ops.empty() ? *ptrs.front() : std::move(ops.front());
     return concatActivationOperands(ptrs, model.layer(0).config());
 }
 
@@ -511,6 +582,7 @@ InferenceEngine::runStack(const std::shared_ptr<const ServedModel> &model,
             const Member &m = members[r];
             RequestResult &rr = results[r];
             rr.id = m.p.id;
+            rr.phase = m.p.phase;
             rr.stats = m.stats;
             rr.batchSize = requests;
             rr.batchSeq = batch_seq;
@@ -566,6 +638,10 @@ InferenceEngine::runStack(const std::shared_ptr<const ServedModel> &model,
                     rs.macsPerOuterProduct *
                     static_cast<double>(rs.denseOuterProducts);
                 ++requests_;
+                if (m.p.phase == RequestPhase::Prefill)
+                    ++prefillRequests_;
+                else if (m.p.phase == RequestPhase::Decode)
+                    ++decodeRequests_;
                 push(latenciesMs_, results[r].latencyMs);
                 push(queueWaitsMs_, results[r].queueWaitMs);
                 push(executesMs_, results[r].executeMs);
@@ -593,6 +669,12 @@ InferenceEngine::runStack(const std::shared_ptr<const ServedModel> &model,
         for (Member &m : members)
             m.p.promise.set_exception(std::current_exception());
     }
+    // Completion hooks fire AFTER promise resolution on both paths -
+    // the exactly-once, after-resolution contract of
+    // SubmitExtras::onReady that the generation pump sleeps on.
+    for (Member &m : members)
+        if (m.p.onReady)
+            m.p.onReady();
     return members.size();
 }
 
@@ -613,6 +695,8 @@ InferenceEngine::stats() const
              "engine percentile ring holds uncompleted requests");
     EngineStats s;
     s.requests = requests_;
+    s.prefillRequests = prefillRequests_;
+    s.decodeRequests = decodeRequests_;
     s.batches = batches_;
     s.columns = columns_;
     s.maxBatch = maxBatch_;

@@ -54,6 +54,17 @@
  * engine admits at layer 0 only and today's pinned round-robin
  * batchSeq schedules are preserved exactly.
  *
+ * Phase-aware service (SubmitExtras::phase): each ring slot keeps two
+ * queues - the FIFO queue (Bulk/Prefill submissions, the pre-existing
+ * order) and an URGENT queue (Decode submissions). Cohort formation
+ * and continuous admission both drain urgent before FIFO, so a v-wide
+ * decode step of an autoregressive generation overtakes long prefill
+ * prompts queued ahead of it instead of paying their full stack
+ * latency. Within each queue order stays FIFO; with no Decode
+ * submissions the urgent queue is empty and the engine's schedule is
+ * byte-for-byte the pre-phase one. Phase changes service order only -
+ * outputs and per-request stats stay bit-equal to solo runs.
+ *
  * Multi-model fairness: models take turns. A model enters the ring
  * when its first request arrives; after a batch is cut, a model with
  * remaining requests goes to the BACK of the ring. One model flooding
@@ -172,6 +183,42 @@ struct EngineOptions
 };
 
 /**
+ * Optional per-submission extras of the generation-aware submit()
+ * overload. All fields default to the plain-submit behaviour, so
+ * submit(model, input) and submit(model, input, {}) are identical.
+ */
+struct SubmitExtras
+{
+    /**
+     * Scheduling class (see RequestPhase). Decode-phase requests go to
+     * the model's urgent queue, drained before its FIFO queue by both
+     * cohort formation and continuous admission. Phase never changes
+     * results, only service order.
+     */
+    RequestPhase phase = RequestPhase::Bulk;
+    /**
+     * Pre-built layer-0 activation operand for `input` (must be
+     * exactly ServedModel::prepareInput(input), same column count).
+     * When set, cohort formation and catch-up use it verbatim instead
+     * of re-quantizing/slicing the input - the generation scheduler
+     * preps step N+1's single new column group off the engine's
+     * critical path while the cohort GEMMs, then attaches it here.
+     * Bit-exactness is unaffected because prepareInput() is
+     * deterministic; a mismatched column count is rejected like any
+     * malformed request.
+     */
+    std::shared_ptr<const ActivationOperand> prepared;
+    /**
+     * Completion hook: invoked exactly once, AFTER the request's
+     * promise is resolved (value, fault, or synchronous rejection),
+     * from whatever thread resolved it. The generation scheduler's
+     * event pump blocks on this instead of polling futures. Must not
+     * throw; keep it O(1) - it runs on the engine worker's path.
+     */
+    std::function<void()> onReady;
+};
+
+/**
  * The serving engine. Owns worker threads and (optionally) a model
  * cache reference; all public methods are thread-safe.
  */
@@ -216,6 +263,16 @@ class InferenceEngine
      */
     std::future<RequestResult>
     submit(std::shared_ptr<const ServedModel> model, MatrixF input);
+
+    /**
+     * submit() with per-request extras: a scheduling phase, an
+     * optional pre-built layer-0 operand, and a completion hook (see
+     * SubmitExtras). The plain overload is exactly
+     * submit(model, input, {}).
+     */
+    std::future<RequestResult>
+    submit(std::shared_ptr<const ServedModel> model, MatrixF input,
+           SubmitExtras extras);
 
     /**
      * Release the workers of a startPaused engine (no-op otherwise,
@@ -325,6 +382,8 @@ class InferenceEngine
     AqsStats aggregate_;             ///< integer counters only
     double macsWeightedSum_ = 0.0;   ///< sum of v*v * denseOuterProducts
     std::uint64_t requests_ = 0;
+    std::uint64_t prefillRequests_ = 0;
+    std::uint64_t decodeRequests_ = 0;
     /**
      * Rings of recent per-request timings, pushed together so the
      * three percentile series always cover the SAME completed

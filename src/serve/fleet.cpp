@@ -45,6 +45,8 @@ struct ReplicaRouter::PendingReq
     std::shared_ptr<const ServedModel> model; ///< pinned at admission
     std::uint64_t version = 0;
     MatrixF input;
+    /** Scheduling class forwarded to the engine (SubmitExtras). */
+    RequestPhase phase = RequestPhase::Bulk;
     std::promise<FleetResult> promise;
     std::chrono::steady_clock::time_point submitted;
     int dispatches = 0;
@@ -334,12 +336,24 @@ ReplicaRouter::quarantineLocked(std::size_t r, const std::string &why)
     }
 }
 
+std::shared_ptr<const ServedModel>
+ReplicaRouter::deployedModel(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Deployment &d : deployments_)
+        if (d.name == name)
+            return d.model;
+    return nullptr;
+}
+
 std::future<FleetResult>
-ReplicaRouter::submit(const std::string &model_name, MatrixF input)
+ReplicaRouter::submit(const std::string &model_name, MatrixF input,
+                      RequestPhase phase)
 {
     PendingReq req;
     req.name = model_name;
     req.input = std::move(input);
+    req.phase = phase;
     req.submitted = nowTick();
     std::future<FleetResult> fut = req.promise.get_future();
 
@@ -466,8 +480,10 @@ ReplicaRouter::dispatchLoop(std::size_t ri)
                 static_cast<long long>(admit_delay_ms * 1000.0)));
         // The engine consumes a COPY: the original stays with the
         // request so a faulted cohort can redispatch it elsewhere.
-        std::future<RequestResult> ef =
-            rep.engine->submit(std::move(model), MatrixF(req.input));
+        SubmitExtras extras;
+        extras.phase = req.phase;
+        std::future<RequestResult> ef = rep.engine->submit(
+            std::move(model), MatrixF(req.input), std::move(extras));
         lock.lock();
         rep.inEngine.push_back(
             InFlightReq{std::move(req), std::move(ef)});

@@ -248,7 +248,19 @@ class ReplicaRouter
      * bound). The future never throws.
      */
     std::future<FleetResult> submit(const std::string &model_name,
-                                    MatrixF input);
+                                    MatrixF input,
+                                    RequestPhase phase =
+                                        RequestPhase::Bulk);
+
+    /**
+     * @return the model NEW submissions of `name` currently route to
+     * (what the generation loop sizes prompts and samplers against),
+     * or null when the name is not deployed. A reload after return
+     * may supersede it - requests admitted earlier still complete on
+     * their pinned version.
+     */
+    std::shared_ptr<const ServedModel>
+    deployedModel(const std::string &name) const;
 
     /** Release a startPaused router's dispatchers (idempotent). */
     void start();

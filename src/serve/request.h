@@ -22,11 +22,37 @@
 namespace panacea {
 namespace serve {
 
+/**
+ * Scheduling class of a request. The phase never changes WHAT a
+ * request computes - outputs and stats are phase-independent - only
+ * WHEN the engine serves it relative to its model's other queued work:
+ *
+ *  - Bulk:    ordinary FIFO service (the default; every pre-existing
+ *             submission path).
+ *  - Prefill: a prompt chunk of an autoregressive generation. Served
+ *             FIFO like Bulk; the distinct label keeps stats and
+ *             schedules attributable.
+ *  - Decode:  one decode step of a generation. Served from a per-model
+ *             URGENT queue that both cohort formation and continuous
+ *             admission drain BEFORE the FIFO queue, so a v-wide
+ *             decode step never waits behind a long prefill that
+ *             arrived earlier (the generation scheduler's phase-aware
+ *             policy, src/serve/generation/).
+ */
+enum class RequestPhase : std::uint8_t
+{
+    Bulk = 0,
+    Prefill = 1,
+    Decode = 2,
+};
+
 /** Completion record of one inference request. */
 struct RequestResult
 {
     std::uint64_t id = 0;   ///< submission id (monotone per engine)
     MatrixF output;         ///< final-layer columns of this request
+    /** Scheduling class the request was submitted under. */
+    RequestPhase phase = RequestPhase::Bulk;
     /**
      * This request's execution statistics across the layer stack,
      * attributed out of the batched calls via aqsCountStatsBatch():
@@ -81,6 +107,8 @@ struct RequestResult
 struct EngineStats
 {
     std::uint64_t requests = 0;   ///< completed requests
+    std::uint64_t prefillRequests = 0; ///< completed Prefill-phase requests
+    std::uint64_t decodeRequests = 0;  ///< completed Decode-phase requests
     std::uint64_t batches = 0;    ///< executed micro-batches (cohorts)
     std::uint64_t columns = 0;    ///< activation columns served
     std::size_t maxBatch = 0;     ///< largest cohort (requests)

@@ -143,6 +143,12 @@ ServedModel::finalizeDerivedState()
     countCaches_ = std::vector<WeightCountingCache>(layers_.size());
     countCacheOnce_ =
         std::make_unique<std::once_flag[]>(layers_.size());
+    // The inter-layer feature-adaptation plan: boundary i's target row
+    // count (= layer i+1's input width K). Computed once here so the
+    // per-step path never re-derives it (see forwardPreparedStep).
+    stepFeatures_.clear();
+    for (std::size_t i = 0; i + 1 < layers_.size(); ++i)
+        stepFeatures_.push_back(layers_[i + 1].weights().sliced.cols());
 }
 
 const WeightCountingCache &
@@ -172,11 +178,23 @@ ServedModel::adaptFeatures(MatrixF y, std::size_t features)
 {
     if (y.rows() == features)
         return y;
+    // Cyclic row tiling (or truncation when features < y.rows()),
+    // copied a whole tile at a time: rows are contiguous in the
+    // row-major storage, so each tile is one contiguous block of
+    // min(y.rows(), features - r) rows. Byte-identical to the
+    // per-row `src = y.row(r % y.rows())` formulation this replaces.
     MatrixF out(features, y.cols());
-    for (std::size_t r = 0; r < features; ++r) {
-        const auto src = y.row(r % y.rows());
-        auto dst = out.row(r);
-        std::copy(src.begin(), src.end(), dst.begin());
+    const std::span<const float> src = y.data();
+    const std::span<float> dst = out.data();
+    const std::size_t row_elems = y.cols();
+    std::size_t r = 0;
+    while (r < features) {
+        const std::size_t take = std::min(y.rows(), features - r);
+        std::copy_n(src.begin(),
+                    static_cast<std::ptrdiff_t>(take * row_elems),
+                    dst.begin() +
+                        static_cast<std::ptrdiff_t>(r * row_elems));
+        r += take;
     }
     return out;
 }
@@ -237,11 +255,20 @@ ServedModel::forwardPreparedStep(std::size_t layer_index,
     res.gemmMs = msSince(tg);
 
     MatrixF y = layer.dequantizeOutput(acc);
-    if (layer_index + 1 < layers_.size())
-        res.next = adaptFeatures(
-            std::move(y), layers_[layer_index + 1].weights().sliced.cols());
-    else
+    if (layer_index + 1 < layers_.size()) {
+        // Adapt to the next layer's input width via the boundary plan
+        // cached at build/restore time (finalizeDerivedState) - decode
+        // steps hit this once per layer per step, so re-deriving the
+        // target width (and the function call for identity boundaries)
+        // is pure waste. The width is a property of the layer stack
+        // alone - the same for prefill and decode columns - hence one
+        // plan per model, not per phase.
+        const std::size_t want = stepFeatures_[layer_index];
+        res.next = y.rows() == want ? std::move(y)
+                                    : adaptFeatures(std::move(y), want);
+    } else {
         res.next = std::move(y);
+    }
     return res;
 }
 

@@ -250,6 +250,18 @@ class ServedModel
     mutable std::vector<WeightCountingCache> countCaches_;
     /** One flag per layer (array: once_flag is immovable). */
     mutable std::unique_ptr<std::once_flag[]> countCacheOnce_;
+    /**
+     * Cached feature-adaptation plan of each inter-layer boundary:
+     * stepFeatures_[i] is the row count layer i's float output must be
+     * adapted to before it becomes layer i+1's input (= layer i+1's
+     * K). One entry per boundary (layerCount()-1), filled in
+     * finalizeDerivedState() so forwardPreparedStep() - the once-per-
+     * layer-per-decode-step hot path - never re-derives the width or
+     * calls adaptFeatures() at an identity boundary. Phase-invariant:
+     * the adapted shape depends only on the layer stack, never on
+     * whether the columns are prefill or decode work.
+     */
+    std::vector<std::size_t> stepFeatures_;
     /** Keeps the mapped file / arena behind operand views alive. */
     std::shared_ptr<const void> payloadOwner_;
     std::size_t mappedBytes_ = 0;

@@ -1,19 +1,25 @@
 #!/usr/bin/env python3
-"""Concatenate per-commit BENCH_*.json GMAC/s figures into a trajectory CSV.
+"""Concatenate per-commit BENCH_*.json figures into a trajectory CSV.
 
 Each CI run calls this with the commit SHA and whatever BENCH_*.json
 files the benches wrote; the emitted CSV has one row per (bench, isa,
-case) GMAC/s figure, so rows from successive commits concatenate into a
-perf-over-time series (download the BENCH_trajectory artifacts and
+case, metric) figure, so rows from successive commits concatenate into
+a perf-over-time series (download the BENCH_trajectory artifacts and
 `cat` them - the header repeats but is trivially de-duplicated).
 
 Usage:
     bench_trajectory.py --commit <sha> [--out trajectory.csv] BENCH_*.json
 
-Understands both payload shapes:
-  - bench_kernels:  isa_cases[] (per-ISA GMAC/s) and the top-level case
-  - bench_serving:  sequential.gmacs and windows[].gmacs
-  - bench_fleet:    load_points[].gmacs (goodput at 0.5x/1x/2x load)
+Understands these payload shapes:
+  - bench_kernels:    isa_cases[] and single_thread_cases[] GMAC/s;
+                      thread_scaling[] GMAC/s, folded ONLY when the
+                      payload says thread_scaling_measured (a 1-core
+                      host's flat width-1 ladder is unmeasured scaling,
+                      not a real curve - it is skipped with a note)
+  - bench_serving:    sequential.gmacs and windows[].gmacs
+  - bench_fleet:      load_points[].gmacs (goodput at 0.5x/1x/2x load)
+  - bench_generation: modes[].tokens_per_s and inter-token p99 (the
+                      phase-aware-vs-FIFO serving trajectory)
 Unknown files are skipped with a note, never an error - the script must
 not fail a CI run over a bench it predates.
 """
@@ -29,15 +35,16 @@ def rows_for(path, payload, commit):
     isa = payload.get("isa", "")
     out = []
 
-    def row(case, gmacs):
-        if gmacs is not None:
+    def row(case, value, metric="gmacs"):
+        if value is not None:
             out.append(
                 {
                     "commit": commit,
                     "bench": bench or path,
                     "isa": isa,
                     "case": case,
-                    "gmacs": gmacs,
+                    "metric": metric,
+                    "value": value,
                 }
             )
 
@@ -51,6 +58,18 @@ def rows_for(path, payload, commit):
             case.get("sparsity_pct"),
         )
         row("blocked:" + shape, case.get("blocked_gmacs"))
+    scaling = payload.get("thread_scaling", [])
+    if scaling:
+        if payload.get("thread_scaling_measured"):
+            for p in scaling:
+                row("threads:%s" % p.get("threads", "?"), p.get("gmacs"))
+        else:
+            print(
+                "skipping %s thread_scaling: host could not run the "
+                "ladder concurrently (unmeasured scaling, not a real "
+                "curve)" % path,
+                file=sys.stderr,
+            )
     seq = payload.get("sequential")
     if isinstance(seq, dict):
         row("sequential", seq.get("gmacs"))
@@ -58,6 +77,15 @@ def rows_for(path, payload, commit):
         row("window:%s" % w.get("window", "?"), w.get("gmacs"))
     for p in payload.get("load_points", []):
         row("load:%sx" % p.get("factor", "?"), p.get("gmacs"))
+    if bench == "generation":
+        for m in payload.get("modes", []):
+            name = m.get("name", "?")
+            row("mode:%s" % name, m.get("tokens_per_s"), "tokens_per_s")
+            row(
+                "mode:%s" % name,
+                m.get("inter_token_p99_ms"),
+                "inter_token_p99_ms",
+            )
     return out
 
 
@@ -78,12 +106,13 @@ def main():
             continue
         found = rows_for(path, payload, args.commit)
         if not found:
-            print("skipping %s: no GMAC/s figures" % path, file=sys.stderr)
+            print("skipping %s: no figures" % path, file=sys.stderr)
         rows.extend(found)
 
     with open(args.out, "w", newline="") as fh:
         writer = csv.DictWriter(
-            fh, fieldnames=["commit", "bench", "isa", "case", "gmacs"]
+            fh,
+            fieldnames=["commit", "bench", "isa", "case", "metric", "value"],
         )
         writer.writeheader()
         writer.writerows(rows)
