@@ -45,13 +45,21 @@ using CacheStats = serve::PreparedModelCache::CacheStats;
 struct RuntimeOptions
 {
     /**
-     * Micro-kernel ISA tier: "scalar" | "sse2" | "avx2" | "avx512";
-     * "" keeps the current selection (PANACEA_ISA env var or auto
-     * detection). Requests above what the machine or build supports
-     * clamp down. NOTE: kernel dispatch is process-global state -
-     * the last Runtime constructed wins.
+     * Micro-kernel ISA tier: "scalar" | "sse2" | "avx2" | "avx512" |
+     * "vnni"; "" keeps the current selection (PANACEA_ISA env var or
+     * auto detection). Requests above what the machine or build
+     * supports clamp down. NOTE: kernel dispatch is process-global
+     * state - the last Runtime constructed wins.
      */
     std::string isa;
+    /**
+     * Stream-vs-gather dispatch policy for the pair-pass kernels:
+     * "static" | "measured" | "stream" | "gather"; "" keeps the
+     * current selection (PANACEA_STREAM_POLICY env var, default
+     * "measured" - the per-host calibrated cost comparison). Also
+     * process-global; every policy produces bit-identical results.
+     */
+    std::string streamPolicy;
     /**
      * Thread-pool width for kernels and operand preparation; 0 keeps
      * the current width (PANACEA_THREADS env var or hardware

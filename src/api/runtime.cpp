@@ -1,5 +1,6 @@
 #include "panacea/runtime.h"
 
+#include "core/kernel_cost_model.h"
 #include "util/cpu_features.h"
 #include "util/logging.h"
 #include "util/parallel_for.h"
@@ -14,8 +15,17 @@ Runtime::Runtime(const RuntimeOptions &opts) : opts_(opts)
             setIsaLevel(level); // clamped to hardware + build support
         else
             warn("RuntimeOptions::isa '", opts_.isa,
-                 "' not recognized (scalar|sse2|avx2|avx512) - keeping "
-                 "current selection");
+                 "' not recognized (scalar|sse2|avx2|avx512|vnni) - "
+                 "keeping current selection");
+    }
+    if (!opts_.streamPolicy.empty()) {
+        StreamPolicy policy;
+        if (parseStreamPolicy(opts_.streamPolicy, &policy))
+            setStreamPolicy(policy);
+        else
+            warn("RuntimeOptions::streamPolicy '", opts_.streamPolicy,
+                 "' not recognized (static|measured|stream|gather) - "
+                 "keeping current selection");
     }
     if (opts_.threads > 0)
         setParallelThreads(opts_.threads);

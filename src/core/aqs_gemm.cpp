@@ -4,6 +4,7 @@
 #include <array>
 #include <vector>
 
+#include "core/kernel_cost_model.h"
 #include "core/operand_pack.h"
 #include "core/pair_pass.h"
 #include "slicing/sparsity.h"
@@ -90,17 +91,19 @@ namespace {
 
 /**
  * Whether any streaming kernel could consume paired operands on this
- * host + build (the best runnable dispatch row has one): gates the
- * paired-plane precompute so scalar/SSE2-only hosts and non-v=4
- * configurations pay neither the prep time nor the memory.
+ * host + build (the best runnable dispatch row has one, via the shared
+ * streamKernelsRunnable predicate in core/pair_pass.h) AND the active
+ * policy could ever choose a stream: gates the paired-plane precompute
+ * so scalar-only hosts, non-streamable configurations and forced
+ * gather runs pay neither the prep time nor the memory.
  */
 bool
 streamKernelsAvailable(const AqsConfig &cfg)
 {
-    const detail::PairPassKernels &kern =
-        detail::pairPassKernels(activeIsaLevel());
-    return cfg.v == 4 ? kern.stream4 != nullptr
-                      : cfg.v <= 16 && kern.streamGeneric != nullptr;
+    if (activeStreamPolicy() == StreamPolicy::Gather)
+        return false;
+    return detail::streamKernelsRunnable(
+        detail::pairPassKernels(activeIsaLevel()), cfg.v);
 }
 
 /** Build mask, RLE streams and kernel operand caches for an
@@ -229,6 +232,7 @@ template <int VT>
 void
 blockedBand(const WeightOperand &w, const ActivationOperand &x,
             const AqsConfig &cfg, const detail::PairPassKernels &kern,
+            const detail::StreamDecision &sd,
             const detail::SkipLists &xd, const std::int16_t *x16,
             const std::int16_t *xq, std::size_t mg0, std::size_t mg1,
             MatrixI64 &acc, AqsStats &local)
@@ -261,13 +265,13 @@ blockedBand(const WeightOperand &w, const ActivationOperand &x,
 
     // Streaming fast path (SSE2+ generic-v, AVX2+ for v = 4): dense
     // masked passes over the pre-interleaved operands replace skip-list
-    // gathers whenever the list covers at least half the steps (the
-    // stream's per-step cost is roughly half the gather's). Stats
+    // gathers whenever the stream decision `sd` (resolved once per
+    // GEMM call from the active policy + this host's calibrated costs;
+    // see core/kernel_cost_model.h) predicts the stream cheaper. Stats
     // always come from the list lengths, so the choice never changes
     // results or counters.
     const bool stream_ok =
-        xq != nullptr && (VT == 4 ? kern.stream4 != nullptr
-                                  : kern.streamGeneric != nullptr);
+        xq != nullptr && detail::streamKernelsRunnable(kern, v);
     const std::size_t kkp = detail::pairCount(kk);
     const std::size_t pw = 2 * uv;
 
@@ -308,7 +312,7 @@ blockedBand(const WeightOperand &w, const ActivationOperand &x,
         // streamed HO_w pass could read it; see operand_pack.h).
         if (stream_ok)
             detail::packStreamWeightOperands(w.sliced, mg, v, wmask,
-                                             wd.size(), wq, wqm);
+                                             wd.size(), sd, wq, wqm);
 
         if (r_skip) {
             // Offline term b' = r * 2^shift * row sums of the total
@@ -360,7 +364,7 @@ blockedBand(const WeightOperand &w, const ActivationOperand &x,
                     for (std::size_t t = 0; t < nxd; ++t)
                         nboth += wmask[xlist[t]] == 0 ? 1 : 0;
                 }
-                if (stream_ok && detail::streamProfitable(nboth, kk)) {
+                if (stream_ok && sd.profitable(nboth, kk)) {
                     both = nullptr; // stream pass; ks is never read
                 } else {
                     wxd.clear();
@@ -404,7 +408,7 @@ blockedBand(const WeightOperand &w, const ActivationOperand &x,
                         identity = true;
                     }
 
-                    if (stream_ok && detail::streamProfitable(nk, kk)) {
+                    if (stream_ok && sd.profitable(nk, kk)) {
                         const std::int16_t *wqp =
                             (w_is_ho && !wd_full)
                                 ? wqm.data()
@@ -561,6 +565,14 @@ aqsGemm(const WeightOperand &w, const ActivationOperand &x,
     const detail::PairPassKernels &kern =
         detail::pairPassKernels(activeIsaLevel());
 
+    // Stream-vs-gather decision for this call, also resolved once (the
+    // policy and cost-table lookups stay out of the per-pass loop).
+    // Every alternative sums the same products, so the decision changes
+    // throughput only, never results or stats.
+    const detail::StreamDecision sd = detail::streamDecision(
+        kern.level, v == 4 ? detail::KernelFamily::Pass4
+                           : detail::KernelFamily::Generic);
+
     // Widened activation planes (int16, same [k][n] layout): the pair
     // passes run on 16-bit operands so two reduction steps fit one
     // multiply-accumulate lane. prepareActivations* precomputes them;
@@ -591,9 +603,10 @@ aqsGemm(const WeightOperand &w, const ActivationOperand &x,
     // path runs.
     const bool mask_ok =
         x.hoMask.rows() == kk && x.hoMask.cols() == n_groups;
-    const bool have_stream = v == 4 ? kern.stream4 != nullptr
-                                    : kern.streamGeneric != nullptr;
-    if (x.pairedPlanes.size() == paired_size && mask_ok) {
+    const bool have_stream =
+        sd.policy != StreamPolicy::Gather &&
+        detail::streamKernelsRunnable(kern, v);
+    if (have_stream && x.pairedPlanes.size() == paired_size && mask_ok) {
         xq = x.pairedPlanes.data();
     } else if (have_stream && mask_ok) {
         xq_local = detail::pairedSlicePlanes(x.sliced, v, &x.hoMask);
@@ -610,10 +623,10 @@ aqsGemm(const WeightOperand &w, const ActivationOperand &x,
     parallelFor(0, m_groups, [&](std::size_t b, std::size_t e, int c) {
         AqsStats &part = partial[static_cast<std::size_t>(c)];
         if (v == 4)
-            blockedBand<4>(w, x, cfg, kern, xd, x16, xq, b, e, acc,
+            blockedBand<4>(w, x, cfg, kern, sd, xd, x16, xq, b, e, acc,
                            part);
         else
-            blockedBand<0>(w, x, cfg, kern, xd, x16, xq, b, e, acc,
+            blockedBand<0>(w, x, cfg, kern, sd, xd, x16, xq, b, e, acc,
                            part);
     });
 

@@ -3,6 +3,7 @@
 #include <array>
 #include <vector>
 
+#include "core/kernel_cost_model.h"
 #include "core/operand_pack.h"
 #include "core/pair_pass.h"
 #include "slicing/sparsity.h"
@@ -139,7 +140,8 @@ legacyBand(const SlicedMatrix &w, const SlicedMatrix &x, int v_in,
            bool skip_weight, const MatrixU8 &w_mask,
            const detail::SkipLists &xd, const std::int16_t *x16,
            const std::int16_t *xq, const detail::PairPassKernels &kern,
-           std::size_t mg0, std::size_t mg1, MatrixI64 &acc,
+           const detail::StreamDecision &sd, std::size_t mg0,
+           std::size_t mg1, MatrixI64 &acc,
            LegacyBandCounters &counters)
 {
     const int v = VT > 0 ? VT : v_in;
@@ -166,12 +168,12 @@ legacyBand(const SlicedMatrix &w, const SlicedMatrix &x, int v_in,
 
     // Streaming fast path (SSE2+ generic-v, AVX2+ for v = 4): dense
     // masked passes over the pre-interleaved operands replace skip-list
-    // gathers whenever the list covers at least half the steps; stats
-    // always come from the list lengths, so the choice never changes
-    // results or counters.
+    // gathers whenever the stream decision `sd` (resolved once per
+    // GEMM call; see core/kernel_cost_model.h) predicts the stream
+    // cheaper; stats always come from the list lengths, so the choice
+    // never changes results or counters.
     const bool stream_ok =
-        xq != nullptr && (VT == 4 ? kern.stream4 != nullptr
-                                  : kern.streamGeneric != nullptr);
+        xq != nullptr && detail::streamKernelsRunnable(kern, v);
     const std::size_t kkp = detail::pairCount(kk);
     const std::size_t pw = 2 * uv;
 
@@ -213,7 +215,7 @@ legacyBand(const SlicedMatrix &w, const SlicedMatrix &x, int v_in,
             detail::packStreamWeightOperands(
                 w, mg, v,
                 skip_weight ? w_mask.row(mg).data() : nullptr,
-                skip_weight ? wd.size() : kk, wq, wqm);
+                skip_weight ? wd.size() : kk, sd, wq, wqm);
 
         for (std::size_t ng = 0; ng < n_groups; ++ng) {
             const std::uint32_t *xlist =
@@ -248,7 +250,7 @@ legacyBand(const SlicedMatrix &w, const SlicedMatrix &x, int v_in,
                         identity = true;
                     }
 
-                    if (stream_ok && detail::streamProfitable(nk, kk)) {
+                    if (stream_ok && sd.profitable(nk, kk)) {
                         const std::int16_t *wqp =
                             (skip_weight && wl == w_ho && !wd_full)
                                 ? wqm.data()
@@ -352,12 +354,20 @@ legacyBitsliceGemm(const SlicedMatrix &w, const SlicedMatrix &x, int v,
     const detail::PairPassKernels &kern =
         detail::pairPassKernels(activeIsaLevel());
 
+    // Stream-vs-gather decision for this call, resolved once like the
+    // kernel row above (see core/kernel_cost_model.h).
+    const detail::StreamDecision sd = detail::streamDecision(
+        kern.level, v == 4 ? detail::KernelFamily::Pass4
+                           : detail::KernelFamily::Generic);
+
     // Paired-stream activation planes for the streaming passes (v = 4
     // from AVX2 up, generic-v from SSE2 up); the HO plane is pre-masked
-    // only under activation-side skipping.
+    // only under activation-side skipping. Skipped outright when the
+    // policy forces gathers.
     std::vector<std::int16_t> xq;
-    const bool have_stream = v == 4 ? kern.stream4 != nullptr
-                                    : kern.streamGeneric != nullptr;
+    const bool have_stream =
+        sd.policy != StreamPolicy::Gather &&
+        detail::streamKernelsRunnable(kern, v);
     if (blocked && have_stream)
         xq = detail::pairedSlicePlanes(x, v,
                                        skip_weight ? nullptr : &x_mask);
@@ -385,12 +395,12 @@ legacyBitsliceGemm(const SlicedMatrix &w, const SlicedMatrix &x, int v,
                              e, acc, part);
         else if (v == 4)
             legacyBand<4>(w, x, v, skip_weight, w_mask, xd, x16.data(),
-                          xq.empty() ? nullptr : xq.data(), kern, b, e,
-                          acc, part);
+                          xq.empty() ? nullptr : xq.data(), kern, sd, b,
+                          e, acc, part);
         else
             legacyBand<0>(w, x, v, skip_weight, w_mask, xd, x16.data(),
-                          xq.empty() ? nullptr : xq.data(), kern, b, e,
-                          acc, part);
+                          xq.empty() ? nullptr : xq.data(), kern, sd, b,
+                          e, acc, part);
     });
     for (const LegacyBandCounters &part : partial) {
         local.executedOuterProducts += part.executed;

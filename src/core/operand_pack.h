@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/kernel_cost_model.h"
 #include "slicing/slice_tensor.h"
 #include "util/matrix.h"
 #include "util/parallel_for.h"
@@ -168,19 +169,6 @@ packWeightBandPaired(const SlicedMatrix &w, std::size_t mg, int v,
 }
 
 /**
- * Stream-vs-gather cost model, shared by both GEMM engines AND the
- * masked-operand materialization precondition below: a dense masked
- * stream over all kk steps beats gathering an nk-long skip list once
- * the list covers at least half the steps (the stream's per-step cost
- * is roughly half the gather's).
- */
-inline bool
-streamProfitable(std::size_t nk, std::size_t kk)
-{
-    return 2 * nk >= kk;
-}
-
-/**
  * Masked copy of one paired band plane (kkp * 2v int16): steps with
  * mask_row[k] != 0 are zeroed, so a dense stream over the copy sums
  * exactly the dense-step list of this band.
@@ -207,22 +195,27 @@ maskBandPlanePaired(const std::int16_t *src,
  * Pack one band's paired-stream weight operands: the unmasked pack
  * always, and the masked HO copy only when a streamed HO_w pass could
  * actually read it - the band's dense-step list (length wd_size) must
- * be incomplete AND clear the streamProfitable() threshold; every
- * HO_w stream's list is at most wd_size long, so below the threshold
+ * be incomplete AND clear the stream decision's profitable()
+ * threshold; every HO_w pass's list is at most wd_size long and
+ * profitable() is monotone nondecreasing in the list length under
+ * every policy (see core/kernel_cost_model.h), so below the threshold
  * the copy is provably dead. Pass ho_mask_row = nullptr when weight
- * skipping is off. Keeping this precondition next to the cost model
- * is what lets the two engines share one policy.
+ * skipping is off. Both engines route their GEMM-call decision through
+ * here, so the precondition and the per-pass choice can never use
+ * different policies.
  */
 inline void
 packStreamWeightOperands(const SlicedMatrix &w, std::size_t mg, int v,
                          const std::uint8_t *ho_mask_row,
-                         std::size_t wd_size, std::vector<std::int16_t> &wq,
+                         std::size_t wd_size,
+                         const StreamDecision &decision,
+                         std::vector<std::int16_t> &wq,
                          std::vector<std::int16_t> &wqm)
 {
     packWeightBandPaired(w, mg, v, wq);
     const std::size_t kk = w.cols();
     if (ho_mask_row != nullptr && wd_size != kk &&
-        streamProfitable(wd_size, kk)) {
+        decision.profitable(wd_size, kk)) {
         const std::size_t ho_off =
             (w.levels() - 1) * pairCount(kk) * 2 *
             static_cast<std::size_t>(v);

@@ -4,7 +4,8 @@
  * "pair pass" - one branch-free sweep of a (weight-plane,
  * activation-plane) combination over a skip list of dense reduction
  * steps - and the runtime ISA-dispatch table that selects its widest
- * available implementation (scalar / SSE2 / AVX2 / AVX-512).
+ * available implementation (scalar / SSE2 / AVX2 / AVX-512 /
+ * AVX512-VNNI).
  *
  * Contract shared by every variant (and relied on for cross-ISA
  * parity):
@@ -122,6 +123,24 @@ struct PairPassKernels
  */
 const PairPassKernels &pairPassKernels(IsaLevel level);
 
+/**
+ * Whether this dispatch row can run a streaming (masked-dense) pass
+ * for vector length v - the ONE predicate behind both the
+ * paired-operand precompute gate at prep time and the stream_ok check
+ * inside the GEMM engines. Keeping it here (next to the table it
+ * describes) is what guarantees a new tier cannot be wired into one
+ * check but not the other: both sides see the same row and the same
+ * v condition. The generic slot is bounded by the blocked micro-tile
+ * limit (v <= 16); above it the engines fall back to scalar bands
+ * that never stream.
+ */
+inline bool
+streamKernelsRunnable(const PairPassKernels &kern, int v)
+{
+    return v == 4 ? kern.stream4 != nullptr
+                  : v <= 16 && kern.streamGeneric != nullptr;
+}
+
 // Per-ISA implementations. Declared unconditionally; the AVX2/AVX-512
 // symbols are only referenced (and defined) when the matching
 // PANACEA_HAVE_*_KERNELS macro is set at configure time.
@@ -164,6 +183,14 @@ void pairPassGenericAvx512(const std::int16_t *wp, const std::int16_t *xp,
 void pairStreamGenericAvx512(const std::int16_t *wq,
                              const std::int16_t *xq, std::size_t pairs,
                              int v, std::int32_t *pacc);
+void pairPass4Vnni(const std::int16_t *wp, const std::int16_t *xp,
+                   std::size_t n, std::size_t ng_off,
+                   const std::uint32_t *ks, std::size_t nk, bool identity,
+                   std::int32_t *pacc);
+void pairStream4Vnni(const std::int16_t *wq, const std::int16_t *xq,
+                     std::size_t pairs, std::int32_t *pacc);
+void pairStreamGenericVnni(const std::int16_t *wq, const std::int16_t *xq,
+                           std::size_t pairs, int v, std::int32_t *pacc);
 
 } // namespace detail
 } // namespace panacea

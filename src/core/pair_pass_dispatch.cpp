@@ -1,9 +1,9 @@
 /**
  * @file
  * Scalar and SSE2 pair-pass micro-kernels plus the ISA-dispatch table.
- * The AVX2/AVX-512 variants live in their own translation units
- * (pair_pass_avx2.cpp, pair_pass_avx512.cpp) so only those files are
- * compiled with the wider ISA flags; this file stays at the build's
+ * The AVX2/AVX-512/VNNI variants live in their own translation units
+ * (pair_pass_avx2.cpp, pair_pass_avx512.cpp, pair_pass_vnni.cpp) so
+ * only those files are compiled with the wider ISA flags; this file stays at the build's
  * baseline ISA and is always safe to execute.
  */
 
@@ -155,8 +155,8 @@ pairStreamGenericSse2(const std::int16_t *wq, const std::int16_t *xq,
 const PairPassKernels &
 pairPassKernels(IsaLevel level)
 {
-    static const std::array<PairPassKernels, 4> table = [] {
-        std::array<PairPassKernels, 4> t{};
+    static const std::array<PairPassKernels, kIsaLevelCount> table = [] {
+        std::array<PairPassKernels, kIsaLevelCount> t{};
         t[0] = {IsaLevel::Scalar, &pairPass4Scalar,
                 &pairPassGenericScalar};
         // Each tier inherits the best lower-tier kernel for slots it
@@ -182,6 +182,16 @@ pairPassKernels(IsaLevel level)
         t[3].passGeneric = &pairPassGenericAvx512;
         t[3].stream4 = &pairStream4Avx512;
         t[3].streamGeneric = &pairStreamGenericAvx512;
+#endif
+        t[4] = t[3];
+        t[4].level = IsaLevel::Avx512Vnni;
+#if defined(PANACEA_HAVE_VNNI_KERNELS)
+        // passGeneric is inherited: its inner loop is vpmulld-bound
+        // (no madd+add pair to fuse), so the AVX-512 kernel is already
+        // optimal for the VNNI tier.
+        t[4].pass4 = &pairPass4Vnni;
+        t[4].stream4 = &pairStream4Vnni;
+        t[4].streamGeneric = &pairStreamGenericVnni;
 #endif
         return t;
     }();

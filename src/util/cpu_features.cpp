@@ -53,8 +53,11 @@ probeHardware()
     const bool avx2 = (ebx7 & bit_AVX2) != 0;
     const bool avx512f = (ebx7 & bit_AVX512F) != 0;
     const bool avx512bw = (ebx7 & bit_AVX512BW) != 0;
+    // AVX512_VNNI is CPUID.(7,0):ECX bit 11; <cpuid.h> does not define
+    // a bit_ macro for it on every toolchain.
+    const bool avx512vnni = (ecx7 & (1u << 11)) != 0;
     if (avx512f && avx512bw && zmm_os)
-        return IsaLevel::Avx512;
+        return avx512vnni ? IsaLevel::Avx512Vnni : IsaLevel::Avx512;
     if (avx2)
         return IsaLevel::Avx2;
     return IsaLevel::Sse2;
@@ -90,7 +93,7 @@ envIsaLevel()
                 return clampToSupported(requested);
             warn("ignoring unrecognized PANACEA_ISA=", env);
         }
-        return clampToSupported(IsaLevel::Avx512);
+        return clampToSupported(IsaLevel::Avx512Vnni);
     }();
     return level;
 }
@@ -109,6 +112,7 @@ toString(IsaLevel level)
       case IsaLevel::Sse2:   return "sse2";
       case IsaLevel::Avx2:   return "avx2";
       case IsaLevel::Avx512: return "avx512";
+      case IsaLevel::Avx512Vnni: return "vnni";
     }
     return "?";
 }
@@ -136,6 +140,8 @@ parseIsaLevel(std::string_view name, IsaLevel *out)
         *out = IsaLevel::Avx2;
     else if (equals("avx512"))
         *out = IsaLevel::Avx512;
+    else if (equals("vnni") || equals("avx512vnni"))
+        *out = IsaLevel::Avx512Vnni;
     else
         return false;
     return true;
@@ -151,7 +157,9 @@ detectedIsaLevel()
 IsaLevel
 compiledIsaLevel()
 {
-#if defined(PANACEA_HAVE_AVX512_KERNELS)
+#if defined(PANACEA_HAVE_VNNI_KERNELS)
+    return IsaLevel::Avx512Vnni;
+#elif defined(PANACEA_HAVE_AVX512_KERNELS)
     return IsaLevel::Avx512;
 #elif defined(PANACEA_HAVE_AVX2_KERNELS)
     return IsaLevel::Avx2;
@@ -198,7 +206,7 @@ runnableIsaLevels()
 {
     std::vector<IsaLevel> levels;
     for (IsaLevel lvl : {IsaLevel::Scalar, IsaLevel::Sse2, IsaLevel::Avx2,
-                         IsaLevel::Avx512}) {
+                         IsaLevel::Avx512, IsaLevel::Avx512Vnni}) {
         setIsaLevel(lvl);
         if (activeIsaLevel() == lvl)
             levels.push_back(lvl);

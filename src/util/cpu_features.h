@@ -14,15 +14,17 @@
  * Selection order for activeIsaLevel():
  *   1. a setIsaLevel() override (tests, benchmarks),
  *   2. the PANACEA_ISA environment variable
- *      ("scalar" | "sse2" | "avx2" | "avx512", read once per process),
+ *      ("scalar" | "sse2" | "avx2" | "avx512" | "vnni", read once per
+ *      process),
  *   3. auto: the best level that is both compiled in and detected.
  * Requests above what the hardware or the build supports are clamped
- * down, never rejected: PANACEA_ISA=avx512 on an AVX2 machine runs AVX2.
+ * down, never rejected: PANACEA_ISA=vnni on an AVX2 machine runs AVX2.
  */
 
 #ifndef PANACEA_UTIL_CPU_FEATURES_H
 #define PANACEA_UTIL_CPU_FEATURES_H
 
+#include <cstddef>
 #include <string_view>
 #include <vector>
 
@@ -38,7 +40,11 @@ enum class IsaLevel
     Sse2 = 1,   ///< 128-bit pmaddwd pair passes (x86-64 baseline)
     Avx2 = 2,   ///< 256-bit pmaddwd, 4 reduction steps per op
     Avx512 = 3, ///< 512-bit pmaddwd (F+BW), 8 reduction steps per op
+    Avx512Vnni = 4, ///< 512-bit vpdpwssd: the madd+add pair fused ("vnni")
 };
+
+/** Number of IsaLevel tiers (dispatch tables size their rows by it). */
+inline constexpr std::size_t kIsaLevelCount = 5;
 
 /** @return printable name of an ISA level ("scalar", "sse2", ...). */
 const char *toString(IsaLevel level);

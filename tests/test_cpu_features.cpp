@@ -18,7 +18,7 @@ namespace {
 TEST(CpuFeatures, NamesRoundTrip)
 {
     for (IsaLevel lvl : {IsaLevel::Scalar, IsaLevel::Sse2, IsaLevel::Avx2,
-                         IsaLevel::Avx512}) {
+                         IsaLevel::Avx512, IsaLevel::Avx512Vnni}) {
         IsaLevel parsed;
         ASSERT_TRUE(parseIsaLevel(toString(lvl), &parsed));
         EXPECT_EQ(parsed, lvl);
@@ -26,6 +26,8 @@ TEST(CpuFeatures, NamesRoundTrip)
     IsaLevel parsed;
     EXPECT_TRUE(parseIsaLevel("AVX2", &parsed)); // case-insensitive
     EXPECT_EQ(parsed, IsaLevel::Avx2);
+    EXPECT_TRUE(parseIsaLevel("avx512vnni", &parsed)); // alias of "vnni"
+    EXPECT_EQ(parsed, IsaLevel::Avx512Vnni);
     EXPECT_FALSE(parseIsaLevel("avx1024", &parsed));
     EXPECT_FALSE(parseIsaLevel("", &parsed));
 }
@@ -34,7 +36,7 @@ TEST(CpuFeatures, ActiveLevelNeverExceedsSupport)
 {
     IsaGuard guard;
     for (IsaLevel lvl : {IsaLevel::Scalar, IsaLevel::Sse2, IsaLevel::Avx2,
-                         IsaLevel::Avx512}) {
+                         IsaLevel::Avx512, IsaLevel::Avx512Vnni}) {
         setIsaLevel(lvl);
         EXPECT_LE(activeIsaLevel(), detectedIsaLevel());
         EXPECT_LE(activeIsaLevel(), compiledIsaLevel());
@@ -55,7 +57,7 @@ TEST(CpuFeatures, ScalarOverrideAlwaysHonored)
 TEST(CpuFeatures, DispatchTableRowsAreFullyPopulated)
 {
     for (IsaLevel lvl : {IsaLevel::Scalar, IsaLevel::Sse2, IsaLevel::Avx2,
-                         IsaLevel::Avx512}) {
+                         IsaLevel::Avx512, IsaLevel::Avx512Vnni}) {
         const detail::PairPassKernels &kern = detail::pairPassKernels(lvl);
         EXPECT_NE(kern.pass4, nullptr);
         EXPECT_NE(kern.passGeneric, nullptr);
@@ -65,6 +67,23 @@ TEST(CpuFeatures, DispatchTableRowsAreFullyPopulated)
     }
     // The scalar row never carries SIMD entry points.
     EXPECT_EQ(detail::pairPassKernels(IsaLevel::Scalar).stream4, nullptr);
+}
+
+TEST(CpuFeatures, StreamRunnablePredicateMatchesTableSlots)
+{
+    // The shared predicate (the ONE gate for both the prep-time paired
+    // precompute and the engines' stream_ok) must track the row's
+    // slots exactly: v = 4 follows stream4, 4 < v <= 16 follows
+    // streamGeneric, v > 16 never streams (scalar-band fallback).
+    for (IsaLevel lvl : {IsaLevel::Scalar, IsaLevel::Sse2, IsaLevel::Avx2,
+                         IsaLevel::Avx512, IsaLevel::Avx512Vnni}) {
+        const detail::PairPassKernels &kern = detail::pairPassKernels(lvl);
+        EXPECT_EQ(detail::streamKernelsRunnable(kern, 4),
+                  kern.stream4 != nullptr);
+        EXPECT_EQ(detail::streamKernelsRunnable(kern, 8),
+                  kern.streamGeneric != nullptr);
+        EXPECT_FALSE(detail::streamKernelsRunnable(kern, 20));
+    }
 }
 
 TEST(CpuFeatures, RunnableLevelsAreOrderedAndStartScalar)

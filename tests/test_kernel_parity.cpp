@@ -5,9 +5,11 @@
  * (aqsGemmReference) bit-for-bit - accumulator AND statistics counters -
  * across every ActSkipMode, SBR and DBS slicing, the Eq. (5)/(6)
  * variants, non-default vector lengths, 1/2/4/8 pool threads, AND every
- * runnable ISA level (scalar/SSE2/AVX2/AVX-512): the dispatch table of
- * core/pair_pass.h may change throughput only, never a single bit of
- * results or statistics.
+ * runnable ISA level (scalar/SSE2/AVX2/AVX-512/AVX512-VNNI): the
+ * dispatch table of core/pair_pass.h may change throughput only, never
+ * a single bit of results or statistics. Hosts without VNNI skip (not
+ * fail) the explicit VNNI axis; the runnableIsaLevels() sweeps cover it
+ * automatically wherever it is available.
  */
 
 #include <gtest/gtest.h>
@@ -256,6 +258,63 @@ TEST(KernelParity, DensityExtremesMatchReferenceAcrossIsaLevels)
                 expectStatsEqual(new_stats, ref_stats);
             }
         }
+    }
+}
+
+TEST(KernelParity, VnniKernelsMatchReferenceBitForBit)
+{
+    // Explicit VNNI axis: vpdpwssd wraps mod 2^32 exactly like the
+    // madd+add pair it fuses, so the VNNI tier must be bit-identical -
+    // accumulator AND stats - on both engines, across the stream
+    // (pass4 + streamGeneric) and gather paths. Skip, not fail, when
+    // the host or toolchain lacks AVX512-VNNI.
+    if (supportedIsaCap() < IsaLevel::Avx512Vnni)
+        GTEST_SKIP() << "host/toolchain cap is "
+                     << toString(supportedIsaCap())
+                     << "; AVX512-VNNI kernels not runnable";
+
+    PoolGuard guard;
+    IsaGuard isa_guard;
+    setIsaLevel(IsaLevel::Avx512Vnni);
+    Rng rng(1301);
+    const std::size_t m = 32, kk = 32, n = 24;
+    const std::int32_t zp = 131;
+    MatrixI32 w_codes = randomWeightCodes(rng, m, kk, 1);
+
+    for (int v : {4, 8}) {             // stream4 vs streamGeneric
+        for (double cluster : {0.1, 0.9}) { // gather- vs stream-heavy
+            AqsConfig cfg;
+            cfg.v = v;
+            MatrixI32 x_codes =
+                randomActivationCodes(rng, kk, n, 8, zp, cluster);
+            WeightOperand w = prepareWeights(w_codes, 1, cfg);
+            ActivationOperand x = prepareActivations(x_codes, 1, zp, cfg);
+
+            AqsStats ref_stats;
+            MatrixI64 ref = aqsGemmReference(w, x, cfg, &ref_stats);
+            for (int threads : {1, 4}) {
+                setParallelThreads(threads);
+                AqsStats new_stats;
+                MatrixI64 got = aqsGemm(w, x, cfg, &new_stats);
+                EXPECT_TRUE(got == ref)
+                    << "vnni mismatch at v=" << v
+                    << " cluster=" << cluster << " threads=" << threads;
+                expectStatsEqual(new_stats, ref_stats);
+            }
+        }
+    }
+
+    // Legacy engine over the same VNNI row.
+    MatrixI32 lw = randomWeightCodes(rng, m, kk, 1, 0.7);
+    MatrixI32 lx = randomWeightCodes(rng, kk, n, 1, 0.7);
+    SlicedMatrix ws = sbrSliceMatrix(lw, 1);
+    SlicedMatrix xs = sbrSliceMatrix(lx, 1);
+    MatrixI64 dense = intGemm(lw, lx);
+    for (int threads : {1, 4}) {
+        setParallelThreads(threads);
+        EXPECT_TRUE(legacyBitsliceGemm(ws, xs, 4, SibiaSkipSide::Auto) ==
+                    dense)
+            << "legacy vnni mismatch at threads=" << threads;
     }
 }
 

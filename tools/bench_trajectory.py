@@ -12,6 +12,8 @@ Usage:
 
 Understands these payload shapes:
   - bench_kernels:    isa_cases[] and single_thread_cases[] GMAC/s;
+                      density_sweep[] static-vs-measured stream-policy
+                      GMAC/s per activation density;
                       thread_scaling[] GMAC/s, folded ONLY when the
                       payload says thread_scaling_measured (a 1-core
                       host's flat width-1 ladder is unmeasured scaling,
@@ -58,6 +60,10 @@ def rows_for(path, payload, commit):
             case.get("sparsity_pct"),
         )
         row("blocked:" + shape, case.get("blocked_gmacs"))
+    for p in payload.get("density_sweep", []):
+        case = "density:%s" % p.get("density_pct", "?")
+        row(case, p.get("static_gmacs"), "static_gmacs")
+        row(case, p.get("measured_gmacs"), "measured_gmacs")
     scaling = payload.get("thread_scaling", [])
     if scaling:
         if payload.get("thread_scaling_measured"):
